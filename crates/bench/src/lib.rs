@@ -1,0 +1,46 @@
+//! Benchmark crate: shared fixtures for the Criterion benches.
+//!
+//! The benches live in `benches/experiments.rs` (one group per paper
+//! table/figure) and `benches/substrates.rs` (the underlying engines).
+//! Run with `cargo bench -p maly-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use maly_cost_model::product::ProductScenario;
+
+/// Builds the Table 3 row-2 scenario, the benches' standard workload
+/// (3.1 M transistors at 0.8 µm, Y₀ = 70%, X = 1.8).
+///
+/// # Panics
+///
+/// Never — inputs are the printed constants.
+#[must_use]
+pub fn standard_product() -> ProductScenario {
+    ProductScenario::builder("bench µP")
+        .transistors(3.1e6)
+        .expect("valid")
+        .feature_size_um(0.8)
+        .expect("valid")
+        .design_density(150.0)
+        .expect("valid")
+        .wafer_radius_cm(7.5)
+        .expect("valid")
+        .reference_yield(0.7)
+        .expect("valid")
+        .reference_wafer_cost(700.0)
+        .expect("valid")
+        .cost_escalation(1.8)
+        .expect("valid")
+        .build()
+        .expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn standard_product_evaluates() {
+        let cost = super::standard_product().evaluate().unwrap();
+        assert!(cost.cost_per_transistor.value() > 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Tiny flag parser: `--name value` pairs plus boolean switches.
+
+use std::collections::HashMap;
+
+/// Parsed flags for one subcommand.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `--name value` pairs; a `--name` followed by another flag
+    /// (or nothing) is a boolean switch.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = Flags::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            if name.is_empty() {
+                return Err("empty flag `--`".to_string());
+            }
+            let next_is_value = argv.get(i + 1).is_some_and(|next| !next.starts_with("--"));
+            if next_is_value {
+                flags.values.insert(name.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                flags.switches.push(name.to_string());
+                i += 1;
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Required float flag.
+    pub fn require_f64(&self, name: &str) -> Result<f64, String> {
+        let raw = self
+            .values
+            .get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))?;
+        raw.parse::<f64>()
+            .map_err(|_| format!("flag --{name}: `{raw}` is not a number"))
+    }
+
+    /// Optional float flag with a default.
+    pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| format!("flag --{name}: `{raw}` is not a number")),
+        }
+    }
+
+    /// Optional integer flag with a default.
+    pub fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<usize>()
+                .map_err(|_| format!("flag --{name}: `{raw}` is not an integer")),
+        }
+    }
+
+    /// True when a boolean switch was given.
+    pub fn has_switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let f = Flags::parse(&argv("--lambda 0.8 --map --c0 700")).unwrap();
+        assert_eq!(f.require_f64("lambda").unwrap(), 0.8);
+        assert_eq!(f.require_f64("c0").unwrap(), 700.0);
+        assert!(f.has_switch("map"));
+        assert!(!f.has_switch("absent"));
+    }
+
+    #[test]
+    fn scientific_notation_accepted() {
+        let f = Flags::parse(&argv("--transistors 3.1e6")).unwrap();
+        assert_eq!(f.require_f64("transistors").unwrap(), 3.1e6);
+    }
+
+    #[test]
+    fn missing_required_flag_is_an_error() {
+        let f = Flags::parse(&argv("--lambda 0.8")).unwrap();
+        let err = f.require_f64("c0").unwrap_err();
+        assert!(err.contains("--c0"));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let f = Flags::parse(&argv("--lambda zero")).unwrap();
+        assert!(f
+            .require_f64("lambda")
+            .unwrap_err()
+            .contains("not a number"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let f = Flags::parse(&argv("")).unwrap();
+        assert_eq!(f.f64_or("radius", 7.5).unwrap(), 7.5);
+        assert_eq!(f.usize_or("steps", 40).unwrap(), 40);
+    }
+
+    #[test]
+    fn positional_arguments_rejected() {
+        assert!(Flags::parse(&argv("oops --x 1")).is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_treated_as_flags() {
+        // A limitation worth pinning: `--x -1` parses `-1`... as a value
+        // only if it doesn't start with `--`. Single-dash passes through.
+        let f = Flags::parse(&argv("--x -1")).unwrap();
+        assert_eq!(f.require_f64("x").unwrap(), -1.0);
+    }
+}

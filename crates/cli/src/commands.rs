@@ -1,0 +1,380 @@
+//! Subcommand implementations (pure: return strings, no printing).
+
+use maly_cost_model::product::ProductScenario;
+use maly_cost_optim::search::optimal_feature_size;
+use maly_units::{Centimeters, Microns, SquareCentimeters};
+use maly_viz::lineplot::LinePlot;
+use maly_viz::table::{Alignment, TextTable};
+use maly_viz::wafermap::{render_wafer, DieRect};
+use maly_wafer_geom::{approx, maly, raster::RasterPlacement, DieDimensions, Wafer};
+
+use crate::args::Flags;
+
+/// Usage text.
+#[must_use]
+pub fn usage() -> String {
+    "\
+silicon-cost — transistor cost modeling after Maly, DAC 1994
+
+USAGE:
+  silicon-cost cost     --transistors N --lambda UM --density DD \\
+                        --yield Y0 --c0 DOLLARS --x X [--radius CM]
+  silicon-cost sweep    <cost flags> [--from UM] [--to UM] [--steps N]
+  silicon-cost optimize <cost flags> [--from UM] [--to UM]
+  silicon-cost wafer    --die-area CM2 [--radius CM] [--map]
+  silicon-cost mix      [--products N] [--volume WAFERS] [--mono-volume WAFERS]
+  silicon-cost roadmap  [--from YEAR] [--to YEAR]
+  silicon-cost table3
+  silicon-cost help
+
+All dollars are 1994 dollars; λ is the minimum feature size in µm."
+        .to_string()
+}
+
+/// Dispatches a full argv (without the program name).
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err("no command given".to_string());
+    };
+    let flags = Flags::parse(rest)?;
+    match command.as_str() {
+        "cost" => cost(&flags),
+        "sweep" => sweep(&flags),
+        "optimize" => optimize(&flags),
+        "wafer" => wafer(&flags),
+        "mix" => mix(&flags),
+        "roadmap" => roadmap(&flags),
+        "table3" => Ok(table3()),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn scenario_from(flags: &Flags) -> Result<ProductScenario, String> {
+    ProductScenario::builder("cli")
+        .transistors(flags.require_f64("transistors")?)
+        .map_err(|e| e.to_string())?
+        .feature_size_um(flags.require_f64("lambda")?)
+        .map_err(|e| e.to_string())?
+        .design_density(flags.require_f64("density")?)
+        .map_err(|e| e.to_string())?
+        .wafer_radius_cm(flags.f64_or("radius", 7.5)?)
+        .map_err(|e| e.to_string())?
+        .reference_yield(flags.require_f64("yield")?)
+        .map_err(|e| e.to_string())?
+        .reference_wafer_cost(flags.require_f64("c0")?)
+        .map_err(|e| e.to_string())?
+        .cost_escalation(flags.require_f64("x")?)
+        .map_err(|e| e.to_string())?
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn cost(flags: &Flags) -> Result<String, String> {
+    let scenario = scenario_from(flags)?;
+    let breakdown = scenario.evaluate().map_err(|e| e.to_string())?;
+    let mut t = TextTable::new(vec!["quantity", "value"]);
+    t.align(1, Alignment::Right);
+    t.row(vec![
+        "die area".into(),
+        format!("{:.3} cm²", scenario.die_area().value()),
+    ]);
+    t.row(vec![
+        "wafer cost C_w".into(),
+        format!("{:.0} $", breakdown.wafer_cost.value()),
+    ]);
+    t.row(vec![
+        "dies per wafer N_ch".into(),
+        format!("{}", breakdown.dies_per_wafer.value()),
+    ]);
+    t.row(vec![
+        "die yield Y".into(),
+        format!("{:.1}%", breakdown.die_yield.as_percent()),
+    ]);
+    t.row(vec![
+        "good dies per wafer".into(),
+        format!("{:.1}", breakdown.good_dies_per_wafer),
+    ]);
+    t.row(vec![
+        "cost per good die".into(),
+        format!("{:.2} $", breakdown.cost_per_good_die.value()),
+    ]);
+    t.row(vec![
+        "cost per transistor".into(),
+        format!(
+            "{:.2} µ$",
+            breakdown.cost_per_transistor.to_micro_dollars().value()
+        ),
+    ]);
+    Ok(t.render())
+}
+
+fn sweep(flags: &Flags) -> Result<String, String> {
+    let scenario = scenario_from(flags)?;
+    let from = flags.f64_or("from", 0.3)?;
+    let to = flags.f64_or("to", 1.2)?;
+    let steps = flags.usize_or("steps", 40)?;
+    if !(from > 0.0 && from < to) || steps < 2 {
+        return Err(format!("bad sweep window {from}..{to} ({steps} steps)"));
+    }
+    let mut series = Vec::new();
+    for i in 0..steps {
+        let l = from + (to - from) * i as f64 / (steps - 1) as f64;
+        let lambda = Microns::new(l).map_err(|e| e.to_string())?;
+        if let Ok(b) = scenario.evaluate_at(lambda) {
+            series.push((l, b.cost_per_transistor.to_micro_dollars().value()));
+        }
+    }
+    if series.is_empty() {
+        return Err("no feasible point in the sweep window".to_string());
+    }
+    Ok(LinePlot::new("cost per transistor vs feature size")
+        .with_series("C_tr [µ$]", &series)
+        .with_labels("λ [µm]", "µ$")
+        .log_y()
+        .render(76, 22))
+}
+
+fn optimize(flags: &Flags) -> Result<String, String> {
+    let scenario = scenario_from(flags)?;
+    let from = flags.f64_or("from", 0.3)?;
+    let to = flags.f64_or("to", 1.2)?;
+    let best = optimal_feature_size(&scenario, from, to, 481)
+        .map_err(|e| e.to_string())?
+        .ok_or("no feasible feature size in the window")?;
+    Ok(format!(
+        "optimal feature size: {:.3} µm  (C_tr = {:.2} µ$)",
+        best.0.value(),
+        best.1 * 1.0e6
+    ))
+}
+
+fn wafer(flags: &Flags) -> Result<String, String> {
+    let area = SquareCentimeters::new(flags.require_f64("die-area")?).map_err(|e| e.to_string())?;
+    let radius = Centimeters::new(flags.f64_or("radius", 7.5)?).map_err(|e| e.to_string())?;
+    let wafer = Wafer::with_radius(radius);
+    let die = DieDimensions::square_with_area(area);
+    let eq4 = maly::dies_per_wafer(&wafer, die);
+    let map = RasterPlacement::default().place(&wafer, die);
+    let mut t = TextTable::new(vec!["method", "dies per wafer"]);
+    t.align(1, Alignment::Right);
+    t.row(vec![
+        "eq. (4) row packing".into(),
+        format!("{}", eq4.value()),
+    ]);
+    t.row(vec![
+        "rigid raster (optimized)".into(),
+        format!("{}", map.count().value()),
+    ]);
+    t.row(vec![
+        "gross bound πR²/A".into(),
+        format!("{:.1}", approx::gross_estimate(&wafer, die)),
+    ]);
+    t.row(vec![
+        "edge-corrected estimate".into(),
+        format!("{:.1}", approx::edge_corrected_estimate(&wafer, die)),
+    ]);
+    t.row(vec![
+        "silicon utilization".into(),
+        format!("{:.1}%", map.utilization() * 100.0),
+    ]);
+    let mut out = t.render();
+    if flags.has_switch("map") {
+        let dies: Vec<DieRect> = map
+            .sites()
+            .iter()
+            .map(|s| DieRect {
+                center_x: s.center_x,
+                center_y: s.center_y,
+                width: die.width().value(),
+                height: die.height().value(),
+            })
+            .collect();
+        out.push_str("\n\n");
+        out.push_str(&render_wafer(radius.value(), &dies, 60));
+    }
+    Ok(out)
+}
+
+fn mix(flags: &Flags) -> Result<String, String> {
+    let products = flags.usize_or("products", 8)?;
+    let volume = flags.f64_or("volume", 1_000.0)?;
+    let mono_volume = flags.f64_or("mono-volume", 100_000.0)?;
+    if products == 0 || volume <= 0.0 || mono_volume <= 0.0 {
+        return Err("mix needs positive --products, --volume and --mono-volume".to_string());
+    }
+    let study = maly_fabline_sim::cost::product_mix_study(products, volume, mono_volume);
+    let mut t = TextTable::new(vec!["quantity", "value"]);
+    t.align(1, Alignment::Right);
+    t.row(vec![
+        "mono-product wafer cost".into(),
+        format!("{:.0} $", study.mono_cost.value()),
+    ]);
+    t.row(vec![
+        "multi-product wafer cost".into(),
+        format!("{:.0} $", study.multi_cost.value()),
+    ]);
+    t.row(vec![
+        "penalty ratio".into(),
+        format!("{:.2}×", study.cost_ratio),
+    ]);
+    t.row(vec![
+        "mono productive utilization".into(),
+        format!("{:.0}%", study.mono_utilization * 100.0),
+    ]);
+    t.row(vec![
+        "multi productive utilization".into(),
+        format!("{:.0}%", study.multi_utilization * 100.0),
+    ]);
+    Ok(t.render())
+}
+
+fn roadmap(flags: &Flags) -> Result<String, String> {
+    let from = flags.usize_or("from", 1986)? as u32;
+    let to = flags.usize_or("to", 2002)? as u32;
+    if from >= to {
+        return Err(format!("bad year range {from}..{to}"));
+    }
+    let roadmap =
+        maly_cost_model::roadmap::CostRoadmap::paper_default().map_err(|e| e.to_string())?;
+    let points = roadmap.project(from, to).map_err(|e| e.to_string())?;
+    let mut t = TextTable::new(vec![
+        "year",
+        "λ [µm]",
+        "Scenario #1 [µ$/tr]",
+        "Scenario #2 [µ$/tr]",
+    ]);
+    for col in 1..4 {
+        t.align(col, Alignment::Right);
+    }
+    for p in &points {
+        t.row(vec![
+            format!("{:.0}", p.year),
+            format!("{:.2}", p.lambda.value()),
+            format!("{:.3}", p.optimistic.to_micro_dollars().value()),
+            format!("{:.2}", p.realistic.to_micro_dollars().value()),
+        ]);
+    }
+    let mut out = t.render();
+    if let Some(year) = roadmap
+        .realistic_turning_year(from, to)
+        .map_err(|e| e.to_string())?
+    {
+        out.push_str(&format!(
+            "\n\nScenario #2 cost bottoms out around {year} and rises afterwards."
+        ));
+    }
+    Ok(out)
+}
+
+fn table3() -> String {
+    maly_repro_table3()
+}
+
+/// Renders the Table 3 comparison without depending on the repro crate
+/// (the CLI stays lean): inputs and model outputs only.
+fn maly_repro_table3() -> String {
+    let mut t = TextTable::new(vec!["#", "IC type", "paper [µ$]", "model [µ$]"]);
+    t.align(2, Alignment::Right);
+    t.align(3, Alignment::Right);
+    for row in maly_paper_data::table3::rows() {
+        let measured = row
+            .scenario()
+            .expect("printed inputs are valid")
+            .evaluate()
+            .expect("printed products are manufacturable")
+            .cost_per_transistor
+            .to_micro_dollars()
+            .value();
+        t.row(vec![
+            format!("{}", row.id),
+            row.name.to_string(),
+            format!("{:.2}", row.paper_cost_micro_dollars),
+            format!("{measured:.2}"),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn cost_command_reproduces_table3_row1() {
+        let out = run(&argv(
+            "cost --transistors 3.1e6 --lambda 0.8 --density 150 --yield 0.9 --c0 700 --x 1.4",
+        ))
+        .unwrap();
+        assert!(out.contains("9.40 µ$"), "{out}");
+        assert!(out.contains("46"));
+    }
+
+    #[test]
+    fn sweep_renders_a_plot() {
+        let out = run(&argv(
+            "sweep --transistors 1e6 --lambda 0.8 --density 150 --yield 0.7 --c0 700 --x 1.8 \
+             --from 0.4 --to 1.0 --steps 12",
+        ))
+        .unwrap();
+        assert!(out.contains("C_tr [µ$]"));
+    }
+
+    #[test]
+    fn optimize_reports_a_node() {
+        let out = run(&argv(
+            "optimize --transistors 1e6 --lambda 0.8 --density 150 --yield 0.7 --c0 700 --x 1.8",
+        ))
+        .unwrap();
+        assert!(out.contains("optimal feature size"));
+    }
+
+    #[test]
+    fn wafer_command_counts_dies() {
+        let out = run(&argv("wafer --die-area 2.976")).unwrap();
+        assert!(out.contains("46"));
+        assert!(out.contains("utilization"));
+    }
+
+    #[test]
+    fn wafer_map_switch_draws() {
+        let out = run(&argv("wafer --die-area 2.976 --map")).unwrap();
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn table3_command_lists_all_rows() {
+        let out = run(&argv("table3")).unwrap();
+        assert!(out.contains("PLD"));
+        assert!(out.contains("240.00"));
+    }
+
+    #[test]
+    fn mix_command_reports_penalty() {
+        let out = run(&argv("mix --products 10 --volume 500")).unwrap();
+        assert!(out.contains("penalty ratio"));
+        assert!(out.contains('×'));
+    }
+
+    #[test]
+    fn roadmap_command_projects_years() {
+        let out = run(&argv("roadmap --from 1990 --to 1998")).unwrap();
+        assert!(out.contains("1990"));
+        assert!(out.contains("1998"));
+        assert!(out.contains("Scenario #2"));
+        assert!(run(&argv("roadmap --from 2000 --to 1990")).is_err());
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(run(&argv("help")).unwrap().contains("USAGE"));
+        assert!(run(&argv("bogus")).is_err());
+        assert!(run(&[]).is_err());
+        let err = run(&argv("cost --lambda 0.8")).unwrap_err();
+        assert!(err.contains("--transistors"));
+    }
+}

@@ -1,0 +1,31 @@
+//! `silicon-cost` — the command-line face of the Maly DAC-94 cost model.
+//!
+//! ```text
+//! silicon-cost cost     --transistors 3.1e6 --lambda 0.8 --density 150 \
+//!                       --yield 0.9 --c0 700 --x 1.4 [--radius 7.5]
+//! silicon-cost sweep    <same flags> --from 0.3 --to 1.2 [--steps 40]
+//! silicon-cost optimize <same flags> --from 0.3 --to 1.2
+//! silicon-cost wafer    --die-area 2.976 [--radius 7.5] [--map]
+//! silicon-cost help
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", commands::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

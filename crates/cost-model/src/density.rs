@@ -1,0 +1,123 @@
+//! Eq. (5): design density and the transistor-count ↔ die-area mapping.
+//!
+//! `N_tr = A_ch / (d_d · λ²)`: a design needs `d_d` squares of side λ per
+//! average transistor. Tables 1–2 of the paper show `d_d` spanning two
+//! orders of magnitude, from 17.8 λ²/tr (16 Mb SRAM) to 2631 λ²/tr (PLD)
+//! — the quantitative root of the paper's cost-diversity message.
+
+use maly_units::{DesignDensity, Microns, SquareCentimeters, TransistorCount, UnitError};
+
+/// Die area implied by a transistor count at a given density and feature
+/// size: `A_ch = N_tr · d_d · λ²` (eq. 5 inverted).
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::{DesignDensity, Microns, TransistorCount};
+/// use maly_cost_model::density::die_area;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Table 3 row 1: 3.1M transistors at d_d = 150, λ = 0.8 µm → 2.976 cm².
+/// let a = die_area(
+///     TransistorCount::from_millions(3.1)?,
+///     DesignDensity::new(150.0)?,
+///     Microns::new(0.8)?,
+/// );
+/// assert!((a.value() - 2.976).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn die_area(
+    transistors: TransistorCount,
+    density: DesignDensity,
+    lambda: Microns,
+) -> SquareCentimeters {
+    (density.transistor_footprint(lambda) * transistors.value()).to_square_centimeters()
+}
+
+/// Transistors that fit in a die of the given area (eq. 5 as printed).
+///
+/// # Errors
+///
+/// Never fails for valid unit inputs; fallible only because the result
+/// must itself be a valid positive count.
+pub fn transistors_per_die(
+    area: SquareCentimeters,
+    density: DesignDensity,
+    lambda: Microns,
+) -> Result<TransistorCount, UnitError> {
+    let per_tr = density.transistor_footprint(lambda).to_square_centimeters();
+    TransistorCount::new(area.value() / per_tr.value())
+}
+
+/// Transistors that fit on a whole wafer of area `wafer_area`, ignoring
+/// die boundaries — the `A_w / (d_d·λ²)` capacity used by eqs (8)–(9).
+///
+/// # Errors
+///
+/// Same contract as [`transistors_per_die`].
+pub fn transistors_per_wafer(
+    wafer_area: SquareCentimeters,
+    density: DesignDensity,
+    lambda: Microns,
+) -> Result<TransistorCount, UnitError> {
+    transistors_per_die(wafer_area, density, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(v: f64) -> Microns {
+        Microns::new(v).unwrap()
+    }
+
+    fn dd(v: f64) -> DesignDensity {
+        DesignDensity::new(v).unwrap()
+    }
+
+    #[test]
+    fn area_and_count_are_inverse() {
+        let n = TransistorCount::from_millions(2.8).unwrap();
+        let a = die_area(n, dd(102.0), um(0.65));
+        let back = transistors_per_die(a, dd(102.0), um(0.65)).unwrap();
+        assert!((back.value() - n.value()).abs() < 1.0);
+    }
+
+    #[test]
+    fn table3_row13_die_area() {
+        // 264M transistors, d_d = 29, λ = 0.25 → 4.785 cm².
+        let a = die_area(
+            TransistorCount::from_millions(264.0).unwrap(),
+            dd(29.0),
+            um(0.25),
+        );
+        assert!((a.value() - 4.785).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_dominates_area() {
+        let n = TransistorCount::from_millions(1.0).unwrap();
+        let dense = die_area(n, dd(30.0), um(0.8));
+        let sparse = die_area(n, dd(300.0), um(0.8));
+        assert!((sparse.value() / dense.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrink_quadratically_reduces_area() {
+        let n = TransistorCount::from_millions(1.0).unwrap();
+        let big = die_area(n, dd(150.0), um(0.8));
+        let small = die_area(n, dd(150.0), um(0.4));
+        assert!((big.value() / small.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wafer_capacity_matches_fig6_example() {
+        // Fig 6 at λ = 1 µm, d_d = 30 on a 6-inch wafer:
+        // A_w/(d_d·λ²) = 176.71 cm² / 30 µm² ≈ 589 M transistors.
+        let wafer_area = SquareCentimeters::new(std::f64::consts::PI * 7.5 * 7.5).unwrap();
+        let n = transistors_per_wafer(wafer_area, dd(30.0), um(1.0)).unwrap();
+        assert!((n.millions() - 589.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for cost-model evaluation.
+
+use std::fmt;
+
+/// Error produced when a cost cannot be evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostError {
+    /// The die is too large for the wafer: no complete site fits, so the
+    /// per-die cost is undefined (eq. 1 divides by `N_ch`).
+    NoDiesFit {
+        /// Die area that failed to place (cm²).
+        die_area_cm2: f64,
+        /// Wafer radius (cm).
+        wafer_radius_cm: f64,
+    },
+    /// The yield model returned exactly zero: every die is dead and the
+    /// cost per good transistor diverges.
+    ZeroYield {
+        /// Die area at which the yield vanished (cm²).
+        die_area_cm2: f64,
+    },
+    /// An input quantity was rejected by its unit type.
+    InvalidInput(maly_units::UnitError),
+    /// A required builder field was never supplied.
+    MissingField {
+        /// Name of the missing field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::NoDiesFit {
+                die_area_cm2,
+                wafer_radius_cm,
+            } => write!(
+                f,
+                "no {die_area_cm2} cm² die fits on a {wafer_radius_cm} cm-radius wafer"
+            ),
+            CostError::ZeroYield { die_area_cm2 } => {
+                write!(f, "yield is zero for a {die_area_cm2} cm² die")
+            }
+            CostError::InvalidInput(e) => write!(f, "invalid input: {e}"),
+            CostError::MissingField { field } => {
+                write!(f, "scenario builder field `{field}` was not set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CostError::InvalidInput(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<maly_units::UnitError> for CostError {
+    fn from(e: maly_units::UnitError) -> Self {
+        CostError::InvalidInput(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CostError::NoDiesFit {
+            die_area_cm2: 300.0,
+            wafer_radius_cm: 7.5,
+        };
+        assert!(e.to_string().contains("300"));
+        let e = CostError::MissingField {
+            field: "transistors",
+        };
+        assert!(e.to_string().contains("transistors"));
+    }
+
+    #[test]
+    fn unit_errors_convert_and_chain() {
+        let unit_err = maly_units::Microns::new(-1.0).unwrap_err();
+        let e: CostError = unit_err.clone().into();
+        assert_eq!(e, CostError::InvalidInput(unit_err));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,264 @@
+//! Multi-project wafer (MPW/shuttle) economics.
+//!
+//! Phase 2 of the paper's §V outlook: high-volume winners "eventually
+//! renting superfluous fabline capacity", while fabless niche designers
+//! need silicon in prototype quantities. The shuttle run is the
+//! institution that grew out of exactly this pressure: several projects
+//! share one mask set and a few wafers, splitting the dominant NRE.
+//!
+//! The model here prices a shuttle against a dedicated run and finds the
+//! volume crossover — the quantitative form of "what is cost effective
+//! for memories is not necessarily beneficial for niche ICs".
+
+use maly_units::{Dollars, TransistorCount};
+use maly_wafer_geom::{maly, DieDimensions, Wafer};
+use maly_yield_model::YieldModel;
+
+use crate::CostError;
+
+/// One project on the shuttle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpwProject {
+    /// Project label.
+    pub name: String,
+    /// The project's die.
+    pub die: DieDimensions,
+    /// Good dies the project needs from the run.
+    pub quantity: u32,
+    /// Design size (unused by pricing, carried for reports).
+    pub transistors: Option<TransistorCount>,
+}
+
+impl MpwProject {
+    /// Creates a project.
+    #[must_use]
+    pub fn new(name: impl Into<String>, die: DieDimensions, quantity: u32) -> Self {
+        Self {
+            name: name.into(),
+            die,
+            quantity,
+            transistors: None,
+        }
+    }
+}
+
+/// Shuttle-run parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpwRun {
+    /// The wafer manufactured on.
+    pub wafer: Wafer,
+    /// Cost per processed wafer.
+    pub wafer_cost: Dollars,
+    /// Cost of one full mask set (the NRE being shared).
+    pub mask_set_cost: Dollars,
+}
+
+/// Pricing result for one project.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpwProjectCost {
+    /// Project label.
+    pub name: String,
+    /// Good dies per wafer for this project (one die per reticle field).
+    pub good_dies_per_wafer: f64,
+    /// This project's share of the shuttle bill.
+    pub shuttle_cost: Dollars,
+    /// What a dedicated run (own mask set, own wafers) would have cost.
+    pub dedicated_cost: Dollars,
+}
+
+impl MpwProjectCost {
+    /// True when the shuttle beats the dedicated run for this project.
+    #[must_use]
+    pub fn shuttle_wins(&self) -> bool {
+        self.shuttle_cost < self.dedicated_cost
+    }
+}
+
+/// Prices a shuttle run.
+///
+/// Model: the reticle field tiles all project dies side by side, so each
+/// exposure yields one candidate die per project; fields per wafer follow
+/// eq. (4) on the combined field outline. Each project's good dies per
+/// wafer are fields × its own die yield. The run buys enough wafers for
+/// the *worst-off* project; mask and wafer bills split in proportion to
+/// field area consumed.
+///
+/// The dedicated comparison gives each project its own mask set and its
+/// own wafers (fields of just its die).
+///
+/// # Errors
+///
+/// * [`CostError::MissingField`] when `projects` is empty;
+/// * [`CostError::NoDiesFit`] when the combined field does not fit the
+///   wafer;
+/// * [`CostError::ZeroYield`] when a project's die yield vanishes.
+pub fn price_shuttle<Y: YieldModel>(
+    run: &MpwRun,
+    projects: &[MpwProject],
+    yield_model: &Y,
+) -> Result<Vec<MpwProjectCost>, CostError> {
+    if projects.is_empty() {
+        return Err(CostError::MissingField { field: "projects" });
+    }
+
+    // Combined reticle field: dies side by side (width summed, height of
+    // the tallest).
+    let field_width: f64 = projects.iter().map(|p| p.die.width().value()).sum();
+    let field_height = projects
+        .iter()
+        .map(|p| p.die.height().value())
+        .fold(0.0f64, f64::max);
+    let field = DieDimensions::new(
+        maly_units::Centimeters::new(field_width)?,
+        maly_units::Centimeters::new(field_height)?,
+    );
+    let fields_per_wafer = maly::dies_per_wafer_best_orientation(&run.wafer, field);
+    if fields_per_wafer.is_zero() {
+        return Err(CostError::NoDiesFit {
+            die_area_cm2: field.area().value(),
+            wafer_radius_cm: run.wafer.radius().value(),
+        });
+    }
+
+    // Wafers the shuttle needs: every project must reach its quantity.
+    let mut wafers_needed = 0u32;
+    let mut good_per_wafer = Vec::with_capacity(projects.len());
+    for p in projects {
+        let y = yield_model.die_yield(p.die.area());
+        if y.value() <= 0.0 {
+            return Err(CostError::ZeroYield {
+                die_area_cm2: p.die.area().value(),
+            });
+        }
+        let good = fields_per_wafer.as_f64() * y.value();
+        good_per_wafer.push(good);
+        let needed = (f64::from(p.quantity) / good).ceil() as u32;
+        wafers_needed = wafers_needed.max(needed.max(1));
+    }
+    let shuttle_bill = run.mask_set_cost + run.wafer_cost * f64::from(wafers_needed);
+    let field_area: f64 = projects.iter().map(|p| p.die.area().value()).sum();
+
+    projects
+        .iter()
+        .zip(&good_per_wafer)
+        .map(|(p, &good)| {
+            let share = p.die.area().value() / field_area;
+            // Dedicated run: own mask set; fields of this die alone.
+            let own_fields = maly::dies_per_wafer_best_orientation(&run.wafer, p.die);
+            let own_good = own_fields.as_f64() * yield_model.die_yield(p.die.area()).value();
+            let own_wafers = (f64::from(p.quantity) / own_good).ceil().max(1.0);
+            let dedicated = run.mask_set_cost + run.wafer_cost * own_wafers;
+            Ok(MpwProjectCost {
+                name: p.name.clone(),
+                good_dies_per_wafer: good,
+                shuttle_cost: shuttle_bill * share,
+                dedicated_cost: dedicated,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maly_units::{Centimeters, DefectDensity, Probability};
+    use maly_yield_model::{AreaScaledYield, PoissonYield};
+
+    fn run() -> MpwRun {
+        MpwRun {
+            wafer: Wafer::six_inch(),
+            wafer_cost: Dollars::new(1300.0).unwrap(),
+            mask_set_cost: Dollars::new(80_000.0).unwrap(),
+        }
+    }
+
+    fn die(edge_cm: f64) -> DieDimensions {
+        DieDimensions::square(Centimeters::new(edge_cm).unwrap())
+    }
+
+    fn yield_model() -> AreaScaledYield {
+        AreaScaledYield::per_square_centimeter(Probability::new(0.7).unwrap())
+    }
+
+    fn prototypes(quantity: u32) -> Vec<MpwProject> {
+        vec![
+            MpwProject::new("asic-a", die(0.7), quantity),
+            MpwProject::new("asic-b", die(0.5), quantity),
+            MpwProject::new("asic-c", die(0.9), quantity),
+        ]
+    }
+
+    #[test]
+    fn shuttle_wins_for_prototype_quantities() {
+        let costs = price_shuttle(&run(), &prototypes(50), &yield_model()).unwrap();
+        for c in &costs {
+            assert!(
+                c.shuttle_wins(),
+                "{}: shuttle {} vs dedicated {}",
+                c.name,
+                c.shuttle_cost.value(),
+                c.dedicated_cost.value()
+            );
+            // The win is dominated by the shared mask set: at least 1.5×
+            // even for the largest (biggest-share) project.
+            assert!(c.dedicated_cost.value() > 1.5 * c.shuttle_cost.value());
+        }
+    }
+
+    #[test]
+    fn dedicated_wins_at_volume() {
+        // At 200k dies the shuttle's area inefficiency (every wafer
+        // carries all three projects) outweighs the shared mask.
+        let costs = price_shuttle(&run(), &prototypes(200_000), &yield_model()).unwrap();
+        assert!(costs.iter().any(|c| !c.shuttle_wins()));
+    }
+
+    #[test]
+    fn crossover_quantity_exists() {
+        let mut last_all_shuttle = true;
+        let mut crossed = false;
+        for q in [50u32, 500, 5_000, 50_000, 500_000] {
+            let costs = price_shuttle(&run(), &prototypes(q), &yield_model()).unwrap();
+            let all_shuttle = costs.iter().all(MpwProjectCost::shuttle_wins);
+            if last_all_shuttle && !all_shuttle {
+                crossed = true;
+            }
+            last_all_shuttle = all_shuttle;
+        }
+        assert!(crossed, "expected a shuttle → dedicated crossover");
+    }
+
+    #[test]
+    fn bill_split_is_area_proportional() {
+        let costs = price_shuttle(&run(), &prototypes(50), &yield_model()).unwrap();
+        // asic-c (0.81 cm²) pays more than asic-b (0.25 cm²).
+        let b = costs.iter().find(|c| c.name == "asic-b").unwrap();
+        let c = costs.iter().find(|c| c.name == "asic-c").unwrap();
+        assert!(c.shuttle_cost.value() > b.shuttle_cost.value());
+        // Shares sum to the full bill.
+        let total: f64 = costs.iter().map(|x| x.shuttle_cost.value()).sum();
+        assert!(total > 80_000.0, "total {total} must cover the mask set");
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let ym = yield_model();
+        assert!(matches!(
+            price_shuttle(&run(), &[], &ym),
+            Err(CostError::MissingField { .. })
+        ));
+        let monster = vec![MpwProject::new("huge", die(12.0), 10)];
+        assert!(matches!(
+            price_shuttle(&run(), &monster, &ym),
+            Err(CostError::NoDiesFit { .. })
+        ));
+    }
+
+    #[test]
+    fn works_with_any_yield_model() {
+        let poisson = PoissonYield::new(DefectDensity::new(0.8).unwrap());
+        let costs = price_shuttle(&run(), &prototypes(100), &poisson).unwrap();
+        assert_eq!(costs.len(), 3);
+        assert!(costs.iter().all(|c| c.good_dies_per_wafer > 0.0));
+    }
+}

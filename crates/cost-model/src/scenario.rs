@@ -1,0 +1,354 @@
+//! The paper's two manufacturing scenarios (Sec. IV.A, Figs 6–7).
+//!
+//! * **Scenario #1** — the industry's optimistic premise: high-volume
+//!   memory production, mature yields of 100% (redundancy and mature
+//!   contamination control), `X ∈ [1.1, 1.3]`, zero overhead. Eq. (8)
+//!   then says the transistor cost *falls* as λ shrinks (Fig 6), because
+//!   the wafer's transistor capacity grows faster than its cost.
+//!
+//! * **Scenario #2** — the realistic counterpoint for custom logic:
+//!   `X ∈ [1.8, 2.4]`, redundancy-free dies of 70% reference yield whose
+//!   area *grows* along the Fig 3 trend. Eq. (9) then says the transistor
+//!   cost *rises* as λ shrinks (Fig 7) — the paper's headline warning.
+
+use maly_tech_trend::diesize::DieSizeTrend;
+use maly_units::{DesignDensity, Dollars, Microns, Probability, UnitError};
+use maly_wafer_geom::Wafer;
+
+use crate::WaferCostModel;
+
+/// Scenario #1 (eq. 8): `C_tr = C'_w(λ) · d_d · λ² / A_w`.
+///
+/// Yield is 100% and every square micron of the wafer counts (gross
+/// capacity) — memory-style accounting.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::{DesignDensity, Dollars, Microns};
+/// use maly_wafer_geom::Wafer;
+/// use maly_cost_model::{scenario::Scenario1, WaferCostModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Fig 6 parameters: C0 = $500, d_d = 30, R_w = 7.5 cm.
+/// let s1 = Scenario1::new(
+///     WaferCostModel::new(Dollars::new(500.0)?, 1.2)?,
+///     DesignDensity::new(30.0)?,
+///     Wafer::six_inch(),
+/// );
+/// // Cost per transistor falls monotonically with λ.
+/// let at_1um = s1.cost_per_transistor(Microns::new(1.0)?);
+/// let at_quarter = s1.cost_per_transistor(Microns::new(0.25)?);
+/// assert!(at_quarter < at_1um);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario1 {
+    wafer_cost: WaferCostModel,
+    density: DesignDensity,
+    wafer: Wafer,
+}
+
+impl Scenario1 {
+    /// Creates the scenario.
+    #[must_use]
+    pub fn new(wafer_cost: WaferCostModel, density: DesignDensity, wafer: Wafer) -> Self {
+        Self {
+            wafer_cost,
+            density,
+            wafer,
+        }
+    }
+
+    /// The Fig 6 configuration for a given `X`: `C₀ = $500`, `d_d = 30`,
+    /// 6-inch wafer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `X` validation from [`WaferCostModel::new`].
+    pub fn fig6(x: f64) -> Result<Self, UnitError> {
+        Ok(Self::new(
+            WaferCostModel::new(Dollars::new(500.0).expect("positive"), x)?,
+            DesignDensity::new(30.0).expect("positive"),
+            Wafer::six_inch(),
+        ))
+    }
+
+    /// Eq. (8): cost per transistor at feature size λ.
+    #[must_use]
+    pub fn cost_per_transistor(&self, lambda: Microns) -> Dollars {
+        let c_w = self.wafer_cost.wafer_cost(lambda);
+        let per_tr_cm2 = self
+            .density
+            .transistor_footprint(lambda)
+            .to_square_centimeters();
+        c_w * (per_tr_cm2.value() / self.wafer.area().value())
+    }
+
+    /// Sweeps the cost over a λ range (inclusive ends, `steps ≥ 2`
+    /// points), producing a Fig 6 series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps < 2` or the range is not positive ascending.
+    #[must_use]
+    pub fn sweep(
+        &self,
+        lambda_min: Microns,
+        lambda_max: Microns,
+        steps: usize,
+    ) -> Vec<(f64, Dollars)> {
+        sweep_lambda(lambda_min, lambda_max, steps, |l| {
+            self.cost_per_transistor(l)
+        })
+    }
+}
+
+/// Scenario #2 (eq. 9):
+/// `C_tr = C'_w(λ) · d_d · λ² / (A_w · Y₀^{A_ch(λ)/A₀})`.
+///
+/// Identical to Scenario #1 except every wafer transistor is discounted
+/// by the yield of the *growing* die the Fig 3 trend prescribes.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::Microns;
+/// use maly_cost_model::scenario::Scenario2;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Fig 7: X = 2.4 — shrinking now RAISES the transistor cost.
+/// let s2 = Scenario2::fig7(2.4)?;
+/// let at_08 = s2.cost_per_transistor(Microns::new(0.8)?);
+/// let at_quarter = s2.cost_per_transistor(Microns::new(0.25)?);
+/// assert!(at_quarter > at_08 * 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario2 {
+    base: Scenario1,
+    reference_yield: Probability,
+    die_trend: DieSizeTrend,
+}
+
+impl Scenario2 {
+    /// Creates the scenario from a Scenario #1 base, a reference yield
+    /// `Y₀` (for a 1 cm² die) and a die-size trend.
+    #[must_use]
+    pub fn new(base: Scenario1, reference_yield: Probability, die_trend: DieSizeTrend) -> Self {
+        Self {
+            base,
+            reference_yield,
+            die_trend,
+        }
+    }
+
+    /// The Fig 7 configuration for a given `X`: `C₀ = $500`, `d_d = 200`,
+    /// 6-inch wafer, `Y₀ = 70%`, paper die-size fit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `X` validation.
+    pub fn fig7(x: f64) -> Result<Self, UnitError> {
+        let base = Scenario1::new(
+            WaferCostModel::new(Dollars::new(500.0).expect("positive"), x)?,
+            DesignDensity::new(200.0).expect("positive"),
+            Wafer::six_inch(),
+        );
+        Ok(Self::new(
+            base,
+            Probability::new(0.7).expect("0.7 is a probability"),
+            DieSizeTrend::paper_fit(),
+        ))
+    }
+
+    /// Die yield at feature size λ: `Y₀^{A_ch(λ)/A₀}` with `A₀ = 1 cm²`.
+    #[must_use]
+    pub fn die_yield(&self, lambda: Microns) -> Probability {
+        let area = self.die_trend.area_at(lambda);
+        self.reference_yield.powf(area.value())
+    }
+
+    /// Eq. (9): cost per transistor at feature size λ.
+    #[must_use]
+    pub fn cost_per_transistor(&self, lambda: Microns) -> Dollars {
+        let y = self.die_yield(lambda).value();
+        // Y is in (0, 1]; dividing by it scales the Scenario #1 cost up.
+        self.base.cost_per_transistor(lambda) / y
+    }
+
+    /// Sweeps the cost over a λ range, producing a Fig 7 series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps < 2` or the range is not positive ascending.
+    #[must_use]
+    pub fn sweep(
+        &self,
+        lambda_min: Microns,
+        lambda_max: Microns,
+        steps: usize,
+    ) -> Vec<(f64, Dollars)> {
+        sweep_lambda(lambda_min, lambda_max, steps, |l| {
+            self.cost_per_transistor(l)
+        })
+    }
+
+    /// The feature size at which eq. (9) is minimized within a range —
+    /// the "optimal shrink depth" for a Scenario #2 product line.
+    #[must_use]
+    pub fn optimal_lambda(
+        &self,
+        lambda_min: Microns,
+        lambda_max: Microns,
+        steps: usize,
+    ) -> Microns {
+        let series = self.sweep(lambda_min, lambda_max, steps);
+        let best = series
+            .iter()
+            .min_by(|a, b| a.1.value().total_cmp(&b.1.value()))
+            .expect("sweep produces at least two points");
+        Microns::new(best.0).expect("sweep points are positive")
+    }
+}
+
+fn sweep_lambda(
+    lambda_min: Microns,
+    lambda_max: Microns,
+    steps: usize,
+    f: impl Fn(Microns) -> Dollars,
+) -> Vec<(f64, Dollars)> {
+    assert!(steps >= 2, "sweep needs at least 2 points, got {steps}");
+    let lo = lambda_min.value();
+    let hi = lambda_max.value();
+    assert!(lo < hi, "sweep range must be ascending: {lo} .. {hi}");
+    (0..steps)
+        .map(|i| {
+            let l = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+            let lambda = Microns::new(l).expect("interpolant of positive bounds");
+            (l, f(lambda))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(v: f64) -> Microns {
+        Microns::new(v).unwrap()
+    }
+
+    #[test]
+    fn fig6_cost_decreases_for_all_printed_x() {
+        // Fig 6 plots X = 1.1, 1.2, 1.3: cost falls monotonically.
+        for x in [1.1, 1.2, 1.3] {
+            let s1 = Scenario1::fig6(x).unwrap();
+            let series = s1.sweep(um(0.25), um(1.0), 16);
+            for w in series.windows(2) {
+                assert!(
+                    w[0].1.value() < w[1].1.value(),
+                    "X={x}: cost must fall with λ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_reference_point_value() {
+        // At λ = 1 µm the cost is C0·d_d·λ²/A_w = 500·30 µm²/176.71 cm²
+        // ≈ 0.849 µ$ regardless of X.
+        for x in [1.1, 1.3] {
+            let s1 = Scenario1::fig6(x).unwrap();
+            let c = s1.cost_per_transistor(um(1.0)).to_micro_dollars().value();
+            assert!((c - 0.849).abs() < 0.002, "X={x}: {c}");
+        }
+    }
+
+    #[test]
+    fn fig6_higher_x_flattens_the_decrease() {
+        let low = Scenario1::fig6(1.1).unwrap();
+        let high = Scenario1::fig6(1.3).unwrap();
+        let ratio_low = low.cost_per_transistor(um(0.25)) / low.cost_per_transistor(um(1.0));
+        let ratio_high = high.cost_per_transistor(um(0.25)) / high.cost_per_transistor(um(1.0));
+        assert!(ratio_high > ratio_low);
+        assert!(ratio_low < 1.0 && ratio_high < 1.0);
+    }
+
+    #[test]
+    fn fig7_cost_increases_for_all_printed_x() {
+        // Fig 7 plots X in 1.8–2.4: shrinking raises the cost across the
+        // sub-micron sweep.
+        for x in [1.8, 2.0, 2.2, 2.4] {
+            let s2 = Scenario2::fig7(x).unwrap();
+            let c_08 = s2.cost_per_transistor(um(0.8)).value();
+            let c_05 = s2.cost_per_transistor(um(0.5)).value();
+            let c_025 = s2.cost_per_transistor(um(0.25)).value();
+            assert!(c_05 > c_08, "X={x}");
+            assert!(c_025 > c_05, "X={x}");
+        }
+    }
+
+    #[test]
+    fn fig7_hand_computed_anchor() {
+        // Hand-validated during calibration: X = 2.4 at λ = 0.8 gives
+        // ≈ 9.5 µ$ and at λ = 0.25 ≈ 45 µ$ (see DESIGN.md §1).
+        let s2 = Scenario2::fig7(2.4).unwrap();
+        let c_08 = s2.cost_per_transistor(um(0.8)).to_micro_dollars().value();
+        let c_025 = s2.cost_per_transistor(um(0.25)).to_micro_dollars().value();
+        assert!((c_08 - 9.46).abs() < 0.1, "got {c_08}");
+        assert!((c_025 - 45.1).abs() < 1.0, "got {c_025}");
+    }
+
+    #[test]
+    fn fig7_yield_collapses_with_shrink() {
+        let s2 = Scenario2::fig7(1.8).unwrap();
+        let y_08 = s2.die_yield(um(0.8)).value();
+        let y_025 = s2.die_yield(um(0.25)).value();
+        assert!(y_08 > 0.9);
+        assert!(y_025 < 0.25);
+    }
+
+    #[test]
+    fn scenario2_reduces_to_scenario1_at_perfect_yield() {
+        let base = Scenario1::fig6(1.2).unwrap();
+        let s2 = Scenario2::new(base, Probability::ONE, DieSizeTrend::paper_fit());
+        for l in [1.0, 0.5, 0.25] {
+            let c1 = base.cost_per_transistor(um(l)).value();
+            let c2 = s2.cost_per_transistor(um(l)).value();
+            assert!((c1 - c2).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn scenario2_never_rewards_shrinking() {
+        // Under Scenario #2 assumptions (X ≥ 1.8, growing dies, fixed Y0),
+        // the cheapest transistor is always at the *largest* feature size
+        // in the window: shrinking never pays. (The interior optima of
+        // Fig 8 appear only at fixed N_tr — see `surface`.)
+        let s2 = Scenario2::fig7(1.8).unwrap();
+        let opt = s2.optimal_lambda(um(0.2), um(1.5), 200);
+        assert!(
+            (opt.value() - 1.5).abs() < 1e-9,
+            "optimum {opt} should sit at the window's upper edge"
+        );
+    }
+
+    #[test]
+    fn sweep_covers_endpoints() {
+        let s1 = Scenario1::fig6(1.2).unwrap();
+        let series = s1.sweep(um(0.25), um(1.0), 4);
+        assert_eq!(series.len(), 4);
+        assert!((series[0].0 - 0.25).abs() < 1e-12);
+        assert!((series[3].0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn sweep_rejects_single_point() {
+        let s1 = Scenario1::fig6(1.2).unwrap();
+        let _ = s1.sweep(um(0.25), um(1.0), 1);
+    }
+}

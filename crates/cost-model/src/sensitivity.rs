@@ -1,0 +1,241 @@
+//! Sensitivity analysis: which knob moves the transistor cost most?
+//!
+//! "Now, as the situation may change and cost could become one of the
+//! designer's main concerns it is necessary to ... analyze the
+//! design-cost dependency" (Sec. IV). This module computes the
+//! *elasticity* of `C_tr` with respect to each model input — the
+//! percentage cost change per percent input change — by central finite
+//! differences on the full (discrete, floor-riddled) model.
+
+use maly_units::Microns;
+
+use crate::product::ProductScenario;
+use crate::CostError;
+
+/// The inputs a designer or fab can move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostDriver {
+    /// Transistor count `N_tr`.
+    Transistors,
+    /// Feature size λ.
+    FeatureSize,
+    /// Design density `d_d`.
+    DesignDensity,
+    /// Reference yield `Y₀`.
+    ReferenceYield,
+    /// Reference wafer cost `C₀`.
+    ReferenceCost,
+    /// Escalation factor `X`.
+    Escalation,
+}
+
+impl CostDriver {
+    /// All drivers, in report order.
+    pub const ALL: [CostDriver; 6] = [
+        CostDriver::Transistors,
+        CostDriver::FeatureSize,
+        CostDriver::DesignDensity,
+        CostDriver::ReferenceYield,
+        CostDriver::ReferenceCost,
+        CostDriver::Escalation,
+    ];
+}
+
+impl std::fmt::Display for CostDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CostDriver::Transistors => "N_tr",
+            CostDriver::FeatureSize => "λ",
+            CostDriver::DesignDensity => "d_d",
+            CostDriver::ReferenceYield => "Y0",
+            CostDriver::ReferenceCost => "C0",
+            CostDriver::Escalation => "X",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One elasticity result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Elasticity {
+    /// The perturbed driver.
+    pub driver: CostDriver,
+    /// `d ln C_tr / d ln input` — +1 means "1% more input, 1% more cost".
+    pub elasticity: f64,
+}
+
+/// Rebuilds a scenario with one input scaled by `factor`.
+fn perturbed(
+    base: &ProductScenario,
+    driver: CostDriver,
+    factor: f64,
+) -> Result<ProductScenario, CostError> {
+    let mut transistors = base.transistors().value();
+    let mut lambda = base.feature_size().value();
+    let mut density = base.design_density().value();
+    let mut y0 = base.reference_yield().value();
+    let mut c0 = base.wafer_cost_model().reference_cost().value();
+    let mut x = base.wafer_cost_model().escalation_factor();
+    match driver {
+        CostDriver::Transistors => transistors *= factor,
+        CostDriver::FeatureSize => lambda *= factor,
+        CostDriver::DesignDensity => density *= factor,
+        CostDriver::ReferenceYield => y0 = (y0 * factor).min(1.0),
+        CostDriver::ReferenceCost => c0 *= factor,
+        CostDriver::Escalation => x = (x * factor).max(1.0),
+    }
+    ProductScenario::builder(base.name())
+        .transistors(transistors)?
+        .feature_size_um(lambda)?
+        .design_density(density)?
+        .wafer(*base.wafer())
+        .reference_yield(y0)?
+        .reference_wafer_cost(c0)?
+        .cost_escalation(x)?
+        .generation_rate(base.wafer_cost_model().generation_rate())
+        .build()
+}
+
+/// Elasticity of the transistor cost with respect to one driver, by a
+/// central difference of relative size `step` (default callers use a few
+/// percent — wide enough to average over dies-per-wafer floor() jumps).
+///
+/// # Errors
+///
+/// Propagates evaluation failures at the perturbed points.
+pub fn elasticity(
+    scenario: &ProductScenario,
+    driver: CostDriver,
+    step: f64,
+) -> Result<Elasticity, CostError> {
+    let up = perturbed(scenario, driver, 1.0 + step)?
+        .evaluate()?
+        .cost_per_transistor
+        .value();
+    let down = perturbed(scenario, driver, 1.0 - step)?
+        .evaluate()?
+        .cost_per_transistor
+        .value();
+    let d_ln_cost = (up / down).ln();
+    let d_ln_input = ((1.0 + step) / (1.0 - step)).ln();
+    Ok(Elasticity {
+        driver,
+        elasticity: d_ln_cost / d_ln_input,
+    })
+}
+
+/// Full elasticity report, sorted by descending |elasticity| (the
+/// biggest lever first).
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn elasticities(scenario: &ProductScenario, step: f64) -> Result<Vec<Elasticity>, CostError> {
+    let mut out: Vec<Elasticity> = CostDriver::ALL
+        .iter()
+        .map(|&driver| elasticity(scenario, driver, step))
+        .collect::<Result<_, _>>()?;
+    out.sort_by(|a, b| b.elasticity.abs().total_cmp(&a.elasticity.abs()));
+    Ok(out)
+}
+
+/// Per-micron marginal cost of λ around the scenario's node — the number
+/// a shrink negotiation runs on.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn marginal_cost_of_lambda(
+    scenario: &ProductScenario,
+    delta_um: f64,
+) -> Result<f64, CostError> {
+    let base = scenario.evaluate()?.cost_per_transistor.value();
+    let lambda = scenario.feature_size().value();
+    let shifted = scenario
+        .evaluate_at(Microns::new(lambda + delta_um)?)?
+        .cost_per_transistor
+        .value();
+    Ok((shifted - base) / delta_um)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row2() -> ProductScenario {
+        ProductScenario::builder("row2")
+            .transistors(3.1e6)
+            .unwrap()
+            .feature_size_um(0.8)
+            .unwrap()
+            .design_density(150.0)
+            .unwrap()
+            .wafer_radius_cm(7.5)
+            .unwrap()
+            .reference_yield(0.7)
+            .unwrap()
+            .reference_wafer_cost(700.0)
+            .unwrap()
+            .cost_escalation(1.8)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn elasticity_of(driver: CostDriver) -> f64 {
+        elasticity(&row2(), driver, 0.05).unwrap().elasticity
+    }
+
+    #[test]
+    fn reference_cost_elasticity_is_exactly_one() {
+        // C_tr is linear in C0: the elasticity is +1 by construction.
+        assert!((elasticity_of(CostDriver::ReferenceCost) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signs_match_economics() {
+        assert!(
+            elasticity_of(CostDriver::ReferenceYield) < 0.0,
+            "better Y0 is cheaper"
+        );
+        assert!(
+            elasticity_of(CostDriver::Escalation) > 0.0,
+            "higher X is dearer"
+        );
+        assert!(
+            elasticity_of(CostDriver::DesignDensity) > 0.0,
+            "sparser is dearer"
+        );
+    }
+
+    #[test]
+    fn yield_is_a_major_lever_for_big_dies() {
+        // Row 2's 2.976 cm² die: the Y0 elasticity magnitude exceeds the
+        // C0 elasticity — yield is the bigger lever, the paper's point.
+        let y = elasticity_of(CostDriver::ReferenceYield).abs();
+        assert!(y > 1.5, "Y0 elasticity {y}");
+    }
+
+    #[test]
+    fn report_is_sorted_by_magnitude() {
+        let report = elasticities(&row2(), 0.05).unwrap();
+        assert_eq!(report.len(), 6);
+        for w in report.windows(2) {
+            assert!(w[0].elasticity.abs() >= w[1].elasticity.abs());
+        }
+    }
+
+    #[test]
+    fn marginal_cost_of_lambda_is_negative_at_row2() {
+        // Around 0.8 µm under row-2 assumptions, growing λ (backing off
+        // the shrink) raises cost — i.e. the shrink direction is cheaper.
+        let m = marginal_cost_of_lambda(&row2(), 0.05).unwrap();
+        assert!(m > 0.0, "d(cost)/dλ = {m}");
+    }
+
+    #[test]
+    fn drivers_display_paper_symbols() {
+        assert_eq!(CostDriver::FeatureSize.to_string(), "λ");
+        assert_eq!(CostDriver::ReferenceYield.to_string(), "Y0");
+    }
+}

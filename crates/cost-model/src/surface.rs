@@ -1,0 +1,281 @@
+//! Fig 8 — the transistor cost surface over `(λ × N_tr)`.
+//!
+//! Sec. IV.B evaluates eqs (1), (3), (4) and (7) on a grid of feature
+//! sizes and transistor counts, with the calibration "extracted from a
+//! real manufacturing operation": `X = 1.4`, `C₀ = \$500`,
+//! `R_w = 7.5 cm`, `d_d = 152`, `D = 1.72`, `p = 4.07`. The constant-cost
+//! contours show local optima: "for each die size there is a different
+//! λ^opt which minimizes the cost per transistor" — and it is often *not*
+//! the smallest available feature size.
+
+use maly_units::{DesignDensity, Dollars, Microns, TransistorCount};
+use maly_wafer_geom::Wafer;
+use maly_yield_model::ScaledPoissonYield;
+
+use crate::{CostError, DiesPerWaferMethod, TransistorCostModel, WaferCostModel};
+
+/// Parameters of a cost-surface study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfaceParameters {
+    /// Wafer cost model (`C₀`, `X`).
+    pub wafer_cost: WaferCostModel,
+    /// The wafer.
+    pub wafer: Wafer,
+    /// Design density `d_d`.
+    pub density: DesignDensity,
+    /// Eq. (7) reference defect density `D`.
+    pub defect_d: f64,
+    /// Eq. (7) defect size exponent `p`.
+    pub defect_p: f64,
+    /// Dies-per-wafer method.
+    pub dies_method: DiesPerWaferMethod,
+}
+
+impl SurfaceParameters {
+    /// The Fig 8 calibration.
+    #[must_use]
+    pub fn fig8() -> Self {
+        Self {
+            wafer_cost: WaferCostModel::new(Dollars::new(500.0).expect("positive"), 1.4)
+                .expect("X = 1.4 is valid"),
+            wafer: Wafer::six_inch(),
+            density: DesignDensity::new(152.0).expect("positive"),
+            defect_d: 1.72,
+            defect_p: 4.07,
+            dies_method: DiesPerWaferMethod::MalyEq4,
+        }
+    }
+
+    /// Cost per transistor at one `(λ, N_tr)` point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures (die too large, yield collapsed).
+    pub fn cost_at(
+        &self,
+        lambda: Microns,
+        transistors: TransistorCount,
+    ) -> Result<Dollars, CostError> {
+        let yield_model = ScaledPoissonYield::new(self.defect_d, self.defect_p, lambda)?;
+        let model =
+            TransistorCostModel::new(self.wafer, self.wafer_cost.wafer_cost(lambda), yield_model)
+                .dies_per_wafer_method(self.dies_method);
+        let area = crate::density::die_area(transistors, self.density, lambda);
+        let die = maly_wafer_geom::DieDimensions::square_with_area(area);
+        Ok(model.evaluate(die, transistors)?.cost_per_transistor)
+    }
+}
+
+/// A computed cost surface: `values[i][j]` is `C_tr` at
+/// `lambda_axis[i]`, `n_tr_axis[j]`, or `None` where evaluation failed
+/// (die larger than the wafer, yield underflow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostSurface {
+    lambda_axis: Vec<f64>,
+    n_tr_axis: Vec<f64>,
+    values: Vec<Vec<Option<f64>>>,
+}
+
+impl CostSurface {
+    /// Computes the surface on a `lambda_steps × n_tr_steps` grid.
+    ///
+    /// λ is swept linearly over `[lambda_min, lambda_max]`; `N_tr` is
+    /// swept *logarithmically* over `[n_tr_min, n_tr_max]` (the paper's
+    /// axis spans orders of magnitude).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is not ascending-positive or a step count
+    /// is below 2.
+    #[must_use]
+    pub fn compute(
+        params: &SurfaceParameters,
+        (lambda_min, lambda_max, lambda_steps): (f64, f64, usize),
+        (n_tr_min, n_tr_max, n_tr_steps): (f64, f64, usize),
+    ) -> Self {
+        assert!(lambda_steps >= 2 && n_tr_steps >= 2, "grids need ≥ 2 steps");
+        assert!(
+            0.0 < lambda_min && lambda_min < lambda_max,
+            "bad λ range {lambda_min}..{lambda_max}"
+        );
+        assert!(
+            0.0 < n_tr_min && n_tr_min < n_tr_max,
+            "bad N_tr range {n_tr_min}..{n_tr_max}"
+        );
+        let lambda_axis: Vec<f64> = (0..lambda_steps)
+            .map(|i| lambda_min + (lambda_max - lambda_min) * i as f64 / (lambda_steps - 1) as f64)
+            .collect();
+        let log_lo = n_tr_min.ln();
+        let log_hi = n_tr_max.ln();
+        let n_tr_axis: Vec<f64> = (0..n_tr_steps)
+            .map(|j| (log_lo + (log_hi - log_lo) * j as f64 / (n_tr_steps - 1) as f64).exp())
+            .collect();
+
+        let values = lambda_axis
+            .iter()
+            .map(|&l| {
+                let lambda = Microns::new(l).expect("grid point positive");
+                n_tr_axis
+                    .iter()
+                    .map(|&n| {
+                        let n_tr = TransistorCount::new(n).expect("grid point positive");
+                        params.cost_at(lambda, n_tr).ok().map(|d| d.value())
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Self {
+            lambda_axis,
+            n_tr_axis,
+            values,
+        }
+    }
+
+    /// The λ grid (µm).
+    #[must_use]
+    pub fn lambda_axis(&self) -> &[f64] {
+        &self.lambda_axis
+    }
+
+    /// The N_tr grid.
+    #[must_use]
+    pub fn n_tr_axis(&self) -> &[f64] {
+        &self.n_tr_axis
+    }
+
+    /// The cost values (dollars per transistor), `values[lambda][n_tr]`.
+    #[must_use]
+    pub fn values(&self) -> &[Vec<Option<f64>>] {
+        &self.values
+    }
+
+    /// The cost-minimizing λ for each `N_tr` column: the paper's
+    /// `λ^opt(N_tr)` locus. Entries are `None` when no λ in the grid
+    /// could build the product at all.
+    #[must_use]
+    pub fn optimal_lambda_per_n_tr(&self) -> Vec<Option<(f64, f64)>> {
+        (0..self.n_tr_axis.len())
+            .map(|j| {
+                let mut best: Option<(f64, f64)> = None;
+                for (i, &l) in self.lambda_axis.iter().enumerate() {
+                    if let Some(c) = self.values[i][j] {
+                        if best.is_none_or(|(_, bc)| c < bc) {
+                            best = Some((l, c));
+                        }
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Global minimum `(λ, N_tr, cost)` over the grid, if any cell
+    /// evaluated.
+    #[must_use]
+    pub fn global_minimum(&self) -> Option<(f64, f64, f64)> {
+        let mut best: Option<(f64, f64, f64)> = None;
+        for (i, row) in self.values.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                if let Some(c) = *cell {
+                    if best.is_none_or(|(_, _, bc)| c < bc) {
+                        best = Some((self.lambda_axis[i], self.n_tr_axis[j], c));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig8_surface() -> CostSurface {
+        CostSurface::compute(
+            &SurfaceParameters::fig8(),
+            (0.3, 1.5, 25),
+            (1.0e5, 2.0e7, 20),
+        )
+    }
+
+    #[test]
+    fn surface_axes_match_request() {
+        let s = fig8_surface();
+        assert_eq!(s.lambda_axis().len(), 25);
+        assert_eq!(s.n_tr_axis().len(), 20);
+        assert!((s.lambda_axis()[0] - 0.3).abs() < 1e-12);
+        assert!((s.lambda_axis()[24] - 1.5).abs() < 1e-12);
+        // Log-spaced N_tr: constant ratio between neighbors.
+        let r1 = s.n_tr_axis()[1] / s.n_tr_axis()[0];
+        let r2 = s.n_tr_axis()[11] / s.n_tr_axis()[10];
+        assert!((r1 - r2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_optimum_exists_for_large_designs() {
+        // Fig 8's message: for a multi-million-transistor die, neither the
+        // largest nor the smallest λ in the window is optimal.
+        let s = fig8_surface();
+        let optima = s.optimal_lambda_per_n_tr();
+        let j_large = s.n_tr_axis().len() - 1; // 2e7 transistors
+        let (l_opt, _) = optima[j_large].expect("large design should be buildable somewhere");
+        assert!(
+            l_opt > s.lambda_axis()[0] && l_opt < s.lambda_axis()[24],
+            "λ^opt {l_opt} should be interior"
+        );
+    }
+
+    #[test]
+    fn optimal_lambda_shrinks_with_design_size() {
+        // Larger designs push λ^opt downward (they need the density), but
+        // never to the window edge. Compare a small and a large design.
+        let s = fig8_surface();
+        let optima = s.optimal_lambda_per_n_tr();
+        let small = optima[2].unwrap().0;
+        let large = optima[s.n_tr_axis().len() - 1].unwrap().0;
+        assert!(
+            large <= small,
+            "λ^opt should not grow with N_tr: {small} → {large}"
+        );
+    }
+
+    #[test]
+    fn costs_are_positive_where_defined() {
+        let s = fig8_surface();
+        let mut defined = 0;
+        for row in s.values() {
+            for cell in row.iter().flatten() {
+                assert!(*cell > 0.0);
+                defined += 1;
+            }
+        }
+        assert!(defined > 100, "most of the grid should evaluate");
+    }
+
+    #[test]
+    fn global_minimum_is_consistent_with_columns() {
+        let s = fig8_surface();
+        let (_, _, c_min) = s.global_minimum().unwrap();
+        for col in s.optimal_lambda_per_n_tr().into_iter().flatten() {
+            assert!(col.1 >= c_min - 1e-15);
+        }
+    }
+
+    #[test]
+    fn cost_at_fails_gracefully_for_monster_dies() {
+        let p = SurfaceParameters::fig8();
+        let err = p.cost_at(
+            Microns::new(1.5).unwrap(),
+            TransistorCount::new(5.0e9).unwrap(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "grids need")]
+    fn compute_rejects_degenerate_grid() {
+        let _ = CostSurface::compute(&SurfaceParameters::fig8(), (0.3, 1.5, 1), (1e5, 1e6, 5));
+    }
+}

@@ -1,0 +1,302 @@
+//! Multi-partition system cost (Sec. IV.B).
+//!
+//! "By including in the IC system design process such variables as sizes
+//! of the system's partitions and minimum feature sizes of each partition
+//! one can minimize the overall system cost." A [`SystemDesign`] is a set
+//! of partitions — each a block of transistors at its own density — that
+//! can be assigned to dies with *individually chosen* feature sizes. The
+//! optimizer crate searches this space; this module prices one candidate.
+
+use maly_units::{DesignDensity, Dollars, Microns, Probability, TransistorCount};
+use maly_wafer_geom::Wafer;
+
+use crate::product::ProductScenario;
+use crate::{CostBreakdown, CostError, WaferCostModel};
+
+/// One partition of a system: a block of functionality with its own
+/// transistor count and layout density (e.g. "the cache" vs "the FPU" —
+/// Table 1 shows their densities differ by 6×).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Partition {
+    /// Partition label.
+    pub name: String,
+    /// Transistors in this partition.
+    pub transistors: TransistorCount,
+    /// Layout density of this partition.
+    pub density: DesignDensity,
+}
+
+impl Partition {
+    /// Creates a partition.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        transistors: TransistorCount,
+        density: DesignDensity,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            transistors,
+            density,
+        }
+    }
+}
+
+/// Manufacturing context shared by all partitions of a system study:
+/// wafer, reference yield, and the wafer-cost economics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManufacturingContext {
+    /// The wafer every die is manufactured on.
+    pub wafer: Wafer,
+    /// Reference 1 cm² yield (the Table 3 convention).
+    pub reference_yield: Probability,
+    /// Wafer cost model (`C₀`, `X`).
+    pub wafer_cost: WaferCostModel,
+    /// Fixed per-die overhead added for each *separate* die (packaging,
+    /// handling, per-die test insertion). This is what makes merging
+    /// partitions attractive and creates a real partitioning tradeoff.
+    pub per_die_overhead: Dollars,
+}
+
+/// A system design: partitions, each assigned a feature size; partitions
+/// sharing an assignment index are merged onto one die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemDesign {
+    partitions: Vec<Partition>,
+}
+
+/// Cost report for one evaluated die of a system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieCost {
+    /// Partitions merged onto this die.
+    pub partition_names: Vec<String>,
+    /// Feature size chosen for this die.
+    pub lambda: Microns,
+    /// The eq. (1) breakdown for the die.
+    pub breakdown: CostBreakdown,
+    /// Cost of this die including the per-die overhead.
+    pub die_cost_with_overhead: Dollars,
+}
+
+/// Total cost report for a system candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemCost {
+    /// Per-die reports.
+    pub dies: Vec<DieCost>,
+    /// Total system cost (sum of good-die costs plus overheads).
+    pub total: Dollars,
+}
+
+impl SystemDesign {
+    /// Creates a design from its partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `partitions` is empty.
+    pub fn new(partitions: Vec<Partition>) -> Result<Self, CostError> {
+        if partitions.is_empty() {
+            return Err(CostError::MissingField {
+                field: "partitions",
+            });
+        }
+        Ok(Self { partitions })
+    }
+
+    /// The partitions.
+    #[must_use]
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Total transistor count across partitions.
+    #[must_use]
+    pub fn total_transistors(&self) -> f64 {
+        self.partitions.iter().map(|p| p.transistors.value()).sum()
+    }
+
+    /// Prices a candidate: `grouping[i]` is the die index of partition
+    /// `i`, and `lambdas[die]` the feature size chosen for each die.
+    /// Merged partitions share a die; the die's density is the
+    /// area-preserving blend of its partitions' densities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes are inconsistent, a die index is
+    /// out of range, a die receives no partition, or any die fails to
+    /// evaluate (too large, zero yield).
+    pub fn evaluate(
+        &self,
+        context: &ManufacturingContext,
+        grouping: &[usize],
+        lambdas: &[Microns],
+    ) -> Result<SystemCost, CostError> {
+        if grouping.len() != self.partitions.len() {
+            return Err(CostError::MissingField { field: "grouping" });
+        }
+        let n_dies = lambdas.len();
+        if n_dies == 0 || grouping.iter().any(|&g| g >= n_dies) {
+            return Err(CostError::MissingField { field: "lambdas" });
+        }
+
+        let mut dies = Vec::with_capacity(n_dies);
+        let mut total = Dollars::zero();
+        for (die_idx, &lambda) in lambdas.iter().enumerate() {
+            let members: Vec<&Partition> = grouping
+                .iter()
+                .zip(&self.partitions)
+                .filter_map(|(&g, p)| (g == die_idx).then_some(p))
+                .collect();
+            if members.is_empty() {
+                return Err(CostError::MissingField {
+                    field: "die members",
+                });
+            }
+            // Blend densities so the merged die area is the sum of the
+            // partitions' areas: d_blend = Σ(n_i·d_i) / Σ(n_i).
+            let n_total: f64 = members.iter().map(|p| p.transistors.value()).sum();
+            let weighted: f64 = members
+                .iter()
+                .map(|p| p.transistors.value() * p.density.value())
+                .sum();
+            let blend = DesignDensity::new(weighted / n_total)?;
+
+            let scenario = ProductScenario::builder(
+                members
+                    .iter()
+                    .map(|p| p.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join("+"),
+            )
+            .transistors(n_total)?
+            .feature_size_um(lambda.value())?
+            .design_density(blend.value())?
+            .wafer(context.wafer)
+            .reference_yield(context.reference_yield.value())?
+            .reference_wafer_cost(context.wafer_cost.reference_cost().value())?
+            .cost_escalation(context.wafer_cost.escalation_factor())?
+            .generation_rate(context.wafer_cost.generation_rate())
+            .build()?;
+
+            let breakdown = scenario.evaluate()?;
+            let die_cost = breakdown.cost_per_good_die + context.per_die_overhead;
+            total = total + die_cost;
+            dies.push(DieCost {
+                partition_names: members.iter().map(|p| p.name.clone()).collect(),
+                lambda,
+                breakdown,
+                die_cost_with_overhead: die_cost,
+            });
+        }
+        Ok(SystemCost { dies, total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partition(name: &str, n_tr: f64, d_d: f64) -> Partition {
+        Partition::new(
+            name,
+            TransistorCount::new(n_tr).unwrap(),
+            DesignDensity::new(d_d).unwrap(),
+        )
+    }
+
+    fn context() -> ManufacturingContext {
+        ManufacturingContext {
+            wafer: Wafer::six_inch(),
+            reference_yield: Probability::new(0.7).unwrap(),
+            wafer_cost: WaferCostModel::new(Dollars::new(700.0).unwrap(), 1.8).unwrap(),
+            per_die_overhead: Dollars::new(5.0).unwrap(),
+        }
+    }
+
+    fn um(v: f64) -> Microns {
+        Microns::new(v).unwrap()
+    }
+
+    fn two_block_system() -> SystemDesign {
+        SystemDesign::new(vec![
+            partition("cache", 2.0e6, 45.0),
+            partition("logic", 1.0e6, 250.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn merged_and_split_candidates_both_price() {
+        let sys = two_block_system();
+        let ctx = context();
+        let merged = sys.evaluate(&ctx, &[0, 0], &[um(0.8)]).unwrap();
+        assert_eq!(merged.dies.len(), 1);
+        assert_eq!(merged.dies[0].partition_names, vec!["cache", "logic"]);
+        let split = sys.evaluate(&ctx, &[0, 1], &[um(0.8), um(0.8)]).unwrap();
+        assert_eq!(split.dies.len(), 2);
+        assert!(merged.total.value() > 0.0 && split.total.value() > 0.0);
+    }
+
+    #[test]
+    fn blended_density_preserves_total_area() {
+        let sys = two_block_system();
+        let ctx = context();
+        let merged = sys.evaluate(&ctx, &[0, 0], &[um(0.8)]).unwrap();
+        // Expected blend: (2e6·45 + 1e6·250)/3e6 = 113.33; area =
+        // 3e6·113.33·0.64 µm² = 2.176 cm².
+        let die_area = merged.dies[0].breakdown.die_yield; // yield encodes area via Y0^A
+        let expected_area = 3.0e6 * (340.0 / 3.0) * 0.64 * 1e-8;
+        let expected_yield = 0.7f64.powf(expected_area);
+        assert!((die_area.value() - expected_yield).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_die_overhead_penalizes_splitting() {
+        // With a huge per-die overhead, merging must win.
+        let sys = two_block_system();
+        let mut ctx = context();
+        ctx.per_die_overhead = Dollars::new(500.0).unwrap();
+        let merged = sys.evaluate(&ctx, &[0, 0], &[um(0.8)]).unwrap();
+        let split = sys.evaluate(&ctx, &[0, 1], &[um(0.8), um(0.8)]).unwrap();
+        assert!(merged.total < split.total);
+    }
+
+    #[test]
+    fn per_partition_lambda_choice_matters() {
+        // Splitting lets the dense cache shrink while the sparse logic
+        // stays at a cheap node; verify the knob actually moves cost.
+        let sys = two_block_system();
+        let ctx = context();
+        let uniform = sys.evaluate(&ctx, &[0, 1], &[um(0.8), um(0.8)]).unwrap();
+        let tuned = sys.evaluate(&ctx, &[0, 1], &[um(0.5), um(1.0)]).unwrap();
+        assert!((uniform.total.value() - tuned.total.value()).abs() > 1e-6);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let sys = two_block_system();
+        let ctx = context();
+        assert!(sys.evaluate(&ctx, &[0], &[um(0.8)]).is_err());
+        assert!(sys.evaluate(&ctx, &[0, 5], &[um(0.8)]).is_err());
+        assert!(sys.evaluate(&ctx, &[0, 0], &[]).is_err());
+        // A die with no members is rejected.
+        assert!(sys.evaluate(&ctx, &[0, 0], &[um(0.8), um(0.8)]).is_err());
+    }
+
+    #[test]
+    fn empty_system_rejected() {
+        assert!(SystemDesign::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn total_is_sum_of_dies() {
+        let sys = two_block_system();
+        let ctx = context();
+        let split = sys.evaluate(&ctx, &[0, 1], &[um(0.8), um(0.65)]).unwrap();
+        let sum: f64 = split
+            .dies
+            .iter()
+            .map(|d| d.die_cost_with_overhead.value())
+            .sum();
+        assert!((split.total.value() - sum).abs() < 1e-9);
+    }
+}

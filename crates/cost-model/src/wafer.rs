@@ -1,0 +1,300 @@
+//! Wafer cost models: eqs (2) and (3).
+
+use maly_units::{Dollars, Microns, UnitError};
+
+/// Eq. (3): the feature-size escalation of the "pure" wafer cost,
+/// `C'_w(λ) = C₀ · X^{k·(1−λ)}` with λ in µm.
+///
+/// `C₀` is the cost of the reference wafer (1 µm, 6-inch in the paper);
+/// `X` is "the rate of the cost increase measured per single technology
+/// generation" — reported as 1.6 (Intel), 1.6–2.4 (Mitsubishi), 1.5–2.0
+/// (Hitachi), 1.79 (\[12\]), and 1.2–1.4 extracted from Fig 2. The
+/// generation rate `k` converts a λ-gap into generation counts; see the
+/// crate-level calibration note for why `k = 5 /µm` (not the printed 0.5).
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::{Dollars, Microns};
+/// use maly_cost_model::WaferCostModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = WaferCostModel::new(Dollars::new(700.0)?, 1.4)?;
+/// // One λ-unit below the reference: one full factor of X... at 0.8 µm
+/// // the exponent is 5·0.2 = 1, so C_w = 700 · 1.4 = 980 $.
+/// let c = model.wafer_cost(Microns::new(0.8)?);
+/// assert!((c.value() - 980.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WaferCostModel {
+    c0: Dollars,
+    x: f64,
+    generation_rate: f64,
+    reference_lambda_um: f64,
+}
+
+impl WaferCostModel {
+    /// The calibrated generation rate `k = 5 /µm` (DESIGN.md §1).
+    pub const CALIBRATED_GENERATION_RATE: f64 = 5.0;
+    /// The exponent coefficient exactly as printed in the DAC-94 scan,
+    /// kept for comparison studies; it does not reproduce the paper's
+    /// own numbers.
+    pub const AS_PRINTED_GENERATION_RATE: f64 = 0.5;
+
+    /// Creates the model with reference cost `C₀` (for a 1 µm wafer) and
+    /// escalation factor `X`, using the calibrated generation rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `X ≥ 1` and finite (the paper's premise is
+    /// that wafer costs never fall with shrinking λ).
+    pub fn new(c0: Dollars, x: f64) -> Result<Self, UnitError> {
+        Self::with_generation_rate(c0, x, Self::CALIBRATED_GENERATION_RATE)
+    }
+
+    /// Creates the model with an explicit generation rate `k`
+    /// (exponent `k·(1−λ)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `X ≥ 1` and `k > 0`, both finite.
+    pub fn with_generation_rate(c0: Dollars, x: f64, k: f64) -> Result<Self, UnitError> {
+        if !x.is_finite() || x < 1.0 {
+            return Err(UnitError::OutOfRange {
+                quantity: "cost escalation factor X",
+                value: x,
+                min: 1.0,
+                max: f64::INFINITY,
+            });
+        }
+        if !k.is_finite() || k <= 0.0 {
+            return Err(UnitError::NotPositive {
+                quantity: "generation rate",
+                value: k,
+            });
+        }
+        Ok(Self {
+            c0,
+            x,
+            generation_rate: k,
+            reference_lambda_um: 1.0,
+        })
+    }
+
+    /// Reference wafer cost `C₀`.
+    #[must_use]
+    pub fn reference_cost(&self) -> Dollars {
+        self.c0
+    }
+
+    /// Escalation factor `X`.
+    #[must_use]
+    pub fn escalation_factor(&self) -> f64 {
+        self.x
+    }
+
+    /// Generation rate `k` in the exponent `k·(1−λ)`.
+    #[must_use]
+    pub fn generation_rate(&self) -> f64 {
+        self.generation_rate
+    }
+
+    /// Pure manufacturing wafer cost `C'_w(λ)`.
+    #[must_use]
+    pub fn wafer_cost(&self, lambda: Microns) -> Dollars {
+        let exponent = self.generation_rate * (self.reference_lambda_um - lambda.value());
+        self.c0 * self.x.powf(exponent)
+    }
+
+    /// Ratio of wafer costs between two nodes — handy for shrink studies.
+    #[must_use]
+    pub fn cost_ratio(&self, from: Microns, to: Microns) -> f64 {
+        self.wafer_cost(to) / self.wafer_cost(from)
+    }
+}
+
+/// Eq. (2): total per-wafer cost under a production volume,
+/// `C_w(V) = C'_w + C_over / V`.
+///
+/// `C_over` is the fixed overhead (R&D, masks, management) amortized over
+/// `V` wafers. Scenario assumptions S1.4/S2.4 use `C_over = 0` (high
+/// volume, low overhead); ASIC-style products carry \$100 k – \$100 M.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::Dollars;
+/// use maly_cost_model::VolumeCostModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = VolumeCostModel::new(Dollars::new(900.0)?, Dollars::new(1.0e6)?);
+/// // 10k wafers amortize $1M to $100/wafer.
+/// assert!((model.cost_at_volume(10_000)?.value() - 1000.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct VolumeCostModel {
+    true_cost: Dollars,
+    overhead: Dollars,
+}
+
+impl VolumeCostModel {
+    /// Creates the model from the true per-wafer cost `C'_w` and the
+    /// fixed overhead `C_over`.
+    #[must_use]
+    pub fn new(true_cost: Dollars, overhead: Dollars) -> Self {
+        Self {
+            true_cost,
+            overhead,
+        }
+    }
+
+    /// True (variable) per-wafer cost `C'_w`.
+    #[must_use]
+    pub fn true_cost(&self) -> Dollars {
+        self.true_cost
+    }
+
+    /// Fixed overhead `C_over`.
+    #[must_use]
+    pub fn overhead(&self) -> Dollars {
+        self.overhead
+    }
+
+    /// Per-wafer cost at a production volume of `wafers` wafers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `wafers` is zero (the overhead cannot be
+    /// amortized over nothing).
+    pub fn cost_at_volume(&self, wafers: u64) -> Result<Dollars, UnitError> {
+        if wafers == 0 {
+            return Err(UnitError::NotPositive {
+                quantity: "production volume",
+                value: 0.0,
+            });
+        }
+        Ok(self.true_cost + self.overhead / wafers as f64)
+    }
+
+    /// The volume at which overhead inflates the wafer cost by no more
+    /// than `fraction` (e.g. 0.05 for "within 5% of the true cost").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not positive and finite.
+    #[must_use]
+    pub fn volume_for_overhead_fraction(&self, fraction: f64) -> u64 {
+        assert!(
+            fraction.is_finite() && fraction > 0.0,
+            "fraction must be positive, got {fraction}"
+        );
+        if self.true_cost.value() == 0.0 {
+            return u64::MAX;
+        }
+        (self.overhead.value() / (self.true_cost.value() * fraction)).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(v: f64) -> Microns {
+        Microns::new(v).unwrap()
+    }
+
+    fn dollars(v: f64) -> Dollars {
+        Dollars::new(v).unwrap()
+    }
+
+    #[test]
+    fn reference_node_costs_c0() {
+        let m = WaferCostModel::new(dollars(500.0), 1.8).unwrap();
+        assert!((m.wafer_cost(um(1.0)).value() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_wafer_costs() {
+        // Row 1: C0=700, X=1.4, λ=0.8 → 980 $.
+        let m = WaferCostModel::new(dollars(700.0), 1.4).unwrap();
+        assert!((m.wafer_cost(um(0.8)).value() - 980.0).abs() < 1e-9);
+        // Row 13: C0=600, X=1.8, λ=0.25 → 600·1.8^3.75 ≈ 5436 $.
+        let m = WaferCostModel::new(dollars(600.0), 1.8).unwrap();
+        assert!((m.wafer_cost(um(0.25)).value() - 600.0 * 1.8f64.powf(3.75)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cost_grows_as_lambda_shrinks() {
+        let m = WaferCostModel::new(dollars(500.0), 1.4).unwrap();
+        let mut last = 0.0;
+        for l in [2.0, 1.5, 1.0, 0.8, 0.5, 0.35, 0.25] {
+            let c = m.wafer_cost(um(l)).value();
+            assert!(c > last, "cost must grow down the ladder");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn larger_x_costs_more_below_reference() {
+        let cheap = WaferCostModel::new(dollars(500.0), 1.1).unwrap();
+        let dear = WaferCostModel::new(dollars(500.0), 2.4).unwrap();
+        assert!(dear.wafer_cost(um(0.5)) > cheap.wafer_cost(um(0.5)));
+        // Above the reference node the ordering flips (negative exponent).
+        assert!(dear.wafer_cost(um(1.5)) < cheap.wafer_cost(um(1.5)));
+    }
+
+    #[test]
+    fn as_printed_rate_is_much_flatter() {
+        let calibrated = WaferCostModel::new(dollars(500.0), 1.8).unwrap();
+        let printed = WaferCostModel::with_generation_rate(
+            dollars(500.0),
+            1.8,
+            WaferCostModel::AS_PRINTED_GENERATION_RATE,
+        )
+        .unwrap();
+        let ratio_cal = calibrated.cost_ratio(um(1.0), um(0.25));
+        let ratio_prt = printed.cost_ratio(um(1.0), um(0.25));
+        // Calibrated: 1.8^3.75 ≈ 9.06; printed: 1.8^0.375 ≈ 1.25.
+        assert!(ratio_cal > 9.0);
+        assert!(ratio_prt < 1.3);
+    }
+
+    #[test]
+    fn x_below_one_is_rejected() {
+        assert!(WaferCostModel::new(dollars(500.0), 0.9).is_err());
+        assert!(WaferCostModel::new(dollars(500.0), f64::NAN).is_err());
+        assert!(WaferCostModel::with_generation_rate(dollars(500.0), 1.4, 0.0).is_err());
+    }
+
+    #[test]
+    fn volume_amortization() {
+        let m = VolumeCostModel::new(dollars(900.0), dollars(1.0e6));
+        assert!((m.cost_at_volume(1).unwrap().value() - 1_000_900.0).abs() < 1e-6);
+        assert!((m.cost_at_volume(1_000_000).unwrap().value() - 901.0).abs() < 1e-9);
+        assert!(m.cost_at_volume(0).is_err());
+    }
+
+    #[test]
+    fn volume_for_overhead_fraction_is_consistent() {
+        let m = VolumeCostModel::new(dollars(900.0), dollars(1.0e6));
+        let v = m.volume_for_overhead_fraction(0.05);
+        let at_v = m.cost_at_volume(v).unwrap().value();
+        assert!(at_v <= 900.0 * 1.05 + 1e-9);
+        // One wafer fewer violates the bound.
+        let before = m.cost_at_volume(v - 1).unwrap().value();
+        assert!(before > 900.0 * 1.05 - 1.0);
+    }
+
+    #[test]
+    fn zero_overhead_is_volume_independent() {
+        let m = VolumeCostModel::new(dollars(900.0), Dollars::zero());
+        assert_eq!(
+            m.cost_at_volume(1).unwrap(),
+            m.cost_at_volume(1_000_000).unwrap()
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Pareto-front extraction for cost/benefit studies.
+//!
+//! Many of the paper's decisions trade cost against a benefit that is
+//! not priced (performance, time to market, coverage). For those, the
+//! honest output is the Pareto front, not a single winner.
+
+/// A labeled design point: cost to minimize, benefit to maximize.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DesignPoint<T> {
+    /// Caller's payload (the design this point represents).
+    pub design: T,
+    /// Cost (lower is better).
+    pub cost: f64,
+    /// Benefit (higher is better).
+    pub benefit: f64,
+}
+
+impl<T> DesignPoint<T> {
+    /// Creates a point.
+    pub fn new(design: T, cost: f64, benefit: f64) -> Self {
+        Self {
+            design,
+            cost,
+            benefit,
+        }
+    }
+
+    /// True when `other` is at least as good on both axes and strictly
+    /// better on one.
+    #[must_use]
+    pub fn dominated_by(&self, other: &DesignPoint<T>) -> bool {
+        let as_good = other.cost <= self.cost && other.benefit >= self.benefit;
+        let strictly = other.cost < self.cost || other.benefit > self.benefit;
+        as_good && strictly
+    }
+}
+
+/// Extracts the Pareto front (non-dominated points), sorted by ascending
+/// cost. Duplicate-coordinate points all survive.
+#[must_use]
+pub fn pareto_front<T: Clone>(points: &[DesignPoint<T>]) -> Vec<DesignPoint<T>> {
+    let mut front: Vec<DesignPoint<T>> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| p.dominated_by(q)))
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(name: &str, cost: f64, benefit: f64) -> DesignPoint<String> {
+        DesignPoint::new(name.to_string(), cost, benefit)
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let points = vec![
+            pt("cheap-slow", 1.0, 1.0),
+            pt("dear-fast", 3.0, 3.0),
+            pt("dominated", 2.0, 0.5), // worse than cheap-slow on both
+        ];
+        let front = pareto_front(&points);
+        let names: Vec<&str> = front.iter().map(|p| p.design.as_str()).collect();
+        assert_eq!(names, vec!["cheap-slow", "dear-fast"]);
+    }
+
+    #[test]
+    fn front_is_sorted_by_cost() {
+        let points = vec![pt("b", 2.0, 5.0), pt("a", 1.0, 2.0), pt("c", 3.0, 9.0)];
+        let front = pareto_front(&points);
+        let costs: Vec<f64> = front.iter().map(|p| p.cost).collect();
+        assert_eq!(costs, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identical_points_all_survive() {
+        let points = vec![pt("a", 1.0, 1.0), pt("b", 1.0, 1.0)];
+        assert_eq!(pareto_front(&points).len(), 2);
+    }
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        let points = vec![pt("only", 5.0, 5.0)];
+        assert_eq!(pareto_front(&points).len(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_front() {
+        let points: Vec<DesignPoint<String>> = vec![];
+        assert!(pareto_front(&points).is_empty());
+    }
+
+    #[test]
+    fn domination_is_strict() {
+        let a = pt("a", 1.0, 1.0);
+        let b = pt("b", 1.0, 1.0);
+        assert!(!a.dominated_by(&b));
+        let better = pt("c", 1.0, 2.0);
+        assert!(a.dominated_by(&better));
+        assert!(!better.dominated_by(&a));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the optimizers.
+
+use maly_cost_model::system::{ManufacturingContext, Partition, SystemDesign};
+use maly_cost_model::WaferCostModel;
+use maly_cost_optim::pareto::{pareto_front, DesignPoint};
+use maly_cost_optim::partition::{optimize, set_partitions};
+use maly_cost_optim::search::{golden_section, grid_min};
+use maly_units::{DesignDensity, Dollars, Microns, Probability, TransistorCount};
+use maly_wafer_geom::Wafer;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Golden section finds the vertex of any parabola.
+    #[test]
+    fn golden_section_solves_quadratics(center in -50.0f64..50.0, scale in 0.1f64..10.0,
+                                        offset in -10.0f64..10.0) {
+        let f = |x: f64| scale * (x - center).powi(2) + offset;
+        let (x, fx) = golden_section(f, center - 60.0, center + 60.0, 1e-9);
+        prop_assert!((x - center).abs() < 1e-6);
+        prop_assert!((fx - offset).abs() < 1e-9);
+    }
+
+    /// Grid minimization never returns a value above any sampled point.
+    #[test]
+    fn grid_min_is_a_lower_envelope(seed in 0u64..1000) {
+        // A deterministic "random-looking" bumpy function.
+        let f = move |x: f64| ((x * 7.3 + seed as f64).sin() + (x * 1.9).cos()) * x.abs();
+        let (_, fmin) = grid_min(f, -5.0, 5.0, 501);
+        for i in 0..501 {
+            let x = -5.0 + 10.0 * i as f64 / 500.0;
+            prop_assert!(fmin <= f(x) + 1e-12);
+        }
+    }
+
+    /// Pareto front: nothing on the front is dominated by anything in
+    /// the input, and everything off the front is dominated by someone.
+    #[test]
+    fn pareto_front_is_exact(points in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..25)) {
+        let designs: Vec<DesignPoint<usize>> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, b))| DesignPoint::new(i, c, b))
+            .collect();
+        let front = pareto_front(&designs);
+        prop_assert!(!front.is_empty());
+        for f in &front {
+            prop_assert!(!designs.iter().any(|q| f.dominated_by(q)));
+        }
+        for d in &designs {
+            let on_front = front.iter().any(|f| f.design == d.design);
+            if !on_front {
+                prop_assert!(designs.iter().any(|q| d.dominated_by(q)));
+            }
+        }
+    }
+
+    /// The partition optimizer's answer is no worse than any candidate
+    /// assignment drawn from its own search space.
+    #[test]
+    fn optimizer_dominates_arbitrary_assignments(
+        n_a in 2.0e5f64..3.0e6, n_b in 2.0e5f64..3.0e6,
+        d_a in 40.0f64..400.0, d_b in 40.0f64..400.0,
+        grouping_pick in 0usize..2, lambda_pick in 0usize..4,
+    ) {
+        let system = SystemDesign::new(vec![
+            Partition::new("a", TransistorCount::new(n_a).unwrap(),
+                           DesignDensity::new(d_a).unwrap()),
+            Partition::new("b", TransistorCount::new(n_b).unwrap(),
+                           DesignDensity::new(d_b).unwrap()),
+        ]).unwrap();
+        let ctx = ManufacturingContext {
+            wafer: Wafer::six_inch(),
+            reference_yield: Probability::new(0.7).unwrap(),
+            wafer_cost: WaferCostModel::new(Dollars::new(700.0).unwrap(), 1.8).unwrap(),
+            per_die_overhead: Dollars::new(5.0).unwrap(),
+        };
+        let nodes = [1.0, 0.8, 0.65, 0.5];
+        let ladder: Vec<Microns> = nodes.iter().map(|&l| Microns::new(l).unwrap()).collect();
+        let best = optimize(&system, &ctx, &ladder).unwrap();
+
+        // An arbitrary candidate from the same space.
+        let grouping = set_partitions(2)[grouping_pick].clone();
+        let n_dies = grouping.iter().max().unwrap() + 1;
+        let lambdas = vec![Microns::new(nodes[lambda_pick]).unwrap(); n_dies];
+        if let Ok(candidate) = system.evaluate(&ctx, &grouping, &lambdas) {
+            prop_assert!(
+                best.cost.total.value() <= candidate.total.value() + 1e-9,
+                "optimizer {} beaten by candidate {}",
+                best.cost.total.value(),
+                candidate.total.value()
+            );
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Equipment classes and their cost of ownership.
+
+use maly_units::Dollars;
+
+/// The broad tool families of a CMOS fab.
+///
+/// Granular enough that different products load the fab differently (a
+/// 3-metal logic flow leans on deposition/etch; a DRAM flow leans on
+/// furnaces and implant), which is what creates the product-mix effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ToolFamily {
+    /// Photolithography steppers and tracks.
+    Lithography,
+    /// Plasma/wet etchers.
+    Etch,
+    /// Ion implanters.
+    Implant,
+    /// CVD/PVD deposition systems.
+    Deposition,
+    /// Diffusion/oxidation furnaces and RTP.
+    Furnace,
+    /// CMP and cleaning.
+    Planarization,
+    /// Inline metrology and inspection.
+    Metrology,
+}
+
+impl ToolFamily {
+    /// All families, in a stable order.
+    pub const ALL: [ToolFamily; 7] = [
+        ToolFamily::Lithography,
+        ToolFamily::Etch,
+        ToolFamily::Implant,
+        ToolFamily::Deposition,
+        ToolFamily::Furnace,
+        ToolFamily::Planarization,
+        ToolFamily::Metrology,
+    ];
+}
+
+impl std::fmt::Display for ToolFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ToolFamily::Lithography => "lithography",
+            ToolFamily::Etch => "etch",
+            ToolFamily::Implant => "implant",
+            ToolFamily::Deposition => "deposition",
+            ToolFamily::Furnace => "furnace",
+            ToolFamily::Planarization => "planarization",
+            ToolFamily::Metrology => "metrology",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One tool model: throughput and the *fixed* annual cost of owning a
+/// unit — depreciation, floor space, maintenance contracts and staffing,
+/// paid whether the tool processes wafers or idles. This fixity is the
+/// entire product-mix story.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::Dollars;
+/// use maly_fabline_sim::equipment::{EquipmentClass, ToolFamily};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stepper = EquipmentClass::new(
+///     ToolFamily::Lithography,
+///     60.0, // wafer-steps per hour
+///     Dollars::new(2.0e6)?, // annual cost of ownership
+/// );
+/// // Available wafer-steps per year at 85% uptime:
+/// assert!(stepper.annual_capacity_steps() > 400_000.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EquipmentClass {
+    family: ToolFamily,
+    wafer_steps_per_hour: f64,
+    annual_cost: Dollars,
+}
+
+/// Scheduled hours per year (24×7 operation).
+pub const HOURS_PER_YEAR: f64 = 24.0 * 365.0;
+/// Fraction of scheduled time a tool is actually available for production
+/// (the remainder is maintenance and qualification).
+pub const AVAILABILITY: f64 = 0.85;
+
+impl EquipmentClass {
+    /// Creates an equipment class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wafer_steps_per_hour` is not positive and finite.
+    #[must_use]
+    pub fn new(family: ToolFamily, wafer_steps_per_hour: f64, annual_cost: Dollars) -> Self {
+        assert!(
+            wafer_steps_per_hour.is_finite() && wafer_steps_per_hour > 0.0,
+            "throughput must be positive, got {wafer_steps_per_hour}"
+        );
+        Self {
+            family,
+            wafer_steps_per_hour,
+            annual_cost,
+        }
+    }
+
+    /// Tool family.
+    #[must_use]
+    pub fn family(&self) -> ToolFamily {
+        self.family
+    }
+
+    /// Throughput in wafer-steps per hour.
+    #[must_use]
+    pub fn wafer_steps_per_hour(&self) -> f64 {
+        self.wafer_steps_per_hour
+    }
+
+    /// Fixed annual cost of ownership per unit.
+    #[must_use]
+    pub fn annual_cost(&self) -> Dollars {
+        self.annual_cost
+    }
+
+    /// Wafer-steps one unit can perform per year at standard availability.
+    #[must_use]
+    pub fn annual_capacity_steps(&self) -> f64 {
+        self.wafer_steps_per_hour * HOURS_PER_YEAR * AVAILABILITY
+    }
+
+    /// Hours of tool time consumed by `steps` wafer-steps.
+    #[must_use]
+    pub fn hours_for_steps(&self, steps: f64) -> f64 {
+        steps / self.wafer_steps_per_hour
+    }
+}
+
+/// A representative early-1990s toolset: one entry per family with
+/// throughputs and ownership costs in the right relative proportions
+/// (litho is the most expensive and the usual bottleneck).
+#[must_use]
+pub fn standard_toolset() -> Vec<EquipmentClass> {
+    let dollars = |v: f64| Dollars::new(v).expect("positive");
+    vec![
+        EquipmentClass::new(ToolFamily::Lithography, 60.0, dollars(2.4e6)),
+        EquipmentClass::new(ToolFamily::Etch, 45.0, dollars(1.2e6)),
+        EquipmentClass::new(ToolFamily::Implant, 80.0, dollars(1.5e6)),
+        EquipmentClass::new(ToolFamily::Deposition, 50.0, dollars(1.1e6)),
+        EquipmentClass::new(ToolFamily::Furnace, 120.0, dollars(0.6e6)),
+        EquipmentClass::new(ToolFamily::Planarization, 55.0, dollars(0.9e6)),
+        EquipmentClass::new(ToolFamily::Metrology, 100.0, dollars(0.7e6)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_throughput_times_available_hours() {
+        let c = EquipmentClass::new(ToolFamily::Etch, 10.0, Dollars::new(1.0e6).unwrap());
+        let expected = 10.0 * HOURS_PER_YEAR * AVAILABILITY;
+        assert!((c.annual_capacity_steps() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hours_for_steps_inverts_throughput() {
+        let c = EquipmentClass::new(ToolFamily::Etch, 40.0, Dollars::new(1.0e6).unwrap());
+        assert!((c.hours_for_steps(80.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_toolset_covers_all_families() {
+        let set = standard_toolset();
+        for family in ToolFamily::ALL {
+            assert!(set.iter().any(|c| c.family() == family), "missing {family}");
+        }
+    }
+
+    #[test]
+    fn lithography_is_the_most_expensive_tool() {
+        let set = standard_toolset();
+        let litho = set
+            .iter()
+            .find(|c| c.family() == ToolFamily::Lithography)
+            .unwrap();
+        for c in &set {
+            assert!(litho.annual_cost().value() >= c.annual_cost().value());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput")]
+    fn zero_throughput_rejected() {
+        let _ = EquipmentClass::new(ToolFamily::Etch, 0.0, Dollars::new(1.0).unwrap());
+    }
+
+    #[test]
+    fn families_display_lowercase() {
+        assert_eq!(ToolFamily::Lithography.to_string(), "lithography");
+        assert_eq!(ToolFamily::Metrology.to_string(), "metrology");
+    }
+}

@@ -1,0 +1,178 @@
+//! Process flows: per-product step sequences.
+
+use crate::equipment::ToolFamily;
+
+/// One manufacturing step: which tool family it runs on.
+///
+/// Step *duration* comes from the tool's throughput, so the step itself
+/// only carries routing information (plus a label for traceability).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ProcessStep {
+    /// Human-readable step label, e.g. `"metal2 litho"`.
+    pub label: String,
+    /// Tool family the step occupies.
+    pub family: ToolFamily,
+}
+
+/// A product's full step sequence.
+///
+/// # Examples
+///
+/// ```
+/// use maly_fabline_sim::process::ProcessFlow;
+///
+/// let coarse = ProcessFlow::for_generation("cmos-1.0", 1.0);
+/// let fine = ProcessFlow::for_generation("cmos-0.35", 0.35);
+/// // Fig 4: step counts grow as features shrink.
+/// assert!(fine.step_count() > coarse.step_count());
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProcessFlow {
+    name: String,
+    steps: Vec<ProcessStep>,
+}
+
+impl ProcessFlow {
+    /// Creates a flow from explicit steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty — a product with no steps is not a
+    /// product.
+    #[must_use]
+    pub fn new(name: impl Into<String>, steps: Vec<ProcessStep>) -> Self {
+        assert!(!steps.is_empty(), "a process flow needs at least one step");
+        Self {
+            name: name.into(),
+            steps,
+        }
+    }
+
+    /// Synthesizes a CMOS-like flow for a technology generation.
+    ///
+    /// The total step count follows the Fig 4 trend
+    /// (≈ `230·λ^{−0.55}`, matching the dataset in `maly-tech-trend`:
+    /// ~230 steps at 1 µm rising to ~500 at 0.25 µm), distributed over
+    /// tool families in typical proportions. Each mask level contributes
+    /// a litho–etch–metrology triplet; implant/deposition/furnace fill
+    /// the rest.
+    #[must_use]
+    pub fn for_generation(name: impl Into<String>, lambda_um: f64) -> Self {
+        assert!(
+            lambda_um.is_finite() && lambda_um > 0.0,
+            "feature size must be positive, got {lambda_um}"
+        );
+        let total = (230.0 * lambda_um.powf(-0.55)).round() as usize;
+        // Proportions (sum = 1): litho-heavy back end as processes grow.
+        let proportions: [(ToolFamily, f64); 7] = [
+            (ToolFamily::Lithography, 0.18),
+            (ToolFamily::Etch, 0.16),
+            (ToolFamily::Implant, 0.10),
+            (ToolFamily::Deposition, 0.18),
+            (ToolFamily::Furnace, 0.14),
+            (ToolFamily::Planarization, 0.09),
+            (ToolFamily::Metrology, 0.15),
+        ];
+        let mut steps = Vec::with_capacity(total);
+        for (family, share) in proportions {
+            let count = ((total as f64) * share).round().max(1.0) as usize;
+            for i in 0..count {
+                steps.push(ProcessStep {
+                    label: format!("{family} {}", i + 1),
+                    family,
+                });
+            }
+        }
+        Self::new(name, steps)
+    }
+
+    /// Flow name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered steps.
+    #[must_use]
+    pub fn steps(&self) -> &[ProcessStep] {
+        &self.steps
+    }
+
+    /// Total step count.
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of steps routed to a given family.
+    #[must_use]
+    pub fn steps_on(&self, family: ToolFamily) -> usize {
+        self.steps.iter().filter(|s| s.family == family).count()
+    }
+
+    /// Returns a variant flow that biases `extra` additional steps onto
+    /// one family — used to build *deliberately dissimilar* product mixes
+    /// (e.g. a BiCMOS flow with extra implant, a DRAM flow with extra
+    /// furnace time).
+    #[must_use]
+    pub fn with_extra_steps(mut self, family: ToolFamily, extra: usize) -> Self {
+        for i in 0..extra {
+            self.steps.push(ProcessStep {
+                label: format!("{family} extra {}", i + 1),
+                family,
+            });
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_counts_follow_fig4_trend() {
+        let at_1um = ProcessFlow::for_generation("a", 1.0).step_count();
+        let at_05 = ProcessFlow::for_generation("b", 0.5).step_count();
+        let at_025 = ProcessFlow::for_generation("c", 0.25).step_count();
+        assert!((200..=260).contains(&at_1um), "1 µm: {at_1um}");
+        assert!(at_05 > at_1um);
+        assert!(at_025 > at_05);
+        assert!((450..=560).contains(&at_025), "0.25 µm: {at_025}");
+    }
+
+    #[test]
+    fn every_family_is_used() {
+        let flow = ProcessFlow::for_generation("x", 0.8);
+        for family in ToolFamily::ALL {
+            assert!(flow.steps_on(family) > 0, "family {family} unused");
+        }
+    }
+
+    #[test]
+    fn family_counts_sum_to_total() {
+        let flow = ProcessFlow::for_generation("x", 0.8);
+        let sum: usize = ToolFamily::ALL.iter().map(|&f| flow.steps_on(f)).sum();
+        assert_eq!(sum, flow.step_count());
+    }
+
+    #[test]
+    fn extra_steps_bias_one_family() {
+        let base = ProcessFlow::for_generation("x", 0.8);
+        let litho_before = base.steps_on(ToolFamily::Implant);
+        let biased = base.with_extra_steps(ToolFamily::Implant, 40);
+        assert_eq!(biased.steps_on(ToolFamily::Implant), litho_before + 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_flow_rejected() {
+        let _ = ProcessFlow::new("empty", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature size")]
+    fn bad_generation_rejected() {
+        let _ = ProcessFlow::for_generation("bad", -0.5);
+    }
+}

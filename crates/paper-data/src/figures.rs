@@ -1,0 +1,123 @@
+//! Figure parameter sets as printed in the captions.
+
+/// Fig 6 caption: "Cost per transistor computed for X = 1.1, 1.2 and
+/// 1.3, respectively and C₀ = \$500, d_d = 30 and R_w = 7.5 cm."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6Parameters {
+    /// The three plotted escalation factors.
+    pub x_values: [f64; 3],
+    /// Reference wafer cost ($).
+    pub c0: f64,
+    /// Design density (λ²/tr) — DRAM-class.
+    pub design_density: f64,
+    /// Wafer radius (cm).
+    pub wafer_radius_cm: f64,
+    /// λ sweep range (µm), inferred from the plotted axis.
+    pub lambda_range: (f64, f64),
+}
+
+/// The printed Fig 6 parameters.
+#[must_use]
+pub fn fig6() -> Fig6Parameters {
+    Fig6Parameters {
+        x_values: [1.1, 1.2, 1.3],
+        c0: 500.0,
+        design_density: 30.0,
+        wafer_radius_cm: 7.5,
+        lambda_range: (0.25, 1.0),
+    }
+}
+
+/// Fig 7 caption: "Cost per transistor computed as a function of minimum
+/// feature size (C₀ = \$500, d_d = 200 and R_w = 7.5 cm)", with
+/// Scenario #2 assumptions: X ∈ [1.8, 2.4], Y₀ = 70% for a 1 cm² die,
+/// `A_ch(λ) = 16.5·e^{−5.3λ}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig7Parameters {
+    /// Plotted escalation factors (the S.2.1 range).
+    pub x_values: [f64; 4],
+    /// Reference wafer cost ($).
+    pub c0: f64,
+    /// Design density (λ²/tr) — custom-logic class.
+    pub design_density: f64,
+    /// Wafer radius (cm).
+    pub wafer_radius_cm: f64,
+    /// Reference yield for a 1 cm² die.
+    pub reference_yield: f64,
+    /// λ sweep range (µm).
+    pub lambda_range: (f64, f64),
+}
+
+/// The printed Fig 7 parameters.
+#[must_use]
+pub fn fig7() -> Fig7Parameters {
+    Fig7Parameters {
+        x_values: [1.8, 2.0, 2.2, 2.4],
+        c0: 500.0,
+        design_density: 200.0,
+        wafer_radius_cm: 7.5,
+        reference_yield: 0.7,
+        lambda_range: (0.25, 1.0),
+    }
+}
+
+/// Fig 8 text: "X = 1.4, C₀ = \$500, R_w = 7.5 cm, d_d = 152, D = 1.72
+/// and p = 4.07. (These values were extracted from a real manufacturing
+/// operation \[26\].)"
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8Parameters {
+    /// Escalation factor.
+    pub x: f64,
+    /// Reference wafer cost ($).
+    pub c0: f64,
+    /// Wafer radius (cm).
+    pub wafer_radius_cm: f64,
+    /// Design density (λ²/tr).
+    pub design_density: f64,
+    /// Eq. (7) reference defect density.
+    pub defect_d: f64,
+    /// Eq. (7) defect size exponent.
+    pub defect_p: f64,
+    /// λ axis range (µm).
+    pub lambda_range: (f64, f64),
+    /// N_tr axis range.
+    pub n_tr_range: (f64, f64),
+}
+
+/// The printed Fig 8 parameters.
+#[must_use]
+pub fn fig8() -> Fig8Parameters {
+    Fig8Parameters {
+        x: 1.4,
+        c0: 500.0,
+        wafer_radius_cm: 7.5,
+        design_density: 152.0,
+        defect_d: 1.72,
+        defect_p: 4.07,
+        lambda_range: (0.3, 1.5),
+        n_tr_range: (1.0e5, 2.0e7),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captions_transcribed() {
+        assert_eq!(fig6().x_values, [1.1, 1.2, 1.3]);
+        assert_eq!(fig6().design_density, 30.0);
+        assert_eq!(fig7().design_density, 200.0);
+        assert_eq!(fig7().reference_yield, 0.7);
+        assert_eq!(fig8().defect_d, 1.72);
+        assert_eq!(fig8().defect_p, 4.07);
+        assert_eq!(fig8().design_density, 152.0);
+    }
+
+    #[test]
+    fn all_wafers_are_six_inch() {
+        assert_eq!(fig6().wafer_radius_cm, 7.5);
+        assert_eq!(fig7().wafer_radius_cm, 7.5);
+        assert_eq!(fig8().wafer_radius_cm, 7.5);
+    }
+}

@@ -1,0 +1,29 @@
+//! Datasets and paper-reported values from Maly, DAC 1994.
+//!
+//! Everything the paper *prints* lives here, typed: Table 1 (µP block
+//! densities), Table 2 (density spectrum across IC types), Table 3 (the
+//! 17-row cost diversity study, inputs and reported costs), and the
+//! figure parameter sets. The reproduction harness compares model output
+//! against these constants; nothing in this crate computes.
+//!
+//! # Examples
+//!
+//! ```
+//! use maly_paper_data::table3;
+//!
+//! let rows = table3::rows();
+//! assert_eq!(rows.len(), 17);
+//! // Row 1 is the 9.40 µ$ BiCMOS µP.
+//! assert_eq!(rows[0].paper_cost_micro_dollars, 9.40);
+//! let scenario = rows[0].scenario().unwrap();
+//! let cost = scenario.evaluate().unwrap().cost_per_transistor;
+//! assert!((cost.to_micro_dollars().value() - 9.40).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod table1;
+pub mod table2;
+pub mod table3;

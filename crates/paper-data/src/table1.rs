@@ -1,0 +1,122 @@
+//! Table 1 — design densities of µP functional blocks \[22\].
+//!
+//! Measured from a three-million-transistor microprocessor (ISSCC 1993):
+//! block area, transistor count, and the resulting density in λ²/tr at
+//! the design's 0.8 µm feature size. The 10× spread between the I-cache
+//! and the bus unit is the paper's evidence that density is a *design*
+//! property, not a technology property.
+
+/// Feature size at which Table 1's blocks were laid out (µm).
+pub const TABLE1_LAMBDA_UM: f64 = 0.8;
+
+/// One functional block row.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FunctionalBlock {
+    /// Block name as printed.
+    pub name: &'static str,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Transistor count.
+    pub transistors: f64,
+    /// Paper-printed density (λ²/tr).
+    pub paper_density: f64,
+}
+
+impl FunctionalBlock {
+    /// Recomputes the density from area, count and λ — the check the
+    /// reproduction harness runs against [`Self::paper_density`].
+    #[must_use]
+    pub fn derived_density(&self) -> f64 {
+        let area_um2 = self.area_mm2 * 1.0e6;
+        area_um2 / (self.transistors * TABLE1_LAMBDA_UM * TABLE1_LAMBDA_UM)
+    }
+}
+
+/// The six printed rows.
+#[must_use]
+pub fn blocks() -> Vec<FunctionalBlock> {
+    vec![
+        FunctionalBlock {
+            name: "I-cache",
+            area_mm2: 33.2,
+            transistors: 1.2e6,
+            paper_density: 43.2,
+        },
+        FunctionalBlock {
+            name: "D-cache",
+            area_mm2: 35.7,
+            transistors: 1.1e6,
+            paper_density: 50.7,
+        },
+        FunctionalBlock {
+            name: "F. point unit",
+            area_mm2: 45.9,
+            transistors: 323.0e3,
+            paper_density: 222.3,
+        },
+        FunctionalBlock {
+            name: "Integer unit",
+            area_mm2: 38.3,
+            transistors: 232.0e3,
+            paper_density: 257.9,
+        },
+        FunctionalBlock {
+            name: "MMU",
+            area_mm2: 20.4,
+            transistors: 118.0e3,
+            paper_density: 270.5,
+        },
+        FunctionalBlock {
+            name: "Bus unit",
+            area_mm2: 12.7,
+            transistors: 50.0e3,
+            paper_density: 399.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_blocks_printed() {
+        assert_eq!(blocks().len(), 6);
+    }
+
+    #[test]
+    fn derived_densities_match_printed_within_rounding() {
+        for block in blocks() {
+            let derived = block.derived_density();
+            let rel = (derived - block.paper_density).abs() / block.paper_density;
+            assert!(
+                rel < 0.01,
+                "{}: derived {derived} vs printed {}",
+                block.name,
+                block.paper_density
+            );
+        }
+    }
+
+    #[test]
+    fn caches_are_densest_and_bus_sparsest() {
+        let b = blocks();
+        let min = b
+            .iter()
+            .min_by(|a, c| a.paper_density.total_cmp(&c.paper_density))
+            .unwrap();
+        let max = b
+            .iter()
+            .max_by(|a, c| a.paper_density.total_cmp(&c.paper_density))
+            .unwrap();
+        assert_eq!(min.name, "I-cache");
+        assert_eq!(max.name, "Bus unit");
+        assert!(max.paper_density / min.paper_density > 9.0);
+    }
+
+    #[test]
+    fn totals_are_a_three_million_transistor_chip() {
+        let total: f64 = blocks().iter().map(|b| b.transistors).sum();
+        assert!(total > 2.9e6 && total < 3.2e6, "total {total}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Table 2 — design densities for a spectrum of ICs \[23, 24\].
+//!
+//! Published die data from ISSCC 1991–93 and CICC 1989: feature size and
+//! extracted density per product. The spread — 17.8 λ²/tr for a 16 Mb
+//! SRAM to 2631 λ²/tr for a PLD — spans two orders of magnitude and
+//! drives the two-orders-of-magnitude cost spread of Table 3.
+
+/// Broad product category, for grouping and filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum IcCategory {
+    /// Microprocessors.
+    Microprocessor,
+    /// SRAM/DRAM memories.
+    Memory,
+    /// Gate arrays and sea-of-gates.
+    GateArray,
+    /// Programmable logic devices.
+    Pld,
+}
+
+impl std::fmt::Display for IcCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            IcCategory::Microprocessor => "microprocessor",
+            IcCategory::Memory => "memory",
+            IcCategory::GateArray => "gate array",
+            IcCategory::Pld => "PLD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One Table 2 row.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IcDensityRow {
+    /// Product description as printed.
+    pub name: &'static str,
+    /// Category.
+    pub category: IcCategory,
+    /// Feature size (µm).
+    pub feature_size_um: f64,
+    /// Printed density (λ²/tr).
+    pub density: f64,
+}
+
+/// The printed rows.
+#[must_use]
+pub fn rows() -> Vec<IcDensityRow> {
+    use IcCategory::*;
+    vec![
+        IcDensityRow {
+            name: "µP, BiCMOS, 3M",
+            category: Microprocessor,
+            feature_size_um: 0.3,
+            density: 907.95,
+        },
+        IcDensityRow {
+            name: "µP, CMOS, 3M, Alpha 21064",
+            category: Microprocessor,
+            feature_size_um: 0.68,
+            density: 250.13,
+        },
+        IcDensityRow {
+            name: "µP, CMOS, 2M, R4400SC",
+            category: Microprocessor,
+            feature_size_um: 0.6,
+            density: 224.64,
+        },
+        IcDensityRow {
+            name: "µP, CMOS, 3M, PA7100",
+            category: Microprocessor,
+            feature_size_um: 0.8,
+            density: 370.66,
+        },
+        IcDensityRow {
+            name: "µP, BiCMOS, 3M, Pentium",
+            category: Microprocessor,
+            feature_size_um: 0.8,
+            density: 149.11,
+        },
+        IcDensityRow {
+            name: "µP, CMOS, 4M, PowerPC 601",
+            category: Microprocessor,
+            feature_size_um: 0.65,
+            density: 102.28,
+        },
+        IcDensityRow {
+            name: "µP, BiCMOS, 3M, 2P, SuperSparc",
+            category: Microprocessor,
+            feature_size_um: 0.7,
+            density: 168.53,
+        },
+        IcDensityRow {
+            name: "µP, CMOS, 2M, 68040",
+            category: Microprocessor,
+            feature_size_um: 0.65,
+            density: 249.23,
+        },
+        IcDensityRow {
+            name: "1Mb SRAM, 2M, 2P",
+            category: Memory,
+            feature_size_um: 0.35,
+            density: 36.00,
+        },
+        IcDensityRow {
+            name: "16Mb SRAM, 2M, 4P",
+            category: Memory,
+            feature_size_um: 0.25,
+            density: 17.80,
+        },
+        IcDensityRow {
+            name: "64Mb DRAM, 2M",
+            category: Memory,
+            feature_size_um: 0.4,
+            density: 22.29,
+        },
+        IcDensityRow {
+            name: "256Mb DRAM, 3M",
+            category: Memory,
+            feature_size_um: 0.25,
+            density: 20.18,
+        },
+        IcDensityRow {
+            name: "Gate array, 53Kg, BiCMOS, \"50%\"",
+            category: GateArray,
+            feature_size_um: 0.8,
+            density: 507.66,
+        },
+        IcDensityRow {
+            name: "Gate array, BiCMOS",
+            category: GateArray,
+            feature_size_um: 0.5,
+            density: 403.20,
+        },
+        IcDensityRow {
+            name: "SOG, 177Kg, 35–70%, CMOS, 3M",
+            category: GateArray,
+            feature_size_um: 0.8,
+            density: 249.44,
+        },
+        IcDensityRow {
+            name: "SOG, 235Kg, 70%, CMOS, 3M",
+            category: GateArray,
+            feature_size_um: 0.8,
+            density: 117.19,
+        },
+        IcDensityRow {
+            name: "PLD, 1.2Kg, EEPROM, 2M, 2P",
+            category: Pld,
+            feature_size_um: 0.8,
+            density: 2631.04,
+        },
+    ]
+}
+
+/// Mean density of a category — the paper's qualitative ranking
+/// (memory ≪ µP < gate array ≪ PLD).
+#[must_use]
+pub fn mean_density(category: IcCategory) -> f64 {
+    let selected: Vec<f64> = rows()
+        .into_iter()
+        .filter(|r| r.category == category)
+        .map(|r| r.density)
+        .collect();
+    selected.iter().sum::<f64>() / selected.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_rows_printed() {
+        assert_eq!(rows().len(), 17);
+    }
+
+    #[test]
+    fn density_extremes_match_paper() {
+        let all = rows();
+        let min = all.iter().map(|r| r.density).fold(f64::INFINITY, f64::min);
+        let max = all.iter().map(|r| r.density).fold(0.0, f64::max);
+        assert_eq!(min, 17.80); // 16 Mb SRAM
+        assert_eq!(max, 2631.04); // PLD
+        assert!(max / min > 100.0, "two orders of magnitude spread");
+    }
+
+    #[test]
+    fn category_ranking_memory_up_ga_pld() {
+        use IcCategory::*;
+        let m = mean_density(Memory);
+        let u = mean_density(Microprocessor);
+        let g = mean_density(GateArray);
+        let p = mean_density(Pld);
+        assert!(m < u && u < g && g < p, "{m} {u} {g} {p}");
+        assert!(u / m > 5.0, "µP at least 5× sparser than memory");
+    }
+
+    #[test]
+    fn all_feature_sizes_are_early_90s_nodes() {
+        for r in rows() {
+            assert!((0.2..=1.0).contains(&r.feature_size_um), "{}", r.name);
+        }
+    }
+}

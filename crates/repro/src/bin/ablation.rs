@@ -1,0 +1,5 @@
+//! Prints the ablation reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::ablation::report());
+}

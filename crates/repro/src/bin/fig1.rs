@@ -1,0 +1,5 @@
+//! Prints the fig1 reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::fig1::report());
+}

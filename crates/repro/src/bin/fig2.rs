@@ -1,0 +1,5 @@
+//! Prints the fig2 reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::fig2::report());
+}

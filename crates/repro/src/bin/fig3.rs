@@ -1,0 +1,5 @@
+//! Prints the fig3 reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::fig3::report());
+}

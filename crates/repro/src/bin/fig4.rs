@@ -1,0 +1,5 @@
+//! Prints the fig4 reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::fig4::report());
+}

@@ -1,0 +1,5 @@
+//! Prints the fig5 reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::fig5::report());
+}

@@ -1,0 +1,5 @@
+//! Prints the fig6 reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::fig6::report());
+}

@@ -1,0 +1,5 @@
+//! Prints the fig7 reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::fig7::report());
+}

@@ -1,0 +1,5 @@
+//! Prints the fig8 reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::fig8::report());
+}

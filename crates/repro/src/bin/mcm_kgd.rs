@@ -1,0 +1,5 @@
+//! Prints the mcm_kgd reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::mcm_kgd::report());
+}

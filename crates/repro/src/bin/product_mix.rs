@@ -1,0 +1,5 @@
+//! Prints the product_mix reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::product_mix::report());
+}

@@ -1,0 +1,5 @@
+//! Prints the roadmap reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::roadmap::report());
+}

@@ -1,0 +1,5 @@
+//! Prints the system_opt reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::system_opt::report());
+}

@@ -1,0 +1,5 @@
+//! Prints the table1 reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::table1::report());
+}

@@ -1,0 +1,5 @@
+//! Prints the table2 reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::table2::report());
+}

@@ -1,0 +1,5 @@
+//! Prints the table3 reproduction report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::table3::report());
+}

@@ -1,0 +1,76 @@
+//! Fig 5 — the defect size distribution.
+
+use maly_units::Microns;
+use maly_viz::lineplot::LinePlot;
+use maly_viz::table::{Alignment, TextTable};
+use maly_yield_model::defects::DefectSizeDistribution;
+
+use crate::ExperimentReport;
+
+/// Regenerates Fig 5: the peaked defect size distribution with `1/R^p`
+/// tail, and quantifies the consequence the paper highlights — shrinking
+/// features recruit small defects as killers.
+#[must_use]
+pub fn report() -> ExperimentReport {
+    let r0 = Microns::new(0.1).expect("positive");
+    let dist = DefectSizeDistribution::classic(r0, 4.07).expect("valid exponents");
+
+    let series: Vec<(f64, f64)> = (1..=200)
+        .map(|i| {
+            let r = i as f64 * 0.005;
+            (r, dist.pdf(Microns::new(r).expect("positive")))
+        })
+        .collect();
+    let plot = LinePlot::new("Fig 5: defect size distribution (R0 = 0.1 µm, p = 4.07)")
+        .with_series("f(R)", &series)
+        .with_labels("defect radius R [µm]", "density")
+        .render(72, 18);
+
+    let mut table = TextTable::new(vec![
+        "fatal threshold (λ/2) [µm]",
+        "fraction of defects fatal",
+        "vs 1.0 µm node",
+    ]);
+    table.align(1, Alignment::Right);
+    table.align(2, Alignment::Right);
+    let base = Microns::new(1.0).expect("positive");
+    for node in [1.0, 0.8, 0.65, 0.5, 0.35, 0.25] {
+        let lam = Microns::new(node).expect("positive");
+        let threshold = Microns::new(node / 2.0).expect("positive");
+        let fatal = dist.fraction_larger_than(threshold);
+        let recruitment = dist.shrink_recruitment(base, lam, 0.5);
+        table.row(vec![
+            format!("{:.3}", node / 2.0),
+            format!("{fatal:.3}"),
+            format!("{recruitment:.2}×"),
+        ]);
+    }
+
+    let body = format!(
+        "```text\n{plot}\n```\n\n\"Observe that the decrease in the minimum \
+         feature size rapidly increases the number of defects which may \
+         cause faults\":\n\n{}\n\nThis recruitment is what eq. (7) folds \
+         into the `D/λ^p` acceleration.\n",
+        table.render()
+    );
+    ExperimentReport {
+        id: "fig5",
+        title: "Defect size distribution",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_recruitment_is_dramatic() {
+        let dist = DefectSizeDistribution::classic(Microns::new(0.1).unwrap(), 4.07).unwrap();
+        let r =
+            dist.shrink_recruitment(Microns::new(1.0).unwrap(), Microns::new(0.25).unwrap(), 0.5);
+        // Quartering the feature size recruits well over 5× the defects.
+        assert!(r > 5.0, "recruitment {r}");
+        assert!(report().body.contains("Fig 5"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Fig 6 — Scenario #1: transistor cost falls with shrink.
+
+use maly_cost_model::scenario::Scenario1;
+use maly_paper_data::figures;
+use maly_units::Microns;
+use maly_viz::lineplot::LinePlot;
+use maly_viz::table::{Alignment, TextTable};
+
+use crate::ExperimentReport;
+
+/// Regenerates Fig 6: `C_tr(λ)` for X = 1.1/1.2/1.3 under the
+/// optimistic memory scenario (eq. 8).
+#[must_use]
+pub fn report() -> ExperimentReport {
+    let params = figures::fig6();
+    let (lo, hi) = params.lambda_range;
+    let lo_um = Microns::new(lo).expect("positive");
+    let hi_um = Microns::new(hi).expect("positive");
+
+    let mut plot = LinePlot::new("Fig 6: cost per transistor, Scenario #1 (eq. 8)")
+        .with_labels("λ [µm]", "µ$/tr")
+        .log_y();
+    let mut table = TextTable::new(vec![
+        "X",
+        "C_tr(1.0 µm) [µ$]",
+        "C_tr(0.25 µm) [µ$]",
+        "ratio",
+    ]);
+    for col in 1..4 {
+        table.align(col, Alignment::Right);
+    }
+
+    for &x in &params.x_values {
+        let s1 = Scenario1::fig6(x).expect("printed X is valid");
+        let series: Vec<(f64, f64)> = s1
+            .sweep(lo_um, hi_um, 40)
+            .into_iter()
+            .map(|(l, c)| (l, c.to_micro_dollars().value()))
+            .collect();
+        plot = plot.with_series(format!("X={x}"), &series);
+        let at_1 = s1
+            .cost_per_transistor(Microns::new(1.0).expect("positive"))
+            .to_micro_dollars()
+            .value();
+        let at_quarter = s1
+            .cost_per_transistor(Microns::new(0.25).expect("positive"))
+            .to_micro_dollars()
+            .value();
+        table.row(vec![
+            format!("{x}"),
+            format!("{at_1:.3}"),
+            format!("{at_quarter:.3}"),
+            format!("{:.2}×", at_quarter / at_1),
+        ]);
+    }
+
+    let body = format!(
+        "```text\n{}\n```\n\n{}\n\nShape check (paper): *\"Because the number \
+         of transistors per wafer increases faster than the wafer cost, \
+         C_tr goes down when feature size decreases\"* — all three curves \
+         fall monotonically, and higher X flattens the gain.\n",
+        plot.render(76, 22),
+        table.render()
+    );
+    ExperimentReport {
+        id: "fig6",
+        title: "Scenario #1 cost trend (memories, X = 1.1–1.3)",
+        body,
+    }
+}
+
+/// The Fig 6 series as CSV (`lambda_um, ctr_x1.1, ctr_x1.2, ctr_x1.3`
+/// in µ$) for downstream plotting.
+#[must_use]
+pub fn series_csv() -> String {
+    let params = figures::fig6();
+    let (lo, hi) = params.lambda_range;
+    let scenarios: Vec<Scenario1> = params
+        .x_values
+        .iter()
+        .map(|&x| Scenario1::fig6(x).expect("printed X valid"))
+        .collect();
+    let steps = 40;
+    let rows: Vec<Vec<String>> = (0..steps)
+        .map(|i| {
+            let l = lo + (hi - lo) * f64::from(i) / f64::from(steps - 1);
+            let lambda = Microns::new(l).expect("positive");
+            let mut row = vec![format!("{l}")];
+            row.extend(scenarios.iter().map(|s| {
+                format!(
+                    "{}",
+                    s.cost_per_transistor(lambda).to_micro_dollars().value()
+                )
+            }));
+            row
+        })
+        .collect();
+    maly_viz::csv::to_csv(&["lambda_um", "ctr_x1.1", "ctr_x1.2", "ctr_x1.3"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = series_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "lambda_um,ctr_x1.1,ctr_x1.2,ctr_x1.3"
+        );
+        assert_eq!(csv.lines().count(), 41);
+        // Every data cell parses as a number.
+        for line in csv.lines().skip(1) {
+            for cell in line.split(',') {
+                cell.parse::<f64>().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn all_curves_fall_and_higher_x_flattens() {
+        let r = report();
+        assert!(r.body.contains("X=1.1"));
+        // Quantitative shape assertions live in maly-cost-model; here
+        // verify the rendered ratios are below 1 (falling cost).
+        for x in [1.1, 1.2, 1.3] {
+            let s1 = Scenario1::fig6(x).unwrap();
+            let ratio = s1.cost_per_transistor(Microns::new(0.25).unwrap()).value()
+                / s1.cost_per_transistor(Microns::new(1.0).unwrap()).value();
+            assert!(ratio < 1.0, "X={x}: ratio {ratio}");
+        }
+    }
+}

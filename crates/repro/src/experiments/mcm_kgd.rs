@@ -1,0 +1,96 @@
+//! §§V–VI — MCM known-good-die and smart-substrate economics.
+
+use maly_test_economics::mcm::{DieSupply, KgdStudy, ModuleParameters};
+use maly_units::{Dollars, Probability};
+use maly_viz::table::{Alignment, TextTable};
+
+use crate::ExperimentReport;
+
+fn dollars(v: f64) -> Dollars {
+    Dollars::new(v).expect("positive")
+}
+
+fn p(v: f64) -> Probability {
+    Probability::new(v).expect("probability")
+}
+
+/// Regenerates the known-good-die study behind refs \[30, 31\]: probe-only
+/// vs KGD vs smart substrate across module sizes.
+#[must_use]
+pub fn report() -> ExperimentReport {
+    let probe = DieSupply::probe_only(dollars(25.0), p(0.05));
+    let kgd = DieSupply::known_good(probe, dollars(13.0), p(0.001));
+
+    let mut table = TextTable::new(vec![
+        "dies/module",
+        "probe-only $/good",
+        "KGD $/good",
+        "smart substrate $/good",
+        "winner",
+    ]);
+    for col in 1..4 {
+        table.align(col, Alignment::Right);
+    }
+
+    let mut winners = Vec::new();
+    for n in [2u32, 4, 6, 8, 10, 14] {
+        let module = ModuleParameters {
+            dies_per_module: n,
+            substrate_cost: dollars(120.0),
+            rework_cost: dollars(80.0),
+            assembly_fallout: p(0.005),
+            scrap_fraction: p(0.5),
+        };
+        let study =
+            KgdStudy::run(probe, kgd, module, dollars(40.0), 0.1).expect("valid study inputs");
+        winners.push((n, study.winner()));
+        table.row(vec![
+            format!("{n}"),
+            format!("{:.0}", study.probe_only.cost_per_good_module.value()),
+            format!("{:.0}", study.kgd.cost_per_good_module.value()),
+            format!("{:.0}", study.smart_substrate.cost_per_good_module.value()),
+            study.winner().to_string(),
+        ]);
+    }
+
+    let body = format!(
+        "{}\n\nPaper: *\"by applying active silicon substrate (i.e. very \
+         expensive substrate) one can build a smart substrate system which \
+         can minimize the overall system cost ... But traditional MCM \
+         strategies focus on the cost of the substrate itself.\"* The study \
+         shows exactly that inversion: the +\\$40 active substrate wins \
+         across module sizes because perfect fault localization removes \
+         module scrap and cheapens rework, beating both cheap probe-only \
+         dies (whose fallout compounds exponentially with module size) and \
+         per-die KGD testing (whose cost is linear in die count).\n",
+        table.render()
+    );
+    ExperimentReport {
+        id: "mcm_kgd",
+        title: "MCM known-good-die economics (§§V–VI)",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_substrate_wins_large_modules() {
+        let r = report();
+        assert!(r.body.contains("smart substrate"));
+        // And the raw study confirms for the largest module size.
+        let probe = DieSupply::probe_only(dollars(25.0), p(0.05));
+        let kgd = DieSupply::known_good(probe, dollars(13.0), p(0.001));
+        let module = ModuleParameters {
+            dies_per_module: 14,
+            substrate_cost: dollars(120.0),
+            rework_cost: dollars(80.0),
+            assembly_fallout: p(0.005),
+            scrap_fraction: p(0.5),
+        };
+        let study = KgdStudy::run(probe, kgd, module, dollars(40.0), 0.1).unwrap();
+        assert_eq!(study.winner(), "smart substrate");
+    }
+}

@@ -1,0 +1,39 @@
+//! One module per paper experiment.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod mcm_kgd;
+pub mod product_mix;
+pub mod roadmap;
+pub mod system_opt;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// Shared helper: formats a relative error as a percentage string.
+#[must_use]
+pub(crate) fn rel_err_percent(measured: f64, reference: f64) -> String {
+    if reference == 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.1}%", (measured - reference) / reference * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rel_err_percent;
+
+    #[test]
+    fn rel_err_formats_signed_percent() {
+        assert_eq!(rel_err_percent(110.0, 100.0), "+10.0%");
+        assert_eq!(rel_err_percent(95.0, 100.0), "-5.0%");
+        assert_eq!(rel_err_percent(1.0, 0.0), "n/a");
+    }
+}

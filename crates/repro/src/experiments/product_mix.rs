@@ -1,0 +1,77 @@
+//! §III.A.d — the product-mix wafer-cost penalty (the "×7" claim).
+
+use maly_fabline_sim::cost::product_mix_study;
+use maly_viz::table::{Alignment, TextTable};
+
+use crate::ExperimentReport;
+
+/// Regenerates the product-mix study: wafer cost of low-volume
+/// multi-product fabs vs a high-volume mono-product fab, sweeping
+/// fragmentation until the penalty reaches the paper's reported ×7.
+#[must_use]
+pub fn report() -> ExperimentReport {
+    let mut table = TextTable::new(vec![
+        "products",
+        "wafers/yr each",
+        "mono $/wafer",
+        "multi $/wafer",
+        "ratio",
+        "mono util",
+        "multi util",
+    ]);
+    for col in 1..7 {
+        table.align(col, Alignment::Right);
+    }
+
+    let sweep = [
+        (2usize, 20_000.0),
+        (4, 5_000.0),
+        (8, 2_000.0),
+        (8, 800.0),
+        (10, 500.0),
+        (10, 300.0),
+    ];
+    let mut max_ratio: f64 = 0.0;
+    for (n, v) in sweep {
+        let r = product_mix_study(n, v, 100_000.0);
+        max_ratio = max_ratio.max(r.cost_ratio);
+        table.row(vec![
+            format!("{n}"),
+            format!("{v:.0}"),
+            format!("{:.0}", r.mono_cost.value()),
+            format!("{:.0}", r.multi_cost.value()),
+            format!("{:.2}×", r.cost_ratio),
+            format!("{:.0}%", r.mono_utilization * 100.0),
+            format!("{:.0}%", r.multi_utilization * 100.0),
+        ]);
+    }
+
+    let body = format!(
+        "{}\n\nPaper: *\"the ratio of the cost of the wafer fabricated with \
+         low volume multi-product fabline and high volume mono-product \
+         environment may reach as high value as 7\"* \\[12\\]. The sweep \
+         reaches {max_ratio:.1}× at the most fragmented demand; the \
+         mechanism is visible in the productive-utilization column — the \
+         niche fab owns the same tool families but keeps them moving \
+         wafers a fraction of the time (idle capacity + changeover \
+         setups), while their ownership cost accrues regardless.\n",
+        table.render()
+    );
+    ExperimentReport {
+        id: "product_mix",
+        title: "Product-mix wafer-cost penalty (§III.A.d)",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_reaches_paper_magnitude() {
+        let r = product_mix_study(10, 300.0, 100_000.0);
+        assert!(r.cost_ratio > 5.0 && r.cost_ratio < 12.0);
+        assert!(report().body.contains("as high value as 7"));
+    }
+}

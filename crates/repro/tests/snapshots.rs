@@ -1,0 +1,91 @@
+//! Snapshot-style assertions on the rendered reports: the load-bearing
+//! numbers and phrases that EXPERIMENTS.md promises must actually appear.
+
+use maly_repro::{all_experiments, experiments};
+
+#[test]
+fn table3_report_carries_the_anchor_numbers() {
+    let body = experiments::table3::report().body;
+    // Paper-printed costs, verbatim.
+    for printed in ["9.40", "25.50", "49.30", "0.93", "1.31", "2.18", "240.00"] {
+        assert!(body.contains(printed), "missing printed cost {printed}");
+    }
+    // Die counts the calibration was hand-verified against.
+    for count in [" 46 ", " 52 ", " 26 "] {
+        assert!(body.contains(count), "missing die count{count}");
+    }
+    // The provenance asterisk footnote.
+    assert!(body.contains("back-solved"));
+    // The diversity chart.
+    assert!(body.contains('█'));
+}
+
+#[test]
+fn fig2_report_quotes_the_x_band() {
+    let body = experiments::fig2::report().body;
+    assert!(body.contains("1.2 – 1.4") || body.contains("1.2–1.4"));
+    assert!(body.contains("billion"));
+}
+
+#[test]
+fn fig6_and_fig7_reports_state_opposite_trends() {
+    let fig6 = experiments::fig6::report().body;
+    let fig7 = experiments::fig7::report().body;
+    assert!(fig6.contains("goes down") || fig6.contains("fall"));
+    assert!(fig7.contains("increase in the transistor cost"));
+    // Fig 7 includes the yield column that explains the reversal.
+    assert!(fig7.contains("die yield"));
+}
+
+#[test]
+fn fig8_report_lists_optima() {
+    let body = experiments::fig8::report().body;
+    assert!(body.contains("λ^opt"));
+    assert!(body.contains("local"));
+    // The contour legend labels.
+    assert!(body.contains("µ$"));
+}
+
+#[test]
+fn ablation_report_ranks_the_calibration_first() {
+    let body = experiments::ablation::report().body;
+    assert!(body.contains("as printed"));
+    assert!(body.contains("baseline"));
+    // The baseline error is sub-percent and printed as such.
+    assert!(body.contains("0.1") || body.contains("0.2"));
+}
+
+#[test]
+fn product_mix_report_reaches_the_seven_x() {
+    let body = experiments::product_mix::report().body;
+    assert!(body.contains("as high value as 7"));
+    // At least one row at or above 5×.
+    let has_big_ratio = body
+        .lines()
+        .any(|l| ["5.", "6.", "7.", "8."].iter().any(|p| l.contains(p)) && l.contains('×'));
+    assert!(has_big_ratio, "no ≥5× row rendered");
+}
+
+#[test]
+fn every_report_renders_under_a_megabyte_and_has_ascii_art_or_tables() {
+    for report in all_experiments() {
+        let md = report.to_markdown();
+        assert!(md.len() < 1_000_000, "{} too large", report.id);
+        assert!(
+            md.contains("```text") || md.contains("--"),
+            "{} has neither plot nor table",
+            report.id
+        );
+    }
+}
+
+#[test]
+fn reports_are_deterministic() {
+    // Rendering twice gives byte-identical output (no RNG, no clocks).
+    let a = experiments::table3::report().body;
+    let b = experiments::table3::report().body;
+    assert_eq!(a, b);
+    let a = experiments::fig8::report().body;
+    let b = experiments::fig8::report().body;
+    assert_eq!(a, b);
+}

@@ -1,0 +1,224 @@
+//! The technology-generation ladder.
+//!
+//! "X is a rate of the cost increase measured per single technology
+//! generation" — which requires saying what a generation *is*. This
+//! module fixes the canonical node ladder of the early-1990s industry and
+//! provides the generation arithmetic the cost model needs.
+
+use maly_units::{Microns, UnitError};
+
+/// The canonical node ladder (µm), descending, as used across Figs 1–4
+/// and Tables 2–3.
+pub const NODE_LADDER_UM: &[f64] = &[2.0, 1.5, 1.2, 1.0, 0.8, 0.65, 0.5, 0.35, 0.25, 0.18];
+
+/// A named technology generation (one rung of the node ladder).
+///
+/// # Examples
+///
+/// ```
+/// use maly_tech_trend::generations::TechnologyGeneration;
+///
+/// let g = TechnologyGeneration::closest_to(0.78);
+/// assert_eq!(g.feature_size().value(), 0.8);
+/// assert_eq!(g.successor().unwrap().feature_size().value(), 0.65);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TechnologyGeneration {
+    index: usize,
+}
+
+impl TechnologyGeneration {
+    /// The ladder rung whose feature size is closest to `lambda_um`.
+    #[must_use]
+    pub fn closest_to(lambda_um: f64) -> Self {
+        let index = NODE_LADDER_UM
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| (*a - lambda_um).abs().total_cmp(&(*b - lambda_um).abs()))
+            .map_or(0, |(i, _)| i);
+        Self { index }
+    }
+
+    /// The generation at a given ladder index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `index` is beyond the ladder.
+    pub fn at_index(index: usize) -> Result<Self, UnitError> {
+        if index < NODE_LADDER_UM.len() {
+            Ok(Self { index })
+        } else {
+            Err(UnitError::OutOfRange {
+                quantity: "generation index",
+                value: index as f64,
+                min: 0.0,
+                max: (NODE_LADDER_UM.len() - 1) as f64,
+            })
+        }
+    }
+
+    /// Ladder index (0 = 2.0 µm).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Feature size of this generation.
+    #[must_use]
+    pub fn feature_size(&self) -> Microns {
+        Microns::new(NODE_LADDER_UM[self.index]).expect("ladder values are positive")
+    }
+
+    /// The next (smaller) generation, if the ladder continues.
+    #[must_use]
+    pub fn successor(&self) -> Option<Self> {
+        if self.index + 1 < NODE_LADDER_UM.len() {
+            Some(Self {
+                index: self.index + 1,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The previous (larger) generation, if any.
+    #[must_use]
+    pub fn predecessor(&self) -> Option<Self> {
+        self.index.checked_sub(1).map(|index| Self { index })
+    }
+
+    /// Linear shrink factor to the next generation
+    /// (`λ_next / λ_this`, < 1), if the ladder continues.
+    #[must_use]
+    pub fn shrink_factor(&self) -> Option<f64> {
+        self.successor()
+            .map(|next| next.feature_size().value() / self.feature_size().value())
+    }
+
+    /// Iterates the full ladder from this generation downward.
+    pub fn walk_down(&self) -> impl Iterator<Item = TechnologyGeneration> + '_ {
+        (self.index..NODE_LADDER_UM.len()).map(|index| TechnologyGeneration { index })
+    }
+}
+
+impl std::fmt::Display for TechnologyGeneration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} µm generation", NODE_LADDER_UM[self.index])
+    }
+}
+
+/// Fractional number of generations between two feature sizes, measured
+/// on the paper's `5·Δλ` exponent scale (`5(1−λ)` of eq. 3, see
+/// DESIGN.md §1): one exponent unit ≈ one generation step of 0.2 µm near
+/// the 1 µm node.
+#[must_use]
+pub fn generations_between(from: Microns, to: Microns) -> f64 {
+    5.0 * (from.value() - to.value())
+}
+
+/// Fractional generations measured on the *geometric* scale, where one
+/// generation is a fixed linear shrink of `0.7×` (the industry's
+/// area-halving convention).
+#[must_use]
+pub fn geometric_generations_between(from: Microns, to: Microns) -> f64 {
+    (from.value() / to.value()).ln() / (1.0 / 0.7f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(v: f64) -> Microns {
+        Microns::new(v).unwrap()
+    }
+
+    #[test]
+    fn ladder_is_strictly_descending() {
+        assert!(NODE_LADDER_UM.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn closest_to_snaps_to_nearest_rung() {
+        assert_eq!(
+            TechnologyGeneration::closest_to(0.85)
+                .feature_size()
+                .value(),
+            0.8
+        );
+        // Exact midpoints resolve to the earlier (larger) rung.
+        assert_eq!(
+            TechnologyGeneration::closest_to(0.9).feature_size().value(),
+            1.0
+        );
+        assert_eq!(
+            TechnologyGeneration::closest_to(0.6).feature_size().value(),
+            0.65
+        );
+        assert_eq!(
+            TechnologyGeneration::closest_to(9.0).feature_size().value(),
+            2.0
+        );
+        assert_eq!(
+            TechnologyGeneration::closest_to(0.01)
+                .feature_size()
+                .value(),
+            0.18
+        );
+    }
+
+    #[test]
+    fn successor_predecessor_roundtrip() {
+        let g = TechnologyGeneration::closest_to(0.8);
+        assert_eq!(g.successor().unwrap().predecessor().unwrap(), g);
+        assert!(TechnologyGeneration::at_index(0)
+            .unwrap()
+            .predecessor()
+            .is_none());
+        let last = TechnologyGeneration::at_index(NODE_LADDER_UM.len() - 1).unwrap();
+        assert!(last.successor().is_none());
+    }
+
+    #[test]
+    fn at_index_validates() {
+        assert!(TechnologyGeneration::at_index(99).is_err());
+        assert!(TechnologyGeneration::at_index(0).is_ok());
+    }
+
+    #[test]
+    fn shrink_factors_are_in_plausible_band() {
+        let mut g = TechnologyGeneration::at_index(0).unwrap();
+        while let Some(f) = g.shrink_factor() {
+            assert!((0.6..0.9).contains(&f), "shrink factor {f} out of band");
+            g = g.successor().unwrap();
+        }
+    }
+
+    #[test]
+    fn walk_down_covers_remaining_ladder() {
+        let g = TechnologyGeneration::closest_to(0.5);
+        let walked: Vec<f64> = g.walk_down().map(|x| x.feature_size().value()).collect();
+        assert_eq!(walked, vec![0.5, 0.35, 0.25, 0.18]);
+    }
+
+    #[test]
+    fn paper_scale_generations_match_exponent() {
+        // 1.0 → 0.25 µm = 3.75 exponent units, the Fig 6/7 sweep span.
+        assert!((generations_between(um(1.0), um(0.25)) - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_generations_near_four_for_quarter_micron() {
+        // 1.0 → 0.25 µm at 0.7×/generation ≈ 3.9 generations — close to
+        // the paper-scale count, which is why both conventions coexist.
+        let g = geometric_generations_between(um(1.0), um(0.25));
+        assert!((g - 3.887).abs() < 0.01);
+    }
+
+    #[test]
+    fn display_names_the_node() {
+        assert_eq!(
+            TechnologyGeneration::closest_to(0.35).to_string(),
+            "0.35 µm generation"
+        );
+    }
+}

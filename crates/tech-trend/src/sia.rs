@@ -1,0 +1,158 @@
+//! Composed generation profiles — an SIA-roadmap-style table.
+//!
+//! Reference \[17\] ("SIA Technology Road Map — Workshop Conclusions")
+//! is the paper's template for thinking about generations as bundles:
+//! a node arrives in a year, with a die size, a step count and a
+//! cleanliness requirement. This module composes those bundles from the
+//! crate's fitted trends, so a single call answers "what does the
+//! 0.25 µm generation look like?" — including for nodes *beyond* the
+//! datasets (extrapolation is exactly what roadmaps are for).
+
+use maly_units::{Microns, SquareCentimeters, UnitError};
+
+use crate::diesize::DieSizeTrend;
+use crate::fit;
+use crate::{datasets, generations};
+
+/// Everything the roadmap says about one technology generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationProfile {
+    /// Feature size (µm).
+    pub lambda: Microns,
+    /// Predicted year of volume introduction.
+    pub year: f64,
+    /// Leading-die area on the Fig 3 trend.
+    pub die_area: SquareCentimeters,
+    /// Manufacturing step count on the Fig 4 trend.
+    pub process_steps: f64,
+    /// Defect density required for 70% yield on the trend die (Poisson).
+    pub required_defect_density: f64,
+}
+
+/// The fitted trend bundle used to compose profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Roadmap {
+    cadence_rate: f64,
+    cadence_amplitude: f64,
+    die_trend: DieSizeTrend,
+    steps_amplitude: f64,
+    steps_exponent: f64,
+}
+
+impl Roadmap {
+    /// Fits the roadmap from the built-in datasets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fit failures (cannot happen for the built-ins; kept
+    /// fallible so callers can substitute their own data).
+    pub fn from_datasets() -> Result<Self, UnitError> {
+        let cadence = fit::fit_exponential(datasets::FEATURE_SIZE_BY_YEAR)?;
+        let die_trend = DieSizeTrend::fit(datasets::DIE_SIZE_BY_GENERATION)?;
+        let steps = fit::fit_power_law(datasets::PROCESS_STEPS_BY_GENERATION)?;
+        Ok(Self {
+            cadence_rate: cadence.rate(),
+            cadence_amplitude: cadence.amplitude(),
+            die_trend,
+            steps_amplitude: steps.amplitude(),
+            steps_exponent: steps.exponent(),
+        })
+    }
+
+    /// The year the cadence predicts for a feature size (inverting
+    /// `λ = A·e^{r·year}`).
+    #[must_use]
+    pub fn year_of(&self, lambda: Microns) -> f64 {
+        (lambda.value() / self.cadence_amplitude).ln() / self.cadence_rate
+    }
+
+    /// Composes the full profile of one node.
+    #[must_use]
+    pub fn profile(&self, lambda: Microns) -> GenerationProfile {
+        let die_area = self.die_trend.area_at(lambda);
+        GenerationProfile {
+            lambda,
+            year: self.year_of(lambda),
+            die_area,
+            process_steps: self.steps_amplitude * lambda.value().powf(self.steps_exponent),
+            required_defect_density: -(0.7f64.ln()) / die_area.value(),
+        }
+    }
+
+    /// Profiles for the whole canonical node ladder.
+    #[must_use]
+    pub fn ladder(&self) -> Vec<GenerationProfile> {
+        generations::NODE_LADDER_UM
+            .iter()
+            .map(|&l| self.profile(Microns::new(l).expect("ladder nodes are positive")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roadmap() -> Roadmap {
+        Roadmap::from_datasets().unwrap()
+    }
+
+    fn um(v: f64) -> Microns {
+        Microns::new(v).unwrap()
+    }
+
+    #[test]
+    fn years_are_chronological_down_the_ladder() {
+        let ladder = roadmap().ladder();
+        for w in ladder.windows(2) {
+            assert!(w[1].year > w[0].year, "ladder years must increase");
+        }
+        // The 0.8 µm node lands in the late 80s / around 1990.
+        let node_08 = ladder
+            .iter()
+            .find(|p| (p.lambda.value() - 0.8).abs() < 1e-9)
+            .unwrap();
+        assert!(
+            (1987.0..1993.0).contains(&node_08.year),
+            "0.8 µm in {}",
+            node_08.year
+        );
+    }
+
+    #[test]
+    fn dies_grow_steps_grow_cleanliness_tightens() {
+        let ladder = roadmap().ladder();
+        for w in ladder.windows(2) {
+            assert!(w[1].die_area.value() > w[0].die_area.value());
+            assert!(w[1].process_steps > w[0].process_steps);
+            assert!(w[1].required_defect_density < w[0].required_defect_density);
+        }
+    }
+
+    #[test]
+    fn extrapolates_beyond_the_datasets() {
+        // 0.13 µm is beyond every dataset; the roadmap still composes a
+        // coherent bundle (that is its job).
+        let p = roadmap().profile(um(0.13));
+        assert!(p.year > 1997.0 && p.year < 2010.0, "year {}", p.year);
+        assert!(p.die_area.value() > 5.0, "die {}", p.die_area.value());
+        assert!(p.required_defect_density < 0.05);
+        assert!(p.process_steps > 500.0);
+    }
+
+    #[test]
+    fn year_of_inverts_the_cadence() {
+        let r = roadmap();
+        let year = r.year_of(um(0.5));
+        // Predicting λ back from that year recovers 0.5.
+        let lambda = r.cadence_amplitude * (r.cadence_rate * year).exp();
+        assert!((lambda - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn required_density_matches_poisson_inversion() {
+        let p = roadmap().profile(um(0.5));
+        let y = (-p.required_defect_density * p.die_area.value()).exp();
+        assert!((y - 0.7).abs() < 1e-12);
+    }
+}

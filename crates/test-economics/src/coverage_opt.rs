@@ -1,0 +1,178 @@
+//! Optimal fault coverage: how much testing is worth paying for?
+//!
+//! Sec. VI's missing "adequate procedure": test cost grows with coverage
+//! (the `−ln(1−T)` vector stretch) while escape cost falls
+//! (`DL = 1 − Y^{1−T}`). Their sum has a unique interior minimum — the
+//! economically optimal coverage. Below it you ship junk; above it you
+//! rent testers to chase faults cheaper left alone.
+
+use maly_units::{Dollars, Probability, TransistorCount, UnitError};
+
+use crate::escapes;
+use crate::test_time::TesterEconomics;
+
+/// Inputs of a coverage optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageStudy<'a> {
+    /// Tester economics.
+    pub tester: &'a TesterEconomics,
+    /// Design size (drives vector counts).
+    pub transistors: TransistorCount,
+    /// True process yield of the die being tested.
+    pub process_yield: Probability,
+    /// Fully loaded cost of one field escape.
+    pub escape_cost: Dollars,
+}
+
+/// The optimum found.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalCoverage {
+    /// The cost-minimizing fault coverage.
+    pub coverage: Probability,
+    /// Tester cost per die at that coverage.
+    pub test_cost: Dollars,
+    /// Expected escape cost per shipped die at that coverage.
+    pub escape_cost: Dollars,
+}
+
+impl OptimalCoverage {
+    /// Total per-die quality cost at the optimum.
+    #[must_use]
+    pub fn total(&self) -> Dollars {
+        self.test_cost + self.escape_cost
+    }
+}
+
+/// Total (test + escape) cost at a given coverage.
+#[must_use]
+pub fn quality_cost(study: &CoverageStudy<'_>, coverage: Probability) -> Dollars {
+    let test = study.tester.cost_per_die(study.transistors, coverage);
+    let escapes =
+        escapes::escape_cost_per_shipped_die(study.process_yield, coverage, study.escape_cost);
+    test + escapes
+}
+
+/// Finds the coverage minimizing [`quality_cost`] by golden-section
+/// search on `[0, 0.9999]` (the cost is unimodal: test cost is convex
+/// increasing, escape cost convex decreasing).
+///
+/// # Errors
+///
+/// Returns an error when the process yield is degenerate (0 or 1 —
+/// nothing to optimize).
+pub fn optimal_coverage(study: &CoverageStudy<'_>) -> Result<OptimalCoverage, UnitError> {
+    let y = study.process_yield.value();
+    if y <= 0.0 || y >= 1.0 {
+        return Err(UnitError::OutOfRange {
+            quantity: "process yield",
+            value: y,
+            min: 0.0,
+            max: 1.0,
+        });
+    }
+    let f =
+        |t: f64| quality_cost(study, Probability::new(t).expect("search stays in [0,1)")).value();
+    // Golden section on [0, 0.9999].
+    let (mut a, mut b) = (0.0f64, 0.9999f64);
+    let inv_phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    while b - a > 1e-7 {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let coverage = Probability::new((a + b) / 2.0).expect("bounded search");
+    Ok(OptimalCoverage {
+        coverage,
+        test_cost: study.tester.cost_per_die(study.transistors, coverage),
+        escape_cost: escapes::escape_cost_per_shipped_die(
+            study.process_yield,
+            coverage,
+            study.escape_cost,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study(tester: &TesterEconomics, escape_cost: f64) -> CoverageStudy<'_> {
+        CoverageStudy {
+            tester,
+            transistors: TransistorCount::from_millions(3.0).unwrap(),
+            process_yield: Probability::new(0.6).unwrap(),
+            escape_cost: Dollars::new(escape_cost).unwrap(),
+        }
+    }
+
+    #[test]
+    fn optimum_is_interior_and_stationary() {
+        let tester = TesterEconomics::typical_1994();
+        let s = study(&tester, 500.0);
+        let opt = optimal_coverage(&s).unwrap();
+        let t = opt.coverage.value();
+        assert!(t > 0.5 && t < 0.9999, "optimum {t} not interior");
+        // Perturbing either way costs more. The optimum sits close to 1,
+        // so perturb multiplicatively in the escape fraction (1 − T).
+        let total = opt.total().value();
+        for factor in [0.5, 2.0] {
+            let perturbed_t = (1.0 - (1.0 - t) * factor).clamp(0.0, 0.9999);
+            let perturbed = quality_cost(&s, Probability::new(perturbed_t).unwrap()).value();
+            assert!(
+                perturbed >= total - 1e-9,
+                "T={perturbed_t}: {perturbed} < {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn costlier_escapes_demand_more_coverage() {
+        let tester = TesterEconomics::typical_1994();
+        let cheap = optimal_coverage(&study(&tester, 50.0)).unwrap();
+        let dear = optimal_coverage(&study(&tester, 5000.0)).unwrap();
+        assert!(dear.coverage > cheap.coverage);
+        assert!(dear.escape_cost.value() < 5000.0 * 0.05);
+    }
+
+    #[test]
+    fn cheaper_testers_demand_more_coverage() {
+        let slow = TesterEconomics::new(1.0e6, Dollars::new(360.0).unwrap()).unwrap();
+        let fast = TesterEconomics::new(1.0e7, Dollars::new(360.0).unwrap()).unwrap();
+        let with_slow = optimal_coverage(&study(&slow, 500.0)).unwrap();
+        let with_fast = optimal_coverage(&study(&fast, 500.0)).unwrap();
+        assert!(with_fast.coverage > with_slow.coverage);
+        assert!(with_fast.total().value() < with_slow.total().value());
+    }
+
+    #[test]
+    fn degenerate_yields_rejected() {
+        let tester = TesterEconomics::typical_1994();
+        let mut s = study(&tester, 500.0);
+        s.process_yield = Probability::ONE;
+        assert!(optimal_coverage(&s).is_err());
+        s.process_yield = Probability::ZERO;
+        assert!(optimal_coverage(&s).is_err());
+    }
+
+    #[test]
+    fn totals_decompose() {
+        let tester = TesterEconomics::typical_1994();
+        let opt = optimal_coverage(&study(&tester, 500.0)).unwrap();
+        assert!(
+            (opt.total().value() - opt.test_cost.value() - opt.escape_cost.value()).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! The DFT/BIST adoption decision (Sec. VI).
+//!
+//! "DFT and BIST techniques exist to minimize cost and complexity of test
+//! generation. But designers are wary to allocate the resources (such as
+//! silicon area, and/or performance) required to employ these techniques.
+//! The problem is lack of adequate procedure which quantifies the
+//! benefit." This module is that procedure, at the eq. (1) level of
+//! abstraction:
+//!
+//! * adding DFT inflates the die by an area fraction → fewer dies per
+//!   wafer and lower yield → higher silicon cost per good die;
+//! * in exchange it raises achievable fault coverage and cuts tester
+//!   time → lower test cost and fewer field escapes.
+//!
+//! [`compare`] prices both designs end to end and reports which wins.
+
+use maly_units::{Dollars, Probability, SquareCentimeters, TransistorCount, UnitError};
+use maly_wafer_geom::{maly, DieDimensions, Wafer};
+use maly_yield_model::YieldModel;
+
+use crate::escapes;
+use crate::test_time::TesterEconomics;
+
+/// One side of the comparison: a die design with its test strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestStrategy {
+    /// Fraction of extra die area spent on DFT/BIST structures
+    /// (0 for the baseline design).
+    pub area_overhead: f64,
+    /// Fault coverage the strategy achieves.
+    pub coverage: Probability,
+    /// Tester-time multiplier relative to the functional-test baseline
+    /// (scan/BIST compress test time: < 1).
+    pub tester_time_factor: f64,
+}
+
+impl TestStrategy {
+    /// A functional-test-only baseline at the given coverage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range coverage.
+    pub fn baseline(coverage: f64) -> Result<Self, UnitError> {
+        Ok(Self {
+            area_overhead: 0.0,
+            coverage: Probability::new(coverage)?,
+            tester_time_factor: 1.0,
+        })
+    }
+
+    /// A scan/BIST strategy: `area_overhead` extra silicon buys
+    /// `coverage` at `tester_time_factor` of the baseline tester time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid fractions.
+    pub fn with_dft(
+        area_overhead: f64,
+        coverage: f64,
+        tester_time_factor: f64,
+    ) -> Result<Self, UnitError> {
+        if !area_overhead.is_finite() || !(0.0..1.0).contains(&area_overhead) {
+            return Err(UnitError::OutOfRange {
+                quantity: "DFT area overhead",
+                value: area_overhead,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        if !tester_time_factor.is_finite() || tester_time_factor <= 0.0 {
+            return Err(UnitError::NotPositive {
+                quantity: "tester time factor",
+                value: tester_time_factor,
+            });
+        }
+        Ok(Self {
+            area_overhead,
+            coverage: Probability::new(coverage)?,
+            tester_time_factor,
+        })
+    }
+}
+
+/// Everything needed to price a die end to end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DftStudy<'a, Y> {
+    /// Wafer manufactured on.
+    pub wafer: &'a Wafer,
+    /// Wafer cost.
+    pub wafer_cost: Dollars,
+    /// Yield model (applied to the DFT-inflated area).
+    pub yield_model: &'a Y,
+    /// Base (no-DFT) die area.
+    pub base_area: SquareCentimeters,
+    /// Design size, for test-time scaling.
+    pub transistors: TransistorCount,
+    /// Tester economics.
+    pub tester: &'a TesterEconomics,
+    /// Fully loaded cost of one field escape.
+    pub escape_cost: Dollars,
+}
+
+/// Cost report for one strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyCost {
+    /// Effective die area including DFT overhead.
+    pub die_area: SquareCentimeters,
+    /// Die yield at that area.
+    pub die_yield: Probability,
+    /// Silicon cost per *good* die.
+    pub silicon_cost: Dollars,
+    /// Tester cost per good die (all dies probed; cost loaded onto good
+    /// ones).
+    pub test_cost: Dollars,
+    /// Expected escape cost per shipped die.
+    pub escape_cost: Dollars,
+}
+
+impl StrategyCost {
+    /// Total cost per shipped good die.
+    #[must_use]
+    pub fn total(&self) -> Dollars {
+        self.silicon_cost + self.test_cost + self.escape_cost
+    }
+}
+
+/// Outcome of a DFT comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DftComparison {
+    /// Cost of the baseline strategy.
+    pub baseline: StrategyCost,
+    /// Cost of the DFT strategy.
+    pub with_dft: StrategyCost,
+}
+
+impl DftComparison {
+    /// True when DFT is the cheaper total.
+    #[must_use]
+    pub fn dft_wins(&self) -> bool {
+        self.with_dft.total() < self.baseline.total()
+    }
+
+    /// Net saving per shipped die from adopting DFT (negative = loss).
+    #[must_use]
+    pub fn net_saving(&self) -> f64 {
+        self.baseline.total().value() - self.with_dft.total().value()
+    }
+}
+
+/// Prices one strategy.
+///
+/// # Errors
+///
+/// Returns an error when the (inflated) die no longer fits the wafer.
+pub fn price_strategy<Y: YieldModel>(
+    study: &DftStudy<'_, Y>,
+    strategy: &TestStrategy,
+) -> Result<StrategyCost, UnitError> {
+    let area = SquareCentimeters::new(study.base_area.value() * (1.0 + strategy.area_overhead))?;
+    let die = DieDimensions::square_with_area(area);
+    let n_ch = maly::dies_per_wafer(study.wafer, die);
+    if n_ch.is_zero() {
+        return Err(UnitError::OutOfRange {
+            quantity: "die area",
+            value: area.value(),
+            min: 0.0,
+            max: study.wafer.area().value(),
+        });
+    }
+    let y = study.yield_model.die_yield(area);
+    let good = n_ch.as_f64() * y.value();
+    let silicon_cost = study.wafer_cost / good;
+    // Every die on the wafer is probed; the bill lands on the good ones.
+    let per_die_test = study
+        .tester
+        .cost_per_die(study.transistors, strategy.coverage)
+        * strategy.tester_time_factor;
+    let test_cost = per_die_test * (n_ch.as_f64() / good);
+    let escape_cost = escapes::escape_cost_per_shipped_die(y, strategy.coverage, study.escape_cost);
+    Ok(StrategyCost {
+        die_area: area,
+        die_yield: y,
+        silicon_cost,
+        test_cost,
+        escape_cost,
+    })
+}
+
+/// Prices both strategies and reports the comparison.
+///
+/// # Errors
+///
+/// Propagates pricing failures from either side.
+pub fn compare<Y: YieldModel>(
+    study: &DftStudy<'_, Y>,
+    baseline: &TestStrategy,
+    with_dft: &TestStrategy,
+) -> Result<DftComparison, UnitError> {
+    Ok(DftComparison {
+        baseline: price_strategy(study, baseline)?,
+        with_dft: price_strategy(study, with_dft)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maly_units::DefectDensity;
+    use maly_yield_model::PoissonYield;
+
+    fn study<'a>(
+        wafer: &'a Wafer,
+        yield_model: &'a PoissonYield,
+        tester: &'a TesterEconomics,
+    ) -> DftStudy<'a, PoissonYield> {
+        DftStudy {
+            wafer,
+            wafer_cost: Dollars::new(1300.0).unwrap(),
+            yield_model,
+            base_area: SquareCentimeters::new(1.5).unwrap(),
+            transistors: TransistorCount::from_millions(3.0).unwrap(),
+            tester,
+            escape_cost: Dollars::new(500.0).unwrap(),
+        }
+    }
+
+    fn fixtures() -> (Wafer, PoissonYield, TesterEconomics) {
+        (
+            Wafer::six_inch(),
+            PoissonYield::new(DefectDensity::new(0.5).unwrap()),
+            TesterEconomics::typical_1994(),
+        )
+    }
+
+    #[test]
+    fn dft_overhead_raises_silicon_cost() {
+        let (w, y, t) = fixtures();
+        let s = study(&w, &y, &t);
+        let base = price_strategy(&s, &TestStrategy::baseline(0.9).unwrap()).unwrap();
+        let dft = price_strategy(&s, &TestStrategy::with_dft(0.10, 0.9, 1.0).unwrap()).unwrap();
+        assert!(dft.silicon_cost > base.silicon_cost);
+        assert!(dft.die_yield < base.die_yield);
+    }
+
+    #[test]
+    fn coverage_cuts_escape_cost() {
+        let (w, y, t) = fixtures();
+        let s = study(&w, &y, &t);
+        let loose = price_strategy(&s, &TestStrategy::baseline(0.85).unwrap()).unwrap();
+        let tight = price_strategy(&s, &TestStrategy::baseline(0.999).unwrap()).unwrap();
+        assert!(tight.escape_cost.value() < 0.1 * loose.escape_cost.value());
+        assert!(tight.test_cost > loose.test_cost);
+    }
+
+    #[test]
+    fn dft_wins_when_escapes_are_expensive() {
+        // Modest overhead buying high coverage and 4× tester compression:
+        // the classic BIST win against costly field returns.
+        let (w, y, t) = fixtures();
+        let mut s = study(&w, &y, &t);
+        s.escape_cost = Dollars::new(2000.0).unwrap();
+        let cmp = compare(
+            &s,
+            &TestStrategy::baseline(0.85).unwrap(),
+            &TestStrategy::with_dft(0.05, 0.995, 0.25).unwrap(),
+        )
+        .unwrap();
+        assert!(cmp.dft_wins(), "net saving {}", cmp.net_saving());
+    }
+
+    #[test]
+    fn dft_loses_when_silicon_is_the_only_cost() {
+        // Free escapes and cheap testing: the area overhead is pure loss.
+        let (w, y, t) = fixtures();
+        let mut s = study(&w, &y, &t);
+        s.escape_cost = Dollars::zero();
+        let cmp = compare(
+            &s,
+            &TestStrategy::baseline(0.95).unwrap(),
+            &TestStrategy::with_dft(0.15, 0.99, 1.0).unwrap(),
+        )
+        .unwrap();
+        assert!(!cmp.dft_wins());
+        assert!(cmp.net_saving() < 0.0);
+    }
+
+    #[test]
+    fn totals_add_components() {
+        let (w, y, t) = fixtures();
+        let s = study(&w, &y, &t);
+        let cost = price_strategy(&s, &TestStrategy::baseline(0.9).unwrap()).unwrap();
+        let sum = cost.silicon_cost.value() + cost.test_cost.value() + cost.escape_cost.value();
+        assert!((cost.total().value() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_die_is_an_error() {
+        let (w, y, t) = fixtures();
+        let mut s = study(&w, &y, &t);
+        s.base_area = SquareCentimeters::new(200.0).unwrap();
+        assert!(price_strategy(&s, &TestStrategy::baseline(0.9).unwrap()).is_err());
+    }
+
+    #[test]
+    fn strategy_validation() {
+        assert!(TestStrategy::with_dft(1.5, 0.9, 1.0).is_err());
+        assert!(TestStrategy::with_dft(0.1, 1.5, 1.0).is_err());
+        assert!(TestStrategy::with_dft(0.1, 0.9, 0.0).is_err());
+        assert!(TestStrategy::baseline(-0.1).is_err());
+    }
+}

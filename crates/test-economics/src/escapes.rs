@@ -1,0 +1,157 @@
+//! Fault escapes: the Williams–Brown defect-level model.
+//!
+//! A die that passes test may still be defective if the test's fault
+//! coverage `T < 1`. Williams and Brown (1981) showed that under the
+//! standard independence assumptions the *defect level* — the fraction
+//! of shipped (test-passing) dies that are actually bad — is
+//!
+//! ```text
+//!   DL = 1 − Y^{(1−T)}
+//! ```
+//!
+//! where `Y` is the true process yield. This single formula is the
+//! quantitative bridge between yield, test quality and the cost of field
+//! returns that Sec. VI asks for ("cost of testing as a function of the
+//! probability of fault escapes \[32\]").
+
+use maly_units::{Dollars, Probability};
+
+/// Williams–Brown defect level `DL = 1 − Y^{1−T}`.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::Probability;
+/// use maly_test_economics::escapes::defect_level;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let y = Probability::new(0.5)?;
+/// // Perfect coverage ships no escapes.
+/// assert_eq!(defect_level(y, Probability::ONE).value(), 0.0);
+/// // Zero coverage ships the raw fallout: DL = 1 − Y.
+/// assert!((defect_level(y, Probability::ZERO).value() - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn defect_level(yield_: Probability, coverage: Probability) -> Probability {
+    let exponent = 1.0 - coverage.value();
+    yield_.powf(exponent).complement()
+}
+
+/// Defect level expressed in defective parts per million shipped.
+#[must_use]
+pub fn defects_per_million(yield_: Probability, coverage: Probability) -> f64 {
+    defect_level(yield_, coverage).value() * 1.0e6
+}
+
+/// The fault coverage required to ship no worse than `target_dl`:
+/// `T = 1 − ln(1−DL)/ln(Y)`.
+///
+/// Returns `None` when the target is unreachable (`Y = 0`), or trivially
+/// reachable without testing (`1 − Y ≤ DL`, where `T = 0` suffices —
+/// returned as zero coverage).
+#[must_use]
+pub fn required_coverage(yield_: Probability, target_dl: Probability) -> Option<Probability> {
+    let y = yield_.value();
+    if y <= 0.0 {
+        return None;
+    }
+    if y >= 1.0 {
+        // Perfect yield ships perfect parts with no testing at all.
+        return Some(Probability::ZERO);
+    }
+    let dl = target_dl.value();
+    if 1.0 - y <= dl {
+        return Some(Probability::ZERO);
+    }
+    let t = 1.0 - (1.0 - dl).ln() / y.ln();
+    Probability::new(t.clamp(0.0, 1.0)).ok()
+}
+
+/// Expected field-return cost per shipped die: `DL · cost_per_escape`.
+///
+/// `cost_per_escape` is the fully loaded cost of one escaped defect
+/// (replacement, RMA handling, reputation) — typically orders of
+/// magnitude above the die cost, which is why coverage pays.
+#[must_use]
+pub fn escape_cost_per_shipped_die(
+    yield_: Probability,
+    coverage: Probability,
+    cost_per_escape: Dollars,
+) -> Dollars {
+    cost_per_escape * defect_level(yield_, coverage).value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    #[test]
+    fn williams_brown_reference_point() {
+        // The classic textbook point: Y = 50%, T = 90% → DL ≈ 6.7%.
+        let dl = defect_level(p(0.5), p(0.9));
+        assert!((dl.value() - 0.067).abs() < 1e-3, "{}", dl.value());
+    }
+
+    #[test]
+    fn coverage_monotonically_cleans_shipments() {
+        let y = p(0.6);
+        let mut last = 1.0;
+        for t in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let dl = defect_level(y, p(t)).value();
+            assert!(dl <= last);
+            last = dl;
+        }
+    }
+
+    #[test]
+    fn better_yield_ships_cleaner_at_fixed_coverage() {
+        let t = p(0.9);
+        assert!(defect_level(p(0.9), t) < defect_level(p(0.5), t));
+    }
+
+    #[test]
+    fn dpm_scale() {
+        // High-yield, high-coverage: DPM in the hundreds.
+        let dpm = defects_per_million(p(0.9), p(0.999));
+        assert!(dpm > 10.0 && dpm < 1000.0, "{dpm}");
+    }
+
+    #[test]
+    fn required_coverage_inverts_defect_level() {
+        let y = p(0.6);
+        let target = p(0.01);
+        let t = required_coverage(y, target).unwrap();
+        let achieved = defect_level(y, t);
+        assert!((achieved.value() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn required_coverage_edge_cases() {
+        // Already clean enough without test.
+        assert_eq!(
+            required_coverage(p(0.995), p(0.01)).unwrap(),
+            Probability::ZERO
+        );
+        // Perfect yield needs no test.
+        assert_eq!(
+            required_coverage(Probability::ONE, p(0.0001)).unwrap(),
+            Probability::ZERO
+        );
+        // Zero yield can never ship clean parts.
+        assert!(required_coverage(Probability::ZERO, p(0.01)).is_none());
+    }
+
+    #[test]
+    fn escape_cost_scales_with_defect_level() {
+        let cost = Dollars::new(500.0).unwrap();
+        let loose = escape_cost_per_shipped_die(p(0.5), p(0.8), cost);
+        let tight = escape_cost_per_shipped_die(p(0.5), p(0.99), cost);
+        assert!(loose.value() > 10.0 * tight.value());
+    }
+}

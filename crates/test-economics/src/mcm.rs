@@ -1,0 +1,311 @@
+//! Known-good-die economics for multi-chip modules (refs \[30, 31\]).
+//!
+//! An MCM assembles `n` bare dies on a substrate. A single bad die kills
+//! (or forces rework of) the whole module, so the *defect level* of the
+//! incoming dies compounds: module first-pass yield is `(1 − DL)ⁿ`.
+//! "Are There Any Alternatives to Known Good Die?" \[31\] frames the
+//! choice this module prices:
+//!
+//! * **Probe-only dies** — cheap dies, high `DL`, expensive module
+//!   fallout and rework;
+//! * **Known good dies (KGD)** — burn-in and full test per die raises
+//!   die cost but ships nearly clean dies;
+//! * **Smart substrate** \[30\] — an *active* (more expensive) substrate
+//!   that can self-test the assembled dies, catching bad dies at first
+//!   module test and making rework targeted and cheap.
+//!
+//! The paper's point is that the expensive substrate can *minimize* the
+//! overall system cost — exactly the kind of cross-boundary optimization
+//! traditional per-component accounting misses.
+
+use maly_units::{Dollars, Probability, UnitError};
+
+/// One die supply option for module assembly.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DieSupply {
+    /// Cost per die as procured.
+    pub die_cost: Dollars,
+    /// Defect level of procured dies (fraction bad among delivered).
+    pub defect_level: Probability,
+}
+
+impl DieSupply {
+    /// Probe-only dies: cheapest, with the wafer-probe escape rate.
+    #[must_use]
+    pub fn probe_only(die_cost: Dollars, defect_level: Probability) -> Self {
+        Self {
+            die_cost,
+            defect_level,
+        }
+    }
+
+    /// Known good dies: `extra_test_cost` per die buys a residual defect
+    /// level of `residual_dl`.
+    #[must_use]
+    pub fn known_good(base: DieSupply, extra_test_cost: Dollars, residual_dl: Probability) -> Self {
+        Self {
+            die_cost: base.die_cost + extra_test_cost,
+            defect_level: residual_dl,
+        }
+    }
+}
+
+/// Module-level parameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ModuleParameters {
+    /// Dies per module.
+    pub dies_per_module: u32,
+    /// Passive substrate + assembly cost per module.
+    pub substrate_cost: Dollars,
+    /// Cost of one rework cycle (locate, remove, replace one die).
+    pub rework_cost: Dollars,
+    /// Assembly-induced die mortality (handling/bonding damage).
+    pub assembly_fallout: Probability,
+    /// Fraction of first-pass-failing modules whose fault cannot be
+    /// localized and that must be scrapped whole (substrate and all
+    /// dies). This is the nonlinearity that makes large probe-only
+    /// modules untenable: first-pass failures compound exponentially
+    /// with die count. A smart substrate drives this to ~0.
+    pub scrap_fraction: Probability,
+}
+
+/// Pricing result for one supply option.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ModuleCost {
+    /// Probability a freshly assembled module has all dies good.
+    pub first_pass_yield: Probability,
+    /// Expected rework cycles per module.
+    pub expected_reworks: f64,
+    /// Expected total cost per *good* module.
+    pub cost_per_good_module: Dollars,
+}
+
+/// Prices a module built from the given die supply.
+///
+/// Model: all `n` dies are mounted; each is independently bad with
+/// probability `DL + assembly fallout` (escapes plus handling damage).
+/// A module failing first-pass test is scrapped whole with probability
+/// `scrap_fraction` (fault not localizable); otherwise each bad die is
+/// replaced at one rework cycle (replacement dies drawn from the same
+/// supply; recursion truncated at the expected-value level).
+///
+/// # Errors
+///
+/// Returns an error when `dies_per_module` is zero or every die is bad.
+pub fn price_module(
+    supply: &DieSupply,
+    module: &ModuleParameters,
+) -> Result<ModuleCost, UnitError> {
+    let n = module.dies_per_module;
+    if n == 0 {
+        return Err(UnitError::NotPositive {
+            quantity: "dies per module",
+            value: 0.0,
+        });
+    }
+    let p_bad = (supply.defect_level.value() + module.assembly_fallout.value()).min(1.0);
+    if p_bad >= 1.0 {
+        return Err(UnitError::OutOfRange {
+            quantity: "per-die bad probability",
+            value: p_bad,
+            min: 0.0,
+            max: 1.0,
+        });
+    }
+    let p_good = 1.0 - p_bad;
+    let first_pass = Probability::new(p_good.powi(n as i32)).expect("power of probability");
+
+    // Expected bad dies at first test: n·p_bad. Each rework replaces one
+    // die which is itself bad with p_bad, so total expected replacements
+    // form a geometric series: n·p_bad / (1 − p_bad).
+    let expected_reworks = f64::from(n) * p_bad / p_good;
+
+    let die_bill = supply.die_cost * (f64::from(n) + expected_reworks);
+    let rework_bill = module.rework_cost * expected_reworks;
+    let build_cost = module.substrate_cost + die_bill + rework_bill;
+
+    // First-pass failures are scrapped whole with the given probability;
+    // the expected number of builds per shipped module is the geometric
+    // 1 / (1 − P(fail)·scrap).
+    let p_scrapped = first_pass.complement().value() * module.scrap_fraction.value();
+    let builds_per_good = 1.0 / (1.0 - p_scrapped);
+    let total = build_cost * builds_per_good;
+
+    Ok(ModuleCost {
+        first_pass_yield: first_pass,
+        expected_reworks,
+        cost_per_good_module: total,
+    })
+}
+
+/// The three-way study of \[31\]: probe-only vs KGD vs smart substrate.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KgdStudy {
+    /// Probe-only option.
+    pub probe_only: ModuleCost,
+    /// Known-good-die option.
+    pub kgd: ModuleCost,
+    /// Smart-substrate option.
+    pub smart_substrate: ModuleCost,
+}
+
+impl KgdStudy {
+    /// Runs the study.
+    ///
+    /// The smart substrate costs `substrate_premium` more than the
+    /// passive one, but its built-in self-test localizes every bad die:
+    /// nothing is ever scrapped for lack of diagnosis
+    /// (`scrap_fraction = 0`) and reworks cost `smart_rework_discount`
+    /// of the passive rework.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pricing failures.
+    pub fn run(
+        probe_supply: DieSupply,
+        kgd_supply: DieSupply,
+        module: ModuleParameters,
+        substrate_premium: Dollars,
+        smart_rework_discount: f64,
+    ) -> Result<Self, UnitError> {
+        let probe_only = price_module(&probe_supply, &module)?;
+        let kgd = price_module(&kgd_supply, &module)?;
+        let smart_module = ModuleParameters {
+            substrate_cost: module.substrate_cost + substrate_premium,
+            rework_cost: module.rework_cost * smart_rework_discount,
+            scrap_fraction: Probability::ZERO,
+            ..module
+        };
+        let smart_substrate = price_module(&probe_supply, &smart_module)?;
+        Ok(Self {
+            probe_only,
+            kgd,
+            smart_substrate,
+        })
+    }
+
+    /// The cheapest option's name.
+    #[must_use]
+    pub fn winner(&self) -> &'static str {
+        let p = self.probe_only.cost_per_good_module.value();
+        let k = self.kgd.cost_per_good_module.value();
+        let s = self.smart_substrate.cost_per_good_module.value();
+        if s <= p && s <= k {
+            "smart substrate"
+        } else if k <= p {
+            "known good die"
+        } else {
+            "probe only"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dollars(v: f64) -> Dollars {
+        Dollars::new(v).unwrap()
+    }
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn module(n: u32) -> ModuleParameters {
+        ModuleParameters {
+            dies_per_module: n,
+            substrate_cost: dollars(120.0),
+            rework_cost: dollars(80.0),
+            assembly_fallout: p(0.005),
+            // Half the failing modules defy diagnosis on a passive
+            // substrate and are scrapped whole.
+            scrap_fraction: p(0.5),
+        }
+    }
+
+    fn probe_supply() -> DieSupply {
+        // 5% escapes from wafer probe at 90% coverage on a 60%-yield die.
+        DieSupply::probe_only(dollars(25.0), p(0.05))
+    }
+
+    fn kgd_supply() -> DieSupply {
+        // $13 of burn-in and final test per die buys 0.1% residual DL.
+        DieSupply::known_good(probe_supply(), dollars(13.0), p(0.001))
+    }
+
+    #[test]
+    fn module_yield_compounds_per_die() {
+        let cost4 = price_module(&probe_supply(), &module(4)).unwrap();
+        let cost10 = price_module(&probe_supply(), &module(10)).unwrap();
+        assert!(cost10.first_pass_yield < cost4.first_pass_yield);
+        let expected = (1.0f64 - 0.055).powi(4);
+        assert!((cost4.first_pass_yield.value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kgd_wins_for_large_modules() {
+        // With 10 dies per module, probe-only fallout dominates; KGD's
+        // per-die premium pays for itself.
+        let probe = price_module(&probe_supply(), &module(10)).unwrap();
+        let kgd = price_module(&kgd_supply(), &module(10)).unwrap();
+        assert!(kgd.first_pass_yield.value() > 0.9);
+        assert!(probe.first_pass_yield.value() < 0.6);
+        // Rework/escape bill: probe pays reworks, KGD pays die premium.
+        assert!(probe.expected_reworks > 5.0 * kgd.expected_reworks);
+        assert!(kgd.cost_per_good_module < probe.cost_per_good_module);
+    }
+
+    #[test]
+    fn probe_only_wins_for_tiny_modules() {
+        // Two cheap dies: fallout is rare enough that $18/die of KGD
+        // testing cannot pay for itself.
+        let probe = price_module(&probe_supply(), &module(2)).unwrap();
+        let kgd = price_module(&kgd_supply(), &module(2)).unwrap();
+        assert!(probe.cost_per_good_module < kgd.cost_per_good_module);
+    }
+
+    #[test]
+    fn smart_substrate_beats_kgd_when_rework_localization_is_cheap() {
+        // The paper's claim: an active substrate (here +$40) that makes
+        // rework nearly free can beat paying $18×n for KGD.
+        let study =
+            KgdStudy::run(probe_supply(), kgd_supply(), module(10), dollars(40.0), 0.1).unwrap();
+        assert_eq!(study.winner(), "smart substrate");
+        assert!(study.smart_substrate.cost_per_good_module < study.kgd.cost_per_good_module);
+        assert!(study.smart_substrate.cost_per_good_module < study.probe_only.cost_per_good_module);
+    }
+
+    #[test]
+    fn crossover_exists_in_module_size() {
+        // Somewhere between 2 and 16 dies, KGD overtakes probe-only.
+        let mut crossed = false;
+        let mut last_probe_wins = true;
+        for n in 2..=16 {
+            let probe = price_module(&probe_supply(), &module(n)).unwrap();
+            let kgd = price_module(&kgd_supply(), &module(n)).unwrap();
+            let probe_wins = probe.cost_per_good_module <= kgd.cost_per_good_module;
+            if last_probe_wins && !probe_wins {
+                crossed = true;
+            }
+            last_probe_wins = probe_wins;
+        }
+        assert!(crossed, "expected a probe-only → KGD crossover");
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(price_module(&probe_supply(), &module(0)).is_err());
+        let hopeless = DieSupply::probe_only(dollars(1.0), Probability::ONE);
+        assert!(price_module(&hopeless, &module(4)).is_err());
+    }
+
+    #[test]
+    fn rework_expectation_is_geometric() {
+        let supply = probe_supply();
+        let cost = price_module(&supply, &module(10)).unwrap();
+        let p_bad: f64 = 0.055;
+        let expected = 10.0 * p_bad / (1.0 - p_bad);
+        assert!((cost.expected_reworks - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,196 @@
+//! Area quantities: µm², mm², cm².
+
+use crate::error::ensure_positive;
+use crate::macros::scalar_quantity;
+use crate::{
+    Centimeters, Microns, Millimeters, MICRONS_PER_CENTIMETER, MILLIMETERS_PER_CENTIMETER,
+};
+
+const UM2_PER_CM2: f64 = MICRONS_PER_CENTIMETER * MICRONS_PER_CENTIMETER;
+const MM2_PER_CM2: f64 = MILLIMETERS_PER_CENTIMETER * MILLIMETERS_PER_CENTIMETER;
+
+scalar_quantity! {
+    /// A strictly positive area in square microns (µm²).
+    ///
+    /// The transistor footprint `d_d · λ²` of eq. (5) lives in µm².
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use maly_units::SquareMicrons;
+    ///
+    /// # fn main() -> Result<(), maly_units::UnitError> {
+    /// let a = SquareMicrons::new(2.0e8)?;
+    /// assert!((a.to_square_centimeters().value() - 2.0).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    SquareMicrons, "square microns", ensure_positive, "µm²"
+}
+
+scalar_quantity! {
+    /// A strictly positive area in square millimeters (mm²).
+    ///
+    /// Table 1 of the paper quotes functional-block areas in mm².
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use maly_units::SquareMillimeters;
+    ///
+    /// # fn main() -> Result<(), maly_units::UnitError> {
+    /// let a = SquareMillimeters::new(33.2)?;
+    /// assert!((a.to_square_centimeters().value() - 0.332).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    SquareMillimeters, "square millimeters", ensure_positive, "mm²"
+}
+
+scalar_quantity! {
+    /// A strictly positive area in square centimeters (cm²).
+    ///
+    /// Die areas `A_ch` and the reference area `A_0 = 1 cm²` of eq. (9)
+    /// live in cm².
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use maly_units::SquareCentimeters;
+    ///
+    /// # fn main() -> Result<(), maly_units::UnitError> {
+    /// let a_ch = SquareCentimeters::new(2.976)?;
+    /// let edge = a_ch.square_side();
+    /// assert!((edge.value() - 2.976_f64.sqrt()).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    SquareCentimeters, "square centimeters", ensure_positive, "cm²"
+}
+
+impl SquareMicrons {
+    pub(crate) fn new_unchecked(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Converts to cm².
+    #[must_use]
+    pub fn to_square_centimeters(self) -> SquareCentimeters {
+        SquareCentimeters(self.0 / UM2_PER_CM2)
+    }
+
+    /// Side length of a square with this area.
+    #[must_use]
+    pub fn square_side(self) -> Microns {
+        // Area is validated positive, so the sqrt is positive and finite.
+        Microns::new(self.0.sqrt()).expect("positive area has positive side")
+    }
+}
+
+impl SquareMillimeters {
+    pub(crate) fn new_unchecked(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Converts to cm².
+    #[must_use]
+    pub fn to_square_centimeters(self) -> SquareCentimeters {
+        SquareCentimeters(self.0 / MM2_PER_CM2)
+    }
+
+    /// Side length of a square with this area.
+    #[must_use]
+    pub fn square_side(self) -> Millimeters {
+        Millimeters::new(self.0.sqrt()).expect("positive area has positive side")
+    }
+}
+
+impl SquareCentimeters {
+    pub(crate) fn new_unchecked(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Converts to µm².
+    #[must_use]
+    pub fn to_square_microns(self) -> SquareMicrons {
+        SquareMicrons(self.0 * UM2_PER_CM2)
+    }
+
+    /// Converts to mm².
+    #[must_use]
+    pub fn to_square_millimeters(self) -> SquareMillimeters {
+        SquareMillimeters(self.0 * MM2_PER_CM2)
+    }
+
+    /// Side length of a square with this area.
+    #[must_use]
+    pub fn square_side(self) -> Centimeters {
+        Centimeters::new(self.0.sqrt()).expect("positive area has positive side")
+    }
+}
+
+impl From<SquareMillimeters> for SquareCentimeters {
+    fn from(v: SquareMillimeters) -> Self {
+        v.to_square_centimeters()
+    }
+}
+
+impl From<SquareMicrons> for SquareCentimeters {
+    fn from(v: SquareMicrons) -> Self {
+        v.to_square_centimeters()
+    }
+}
+
+impl From<SquareCentimeters> for SquareMillimeters {
+    fn from(v: SquareCentimeters) -> Self {
+        v.to_square_millimeters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_roundtrip() {
+        let a = SquareCentimeters::new(2.976).unwrap();
+        let um2 = a.to_square_microns();
+        assert!((um2.value() - 2.976e8).abs() < 1.0);
+        let back = um2.to_square_centimeters();
+        assert!((back.value() - a.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm2_to_cm2() {
+        let a = SquareMillimeters::new(45.9).unwrap();
+        assert!((a.to_square_centimeters().value() - 0.459).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_side_is_sqrt() {
+        let a = SquareCentimeters::new(4.0).unwrap();
+        assert!((a.square_side().value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_areas() {
+        assert!(SquareCentimeters::new(0.0).is_err());
+        assert!(SquareMicrons::new(-1.0).is_err());
+        assert!(SquareMillimeters::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn micron_square_consistency_with_length_multiplication() {
+        let l = Microns::new(0.8).unwrap();
+        let a = l.squared();
+        assert!((a.value() - 0.64).abs() < 1e-12);
+        // 0.64 µm² in cm²
+        assert!((a.to_square_centimeters().value() - 0.64e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn display_uses_unit_suffix() {
+        let a = SquareCentimeters::new(1.5).unwrap();
+        assert_eq!(a.to_string(), "1.5 cm²");
+    }
+}

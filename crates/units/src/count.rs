@@ -1,0 +1,204 @@
+//! Count quantities: transistors per die, dies per wafer.
+
+use crate::UnitError;
+
+/// A number of transistors (`N_tr` of eq. 1).
+///
+/// Stored as `f64` because transistor counts in the paper range from
+/// 7.2 k (PLD) to 264 M (256 Mb DRAM) and frequently participate in
+/// real-valued arithmetic (densities, yields). The constructor validates
+/// positivity and finiteness.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::TransistorCount;
+///
+/// # fn main() -> Result<(), maly_units::UnitError> {
+/// let n_tr = TransistorCount::new(3.1e6)?;
+/// assert_eq!(n_tr.value(), 3.1e6);
+/// assert_eq!(n_tr.to_string(), "3.10M tr");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct TransistorCount(f64);
+
+impl TransistorCount {
+    /// Creates a transistor count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `value` is finite and strictly positive.
+    pub fn new(value: f64) -> Result<Self, UnitError> {
+        crate::error::ensure_positive("transistor count", value).map(Self)
+    }
+
+    /// Creates a count expressed in millions of transistors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `millions` is finite and strictly positive.
+    pub fn from_millions(millions: f64) -> Result<Self, UnitError> {
+        Self::new(millions * 1.0e6)
+    }
+
+    /// Creates a count expressed in thousands of transistors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `thousands` is finite and strictly positive.
+    pub fn from_thousands(thousands: f64) -> Result<Self, UnitError> {
+        Self::new(thousands * 1.0e3)
+    }
+
+    /// Raw count.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Count in millions.
+    #[must_use]
+    pub fn millions(self) -> f64 {
+        self.0 / 1.0e6
+    }
+}
+
+impl std::fmt::Display for TransistorCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1.0e6 {
+            write!(f, "{:.2}M tr", self.0 / 1.0e6)
+        } else if self.0 >= 1.0e3 {
+            write!(f, "{:.1}k tr", self.0 / 1.0e3)
+        } else {
+            write!(f, "{} tr", self.0)
+        }
+    }
+}
+
+/// A whole number of dies (`N_ch` of eq. 1 — dies per wafer).
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::DieCount;
+///
+/// let n_ch = DieCount::new(46);
+/// assert_eq!(n_ch.value(), 46);
+/// ```
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct DieCount(u32);
+
+impl DieCount {
+    /// Creates a die count. Zero is legal: a die larger than the wafer
+    /// yields no sites.
+    #[must_use]
+    pub fn new(value: u32) -> Self {
+        Self(value)
+    }
+
+    /// Raw count.
+    #[must_use]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Count as `f64` for use in cost arithmetic.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.0)
+    }
+
+    /// True when the wafer holds no complete die.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for DieCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} dies", self.0)
+    }
+}
+
+impl std::ops::Add for DieCount {
+    type Output = DieCount;
+    fn add(self, rhs: DieCount) -> DieCount {
+        DieCount(self.0 + rhs.0)
+    }
+}
+
+impl From<u32> for DieCount {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl std::iter::Sum for DieCount {
+    fn sum<I: Iterator<Item = DieCount>>(iter: I) -> DieCount {
+        iter.fold(DieCount::new(0), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transistor_count_constructors_agree() {
+        assert_eq!(
+            TransistorCount::from_millions(3.1).unwrap(),
+            TransistorCount::new(3.1e6).unwrap()
+        );
+        assert_eq!(
+            TransistorCount::from_thousands(40.0).unwrap(),
+            TransistorCount::new(4.0e4).unwrap()
+        );
+    }
+
+    #[test]
+    fn transistor_count_rejects_invalid() {
+        assert!(TransistorCount::new(0.0).is_err());
+        assert!(TransistorCount::new(f64::NAN).is_err());
+        assert!(TransistorCount::from_millions(-1.0).is_err());
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(
+            TransistorCount::new(264e6).unwrap().to_string(),
+            "264.00M tr"
+        );
+        assert_eq!(TransistorCount::new(7200.0).unwrap().to_string(), "7.2k tr");
+        assert_eq!(TransistorCount::new(12.0).unwrap().to_string(), "12 tr");
+    }
+
+    #[test]
+    fn die_count_arithmetic() {
+        let total: DieCount = [5u32, 7, 8].into_iter().map(DieCount::new).sum();
+        assert_eq!(total.value(), 20);
+        assert!(!total.is_zero());
+        assert!(DieCount::new(0).is_zero());
+    }
+
+    #[test]
+    fn die_count_display() {
+        assert_eq!(DieCount::new(46).to_string(), "46 dies");
+    }
+}

@@ -1,0 +1,137 @@
+//! Design density and defect density quantities.
+
+use crate::error::ensure_positive;
+use crate::macros::scalar_quantity;
+use crate::{Microns, SquareMicrons, UnitError};
+
+scalar_quantity! {
+    /// Design density `d_d` in λ² per transistor (eq. 5).
+    ///
+    /// The number of minimum-feature-size squares needed to draw a single
+    /// "average" transistor for a given design. Denser layouts have
+    /// *smaller* values: Table 2 ranges from `17.8` (16 Mb SRAM) to
+    /// `2631` (PLD).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use maly_units::{DesignDensity, Microns};
+    ///
+    /// # fn main() -> Result<(), maly_units::UnitError> {
+    /// let d_d = DesignDensity::new(150.0)?;
+    /// let lambda = Microns::new(0.8)?;
+    /// // Area of one average transistor: d_d · λ² = 96 µm².
+    /// let per_tr = d_d.transistor_footprint(lambda);
+    /// assert!((per_tr.value() - 96.0).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    DesignDensity, "design density", ensure_positive, "λ²/tr"
+}
+
+impl DesignDensity {
+    /// Area occupied by one average transistor at feature size `lambda`:
+    /// `d_d · λ²` (the per-transistor factor of eq. 5).
+    #[must_use]
+    pub fn transistor_footprint(self, lambda: Microns) -> SquareMicrons {
+        lambda.squared() * self.0
+    }
+
+    /// Derives the design density from a measured block: `d_d = A / (N · λ²)`.
+    ///
+    /// This is how Tables 1 and 2 of the paper were produced from published
+    /// die photographs and transistor counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `transistors` is not positive.
+    pub fn from_layout(
+        area: SquareMicrons,
+        transistors: f64,
+        lambda: Microns,
+    ) -> Result<Self, UnitError> {
+        let transistors = crate::error::ensure_positive("transistor count", transistors)?;
+        DesignDensity::new(area.value() / (transistors * lambda.squared().value()))
+    }
+}
+
+scalar_quantity! {
+    /// Defect density in defects per cm².
+    ///
+    /// `D_0` of the Poisson yield model (eq. 6). The paper's Fig. 4 shows
+    /// the *required* defect density dropping below 0.1 /cm² for
+    /// sub-half-micron generations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use maly_units::DefectDensity;
+    ///
+    /// # fn main() -> Result<(), maly_units::UnitError> {
+    /// let d0 = DefectDensity::new(0.5)?; // 0.5 defects/cm²
+    /// assert_eq!(d0.value(), 0.5);
+    /// # Ok(())
+    /// # }
+    /// ```
+    DefectDensity, "defect density", ensure_positive, "/cm²"
+}
+
+impl DefectDensity {
+    /// Expected number of yield-relevant defects on a die of `area_cm2` cm².
+    ///
+    /// This is the `A_ch · D_0` exponent of eq. (6).
+    #[must_use]
+    pub fn expected_defects(self, area_cm2: crate::SquareCentimeters) -> f64 {
+        self.0 * area_cm2.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SquareCentimeters;
+
+    #[test]
+    fn footprint_matches_eq5() {
+        // Table 3 row 1: d_d = 150, λ = 0.8 → 96 µm²/transistor;
+        // 3.1M transistors → 2.976 cm² die.
+        let d_d = DesignDensity::new(150.0).unwrap();
+        let lam = Microns::new(0.8).unwrap();
+        let per_tr = d_d.transistor_footprint(lam);
+        let die = per_tr * 3.1e6;
+        assert!((die.to_square_centimeters().value() - 2.976).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_layout_inverts_footprint() {
+        // Table 1 I-cache row: 33.2 mm², 1.2M transistors at λ = 0.8 µm
+        // gives d_d ≈ 43.2 λ²/tr.
+        let area = crate::SquareMillimeters::new(33.2)
+            .unwrap()
+            .to_square_centimeters()
+            .to_square_microns();
+        let lam = Microns::new(0.8).unwrap();
+        let d_d = DesignDensity::from_layout(area, 1.2e6, lam).unwrap();
+        assert!((d_d.value() - 43.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn from_layout_rejects_zero_transistors() {
+        let area = crate::SquareMicrons::new(100.0).unwrap();
+        let lam = Microns::new(1.0).unwrap();
+        assert!(DesignDensity::from_layout(area, 0.0, lam).is_err());
+    }
+
+    #[test]
+    fn expected_defects_is_area_times_density() {
+        let d0 = DefectDensity::new(1.72).unwrap();
+        let a = SquareCentimeters::new(2.0).unwrap();
+        assert!((d0.expected_defects(a) - 3.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_positive_densities() {
+        assert!(DesignDensity::new(0.0).is_err());
+        assert!(DefectDensity::new(-0.5).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Error type for invalid unit values.
+
+use std::fmt;
+
+/// Error returned when constructing a unit type from an invalid value.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::{Microns, UnitError};
+///
+/// let err = Microns::new(-1.0).unwrap_err();
+/// assert!(matches!(err, UnitError::NotPositive { .. }));
+/// assert!(err.to_string().contains("microns"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitError {
+    /// The value must be strictly positive but was not.
+    NotPositive {
+        /// Human-readable name of the quantity (e.g. `"microns"`).
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The value must be non-negative but was negative.
+    Negative {
+        /// Human-readable name of the quantity.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The value must be finite but was NaN or infinite.
+    NotFinite {
+        /// Human-readable name of the quantity.
+        quantity: &'static str,
+    },
+    /// The value fell outside a closed interval (used for probabilities).
+    OutOfRange {
+        /// Human-readable name of the quantity.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Lower inclusive bound.
+        min: f64,
+        /// Upper inclusive bound.
+        max: f64,
+    },
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::NotPositive { quantity, value } => {
+                write!(f, "{quantity} must be positive, got {value}")
+            }
+            UnitError::Negative { quantity, value } => {
+                write!(f, "{quantity} must be non-negative, got {value}")
+            }
+            UnitError::NotFinite { quantity } => {
+                write!(f, "{quantity} must be finite")
+            }
+            UnitError::OutOfRange {
+                quantity,
+                value,
+                min,
+                max,
+            } => {
+                write!(f, "{quantity} must be within [{min}, {max}], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+/// Validates that `value` is finite, returning [`UnitError::NotFinite`] otherwise.
+pub(crate) fn ensure_finite(quantity: &'static str, value: f64) -> Result<f64, UnitError> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(UnitError::NotFinite { quantity })
+    }
+}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn ensure_positive(quantity: &'static str, value: f64) -> Result<f64, UnitError> {
+    let value = ensure_finite(quantity, value)?;
+    if value > 0.0 {
+        Ok(value)
+    } else {
+        Err(UnitError::NotPositive { quantity, value })
+    }
+}
+
+/// Validates that `value` is finite and non-negative.
+pub(crate) fn ensure_non_negative(quantity: &'static str, value: f64) -> Result<f64, UnitError> {
+    let value = ensure_finite(quantity, value)?;
+    if value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(UnitError::Negative { quantity, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = UnitError::NotPositive {
+            quantity: "microns",
+            value: -2.0,
+        };
+        assert_eq!(e.to_string(), "microns must be positive, got -2");
+
+        let e = UnitError::OutOfRange {
+            quantity: "probability",
+            value: 1.5,
+            min: 0.0,
+            max: 1.0,
+        };
+        assert_eq!(e.to_string(), "probability must be within [0, 1], got 1.5");
+    }
+
+    #[test]
+    fn ensure_positive_rejects_zero_nan_and_negative() {
+        assert!(ensure_positive("q", 0.0).is_err());
+        assert!(ensure_positive("q", -1.0).is_err());
+        assert!(ensure_positive("q", f64::NAN).is_err());
+        assert!(ensure_positive("q", f64::INFINITY).is_err());
+        assert_eq!(ensure_positive("q", 3.0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn ensure_non_negative_accepts_zero() {
+        assert_eq!(ensure_non_negative("q", 0.0).unwrap(), 0.0);
+        assert!(ensure_non_negative("q", -0.1).is_err());
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(UnitError::NotFinite { quantity: "x" });
+        assert_eq!(e.to_string(), "x must be finite");
+    }
+}

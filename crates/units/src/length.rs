@@ -1,0 +1,230 @@
+//! Length quantities: microns, millimeters, centimeters.
+
+use crate::area::{SquareCentimeters, SquareMicrons, SquareMillimeters};
+use crate::error::ensure_positive;
+use crate::macros::scalar_quantity;
+use crate::{MICRONS_PER_CENTIMETER, MICRONS_PER_MILLIMETER, MILLIMETERS_PER_CENTIMETER};
+
+scalar_quantity! {
+    /// A strictly positive length in microns (µm).
+    ///
+    /// The paper's λ — *minimum feature size in microns* — is represented
+    /// with this type. Note that this is the drawn minimum feature (e.g.
+    /// transistor channel length), not the λ = feature/2 layout-rule
+    /// convention.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use maly_units::Microns;
+    ///
+    /// # fn main() -> Result<(), maly_units::UnitError> {
+    /// let lambda = Microns::new(0.8)?;
+    /// assert_eq!(lambda.value(), 0.8);
+    /// assert_eq!(lambda.to_centimeters().value(), 0.8e-4);
+    /// # Ok(())
+    /// # }
+    /// ```
+    Microns, "microns", ensure_positive, "µm"
+}
+
+scalar_quantity! {
+    /// A strictly positive length in millimeters (mm).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use maly_units::Millimeters;
+    ///
+    /// # fn main() -> Result<(), maly_units::UnitError> {
+    /// let edge = Millimeters::new(12.0)?;
+    /// assert_eq!(edge.to_centimeters().value(), 1.2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    Millimeters, "millimeters", ensure_positive, "mm"
+}
+
+scalar_quantity! {
+    /// A strictly positive length in centimeters (cm).
+    ///
+    /// Wafer radii and die edges in the paper are quoted in centimeters
+    /// (e.g. `R_w = 7.5 cm` for a 6-inch wafer).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use maly_units::Centimeters;
+    ///
+    /// # fn main() -> Result<(), maly_units::UnitError> {
+    /// let r_w = Centimeters::new(7.5)?;
+    /// let area = r_w * r_w; // cm²
+    /// assert!((area.value() - 56.25).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    Centimeters, "centimeters", ensure_positive, "cm"
+}
+
+impl Microns {
+    /// Converts to centimeters.
+    #[must_use]
+    pub fn to_centimeters(self) -> Centimeters {
+        Centimeters(self.0 / MICRONS_PER_CENTIMETER)
+    }
+
+    /// Converts to millimeters.
+    #[must_use]
+    pub fn to_millimeters(self) -> Millimeters {
+        Millimeters(self.0 / MICRONS_PER_MILLIMETER)
+    }
+
+    /// Squares this length, producing an area in µm².
+    #[must_use]
+    pub fn squared(self) -> SquareMicrons {
+        self * self
+    }
+}
+
+impl Millimeters {
+    /// Converts to centimeters.
+    #[must_use]
+    pub fn to_centimeters(self) -> Centimeters {
+        Centimeters(self.0 / MILLIMETERS_PER_CENTIMETER)
+    }
+
+    /// Converts to microns.
+    #[must_use]
+    pub fn to_microns(self) -> Microns {
+        Microns(self.0 * MICRONS_PER_MILLIMETER)
+    }
+
+    /// Squares this length, producing an area in mm².
+    #[must_use]
+    pub fn squared(self) -> SquareMillimeters {
+        self * self
+    }
+}
+
+impl Centimeters {
+    /// Converts to microns.
+    #[must_use]
+    pub fn to_microns(self) -> Microns {
+        Microns(self.0 * MICRONS_PER_CENTIMETER)
+    }
+
+    /// Converts to millimeters.
+    #[must_use]
+    pub fn to_millimeters(self) -> Millimeters {
+        Millimeters(self.0 * MILLIMETERS_PER_CENTIMETER)
+    }
+
+    /// Squares this length, producing an area in cm².
+    #[must_use]
+    pub fn squared(self) -> SquareCentimeters {
+        self * self
+    }
+}
+
+impl std::ops::Mul for Microns {
+    type Output = SquareMicrons;
+    fn mul(self, rhs: Microns) -> SquareMicrons {
+        SquareMicrons::new_unchecked(self.0 * rhs.0)
+    }
+}
+
+impl std::ops::Mul for Millimeters {
+    type Output = SquareMillimeters;
+    fn mul(self, rhs: Millimeters) -> SquareMillimeters {
+        SquareMillimeters::new_unchecked(self.0 * rhs.0)
+    }
+}
+
+impl std::ops::Mul for Centimeters {
+    type Output = SquareCentimeters;
+    fn mul(self, rhs: Centimeters) -> SquareCentimeters {
+        SquareCentimeters::new_unchecked(self.0 * rhs.0)
+    }
+}
+
+impl From<Millimeters> for Centimeters {
+    fn from(v: Millimeters) -> Self {
+        v.to_centimeters()
+    }
+}
+
+impl From<Centimeters> for Millimeters {
+    fn from(v: Centimeters) -> Self {
+        v.to_millimeters()
+    }
+}
+
+impl From<Microns> for Centimeters {
+    fn from(v: Microns) -> Self {
+        v.to_centimeters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micron_roundtrips_through_centimeters() {
+        let l = Microns::new(0.35).unwrap();
+        let back = l.to_centimeters().to_microns();
+        assert!((l.value() - back.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_positive_lengths() {
+        assert!(Microns::new(0.0).is_err());
+        assert!(Millimeters::new(-3.0).is_err());
+        assert!(Centimeters::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn length_times_length_is_area() {
+        let a = Centimeters::new(2.0).unwrap() * Centimeters::new(3.0).unwrap();
+        assert_eq!(a.value(), 6.0);
+    }
+
+    #[test]
+    fn ratio_of_same_unit_is_dimensionless() {
+        let r = Centimeters::new(15.0).unwrap() / Centimeters::new(7.5).unwrap();
+        assert_eq!(r, 2.0);
+    }
+
+    #[test]
+    fn display_includes_unit_suffix() {
+        let l = Microns::new(0.8).unwrap();
+        assert_eq!(l.to_string(), "0.8 µm");
+        assert_eq!(format!("{l:.2}"), "0.80 µm");
+    }
+
+    #[test]
+    fn scaling_by_f64_keeps_unit() {
+        let l = Millimeters::new(2.0).unwrap() * 3.0;
+        assert_eq!(l.value(), 6.0);
+        let l = 0.5 * l;
+        assert_eq!(l.value(), 3.0);
+        assert_eq!((l / 3.0).value(), 1.0);
+    }
+
+    #[test]
+    fn from_conversions_match_methods() {
+        let mm = Millimeters::new(25.0).unwrap();
+        assert_eq!(Centimeters::from(mm).value(), 2.5);
+        let cm = Centimeters::new(2.5).unwrap();
+        assert_eq!(Millimeters::from(cm).value(), 25.0);
+    }
+
+    #[test]
+    fn serde_roundtrip_is_transparent() {
+        let l = Microns::new(0.65).unwrap();
+        let json = serde_json::to_string(&l).unwrap();
+        assert_eq!(json, "0.65");
+        let back: Microns = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+    }
+}

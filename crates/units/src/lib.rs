@@ -1,0 +1,88 @@
+//! Typed physical and economic quantities for silicon cost modeling.
+//!
+//! The cost model of Maly's DAC 1994 paper mixes quantities whose units are
+//! easy to confuse: feature sizes in microns, die dimensions in centimeters,
+//! die areas in both mm² and cm², wafer costs in dollars, and transistor
+//! costs in micro-dollars. This crate provides zero-cost newtypes so the
+//! compiler keeps them straight (Rust API guideline C-NEWTYPE), with
+//! validated constructors (C-VALIDATE) for quantities that carry invariants
+//! such as probabilities.
+//!
+//! # Examples
+//!
+//! ```
+//! use maly_units::{Microns, Centimeters, Probability};
+//!
+//! # fn main() -> Result<(), maly_units::UnitError> {
+//! let lambda = Microns::new(0.8)?;
+//! let die_edge = Centimeters::new(1.2)?;
+//! let area = die_edge * die_edge; // SquareCentimeters
+//! assert!((area.value() - 1.44).abs() < 1e-12);
+//!
+//! let y0 = Probability::new(0.7)?;
+//! // Area-scaled yield: Y = Y0^(A/A0)
+//! let y = y0.powf(area.value());
+//! assert!(y.value() < y0.value());
+//! # let _ = lambda;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod count;
+mod density;
+mod error;
+mod length;
+mod macros;
+mod money;
+mod probability;
+
+pub use area::{SquareCentimeters, SquareMicrons, SquareMillimeters};
+pub use count::{DieCount, TransistorCount};
+pub use density::{DefectDensity, DesignDensity};
+pub use error::UnitError;
+pub use length::{Centimeters, Microns, Millimeters};
+pub use money::{Dollars, MicroDollars};
+pub use probability::Probability;
+
+/// Number of microns in one centimeter.
+pub const MICRONS_PER_CENTIMETER: f64 = 10_000.0;
+/// Number of microns in one millimeter.
+pub const MICRONS_PER_MILLIMETER: f64 = 1_000.0;
+/// Number of millimeters in one centimeter.
+pub const MILLIMETERS_PER_CENTIMETER: f64 = 10.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_constants_are_consistent() {
+        assert_eq!(
+            MICRONS_PER_CENTIMETER,
+            MICRONS_PER_MILLIMETER * MILLIMETERS_PER_CENTIMETER
+        );
+    }
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Microns>();
+        assert_send_sync::<Centimeters>();
+        assert_send_sync::<Millimeters>();
+        assert_send_sync::<SquareMicrons>();
+        assert_send_sync::<SquareMillimeters>();
+        assert_send_sync::<SquareCentimeters>();
+        assert_send_sync::<Dollars>();
+        assert_send_sync::<MicroDollars>();
+        assert_send_sync::<Probability>();
+        assert_send_sync::<DesignDensity>();
+        assert_send_sync::<DefectDensity>();
+        assert_send_sync::<TransistorCount>();
+        assert_send_sync::<DieCount>();
+        assert_send_sync::<UnitError>();
+    }
+}

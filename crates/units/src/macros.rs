@@ -1,0 +1,91 @@
+//! Internal macro generating the shared newtype boilerplate.
+
+/// Implements the common surface of a positive, `f64`-backed scalar quantity:
+/// constructor with validation, accessor, `Display`, ordering, arithmetic
+/// with itself (`Add`/`Sub`) and with bare `f64` scale factors (`Mul`/`Div`),
+/// and a dimensionless ratio via `Div<Self>`.
+macro_rules! scalar_quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $quantity:literal, $validator:path, $unit_suffix:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Creates a new value, validating the invariant documented on the type.
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`crate::UnitError`] if the value violates the
+            /// type's invariant (non-finite, or outside the permitted sign).
+            pub fn new(value: f64) -> Result<Self, crate::UnitError> {
+                $validator($quantity, value).map(Self)
+            }
+
+            /// Returns the raw `f64` magnitude in this type's unit.
+            #[must_use]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Respect an explicit precision; default to a compact form.
+                if let Some(p) = f.precision() {
+                    write!(f, "{:.*} {}", p, self.0, $unit_suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $unit_suffix)
+                }
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl std::ops::Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl std::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl std::ops::Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl std::ops::Div<$name> for $name {
+            /// Dimensionless ratio of two quantities of the same unit.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+    };
+}
+
+pub(crate) use scalar_quantity;

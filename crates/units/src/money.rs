@@ -1,0 +1,134 @@
+//! Monetary quantities (1994 US dollars).
+
+use crate::error::ensure_non_negative;
+use crate::macros::scalar_quantity;
+
+/// Micro-dollars per dollar.
+const MICRO_PER_DOLLAR: f64 = 1.0e6;
+
+scalar_quantity! {
+    /// A non-negative amount of money in US dollars.
+    ///
+    /// All costs in this workspace are 1994 dollars, matching the paper.
+    /// Wafer costs (`C_w`, `C_0`) and overheads (`C_over`) use this type.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use maly_units::Dollars;
+    ///
+    /// # fn main() -> Result<(), maly_units::UnitError> {
+    /// let c0 = Dollars::new(500.0)?;
+    /// let escalated = c0 * 1.4;
+    /// assert_eq!(escalated.value(), 700.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    Dollars, "dollars", ensure_non_negative, "$"
+}
+
+scalar_quantity! {
+    /// A non-negative amount of money in micro-dollars (10⁻⁶ $).
+    ///
+    /// Table 3 of the paper reports per-transistor costs in units of
+    /// `$10⁻⁶`; this type mirrors that convention so reproduced numbers
+    /// read the same as the printed ones (e.g. `9.40 µ$`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use maly_units::{Dollars, MicroDollars};
+    ///
+    /// # fn main() -> Result<(), maly_units::UnitError> {
+    /// let c_tr = Dollars::new(9.4e-6)?.to_micro_dollars();
+    /// assert!((c_tr.value() - 9.4).abs() < 1e-9);
+    /// # Ok(())
+    /// # }
+    /// ```
+    MicroDollars, "micro-dollars", ensure_non_negative, "µ$"
+}
+
+impl Dollars {
+    /// Zero dollars.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self(0.0)
+    }
+
+    /// Converts to micro-dollars.
+    #[must_use]
+    pub fn to_micro_dollars(self) -> MicroDollars {
+        MicroDollars(self.0 * MICRO_PER_DOLLAR)
+    }
+}
+
+impl Default for Dollars {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl MicroDollars {
+    /// Converts to dollars.
+    #[must_use]
+    pub fn to_dollars(self) -> Dollars {
+        Dollars(self.0 / MICRO_PER_DOLLAR)
+    }
+}
+
+impl From<MicroDollars> for Dollars {
+    fn from(v: MicroDollars) -> Self {
+        v.to_dollars()
+    }
+}
+
+impl From<Dollars> for MicroDollars {
+    fn from(v: Dollars) -> Self {
+        v.to_micro_dollars()
+    }
+}
+
+impl std::iter::Sum for Dollars {
+    fn sum<I: Iterator<Item = Dollars>>(iter: I) -> Dollars {
+        iter.fold(Dollars::zero(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_dollar_conversion_roundtrips() {
+        let d = Dollars::new(0.0000255).unwrap();
+        let mu = d.to_micro_dollars();
+        assert!((mu.value() - 25.5).abs() < 1e-9);
+        assert!((mu.to_dollars().value() - d.value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn dollars_allow_zero_but_not_negative() {
+        assert!(Dollars::new(0.0).is_ok());
+        assert!(Dollars::new(-0.01).is_err());
+    }
+
+    #[test]
+    fn sum_of_costs() {
+        let total: Dollars = [100.0, 250.5, 0.0]
+            .into_iter()
+            .map(|v| Dollars::new(v).unwrap())
+            .sum();
+        assert!((total.value() - 350.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Dollars::default(), Dollars::zero());
+    }
+
+    #[test]
+    fn display_shows_currency() {
+        assert_eq!(Dollars::new(700.0).unwrap().to_string(), "700 $");
+        assert_eq!(format!("{:.2}", MicroDollars::new(9.4).unwrap()), "9.40 µ$");
+    }
+}

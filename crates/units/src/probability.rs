@@ -1,0 +1,215 @@
+//! Probabilities and yields, validated to lie in `[0, 1]`.
+
+use crate::UnitError;
+
+/// A probability (or yield) guaranteed to lie in the closed interval `[0, 1]`.
+///
+/// Manufacturing yield `Y` — "the probability that a fabricated and tested
+/// die functions according to its desired specifications" — is the central
+/// probability of the paper. Operations that stay inside `[0, 1]`
+/// (products, powers with non-negative exponents, complements) are provided
+/// directly so the invariant is preserved by construction.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::Probability;
+///
+/// # fn main() -> Result<(), maly_units::UnitError> {
+/// let y0 = Probability::new(0.7)?;
+/// // Eq. (9) area scaling: Y = Y0^(A_ch/A0) for a 2.976 cm² die.
+/// let y = y0.powf(2.976);
+/// assert!((y.value() - 0.346).abs() < 5e-4);
+/// // Combined functional and parametric yield.
+/// let combined = y * Probability::new(0.95)?;
+/// assert!(combined.value() < y.value());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Probability(f64);
+
+impl Probability {
+    /// The impossible event (probability 0).
+    pub const ZERO: Probability = Probability(0.0);
+    /// The certain event (probability 1). Assumption S1.3 of Scenario #1
+    /// ("at the mature stage of each technology generation the yield is
+    /// 100%") uses this value.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Creates a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::OutOfRange`] if `value` is not in `[0, 1]`, or
+    /// [`UnitError::NotFinite`] if it is NaN/infinite.
+    pub fn new(value: f64) -> Result<Self, UnitError> {
+        if !value.is_finite() {
+            return Err(UnitError::NotFinite {
+                quantity: "probability",
+            });
+        }
+        if !(0.0..=1.0).contains(&value) {
+            return Err(UnitError::OutOfRange {
+                quantity: "probability",
+                value,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok(Self(value))
+    }
+
+    /// Returns the raw value in `[0, 1]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Complement `1 − p`.
+    #[must_use]
+    pub fn complement(self) -> Probability {
+        Probability((1.0 - self.0).clamp(0.0, 1.0))
+    }
+
+    /// Raises the probability to a non-negative real power.
+    ///
+    /// This is the area-scaling operation of eq. (9): `Y = Y_0^{A_ch/A_0}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent` is negative or NaN (a negative exponent could
+    /// push the result above 1).
+    #[must_use]
+    pub fn powf(self, exponent: f64) -> Probability {
+        assert!(
+            exponent >= 0.0,
+            "probability exponent must be non-negative, got {exponent}"
+        );
+        Probability(self.0.powf(exponent).clamp(0.0, 1.0))
+    }
+
+    /// Probability expressed as a percentage in `[0, 100]`.
+    #[must_use]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Creates a probability from a percentage in `[0, 100]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `percent` is not in `[0, 100]` or not finite.
+    pub fn from_percent(percent: f64) -> Result<Self, UnitError> {
+        if !percent.is_finite() {
+            return Err(UnitError::NotFinite {
+                quantity: "probability",
+            });
+        }
+        if !(0.0..=100.0).contains(&percent) {
+            return Err(UnitError::OutOfRange {
+                quantity: "probability (percent)",
+                value: percent,
+                min: 0.0,
+                max: 100.0,
+            });
+        }
+        Ok(Self(percent / 100.0))
+    }
+}
+
+impl std::ops::Mul for Probability {
+    type Output = Probability;
+    /// Product of probabilities of independent events
+    /// (e.g. `Y = Y_fnc · Y_par`).
+    fn mul(self, rhs: Probability) -> Probability {
+        Probability((self.0 * rhs.0).clamp(0.0, 1.0))
+    }
+}
+
+impl TryFrom<f64> for Probability {
+    type Error = UnitError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Probability::new(value)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.0
+    }
+}
+
+impl std::fmt::Display for Probability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(p) = f.precision() {
+            write!(f, "{:.*}%", p, self.as_percent())
+        } else {
+            write!(f, "{}%", self.as_percent())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_bounds_and_rejects_outside() {
+        assert!(Probability::new(0.0).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+        assert!(Probability::new(-1e-9).is_err());
+        assert!(Probability::new(1.0 + 1e-9).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn complement_and_product() {
+        let p = Probability::new(0.7).unwrap();
+        assert!((p.complement().value() - 0.3).abs() < 1e-12);
+        let q = p * p;
+        assert!((q.value() - 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powf_matches_area_scaling_example() {
+        // Table 3 row 2: Y = 0.7^2.976 ≈ 0.346
+        let y = Probability::new(0.7).unwrap().powf(2.976);
+        assert!((y.value() - 0.34598).abs() < 1e-4);
+    }
+
+    #[test]
+    fn powf_zero_exponent_is_one() {
+        let y = Probability::new(0.3).unwrap().powf(0.0);
+        assert_eq!(y, Probability::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn powf_panics_on_negative_exponent() {
+        let _ = Probability::new(0.5).unwrap().powf(-1.0);
+    }
+
+    #[test]
+    fn percent_conversions() {
+        let p = Probability::from_percent(70.0).unwrap();
+        assert!((p.value() - 0.7).abs() < 1e-12);
+        assert!((p.as_percent() - 70.0).abs() < 1e-12);
+        assert!(Probability::from_percent(101.0).is_err());
+    }
+
+    #[test]
+    fn serde_rejects_out_of_range() {
+        let ok: Probability = serde_json::from_str("0.9").unwrap();
+        assert_eq!(ok, Probability::new(0.9).unwrap());
+        let bad: Result<Probability, _> = serde_json::from_str("1.5");
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn display_as_percent() {
+        let p = Probability::new(0.7).unwrap();
+        assert_eq!(format!("{p:.1}"), "70.0%");
+    }
+}

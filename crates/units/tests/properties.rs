@@ -1,0 +1,113 @@
+//! Property-based tests for the unit newtypes.
+
+use maly_units::{
+    Centimeters, DesignDensity, Dollars, Microns, Probability, SquareCentimeters, TransistorCount,
+};
+use proptest::prelude::*;
+
+/// Strategy producing "reasonable" positive magnitudes (avoids overflow in
+/// products while still exercising several orders of magnitude).
+fn positive() -> impl Strategy<Value = f64> {
+    (1.0e-6_f64..1.0e6).prop_filter("finite", |v| v.is_finite())
+}
+
+proptest! {
+    #[test]
+    fn length_conversions_roundtrip(v in positive()) {
+        let um = Microns::new(v).unwrap();
+        let rt = um.to_centimeters().to_microns();
+        prop_assert!((rt.value() - v).abs() <= v * 1e-12);
+    }
+
+    #[test]
+    fn area_conversions_roundtrip(v in positive()) {
+        let cm2 = SquareCentimeters::new(v).unwrap();
+        let rt = cm2.to_square_microns().to_square_centimeters();
+        prop_assert!((rt.value() - v).abs() <= v * 1e-12);
+        let rt2 = cm2.to_square_millimeters().to_square_centimeters();
+        prop_assert!((rt2.value() - v).abs() <= v * 1e-12);
+    }
+
+    #[test]
+    fn square_side_squares_back(v in positive()) {
+        let a = SquareCentimeters::new(v).unwrap();
+        let side = a.square_side();
+        let back = side * side;
+        prop_assert!((back.value() - v).abs() <= v * 1e-12);
+    }
+
+    #[test]
+    fn probability_product_never_exceeds_factors(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let pa = Probability::new(a).unwrap();
+        let pb = Probability::new(b).unwrap();
+        let prod = pa * pb;
+        prop_assert!(prod.value() <= pa.value() + 1e-15);
+        prop_assert!(prod.value() <= pb.value() + 1e-15);
+        prop_assert!((0.0..=1.0).contains(&prod.value()));
+    }
+
+    #[test]
+    fn probability_powf_stays_in_unit_interval(p in 0.0f64..=1.0, e in 0.0f64..50.0) {
+        let y = Probability::new(p).unwrap().powf(e);
+        prop_assert!((0.0..=1.0).contains(&y.value()));
+    }
+
+    #[test]
+    fn probability_powf_monotone_in_area(p in 0.01f64..1.0, a in 0.1f64..10.0, extra in 0.1f64..10.0) {
+        // Larger dies can never yield better (eq. 9 monotonicity).
+        let y_small = Probability::new(p).unwrap().powf(a);
+        let y_large = Probability::new(p).unwrap().powf(a + extra);
+        prop_assert!(y_large.value() <= y_small.value() + 1e-15);
+    }
+
+    #[test]
+    fn complement_is_involutive(p in 0.0f64..=1.0) {
+        let pr = Probability::new(p).unwrap();
+        let twice = pr.complement().complement();
+        prop_assert!((twice.value() - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dollars_sum_is_commutative(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let da = Dollars::new(a).unwrap();
+        let db = Dollars::new(b).unwrap();
+        prop_assert_eq!((da + db).value(), (db + da).value());
+    }
+
+    #[test]
+    fn micro_dollars_roundtrip(v in positive()) {
+        let d = Dollars::new(v).unwrap();
+        let rt = d.to_micro_dollars().to_dollars();
+        prop_assert!((rt.value() - v).abs() <= v * 1e-12);
+    }
+
+    #[test]
+    fn design_density_from_layout_inverts_footprint(
+        d_d in 10.0f64..3000.0,
+        lam in 0.1f64..2.0,
+        n in 1.0e3f64..1.0e8,
+    ) {
+        let density = DesignDensity::new(d_d).unwrap();
+        let lambda = Microns::new(lam).unwrap();
+        let area = density.transistor_footprint(lambda) * n;
+        let recovered = DesignDensity::from_layout(area, n, lambda).unwrap();
+        prop_assert!((recovered.value() - d_d).abs() <= d_d * 1e-9);
+    }
+
+    #[test]
+    fn transistor_count_millions_roundtrip(m in 0.001f64..1e4) {
+        let c = TransistorCount::from_millions(m).unwrap();
+        prop_assert!((c.millions() - m).abs() <= m * 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_value(v in positive()) {
+        let cm = Centimeters::new(v).unwrap();
+        let json = serde_json::to_string(&cm).unwrap();
+        let back: Centimeters = serde_json::from_str(&json).unwrap();
+        // serde_json's default float parser is not bit-exact (the
+        // `float_roundtrip` feature trades speed for exactness), so allow
+        // a relative error of a few ULPs.
+        prop_assert!((back.value() - cm.value()).abs() <= cm.value() * 1e-14);
+    }
+}

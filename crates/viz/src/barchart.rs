@@ -1,0 +1,209 @@
+//! Horizontal bar charts with labels — for categorical comparisons like
+//! the Table 3 cost diversity or the ablation errors.
+
+/// A horizontal bar chart builder.
+///
+/// # Examples
+///
+/// ```
+/// use maly_viz::barchart::BarChart;
+///
+/// let chart = BarChart::new("cost per transistor [µ$]")
+///     .with_bar("DRAM 256Mb", 1.31)
+///     .with_bar("BiCMOS µP", 25.5)
+///     .with_bar("PLD", 240.0)
+///     .render(60);
+/// assert!(chart.contains("PLD"));
+/// assert!(chart.contains('█'));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarChart {
+    title: String,
+    bars: Vec<(String, f64)>,
+    log_scale: bool,
+}
+
+impl BarChart {
+    /// Starts a chart with a title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            bars: Vec::new(),
+            log_scale: false,
+        }
+    }
+
+    /// Adds a labeled bar. Values must be non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    #[must_use]
+    pub fn with_bar(mut self, label: impl Into<String>, value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "bar value must be non-negative and finite, got {value}"
+        );
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Scales bar lengths logarithmically — for the paper's multi-decade
+    /// spreads (0.93 µ$ to 240 µ$ would otherwise flatten everything).
+    #[must_use]
+    pub fn log_scale(mut self) -> Self {
+        self.log_scale = true;
+        self
+    }
+
+    /// Renders to a text block `width` characters wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no bars, the width is too small for the
+    /// labels, or log scale is requested with non-positive values.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        assert!(!self.bars.is_empty(), "bar chart has no bars");
+        let label_width = self
+            .bars
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        let value_width = self
+            .bars
+            .iter()
+            .map(|(_, v)| format!("{v:.2}").len())
+            .max()
+            .unwrap_or(0);
+        let bar_space = width
+            .checked_sub(label_width + value_width + 4)
+            .expect("width too small for labels");
+        assert!(bar_space >= 5, "width too small for bars");
+
+        let max = self.bars.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        let min_positive = self
+            .bars
+            .iter()
+            .map(|(_, v)| *v)
+            .filter(|v| *v > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        if self.log_scale {
+            assert!(
+                min_positive.is_finite(),
+                "log scale needs at least one positive value"
+            );
+        }
+
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        for (label, value) in &self.bars {
+            let fraction = if max <= 0.0 {
+                0.0
+            } else if self.log_scale {
+                if *value <= 0.0 {
+                    0.0
+                } else {
+                    // Map [min_positive, max] to [0.05, 1] in log space.
+                    let lo = min_positive.ln();
+                    let hi = max.ln();
+                    if hi > lo {
+                        0.05 + 0.95 * (value.ln() - lo) / (hi - lo)
+                    } else {
+                        1.0
+                    }
+                }
+            } else {
+                value / max
+            };
+            let cells = (fraction * bar_space as f64).round().max(0.0) as usize;
+            out.push_str(&format!(
+                "{label:<label_width$}  {}{}  {value:.2}\n",
+                "█".repeat(cells),
+                " ".repeat(bar_space - cells),
+            ));
+        }
+        out.pop();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        BarChart::new("t")
+            .with_bar("a", 1.0)
+            .with_bar("bb", 10.0)
+            .with_bar("ccc", 100.0)
+    }
+
+    #[test]
+    fn longest_bar_is_the_largest_value() {
+        let rendered = chart().render(50);
+        let lines: Vec<&str> = rendered.lines().skip(1).collect();
+        let bar_len = |line: &str| line.chars().filter(|&c| c == '█').count();
+        assert!(bar_len(lines[2]) > bar_len(lines[1]));
+        assert!(bar_len(lines[1]) > bar_len(lines[0]));
+    }
+
+    #[test]
+    fn linear_scale_is_proportional() {
+        let rendered = BarChart::new("t")
+            .with_bar("half", 5.0)
+            .with_bar("full", 10.0)
+            .render(60);
+        let lines: Vec<&str> = rendered.lines().skip(1).collect();
+        let bar_len = |line: &str| line.chars().filter(|&c| c == '█').count() as f64;
+        let ratio = bar_len(lines[0]) / bar_len(lines[1]);
+        assert!((ratio - 0.5).abs() < 0.06, "ratio {ratio}");
+    }
+
+    #[test]
+    fn log_scale_compresses_decades() {
+        let lin = chart().render(50);
+        let log = chart().log_scale().render(50);
+        let first_bar = |s: &str| {
+            s.lines()
+                .nth(1)
+                .unwrap()
+                .chars()
+                .filter(|&c| c == '█')
+                .count()
+        };
+        assert!(first_bar(&log) > first_bar(&lin));
+    }
+
+    #[test]
+    fn values_printed_after_bars() {
+        let rendered = chart().render(50);
+        assert!(rendered.contains("100.00"));
+        assert!(rendered.contains("1.00"));
+    }
+
+    #[test]
+    fn zero_values_render_empty_bars() {
+        let rendered = BarChart::new("t")
+            .with_bar("zero", 0.0)
+            .with_bar("one", 1.0)
+            .render(40);
+        let first = rendered.lines().nth(1).unwrap();
+        assert_eq!(first.chars().filter(|&c| c == '█').count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no bars")]
+    fn empty_chart_panics() {
+        let _ = BarChart::new("t").render(40);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bar_panics() {
+        let _ = BarChart::new("t").with_bar("bad", -1.0);
+    }
+}

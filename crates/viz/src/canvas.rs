@@ -1,0 +1,175 @@
+//! A character raster with primitive drawing operations.
+
+/// A fixed-size grid of characters, origin at the top-left.
+///
+/// # Examples
+///
+/// ```
+/// use maly_viz::canvas::Canvas;
+///
+/// let mut c = Canvas::new(5, 3);
+/// c.set(0, 0, '#');
+/// c.set(4, 2, '*');
+/// let s = c.render();
+/// assert!(s.starts_with('#'));
+/// assert!(s.ends_with('*'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Canvas {
+    width: usize,
+    height: usize,
+    cells: Vec<char>,
+}
+
+impl Canvas {
+    /// Creates a blank canvas filled with spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "canvas must be non-empty");
+        Self {
+            width,
+            height,
+            cells: vec![' '; width * height],
+        }
+    }
+
+    /// Canvas width in characters.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Canvas height in rows.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sets a cell; out-of-bounds coordinates are silently clipped
+    /// (plot marks near the border are common and harmless).
+    pub fn set(&mut self, x: usize, y: usize, ch: char) {
+        if x < self.width && y < self.height {
+            self.cells[y * self.width + x] = ch;
+        }
+    }
+
+    /// Reads a cell (`None` out of bounds).
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> Option<char> {
+        (x < self.width && y < self.height).then(|| self.cells[y * self.width + x])
+    }
+
+    /// Writes a string horizontally starting at `(x, y)`, clipping at
+    /// the right edge.
+    pub fn text(&mut self, x: usize, y: usize, text: &str) {
+        for (i, ch) in text.chars().enumerate() {
+            self.set(x + i, y, ch);
+        }
+    }
+
+    /// Draws a line between two cells (Bresenham).
+    pub fn line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, ch: char) {
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        let (mut x, mut y) = (x0, y0);
+        loop {
+            if x >= 0 && y >= 0 {
+                self.set(x as usize, y as usize, ch);
+            }
+            if x == x1 && y == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y += sy;
+            }
+        }
+    }
+
+    /// Renders the canvas to a newline-joined string, trimming trailing
+    /// spaces per row.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.cells.len() + self.height);
+        for row in 0..self.height {
+            let line: String = self.cells[row * self.width..(row + 1) * self.width]
+                .iter()
+                .collect();
+            out.push_str(line.trim_end());
+            if row + 1 < self.height {
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut c = Canvas::new(10, 5);
+        c.set(3, 2, 'x');
+        assert_eq!(c.get(3, 2), Some('x'));
+        assert_eq!(c.get(0, 0), Some(' '));
+        assert_eq!(c.get(10, 0), None);
+    }
+
+    #[test]
+    fn out_of_bounds_set_is_clipped() {
+        let mut c = Canvas::new(3, 3);
+        c.set(99, 99, 'x'); // no panic
+        assert!(!c.render().contains('x'));
+    }
+
+    #[test]
+    fn text_clips_at_right_edge() {
+        let mut c = Canvas::new(5, 1);
+        c.text(2, 0, "hello");
+        assert_eq!(c.render(), "  hel");
+    }
+
+    #[test]
+    fn horizontal_line() {
+        let mut c = Canvas::new(6, 3);
+        c.line(0, 1, 5, 1, '-');
+        assert_eq!(c.render().lines().nth(1).unwrap(), "------");
+    }
+
+    #[test]
+    fn diagonal_line_touches_endpoints() {
+        let mut c = Canvas::new(8, 8);
+        c.line(0, 0, 7, 7, '\\');
+        assert_eq!(c.get(0, 0), Some('\\'));
+        assert_eq!(c.get(7, 7), Some('\\'));
+        assert_eq!(c.get(3, 3), Some('\\'));
+    }
+
+    #[test]
+    fn render_trims_trailing_spaces() {
+        let mut c = Canvas::new(5, 2);
+        c.set(0, 0, 'a');
+        let rendered = c.render();
+        assert_eq!(rendered, "a\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_rejected() {
+        let _ = Canvas::new(0, 5);
+    }
+}

@@ -1,0 +1,154 @@
+//! Contour-segment rendering onto a text canvas (Fig 8).
+
+use crate::canvas::Canvas;
+use crate::scale::{format_tick, Scale};
+
+/// Level-marker characters assigned in order.
+const LEVEL_MARKS: [char; 8] = ['1', '2', '3', '4', '5', '6', '7', '8'];
+
+/// One renderable contour: a level label and its segments in data space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContourSet {
+    /// Label printed in the legend (e.g. `"10 µ$"`).
+    pub label: String,
+    /// Segments `((x0, y0), (x1, y1))` in data coordinates.
+    pub segments: Vec<((f64, f64), (f64, f64))>,
+}
+
+/// Renders contour sets over the given data window.
+///
+/// `x_scale`/`y_scale` define the axes (use [`Scale::Log`] for the
+/// paper's logarithmic `N_tr` axis). Each set draws with its own digit
+/// marker; the legend maps digits to labels.
+///
+/// # Panics
+///
+/// Panics if the canvas is too small.
+///
+/// # Examples
+///
+/// ```
+/// use maly_viz::contourplot::{render_contours, ContourSet};
+/// use maly_viz::scale::Scale;
+///
+/// let set = ContourSet {
+///     label: "10 µ$".into(),
+///     segments: vec![((0.5, 1e6), (0.6, 2e6))],
+/// };
+/// let s = render_contours(
+///     "Fig 8",
+///     &[set],
+///     Scale::Linear { min: 0.3, max: 1.5 },
+///     Scale::Log { min: 1e5, max: 2e7 },
+///     60,
+///     20,
+/// );
+/// assert!(s.contains("Fig 8"));
+/// assert!(s.contains("1 = 10 µ$"));
+/// ```
+#[must_use]
+pub fn render_contours(
+    title: &str,
+    sets: &[ContourSet],
+    x_scale: Scale,
+    y_scale: Scale,
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 30 && height >= 10, "contour plot too small");
+    let margin_left = 10usize;
+    let plot_w = width - margin_left - 1;
+    let plot_h = height - 4;
+    let mut canvas = Canvas::new(width, height);
+    canvas.text(margin_left, 0, title);
+
+    for y in 0..plot_h {
+        canvas.set(margin_left - 1, y + 1, '|');
+    }
+    for x in 0..plot_w {
+        canvas.set(margin_left + x, plot_h + 1, '-');
+    }
+    canvas.set(margin_left - 1, plot_h + 1, '+');
+
+    // Axis end labels.
+    for (t, row) in [(1.0, 1usize), (0.0, plot_h)] {
+        let label = format_tick(y_scale.denormalize(t));
+        let col = margin_left.saturating_sub(1 + label.len());
+        canvas.text(col, row, &label);
+    }
+    let x_lo = format_tick(x_scale.denormalize(0.0));
+    let x_hi = format_tick(x_scale.denormalize(1.0));
+    canvas.text(margin_left, plot_h + 2, &x_lo);
+    canvas.text(margin_left + plot_w - x_hi.len(), plot_h + 2, &x_hi);
+
+    for (idx, set) in sets.iter().enumerate() {
+        let mark = LEVEL_MARKS[idx % LEVEL_MARKS.len()];
+        for &((x0, y0), (x1, y1)) in &set.segments {
+            let px0 = margin_left + x_scale.to_pixel(x0, plot_w);
+            let px1 = margin_left + x_scale.to_pixel(x1, plot_w);
+            let py0 = 1 + (plot_h - 1) - y_scale.to_pixel(y0, plot_h);
+            let py1 = 1 + (plot_h - 1) - y_scale.to_pixel(y1, plot_h);
+            canvas.line(px0 as i64, py0 as i64, px1 as i64, py1 as i64, mark);
+        }
+    }
+
+    let legend = sets
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} = {}", LEVEL_MARKS[i % LEVEL_MARKS.len()], s.label))
+        .collect::<Vec<_>>()
+        .join("   ");
+    canvas.text(margin_left, height - 1, &legend);
+    canvas.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_set(label: &str) -> ContourSet {
+        ContourSet {
+            label: label.into(),
+            segments: vec![((0.4, 2e5), (1.4, 1e7))],
+        }
+    }
+
+    fn scales() -> (Scale, Scale) {
+        (
+            Scale::Linear { min: 0.3, max: 1.5 },
+            Scale::Log { min: 1e5, max: 2e7 },
+        )
+    }
+
+    #[test]
+    fn renders_title_axes_legend_and_marks() {
+        let (xs, ys) = scales();
+        let s = render_contours("Fig 8", &[diag_set("10 µ$")], xs, ys, 70, 22);
+        assert!(s.contains("Fig 8"));
+        assert!(s.contains("1 = 10 µ$"));
+        assert!(s.contains('1'));
+        assert!(s.contains('|') && s.contains('-'));
+    }
+
+    #[test]
+    fn multiple_levels_use_distinct_digits() {
+        let (xs, ys) = scales();
+        let s = render_contours("t", &[diag_set("a"), diag_set("b")], xs, ys, 70, 22);
+        assert!(s.contains("1 = a") && s.contains("2 = b"));
+    }
+
+    #[test]
+    fn empty_sets_render_frame_only() {
+        let (xs, ys) = scales();
+        let s = render_contours("empty", &[], xs, ys, 60, 14);
+        assert!(s.contains("empty"));
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_canvas_rejected() {
+        let (xs, ys) = scales();
+        let _ = render_contours("t", &[], xs, ys, 10, 5);
+    }
+}

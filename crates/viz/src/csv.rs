@@ -1,0 +1,89 @@
+//! Minimal CSV writing (RFC 4180 quoting).
+
+/// Serializes rows of string-like cells to CSV.
+///
+/// Fields containing commas, quotes or newlines are quoted; embedded
+/// quotes are doubled.
+///
+/// # Examples
+///
+/// ```
+/// use maly_viz::csv::to_csv;
+///
+/// let csv = to_csv(
+///     &["lambda_um", "cost_usd"],
+///     &[vec!["0.8".into(), "9.4e-6".into()]],
+/// );
+/// assert_eq!(csv, "lambda_um,cost_usd\n0.8,9.4e-6\n");
+/// ```
+#[must_use]
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Builds a numeric row from `f64` values with full precision.
+#[must_use]
+pub fn numeric_row(values: &[f64]) -> Vec<String> {
+    values.iter().map(|v| format!("{v}")).collect()
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_pass_through() {
+        let csv = to_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn commas_and_quotes_are_escaped() {
+        let csv = to_csv(
+            &["name"],
+            &[vec!["µP, BiCMOS".into()], vec!["say \"hi\"".into()]],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[1], "\"µP, BiCMOS\"");
+        assert_eq!(lines[2], "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn newlines_are_quoted() {
+        let csv = to_csv(&["x"], &[vec!["a\nb".into()]]);
+        assert!(csv.contains("\"a\nb\""));
+    }
+
+    #[test]
+    fn numeric_rows_roundtrip_precision() {
+        let row = numeric_row(&[9.4e-6, 0.8]);
+        assert_eq!(row[0].parse::<f64>().unwrap(), 9.4e-6);
+        assert_eq!(row[1], "0.8");
+    }
+
+    #[test]
+    fn empty_rows_give_header_only() {
+        assert_eq!(to_csv(&["h"], &[]), "h\n");
+    }
+}

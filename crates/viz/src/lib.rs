@@ -1,0 +1,39 @@
+//! Plotting and table tooling for cost-model experiments.
+//!
+//! Everything renders to plain text so results are inspectable in a
+//! terminal, diffable in CI and embeddable in EXPERIMENTS.md:
+//!
+//! * [`canvas::Canvas`] — a character raster with Bresenham lines;
+//! * [`scale::Scale`] — linear/logarithmic data→pixel mapping;
+//! * [`lineplot::LinePlot`] — multi-series XY plots with axes and legend
+//!   (Figs 1–7);
+//! * [`contourplot`] — contour-segment rendering (Fig 8);
+//! * [`wafermap`] — wafer-map rendering (die placements);
+//! * [`table::TextTable`] — aligned text and Markdown tables
+//!   (Tables 1–3);
+//! * [`csv`] — CSV export for downstream plotting.
+//!
+//! # Examples
+//!
+//! ```
+//! use maly_viz::lineplot::LinePlot;
+//!
+//! let series: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, (i * i) as f64)).collect();
+//! let rendered = LinePlot::new("squares")
+//!     .with_series("x²", &series)
+//!     .render(60, 16);
+//! assert!(rendered.contains("squares"));
+//! assert!(rendered.contains("x²"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barchart;
+pub mod canvas;
+pub mod contourplot;
+pub mod csv;
+pub mod lineplot;
+pub mod scale;
+pub mod table;
+pub mod wafermap;

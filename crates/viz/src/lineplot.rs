@@ -1,0 +1,268 @@
+//! Multi-series XY line plots rendered as text.
+
+use crate::canvas::Canvas;
+use crate::scale::{format_tick, Scale};
+
+/// Marker characters assigned to series in order.
+const MARKERS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// A named data series.
+#[derive(Debug, Clone, PartialEq)]
+struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+/// A builder-style multi-series line plot.
+///
+/// # Examples
+///
+/// ```
+/// use maly_viz::lineplot::LinePlot;
+///
+/// let a: Vec<(f64, f64)> = (1..=20).map(|i| (i as f64, 1.0 / i as f64)).collect();
+/// let rendered = LinePlot::new("cost vs lambda")
+///     .with_series("X=1.1", &a)
+///     .log_y()
+///     .render(70, 20);
+/// assert!(rendered.contains("cost vs lambda"));
+/// assert!(rendered.lines().count() >= 20);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinePlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    log_x: bool,
+    log_y: bool,
+}
+
+impl LinePlot {
+    /// Starts a plot with a title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: Vec::new(),
+            log_x: false,
+            log_y: false,
+        }
+    }
+
+    /// Adds a series (order fixes its marker).
+    #[must_use]
+    pub fn with_series(mut self, name: impl Into<String>, points: &[(f64, f64)]) -> Self {
+        self.series.push(Series {
+            name: name.into(),
+            points: points.to_vec(),
+        });
+        self
+    }
+
+    /// Axis labels.
+    #[must_use]
+    pub fn with_labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Logarithmic X axis.
+    #[must_use]
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Logarithmic Y axis.
+    #[must_use]
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Renders to a `width × height` character block (plot area plus
+    /// title, axes and legend).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no series has any finite point, or dimensions are too
+    /// small to hold the frame.
+    #[must_use]
+    pub fn render(&self, width: usize, height: usize) -> String {
+        assert!(
+            width >= 30 && height >= 8,
+            "plot too small: {width}×{height}"
+        );
+        let xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        let ys: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .collect();
+        assert!(!xs.is_empty(), "plot has no data");
+
+        let x_scale = build_scale(&xs, self.log_x);
+        let y_scale = build_scale(&ys, self.log_y);
+
+        let margin_left = 10usize;
+        let plot_w = width - margin_left - 1;
+        let plot_h = height - 4; // title + x-axis + labels
+        let mut canvas = Canvas::new(width, height);
+
+        canvas.text(margin_left, 0, &self.title);
+
+        // Frame.
+        for y in 0..plot_h {
+            canvas.set(margin_left - 1, y + 1, '|');
+        }
+        for x in 0..plot_w {
+            canvas.set(margin_left + x, plot_h + 1, '-');
+        }
+        canvas.set(margin_left - 1, plot_h + 1, '+');
+
+        // Y tick labels (top, middle, bottom).
+        for (t, row) in [(1.0, 1usize), (0.5, plot_h / 2), (0.0, plot_h)] {
+            let value = y_scale.denormalize(t);
+            let label = format_tick(value);
+            let col = margin_left.saturating_sub(1 + label.len());
+            canvas.text(col, row, &label);
+        }
+        // X tick labels.
+        for (t, align_right) in [(0.0, false), (1.0, true)] {
+            let value = x_scale.denormalize(t);
+            let label = format_tick(value);
+            let col = if align_right {
+                margin_left + plot_w - label.len()
+            } else {
+                margin_left
+            };
+            canvas.text(col, plot_h + 2, &label);
+        }
+        if !self.x_label.is_empty() {
+            let col = margin_left + (plot_w.saturating_sub(self.x_label.len())) / 2;
+            canvas.text(col, plot_h + 2, &self.x_label);
+        }
+
+        // Series.
+        for (idx, series) in self.series.iter().enumerate() {
+            let marker = MARKERS[idx % MARKERS.len()];
+            let mut last: Option<(usize, usize)> = None;
+            for &(x, y) in &series.points {
+                if !x.is_finite() || !y.is_finite() {
+                    last = None;
+                    continue;
+                }
+                let px = margin_left + x_scale.to_pixel(x, plot_w);
+                // Y axis: data maximum at top row (row 1).
+                let py = 1 + (plot_h - 1) - y_scale.to_pixel(y, plot_h);
+                if let Some((lx, ly)) = last {
+                    canvas.line(lx as i64, ly as i64, px as i64, py as i64, marker);
+                } else {
+                    canvas.set(px, py, marker);
+                }
+                last = Some((px, py));
+            }
+        }
+
+        // Legend on the last row.
+        let legend = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{} {}", MARKERS[i % MARKERS.len()], s.name))
+            .collect::<Vec<_>>()
+            .join("   ");
+        canvas.text(margin_left, height - 1, &legend);
+
+        canvas.render()
+    }
+}
+
+fn build_scale(values: &[f64], log: bool) -> Scale {
+    if log {
+        Scale::log_over(values.iter().copied())
+    } else {
+        Scale::linear_over(values.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rising() -> Vec<(f64, f64)> {
+        (1..=10).map(|i| (i as f64, i as f64 * 2.0)).collect()
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let plot = LinePlot::new("demo")
+            .with_series("up", &rising())
+            .with_labels("x", "y");
+        let s = plot.render(60, 16);
+        assert!(s.contains("demo"));
+        assert!(s.contains("* up"));
+        assert!(s.contains('|'));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn rising_series_has_marker_in_top_right() {
+        let s = LinePlot::new("t")
+            .with_series("s", &rising())
+            .render(60, 16);
+        let lines: Vec<&str> = s.lines().collect();
+        // The top plot row (row 1) must contain the marker near the right.
+        let top = lines[1];
+        assert!(top.trim_end().ends_with('*'), "top row: {top:?}");
+    }
+
+    #[test]
+    fn log_axes_render_without_panic() {
+        let decades: Vec<(f64, f64)> = (0..6).map(|i| (10f64.powi(i), 10f64.powi(i))).collect();
+        let s = LinePlot::new("log")
+            .with_series("d", &decades)
+            .log_x()
+            .log_y()
+            .render(60, 14);
+        assert!(s.contains("1.0M") || s.contains("100.0k"), "{s}");
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_markers() {
+        let a = rising();
+        let b: Vec<(f64, f64)> = a.iter().map(|&(x, y)| (x, y + 1.0)).collect();
+        let s = LinePlot::new("two")
+            .with_series("a", &a)
+            .with_series("b", &b)
+            .render(60, 16);
+        assert!(s.contains('*') && s.contains('o'));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let pts = vec![(1.0, 1.0), (2.0, f64::NAN), (3.0, 3.0)];
+        let s = LinePlot::new("gap").with_series("g", &pts).render(60, 12);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_plot_panics() {
+        let _ = LinePlot::new("empty").render(60, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_canvas_panics() {
+        let _ = LinePlot::new("t").with_series("s", &rising()).render(10, 4);
+    }
+}

@@ -1,0 +1,206 @@
+//! Data→pixel axis scales.
+
+/// A 1-D mapping from a data interval to a pixel interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// Linear interpolation.
+    Linear {
+        /// Data minimum.
+        min: f64,
+        /// Data maximum.
+        max: f64,
+    },
+    /// Logarithmic (base-10) interpolation; requires positive data.
+    Log {
+        /// Data minimum (> 0).
+        min: f64,
+        /// Data maximum (> min).
+        max: f64,
+    },
+}
+
+impl Scale {
+    /// Builds a linear scale over the data's range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or all values coincide.
+    #[must_use]
+    pub fn linear_over(values: impl IntoIterator<Item = f64>) -> Self {
+        let (min, max) = min_max(values);
+        assert!(max > min, "degenerate scale: all values equal {min}");
+        Scale::Linear { min, max }
+    }
+
+    /// Builds a log scale over the data's range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty, contains non-positive entries, or
+    /// all values coincide.
+    #[must_use]
+    pub fn log_over(values: impl IntoIterator<Item = f64>) -> Self {
+        let (min, max) = min_max(values);
+        assert!(min > 0.0, "log scale needs positive data, got min {min}");
+        assert!(max > min, "degenerate scale: all values equal {min}");
+        Scale::Log { min, max }
+    }
+
+    /// Maps a data value to a pixel coordinate in `[0, pixels − 1]`,
+    /// clamped.
+    #[must_use]
+    pub fn to_pixel(&self, value: f64, pixels: usize) -> usize {
+        let t = self.normalized(value).clamp(0.0, 1.0);
+        (t * (pixels - 1) as f64).round() as usize
+    }
+
+    /// Normalized position of a data value in `[0, 1]` (unclamped).
+    #[must_use]
+    pub fn normalized(&self, value: f64) -> f64 {
+        match self {
+            Scale::Linear { min, max } => (value - min) / (max - min),
+            Scale::Log { min, max } => (value.ln() - min.ln()) / (max.ln() - min.ln()),
+        }
+    }
+
+    /// Data value at a normalized position (inverse of
+    /// [`Self::normalized`]).
+    #[must_use]
+    pub fn denormalize(&self, t: f64) -> f64 {
+        match self {
+            Scale::Linear { min, max } => min + t * (max - min),
+            Scale::Log { min, max } => (min.ln() + t * (max.ln() - min.ln())).exp(),
+        }
+    }
+
+    /// Representative tick values (ends plus interior).
+    #[must_use]
+    pub fn ticks(&self, count: usize) -> Vec<f64> {
+        let count = count.max(2);
+        (0..count)
+            .map(|i| self.denormalize(i as f64 / (count - 1) as f64))
+            .collect()
+    }
+}
+
+fn min_max(values: impl IntoIterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut any = false;
+    for v in values {
+        if v.is_finite() {
+            min = min.min(v);
+            max = max.max(v);
+            any = true;
+        }
+    }
+    assert!(any, "scale needs at least one finite value");
+    (min, max)
+}
+
+/// Formats a value compactly for axis labels (SI-style suffixes for
+/// large magnitudes, fixed decimals for small ones).
+#[must_use]
+pub fn format_tick(value: f64) -> String {
+    let a = value.abs();
+    if a >= 1.0e9 {
+        format!("{:.1}G", value / 1.0e9)
+    } else if a >= 1.0e6 {
+        format!("{:.1}M", value / 1.0e6)
+    } else if a >= 1.0e3 {
+        format!("{:.1}k", value / 1.0e3)
+    } else if a >= 1.0 {
+        format!("{value:.2}")
+    } else if a >= 1.0e-3 {
+        format!("{value:.3}")
+    } else if a == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{value:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_maps_ends_to_ends() {
+        let s = Scale::Linear {
+            min: 0.0,
+            max: 10.0,
+        };
+        assert_eq!(s.to_pixel(0.0, 100), 0);
+        assert_eq!(s.to_pixel(10.0, 100), 99);
+        assert_eq!(s.to_pixel(5.0, 101), 50);
+    }
+
+    #[test]
+    fn log_maps_decades_evenly() {
+        let s = Scale::Log {
+            min: 1.0,
+            max: 1000.0,
+        };
+        assert!((s.normalized(10.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.normalized(100.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_handles_out_of_range() {
+        let s = Scale::Linear { min: 0.0, max: 1.0 };
+        assert_eq!(s.to_pixel(-5.0, 10), 0);
+        assert_eq!(s.to_pixel(5.0, 10), 9);
+    }
+
+    #[test]
+    fn denormalize_inverts_normalized() {
+        for s in [
+            Scale::Linear { min: 2.0, max: 8.0 },
+            Scale::Log {
+                min: 0.1,
+                max: 100.0,
+            },
+        ] {
+            for v in [0.15, 0.5, 0.93] {
+                let data = s.denormalize(v);
+                assert!((s.normalized(data) - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn over_constructors_span_data() {
+        let s = Scale::linear_over([3.0, 1.0, 2.0]);
+        assert_eq!(s, Scale::Linear { min: 1.0, max: 3.0 });
+        let s = Scale::log_over([10.0, 1.0]);
+        assert_eq!(
+            s,
+            Scale::Log {
+                min: 1.0,
+                max: 10.0
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn log_rejects_non_positive() {
+        let _ = Scale::log_over([0.0, 1.0]);
+    }
+
+    #[test]
+    fn ticks_cover_range() {
+        let s = Scale::Linear { min: 0.0, max: 4.0 };
+        assert_eq!(s.ticks(5), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(2.5e6), "2.5M");
+        assert_eq!(format_tick(1.2e3), "1.2k");
+        assert_eq!(format_tick(2.345), "2.35");
+        assert_eq!(format_tick(0.251), "0.251");
+        assert_eq!(format_tick(2.5e-6), "2.50e-6");
+        assert_eq!(format_tick(0.0), "0");
+    }
+}

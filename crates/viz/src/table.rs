@@ -1,0 +1,224 @@
+//! Aligned text and Markdown tables.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Alignment {
+    /// Left-aligned (default; good for names).
+    #[default]
+    Left,
+    /// Right-aligned (good for numbers).
+    Right,
+}
+
+/// A simple table builder.
+///
+/// # Examples
+///
+/// ```
+/// use maly_viz::table::{Alignment, TextTable};
+///
+/// let mut t = TextTable::new(vec!["product", "C_tr [µ$]"]);
+/// t.align(1, Alignment::Right);
+/// t.row(vec!["DRAM 256Mb".into(), "1.31".into()]);
+/// t.row(vec!["PLD 1.2kg".into(), "240.00".into()]);
+/// let text = t.render();
+/// assert!(text.contains("DRAM 256Mb"));
+/// let md = t.render_markdown();
+/// assert!(md.starts_with("| product"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    alignments: Vec<Alignment>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty header list.
+    #[must_use]
+    pub fn new(headers: Vec<&str>) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        let alignments = vec![Alignment::Left; headers.len()];
+        Self {
+            headers: headers.into_iter().map(str::to_string).collect(),
+            alignments,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a column's alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column index is out of range.
+    pub fn align(&mut self, column: usize, alignment: Alignment) -> &mut Self {
+        assert!(column < self.headers.len(), "no column {column}");
+        self.alignments[column] = alignment;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != column count {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    fn pad(cell: &str, width: usize, alignment: Alignment) -> String {
+        let len = cell.chars().count();
+        let fill = " ".repeat(width.saturating_sub(len));
+        match alignment {
+            Alignment::Left => format!("{cell}{fill}"),
+            Alignment::Right => format!("{fill}{cell}"),
+        }
+    }
+
+    /// Renders as an aligned plain-text table with a header separator.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let widths = self.column_widths();
+        let mut out = String::new();
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Self::pad(c, widths[i], self.alignments[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored Markdown table.
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let render_row = |cells: &[String]| -> String { format!("| {} |", cells.join(" | ")) };
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push('|');
+        for alignment in &self.alignments {
+            out.push_str(match alignment {
+                Alignment::Left => " --- |",
+                Alignment::Right => " ---: |",
+            });
+        }
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TextTable {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.align(1, Alignment::Right);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "25.50".into()]);
+        t
+    }
+
+    #[test]
+    fn plain_render_is_aligned() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "name   value");
+        assert!(lines[1].starts_with("-----"));
+        assert_eq!(lines[2], "alpha      1");
+        assert_eq!(lines[3], "b      25.50");
+    }
+
+    #[test]
+    fn markdown_render_has_alignment_row() {
+        let md = sample().render_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| name | value |");
+        assert_eq!(lines[1], "| --- | ---: |");
+        assert_eq!(lines[2], "| alpha | 1 |");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(sample().len(), 2);
+        assert!(!sample().is_empty());
+        assert!(TextTable::new(vec!["a"]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_rejected() {
+        let _ = TextTable::new(vec![]);
+    }
+
+    #[test]
+    fn unicode_widths_counted_by_chars() {
+        let mut t = TextTable::new(vec!["λ [µm]", "C"]);
+        t.row(vec!["0.8".into(), "x".into()]);
+        let lines: Vec<String> = t.render().lines().map(str::to_string).collect();
+        // Header is 6 chars; separator matches.
+        assert_eq!(lines[1].split("  ").next().unwrap().len(), 6);
+    }
+}

@@ -1,0 +1,122 @@
+//! Wafer-map rendering: die placements on the wafer outline.
+//!
+//! Takes the geometric description of a placed wafer (radius plus die
+//! rectangles) rather than a concrete type, so it renders
+//! `maly_wafer_geom::WaferMap` output without a dependency cycle.
+
+use crate::canvas::Canvas;
+
+/// A die rectangle in wafer-centered coordinates (cm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieRect {
+    /// Die center X (cm).
+    pub center_x: f64,
+    /// Die center Y (cm).
+    pub center_y: f64,
+    /// Die width (cm).
+    pub width: f64,
+    /// Die height (cm).
+    pub height: f64,
+}
+
+/// Renders a wafer outline with placed dies.
+///
+/// Characters: `.` wafer surface, `#` die area, space outside. The
+/// aspect ratio is corrected for the 2:1 cell shape of terminal fonts.
+///
+/// # Panics
+///
+/// Panics if `radius_cm` is not positive or `columns < 20`.
+///
+/// # Examples
+///
+/// ```
+/// use maly_viz::wafermap::{render_wafer, DieRect};
+///
+/// let dies = vec![DieRect { center_x: 0.0, center_y: 0.0, width: 2.0, height: 2.0 }];
+/// let s = render_wafer(7.5, &dies, 40);
+/// assert!(s.contains('#'));
+/// assert!(s.contains('.'));
+/// ```
+#[must_use]
+pub fn render_wafer(radius_cm: f64, dies: &[DieRect], columns: usize) -> String {
+    assert!(radius_cm > 0.0, "radius must be positive");
+    assert!(columns >= 20, "need at least 20 columns");
+    let rows = columns / 2; // terminal cells are ~2× taller than wide
+    let mut canvas = Canvas::new(columns, rows);
+
+    for row in 0..rows {
+        for col in 0..columns {
+            // Map cell center to wafer coordinates.
+            let x = (col as f64 + 0.5) / columns as f64 * 2.0 * radius_cm - radius_cm;
+            let y = radius_cm - (row as f64 + 0.5) / rows as f64 * 2.0 * radius_cm;
+            if x * x + y * y > radius_cm * radius_cm {
+                continue;
+            }
+            let in_die = dies.iter().any(|d| {
+                (x - d.center_x).abs() <= d.width / 2.0 && (y - d.center_y).abs() <= d.height / 2.0
+            });
+            canvas.set(col, row, if in_die { '#' } else { '.' });
+        }
+    }
+    canvas.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_wafer_is_all_dots_inside() {
+        let s = render_wafer(7.5, &[], 40);
+        assert!(s.contains('.'));
+        assert!(!s.contains('#'));
+    }
+
+    #[test]
+    fn centered_die_marks_center() {
+        let dies = vec![DieRect {
+            center_x: 0.0,
+            center_y: 0.0,
+            width: 3.0,
+            height: 3.0,
+        }];
+        let s = render_wafer(7.5, &dies, 40);
+        let lines: Vec<&str> = s.lines().collect();
+        let mid = &lines[lines.len() / 2];
+        assert!(mid.contains('#'), "center row: {mid:?}");
+    }
+
+    #[test]
+    fn wafer_outline_is_roughly_circular() {
+        let s = render_wafer(7.5, &[], 40);
+        let lines: Vec<&str> = s.lines().collect();
+        // The middle row is wider than the top row.
+        let width_of = |line: &str| line.trim().len();
+        let top = lines
+            .iter()
+            .find(|l| !l.trim().is_empty())
+            .map(|l| width_of(l))
+            .unwrap();
+        let mid = width_of(lines[lines.len() / 2]);
+        assert!(mid > top);
+    }
+
+    #[test]
+    fn die_outside_wafer_is_clipped() {
+        let dies = vec![DieRect {
+            center_x: 10.0,
+            center_y: 10.0,
+            width: 1.0,
+            height: 1.0,
+        }];
+        let s = render_wafer(7.5, &dies, 40);
+        assert!(!s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn bad_radius_rejected() {
+        let _ = render_wafer(0.0, &[], 40);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the viz toolkit.
+
+use maly_viz::csv::to_csv;
+use maly_viz::scale::Scale;
+use maly_viz::table::{Alignment, TextTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Scales: normalize/denormalize are inverse on the data interval.
+    #[test]
+    fn scale_roundtrip(min in 0.001f64..10.0, span in 0.1f64..1000.0, t in 0.0f64..1.0) {
+        for scale in [
+            Scale::Linear { min, max: min + span },
+            Scale::Log { min, max: min + span },
+        ] {
+            let data = scale.denormalize(t);
+            let back = scale.normalized(data);
+            prop_assert!((back - t).abs() < 1e-9, "{scale:?}: {t} → {data} → {back}");
+        }
+    }
+
+    /// to_pixel stays in range and is monotone.
+    #[test]
+    fn pixel_mapping_monotone(min in 0.001f64..10.0, span in 0.1f64..1000.0,
+                              a in 0.0f64..1.0, b in 0.0f64..1.0, pixels in 2usize..500) {
+        let scale = Scale::Linear { min, max: min + span };
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let pa = scale.to_pixel(scale.denormalize(lo), pixels);
+        let pb = scale.to_pixel(scale.denormalize(hi), pixels);
+        prop_assert!(pa <= pb);
+        prop_assert!(pb < pixels);
+    }
+
+    /// CSV quoting roundtrips through a trivial parser for quote-free
+    /// fields and always produces one line per row.
+    #[test]
+    fn csv_shape(rows in prop::collection::vec(
+        prop::collection::vec("[a-z0-9 ,\"]{0,12}", 3..4), 0..8)) {
+        let string_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.to_string()).collect())
+            .collect();
+        let csv = to_csv(&["a", "b", "c"], &string_rows);
+        // Cells may contain embedded newlines only via quoting — none
+        // here — so the line count is rows + header.
+        prop_assert_eq!(csv.lines().count(), string_rows.len() + 1);
+        prop_assert!(csv.starts_with("a,b,c\n"));
+    }
+
+    /// Tables: rendered row count is header + separator + rows, and every
+    /// cell string survives rendering.
+    #[test]
+    fn table_preserves_cells(cells in prop::collection::vec("[a-zA-Z0-9]{1,10}", 1..20)) {
+        let mut t = TextTable::new(vec!["value"]);
+        t.align(0, Alignment::Right);
+        for c in &cells {
+            t.row(vec![c.clone()]);
+        }
+        let rendered = t.render();
+        prop_assert_eq!(rendered.lines().count(), cells.len() + 2);
+        for c in &cells {
+            prop_assert!(rendered.contains(c.as_str()), "missing {c}");
+        }
+        // Markdown form keeps the same data.
+        let md = t.render_markdown();
+        for c in &cells {
+            prop_assert!(md.contains(c.as_str()));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Closed-form dies-per-wafer estimates.
+//!
+//! Quick analytical approximations used throughout the industry for die
+//! productivity studies (Ferris-Prabhu \[20\] surveys them). They return
+//! fractional counts: callers decide whether to floor.
+
+use crate::{DieDimensions, Wafer};
+
+/// Gross estimate: wafer area divided by die area, `π R_w² / A_ch`.
+///
+/// Ignores all edge losses, so it strictly upper-bounds any realizable
+/// placement. Figs 6–7 of the paper implicitly use this bound (their
+/// per-wafer transistor capacity is `A_w / (d_d λ²)`).
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::SquareCentimeters;
+/// use maly_wafer_geom::{approx, DieDimensions, Wafer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let n = approx::gross_estimate(
+///     &Wafer::six_inch(),
+///     DieDimensions::square_with_area(SquareCentimeters::new(1.0)?),
+/// );
+/// assert!((n - 176.7).abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn gross_estimate(wafer: &Wafer, die: DieDimensions) -> f64 {
+    let r = wafer.usable_radius().value();
+    std::f64::consts::PI * r * r / die.area().value()
+}
+
+/// Edge-corrected estimate:
+/// `π R_w² / A_ch − π · 2 R_w / sqrt(2 A_ch)`.
+///
+/// The second term approximates the dies lost along the circumference
+/// (a strip of width `≈ sqrt(A_ch / 2)` around the perimeter `2 π R_w`).
+/// This is the widely used "SEMI" dies-per-wafer rule of thumb.
+///
+/// Returns 0 when the correction exceeds the gross count (very large dies,
+/// where the formula loses validity).
+#[must_use]
+pub fn edge_corrected_estimate(wafer: &Wafer, die: DieDimensions) -> f64 {
+    let r = wafer.usable_radius().value();
+    let area = die.area().value();
+    let gross = std::f64::consts::PI * r * r / area;
+    let edge_loss = std::f64::consts::PI * 2.0 * r / (2.0 * area).sqrt();
+    (gross - edge_loss).max(0.0)
+}
+
+/// Fraction of the wafer surface covered by complete dies for a given
+/// exact count — a productivity metric for wafer-size studies
+/// (Sec. III.A.c of the paper).
+#[must_use]
+pub fn utilization(wafer: &Wafer, die: DieDimensions, count: maly_units::DieCount) -> f64 {
+    count.as_f64() * die.area().value() / wafer.area().value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maly;
+    use maly_units::SquareCentimeters;
+
+    fn square_die(area_cm2: f64) -> DieDimensions {
+        DieDimensions::square_with_area(SquareCentimeters::new(area_cm2).unwrap())
+    }
+
+    #[test]
+    fn gross_upper_bounds_exact_count() {
+        let wafer = Wafer::six_inch();
+        for area in [0.1, 0.5, 1.0, 2.976, 4.785] {
+            let die = square_die(area);
+            let exact = maly::dies_per_wafer(&wafer, die).as_f64();
+            assert!(gross_estimate(&wafer, die) >= exact);
+        }
+    }
+
+    #[test]
+    fn edge_corrected_is_below_gross() {
+        let wafer = Wafer::six_inch();
+        let die = square_die(1.0);
+        assert!(edge_corrected_estimate(&wafer, die) < gross_estimate(&wafer, die));
+    }
+
+    #[test]
+    fn edge_corrected_tracks_exact_for_small_dies() {
+        let wafer = Wafer::six_inch();
+        for area in [0.1, 0.25, 0.5, 1.0] {
+            let die = square_die(area);
+            let exact = maly::dies_per_wafer(&wafer, die).as_f64();
+            let est = edge_corrected_estimate(&wafer, die);
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.1, "area {area}: est {est} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn edge_corrected_saturates_at_zero() {
+        let wafer = Wafer::six_inch();
+        let die = square_die(150.0);
+        assert_eq!(edge_corrected_estimate(&wafer, die), 0.0);
+    }
+
+    #[test]
+    fn utilization_in_unit_interval() {
+        let wafer = Wafer::six_inch();
+        let die = square_die(1.0);
+        let count = maly::dies_per_wafer(&wafer, die);
+        let u = utilization(&wafer, die, count);
+        assert!(u > 0.5 && u < 1.0, "utilization {u} out of expected band");
+    }
+
+    #[test]
+    fn estimates_respect_edge_exclusion() {
+        let die = square_die(1.0);
+        let full = gross_estimate(&Wafer::six_inch(), die);
+        let excl = gross_estimate(
+            &Wafer::six_inch().edge_exclusion(maly_units::Centimeters::new(0.5).unwrap()),
+            die,
+        );
+        assert!(excl < full);
+    }
+}

@@ -1,0 +1,174 @@
+//! Rectangular die dimensions.
+
+use maly_units::{Centimeters, SquareCentimeters};
+
+/// Dimensions `a × b` of a rectangular die, in centimeters.
+///
+/// Eq. (4) takes the die as two edge lengths; the rest of the cost model
+/// mostly works with the die *area* `A_ch = a·b` and assumes a square
+/// aspect ratio when only the area is known (the paper does the same when
+/// converting `N_tr · d_d · λ²` into a die outline).
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::{Centimeters, SquareCentimeters};
+/// use maly_wafer_geom::DieDimensions;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let die = DieDimensions::new(Centimeters::new(1.2)?, Centimeters::new(0.8)?);
+/// assert!((die.area().value() - 0.96).abs() < 1e-12);
+/// assert!((die.aspect_ratio() - 1.5).abs() < 1e-12);
+///
+/// let square = DieDimensions::square_with_area(SquareCentimeters::new(1.0)?);
+/// assert!((square.width().value() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DieDimensions {
+    width: Centimeters,
+    height: Centimeters,
+}
+
+impl DieDimensions {
+    /// Creates a die with edges `width` (the paper's `a`) and `height` (`b`).
+    #[must_use]
+    pub fn new(width: Centimeters, height: Centimeters) -> Self {
+        Self { width, height }
+    }
+
+    /// Creates a square die with the given edge length.
+    #[must_use]
+    pub fn square(edge: Centimeters) -> Self {
+        Self::new(edge, edge)
+    }
+
+    /// Creates a square die with the given area.
+    #[must_use]
+    pub fn square_with_area(area: SquareCentimeters) -> Self {
+        Self::square(area.square_side())
+    }
+
+    /// Creates a rectangular die of the given area and aspect ratio
+    /// `width / height`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aspect_ratio` is not finite and positive.
+    #[must_use]
+    pub fn with_area_and_aspect(area: SquareCentimeters, aspect_ratio: f64) -> Self {
+        assert!(
+            aspect_ratio.is_finite() && aspect_ratio > 0.0,
+            "aspect ratio must be positive and finite, got {aspect_ratio}"
+        );
+        let height = (area.value() / aspect_ratio).sqrt();
+        let width = height * aspect_ratio;
+        Self::new(
+            Centimeters::new(width).expect("positive area and ratio"),
+            Centimeters::new(height).expect("positive area and ratio"),
+        )
+    }
+
+    /// Die width `a`.
+    #[must_use]
+    pub fn width(&self) -> Centimeters {
+        self.width
+    }
+
+    /// Die height `b`.
+    #[must_use]
+    pub fn height(&self) -> Centimeters {
+        self.height
+    }
+
+    /// Die area `A_ch = a · b`.
+    #[must_use]
+    pub fn area(&self) -> SquareCentimeters {
+        self.width * self.height
+    }
+
+    /// Aspect ratio `a / b`.
+    #[must_use]
+    pub fn aspect_ratio(&self) -> f64 {
+        self.width / self.height
+    }
+
+    /// Returns the same die rotated by 90° (edges swapped).
+    #[must_use]
+    pub fn rotated(&self) -> Self {
+        Self::new(self.height, self.width)
+    }
+
+    /// Half-diagonal: the distance from the die center to a corner. A die
+    /// centered at distance `d` from the wafer center fits entirely on the
+    /// wafer iff every corner does; the half-diagonal is the worst case.
+    #[must_use]
+    pub fn half_diagonal(&self) -> Centimeters {
+        Centimeters::new((self.width.value().hypot(self.height.value())) / 2.0)
+            .expect("positive edges")
+    }
+}
+
+impl std::fmt::Display for DieDimensions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} × {:.3} cm die",
+            self.width.value(),
+            self.height.value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_aspect_invert() {
+        let die = DieDimensions::with_area_and_aspect(SquareCentimeters::new(2.0).unwrap(), 2.0);
+        assert!((die.area().value() - 2.0).abs() < 1e-12);
+        assert!((die.aspect_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_with_area_has_unit_aspect() {
+        let die = DieDimensions::square_with_area(SquareCentimeters::new(2.976).unwrap());
+        assert!((die.aspect_ratio() - 1.0).abs() < 1e-12);
+        assert!((die.width().value() - 2.976_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_swaps_edges_and_preserves_area() {
+        let die = DieDimensions::new(
+            Centimeters::new(1.5).unwrap(),
+            Centimeters::new(0.5).unwrap(),
+        );
+        let rot = die.rotated();
+        assert_eq!(rot.width().value(), 0.5);
+        assert_eq!(rot.height().value(), 1.5);
+        assert!((rot.area().value() - die.area().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_diagonal_of_3_4_5_triangle() {
+        let die = DieDimensions::new(
+            Centimeters::new(3.0).unwrap(),
+            Centimeters::new(4.0).unwrap(),
+        );
+        assert!((die.half_diagonal().value() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "aspect ratio")]
+    fn rejects_bad_aspect() {
+        let _ = DieDimensions::with_area_and_aspect(SquareCentimeters::new(1.0).unwrap(), f64::NAN);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let die = DieDimensions::square(Centimeters::new(1.0).unwrap());
+        assert_eq!(die.to_string(), "1.000 × 1.000 cm die");
+    }
+}

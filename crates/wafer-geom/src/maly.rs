@@ -1,0 +1,197 @@
+//! Eq. (4): the row-packing dies-per-wafer formula.
+//!
+//! The paper computes `N_ch` by slicing the wafer into horizontal rows of
+//! height `b` (the die height) starting at the bottom edge, and packing
+//! each row with as many dies of width `a` as fit inside the circle:
+//!
+//! ```text
+//!           Floor[2·R_w/b] − 1
+//!   N_ch  =       Σ            Floor[ (2/a) · min(R_j, R_{j+1}) ]
+//!                j=0
+//!
+//!   R_j = sqrt( R_w² − (j·b − R_w)² )
+//! ```
+//!
+//! `R_j` is the half-width of the wafer at height `j·b` above the bottom;
+//! a row confined between heights `j·b` and `(j+1)·b` is limited by the
+//! *narrower* of its two boundary chords, hence the `min`. Dies in a row
+//! are centered on the vertical diameter.
+//!
+//! The printed formula's `(2/(a/b))·Min(R_i, R_{i+1})` is a typesetting
+//! corruption of `(2/a)·min(...)` — only the latter is dimensionally a
+//! count, and only the latter reproduces Table 3 (see DESIGN.md §1).
+
+use crate::{DieDimensions, Wafer};
+use maly_units::DieCount;
+
+/// Number of complete dies per wafer according to eq. (4).
+///
+/// Uses the wafer's *usable* radius, so an edge exclusion (if configured)
+/// is honored; the saw street is ignored, matching the paper's idealized
+/// geometry. Returns zero when the die does not fit at all.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::{Centimeters, SquareCentimeters};
+/// use maly_wafer_geom::{maly, DieDimensions, Wafer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 1 cm² die on a 6-inch wafer.
+/// let n = maly::dies_per_wafer(
+///     &Wafer::six_inch(),
+///     DieDimensions::square(Centimeters::new(1.0)?),
+/// );
+/// assert_eq!(n.value(), 154);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn dies_per_wafer(wafer: &Wafer, die: DieDimensions) -> DieCount {
+    let r_w = wafer.usable_radius().value();
+    let a = die.width().value();
+    let b = die.height().value();
+
+    let rows = (2.0 * r_w / b).floor() as i64;
+    if rows <= 0 {
+        return DieCount::new(0);
+    }
+
+    let half_width_at = |height: f64| -> f64 {
+        let d = height - r_w;
+        let sq = r_w * r_w - d * d;
+        if sq <= 0.0 {
+            0.0
+        } else {
+            sq.sqrt()
+        }
+    };
+
+    let mut total: u64 = 0;
+    for j in 0..rows {
+        let r_lo = half_width_at(j as f64 * b);
+        let r_hi = half_width_at((j + 1) as f64 * b);
+        let chord = r_lo.min(r_hi);
+        let per_row = (2.0 * chord / a).floor();
+        if per_row > 0.0 {
+            total += per_row as u64;
+        }
+    }
+
+    DieCount::new(u32::try_from(total).unwrap_or(u32::MAX))
+}
+
+/// Dies per wafer for the better of the two die orientations
+/// (as drawn, or rotated by 90°).
+///
+/// Eq. (4) is not symmetric in `a` and `b` for non-square dies; real
+/// steppers choose the better orientation, so optimization studies should
+/// prefer this entry point.
+#[must_use]
+pub fn dies_per_wafer_best_orientation(wafer: &Wafer, die: DieDimensions) -> DieCount {
+    let as_drawn = dies_per_wafer(wafer, die);
+    let rotated = dies_per_wafer(wafer, die.rotated());
+    as_drawn.max(rotated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maly_units::{Centimeters, SquareCentimeters};
+
+    fn square_die(area_cm2: f64) -> DieDimensions {
+        DieDimensions::square_with_area(SquareCentimeters::new(area_cm2).unwrap())
+    }
+
+    /// Hand-computed reference for Table 3 row 1 (2.976 cm² die,
+    /// R_w = 7.5 cm): rows contribute 5+7+8+8+8+6+4 = 46.
+    #[test]
+    fn table3_row1_die_count() {
+        let n = dies_per_wafer(&Wafer::six_inch(), square_die(2.976));
+        assert_eq!(n.value(), 46);
+    }
+
+    /// Table 3 row 14: 4.785 cm² die on an 8-inch wafer. The paper's
+    /// printed cost of 2.18 µ$ back-solves to N_ch = 52.
+    #[test]
+    fn table3_row14_die_count() {
+        let n = dies_per_wafer(&Wafer::eight_inch(), square_die(4.785216));
+        assert_eq!(n.value(), 52);
+    }
+
+    #[test]
+    fn die_larger_than_wafer_gives_zero() {
+        let n = dies_per_wafer(
+            &Wafer::six_inch(),
+            DieDimensions::square(Centimeters::new(16.0).unwrap()),
+        );
+        assert!(n.is_zero());
+    }
+
+    #[test]
+    fn die_exactly_wafer_diameter_gives_zero() {
+        // A 15 cm square die on a 7.5 cm-radius wafer: one row, but the
+        // chord at its boundary is zero, so nothing fits.
+        let n = dies_per_wafer(
+            &Wafer::six_inch(),
+            DieDimensions::square(Centimeters::new(15.0).unwrap()),
+        );
+        assert!(n.is_zero());
+    }
+
+    #[test]
+    fn count_is_monotone_in_die_area() {
+        let wafer = Wafer::six_inch();
+        let mut last = u32::MAX;
+        for area in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            let n = dies_per_wafer(&wafer, square_die(area)).value();
+            assert!(
+                n <= last,
+                "count must not increase with area: {n} after {last}"
+            );
+            last = n;
+        }
+    }
+
+    #[test]
+    fn total_die_area_never_exceeds_wafer_area() {
+        let wafer = Wafer::six_inch();
+        for area in [0.1, 0.33, 1.0, 2.976, 4.785] {
+            let n = dies_per_wafer(&wafer, square_die(area)).as_f64();
+            assert!(n * area <= wafer.area().value() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn edge_exclusion_reduces_count() {
+        let die = square_die(1.0);
+        let full = dies_per_wafer(&Wafer::six_inch(), die).value();
+        let excluded = dies_per_wafer(
+            &Wafer::six_inch().edge_exclusion(Centimeters::new(0.5).unwrap()),
+            die,
+        )
+        .value();
+        assert!(excluded < full);
+    }
+
+    #[test]
+    fn rotation_can_matter_for_rectangles() {
+        let wafer = Wafer::six_inch();
+        let die = DieDimensions::new(
+            Centimeters::new(2.9).unwrap(),
+            Centimeters::new(0.9).unwrap(),
+        );
+        let best = dies_per_wafer_best_orientation(&wafer, die).value();
+        let a = dies_per_wafer(&wafer, die).value();
+        let b = dies_per_wafer(&wafer, die.rotated()).value();
+        assert_eq!(best, a.max(b));
+    }
+
+    #[test]
+    fn bigger_wafer_holds_more_dies() {
+        let die = square_die(1.0);
+        let six = dies_per_wafer(&Wafer::six_inch(), die).value();
+        let eight = dies_per_wafer(&Wafer::eight_inch(), die).value();
+        assert!(eight > six);
+    }
+}

@@ -1,0 +1,172 @@
+//! Stepper reticles: multi-die exposure fields and quantization loss.
+//!
+//! A stepper does not print dies one at a time — it prints *fields* of
+//! `cols × rows` dies per exposure. When a fab only accepts complete
+//! fields (common where partial-field processing is unreliable), every
+//! field that hangs off the wafer edge forfeits all its dies, not just
+//! the ones outside. The *field quantization loss* is the die-count gap
+//! between per-die placement and complete-field placement; it grows with
+//! field size and shrinks with wafer size — one more term in the
+//! productivity ledger of Sec. III.A.c.
+
+use maly_units::DieCount;
+
+use crate::raster::RasterPlacement;
+use crate::{DieDimensions, Wafer};
+
+/// A reticle: `cols × rows` copies of one die per exposure field.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::Centimeters;
+/// use maly_wafer_geom::{reticle::Reticle, DieDimensions, Wafer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let die = DieDimensions::square(Centimeters::new(1.0)?);
+/// let reticle = Reticle::new(die, 2, 2);
+/// let wafer = Wafer::six_inch();
+/// // Complete-field stepping loses dies relative to per-die placement.
+/// let per_die = reticle.dies_per_wafer_partial_fields(&wafer);
+/// let whole_fields = reticle.dies_per_wafer_complete_fields(&wafer);
+/// assert!(whole_fields < per_die);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reticle {
+    die: DieDimensions,
+    cols: u32,
+    rows: u32,
+}
+
+impl Reticle {
+    /// Creates a reticle of `cols × rows` die images.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    #[must_use]
+    pub fn new(die: DieDimensions, cols: u32, rows: u32) -> Self {
+        assert!(cols > 0 && rows > 0, "reticle must hold at least one die");
+        Self { die, cols, rows }
+    }
+
+    /// The printed die.
+    #[must_use]
+    pub fn die(&self) -> DieDimensions {
+        self.die
+    }
+
+    /// Dies per exposure.
+    #[must_use]
+    pub fn dies_per_field(&self) -> u32 {
+        self.cols * self.rows
+    }
+
+    /// The field outline.
+    #[must_use]
+    pub fn field(&self) -> DieDimensions {
+        DieDimensions::new(
+            self.die.width() * f64::from(self.cols),
+            self.die.height() * f64::from(self.rows),
+        )
+    }
+
+    /// Dies per wafer when partial fields are printed and their on-wafer
+    /// dies kept — identical to per-die raster placement, because the die
+    /// grid is contiguous across field boundaries.
+    #[must_use]
+    pub fn dies_per_wafer_partial_fields(&self, wafer: &Wafer) -> DieCount {
+        RasterPlacement::default().place(wafer, self.die).count()
+    }
+
+    /// Dies per wafer when only *complete* fields count: complete-field
+    /// placements × dies per field.
+    #[must_use]
+    pub fn dies_per_wafer_complete_fields(&self, wafer: &Wafer) -> DieCount {
+        let fields = RasterPlacement::default()
+            .place(wafer, self.field())
+            .count();
+        DieCount::new(fields.value().saturating_mul(self.dies_per_field()))
+    }
+
+    /// Fractional die loss of complete-field stepping relative to
+    /// per-die placement, in `[0, 1]`.
+    #[must_use]
+    pub fn field_quantization_loss(&self, wafer: &Wafer) -> f64 {
+        let per_die = self.dies_per_wafer_partial_fields(wafer).as_f64();
+        if per_die == 0.0 {
+            return 0.0;
+        }
+        let whole = self.dies_per_wafer_complete_fields(wafer).as_f64();
+        ((per_die - whole) / per_die).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maly_units::Centimeters;
+
+    fn die(edge: f64) -> DieDimensions {
+        DieDimensions::square(Centimeters::new(edge).unwrap())
+    }
+
+    #[test]
+    fn single_die_reticle_loses_nothing() {
+        let r = Reticle::new(die(1.0), 1, 1);
+        let wafer = Wafer::six_inch();
+        assert_eq!(
+            r.dies_per_wafer_partial_fields(&wafer),
+            r.dies_per_wafer_complete_fields(&wafer)
+        );
+        assert_eq!(r.field_quantization_loss(&wafer), 0.0);
+    }
+
+    #[test]
+    fn loss_grows_with_field_size() {
+        // Not strictly monotone (grid alignment luck varies with the
+        // exact field/wafer ratio), but the broad trend must hold.
+        let wafer = Wafer::six_inch();
+        let loss_at = |size| Reticle::new(die(0.8), size, size).field_quantization_loss(&wafer);
+        assert_eq!(loss_at(1), 0.0);
+        let small = loss_at(2);
+        let large = loss_at(4).max(loss_at(3));
+        assert!(small > 0.0, "2×2 fields must lose something: {small}");
+        assert!(large > small, "large fields {large} vs small {small}");
+        assert!(large > 0.05, "4×4-class fields should lose >5%: {large}");
+    }
+
+    #[test]
+    fn loss_shrinks_on_bigger_wafers() {
+        let r = Reticle::new(die(0.8), 3, 3);
+        let six = r.field_quantization_loss(&Wafer::six_inch());
+        let eight = r.field_quantization_loss(&Wafer::eight_inch());
+        assert!(eight < six, "8-inch {eight} vs 6-inch {six}");
+    }
+
+    #[test]
+    fn field_outline_is_cols_by_rows() {
+        let r = Reticle::new(die(0.5), 4, 2);
+        let f = r.field();
+        assert!((f.width().value() - 2.0).abs() < 1e-12);
+        assert!((f.height().value() - 1.0).abs() < 1e-12);
+        assert_eq!(r.dies_per_field(), 8);
+    }
+
+    #[test]
+    fn oversized_field_yields_zero_complete_fields() {
+        let r = Reticle::new(die(4.0), 4, 4); // 16×16 cm field
+        let wafer = Wafer::six_inch();
+        assert!(r.dies_per_wafer_complete_fields(&wafer).is_zero());
+        // Per-die placement still works, so the loss saturates at 1.
+        assert!((r.field_quantization_loss(&wafer) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one die")]
+    fn zero_dimension_rejected() {
+        let _ = Reticle::new(die(1.0), 0, 3);
+    }
+}

@@ -1,0 +1,205 @@
+//! Wafer description.
+
+use maly_units::{Centimeters, SquareCentimeters};
+
+/// A circular silicon wafer.
+///
+/// The paper's scenarios use 6-inch (`R_w = 7.5 cm`) and 8-inch
+/// (`R_w = 10 cm`) wafers. An optional *edge exclusion* ring (unusable
+/// outer margin) and *saw street* (kerf between adjacent dies) refine the
+/// exact raster placement; both default to zero, which is the convention
+/// eq. (4) assumes.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::Centimeters;
+/// use maly_wafer_geom::Wafer;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let wafer = Wafer::with_radius(Centimeters::new(7.5)?)
+///     .edge_exclusion(Centimeters::new(0.3)?)
+///     .saw_street(Centimeters::new(0.01)?);
+/// assert!((wafer.usable_radius().value() - 7.2).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Wafer {
+    radius: Centimeters,
+    edge_exclusion_cm: f64,
+    saw_street_cm: f64,
+    /// Distance from the wafer center to the primary flat's chord (cm);
+    /// `>= radius` means no flat.
+    flat_distance_cm: f64,
+}
+
+impl Wafer {
+    /// Creates a wafer of the given radius with no edge exclusion and no
+    /// saw street — the idealization used by eq. (4) and all paper tables.
+    #[must_use]
+    pub fn with_radius(radius: Centimeters) -> Self {
+        Self {
+            radius,
+            edge_exclusion_cm: 0.0,
+            saw_street_cm: 0.0,
+            flat_distance_cm: f64::INFINITY,
+        }
+    }
+
+    /// A 6-inch wafer (`R_w = 7.5 cm`), the paper's default.
+    #[must_use]
+    pub fn six_inch() -> Self {
+        Self::with_radius(Centimeters::new(7.5).expect("7.5 is positive"))
+    }
+
+    /// An 8-inch wafer (`R_w = 10 cm`), used by Table 3 row 14.
+    #[must_use]
+    pub fn eight_inch() -> Self {
+        Self::with_radius(Centimeters::new(10.0).expect("10 is positive"))
+    }
+
+    /// Sets the edge-exclusion ring width (returns the modified wafer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exclusion is at least the wafer radius (no usable
+    /// area would remain).
+    #[must_use]
+    pub fn edge_exclusion(mut self, width: Centimeters) -> Self {
+        assert!(
+            width.value() < self.radius.value(),
+            "edge exclusion {width} must be smaller than the wafer radius {}",
+            self.radius
+        );
+        self.edge_exclusion_cm = width.value();
+        self
+    }
+
+    /// Sets the saw-street (kerf) width between adjacent dies.
+    #[must_use]
+    pub fn saw_street(mut self, width: Centimeters) -> Self {
+        self.saw_street_cm = width.value();
+        self
+    }
+
+    /// Physical wafer radius `R_w`.
+    #[must_use]
+    pub fn radius(&self) -> Centimeters {
+        self.radius
+    }
+
+    /// Radius of the region usable for complete dies
+    /// (`R_w` minus the edge exclusion).
+    #[must_use]
+    pub fn usable_radius(&self) -> Centimeters {
+        Centimeters::new(self.radius.value() - self.edge_exclusion_cm)
+            .expect("edge exclusion validated smaller than radius")
+    }
+
+    /// Saw-street width in centimeters (zero if unset).
+    #[must_use]
+    pub fn saw_street_width_cm(&self) -> f64 {
+        self.saw_street_cm
+    }
+
+    /// Adds a primary orientation flat: the chord at `distance` from the
+    /// wafer center (on the −Y side) is ground away. Pre-200 mm wafers
+    /// carried such flats; they cost die sites the idealized circle
+    /// keeps. Only the exact raster placement honors the flat.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < distance < radius`.
+    #[must_use]
+    pub fn primary_flat(mut self, distance: Centimeters) -> Self {
+        assert!(
+            distance.value() < self.radius.value(),
+            "flat distance {distance} must be inside the wafer radius {}",
+            self.radius
+        );
+        self.flat_distance_cm = distance.value();
+        self
+    }
+
+    /// Distance from the center to the flat chord, if a flat is set.
+    #[must_use]
+    pub fn flat_distance(&self) -> Option<Centimeters> {
+        (self.flat_distance_cm < self.radius.value())
+            .then(|| Centimeters::new(self.flat_distance_cm).expect("validated positive"))
+    }
+
+    /// True when the point `(x, y)` (wafer-centered cm) lies on usable
+    /// silicon: inside the usable radius and above the flat chord.
+    #[must_use]
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        let r = self.usable_radius().value();
+        x * x + y * y <= r * r && y >= -self.flat_distance_cm
+    }
+
+    /// Total wafer area `A_w = π R_w²` (eq. 8 denominator).
+    #[must_use]
+    pub fn area(&self) -> SquareCentimeters {
+        SquareCentimeters::new(std::f64::consts::PI * self.radius.value().powi(2))
+            .expect("positive radius gives positive area")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_inch_area_matches_paper() {
+        // A_w = π·7.5² ≈ 176.7 cm², the denominator used by Figs 6–7.
+        let w = Wafer::six_inch();
+        assert!((w.area().value() - 176.714).abs() < 1e-2);
+    }
+
+    #[test]
+    fn usable_radius_subtracts_exclusion() {
+        let w = Wafer::six_inch().edge_exclusion(Centimeters::new(0.5).unwrap());
+        assert!((w.usable_radius().value() - 7.0).abs() < 1e-12);
+        assert_eq!(w.radius().value(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge exclusion")]
+    fn exclusion_must_leave_usable_area() {
+        let _ = Wafer::six_inch().edge_exclusion(Centimeters::new(7.5).unwrap());
+    }
+
+    #[test]
+    fn eight_inch_radius() {
+        assert_eq!(Wafer::eight_inch().radius().value(), 10.0);
+    }
+
+    #[test]
+    fn saw_street_recorded() {
+        let w = Wafer::six_inch().saw_street(Centimeters::new(0.02).unwrap());
+        assert_eq!(w.saw_street_width_cm(), 0.02);
+    }
+
+    #[test]
+    fn flat_removes_the_bottom_chord() {
+        let w = Wafer::six_inch().primary_flat(Centimeters::new(7.0).unwrap());
+        assert_eq!(w.flat_distance().unwrap().value(), 7.0);
+        assert!(w.contains(0.0, 0.0));
+        assert!(w.contains(0.0, -6.9));
+        assert!(!w.contains(0.0, -7.1)); // below the flat
+        assert!(!w.contains(7.6, 0.0)); // outside the circle
+    }
+
+    #[test]
+    fn no_flat_means_full_circle() {
+        let w = Wafer::six_inch();
+        assert!(w.flat_distance().is_none());
+        assert!(w.contains(0.0, -7.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "flat distance")]
+    fn flat_outside_radius_rejected() {
+        let _ = Wafer::six_inch().primary_flat(Centimeters::new(8.0).unwrap());
+    }
+}

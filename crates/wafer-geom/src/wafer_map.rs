@@ -1,0 +1,162 @@
+//! Wafer maps: the concrete positions of placed dies.
+
+use maly_units::{DieCount, SquareCentimeters};
+
+use crate::{DieDimensions, Wafer};
+
+/// One placed die on a wafer, in wafer-centered coordinates (cm).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DieSite {
+    /// Grid column index (0-based, leftmost column that holds any die).
+    pub column: u32,
+    /// Grid row index (0-based, bottom row that holds any die).
+    pub row: u32,
+    /// X coordinate of the die center, cm from the wafer center.
+    pub center_x: f64,
+    /// Y coordinate of the die center, cm from the wafer center.
+    pub center_y: f64,
+}
+
+impl DieSite {
+    /// Distance from the wafer center to this die's center, in cm.
+    #[must_use]
+    pub fn radial_distance(&self) -> f64 {
+        self.center_x.hypot(self.center_y)
+    }
+}
+
+/// The result of placing a die grid on a wafer: every complete die site.
+///
+/// Produced by [`crate::raster::RasterPlacement::place`]. Consumed by the
+/// yield Monte Carlo (to decide which die a sampled defect lands on) and
+/// by the wafer-map renderer.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::Centimeters;
+/// use maly_wafer_geom::{raster::RasterPlacement, DieDimensions, Wafer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let map = RasterPlacement::default().place(
+///     &Wafer::six_inch(),
+///     DieDimensions::square(Centimeters::new(2.0)?),
+/// );
+/// assert!(map.count().value() > 20);
+/// // Every die fits entirely on the wafer: its farthest corner is inside.
+/// for site in map.sites() {
+///     let far_x = site.center_x.abs() + map.die().width().value() / 2.0;
+///     let far_y = site.center_y.abs() + map.die().height().value() / 2.0;
+///     assert!(far_x.hypot(far_y) <= 7.5 + 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WaferMap {
+    wafer: Wafer,
+    die: DieDimensions,
+    sites: Vec<DieSite>,
+}
+
+impl WaferMap {
+    pub(crate) fn new(wafer: Wafer, die: DieDimensions, sites: Vec<DieSite>) -> Self {
+        Self { wafer, die, sites }
+    }
+
+    /// The wafer this map was placed on.
+    #[must_use]
+    pub fn wafer(&self) -> &Wafer {
+        &self.wafer
+    }
+
+    /// The die outline used for placement.
+    #[must_use]
+    pub fn die(&self) -> DieDimensions {
+        self.die
+    }
+
+    /// All complete die sites.
+    #[must_use]
+    pub fn sites(&self) -> &[DieSite] {
+        &self.sites
+    }
+
+    /// Number of complete dies (`N_ch`).
+    #[must_use]
+    pub fn count(&self) -> DieCount {
+        DieCount::new(u32::try_from(self.sites.len()).unwrap_or(u32::MAX))
+    }
+
+    /// Total silicon area covered by complete dies.
+    ///
+    /// Returns `None` when the map is empty (area would be zero, which the
+    /// unit type rejects).
+    #[must_use]
+    pub fn covered_area(&self) -> Option<SquareCentimeters> {
+        if self.sites.is_empty() {
+            None
+        } else {
+            SquareCentimeters::new(self.count().as_f64() * self.die.area().value()).ok()
+        }
+    }
+
+    /// Fraction of the wafer covered by complete dies.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.count().as_f64() * self.die.area().value() / self.wafer.area().value()
+    }
+
+    /// Index of the die (into [`Self::sites`]) containing the point
+    /// `(x, y)` (wafer-centered cm), if any. Points on the saw street
+    /// between dies belong to no die.
+    #[must_use]
+    pub fn die_at(&self, x: f64, y: f64) -> Option<usize> {
+        let hw = self.die.width().value() / 2.0;
+        let hh = self.die.height().value() / 2.0;
+        self.sites
+            .iter()
+            .position(|s| (x - s.center_x).abs() <= hw && (y - s.center_y).abs() <= hh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::RasterPlacement;
+    use maly_units::Centimeters;
+
+    fn sample_map() -> WaferMap {
+        RasterPlacement::default().place(
+            &Wafer::six_inch(),
+            DieDimensions::square(Centimeters::new(2.0).unwrap()),
+        )
+    }
+
+    #[test]
+    fn die_at_center_of_each_site_resolves() {
+        let map = sample_map();
+        for (i, s) in map.sites().iter().enumerate() {
+            assert_eq!(map.die_at(s.center_x, s.center_y), Some(i));
+        }
+    }
+
+    #[test]
+    fn die_at_far_corner_is_none() {
+        let map = sample_map();
+        assert_eq!(map.die_at(7.4, 7.4), None);
+    }
+
+    #[test]
+    fn utilization_consistent_with_covered_area() {
+        let map = sample_map();
+        let covered = map.covered_area().unwrap().value();
+        assert!((map.utilization() - covered / map.wafer().area().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_match_sites_len() {
+        let map = sample_map();
+        assert_eq!(map.count().value() as usize, map.sites().len());
+    }
+}

@@ -1,0 +1,488 @@
+//! Critical-area estimation for a parallel-line layout abstraction.
+//!
+//! "Whether a defect causes a fault or not depends on its size and
+//! location" (Sec. III.C). The *critical area* `A_c(R)` of a layout for
+//! defects of radius `R` is the area of the locus of defect centers that
+//! produce a fault; the average over the defect size distribution gives
+//! the effective kill probability that connects physical defect densities
+//! to the `D₀` of eq. (6).
+//!
+//! Full extraction needs real mask data; the classical teaching model —
+//! an array of parallel wires of width `w` and spacing `s` — admits exact
+//! closed forms and captures the feature-size scaling that the paper's
+//! eq. (7) relies on. Both the closed forms and a Monte Carlo estimator
+//! over the same geometry are provided; they agree, which is the point of
+//! having both.
+
+use maly_units::{Microns, SquareMicrons};
+
+use crate::defects::DefectSizeDistribution;
+
+/// An array of parallel wires: width `w`, edge-to-edge spacing `s`,
+/// over a rectangular region `length × height` (µm).
+///
+/// Wires run along the region length; the pitch `w + s` repeats across
+/// the height. Shorts bridge adjacent wires (extra material); opens sever
+/// one wire (missing material).
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::Microns;
+/// use maly_yield_model::critical_area::ParallelLines;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let layout = ParallelLines::new(
+///     Microns::new(0.8)?,  // wire width
+///     Microns::new(0.8)?,  // spacing
+///     Microns::new(1000.0)?, // region length
+///     Microns::new(1000.0)?, // region height
+/// );
+/// // A defect smaller than the spacing cannot short anything.
+/// assert_eq!(layout.short_critical_area(Microns::new(0.3)?).map(|a| a.value()), None);
+/// // A large defect has positive short critical area.
+/// assert!(layout.short_critical_area(Microns::new(1.2)?).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ParallelLines {
+    width: Microns,
+    spacing: Microns,
+    length: Microns,
+    height: Microns,
+}
+
+impl ParallelLines {
+    /// Creates the layout description.
+    #[must_use]
+    pub fn new(width: Microns, spacing: Microns, length: Microns, height: Microns) -> Self {
+        Self {
+            width,
+            spacing,
+            length,
+            height,
+        }
+    }
+
+    /// A layout drawn at minimum rules for feature size λ: wires of width
+    /// λ at spacing λ, filling a square region of edge `region`.
+    #[must_use]
+    pub fn at_minimum_rules(lambda: Microns, region: Microns) -> Self {
+        Self::new(lambda, lambda, region, region)
+    }
+
+    /// Wire width.
+    #[must_use]
+    pub fn width(&self) -> Microns {
+        self.width
+    }
+
+    /// Wire spacing.
+    #[must_use]
+    pub fn spacing(&self) -> Microns {
+        self.spacing
+    }
+
+    /// Number of complete wires in the region.
+    #[must_use]
+    pub fn wire_count(&self) -> u32 {
+        let pitch = self.width.value() + self.spacing.value();
+        (self.height.value() / pitch).floor() as u32
+    }
+
+    /// Region area.
+    #[must_use]
+    pub fn region_area(&self) -> SquareMicrons {
+        self.length * self.height
+    }
+
+    /// Critical area for *shorts* caused by an extra-material disk of
+    /// radius `r` (diameter `2r`).
+    ///
+    /// A disk shorts two adjacent wires when its diameter spans the
+    /// spacing `s`; the band of fatal center positions per gap has width
+    /// `2r − s`, times the wire length, times the number of gaps.
+    /// Returns `None` when `2r ≤ s` (no short possible).
+    #[must_use]
+    pub fn short_critical_area(&self, r: Microns) -> Option<SquareMicrons> {
+        let diameter = 2.0 * r.value();
+        let s = self.spacing.value();
+        if diameter <= s {
+            return None;
+        }
+        let gaps = self.wire_count().saturating_sub(1);
+        if gaps == 0 {
+            return None;
+        }
+        // Cap the band at the pitch: very large defects are limited by the
+        // region itself, not treated here (band ≤ w + s keeps the count of
+        // *distinct* shorted pairs equal to `gaps`).
+        let band = (diameter - s).min(self.width.value() + s);
+        SquareMicrons::new(band * self.length.value() * f64::from(gaps)).ok()
+    }
+
+    /// Critical area for *opens* caused by a missing-material disk of
+    /// radius `r`.
+    ///
+    /// A disk severs a wire when its diameter spans the wire width `w`;
+    /// the band per wire is `2r − w`. Returns `None` when `2r ≤ w`.
+    #[must_use]
+    pub fn open_critical_area(&self, r: Microns) -> Option<SquareMicrons> {
+        let diameter = 2.0 * r.value();
+        let w = self.width.value();
+        if diameter <= w {
+            return None;
+        }
+        let wires = self.wire_count();
+        if wires == 0 {
+            return None;
+        }
+        let band = (diameter - w).min(w + self.spacing.value());
+        SquareMicrons::new(band * self.length.value() * f64::from(wires)).ok()
+    }
+
+    /// Average short critical area over a defect size distribution
+    /// (numerical integration of `A_c(R)·f(R)`).
+    #[must_use]
+    pub fn average_short_critical_area(&self, dist: &DefectSizeDistribution) -> f64 {
+        self.average_critical_area(dist, |r| {
+            self.short_critical_area(r)
+                .map_or(0.0, SquareMicrons::value)
+        })
+    }
+
+    /// Average open critical area over a defect size distribution.
+    #[must_use]
+    pub fn average_open_critical_area(&self, dist: &DefectSizeDistribution) -> f64 {
+        self.average_critical_area(dist, |r| {
+            self.open_critical_area(r).map_or(0.0, SquareMicrons::value)
+        })
+    }
+
+    fn average_critical_area(
+        &self,
+        dist: &DefectSizeDistribution,
+        area_of: impl Fn(Microns) -> f64,
+    ) -> f64 {
+        // Integrate over radii up to where the band saturates plus tail.
+        let r_max =
+            20.0 * (self.width.value() + self.spacing.value()).max(dist.peak_radius().value());
+        let n = 4000;
+        let dr = r_max / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let r = (i as f64 + 0.5) * dr;
+            let radius = Microns::new(r).expect("positive by construction");
+            acc += area_of(radius) * dist.pdf(radius) * dr;
+        }
+        acc
+    }
+
+    /// Probability that a defect of radius `r` dropped uniformly on the
+    /// region causes a fault (short or open, by defect polarity).
+    #[must_use]
+    pub fn fault_probability(&self, r: Microns, polarity: DefectPolarity) -> f64 {
+        let crit = match polarity {
+            DefectPolarity::ExtraMaterial => self.short_critical_area(r),
+            DefectPolarity::MissingMaterial => self.open_critical_area(r),
+        };
+        crit.map_or(0.0, |a| (a.value() / self.region_area().value()).min(1.0))
+    }
+}
+
+/// Effective *killing* defect density of a layout: the physical defect
+/// density thinned by the average critical-area fraction,
+/// `D_kill = D_phys · Ā_crit / A_region` (shorts and opens summed, each
+/// polarity carrying half the physical population).
+///
+/// This is the bridge from the Fig 5 defect physics to the `D₀` that
+/// eq. (6) consumes — and, evaluated across minimum-rules layouts at
+/// successive nodes, it *derives* the `D/λ^p`-style acceleration that
+/// eq. (7) postulates.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::{DefectDensity, Microns};
+/// use maly_yield_model::critical_area::{effective_kill_density, ParallelLines};
+/// use maly_yield_model::defects::DefectSizeDistribution;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dist = DefectSizeDistribution::classic(Microns::new(0.1)?, 4.07)?;
+/// let physical = DefectDensity::new(100.0)?; // all sizes, per cm²
+/// let coarse = ParallelLines::at_minimum_rules(Microns::new(1.0)?, Microns::new(500.0)?);
+/// let fine = ParallelLines::at_minimum_rules(Microns::new(0.5)?, Microns::new(500.0)?);
+/// // Shrinking the rules recruits more of the population as killers.
+/// let d_coarse = effective_kill_density(&coarse, &dist, physical);
+/// let d_fine = effective_kill_density(&fine, &dist, physical);
+/// assert!(d_fine.value() > d_coarse.value());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn effective_kill_density(
+    layout: &ParallelLines,
+    dist: &DefectSizeDistribution,
+    physical: maly_units::DefectDensity,
+) -> maly_units::DefectDensity {
+    let region = layout.region_area().value();
+    let short_fraction = layout.average_short_critical_area(dist) / region;
+    let open_fraction = layout.average_open_critical_area(dist) / region;
+    // Half the population is extra material (shorts), half missing
+    // (opens) — the conventional even split.
+    let kill_fraction = 0.5 * short_fraction + 0.5 * open_fraction;
+    maly_units::DefectDensity::new((physical.value() * kill_fraction).max(1e-300))
+        .expect("positive by construction")
+}
+
+/// Empirical acceleration exponent: fits `D_kill(λ) ∝ λ^{−q}` over
+/// minimum-rules layouts at the given nodes. The paper's eq. (7) uses
+/// `q = p − 2` on top of the area factor; this measures the analogous
+/// slope from first principles.
+///
+/// # Panics
+///
+/// Panics if fewer than two nodes are given.
+#[must_use]
+pub fn kill_density_acceleration(
+    dist: &DefectSizeDistribution,
+    physical: maly_units::DefectDensity,
+    nodes_um: &[f64],
+    region: Microns,
+) -> f64 {
+    assert!(
+        nodes_um.len() >= 2,
+        "need at least two nodes to fit a slope"
+    );
+    // Least squares of ln D_kill against ln λ.
+    let points: Vec<(f64, f64)> = nodes_um
+        .iter()
+        .map(|&l| {
+            let layout =
+                ParallelLines::at_minimum_rules(Microns::new(l).expect("positive node"), region);
+            let d = effective_kill_density(&layout, dist, physical);
+            (l.ln(), d.value().ln())
+        })
+        .collect();
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    -(sxy / sxx)
+}
+
+/// Electrical polarity of a spot defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DefectPolarity {
+    /// Extra conducting material: causes shorts between wires.
+    ExtraMaterial,
+    /// Missing material: causes opens along a wire.
+    MissingMaterial,
+}
+
+/// Monte Carlo estimate of the fault probability for a given radius:
+/// drop `samples` defect centers uniformly on the region and test the
+/// geometric fault criterion directly.
+///
+/// Serves as an independent check of the closed forms (the geometry test
+/// knows nothing about "bands").
+#[must_use]
+pub fn monte_carlo_fault_probability<R: rand::Rng + ?Sized>(
+    layout: &ParallelLines,
+    r: Microns,
+    polarity: DefectPolarity,
+    samples: u32,
+    rng: &mut R,
+) -> f64 {
+    let pitch = layout.width().value() + layout.spacing().value();
+    let w = layout.width().value();
+    let wires = i64::from(layout.wire_count());
+    let height = wires as f64 * pitch;
+    let radius = r.value();
+
+    // Wire k occupies y ∈ [k·pitch, k·pitch + w). A disk centered at y:
+    //   * shorts the pair (k, k+1) when it touches both: y − r < k·pitch + w
+    //     and y + r > (k+1)·pitch;
+    //   * opens wire k when it spans it entirely: y − r < k·pitch and
+    //     y + r > k·pitch + w.
+    // Only wires within ±⌈r/pitch⌉ cells of the center can be involved.
+    let reach = (radius / pitch).ceil() as i64 + 1;
+    let mut faults = 0u32;
+    for _ in 0..samples {
+        let y: f64 = rng.gen::<f64>() * height;
+        let idx = (y / pitch).floor() as i64;
+        let mut is_fault = false;
+        for k in (idx - reach)..=(idx + reach) {
+            let bottom = k as f64 * pitch;
+            let top = bottom + w;
+            match polarity {
+                DefectPolarity::ExtraMaterial => {
+                    if k >= 0 && k + 1 < wires && y - radius < top && y + radius > bottom + pitch {
+                        is_fault = true;
+                    }
+                }
+                DefectPolarity::MissingMaterial => {
+                    if k >= 0 && k < wires && y - radius < bottom && y + radius > top {
+                        is_fault = true;
+                    }
+                }
+            }
+            if is_fault {
+                break;
+            }
+        }
+        if is_fault {
+            faults += 1;
+        }
+    }
+    // Scale from the wired strip back to the full region.
+    let wired_area = height * layout.length().value();
+    let strip_fraction = wired_area / layout.region_area().value();
+    f64::from(faults) / f64::from(samples) * strip_fraction
+}
+
+impl ParallelLines {
+    /// Region length accessor (used by the Monte Carlo helper).
+    #[must_use]
+    pub fn length(&self) -> Microns {
+        self.length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn um(v: f64) -> Microns {
+        Microns::new(v).unwrap()
+    }
+
+    fn layout(lambda: f64) -> ParallelLines {
+        ParallelLines::at_minimum_rules(um(lambda), um(1000.0))
+    }
+
+    #[test]
+    fn wire_count_fills_region() {
+        let l = layout(0.8);
+        // pitch 1.6 µm over 1000 µm → 625 wires.
+        assert_eq!(l.wire_count(), 625);
+    }
+
+    #[test]
+    fn small_defects_are_harmless() {
+        let l = layout(0.8);
+        assert!(l.short_critical_area(um(0.4)).is_none());
+        assert!(l.open_critical_area(um(0.4)).is_none());
+    }
+
+    #[test]
+    fn critical_area_grows_with_radius_until_saturation() {
+        let l = layout(0.8);
+        let a1 = l.short_critical_area(um(0.5)).unwrap().value();
+        let a2 = l.short_critical_area(um(0.7)).unwrap().value();
+        let a3 = l.short_critical_area(um(1.2)).unwrap().value();
+        let a4 = l.short_critical_area(um(5.0)).unwrap().value();
+        assert!(a1 < a2 && a2 < a3);
+        // Saturated at band = w + s.
+        assert!((a4 - a3).abs() / a3 < 0.01 || a4 >= a3);
+    }
+
+    #[test]
+    fn open_mirror_of_short_for_equal_width_and_spacing() {
+        // With w = s, the short band (2r − s) and open band (2r − w) are
+        // equal; opens act on `wires`, shorts on `wires − 1` gaps.
+        let l = layout(0.8);
+        let r = um(0.9);
+        let short = l.short_critical_area(r).unwrap().value();
+        let open = l.open_critical_area(r).unwrap().value();
+        let gaps = f64::from(l.wire_count() - 1);
+        let wires = f64::from(l.wire_count());
+        assert!((short / gaps - open / wires).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrinking_rules_raises_average_critical_area_fraction() {
+        // The fraction of the region that is critical grows as rules
+        // shrink while the defect population stays fixed — the physical
+        // mechanism behind eq. (7).
+        let dist = DefectSizeDistribution::classic(um(0.5), 4.07).unwrap();
+        let coarse = layout(1.0);
+        let fine = layout(0.5);
+        let frac_coarse = coarse.average_short_critical_area(&dist) / coarse.region_area().value();
+        let frac_fine = fine.average_short_critical_area(&dist) / fine.region_area().value();
+        assert!(
+            frac_fine > frac_coarse,
+            "fine {frac_fine} should exceed coarse {frac_coarse}"
+        );
+    }
+
+    #[test]
+    fn fault_probability_bounded_by_one() {
+        let l = layout(0.8);
+        for r in [0.5, 1.0, 10.0, 100.0] {
+            let p = l.fault_probability(um(r), DefectPolarity::ExtraMaterial);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form_shorts() {
+        let l = layout(0.8);
+        let r = um(1.0);
+        let analytic = l.fault_probability(r, DefectPolarity::ExtraMaterial);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mc =
+            monte_carlo_fault_probability(&l, r, DefectPolarity::ExtraMaterial, 200_000, &mut rng);
+        assert!(
+            (mc - analytic).abs() < 0.15 * analytic + 1e-4,
+            "mc {mc} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn kill_density_grows_monotonically_with_shrink() {
+        let dist = DefectSizeDistribution::classic(um(0.1), 4.07).unwrap();
+        let physical = maly_units::DefectDensity::new(50.0).unwrap();
+        let mut last = 0.0;
+        for node in [1.5, 1.0, 0.8, 0.5, 0.35] {
+            let layout = ParallelLines::at_minimum_rules(um(node), um(500.0));
+            let d = effective_kill_density(&layout, &dist, physical).value();
+            assert!(d > last, "node {node}: {d} not above {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn acceleration_exponent_is_positive_and_superlinear() {
+        // The first-principles slope: killing density accelerates faster
+        // than 1/λ (wire count × band growth), bounded by the tail
+        // physics. This is the mechanism eq. (7) parameterizes.
+        let dist = DefectSizeDistribution::classic(um(0.1), 4.07).unwrap();
+        let physical = maly_units::DefectDensity::new(50.0).unwrap();
+        let q = kill_density_acceleration(&dist, physical, &[1.5, 1.0, 0.8, 0.5, 0.35], um(500.0));
+        assert!(q > 1.0, "acceleration {q} should be superlinear");
+        assert!(q < 4.07, "acceleration {q} bounded by the tail exponent");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form_opens() {
+        let l = layout(0.8);
+        let r = um(0.9);
+        let analytic = l.fault_probability(r, DefectPolarity::MissingMaterial);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mc = monte_carlo_fault_probability(
+            &l,
+            r,
+            DefectPolarity::MissingMaterial,
+            200_000,
+            &mut rng,
+        );
+        assert!(
+            (mc - analytic).abs() < 0.15 * analytic + 1e-4,
+            "mc {mc} vs analytic {analytic}"
+        );
+    }
+}

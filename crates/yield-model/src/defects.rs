@@ -1,0 +1,310 @@
+//! Defect size distributions (Fig. 5).
+//!
+//! A spot defect — "a contamination-generated spot (disk) of extra
+//! conducting, semiconducting or insulating material" — has a random
+//! radius `R`. The widely accepted distribution (Fig. 5) rises for small
+//! radii, peaks at some `R₀`, and falls off as `1/R^p` above it:
+//!
+//! ```text
+//!            ⎧ c · (R/R₀)^q          0 < R ≤ R₀   (q = 1 in the classic form)
+//!   f(R)  =  ⎨
+//!            ⎩ c · (R₀/R)^p          R > R₀
+//! ```
+//!
+//! `p` was "found experimentally to be in the range 4–5". The key
+//! consequence for the paper: *a decrease in the minimum feature size
+//! rapidly increases the number of defects which may cause faults*,
+//! because the fatal-size threshold slides down the steep `1/R^p` tail —
+//! this is what eq. (7) encodes as `D/λ^p`.
+
+use maly_units::{Microns, UnitError};
+
+/// The piecewise power-law defect size probability density of Fig. 5.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::Microns;
+/// use maly_yield_model::defects::DefectSizeDistribution;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dist = DefectSizeDistribution::new(Microns::new(0.5)?, 1.0, 4.07)?;
+/// // The density peaks at R0.
+/// assert!(dist.pdf(Microns::new(0.5)?) > dist.pdf(Microns::new(0.25)?));
+/// assert!(dist.pdf(Microns::new(0.5)?) > dist.pdf(Microns::new(1.0)?));
+/// // Halving the fatal threshold recruits many more defects.
+/// let f1 = dist.fraction_larger_than(Microns::new(1.0)?);
+/// let f2 = dist.fraction_larger_than(Microns::new(0.5)?);
+/// assert!(f2 > 5.0 * f1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DefectSizeDistribution {
+    /// Peak radius `R₀` (µm).
+    r0: f64,
+    /// Rising exponent `q` (`f ∝ R^q` below `R₀`).
+    q: f64,
+    /// Falling exponent `p` (`f ∝ 1/R^p` above `R₀`).
+    p: f64,
+    /// Normalization constant: the peak density `f(R₀)`.
+    peak: f64,
+}
+
+impl DefectSizeDistribution {
+    /// Creates a distribution peaking at `r0` with rising exponent `q`
+    /// and falling exponent `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `q > 0` and `p > 1` (the tail must be
+    /// integrable) and both are finite.
+    pub fn new(r0: Microns, q: f64, p: f64) -> Result<Self, UnitError> {
+        if !q.is_finite() || q <= 0.0 {
+            return Err(UnitError::NotPositive {
+                quantity: "rising exponent q",
+                value: q,
+            });
+        }
+        if !p.is_finite() || p <= 1.0 {
+            return Err(UnitError::OutOfRange {
+                quantity: "falling exponent p",
+                value: p,
+                min: 1.0,
+                max: f64::INFINITY,
+            });
+        }
+        let r0 = r0.value();
+        // ∫0^R0 (R/R0)^q dR = R0/(q+1);  ∫R0^∞ (R0/R)^p dR = R0/(p−1).
+        // peak · (R0/(q+1) + R0/(p−1)) = 1.
+        let peak = 1.0 / (r0 / (q + 1.0) + r0 / (p - 1.0));
+        Ok(Self { r0, q, p, peak })
+    }
+
+    /// The classic form used in yield literature: `q = 1` and the
+    /// experimentally observed `p` (4–5 per the paper; Fig. 8 uses 4.07).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation of [`Self::new`].
+    pub fn classic(r0: Microns, p: f64) -> Result<Self, UnitError> {
+        Self::new(r0, 1.0, p)
+    }
+
+    /// Peak radius `R₀`.
+    #[must_use]
+    pub fn peak_radius(&self) -> Microns {
+        Microns::new(self.r0).expect("validated at construction")
+    }
+
+    /// Falling exponent `p`.
+    #[must_use]
+    pub fn falling_exponent(&self) -> f64 {
+        self.p
+    }
+
+    /// Rising exponent `q`.
+    #[must_use]
+    pub fn rising_exponent(&self) -> f64 {
+        self.q
+    }
+
+    /// Probability density at radius `r`.
+    #[must_use]
+    pub fn pdf(&self, r: Microns) -> f64 {
+        let r = r.value();
+        if r <= self.r0 {
+            self.peak * (r / self.r0).powf(self.q)
+        } else {
+            self.peak * (self.r0 / r).powf(self.p)
+        }
+    }
+
+    /// Cumulative distribution `P(R ≤ r)`.
+    #[must_use]
+    pub fn cdf(&self, r: Microns) -> f64 {
+        let r = r.value();
+        if r <= self.r0 {
+            // ∫0^r peak·(x/R0)^q dx = peak·r^{q+1}/((q+1)·R0^q)
+            self.peak * r.powf(self.q + 1.0) / ((self.q + 1.0) * self.r0.powf(self.q))
+        } else {
+            1.0 - self.fraction_larger(r)
+        }
+    }
+
+    /// Fraction of defects with radius strictly larger than `r`
+    /// (the survival function).
+    ///
+    /// For `r ≥ R₀` this is `peak · R₀^p · r^{1−p} / (p−1)` — the steep
+    /// tail that makes feature-size shrinks so dangerous.
+    #[must_use]
+    pub fn fraction_larger_than(&self, r: Microns) -> f64 {
+        self.fraction_larger(r.value())
+    }
+
+    fn fraction_larger(&self, r: f64) -> f64 {
+        if r <= self.r0 {
+            let below = self.peak * r.powf(self.q + 1.0) / ((self.q + 1.0) * self.r0.powf(self.q));
+            1.0 - below
+        } else {
+            self.peak * self.r0.powf(self.p) * r.powf(1.0 - self.p) / (self.p - 1.0)
+        }
+    }
+
+    /// Mean defect radius, when it exists (`p > 2`).
+    #[must_use]
+    pub fn mean_radius(&self) -> Option<Microns> {
+        if self.p <= 2.0 {
+            return None;
+        }
+        // ∫0^R0 R·peak·(R/R0)^q dR = peak·R0²/(q+2)
+        // ∫R0^∞ R·peak·(R0/R)^p dR = peak·R0²/(p−2)
+        let mean = self.peak * self.r0 * self.r0 * (1.0 / (self.q + 2.0) + 1.0 / (self.p - 2.0));
+        Microns::new(mean).ok()
+    }
+
+    /// Draws a random radius by inverse-transform sampling.
+    #[must_use]
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Microns {
+        let u: f64 = rng.gen();
+        let p_below = self.peak * self.r0 / (self.q + 1.0);
+        let r = if u < p_below {
+            // Invert the body: u = peak·r^{q+1}/((q+1)·R0^q)
+            (u * (self.q + 1.0) * self.r0.powf(self.q) / self.peak).powf(1.0 / (self.q + 1.0))
+        } else {
+            // Invert the tail survival: 1−u = peak·R0^p·r^{1−p}/(p−1)
+            let surv = 1.0 - u;
+            (surv * (self.p - 1.0) / (self.peak * self.r0.powf(self.p))).powf(1.0 / (1.0 - self.p))
+        };
+        // Guard the r = 0 corner (u = 0) — the unit type requires positive.
+        Microns::new(r.max(1e-12)).expect("positive radius")
+    }
+
+    /// Ratio of fatal-defect populations when the fatal threshold scales
+    /// with feature size: `fraction(>c·λ₂) / fraction(>c·λ₁)`.
+    ///
+    /// For thresholds in the tail this approaches `(λ₁/λ₂)^{p−1}`, the
+    /// defect-recruitment factor behind eq. (7).
+    #[must_use]
+    pub fn shrink_recruitment(&self, lambda_from: Microns, lambda_to: Microns, c: f64) -> f64 {
+        let f_from = self.fraction_larger(c * lambda_from.value());
+        let f_to = self.fraction_larger(c * lambda_to.value());
+        f_to / f_from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn um(v: f64) -> Microns {
+        Microns::new(v).unwrap()
+    }
+
+    fn classic() -> DefectSizeDistribution {
+        DefectSizeDistribution::classic(um(0.5), 4.07).unwrap()
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let d = classic();
+        // Trapezoidal integration over a generous range.
+        let mut sum = 0.0;
+        let n = 200_000;
+        let hi = 100.0;
+        let dx = hi / n as f64;
+        for i in 0..n {
+            let x = (i as f64 + 0.5) * dx;
+            sum += d.pdf(um(x)) * dx;
+        }
+        assert!((sum - 1.0).abs() < 1e-3, "integral {sum}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_matches_survival() {
+        let d = classic();
+        let mut last = 0.0;
+        for r in [0.1, 0.3, 0.5, 0.8, 1.5, 3.0, 10.0] {
+            let c = d.cdf(um(r));
+            assert!(c >= last, "cdf must be monotone");
+            assert!((c + d.fraction_larger_than(um(r)) - 1.0).abs() < 1e-12);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn peak_is_at_r0() {
+        let d = classic();
+        let peak = d.pdf(um(0.5));
+        for r in [0.1, 0.25, 0.45, 0.55, 1.0, 2.0] {
+            assert!(d.pdf(um(r)) <= peak + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tail_follows_power_law() {
+        let d = classic();
+        // f(2R)/f(R) = 2^{−p} in the tail.
+        let ratio = d.pdf(um(4.0)) / d.pdf(um(2.0));
+        assert!((ratio - 2.0f64.powf(-4.07)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrink_recruitment_matches_tail_exponent() {
+        let d = classic();
+        // Thresholds deep in the tail: ratio ≈ (λ1/λ2)^{p−1} = 2^{3.07}.
+        let ratio = d.shrink_recruitment(um(10.0), um(5.0), 1.0);
+        assert!((ratio - 2.0f64.powf(3.07)).abs() / ratio < 1e-6);
+    }
+
+    #[test]
+    fn mean_radius_exists_for_p_above_2() {
+        let d = classic();
+        let mean = d.mean_radius().unwrap();
+        assert!(mean.value() > 0.2 && mean.value() < 1.0);
+        let heavy = DefectSizeDistribution::classic(um(0.5), 1.9).unwrap();
+        assert!(heavy.mean_radius().is_none());
+    }
+
+    #[test]
+    fn sampling_matches_cdf() {
+        let d = classic();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let mut below_r0 = 0usize;
+        let mut below_1um = 0usize;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let r = d.sample(&mut rng);
+            if r.value() <= 0.5 {
+                below_r0 += 1;
+            }
+            if r.value() <= 1.0 {
+                below_1um += 1;
+            }
+            sum += r.value();
+        }
+        let frac_r0 = below_r0 as f64 / n as f64;
+        let frac_1 = below_1um as f64 / n as f64;
+        assert!((frac_r0 - d.cdf(um(0.5))).abs() < 0.01);
+        assert!((frac_1 - d.cdf(um(1.0))).abs() < 0.01);
+        let mean = sum / n as f64;
+        assert!((mean - d.mean_radius().unwrap().value()).abs() < 0.02);
+    }
+
+    #[test]
+    fn constructor_validates_exponents() {
+        assert!(DefectSizeDistribution::new(um(0.5), 0.0, 4.0).is_err());
+        assert!(DefectSizeDistribution::new(um(0.5), 1.0, 1.0).is_err());
+        assert!(DefectSizeDistribution::new(um(0.5), 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn accessors_expose_parameters() {
+        let d = classic();
+        assert_eq!(d.peak_radius().value(), 0.5);
+        assert_eq!(d.falling_exponent(), 4.07);
+        assert_eq!(d.rising_exponent(), 1.0);
+    }
+}

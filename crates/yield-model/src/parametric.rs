@@ -1,0 +1,261 @@
+//! Parametric yield: "global process disturbances" against spec windows.
+//!
+//! Sec. III.C splits yield loss into spot defects (functional) and global
+//! disturbances that shift electrical parameters — threshold voltage,
+//! oxide thickness, sheet resistance — across the whole die. A die whose
+//! parameters land outside its specification window fails parametrically
+//! even with zero defects. The standard first-order model treats each
+//! monitored parameter as Gaussian and multiplies the in-spec
+//! probabilities of independent parameters.
+
+use maly_units::{Probability, UnitError};
+
+/// A monitored process parameter: Gaussian spread against a spec window.
+///
+/// # Examples
+///
+/// ```
+/// use maly_yield_model::parametric::ProcessParameter;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Threshold voltage: target 0.7 V, σ = 30 mV, spec 0.6–0.8 V.
+/// let vth = ProcessParameter::new("Vth", 0.7, 0.03, 0.6, 0.8)?;
+/// // ±3.33σ window → ~99.9% parametric yield for this parameter.
+/// assert!(vth.in_spec_probability().value() > 0.999);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProcessParameter {
+    name: String,
+    mean: f64,
+    sigma: f64,
+    spec_low: f64,
+    spec_high: f64,
+}
+
+impl ProcessParameter {
+    /// Creates a parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `sigma` is not positive/finite or the spec
+    /// window is empty (`spec_low >= spec_high`).
+    pub fn new(
+        name: impl Into<String>,
+        mean: f64,
+        sigma: f64,
+        spec_low: f64,
+        spec_high: f64,
+    ) -> Result<Self, UnitError> {
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(UnitError::NotPositive {
+                quantity: "parameter sigma",
+                value: sigma,
+            });
+        }
+        if !(mean.is_finite() && spec_low.is_finite() && spec_high.is_finite()) {
+            return Err(UnitError::NotFinite {
+                quantity: "parameter specification",
+            });
+        }
+        if spec_low >= spec_high {
+            return Err(UnitError::OutOfRange {
+                quantity: "specification window",
+                value: spec_low,
+                min: f64::NEG_INFINITY,
+                max: spec_high,
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            mean,
+            sigma,
+            spec_low,
+            spec_high,
+        })
+    }
+
+    /// Parameter name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Probability that this parameter lands inside its spec window:
+    /// `Φ((hi−μ)/σ) − Φ((lo−μ)/σ)`.
+    #[must_use]
+    pub fn in_spec_probability(&self) -> Probability {
+        let hi = normal_cdf((self.spec_high - self.mean) / self.sigma);
+        let lo = normal_cdf((self.spec_low - self.mean) / self.sigma);
+        Probability::new((hi - lo).clamp(0.0, 1.0)).expect("clamped")
+    }
+
+    /// Process capability index `C_pk = min(hi−μ, μ−lo) / (3σ)` — the
+    /// fab-floor metric for how comfortably the process sits in spec.
+    #[must_use]
+    pub fn cpk(&self) -> f64 {
+        let upper = self.spec_high - self.mean;
+        let lower = self.mean - self.spec_low;
+        upper.min(lower) / (3.0 * self.sigma)
+    }
+}
+
+/// Parametric yield of a die: product of independent parameter windows.
+///
+/// # Examples
+///
+/// ```
+/// use maly_yield_model::parametric::{ParametricYield, ProcessParameter};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let y = ParametricYield::new(vec![
+///     ProcessParameter::new("Vth", 0.7, 0.03, 0.6, 0.8)?,
+///     ProcessParameter::new("Tox", 10.0, 0.4, 9.0, 11.0)?,
+/// ]);
+/// let p = y.parametric_yield();
+/// assert!(p.value() > 0.98 && p.value() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ParametricYield {
+    parameters: Vec<ProcessParameter>,
+}
+
+impl ParametricYield {
+    /// Creates the model from a set of independent parameters.
+    #[must_use]
+    pub fn new(parameters: Vec<ProcessParameter>) -> Self {
+        Self { parameters }
+    }
+
+    /// The monitored parameters.
+    #[must_use]
+    pub fn parameters(&self) -> &[ProcessParameter] {
+        &self.parameters
+    }
+
+    /// Adds a parameter (builder style).
+    #[must_use]
+    pub fn with_parameter(mut self, parameter: ProcessParameter) -> Self {
+        self.parameters.push(parameter);
+        self
+    }
+
+    /// Overall parametric yield `Y_par = Π P(in spec)`.
+    #[must_use]
+    pub fn parametric_yield(&self) -> Probability {
+        self.parameters
+            .iter()
+            .map(ProcessParameter::in_spec_probability)
+            .fold(Probability::ONE, |acc, p| acc * p)
+    }
+
+    /// The parameter with the lowest in-spec probability (the yield
+    /// limiter a process engineer would attack first), if any.
+    #[must_use]
+    pub fn limiting_parameter(&self) -> Option<&ProcessParameter> {
+        self.parameters.iter().min_by(|a, b| {
+            a.in_spec_probability()
+                .value()
+                .total_cmp(&b.in_spec_probability().value())
+        })
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7, ample for yield work).
+#[must_use]
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz–Stegun 7.1.26).
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Abramowitz–Stegun table values.
+        for (x, expected) in [
+            (0.0, 0.0),
+            (0.5, 0.520_499_878),
+            (1.0, 0.842_700_793),
+            (2.0, 0.995_322_265),
+        ] {
+            assert!((erf(x) - expected).abs() < 2e-7, "erf({x})");
+            assert!((erf(-x) + expected).abs() < 2e-7, "erf(−{x})");
+        }
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.0) - 0.841_344_746).abs() < 1e-6);
+        assert!((normal_cdf(-1.959_964) - 0.025).abs() < 1e-5);
+        assert!((normal_cdf(3.0) - 0.998_650_102).abs() < 1e-6);
+    }
+
+    #[test]
+    fn centered_three_sigma_window() {
+        let p = ProcessParameter::new("x", 0.0, 1.0, -3.0, 3.0).unwrap();
+        assert!((p.in_spec_probability().value() - 0.9973).abs() < 1e-4);
+        assert!((p.cpk() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_mean_hurts_yield() {
+        let centered = ProcessParameter::new("x", 0.0, 1.0, -3.0, 3.0).unwrap();
+        let shifted = ProcessParameter::new("x", 1.0, 1.0, -3.0, 3.0).unwrap();
+        assert!(shifted.in_spec_probability() < centered.in_spec_probability());
+        assert!(shifted.cpk() < centered.cpk());
+    }
+
+    #[test]
+    fn composite_parametric_yield_multiplies() {
+        let a = ProcessParameter::new("a", 0.0, 1.0, -2.0, 2.0).unwrap();
+        let b = ProcessParameter::new("b", 0.0, 1.0, -1.0, 1.0).unwrap();
+        let y = ParametricYield::new(vec![a.clone(), b.clone()]);
+        let expected = a.in_spec_probability().value() * b.in_spec_probability().value();
+        assert!((y.parametric_yield().value() - expected).abs() < 1e-12);
+        assert_eq!(y.limiting_parameter().unwrap().name(), "b");
+    }
+
+    #[test]
+    fn empty_parameter_set_is_perfect() {
+        assert_eq!(
+            ParametricYield::default().parametric_yield(),
+            Probability::ONE
+        );
+        assert!(ParametricYield::default().limiting_parameter().is_none());
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let y = ParametricYield::default()
+            .with_parameter(ProcessParameter::new("a", 0.0, 1.0, -2.0, 2.0).unwrap())
+            .with_parameter(ProcessParameter::new("b", 0.0, 1.0, -2.0, 2.0).unwrap());
+        assert_eq!(y.parameters().len(), 2);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ProcessParameter::new("x", 0.0, 0.0, -1.0, 1.0).is_err());
+        assert!(ProcessParameter::new("x", 0.0, 1.0, 1.0, 1.0).is_err());
+        assert!(ProcessParameter::new("x", f64::NAN, 1.0, -1.0, 1.0).is_err());
+    }
+}

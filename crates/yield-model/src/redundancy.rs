@@ -1,0 +1,286 @@
+//! Redundancy-aware yield for repairable memories.
+//!
+//! "Only memories enjoy the benefits of redundancy" (critique S.1.2): a
+//! DRAM ships spare rows/columns, so a die with a few defective subarrays
+//! is *repaired*, not scrapped. That is why Scenario #1's "100% mature
+//! yield" is plausible for memories and hopeless for logic — and thus why
+//! memory cost trends must not be extrapolated to other ICs (the paper's
+//! central cost-diversity message).
+//!
+//! The model: a memory consists of `required` identical blocks plus
+//! `spares` interchangeable spare blocks, all of equal area, together with
+//! non-repairable support logic (decoders, sense amps, I/O) of some area.
+//! The die works iff at least `required` of the `required + spares` blocks
+//! are good *and* the support logic is good.
+
+use maly_units::{Probability, SquareCentimeters, UnitError};
+
+use crate::YieldModel;
+
+/// Yield model for a block-redundant memory die.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::{DefectDensity, Probability, SquareCentimeters};
+/// use maly_yield_model::{redundancy::RedundantArrayYield, PoissonYield, YieldModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let base = PoissonYield::new(DefectDensity::new(1.0)?);
+/// let no_spares = RedundantArrayYield::new(base, 64, 0, 0.1)?;
+/// let with_spares = RedundantArrayYield::new(base, 64, 4, 0.1)?;
+/// let die = SquareCentimeters::new(1.0)?;
+/// assert!(with_spares.die_yield(die) > no_spares.die_yield(die));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RedundantArrayYield<M> {
+    base: M,
+    required: u32,
+    spares: u32,
+    /// Fraction of the die area that is non-repairable support logic.
+    support_fraction: f64,
+}
+
+impl<M: YieldModel> RedundantArrayYield<M> {
+    /// Creates the model.
+    ///
+    /// `base` supplies the per-area defect yield; `required` is the number
+    /// of array blocks a shipping die needs; `spares` the number of spare
+    /// blocks; `support_fraction` the fraction of die area occupied by
+    /// non-repairable logic (the remaining area is split evenly across
+    /// `required + spares` blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `required` is zero or `support_fraction`
+    /// is outside `[0, 1)`.
+    pub fn new(
+        base: M,
+        required: u32,
+        spares: u32,
+        support_fraction: f64,
+    ) -> Result<Self, UnitError> {
+        if required == 0 {
+            return Err(UnitError::NotPositive {
+                quantity: "required block count",
+                value: 0.0,
+            });
+        }
+        if !support_fraction.is_finite() || !(0.0..1.0).contains(&support_fraction) {
+            return Err(UnitError::OutOfRange {
+                quantity: "support area fraction",
+                value: support_fraction,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok(Self {
+            base,
+            required,
+            spares,
+            support_fraction,
+        })
+    }
+
+    /// Number of required blocks.
+    #[must_use]
+    pub fn required(&self) -> u32 {
+        self.required
+    }
+
+    /// Number of spare blocks.
+    #[must_use]
+    pub fn spares(&self) -> u32 {
+        self.spares
+    }
+
+    /// Expected number of spare blocks *consumed* per shipped die, a proxy
+    /// for repair effort (laser-fuse time on the test floor).
+    #[must_use]
+    pub fn expected_repairs(&self, die_area: SquareCentimeters) -> f64 {
+        let (block_yield, _) = self.component_yields(die_area);
+        let total = self.required + self.spares;
+        let y = block_yield.value();
+        // E[bad blocks | die ships] ≈ Σ_k k·P(k bad)·[k ≤ spares] / Y_array.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for k in 0..=self.spares {
+            let p = binomial_pmf(total, k, 1.0 - y);
+            num += f64::from(k) * p;
+            den += p;
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+
+    /// Per-block yield and support-logic yield for a given die area.
+    fn component_yields(&self, die_area: SquareCentimeters) -> (Probability, Probability) {
+        let array_area = die_area.value() * (1.0 - self.support_fraction);
+        let total_blocks = f64::from(self.required + self.spares);
+        let block_area = array_area / total_blocks;
+        let block_yield = if block_area > 0.0 {
+            self.base
+                .die_yield(SquareCentimeters::new(block_area).expect("positive block area"))
+        } else {
+            Probability::ONE
+        };
+        let support_yield = if self.support_fraction > 0.0 {
+            self.base.die_yield(
+                SquareCentimeters::new(die_area.value() * self.support_fraction)
+                    .expect("positive support area"),
+            )
+        } else {
+            Probability::ONE
+        };
+        (block_yield, support_yield)
+    }
+}
+
+impl<M: YieldModel> YieldModel for RedundantArrayYield<M> {
+    fn die_yield(&self, area: SquareCentimeters) -> Probability {
+        let (block_yield, support_yield) = self.component_yields(area);
+        let total = self.required + self.spares;
+        let p_bad = 1.0 - block_yield.value();
+        // P(at most `spares` bad blocks among `total`).
+        let mut p_repairable = 0.0;
+        for k in 0..=self.spares {
+            p_repairable += binomial_pmf(total, k, p_bad);
+        }
+        Probability::new(p_repairable.clamp(0.0, 1.0)).expect("clamped") * support_yield
+    }
+}
+
+/// Binomial probability mass `P(X = k)` for `X ~ B(n, p)`, computed with
+/// a multiplicative recurrence that stays in range for the block counts
+/// used here (n up to a few thousand).
+fn binomial_pmf(n: u32, k: u32, p: f64) -> f64 {
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    // Work in log space for robustness.
+    let ln_pmf = ln_choose(n, k) + f64::from(k) * p.ln() + f64::from(n - k) * (1.0 - p).ln();
+    ln_pmf.exp()
+}
+
+/// `ln C(n, k)` via the log-gamma sum `Σ ln` (exact enough for n ≤ ~10⁶).
+fn ln_choose(n: u32, k: u32) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0;
+    for i in 0..k {
+        acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PoissonYield;
+    use maly_units::DefectDensity;
+
+    fn base(d0: f64) -> PoissonYield {
+        PoissonYield::new(DefectDensity::new(d0).unwrap())
+    }
+
+    fn die(v: f64) -> SquareCentimeters {
+        SquareCentimeters::new(v).unwrap()
+    }
+
+    #[test]
+    fn zero_spares_zero_support_equals_base() {
+        // With no spares and no support area, the array is just the die
+        // split into independent blocks: Y = y_block^required = Y_base.
+        let model = RedundantArrayYield::new(base(1.0), 16, 0, 0.0).unwrap();
+        let y = model.die_yield(die(1.0));
+        let y_base = base(1.0).die_yield(die(1.0));
+        assert!((y.value() - y_base.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spares_strictly_improve_yield() {
+        let mut last = 0.0;
+        for spares in [0u32, 1, 2, 4, 8] {
+            let model = RedundantArrayYield::new(base(2.0), 64, spares, 0.1).unwrap();
+            let y = model.die_yield(die(1.5)).value();
+            assert!(y > last, "spares {spares}: {y} not above {last}");
+            last = y;
+        }
+    }
+
+    #[test]
+    fn redundancy_explains_memory_vs_logic_gap() {
+        // A 1.5 cm² die at D0 = 2/cm² yields ~5% as logic but >60% as a
+        // memory with 8 spares on 256 blocks — the S.1.2 observation.
+        let logic = base(2.0).die_yield(die(1.5)).value();
+        let memory = RedundantArrayYield::new(base(2.0), 256, 8, 0.05)
+            .unwrap()
+            .die_yield(die(1.5))
+            .value();
+        assert!(logic < 0.06);
+        assert!(memory > 0.6, "memory yield {memory}");
+        assert!(memory / logic > 10.0);
+    }
+
+    #[test]
+    fn support_logic_caps_yield() {
+        // Even unlimited spares cannot beat the support-logic yield.
+        let model = RedundantArrayYield::new(base(2.0), 16, 16, 0.2).unwrap();
+        let y = model.die_yield(die(1.0)).value();
+        let support_only = base(2.0).die_yield(die(0.2)).value();
+        assert!(y <= support_only + 1e-12);
+    }
+
+    #[test]
+    fn expected_repairs_grow_with_defect_density() {
+        let low = RedundantArrayYield::new(base(0.5), 64, 8, 0.1)
+            .unwrap()
+            .expected_repairs(die(1.0));
+        let high = RedundantArrayYield::new(base(3.0), 64, 8, 0.1)
+            .unwrap()
+            .expected_repairs(die(1.0));
+        assert!(high > low);
+        assert!(low >= 0.0);
+        assert!(high <= 8.0);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(RedundantArrayYield::new(base(1.0), 0, 4, 0.1).is_err());
+        assert!(RedundantArrayYield::new(base(1.0), 16, 4, 1.0).is_err());
+        assert!(RedundantArrayYield::new(base(1.0), 16, 4, -0.1).is_err());
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let n = 40;
+        let p = 0.3;
+        let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_pmf_degenerate_cases() {
+        assert_eq!(binomial_pmf(10, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(10, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(10, 10, 1.0), 1.0);
+        assert_eq!(binomial_pmf(10, 9, 1.0), 0.0);
+    }
+
+    #[test]
+    fn ln_choose_matches_small_cases() {
+        assert!((ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_choose(10, 5).exp() - 252.0).abs() < 1e-6);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+}

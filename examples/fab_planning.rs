@@ -1,0 +1,79 @@
+//! Fab planning: volume, product mix, and what a wafer really costs.
+//!
+//! Exercises the fab-line economics substrate (§III.A): the eq. (2)
+//! overhead amortization, the product-mix penalty, and a discrete-event
+//! sanity check of cycle times near saturation.
+//!
+//! Run with: `cargo run --example fab_planning`
+
+use silicon_cost::fabline::cost::{product_mix_study, FabEconomics};
+use silicon_cost::fabline::des::{simulate, DesConfig};
+use silicon_cost::fabline::process::ProcessFlow;
+use silicon_cost::prelude::*;
+use silicon_cost::viz::table::{Alignment, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Volume amortization (eq. 2): a $900 wafer with $5M of fixed
+    //    overhead (masks, R&D) at different lifetime volumes.
+    let volume_model = VolumeCostModel::new(Dollars::new(900.0)?, Dollars::new(5.0e6)?);
+    println!("eq. (2) — wafer cost vs production volume ($900 true cost, $5M overhead):");
+    for wafers in [1_000u64, 10_000, 100_000, 1_000_000] {
+        println!(
+            "  {wafers:>9} wafers → {:>8.0} $/wafer",
+            volume_model.cost_at_volume(wafers)?.value()
+        );
+    }
+    println!(
+        "  (within 5% of true cost from {} wafers)\n",
+        volume_model.volume_for_overhead_fraction(0.05)
+    );
+
+    // 2. The product-mix penalty (§III.A.d).
+    let mut table = TextTable::new(vec![
+        "niche products",
+        "wafers/yr each",
+        "$/wafer",
+        "vs commodity fab",
+    ]);
+    for col in 1..4 {
+        table.align(col, Alignment::Right);
+    }
+    for (n, v) in [(2usize, 20_000.0), (6, 2_000.0), (10, 500.0), (10, 300.0)] {
+        let study = product_mix_study(n, v, 100_000.0);
+        table.row(vec![
+            format!("{n}"),
+            format!("{v:.0}"),
+            format!("{:.0}", study.multi_cost.value()),
+            format!("{:.1}×", study.cost_ratio),
+        ]);
+    }
+    println!("product-mix penalty (commodity fab: 100k wafers/yr, one flow):");
+    println!("{}\n", table.render());
+
+    // 3. Cycle time near saturation — the dynamic cost the static model
+    //    doesn't show.
+    let econ = FabEconomics::default();
+    let flow = ProcessFlow::for_generation("cmos-0.8", 0.8);
+    let fab = econ.size_fab(&[(flow.clone(), 50_000.0)]);
+    println!("cycle time vs load (fab sized for 50k wafers/yr):");
+    for load in [20_000.0, 45_000.0, 65_000.0] {
+        let report = simulate(
+            &fab,
+            &[(flow.clone(), load)],
+            DesConfig {
+                horizon_days: 60.0,
+                ..DesConfig::default()
+            },
+        );
+        println!(
+            "  {load:>7.0} wafers/yr → {:.0} h cycle time, peak WIP {}",
+            report.mean_cycle_time_hours, report.peak_wip
+        );
+    }
+    println!(
+        "\nTakeaway: the same physical wafer costs 1× in a loaded commodity\n\
+         fab and up to ~7× in a fragmented niche fab — before any die is\n\
+         even designed. This is the \"product mix\" lever of §III.A.d."
+    );
+    Ok(())
+}

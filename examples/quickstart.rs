@@ -1,0 +1,67 @@
+//! Quickstart: price a product, inspect the breakdown, and see why the
+//! same design costs 3× more under pessimistic manufacturing assumptions.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use silicon_cost::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 3.1 M-transistor BiCMOS microprocessor at the 0.8 µm node —
+    // row 1 of the paper's Table 3.
+    let optimistic = ProductScenario::builder("BiCMOS µP (optimistic fab)")
+        .transistors(3.1e6)?
+        .feature_size_um(0.8)?
+        .design_density(150.0)? // λ²/transistor, Table 2 territory
+        .wafer_radius_cm(7.5)? // 6-inch wafer
+        .reference_yield(0.9)? // 90% yield on a 1 cm² die
+        .reference_wafer_cost(700.0)? // $700 for the 1 µm reference wafer
+        .cost_escalation(1.4)? // X: wafer cost growth per generation
+        .build()?;
+
+    let cost = optimistic.evaluate()?;
+    println!("product:            {optimistic}");
+    println!(
+        "die area:           {:.3} cm²",
+        optimistic.die_area().value()
+    );
+    println!("wafer cost C_w:     {:.0} $", cost.wafer_cost.value());
+    println!("dies per wafer:     {}", cost.dies_per_wafer);
+    println!("die yield Y:        {:.1}%", cost.die_yield.as_percent());
+    println!("good dies/wafer:    {:.1}", cost.good_dies_per_wafer);
+    println!(
+        "cost per good die:  {:.2} $",
+        cost.cost_per_good_die.value()
+    );
+    println!(
+        "cost/transistor:    {:.2} µ$   (paper prints 9.40 µ$)",
+        cost.cost_per_transistor.to_micro_dollars().value()
+    );
+
+    // The same silicon under realistic assumptions (Table 3 row 2):
+    // yield drops to 70%/cm², escalation climbs to X = 1.8.
+    let realistic = ProductScenario::builder("BiCMOS µP (realistic fab)")
+        .transistors(3.1e6)?
+        .feature_size_um(0.8)?
+        .design_density(150.0)?
+        .wafer_radius_cm(7.5)?
+        .reference_yield(0.7)?
+        .reference_wafer_cost(700.0)?
+        .cost_escalation(1.8)?
+        .build()?;
+    let realistic_cost = realistic.evaluate()?;
+    let ratio = realistic_cost.cost_per_transistor.value() / cost.cost_per_transistor.value();
+    println!();
+    println!(
+        "realistic fab:      {:.2} µ$  ({ratio:.1}× dearer — paper prints 25.50 µ$)",
+        realistic_cost
+            .cost_per_transistor
+            .to_micro_dollars()
+            .value()
+    );
+    println!();
+    println!(
+        "Same design, same node — manufacturing assumptions alone move the\n\
+         transistor cost by {ratio:.1}×. That sensitivity is the paper's point."
+    );
+    Ok(())
+}

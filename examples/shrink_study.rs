@@ -1,0 +1,94 @@
+//! Shrink study: should we retarget a shipping design to the next node?
+//!
+//! The answer hinges on *which yield regime your fab lives in* — the
+//! deepest sensitivity in the paper:
+//!
+//! * **Mature defect control** (the Table 3 convention, `Y = Y₀^A`):
+//!   shrinking the die always helps yield, so the density gain wins and
+//!   the shrink pays even under steep wafer-cost escalation.
+//! * **Defect-recruitment regime** (eq. 7, `Y = exp(−A·D/λ^p)` with the
+//!   paper's measured D = 1.72, p = 4.07): smaller features recruit the
+//!   defect population's steep `1/R^p` tail, and the shrink backfires.
+//!
+//! Run with: `cargo run --example shrink_study`
+
+use silicon_cost::cost_model::density::die_area;
+use silicon_cost::prelude::*;
+use silicon_cost::viz::lineplot::LinePlot;
+
+const N_TR: f64 = 2.8e6; // a Table 3 row-7-class CMOS µP
+const D_D: f64 = 102.0;
+
+/// Cost per transistor at one node under a chosen yield model.
+fn cost_at<Y: YieldModel>(
+    lambda: Microns,
+    yield_model: Y,
+    wafer_cost_model: &WaferCostModel,
+) -> Option<f64> {
+    let transistors = TransistorCount::new(N_TR).ok()?;
+    let density = DesignDensity::new(D_D).ok()?;
+    let die = DieDimensions::square_with_area(die_area(transistors, density, lambda));
+    let model = TransistorCostModel::new(
+        Wafer::six_inch(),
+        wafer_cost_model.wafer_cost(lambda),
+        yield_model,
+    );
+    model
+        .evaluate(die, transistors)
+        .ok()
+        .map(|b| b.cost_per_transistor.to_micro_dollars().value())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wafer_cost = WaferCostModel::new(Dollars::new(700.0)?, 1.8)?;
+
+    let mut mature = Vec::new();
+    let mut recruiting = Vec::new();
+    for i in 0..80 {
+        let l = 0.35 + (1.2 - 0.35) * f64::from(i) / 79.0;
+        let lambda = Microns::new(l)?;
+        if let Some(c) = cost_at(
+            lambda,
+            AreaScaledYield::per_square_centimeter(Probability::new(0.7)?),
+            &wafer_cost,
+        ) {
+            mature.push((l, c));
+        }
+        if let Some(c) = cost_at(
+            lambda,
+            ScaledPoissonYield::fig8_calibration(lambda)?,
+            &wafer_cost,
+        ) {
+            recruiting.push((l, c));
+        }
+    }
+
+    let plot = LinePlot::new("shrink study: 2.8M-tr CMOS µP, two yield regimes (X=1.8)")
+        .with_series("mature (Y0^A)", &mature)
+        .with_series("recruiting (eq.7)", &recruiting)
+        .with_labels("λ [µm]", "µ$/tr")
+        .log_y()
+        .render(76, 24);
+    println!("{plot}\n");
+
+    let argmin = |series: &[(f64, f64)]| {
+        series
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("series is non-empty")
+    };
+    let (l_mature, c_mature) = argmin(&mature);
+    let (l_recruit, c_recruit) = argmin(&recruiting);
+    println!("mature defect control:  optimum λ = {l_mature:.2} µm at {c_mature:.2} µ$/tr");
+    println!("defect recruitment:     optimum λ = {l_recruit:.2} µm at {c_recruit:.2} µ$/tr");
+    println!();
+    println!(
+        "With mature contamination control the shrink is free money (the\n\
+         optimum sits at the finest node in the window). In the eq. (7)\n\
+         regime the same shrink walks into the defect distribution's 1/R^p\n\
+         tail and the optimum retreats to {l_recruit:.2} µm — \"the optimum\n\
+         solution may not call for the smallest possible feature size\"."
+    );
+    Ok(())
+}

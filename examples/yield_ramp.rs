@@ -1,0 +1,90 @@
+//! Yield ramp: when is a new process node ready for your product?
+//!
+//! Scenario #1 quietly assumes mature yield ("at the mature stage of
+//! each technology generation the yield is 100%"); real nodes are
+//! *learned* into shape. This example uses the yield-learning substrate
+//! to decide when to move a product onto a new node: launching early
+//! pays a scrap premium, launching late forfeits the shrink's savings.
+//!
+//! Run with: `cargo run --example yield_ramp`
+
+use silicon_cost::prelude::*;
+use silicon_cost::yield_model::learning::LearningCurve;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The new 0.5 µm line starts dirty and learns with τ = 6 months
+    // toward a mature 0.5 /cm².
+    let curve = LearningCurve::new(DefectDensity::new(4.0)?, DefectDensity::new(0.5)?, 6.0)?;
+
+    // Our product: 2.8M transistors at d_d = 102 — 0.71 cm² at 0.5 µm.
+    let product_on_new_node = ProductScenario::builder("CMOS µP @ 0.5µm")
+        .transistors(2.8e6)?
+        .feature_size_um(0.5)?
+        .design_density(102.0)?
+        .wafer_radius_cm(7.5)?
+        .reference_yield(0.7)? // placeholder; the curve supplies yield below
+        .reference_wafer_cost(700.0)?
+        .cost_escalation(1.8)?
+        .build()?;
+    let die_area = product_on_new_node.die_area();
+    let breakdown = product_on_new_node.evaluate()?;
+    let raw_die_cost = breakdown.wafer_cost / breakdown.dies_per_wafer.as_f64();
+
+    // Today's cost on the mature 0.8 µm node (Table 3 row 7 class).
+    let mature_old_node = ProductScenario::builder("CMOS µP @ 0.8µm")
+        .transistors(2.8e6)?
+        .feature_size_um(0.8)?
+        .design_density(102.0)?
+        .wafer_radius_cm(7.5)?
+        .reference_yield(0.7)?
+        .reference_wafer_cost(700.0)?
+        .cost_escalation(1.8)?
+        .build()?;
+    let old_cost = mature_old_node.evaluate()?.cost_per_good_die.value();
+
+    println!("die:                {:.3} cm² at 0.5 µm", die_area.value());
+    println!(
+        "raw die cost:       {:.2} $ (wafer/site, before yield)",
+        raw_die_cost.value()
+    );
+    println!("staying at 0.8 µm:  {old_cost:.2} $/good die\n");
+    println!("month  D(t)/cm²  yield   $/good die   verdict");
+
+    let mut launch_month = None;
+    for month in [0.0, 2.0, 4.0, 6.0, 9.0, 12.0, 18.0, 24.0] {
+        let d = curve.density_at(month);
+        let y = curve.yield_at(month, die_area);
+        let per_good = raw_die_cost.value() / y.value();
+        let verdict = if per_good < old_cost {
+            if launch_month.is_none() {
+                launch_month = Some(month);
+            }
+            "cheaper than 0.8 µm ✔"
+        } else {
+            "still too dirty"
+        };
+        println!(
+            "{month:>5.0}  {:>8.2}  {:>5.1}%  {per_good:>10.2}   {verdict}",
+            d.value(),
+            y.as_percent()
+        );
+    }
+
+    println!();
+    match launch_month {
+        Some(m) => println!(
+            "→ the shrink starts paying about {m:.0} months into the ramp; \
+             launching earlier burns money on scrap."
+        ),
+        None => println!("→ within two years the new node never beats the old one."),
+    }
+
+    // What a 12-month early launch would have cost in scrap:
+    let premium = curve.ramp_scrap_premium(12.0, die_area, raw_die_cost, 50_000.0);
+    println!(
+        "→ committing 50k dies during the first 12 months costs an extra \
+         {:.0} $ versus mature-yield production.",
+        premium.value()
+    );
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! Cross-validation between independent implementations: analytic yield
+//! models vs the wafer Monte Carlo, eq. (4) vs exact raster placement,
+//! and the capacity model vs the discrete-event simulator.
+
+use rand::SeedableRng;
+use silicon_cost::fabline::cost::FabEconomics;
+use silicon_cost::fabline::des::{simulate as des_simulate, DesConfig};
+use silicon_cost::fabline::process::ProcessFlow;
+use silicon_cost::prelude::*;
+use silicon_cost::wafer_geom::{maly, raster::RasterPlacement};
+use silicon_cost::yield_model::monte_carlo::{
+    analytic_clustered_yield, analytic_uniform_yield, simulate, DefectArrival,
+};
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// The yield Monte Carlo (spatial defects on a real wafer map) must
+/// reproduce the Poisson closed form it shares no code with.
+#[test]
+fn monte_carlo_validates_poisson_yield() {
+    let map = RasterPlacement::default().place(
+        &Wafer::six_inch(),
+        DieDimensions::square(Centimeters::new(1.2).unwrap()),
+    );
+    for d0 in [0.3, 0.8, 1.5] {
+        let density = DefectDensity::new(d0).unwrap();
+        let result = simulate(&map, DefectArrival::Uniform { density }, 300, &mut rng(42));
+        let analytic = analytic_uniform_yield(&map, density).value();
+        let measured = result.yield_estimate().value();
+        assert!(
+            (measured - analytic).abs() < 0.02,
+            "D0={d0}: MC {measured:.4} vs analytic {analytic:.4}"
+        );
+    }
+}
+
+/// Clustered (gamma-mixed) defects must reproduce the negative-binomial
+/// closed form — and beat Poisson at equal mean density.
+#[test]
+fn monte_carlo_validates_negative_binomial_yield() {
+    let map = RasterPlacement::default().place(
+        &Wafer::six_inch(),
+        DieDimensions::square(Centimeters::new(1.2).unwrap()),
+    );
+    let density = DefectDensity::new(1.0).unwrap();
+    for alpha in [0.8, 2.0] {
+        let result = simulate(
+            &map,
+            DefectArrival::Clustered { density, alpha },
+            500,
+            &mut rng(7),
+        );
+        let analytic = analytic_clustered_yield(&map, density, alpha)
+            .unwrap()
+            .value();
+        let measured = result.yield_estimate().value();
+        assert!(
+            (measured - analytic).abs() < 0.025,
+            "alpha={alpha}: MC {measured:.4} vs NB {analytic:.4}"
+        );
+        assert!(measured > analytic_uniform_yield(&map, density).value());
+    }
+}
+
+/// Eq. (4) and the exact rigid-grid placement agree to a few percent
+/// across the die sizes Table 3 uses.
+#[test]
+fn eq4_validates_against_exact_placement() {
+    let wafer = Wafer::six_inch();
+    for row in silicon_cost::paper_data::table3::rows() {
+        if row.wafer_radius_cm != 7.5 {
+            continue;
+        }
+        let scenario = row.scenario().unwrap();
+        let die = scenario.die();
+        let eq4 = maly::dies_per_wafer(&wafer, die).as_f64();
+        let exact = RasterPlacement::default()
+            .place(&wafer, die)
+            .count()
+            .as_f64();
+        assert!(
+            (eq4 - exact).abs() / exact < 0.07,
+            "row {}: eq4 {eq4} vs raster {exact}",
+            row.id
+        );
+    }
+}
+
+/// The DES and the static capacity model must agree on utilization for a
+/// feasible single-product load.
+#[test]
+fn des_validates_capacity_model() {
+    let econ = FabEconomics::default();
+    let flow = ProcessFlow::for_generation("cmos-0.8", 0.8);
+    let demand = [(flow, 35_000.0)];
+    let fab = econ.size_fab(&demand);
+    let report = des_simulate(
+        &fab,
+        &demand,
+        DesConfig {
+            horizon_days: 90.0,
+            ..DesConfig::default()
+        },
+    );
+    let static_util = econ.utilization(&demand);
+    let des_util: f64 = report
+        .utilization_by_family
+        .iter()
+        .map(|(_, u)| u)
+        .sum::<f64>()
+        / report.utilization_by_family.len() as f64;
+    // DES measures against scheduled time; static against available
+    // (85%) time.
+    let aligned = des_util / silicon_cost::fabline::equipment::AVAILABILITY;
+    assert!(
+        (aligned - static_util).abs() < 0.25,
+        "DES {aligned:.3} vs static {static_util:.3}"
+    );
+}
+
+/// The yield models plug interchangeably into the cost model and
+/// preserve the classical ordering end to end (Poisson dearest, Seeds
+/// cheapest at equal defect density).
+#[test]
+fn yield_model_swap_preserves_ordering_in_cost() {
+    let d0 = DefectDensity::new(0.8).unwrap();
+    let die = DieDimensions::square(Centimeters::new(1.3).unwrap());
+    let n = TransistorCount::from_millions(2.0).unwrap();
+    let wafer_cost = Dollars::new(1000.0).unwrap();
+    let cost_with = |y: Box<dyn YieldModel>| {
+        TransistorCostModel::new(Wafer::six_inch(), wafer_cost, y)
+            .evaluate(die, n)
+            .unwrap()
+            .cost_per_transistor
+            .value()
+    };
+    let poisson = cost_with(Box::new(PoissonYield::new(d0)));
+    let murphy = cost_with(Box::new(MurphyYield::new(d0)));
+    let seeds = cost_with(Box::new(SeedsYield::new(d0)));
+    assert!(poisson > murphy && murphy > seeds);
+}

@@ -1,0 +1,150 @@
+//! Integration tests for the extension modules through the facade:
+//! yield learning, calendar roadmap, MPW shuttles, capacity rental and
+//! sensitivity analysis working together.
+
+use silicon_cost::cost_model::mpw::{price_shuttle, MpwProject, MpwRun};
+use silicon_cost::cost_model::roadmap::CostRoadmap;
+use silicon_cost::cost_model::sensitivity::{elasticities, CostDriver};
+use silicon_cost::fabline::cost::FabEconomics;
+use silicon_cost::fabline::process::ProcessFlow;
+use silicon_cost::fabline::rental::bargaining_range;
+use silicon_cost::prelude::*;
+use silicon_cost::yield_model::learning::LearningCurve;
+
+fn row2_scenario() -> ProductScenario {
+    ProductScenario::builder("row2")
+        .transistors(3.1e6)
+        .unwrap()
+        .feature_size_um(0.8)
+        .unwrap()
+        .design_density(150.0)
+        .unwrap()
+        .wafer_radius_cm(7.5)
+        .unwrap()
+        .reference_yield(0.7)
+        .unwrap()
+        .reference_wafer_cost(700.0)
+        .unwrap()
+        .cost_escalation(1.8)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+/// The learning curve, the cost model and the Table 3 anchor agree: at
+/// the maturity month where the learned yield matches row 2's Y-implied
+/// die yield, the learned cost per good die matches row 2's.
+#[test]
+fn learning_curve_consistent_with_table3_row() {
+    let scenario = row2_scenario();
+    let breakdown = scenario.evaluate().unwrap();
+    let die_area = scenario.die_area();
+
+    let curve = LearningCurve::new(
+        DefectDensity::new(4.0).unwrap(),
+        DefectDensity::new(0.05).unwrap(),
+        6.0,
+    )
+    .unwrap();
+    let months = curve
+        .months_to_yield(breakdown.die_yield, die_area)
+        .expect("row 2's 34.6% die yield is reachable");
+    let learned_yield = curve.yield_at(months, die_area);
+    assert!((learned_yield.value() - breakdown.die_yield.value()).abs() < 1e-6);
+
+    // Cost per good die computed from the learned yield matches eq. (1).
+    let raw = breakdown.wafer_cost.value() / breakdown.dies_per_wafer.as_f64();
+    let learned_cost = raw / learned_yield.value();
+    assert!((learned_cost - breakdown.cost_per_good_die.value()).abs() < 0.01);
+}
+
+/// The calendar roadmap behaves per Fig 7's X-dependence: at the
+/// realistic X ≥ 1.8 the cost rises from the very start of the window
+/// (the decline is already over), while at a milder X = 1.4 the decline
+/// continues for years before an *interior* turning point.
+#[test]
+fn roadmap_turning_year_depends_on_escalation() {
+    // Paper default (X = 2.0): the minimum sits at the window start.
+    let steep = CostRoadmap::paper_default().unwrap();
+    let turning = steep
+        .realistic_turning_year(1986, 2002)
+        .unwrap()
+        .expect("turning year exists");
+    assert_eq!(turning, 1986, "at X = 2.0 the decline is already over");
+
+    // Milder escalation: the decline continues, then reverses mid-90s.
+    let mild = CostRoadmap::new(
+        silicon_cost::tech_trend::datasets::FEATURE_SIZE_BY_YEAR,
+        Scenario1::fig6(1.2).unwrap(),
+        Scenario2::fig7(1.4).unwrap(),
+    )
+    .unwrap();
+    let turning = mild
+        .realistic_turning_year(1986, 2002)
+        .unwrap()
+        .expect("interior turning year exists");
+    assert!(
+        (1988..=2000).contains(&turning),
+        "interior turn expected, got {turning}"
+    );
+    let points = mild.project(1986, 2002).unwrap();
+    let at = points[(turning - 1986) as usize].realistic.value();
+    assert!(points[0].realistic.value() > at, "cost falls into the turn");
+    assert!(
+        points.last().unwrap().realistic.value() > at,
+        "cost rises after the turn"
+    );
+}
+
+/// MPW and rental answer the same niche-manufacturer question at two
+/// scales, and both must find the niche path cheaper than standalone.
+#[test]
+fn niche_survival_strategies_beat_standalone() {
+    // Shuttle for prototypes.
+    let run = MpwRun {
+        wafer: Wafer::six_inch(),
+        wafer_cost: Dollars::new(1300.0).unwrap(),
+        mask_set_cost: Dollars::new(80_000.0).unwrap(),
+    };
+    let projects = vec![
+        MpwProject::new(
+            "proto-a",
+            DieDimensions::square(Centimeters::new(0.7).unwrap()),
+            100,
+        ),
+        MpwProject::new(
+            "proto-b",
+            DieDimensions::square(Centimeters::new(0.5).unwrap()),
+            100,
+        ),
+    ];
+    let yield_model = AreaScaledYield::per_square_centimeter(Probability::new(0.7).unwrap());
+    let costs = price_shuttle(&run, &projects, &yield_model).unwrap();
+    assert!(costs.iter().all(|c| c.shuttle_wins()));
+
+    // Rental for production volume.
+    let econ = FabEconomics::default();
+    let owner = vec![(ProcessFlow::for_generation("commodity", 0.8), 100_000.0)];
+    let tenant = vec![(ProcessFlow::for_generation("niche", 0.8), 2_000.0)];
+    let range = bargaining_range(&econ, &owner, &tenant);
+    assert!(range.deal_exists());
+    // The midpoint price beats the tenant's standalone cost.
+    assert!(range.midpoint().value() < range.ceiling.value());
+}
+
+/// The sensitivity report ranks yield above wafer-cost drivers for the
+/// big-die Table 3 rows — the quantitative version of "contain the cost
+/// through yield learning before haggling over C0".
+#[test]
+fn sensitivity_ranks_yield_for_big_dies() {
+    let report = elasticities(&row2_scenario(), 0.05).unwrap();
+    let rank_of = |driver: CostDriver| {
+        report
+            .iter()
+            .position(|e| e.driver == driver)
+            .expect("driver present")
+    };
+    assert!(rank_of(CostDriver::ReferenceYield) < rank_of(CostDriver::ReferenceCost));
+    // And the report covers every driver exactly once.
+    assert_eq!(report.len(), CostDriver::ALL.len());
+}

@@ -1,0 +1,142 @@
+//! End-to-end reproduction of Table 3 through the public facade.
+
+use silicon_cost::paper_data::table3::{self, CountProvenance};
+use silicon_cost::prelude::*;
+
+/// Every row of the paper's Table 3 must reproduce through the facade
+/// within print tolerance; fully printed rows within 1%.
+#[test]
+fn full_table3_reproduces() {
+    for row in table3::rows() {
+        let measured = row
+            .scenario()
+            .expect("row inputs valid")
+            .evaluate()
+            .expect("row manufacturable")
+            .cost_per_transistor
+            .to_micro_dollars()
+            .value();
+        let rel = (measured - row.paper_cost_micro_dollars).abs() / row.paper_cost_micro_dollars;
+        let tolerance = match row.count_provenance {
+            CountProvenance::Printed => 0.01,
+            CountProvenance::Inferred => 0.05,
+        };
+        assert!(
+            rel < tolerance,
+            "row {} ({}): measured {measured:.2} vs printed {} (rel {rel:.4})",
+            row.id,
+            row.name,
+            row.paper_cost_micro_dollars
+        );
+    }
+}
+
+/// The cost-diversity conclusion: memory rows are an order of magnitude
+/// cheaper per transistor than every logic row.
+#[test]
+fn memory_logic_diversity_holds_in_model_output() {
+    let mut memory_max: f64 = 0.0;
+    let mut logic_min = f64::INFINITY;
+    for row in table3::rows() {
+        let measured = row
+            .scenario()
+            .unwrap()
+            .evaluate()
+            .unwrap()
+            .cost_per_transistor
+            .to_micro_dollars()
+            .value();
+        if row.name.contains("RAM") {
+            memory_max = memory_max.max(measured);
+        } else {
+            logic_min = logic_min.min(measured);
+        }
+    }
+    assert!(
+        logic_min > 3.0 * memory_max,
+        "logic min {logic_min} vs memory max {memory_max}"
+    );
+}
+
+/// The model must be stable under the alternative dies-per-wafer methods:
+/// Table 3 conclusions don't hinge on eq. (4)'s row packing.
+#[test]
+fn conclusions_robust_to_die_packing_model() {
+    // The exact raster agrees tightly; the closed-form edge correction
+    // is an asymptotic estimate and drifts more on the largest dies.
+    for (method, tolerance) in [
+        (DiesPerWaferMethod::Raster { offset_steps: 8 }, 0.12),
+        (DiesPerWaferMethod::EdgeCorrected, 0.25),
+    ] {
+        for row in table3::rows() {
+            let baseline = row
+                .scenario()
+                .unwrap()
+                .evaluate()
+                .unwrap()
+                .cost_per_transistor
+                .value();
+            let scenario = ProductScenario::builder(row.name)
+                .transistors(row.transistors)
+                .unwrap()
+                .feature_size_um(row.feature_size_um)
+                .unwrap()
+                .design_density(row.design_density)
+                .unwrap()
+                .wafer_radius_cm(row.wafer_radius_cm)
+                .unwrap()
+                .reference_yield(row.reference_yield)
+                .unwrap()
+                .reference_wafer_cost(row.reference_cost)
+                .unwrap()
+                .cost_escalation(row.escalation)
+                .unwrap()
+                .dies_per_wafer_method(method)
+                .build()
+                .unwrap();
+            let alternative = scenario.evaluate().unwrap().cost_per_transistor.value();
+            let rel = (alternative - baseline).abs() / baseline;
+            assert!(
+                rel < tolerance,
+                "row {} under {method:?}: {rel:.3} deviation",
+                row.id
+            );
+        }
+    }
+}
+
+/// The as-printed eq. (3) exponent (0.5 instead of 5) demonstrably fails
+/// to reproduce the table — the calibration note's negative control.
+#[test]
+fn as_printed_exponent_fails_to_reproduce() {
+    let row1 = &table3::rows()[0];
+    let scenario = ProductScenario::builder(row1.name)
+        .transistors(row1.transistors)
+        .unwrap()
+        .feature_size_um(row1.feature_size_um)
+        .unwrap()
+        .design_density(row1.design_density)
+        .unwrap()
+        .wafer_radius_cm(row1.wafer_radius_cm)
+        .unwrap()
+        .reference_yield(row1.reference_yield)
+        .unwrap()
+        .reference_wafer_cost(row1.reference_cost)
+        .unwrap()
+        .cost_escalation(row1.escalation)
+        .unwrap()
+        .generation_rate(WaferCostModel::AS_PRINTED_GENERATION_RATE)
+        .build()
+        .unwrap();
+    let measured = scenario
+        .evaluate()
+        .unwrap()
+        .cost_per_transistor
+        .to_micro_dollars()
+        .value();
+    let rel = (measured - row1.paper_cost_micro_dollars).abs() / row1.paper_cost_micro_dollars;
+    assert!(
+        rel > 0.2,
+        "as-printed exponent should miss by >20%, got {rel:.3}"
+    );
+}
