@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, the maly-audit lint pass, and the full
+# test suite. Everything runs offline — the workspace has no external
+# dependencies.
+set -eu
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== maly-audit lint"
+cargo run -q -p xtask -- lint
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "ci.sh: all gates passed"

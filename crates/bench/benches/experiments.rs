@@ -1,11 +1,11 @@
-//! One Criterion group per paper table/figure: how fast each experiment
+//! One group per paper table/figure: how fast each experiment
 //! regenerates. These are the "can a designer sweep this interactively?"
 //! numbers — everything should sit comfortably under a millisecond
 //! except the Fig 8 surface.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use maly_bench::harness::{bench, group};
 use maly_cost_model::scenario::{Scenario1, Scenario2};
 use maly_cost_model::surface::{CostSurface, SurfaceParameters};
 use maly_cost_optim::contour::extract_contours;
@@ -14,101 +14,88 @@ use maly_tech_trend::{datasets, diesize::DieSizeTrend, fit};
 use maly_units::Microns;
 use maly_yield_model::defects::DefectSizeDistribution;
 
-fn bench_fig1_to_fig4_trend_fits(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1-4_trends");
-    group.bench_function("fig1_feature_size_fit", |b| {
-        b.iter(|| fit::fit_exponential(black_box(datasets::FEATURE_SIZE_BY_YEAR)).unwrap());
+fn bench_fig1_to_fig4_trend_fits() {
+    group("fig1-4_trends");
+    bench("fig1_feature_size_fit", || {
+        black_box(fit::fit_exponential(black_box(datasets::FEATURE_SIZE_BY_YEAR)).unwrap());
     });
-    group.bench_function("fig2_extract_x", |b| {
-        b.iter(|| {
-            fit::extract_cost_escalation(black_box(datasets::WAFER_COST_BY_GENERATION)).unwrap()
-        });
+    bench("fig2_extract_x", || {
+        black_box(
+            fit::extract_cost_escalation(black_box(datasets::WAFER_COST_BY_GENERATION)).unwrap(),
+        );
     });
-    group.bench_function("fig3_die_size_fit", |b| {
-        b.iter(|| DieSizeTrend::fit(black_box(datasets::DIE_SIZE_BY_GENERATION)).unwrap());
+    bench("fig3_die_size_fit", || {
+        black_box(DieSizeTrend::fit(black_box(datasets::DIE_SIZE_BY_GENERATION)).unwrap());
     });
-    group.finish();
 }
 
-fn bench_fig5_defect_distribution(c: &mut Criterion) {
+fn bench_fig5_defect_distribution() {
+    group("fig5");
     let dist = DefectSizeDistribution::classic(Microns::new(0.1).unwrap(), 4.07).unwrap();
-    c.bench_function("fig5_survival_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 1..200 {
-                acc += dist.fraction_larger_than(Microns::new(i as f64 * 0.01).unwrap());
-            }
-            black_box(acc)
-        });
+    bench("fig5_survival_sweep", || {
+        let mut acc = 0.0;
+        for i in 1..200 {
+            acc += dist.fraction_larger_than(Microns::new(f64::from(i) * 0.01).unwrap());
+        }
+        black_box(acc);
     });
 }
 
-fn bench_fig6_scenario1(c: &mut Criterion) {
+fn bench_fig6_scenario1() {
+    group("fig6");
     let s1 = Scenario1::fig6(1.2).unwrap();
     let lo = Microns::new(0.25).unwrap();
     let hi = Microns::new(1.0).unwrap();
-    c.bench_function("fig6_sweep_40pts", |b| {
-        b.iter(|| black_box(s1.sweep(lo, hi, 40)));
+    bench("fig6_sweep_40pts", || {
+        black_box(s1.sweep(lo, hi, 40));
     });
 }
 
-fn bench_fig7_scenario2(c: &mut Criterion) {
+fn bench_fig7_scenario2() {
+    group("fig7");
     let s2 = Scenario2::fig7(2.4).unwrap();
     let lo = Microns::new(0.25).unwrap();
     let hi = Microns::new(1.0).unwrap();
-    c.bench_function("fig7_sweep_40pts", |b| {
-        b.iter(|| black_box(s2.sweep(lo, hi, 40)));
+    bench("fig7_sweep_40pts", || {
+        black_box(s2.sweep(lo, hi, 40));
     });
 }
 
-fn bench_fig8_surface_and_contours(c: &mut Criterion) {
+fn bench_fig8_surface_and_contours() {
+    group("fig8");
     let params = SurfaceParameters::fig8();
-    let mut group = c.benchmark_group("fig8");
-    group.sample_size(20);
-    group.bench_function("surface_30x24", |b| {
-        b.iter(|| {
-            black_box(CostSurface::compute(
-                &params,
-                (0.4, 1.2, 30),
-                (2.0e5, 5.0e6, 24),
-            ))
-        });
+    bench("surface_30x24", || {
+        black_box(CostSurface::compute(
+            &params,
+            (0.4, 1.2, 30),
+            (2.0e5, 5.0e6, 24),
+        ));
     });
     let surface = CostSurface::compute(&params, (0.4, 1.2, 30), (2.0e5, 5.0e6, 24));
-    group.bench_function("contours_5_levels", |b| {
-        b.iter(|| {
-            black_box(extract_contours(
-                &surface,
-                &[3.0e-6, 1.0e-5, 3.0e-5, 1.0e-4, 3.0e-4],
-            ))
-        });
+    bench("contours_5_levels", || {
+        black_box(extract_contours(
+            &surface,
+            &[3.0e-6, 1.0e-5, 3.0e-5, 1.0e-4, 3.0e-4],
+        ));
     });
-    group.finish();
 }
 
-fn bench_table3(c: &mut Criterion) {
+fn bench_table3() {
+    group("table3");
     let rows = table3::rows();
-    c.bench_function("table3_all_17_rows", |b| {
-        b.iter_batched(
-            || rows.clone(),
-            |rows| {
-                for row in rows {
-                    let cost = row.scenario().unwrap().evaluate().unwrap();
-                    black_box(cost);
-                }
-            },
-            BatchSize::SmallInput,
-        );
+    bench("table3_all_17_rows", || {
+        for row in rows.clone() {
+            let cost = row.scenario().unwrap().evaluate().unwrap();
+            black_box(cost);
+        }
     });
 }
 
-criterion_group!(
-    experiments,
-    bench_fig1_to_fig4_trend_fits,
-    bench_fig5_defect_distribution,
-    bench_fig6_scenario1,
-    bench_fig7_scenario2,
-    bench_fig8_surface_and_contours,
-    bench_table3,
-);
-criterion_main!(experiments);
+fn main() {
+    bench_fig1_to_fig4_trend_fits();
+    bench_fig5_defect_distribution();
+    bench_fig6_scenario1();
+    bench_fig7_scenario2();
+    bench_fig8_surface_and_contours();
+    bench_table3();
+}

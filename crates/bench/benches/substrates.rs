@@ -1,10 +1,10 @@
-//! Criterion benches for the substrate engines: dies-per-wafer methods,
-//! yield models, the wafer Monte Carlo, fab economics and the partition
+//! Benches for the substrate engines: dies-per-wafer methods, yield
+//! models, the wafer Monte Carlo, fab economics and the partition
 //! optimizer.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use maly_bench::harness::{bench, group};
 use maly_cost_model::system::{ManufacturingContext, Partition, SystemDesign};
 use maly_cost_model::WaferCostModel;
 use maly_cost_optim::partition::optimize;
@@ -17,87 +17,78 @@ use maly_units::{
 };
 use maly_wafer_geom::{approx, maly, raster::RasterPlacement, DieDimensions, Wafer};
 use maly_yield_model::monte_carlo::{simulate, DefectArrival};
+use maly_yield_model::prng::Xoshiro256PlusPlus;
 use maly_yield_model::{NegativeBinomialYield, PoissonYield, YieldModel};
-use rand::SeedableRng;
 
-fn bench_dies_per_wafer(c: &mut Criterion) {
+fn bench_dies_per_wafer() {
+    group("dies_per_wafer");
     let wafer = Wafer::six_inch();
     let die = DieDimensions::square_with_area(SquareCentimeters::new(1.0).unwrap());
-    let mut group = c.benchmark_group("dies_per_wafer");
-    group.bench_function("eq4_row_packing", |b| {
-        b.iter(|| black_box(maly::dies_per_wafer(&wafer, die)));
+    bench("eq4_row_packing", || {
+        black_box(maly::dies_per_wafer(&wafer, die));
     });
-    group.bench_function("raster_8x8_offsets", |b| {
-        b.iter(|| black_box(RasterPlacement::new(8).place(&wafer, die).count()));
+    bench("raster_8x8_offsets", || {
+        black_box(RasterPlacement::new(8).place(&wafer, die).count());
     });
-    group.bench_function("edge_corrected_closed_form", |b| {
-        b.iter(|| black_box(approx::edge_corrected_estimate(&wafer, die)));
+    bench("edge_corrected_closed_form", || {
+        black_box(approx::edge_corrected_estimate(&wafer, die));
     });
-    group.finish();
 }
 
-fn bench_yield_models(c: &mut Criterion) {
+fn bench_yield_models() {
+    group("yield_models");
     let d0 = DefectDensity::new(1.0).unwrap();
     let area = SquareCentimeters::new(2.0).unwrap();
     let poisson = PoissonYield::new(d0);
     let nb = NegativeBinomialYield::new(d0, 2.0).unwrap();
-    let mut group = c.benchmark_group("yield_models");
-    group.bench_function("poisson", |b| {
-        b.iter(|| black_box(poisson.die_yield(area)));
+    bench("poisson", || {
+        black_box(poisson.die_yield(area));
     });
-    group.bench_function("negative_binomial", |b| {
-        b.iter(|| black_box(nb.die_yield(area)));
+    bench("negative_binomial", || {
+        black_box(nb.die_yield(area));
     });
-    group.finish();
 }
 
-fn bench_monte_carlo(c: &mut Criterion) {
+fn bench_monte_carlo() {
+    group("wafer_monte_carlo");
     let map = RasterPlacement::default().place(
         &Wafer::six_inch(),
         DieDimensions::square(Centimeters::new(1.2).unwrap()),
     );
     let density = DefectDensity::new(0.8).unwrap();
-    let mut group = c.benchmark_group("wafer_monte_carlo");
-    group.sample_size(20);
-    group.bench_function("uniform_20_wafers", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        b.iter(|| {
-            black_box(simulate(
-                &map,
-                DefectArrival::Uniform { density },
-                20,
-                &mut rng,
-            ))
-        });
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+    bench("uniform_20_wafers", || {
+        black_box(simulate(
+            &map,
+            DefectArrival::Uniform { density },
+            20,
+            &mut rng,
+        ));
     });
-    group.finish();
 }
 
-fn bench_fab_economics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fab_economics");
-    group.sample_size(20);
-    group.bench_function("product_mix_study_10x500", |b| {
-        b.iter(|| black_box(product_mix_study(10, 500.0, 100_000.0)));
+fn bench_fab_economics() {
+    group("fab_economics");
+    bench("product_mix_study_10x500", || {
+        black_box(product_mix_study(10, 500.0, 100_000.0));
     });
     let econ = FabEconomics::default();
     let flow = ProcessFlow::for_generation("cmos-0.8", 0.8);
     let fab = econ.size_fab(&[(flow.clone(), 40_000.0)]);
-    group.bench_function("des_30_days", |b| {
-        b.iter(|| {
-            black_box(des_simulate(
-                &fab,
-                &[(flow.clone(), 30_000.0)],
-                DesConfig {
-                    horizon_days: 30.0,
-                    ..DesConfig::default()
-                },
-            ))
-        });
+    bench("des_30_days", || {
+        black_box(des_simulate(
+            &fab,
+            &[(flow.clone(), 30_000.0)],
+            DesConfig {
+                horizon_days: 30.0,
+                ..DesConfig::default()
+            },
+        ));
     });
-    group.finish();
 }
 
-fn bench_partition_optimizer(c: &mut Criterion) {
+fn bench_partition_optimizer() {
+    group("optimizer");
     let system = SystemDesign::new(vec![
         Partition::new(
             "cache",
@@ -131,25 +122,22 @@ fn bench_partition_optimizer(c: &mut Criterion) {
         .iter()
         .map(|&l| Microns::new(l).unwrap())
         .collect();
-    let mut group = c.benchmark_group("optimizer");
-    group.sample_size(10);
-    group.bench_function("partition_4_blocks_4_nodes", |b| {
-        b.iter(|| black_box(optimize(&system, &context, &ladder).unwrap()));
+    bench("partition_4_blocks_4_nodes", || {
+        black_box(optimize(&system, &context, &ladder).unwrap());
     });
-    group.finish();
 }
 
-fn bench_extensions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("extensions");
-    group.bench_function("sensitivity_6_drivers", |b| {
-        let scenario = maly_bench::standard_product();
-        b.iter(|| black_box(maly_cost_model::sensitivity::elasticities(&scenario, 0.05).unwrap()));
+fn bench_extensions() {
+    group("extensions");
+    let scenario = maly_bench::standard_product();
+    bench("sensitivity_6_drivers", || {
+        black_box(maly_cost_model::sensitivity::elasticities(&scenario, 0.05).unwrap());
     });
-    group.bench_function("roadmap_project_17_years", |b| {
-        let roadmap = maly_cost_model::roadmap::CostRoadmap::paper_default().unwrap();
-        b.iter(|| black_box(roadmap.project(1986, 2002).unwrap()));
+    let roadmap = maly_cost_model::roadmap::CostRoadmap::paper_default().unwrap();
+    bench("roadmap_project_17_years", || {
+        black_box(roadmap.project(1986, 2002).unwrap());
     });
-    group.bench_function("mpw_price_3_projects", |b| {
+    {
         use maly_cost_model::mpw::{price_shuttle, MpwProject, MpwRun};
         let run = MpwRun {
             wafer: Wafer::six_inch(),
@@ -176,28 +164,25 @@ fn bench_extensions(c: &mut Criterion) {
         let yield_model = maly_yield_model::AreaScaledYield::per_square_centimeter(
             Probability::new(0.7).unwrap(),
         );
-        b.iter(|| black_box(price_shuttle(&run, &projects, &yield_model).unwrap()));
-    });
-    group.bench_function("rental_bargaining_range", |b| {
-        let econ = FabEconomics::default();
-        let owner = vec![(ProcessFlow::for_generation("commodity", 0.8), 100_000.0)];
-        let tenant = vec![(ProcessFlow::for_generation("niche", 0.8), 2_000.0)];
-        b.iter(|| {
-            black_box(maly_fabline_sim::rental::bargaining_range(
-                &econ, &owner, &tenant,
-            ))
+        bench("mpw_price_3_projects", || {
+            black_box(price_shuttle(&run, &projects, &yield_model).unwrap());
         });
+    }
+    let econ = FabEconomics::default();
+    let owner = vec![(ProcessFlow::for_generation("commodity", 0.8), 100_000.0)];
+    let tenant = vec![(ProcessFlow::for_generation("niche", 0.8), 2_000.0)];
+    bench("rental_bargaining_range", || {
+        black_box(maly_fabline_sim::rental::bargaining_range(
+            &econ, &owner, &tenant,
+        ));
     });
-    group.finish();
 }
 
-criterion_group!(
-    substrates,
-    bench_dies_per_wafer,
-    bench_yield_models,
-    bench_monte_carlo,
-    bench_fab_economics,
-    bench_partition_optimizer,
-    bench_extensions,
-);
-criterion_main!(substrates);
+fn main() {
+    bench_dies_per_wafer();
+    bench_yield_models();
+    bench_monte_carlo();
+    bench_fab_economics();
+    bench_partition_optimizer();
+    bench_extensions();
+}

@@ -1,4 +1,4 @@
-//! Benchmark crate: shared fixtures for the Criterion benches.
+//! Benchmark crate: shared fixtures and a std-only timing harness.
 //!
 //! The benches live in `benches/experiments.rs` (one group per paper
 //! table/figure) and `benches/substrates.rs` (the underlying engines).
@@ -8,6 +8,65 @@
 #![warn(missing_docs)]
 
 use maly_cost_model::product::ProductScenario;
+
+pub mod harness {
+    //! Minimal timing harness (the workspace builds offline with no
+    //! external crates, so Criterion is not available).
+    //!
+    //! Auto-calibrates an iteration count per benchmark, takes several
+    //! samples, and reports the median per-iteration latency.
+
+    use std::time::{Duration, Instant};
+
+    const MIN_SAMPLE_TIME: Duration = Duration::from_millis(10);
+    const SAMPLES: usize = 7;
+
+    /// Prints a group header, mirroring Criterion's benchmark groups.
+    pub fn group(name: &str) {
+        println!("\n== {name} ==");
+    }
+
+    /// Times `f`, printing the median per-iteration latency.
+    pub fn bench(name: &str, mut f: impl FnMut()) {
+        // Calibrate: double the iteration count until one sample takes
+        // at least MIN_SAMPLE_TIME.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            if start.elapsed() >= MIN_SAMPLE_TIME || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                start.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let median = format_seconds(per_iter[SAMPLES / 2]);
+        println!("{name:<36} {median:>12}/iter   ({iters} iters/sample)");
+    }
+
+    fn format_seconds(seconds: f64) -> String {
+        if seconds < 1e-6 {
+            format!("{:.1} ns", seconds * 1e9)
+        } else if seconds < 1e-3 {
+            format!("{:.2} µs", seconds * 1e6)
+        } else if seconds < 1.0 {
+            format!("{:.2} ms", seconds * 1e3)
+        } else {
+            format!("{seconds:.3} s")
+        }
+    }
+}
 
 /// Builds the Table 3 row-2 scenario, the benches' standard workload
 /// (3.1 M transistors at 0.8 µm, Y₀ = 70%, X = 1.8).

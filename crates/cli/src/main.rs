@@ -9,6 +9,9 @@
 //! silicon-cost help
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::process::ExitCode;
 
 mod args;

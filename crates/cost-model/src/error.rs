@@ -21,6 +21,15 @@ pub enum CostError {
     },
     /// An input quantity was rejected by its unit type.
     InvalidInput(maly_units::UnitError),
+    /// A λ-sweep was requested over a degenerate range or step count.
+    InvalidSweep {
+        /// Lower bound of the requested range (µm).
+        lambda_min_um: f64,
+        /// Upper bound of the requested range (µm).
+        lambda_max_um: f64,
+        /// Number of points requested.
+        steps: usize,
+    },
     /// A required builder field was never supplied.
     MissingField {
         /// Name of the missing field.
@@ -42,6 +51,15 @@ impl fmt::Display for CostError {
                 write!(f, "yield is zero for a {die_area_cm2} cm² die")
             }
             CostError::InvalidInput(e) => write!(f, "invalid input: {e}"),
+            CostError::InvalidSweep {
+                lambda_min_um,
+                lambda_max_um,
+                steps,
+            } => write!(
+                f,
+                "invalid λ sweep: {steps} points over [{lambda_min_um}, {lambda_max_um}] µm \
+                 (need at least 2 points and an ascending range)"
+            ),
             CostError::MissingField { field } => {
                 write!(f, "scenario builder field `{field}` was not set")
             }

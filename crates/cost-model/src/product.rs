@@ -196,6 +196,8 @@ impl ProductScenarioBuilder {
     /// # Errors
     ///
     /// Returns an error for non-positive counts.
+    // audit:allow(bare-f64): raw-input builder boundary; the value is
+    // parsed into its newtype on the next line.
     pub fn transistors(mut self, count: f64) -> Result<Self, CostError> {
         self.transistors = Some(TransistorCount::new(count)?);
         Ok(self)
@@ -206,6 +208,8 @@ impl ProductScenarioBuilder {
     /// # Errors
     ///
     /// Returns an error for non-positive values.
+    // audit:allow(bare-f64): raw-input builder boundary; the value is
+    // parsed into its newtype on the next line.
     pub fn feature_size_um(mut self, lambda: f64) -> Result<Self, CostError> {
         self.lambda = Some(Microns::new(lambda)?);
         Ok(self)
@@ -216,6 +220,8 @@ impl ProductScenarioBuilder {
     /// # Errors
     ///
     /// Returns an error for non-positive values.
+    // audit:allow(bare-f64): raw-input builder boundary; the value is
+    // parsed into its newtype on the next line.
     pub fn design_density(mut self, d_d: f64) -> Result<Self, CostError> {
         self.density = Some(DesignDensity::new(d_d)?);
         Ok(self)
@@ -226,6 +232,8 @@ impl ProductScenarioBuilder {
     /// # Errors
     ///
     /// Returns an error for non-positive values.
+    // audit:allow(bare-f64): raw-input builder boundary; the value is
+    // parsed into its newtype on the next line.
     pub fn wafer_radius_cm(mut self, r_w: f64) -> Result<Self, CostError> {
         self.wafer = Some(Wafer::with_radius(Centimeters::new(r_w)?));
         Ok(self)
@@ -243,6 +251,8 @@ impl ProductScenarioBuilder {
     /// # Errors
     ///
     /// Returns an error outside `[0, 1]`.
+    // audit:allow(bare-f64): raw-input builder boundary; the value is
+    // parsed into its newtype on the next line.
     pub fn reference_yield(mut self, y0: f64) -> Result<Self, CostError> {
         self.reference_yield = Some(Probability::new(y0)?);
         Ok(self)
@@ -253,6 +263,8 @@ impl ProductScenarioBuilder {
     /// # Errors
     ///
     /// Returns an error for negative values.
+    // audit:allow(bare-f64): raw-input builder boundary; the value is
+    // parsed into its newtype on the next line.
     pub fn reference_wafer_cost(mut self, c0: f64) -> Result<Self, CostError> {
         self.reference_cost = Some(Dollars::new(c0)?);
         Ok(self)

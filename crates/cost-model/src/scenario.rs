@@ -12,10 +12,20 @@
 //!   cost *rises* as λ shrinks (Fig 7) — the paper's headline warning.
 
 use maly_tech_trend::diesize::DieSizeTrend;
-use maly_units::{DesignDensity, Dollars, Microns, Probability, UnitError};
+use maly_units::{ensure_finite, DesignDensity, Dollars, Microns, Probability, UnitError};
 use maly_wafer_geom::Wafer;
 
-use crate::WaferCostModel;
+use crate::{CostError, WaferCostModel};
+
+/// The figures' shared reference wafer cost `C₀ = $500` (compile-time
+/// validated constants cannot panic at run time).
+const FIG_C0: Dollars = Dollars::const_new(500.0);
+/// Fig 6 design density `d_d = 30 λ²/tr` (memory-style layout).
+const FIG6_DENSITY: DesignDensity = DesignDensity::const_new(30.0);
+/// Fig 7 design density `d_d = 200 λ²/tr` (custom-logic layout).
+const FIG7_DENSITY: DesignDensity = DesignDensity::const_new(200.0);
+/// Fig 7 reference yield `Y₀ = 70%`.
+const FIG7_Y0: Probability = Probability::const_new(0.7);
 
 /// Scenario #1 (eq. 8): `C_tr = C'_w(λ) · d_d · λ² / A_w`.
 ///
@@ -69,8 +79,8 @@ impl Scenario1 {
     /// Propagates `X` validation from [`WaferCostModel::new`].
     pub fn fig6(x: f64) -> Result<Self, UnitError> {
         Ok(Self::new(
-            WaferCostModel::new(Dollars::new(500.0).expect("positive"), x)?,
-            DesignDensity::new(30.0).expect("positive"),
+            WaferCostModel::new(FIG_C0, x)?,
+            FIG6_DENSITY,
             Wafer::six_inch(),
         ))
     }
@@ -89,16 +99,16 @@ impl Scenario1 {
     /// Sweeps the cost over a λ range (inclusive ends, `steps ≥ 2`
     /// points), producing a Fig 6 series.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `steps < 2` or the range is not positive ascending.
-    #[must_use]
+    /// Returns [`CostError::InvalidSweep`] if `steps < 2` or the range
+    /// is not ascending.
     pub fn sweep(
         &self,
         lambda_min: Microns,
         lambda_max: Microns,
         steps: usize,
-    ) -> Vec<(f64, Dollars)> {
+    ) -> Result<Vec<(f64, Dollars)>, CostError> {
         sweep_lambda(lambda_min, lambda_max, steps, |l| {
             self.cost_per_transistor(l)
         })
@@ -153,15 +163,11 @@ impl Scenario2 {
     /// Propagates `X` validation.
     pub fn fig7(x: f64) -> Result<Self, UnitError> {
         let base = Scenario1::new(
-            WaferCostModel::new(Dollars::new(500.0).expect("positive"), x)?,
-            DesignDensity::new(200.0).expect("positive"),
+            WaferCostModel::new(FIG_C0, x)?,
+            FIG7_DENSITY,
             Wafer::six_inch(),
         );
-        Ok(Self::new(
-            base,
-            Probability::new(0.7).expect("0.7 is a probability"),
-            DieSizeTrend::paper_fit(),
-        ))
+        Ok(Self::new(base, FIG7_Y0, DieSizeTrend::paper_fit()))
     }
 
     /// Die yield at feature size λ: `Y₀^{A_ch(λ)/A₀}` with `A₀ = 1 cm²`.
@@ -181,16 +187,16 @@ impl Scenario2 {
 
     /// Sweeps the cost over a λ range, producing a Fig 7 series.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `steps < 2` or the range is not positive ascending.
-    #[must_use]
+    /// Returns [`CostError::InvalidSweep`] if `steps < 2` or the range
+    /// is not ascending.
     pub fn sweep(
         &self,
         lambda_min: Microns,
         lambda_max: Microns,
         steps: usize,
-    ) -> Vec<(f64, Dollars)> {
+    ) -> Result<Vec<(f64, Dollars)>, CostError> {
         sweep_lambda(lambda_min, lambda_max, steps, |l| {
             self.cost_per_transistor(l)
         })
@@ -198,19 +204,30 @@ impl Scenario2 {
 
     /// The feature size at which eq. (9) is minimized within a range —
     /// the "optimal shrink depth" for a Scenario #2 product line.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::InvalidSweep`] if `steps < 2` or the range
+    /// is not ascending.
     pub fn optimal_lambda(
         &self,
         lambda_min: Microns,
         lambda_max: Microns,
         steps: usize,
-    ) -> Microns {
-        let series = self.sweep(lambda_min, lambda_max, steps);
-        let best = series
+    ) -> Result<Microns, CostError> {
+        let series = self.sweep(lambda_min, lambda_max, steps)?;
+        // A validated sweep holds ≥ 2 points, so a minimum always exists.
+        let Some(best) = series
             .iter()
             .min_by(|a, b| a.1.value().total_cmp(&b.1.value()))
-            .expect("sweep produces at least two points");
-        Microns::new(best.0).expect("sweep points are positive")
+        else {
+            return Err(CostError::InvalidSweep {
+                lambda_min_um: lambda_min.value(),
+                lambda_max_um: lambda_max.value(),
+                steps,
+            });
+        };
+        Ok(Microns::clamped(best.0))
     }
 }
 
@@ -219,18 +236,24 @@ fn sweep_lambda(
     lambda_max: Microns,
     steps: usize,
     f: impl Fn(Microns) -> Dollars,
-) -> Vec<(f64, Dollars)> {
-    assert!(steps >= 2, "sweep needs at least 2 points, got {steps}");
+) -> Result<Vec<(f64, Dollars)>, CostError> {
     let lo = lambda_min.value();
     let hi = lambda_max.value();
-    assert!(lo < hi, "sweep range must be ascending: {lo} .. {hi}");
-    (0..steps)
+    if steps < 2 || lo >= hi {
+        return Err(CostError::InvalidSweep {
+            lambda_min_um: lo,
+            lambda_max_um: hi,
+            steps,
+        });
+    }
+    Ok((0..steps)
         .map(|i| {
             let l = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
-            let lambda = Microns::new(l).expect("interpolant of positive bounds");
-            (l, f(lambda))
+            ensure_finite!(l, "λ sweep interpolant");
+            // Interpolants of validated positive bounds stay positive.
+            (l, f(Microns::clamped(l)))
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -246,7 +269,7 @@ mod tests {
         // Fig 6 plots X = 1.1, 1.2, 1.3: cost falls monotonically.
         for x in [1.1, 1.2, 1.3] {
             let s1 = Scenario1::fig6(x).unwrap();
-            let series = s1.sweep(um(0.25), um(1.0), 16);
+            let series = s1.sweep(um(0.25), um(1.0), 16).unwrap();
             for w in series.windows(2) {
                 assert!(
                     w[0].1.value() < w[1].1.value(),
@@ -329,7 +352,7 @@ mod tests {
         // in the window: shrinking never pays. (The interior optima of
         // Fig 8 appear only at fixed N_tr — see `surface`.)
         let s2 = Scenario2::fig7(1.8).unwrap();
-        let opt = s2.optimal_lambda(um(0.2), um(1.5), 200);
+        let opt = s2.optimal_lambda(um(0.2), um(1.5), 200).unwrap();
         assert!(
             (opt.value() - 1.5).abs() < 1e-9,
             "optimum {opt} should sit at the window's upper edge"
@@ -339,16 +362,22 @@ mod tests {
     #[test]
     fn sweep_covers_endpoints() {
         let s1 = Scenario1::fig6(1.2).unwrap();
-        let series = s1.sweep(um(0.25), um(1.0), 4);
+        let series = s1.sweep(um(0.25), um(1.0), 4).unwrap();
         assert_eq!(series.len(), 4);
         assert!((series[0].0 - 0.25).abs() < 1e-12);
         assert!((series[3].0 - 1.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "at least 2")]
-    fn sweep_rejects_single_point() {
+    fn sweep_rejects_degenerate_requests() {
         let s1 = Scenario1::fig6(1.2).unwrap();
-        let _ = s1.sweep(um(0.25), um(1.0), 1);
+        assert!(matches!(
+            s1.sweep(um(0.25), um(1.0), 1),
+            Err(CostError::InvalidSweep { steps: 1, .. })
+        ));
+        assert!(matches!(
+            s1.sweep(um(1.0), um(0.25), 8),
+            Err(CostError::InvalidSweep { .. })
+        ));
     }
 }

@@ -147,6 +147,8 @@ pub fn elasticities(scenario: &ProductScenario, step: f64) -> Result<Vec<Elastic
 /// Propagates evaluation failures.
 pub fn marginal_cost_of_lambda(
     scenario: &ProductScenario,
+    // audit:allow(bare-f64): signed finite-difference step; Microns only
+    // admits positive magnitudes.
     delta_um: f64,
 ) -> Result<f64, CostError> {
     let base = scenario.evaluate()?.cost_per_transistor.value();

@@ -35,11 +35,14 @@ impl SurfaceParameters {
     /// The Fig 8 calibration.
     #[must_use]
     pub fn fig8() -> Self {
+        // Compile-time validated constants: this constructor cannot panic.
+        const FIG8_WAFER_COST: WaferCostModel =
+            WaferCostModel::const_new(Dollars::const_new(500.0), 1.4);
+        const FIG8_DENSITY: DesignDensity = DesignDensity::const_new(152.0);
         Self {
-            wafer_cost: WaferCostModel::new(Dollars::new(500.0).expect("positive"), 1.4)
-                .expect("X = 1.4 is valid"),
+            wafer_cost: FIG8_WAFER_COST,
             wafer: Wafer::six_inch(),
-            density: DesignDensity::new(152.0).expect("positive"),
+            density: FIG8_DENSITY,
             defect_d: 1.72,
             defect_p: 4.07,
             dies_method: DiesPerWaferMethod::MalyEq4,
@@ -114,11 +117,12 @@ impl CostSurface {
         let values = lambda_axis
             .iter()
             .map(|&l| {
-                let lambda = Microns::new(l).expect("grid point positive");
+                // Grid points interpolate validated positive bounds.
+                let lambda = Microns::clamped(l);
                 n_tr_axis
                     .iter()
                     .map(|&n| {
-                        let n_tr = TransistorCount::new(n).expect("grid point positive");
+                        let n_tr = TransistorCount::clamped(n);
                         params.cost_at(lambda, n_tr).ok().map(|d| d.value())
                     })
                     .collect()

@@ -16,7 +16,7 @@ use crate::{CostBreakdown, CostError, WaferCostModel};
 /// One partition of a system: a block of functionality with its own
 /// transistor count and layout density (e.g. "the cache" vs "the FPU" —
 /// Table 1 shows their densities differ by 6×).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Partition {
     /// Partition label.
     pub name: String,

@@ -11,7 +11,7 @@ use crate::CostError;
 /// The paper uses eq. (4); the alternatives allow sensitivity studies
 /// (how much of the cost conclusion depends on the die-packing model —
 /// answer: little, the methods agree within a few percent).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DiesPerWaferMethod {
     /// Eq. (4): per-row centered packing (the paper's choice).
     #[default]
@@ -48,7 +48,7 @@ impl DiesPerWaferMethod {
 
 /// Full decomposition of one eq. (1) evaluation — every intermediate the
 /// paper's tables report (C-INTERMEDIATE: expose what was computed anyway).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostBreakdown {
     /// Wafer cost `C_w` used.
     pub wafer_cost: Dollars,

@@ -27,7 +27,7 @@ use maly_units::{Dollars, Microns, UnitError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaferCostModel {
     c0: Dollars,
     x: f64,
@@ -52,6 +52,28 @@ impl WaferCostModel {
     /// that wafer costs never fall with shrinking λ).
     pub fn new(c0: Dollars, x: f64) -> Result<Self, UnitError> {
         Self::with_generation_rate(c0, x, Self::CALIBRATED_GENERATION_RATE)
+    }
+
+    /// Creates the model from literal constants, validated at compile
+    /// time when evaluated in a `const` context — the panic-free way to
+    /// declare calibrations like the Fig 6/7/8 parameter sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `X ≥ 1` and finite — at compile time when
+    /// const-evaluated.
+    #[must_use]
+    pub const fn const_new(c0: Dollars, x: f64) -> Self {
+        assert!(
+            x >= 1.0 && x <= f64::MAX,
+            "cost escalation factor X must be finite and at least 1"
+        );
+        Self {
+            c0,
+            x,
+            generation_rate: Self::CALIBRATED_GENERATION_RATE,
+            reference_lambda_um: 1.0,
+        }
     }
 
     /// Creates the model with an explicit generation rate `k`
@@ -135,7 +157,7 @@ impl WaferCostModel {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VolumeCostModel {
     true_cost: Dollars,
     overhead: Dollars,
@@ -192,6 +214,7 @@ impl VolumeCostModel {
             fraction.is_finite() && fraction > 0.0,
             "fraction must be positive, got {fraction}"
         );
+        // audit:allow(float-cmp): exact zero is the "no volume yet" sentinel.
         if self.true_cost.value() == 0.0 {
             return u64::MAX;
         }

@@ -138,6 +138,8 @@ fn march_cell(
                 &[(0, 1), (2, 3)]
             }
         }
+        // audit:allow(panic): the 4-bit marching-squares index is
+        // exhaustive — cases 0 and 15 returned early above.
         _ => unreachable!("cases 0 and 15 early-returned"),
     };
 

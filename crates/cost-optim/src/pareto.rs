@@ -5,7 +5,7 @@
 //! honest output is the Pareto front, not a single winner.
 
 /// A labeled design point: cost to minimize, benefit to maximize.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint<T> {
     /// Caller's payload (the design this point represents).
     pub design: T,

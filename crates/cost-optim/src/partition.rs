@@ -64,7 +64,7 @@ pub fn optimize(
                 .filter(|(&g, _)| g == die_idx)
                 .map(|(_, p)| p.clone())
                 .collect();
-            let sub = SystemDesign::new(members).expect("die has members");
+            let sub = SystemDesign::new(members)?;
             let sub_grouping = vec![0; sub.partitions().len()];
             let mut best_lambda: Option<(Microns, f64)> = None;
             for &lambda in candidate_lambdas {

@@ -1,4 +1,8 @@
-//! Property-based tests for the optimizers.
+//! Property-style tests for the optimizers.
+//!
+//! The workspace builds offline with no external crates, so instead of
+//! proptest strategies these properties are checked over deterministic
+//! pseudo-random samples drawn from a tiny SplitMix64 generator.
 
 use maly_cost_model::system::{ManufacturingContext, Partition, SystemDesign};
 use maly_cost_model::WaferCostModel;
@@ -7,69 +11,115 @@ use maly_cost_optim::partition::{optimize, set_partitions};
 use maly_cost_optim::search::{golden_section, grid_min};
 use maly_units::{DesignDensity, Dollars, Microns, Probability, TransistorCount};
 use maly_wafer_geom::Wafer;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Deterministic uniform sampler (SplitMix64).
+struct Sampler(u64);
 
-    /// Golden section finds the vertex of any parabola.
-    #[test]
-    fn golden_section_solves_quadratics(center in -50.0f64..50.0, scale in 0.1f64..10.0,
-                                        offset in -10.0f64..10.0) {
+impl Sampler {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+const CASES: usize = 24;
+
+/// Golden section finds the vertex of any parabola.
+#[test]
+fn golden_section_solves_quadratics() {
+    let mut s = Sampler::new(201);
+    for _ in 0..CASES {
+        let center = s.uniform(-50.0, 50.0);
+        let scale = s.uniform(0.1, 10.0);
+        let offset = s.uniform(-10.0, 10.0);
         let f = |x: f64| scale * (x - center).powi(2) + offset;
         let (x, fx) = golden_section(f, center - 60.0, center + 60.0, 1e-9);
-        prop_assert!((x - center).abs() < 1e-6);
-        prop_assert!((fx - offset).abs() < 1e-9);
+        assert!((x - center).abs() < 1e-6);
+        assert!((fx - offset).abs() < 1e-9);
     }
+}
 
-    /// Grid minimization never returns a value above any sampled point.
-    #[test]
-    fn grid_min_is_a_lower_envelope(seed in 0u64..1000) {
+/// Grid minimization never returns a value above any sampled point.
+#[test]
+fn grid_min_is_a_lower_envelope() {
+    let mut s = Sampler::new(202);
+    for _ in 0..CASES {
+        let seed = s.index(1000) as f64;
         // A deterministic "random-looking" bumpy function.
-        let f = move |x: f64| ((x * 7.3 + seed as f64).sin() + (x * 1.9).cos()) * x.abs();
+        let f = move |x: f64| ((x * 7.3 + seed).sin() + (x * 1.9).cos()) * x.abs();
         let (_, fmin) = grid_min(f, -5.0, 5.0, 501);
         for i in 0..501 {
-            let x = -5.0 + 10.0 * i as f64 / 500.0;
-            prop_assert!(fmin <= f(x) + 1e-12);
+            let x = -5.0 + 10.0 * f64::from(i) / 500.0;
+            assert!(fmin <= f(x) + 1e-12);
         }
     }
+}
 
-    /// Pareto front: nothing on the front is dominated by anything in
-    /// the input, and everything off the front is dominated by someone.
-    #[test]
-    fn pareto_front_is_exact(points in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..25)) {
-        let designs: Vec<DesignPoint<usize>> = points
-            .iter()
-            .enumerate()
-            .map(|(i, &(c, b))| DesignPoint::new(i, c, b))
+/// Pareto front: nothing on the front is dominated by anything in
+/// the input, and everything off the front is dominated by someone.
+#[test]
+fn pareto_front_is_exact() {
+    let mut s = Sampler::new(203);
+    for _ in 0..CASES {
+        let count = 1 + s.index(24);
+        let designs: Vec<DesignPoint<usize>> = (0..count)
+            .map(|i| DesignPoint::new(i, s.uniform(0.0, 10.0), s.uniform(0.0, 10.0)))
             .collect();
         let front = pareto_front(&designs);
-        prop_assert!(!front.is_empty());
+        assert!(!front.is_empty());
         for f in &front {
-            prop_assert!(!designs.iter().any(|q| f.dominated_by(q)));
+            assert!(!designs.iter().any(|q| f.dominated_by(q)));
         }
         for d in &designs {
             let on_front = front.iter().any(|f| f.design == d.design);
             if !on_front {
-                prop_assert!(designs.iter().any(|q| d.dominated_by(q)));
+                assert!(designs.iter().any(|q| d.dominated_by(q)));
             }
         }
     }
+}
 
-    /// The partition optimizer's answer is no worse than any candidate
-    /// assignment drawn from its own search space.
-    #[test]
-    fn optimizer_dominates_arbitrary_assignments(
-        n_a in 2.0e5f64..3.0e6, n_b in 2.0e5f64..3.0e6,
-        d_a in 40.0f64..400.0, d_b in 40.0f64..400.0,
-        grouping_pick in 0usize..2, lambda_pick in 0usize..4,
-    ) {
+/// The partition optimizer's answer is no worse than any candidate
+/// assignment drawn from its own search space.
+#[test]
+fn optimizer_dominates_arbitrary_assignments() {
+    let mut s = Sampler::new(204);
+    for _ in 0..CASES {
+        let n_a = s.uniform(2.0e5, 3.0e6);
+        let n_b = s.uniform(2.0e5, 3.0e6);
+        let d_a = s.uniform(40.0, 400.0);
+        let d_b = s.uniform(40.0, 400.0);
+        let grouping_pick = s.index(2);
+        let lambda_pick = s.index(4);
         let system = SystemDesign::new(vec![
-            Partition::new("a", TransistorCount::new(n_a).unwrap(),
-                           DesignDensity::new(d_a).unwrap()),
-            Partition::new("b", TransistorCount::new(n_b).unwrap(),
-                           DesignDensity::new(d_b).unwrap()),
-        ]).unwrap();
+            Partition::new(
+                "a",
+                TransistorCount::new(n_a).unwrap(),
+                DesignDensity::new(d_a).unwrap(),
+            ),
+            Partition::new(
+                "b",
+                TransistorCount::new(n_b).unwrap(),
+                DesignDensity::new(d_b).unwrap(),
+            ),
+        ])
+        .unwrap();
         let ctx = ManufacturingContext {
             wafer: Wafer::six_inch(),
             reference_yield: Probability::new(0.7).unwrap(),
@@ -85,7 +135,7 @@ proptest! {
         let n_dies = grouping.iter().max().unwrap() + 1;
         let lambdas = vec![Microns::new(nodes[lambda_pick]).unwrap(); n_dies];
         if let Ok(candidate) = system.evaluate(&ctx, &grouping, &lambdas) {
-            prop_assert!(
+            assert!(
                 best.cost.total.value() <= candidate.total.value() + 1e-9,
                 "optimizer {} beaten by candidate {}",
                 best.cost.total.value(),

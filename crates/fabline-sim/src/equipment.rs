@@ -7,7 +7,7 @@ use maly_units::Dollars;
 /// Granular enough that different products load the fab differently (a
 /// 3-metal logic flow leans on deposition/etch; a DRAM flow leans on
 /// furnaces and implant), which is what creates the product-mix effect.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ToolFamily {
     /// Photolithography steppers and tracks.
     Lithography,
@@ -75,7 +75,7 @@ impl std::fmt::Display for ToolFamily {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EquipmentClass {
     family: ToolFamily,
     wafer_steps_per_hour: f64,

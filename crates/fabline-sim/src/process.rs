@@ -6,7 +6,7 @@ use crate::equipment::ToolFamily;
 ///
 /// Step *duration* comes from the tool's throughput, so the step itself
 /// only carries routing information (plus a label for traceability).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProcessStep {
     /// Human-readable step label, e.g. `"metal2 litho"`.
     pub label: String,
@@ -26,7 +26,7 @@ pub struct ProcessStep {
 /// // Fig 4: step counts grow as features shrink.
 /// assert!(fine.step_count() > coarse.step_count());
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessFlow {
     name: String,
     steps: Vec<ProcessStep>,

@@ -10,7 +10,7 @@
 pub const TABLE1_LAMBDA_UM: f64 = 0.8;
 
 /// One functional block row.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FunctionalBlock {
     /// Block name as printed.
     pub name: &'static str,

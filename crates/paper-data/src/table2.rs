@@ -6,7 +6,7 @@
 //! drives the two-orders-of-magnitude cost spread of Table 3.
 
 /// Broad product category, for grouping and filtering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IcCategory {
     /// Microprocessors.
     Microprocessor,
@@ -31,7 +31,7 @@ impl std::fmt::Display for IcCategory {
 }
 
 /// One Table 2 row.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IcDensityRow {
     /// Product description as printed.
     pub name: &'static str,

@@ -15,7 +15,7 @@ use maly_cost_model::product::ProductScenario;
 use maly_cost_model::CostError;
 
 /// Where a row's transistor count came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CountProvenance {
     /// Printed in the paper.
     Printed,
@@ -24,7 +24,7 @@ pub enum CountProvenance {
 }
 
 /// One Table 3 row: the full input vector plus the printed result.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table3Row {
     /// Row number as printed (1-based).
     pub id: u8,

@@ -35,6 +35,7 @@ pub fn report() -> ExperimentReport {
         let s2 = Scenario2::fig7(x).expect("printed X is valid");
         let series: Vec<(f64, f64)> = s2
             .sweep(lo_um, hi_um, 40)
+            .expect("printed λ range is ascending")
             .into_iter()
             .map(|(l, c)| (l, c.to_micro_dollars().value()))
             .collect();

@@ -20,6 +20,7 @@ pub mod table3;
 /// Shared helper: formats a relative error as a percentage string.
 #[must_use]
 pub(crate) fn rel_err_percent(measured: f64, reference: f64) -> String {
+    // audit:allow(float-cmp): exact zero sentinel guards the division below.
     if reference == 0.0 {
         return "n/a".to_string();
     }

@@ -29,7 +29,7 @@ use crate::fit;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DieSizeTrend {
     amplitude_cm2: f64,
     rate_per_um: f64,

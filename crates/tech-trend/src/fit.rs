@@ -3,7 +3,7 @@
 use maly_units::UnitError;
 
 /// An ordinary least-squares line `y = intercept + slope·x`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Fitted intercept.
     pub intercept: f64,
@@ -76,7 +76,7 @@ pub fn fit_linear(points: &[(f64, f64)]) -> Result<LinearFit, UnitError> {
 /// assert!((fit.rate() - std::f64::consts::LN_2).abs() < 1e-9);
 /// assert!((fit.predict(6.0) - 64.0).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExponentialFit {
     amplitude: f64,
     rate: f64,
@@ -132,7 +132,7 @@ pub fn fit_exponential(points: &[(f64, f64)]) -> Result<ExponentialFit, UnitErro
 }
 
 /// A power-law trend `y = amplitude · x^exponent`, fitted on ln–ln scale.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerLawFit {
     amplitude: f64,
     exponent: f64,
@@ -197,7 +197,7 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> Result<PowerLawFit, UnitError> {
 
 /// The paper's wafer-cost escalation law fitted to data:
 /// `C_w(λ) = C₀ · X^{k(1−λ)}` with `k = 5 /µm` (DESIGN.md §1).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostEscalationFit {
     /// Extracted per-generation escalation factor `X`.
     pub x_factor: f64,

@@ -21,7 +21,7 @@
 use maly_units::{Dollars, Probability, UnitError};
 
 /// One die supply option for module assembly.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DieSupply {
     /// Cost per die as procured.
     pub die_cost: Dollars,
@@ -51,7 +51,7 @@ impl DieSupply {
 }
 
 /// Module-level parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModuleParameters {
     /// Dies per module.
     pub dies_per_module: u32,
@@ -70,7 +70,7 @@ pub struct ModuleParameters {
 }
 
 /// Pricing result for one supply option.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModuleCost {
     /// Probability a freshly assembled module has all dies good.
     pub first_pass_yield: Probability,
@@ -139,7 +139,7 @@ pub fn price_module(
 }
 
 /// The three-way study of \[31\]: probe-only vs KGD vs smart substrate.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KgdStudy {
     /// Probe-only option.
     pub probe_only: ModuleCost,

@@ -28,7 +28,7 @@ use maly_units::{Dollars, Probability, TransistorCount, UnitError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TesterEconomics {
     vectors_per_second: f64,
     hourly_rate: Dollars,

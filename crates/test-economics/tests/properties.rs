@@ -1,69 +1,116 @@
-//! Property-based tests for the test-economics models.
+//! Property-style tests for the test-economics models.
+//!
+//! The workspace builds offline with no external crates, so instead of
+//! proptest strategies these properties are checked over deterministic
+//! pseudo-random samples drawn from a tiny SplitMix64 generator.
 
 use maly_test_economics::escapes::{defect_level, required_coverage};
 use maly_test_economics::mcm::{price_module, DieSupply, ModuleParameters};
 use maly_test_economics::test_time::TesterEconomics;
 use maly_units::{Dollars, Probability, TransistorCount};
-use proptest::prelude::*;
 
-fn prob(range: std::ops::Range<f64>) -> impl Strategy<Value = Probability> {
-    range.prop_map(|v| Probability::new(v).unwrap())
+/// Deterministic uniform sampler (SplitMix64).
+struct Sampler(u64);
+
+impl Sampler {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+
+    fn count(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + (self.next_u64() % u64::from(hi - lo)) as u32
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// Williams–Brown: DL ∈ [0, 1−Y], monotone in both arguments.
-    #[test]
-    fn defect_level_bounds_and_monotonicity(y in 0.05f64..0.99, t in 0.0f64..0.999,
-                                            dy in 0.001f64..0.01, dt in 0.0001f64..0.001) {
+/// Williams–Brown: DL ∈ [0, 1−Y], monotone in both arguments.
+#[test]
+fn defect_level_bounds_and_monotonicity() {
+    let mut s = Sampler::new(401);
+    for _ in 0..CASES {
+        let y = s.uniform(0.05, 0.99);
+        let t = s.uniform(0.0, 0.999);
+        let dy = s.uniform(0.001, 0.01);
+        let dt = s.uniform(0.0001, 0.001);
         let yield_ = Probability::new(y).unwrap();
         let coverage = Probability::new(t).unwrap();
         let dl = defect_level(yield_, coverage).value();
-        prop_assert!(dl >= 0.0);
-        prop_assert!(dl <= 1.0 - y + 1e-12);
+        assert!(dl >= 0.0);
+        assert!(dl <= 1.0 - y + 1e-12);
         // Better yield → cleaner shipments.
         let better_y = defect_level(Probability::new(y + dy).unwrap(), coverage).value();
-        prop_assert!(better_y <= dl + 1e-12);
+        assert!(better_y <= dl + 1e-12);
         // Better coverage → cleaner shipments.
         let better_t = defect_level(yield_, Probability::new(t + dt).unwrap()).value();
-        prop_assert!(better_t <= dl + 1e-12);
+        assert!(better_t <= dl + 1e-12);
     }
+}
 
-    /// required_coverage really achieves its target.
-    #[test]
-    fn required_coverage_achieves_target(y in 0.2f64..0.95, target in 0.001f64..0.05) {
+/// required_coverage really achieves its target.
+#[test]
+fn required_coverage_achieves_target() {
+    let mut s = Sampler::new(402);
+    for _ in 0..CASES {
+        let y = s.uniform(0.2, 0.95);
+        let target = s.uniform(0.001, 0.05);
         let yield_ = Probability::new(y).unwrap();
         let target_dl = Probability::new(target).unwrap();
         if let Some(t) = required_coverage(yield_, target_dl) {
             let achieved = defect_level(yield_, t).value();
-            prop_assert!(achieved <= target + 1e-9, "achieved {achieved} > target {target}");
+            assert!(
+                achieved <= target + 1e-9,
+                "achieved {achieved} > target {target}"
+            );
         }
     }
+}
 
-    /// Test time grows with design size and coverage; cost is linear in
-    /// the hourly rate.
-    #[test]
-    fn test_time_monotonicity(n in 1.0e5f64..5.0e7, grow in 1.5f64..8.0,
-                              t in prob(0.5..0.95)) {
+/// Test time grows with design size and coverage; cost is linear in
+/// the hourly rate.
+#[test]
+fn test_time_monotonicity() {
+    let mut s = Sampler::new(403);
+    for _ in 0..CASES {
+        let n = s.uniform(1.0e5, 5.0e7);
+        let grow = s.uniform(1.5, 8.0);
+        let t = Probability::new(s.uniform(0.5, 0.95)).unwrap();
         let tester = TesterEconomics::typical_1994();
         let small = TransistorCount::new(n).unwrap();
         let large = TransistorCount::new(n * grow).unwrap();
-        prop_assert!(tester.test_seconds(large, t) > tester.test_seconds(small, t));
+        assert!(tester.test_seconds(large, t) > tester.test_seconds(small, t));
         let tighter = Probability::new((t.value() + 0.04).min(0.999)).unwrap();
-        prop_assert!(tester.test_seconds(small, tighter) > tester.test_seconds(small, t));
+        assert!(tester.test_seconds(small, tighter) > tester.test_seconds(small, t));
         // Cost linearity in rate.
         let double_rate = TesterEconomics::new(1.0e6, Dollars::new(720.0).unwrap()).unwrap();
-        let ratio = double_rate.cost_per_die(small, t).value()
-            / tester.cost_per_die(small, t).value();
-        prop_assert!((ratio - 2.0).abs() < 1e-9);
+        let ratio =
+            double_rate.cost_per_die(small, t).value() / tester.cost_per_die(small, t).value();
+        assert!((ratio - 2.0).abs() < 1e-9);
     }
+}
 
-    /// Module pricing: first-pass yield falls with die count; cleaner
-    /// dies never cost more per good module.
-    #[test]
-    fn module_pricing_monotonicity(n in 2u32..12, dl in prob(0.01..0.15),
-                                   cleaner in 0.1f64..0.9) {
+/// Module pricing: first-pass yield falls with die count; cleaner
+/// dies never cost more per good module.
+#[test]
+fn module_pricing_monotonicity() {
+    let mut s = Sampler::new(404);
+    for _ in 0..CASES {
+        let n = s.count(2, 12);
+        let dl = Probability::new(s.uniform(0.01, 0.15)).unwrap();
+        let cleaner = s.uniform(0.1, 0.9);
         let module = ModuleParameters {
             dies_per_module: n,
             substrate_cost: Dollars::new(120.0).unwrap(),
@@ -78,29 +125,30 @@ proptest! {
         let supply = DieSupply::probe_only(Dollars::new(25.0).unwrap(), dl);
         let base = price_module(&supply, &module).unwrap();
         let more_dies = price_module(&supply, &bigger).unwrap();
-        prop_assert!(more_dies.first_pass_yield <= base.first_pass_yield);
-        prop_assert!(
-            more_dies.cost_per_good_module.value() > base.cost_per_good_module.value()
-        );
+        assert!(more_dies.first_pass_yield <= base.first_pass_yield);
+        assert!(more_dies.cost_per_good_module.value() > base.cost_per_good_module.value());
         // Same cost dies with lower DL: cheaper good modules.
         let clean = DieSupply::probe_only(
             Dollars::new(25.0).unwrap(),
             Probability::new(dl.value() * cleaner).unwrap(),
         );
         let clean_cost = price_module(&clean, &module).unwrap();
-        prop_assert!(
-            clean_cost.cost_per_good_module.value()
-                <= base.cost_per_good_module.value() + 1e-9
+        assert!(
+            clean_cost.cost_per_good_module.value() <= base.cost_per_good_module.value() + 1e-9
         );
     }
+}
 
-    /// Scrap fraction only ever hurts.
-    #[test]
-    fn scrap_fraction_is_monotone(n in 2u32..12, scrap in 0.0f64..0.9, extra in 0.01f64..0.1) {
-        let supply = DieSupply::probe_only(
-            Dollars::new(25.0).unwrap(),
-            Probability::new(0.06).unwrap(),
-        );
+/// Scrap fraction only ever hurts.
+#[test]
+fn scrap_fraction_is_monotone() {
+    let mut s = Sampler::new(405);
+    for _ in 0..CASES {
+        let n = s.count(2, 12);
+        let scrap = s.uniform(0.0, 0.9);
+        let extra = s.uniform(0.01, 0.1);
+        let supply =
+            DieSupply::probe_only(Dollars::new(25.0).unwrap(), Probability::new(0.06).unwrap());
         let base = ModuleParameters {
             dies_per_module: n,
             substrate_cost: Dollars::new(120.0).unwrap(),
@@ -114,6 +162,6 @@ proptest! {
         };
         let a = price_module(&supply, &base).unwrap().cost_per_good_module;
         let b = price_module(&supply, &worse).unwrap().cost_per_good_module;
-        prop_assert!(b.value() >= a.value());
+        assert!(b.value() >= a.value());
     }
 }

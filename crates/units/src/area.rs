@@ -25,7 +25,8 @@ scalar_quantity! {
     /// # Ok(())
     /// # }
     /// ```
-    SquareMicrons, "square microns", ensure_positive, "µm²"
+    SquareMicrons, "square microns", ensure_positive,
+    crate::error::valid_positive, f64::MIN_POSITIVE, "µm²"
 }
 
 scalar_quantity! {
@@ -44,7 +45,8 @@ scalar_quantity! {
     /// # Ok(())
     /// # }
     /// ```
-    SquareMillimeters, "square millimeters", ensure_positive, "mm²"
+    SquareMillimeters, "square millimeters", ensure_positive,
+    crate::error::valid_positive, f64::MIN_POSITIVE, "mm²"
 }
 
 scalar_quantity! {
@@ -65,7 +67,8 @@ scalar_quantity! {
     /// # Ok(())
     /// # }
     /// ```
-    SquareCentimeters, "square centimeters", ensure_positive, "cm²"
+    SquareCentimeters, "square centimeters", ensure_positive,
+    crate::error::valid_positive, f64::MIN_POSITIVE, "cm²"
 }
 
 impl SquareMicrons {

@@ -1,0 +1,95 @@
+//! Numeric-contract macros: cheap, debug-only checks at model entry points.
+//!
+//! The cost model is a pipeline of closed-form expressions — eqs. (1)–(9)
+//! of the paper — whose intermediate values must stay finite, non-negative,
+//! or inside `[0, 1]`. A NaN introduced early (a bad fit, a degenerate
+//! sweep bound) otherwise propagates silently and surfaces far away as a
+//! nonsense cost. These macros pin the contract at the point where a raw
+//! `f64` enters a model, as `debug_assert!`s: active under `cargo test`,
+//! free in release builds.
+//!
+//! # Examples
+//!
+//! ```
+//! use maly_units::{ensure_finite, ensure_nonneg, ensure_prob};
+//!
+//! fn die_cost(wafer_cost: f64, dies: f64, yield_: f64) -> f64 {
+//!     ensure_nonneg!(wafer_cost, "wafer cost");
+//!     ensure_nonneg!(dies, "dies per wafer");
+//!     ensure_prob!(yield_, "die yield");
+//!     let cost = wafer_cost / (dies * yield_);
+//!     ensure_finite!(cost, "die cost");
+//!     cost
+//! }
+//! # let _ = die_cost(700.0, 100.0, 0.7);
+//! ```
+
+/// Debug-asserts that a float expression is finite (not NaN or ±∞).
+#[macro_export]
+macro_rules! ensure_finite {
+    ($value:expr, $what:expr) => {{
+        let v: f64 = $value;
+        debug_assert!(
+            v.is_finite(),
+            "numeric contract violated: {} = {v} is not finite",
+            $what
+        );
+    }};
+}
+
+/// Debug-asserts that a float expression is finite and non-negative.
+#[macro_export]
+macro_rules! ensure_nonneg {
+    ($value:expr, $what:expr) => {{
+        let v: f64 = $value;
+        debug_assert!(
+            v.is_finite() && v >= 0.0,
+            "numeric contract violated: {} = {v} must be finite and >= 0",
+            $what
+        );
+    }};
+}
+
+/// Debug-asserts that a float expression is a valid probability in `[0, 1]`.
+#[macro_export]
+macro_rules! ensure_prob {
+    ($value:expr, $what:expr) => {{
+        let v: f64 = $value;
+        debug_assert!(
+            v.is_finite() && (0.0..=1.0).contains(&v),
+            "numeric contract violated: {} = {v} must lie in [0, 1]",
+            $what
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passing_contracts_are_silent() {
+        ensure_finite!(1.5, "x");
+        ensure_nonneg!(0.0, "x");
+        ensure_prob!(1.0, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric contract violated")]
+    #[cfg(debug_assertions)]
+    fn nan_trips_finite() {
+        ensure_finite!(f64::NAN, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric contract violated")]
+    #[cfg(debug_assertions)]
+    fn negative_trips_nonneg() {
+        ensure_nonneg!(-1e-9, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric contract violated")]
+    #[cfg(debug_assertions)]
+    fn above_one_trips_prob() {
+        ensure_prob!(1.5, "x");
+    }
+}

@@ -21,8 +21,7 @@ use crate::UnitError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct TransistorCount(f64);
 
 impl TransistorCount {
@@ -33,6 +32,25 @@ impl TransistorCount {
     /// Returns an error unless `value` is finite and strictly positive.
     pub fn new(value: f64) -> Result<Self, UnitError> {
         crate::error::ensure_positive("transistor count", value).map(Self)
+    }
+
+    /// Creates a count infallibly by clamping to the smallest positive
+    /// magnitude.
+    ///
+    /// For counts that are positive by construction (grid interpolants
+    /// of validated bounds). NaN clamps to the floor; debug builds
+    /// assert the input is finite.
+    #[must_use]
+    pub fn clamped(value: f64) -> Self {
+        debug_assert!(
+            value.is_finite(),
+            "transistor count must be finite, got {value}"
+        );
+        if value >= f64::MIN_POSITIVE {
+            Self(value)
+        } else {
+            Self(f64::MIN_POSITIVE)
+        }
     }
 
     /// Creates a count expressed in millions of transistors.
@@ -88,20 +106,7 @@ impl std::fmt::Display for TransistorCount {
 /// let n_ch = DieCount::new(46);
 /// assert_eq!(n_ch.value(), 46);
 /// ```
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DieCount(u32);
 
 impl DieCount {

@@ -26,7 +26,8 @@ scalar_quantity! {
     /// # Ok(())
     /// # }
     /// ```
-    DesignDensity, "design density", ensure_positive, "λ²/tr"
+    DesignDensity, "design density", ensure_positive,
+    crate::error::valid_positive, f64::MIN_POSITIVE, "λ²/tr"
 }
 
 impl DesignDensity {
@@ -73,7 +74,8 @@ scalar_quantity! {
     /// # Ok(())
     /// # }
     /// ```
-    DefectDensity, "defect density", ensure_positive, "/cm²"
+    DefectDensity, "defect density", ensure_positive,
+    crate::error::valid_positive, f64::MIN_POSITIVE, "/cm²"
 }
 
 impl DefectDensity {

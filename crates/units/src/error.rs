@@ -102,6 +102,17 @@ pub(crate) fn ensure_non_negative(quantity: &'static str, value: f64) -> Result<
     }
 }
 
+/// Const-context predicate matching [`ensure_positive`]: finite and
+/// strictly positive (`NaN` and `+∞` fail the comparisons).
+pub(crate) const fn valid_positive(value: f64) -> bool {
+    value > 0.0 && value <= f64::MAX
+}
+
+/// Const-context predicate matching [`ensure_non_negative`].
+pub(crate) const fn valid_non_negative(value: f64) -> bool {
+    value >= 0.0 && value <= f64::MAX
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod area;
+pub mod contract;
 mod count;
 mod density;
 mod error;

@@ -4,14 +4,19 @@
 /// constructor with validation, accessor, `Display`, ordering, arithmetic
 /// with itself (`Add`/`Sub`) and with bare `f64` scale factors (`Mul`/`Div`),
 /// and a dimensionless ratio via `Div<Self>`.
+///
+/// Besides the fallible `new`, two specialized constructors are generated:
+/// `const_new` (compile-time validation for literal constants, via the
+/// const predicate `$const_check`) and `clamped` (infallible, clamping to
+/// the domain floor `$domain_floor`, for values valid by construction).
 macro_rules! scalar_quantity {
     (
         $(#[$meta:meta])*
-        $name:ident, $quantity:literal, $validator:path, $unit_suffix:literal
+        $name:ident, $quantity:literal, $validator:path, $const_check:path,
+        $domain_floor:expr, $unit_suffix:literal
     ) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
         pub struct $name(f64);
 
         impl $name {
@@ -23,6 +28,48 @@ macro_rules! scalar_quantity {
             /// type's invariant (non-finite, or outside the permitted sign).
             pub fn new(value: f64) -> Result<Self, crate::UnitError> {
                 $validator($quantity, value).map(Self)
+            }
+
+            /// Creates a value from a literal constant, validated at
+            /// compile time when evaluated in a `const` context:
+            ///
+            /// an invalid literal then becomes a compile error instead of a
+            /// runtime panic, so `const`-declared model calibrations can
+            /// never panic at run time.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the value violates the type's invariant — at
+            /// compile time when const-evaluated.
+            #[must_use]
+            pub const fn const_new(value: f64) -> Self {
+                assert!(
+                    $const_check(value),
+                    concat!("invalid ", $quantity, " constant")
+                );
+                Self(value)
+            }
+
+            /// Creates a value infallibly by clamping to the domain floor.
+            ///
+            /// For magnitudes that are valid by construction but may leave
+            /// the domain by floating-point round-off (interpolants of
+            /// validated bounds, differences of near-equal terms). NaN
+            /// clamps to the floor. Debug builds assert the input is
+            /// finite — clamping is for round-off, not for hiding real
+            /// sign errors.
+            #[must_use]
+            pub fn clamped(value: f64) -> Self {
+                debug_assert!(
+                    value.is_finite(),
+                    concat!($quantity, " must be finite, got {}"),
+                    value
+                );
+                if value >= $domain_floor {
+                    Self(value)
+                } else {
+                    Self($domain_floor)
+                }
             }
 
             /// Returns the raw `f64` magnitude in this type's unit.

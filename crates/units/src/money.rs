@@ -24,7 +24,8 @@ scalar_quantity! {
     /// # Ok(())
     /// # }
     /// ```
-    Dollars, "dollars", ensure_non_negative, "$"
+    Dollars, "dollars", ensure_non_negative,
+    crate::error::valid_non_negative, 0.0, "$"
 }
 
 scalar_quantity! {
@@ -45,7 +46,8 @@ scalar_quantity! {
     /// # Ok(())
     /// # }
     /// ```
-    MicroDollars, "micro-dollars", ensure_non_negative, "µ$"
+    MicroDollars, "micro-dollars", ensure_non_negative,
+    crate::error::valid_non_negative, 0.0, "µ$"
 }
 
 impl Dollars {

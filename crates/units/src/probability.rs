@@ -26,8 +26,7 @@ use crate::UnitError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
-#[serde(try_from = "f64", into = "f64")]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Probability(f64);
 
 impl Probability {
@@ -59,6 +58,39 @@ impl Probability {
             });
         }
         Ok(Self(value))
+    }
+
+    /// Creates a probability from a literal constant, validated at
+    /// compile time when evaluated in a `const` context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `[0, 1]` or NaN — at compile time
+    /// when const-evaluated.
+    #[must_use]
+    pub const fn const_new(value: f64) -> Self {
+        assert!(0.0 <= value && value <= 1.0, "invalid probability constant");
+        Self(value)
+    }
+
+    /// Creates a probability by clamping `value` into `[0, 1]`.
+    ///
+    /// This is the infallible constructor for values that are already
+    /// mathematically confined to the unit interval but may drift a few
+    /// ulps outside it through floating-point round-off (ratios of counts,
+    /// products of survival terms). NaN maps to 0. In debug builds a
+    /// value outside `[-1e-9, 1 + 1e-9]` trips an assertion — clamping is
+    /// for round-off, not for hiding real range errors.
+    #[must_use]
+    pub fn clamped(value: f64) -> Probability {
+        debug_assert!(
+            value.is_finite() && (-1e-9..=1.0 + 1e-9).contains(&value),
+            "Probability::clamped expects near-unit-interval input, got {value}"
+        );
+        if value.is_nan() {
+            return Probability::ZERO;
+        }
+        Probability(value.clamp(0.0, 1.0))
     }
 
     /// Returns the raw value in `[0, 1]`.
@@ -197,14 +229,6 @@ mod tests {
         assert!((p.value() - 0.7).abs() < 1e-12);
         assert!((p.as_percent() - 70.0).abs() < 1e-12);
         assert!(Probability::from_percent(101.0).is_err());
-    }
-
-    #[test]
-    fn serde_rejects_out_of_range() {
-        let ok: Probability = serde_json::from_str("0.9").unwrap();
-        assert_eq!(ok, Probability::new(0.9).unwrap());
-        let bad: Result<Probability, _> = serde_json::from_str("1.5");
-        assert!(bad.is_err());
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Edge-case tests for the unit newtypes: constructor rejection of
+//! non-finite and out-of-domain inputs, `Probability::powf` closure,
+//! conversion roundtrips, and the `clamped`/`const_new` contract layer.
+
+use maly_units::{
+    Centimeters, DefectDensity, DesignDensity, Dollars, MicroDollars, Microns, Millimeters,
+    Probability, SquareCentimeters, TransistorCount,
+};
+
+// ---------------------------------------------------------------------
+// Constructors reject NaN / ±inf / out-of-domain values.
+// ---------------------------------------------------------------------
+
+#[test]
+fn positive_quantities_reject_nan_inf_zero_and_negatives() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+        assert!(Microns::new(bad).is_err(), "Microns::new({bad})");
+        assert!(Millimeters::new(bad).is_err(), "Millimeters::new({bad})");
+        assert!(Centimeters::new(bad).is_err(), "Centimeters::new({bad})");
+        assert!(
+            SquareCentimeters::new(bad).is_err(),
+            "SquareCentimeters::new({bad})"
+        );
+        assert!(
+            DefectDensity::new(bad).is_err(),
+            "DefectDensity::new({bad})"
+        );
+        assert!(
+            DesignDensity::new(bad).is_err(),
+            "DesignDensity::new({bad})"
+        );
+        assert!(
+            TransistorCount::new(bad).is_err(),
+            "TransistorCount::new({bad})"
+        );
+    }
+}
+
+#[test]
+fn money_rejects_non_finite_and_negative_but_accepts_zero() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.01] {
+        assert!(Dollars::new(bad).is_err(), "Dollars::new({bad})");
+        assert!(MicroDollars::new(bad).is_err(), "MicroDollars::new({bad})");
+    }
+    assert!(Dollars::new(0.0).is_ok());
+    assert!(MicroDollars::new(0.0).is_ok());
+}
+
+#[test]
+fn probability_rejects_non_finite_and_outside_unit_interval() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.001, 1.001] {
+        assert!(Probability::new(bad).is_err(), "Probability::new({bad})");
+    }
+    assert!(Probability::new(0.0).is_ok());
+    assert!(Probability::new(1.0).is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Probability::powf stays inside [0, 1].
+// ---------------------------------------------------------------------
+
+#[test]
+fn probability_powf_stays_in_unit_interval() {
+    let exponents = [0.0, 0.25, 1.0, 3.7, 50.0, 1.0e6];
+    let bases = [0.0, 1.0e-12, 0.3, 0.9999, 1.0];
+    for &b in &bases {
+        let p = Probability::new(b).expect("valid base");
+        for &e in &exponents {
+            let v = p.powf(e).value();
+            assert!((0.0..=1.0).contains(&v), "{b}^{e} escaped to {v}");
+        }
+    }
+    // Y₀^{A_ch}: huge exponents underflow to exactly zero, never below.
+    let tiny = Probability::new(0.5).expect("valid").powf(5000.0);
+    assert!(tiny.value() >= 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Length conversion roundtrips.
+// ---------------------------------------------------------------------
+
+#[test]
+fn length_roundtrips_hold_within_tolerance() {
+    for v in [0.25, 0.8, 1.0, 7.5, 123.456] {
+        let um = Microns::new(v).expect("positive");
+        let back = um.to_centimeters().to_microns();
+        assert!(
+            (back.value() - v).abs() <= 1e-12 * v,
+            "µm→cm→µm drifted: {v} → {}",
+            back.value()
+        );
+        let back = um.to_millimeters().to_microns();
+        assert!((back.value() - v).abs() <= 1e-12 * v);
+
+        let cm = Centimeters::new(v).expect("positive");
+        let back = cm.to_millimeters().to_centimeters();
+        assert!((back.value() - v).abs() <= 1e-12 * v);
+        let back = cm.to_microns().to_centimeters();
+        assert!((back.value() - v).abs() <= 1e-12 * v);
+    }
+}
+
+#[test]
+fn known_conversion_anchors() {
+    let lambda = Microns::new(0.8).expect("positive");
+    assert!((lambda.to_centimeters().value() - 0.8e-4).abs() < 1e-19);
+    let r_w = Centimeters::new(7.5).expect("positive");
+    assert!((r_w.to_millimeters().value() - 75.0).abs() < 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// The contract layer: clamped and const_new.
+// ---------------------------------------------------------------------
+
+#[test]
+fn clamped_floors_at_the_domain_boundary() {
+    // Positive quantities floor at the smallest positive value...
+    assert!(Microns::clamped(-3.0).value() > 0.0);
+    assert!(TransistorCount::clamped(0.0).value() > 0.0);
+    // ...non-negative money floors at zero...
+    assert_eq!(Dollars::clamped(-5.0).value(), 0.0);
+    // ...and in-domain values pass through untouched.
+    assert_eq!(Microns::clamped(0.8).value(), 0.8);
+    assert_eq!(Dollars::clamped(12.5).value(), 12.5);
+}
+
+#[test]
+fn probability_clamped_saturates_round_off() {
+    assert_eq!(Probability::clamped(1.0 + 1.0e-12).value(), 1.0);
+    assert_eq!(Probability::clamped(-1.0e-12).value(), 0.0);
+    assert_eq!(Probability::clamped(0.7).value(), 0.7);
+}
+
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "near-unit-interval")]
+fn probability_clamped_asserts_on_nan_in_debug_builds() {
+    let _ = Probability::clamped(f64::NAN);
+}
+
+#[test]
+#[cfg(not(debug_assertions))]
+fn probability_clamped_maps_nan_to_zero_in_release_builds() {
+    assert_eq!(Probability::clamped(f64::NAN).value(), 0.0);
+}
+
+#[test]
+fn const_new_constants_evaluate_at_compile_time() {
+    const LAMBDA: Microns = Microns::const_new(0.8);
+    const C0: Dollars = Dollars::const_new(500.0);
+    const Y0: Probability = Probability::const_new(0.7);
+    assert_eq!(LAMBDA.value(), 0.8);
+    assert_eq!(C0.value(), 500.0);
+    assert_eq!(Y0.value(), 0.7);
+}

@@ -113,6 +113,7 @@ pub fn format_tick(value: f64) -> String {
         format!("{value:.2}")
     } else if a >= 1.0e-3 {
         format!("{value:.3}")
+    // audit:allow(float-cmp): exact zero picks the degenerate-axis branch.
     } else if a == 0.0 {
         "0".to_string()
     } else {

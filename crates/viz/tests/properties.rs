@@ -1,72 +1,139 @@
-//! Property-based tests for the viz toolkit.
+//! Property-style tests for the viz toolkit.
+//!
+//! The workspace builds offline with no external crates, so instead of
+//! proptest strategies these properties are checked over deterministic
+//! pseudo-random samples drawn from a tiny SplitMix64 generator.
 
 use maly_viz::csv::to_csv;
 use maly_viz::scale::Scale;
 use maly_viz::table::{Alignment, TextTable};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Deterministic uniform sampler (SplitMix64).
+struct Sampler(u64);
 
-    /// Scales: normalize/denormalize are inverse on the data interval.
-    #[test]
-    fn scale_roundtrip(min in 0.001f64..10.0, span in 0.1f64..1000.0, t in 0.0f64..1.0) {
+impl Sampler {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A pseudo-random cell string over a CSV-hostile alphabet.
+    fn cell(&mut self, max_len: usize) -> String {
+        const ALPHABET: &[u8] = b"abcxyz019 ,\"";
+        let len = self.index(max_len + 1);
+        (0..len)
+            .map(|_| ALPHABET[self.index(ALPHABET.len())] as char)
+            .collect()
+    }
+}
+
+const CASES: usize = 128;
+
+/// Scales: normalize/denormalize are inverse on the data interval.
+#[test]
+fn scale_roundtrip() {
+    let mut s = Sampler::new(501);
+    for _ in 0..CASES {
+        let min = s.uniform(0.001, 10.0);
+        let span = s.uniform(0.1, 1000.0);
+        let t = s.uniform(0.0, 1.0);
         for scale in [
-            Scale::Linear { min, max: min + span },
-            Scale::Log { min, max: min + span },
+            Scale::Linear {
+                min,
+                max: min + span,
+            },
+            Scale::Log {
+                min,
+                max: min + span,
+            },
         ] {
             let data = scale.denormalize(t);
             let back = scale.normalized(data);
-            prop_assert!((back - t).abs() < 1e-9, "{scale:?}: {t} → {data} → {back}");
+            assert!((back - t).abs() < 1e-9, "{scale:?}: {t} → {data} → {back}");
         }
     }
+}
 
-    /// to_pixel stays in range and is monotone.
-    #[test]
-    fn pixel_mapping_monotone(min in 0.001f64..10.0, span in 0.1f64..1000.0,
-                              a in 0.0f64..1.0, b in 0.0f64..1.0, pixels in 2usize..500) {
-        let scale = Scale::Linear { min, max: min + span };
+/// to_pixel stays in range and is monotone.
+#[test]
+fn pixel_mapping_monotone() {
+    let mut s = Sampler::new(502);
+    for _ in 0..CASES {
+        let min = s.uniform(0.001, 10.0);
+        let span = s.uniform(0.1, 1000.0);
+        let a = s.uniform(0.0, 1.0);
+        let b = s.uniform(0.0, 1.0);
+        let pixels = 2 + s.index(498);
+        let scale = Scale::Linear {
+            min,
+            max: min + span,
+        };
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let pa = scale.to_pixel(scale.denormalize(lo), pixels);
         let pb = scale.to_pixel(scale.denormalize(hi), pixels);
-        prop_assert!(pa <= pb);
-        prop_assert!(pb < pixels);
+        assert!(pa <= pb);
+        assert!(pb < pixels);
     }
+}
 
-    /// CSV quoting roundtrips through a trivial parser for quote-free
-    /// fields and always produces one line per row.
-    #[test]
-    fn csv_shape(rows in prop::collection::vec(
-        prop::collection::vec("[a-z0-9 ,\"]{0,12}", 3..4), 0..8)) {
-        let string_rows: Vec<Vec<String>> = rows
-            .iter()
-            .map(|r| r.iter().map(|c| c.to_string()).collect())
+/// CSV quoting roundtrips through a trivial parser for quote-free
+/// fields and always produces one line per row.
+#[test]
+fn csv_shape() {
+    let mut s = Sampler::new(503);
+    for _ in 0..CASES / 4 {
+        let n_rows = s.index(8);
+        let string_rows: Vec<Vec<String>> = (0..n_rows)
+            .map(|_| (0..3).map(|_| s.cell(12)).collect())
             .collect();
         let csv = to_csv(&["a", "b", "c"], &string_rows);
         // Cells may contain embedded newlines only via quoting — none
         // here — so the line count is rows + header.
-        prop_assert_eq!(csv.lines().count(), string_rows.len() + 1);
-        prop_assert!(csv.starts_with("a,b,c\n"));
+        assert_eq!(csv.lines().count(), string_rows.len() + 1);
+        assert!(csv.starts_with("a,b,c\n"));
     }
+}
 
-    /// Tables: rendered row count is header + separator + rows, and every
-    /// cell string survives rendering.
-    #[test]
-    fn table_preserves_cells(cells in prop::collection::vec("[a-zA-Z0-9]{1,10}", 1..20)) {
+/// Tables: rendered row count is header + separator + rows, and every
+/// cell string survives rendering.
+#[test]
+fn table_preserves_cells() {
+    let mut s = Sampler::new(504);
+    for _ in 0..CASES / 4 {
+        let n_cells = 1 + s.index(19);
+        let cells: Vec<String> = (0..n_cells)
+            .map(|i| format!("cell{i}x{}", s.index(1_000_000)))
+            .collect();
         let mut t = TextTable::new(vec!["value"]);
         t.align(0, Alignment::Right);
         for c in &cells {
             t.row(vec![c.clone()]);
         }
         let rendered = t.render();
-        prop_assert_eq!(rendered.lines().count(), cells.len() + 2);
+        assert_eq!(rendered.lines().count(), cells.len() + 2);
         for c in &cells {
-            prop_assert!(rendered.contains(c.as_str()), "missing {c}");
+            assert!(rendered.contains(c.as_str()), "missing {c}");
         }
         // Markdown form keeps the same data.
         let md = t.render_markdown();
         for c in &cells {
-            prop_assert!(md.contains(c.as_str()));
+            assert!(md.contains(c.as_str()));
         }
     }
 }

@@ -25,7 +25,7 @@ use maly_units::{Centimeters, SquareCentimeters};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DieDimensions {
     width: Centimeters,
     height: Centimeters,

@@ -96,6 +96,7 @@ impl Reticle {
     #[must_use]
     pub fn field_quantization_loss(&self, wafer: &Wafer) -> f64 {
         let per_die = self.dies_per_wafer_partial_fields(wafer).as_f64();
+        // audit:allow(float-cmp): exact zero sentinel for "no dies fit".
         if per_die == 0.0 {
             return 0.0;
         }

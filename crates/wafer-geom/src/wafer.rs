@@ -24,7 +24,7 @@ use maly_units::{Centimeters, SquareCentimeters};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Wafer {
     radius: Centimeters,
     edge_exclusion_cm: f64,
@@ -99,6 +99,8 @@ impl Wafer {
 
     /// Saw-street width in centimeters (zero if unset).
     #[must_use]
+    // audit:allow(bare-f64): zero means "no saw street", which the
+    // positive-only Centimeters newtype cannot represent.
     pub fn saw_street_width_cm(&self) -> f64 {
         self.saw_street_cm
     }

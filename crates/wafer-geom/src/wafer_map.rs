@@ -5,7 +5,7 @@ use maly_units::{DieCount, SquareCentimeters};
 use crate::{DieDimensions, Wafer};
 
 /// One placed die on a wafer, in wafer-centered coordinates (cm).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DieSite {
     /// Grid column index (0-based, leftmost column that holds any die).
     pub column: u32,
@@ -52,7 +52,7 @@ impl DieSite {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WaferMap {
     wafer: Wafer,
     die: DieDimensions,

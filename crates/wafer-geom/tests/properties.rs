@@ -1,97 +1,150 @@
-//! Property-based tests for dies-per-wafer models.
+//! Property-style tests for dies-per-wafer models.
+//!
+//! The workspace builds offline with no external crates, so instead of
+//! proptest strategies these properties are checked over deterministic
+//! pseudo-random samples drawn from a tiny SplitMix64 generator.
 
 use maly_units::{Centimeters, SquareCentimeters};
 use maly_wafer_geom::{approx, maly, raster::RasterPlacement, DieDimensions, Wafer};
-use proptest::prelude::*;
 
-fn wafer_radius() -> impl Strategy<Value = f64> {
-    5.0f64..15.0
-}
+/// Deterministic uniform sampler (SplitMix64).
+struct Sampler(u64);
 
-fn die_edge() -> impl Strategy<Value = f64> {
-    0.3f64..3.0
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Eq. (4) never packs more silicon than the wafer holds.
-    #[test]
-    fn eq4_respects_area_bound(r in wafer_radius(), a in die_edge(), b in die_edge()) {
-        let wafer = Wafer::with_radius(Centimeters::new(r).unwrap());
-        let die = DieDimensions::new(Centimeters::new(a).unwrap(), Centimeters::new(b).unwrap());
-        let n = maly::dies_per_wafer(&wafer, die).as_f64();
-        prop_assert!(n * die.area().value() <= wafer.area().value() + 1e-9);
+impl Sampler {
+    fn new(seed: u64) -> Self {
+        Self(seed)
     }
 
-    /// Raster placement never packs more silicon than the wafer holds and
-    /// all dies fit within the usable radius.
-    #[test]
-    fn raster_respects_geometry(r in wafer_radius(), a in die_edge(), b in die_edge()) {
-        let wafer = Wafer::with_radius(Centimeters::new(r).unwrap());
-        let die = DieDimensions::new(Centimeters::new(a).unwrap(), Centimeters::new(b).unwrap());
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+}
+
+const CASES: usize = 64;
+
+fn cm(v: f64) -> Centimeters {
+    Centimeters::new(v).unwrap()
+}
+
+/// Eq. (4) never packs more silicon than the wafer holds.
+#[test]
+fn eq4_respects_area_bound() {
+    let mut s = Sampler::new(1);
+    for _ in 0..CASES {
+        let r = s.uniform(5.0, 15.0);
+        let (a, b) = (s.uniform(0.3, 3.0), s.uniform(0.3, 3.0));
+        let wafer = Wafer::with_radius(cm(r));
+        let die = DieDimensions::new(cm(a), cm(b));
+        let n = maly::dies_per_wafer(&wafer, die).as_f64();
+        assert!(n * die.area().value() <= wafer.area().value() + 1e-9);
+    }
+}
+
+/// Raster placement never packs more silicon than the wafer holds and
+/// all dies fit within the usable radius.
+#[test]
+fn raster_respects_geometry() {
+    let mut s = Sampler::new(2);
+    for _ in 0..CASES / 4 {
+        let r = s.uniform(5.0, 15.0);
+        let (a, b) = (s.uniform(0.3, 3.0), s.uniform(0.3, 3.0));
+        let wafer = Wafer::with_radius(cm(r));
+        let die = DieDimensions::new(cm(a), cm(b));
         let map = RasterPlacement::new(4).place(&wafer, die);
-        prop_assert!(map.count().as_f64() * die.area().value() <= wafer.area().value() + 1e-9);
+        assert!(map.count().as_f64() * die.area().value() <= wafer.area().value() + 1e-9);
         let (hw, hh) = (die.width().value() / 2.0, die.height().value() / 2.0);
-        for s in map.sites() {
+        for site in map.sites() {
             // Exact criterion: the farthest corner lies inside the circle.
-            let far = (s.center_x.abs() + hw).hypot(s.center_y.abs() + hh);
-            prop_assert!(far <= r + 1e-9);
+            let far = (site.center_x.abs() + hw).hypot(site.center_y.abs() + hh);
+            assert!(far <= r + 1e-9);
         }
     }
+}
 
-    /// Growing the wafer never loses dies (eq. 4).
-    #[test]
-    fn eq4_monotone_in_wafer_radius(r in wafer_radius(), extra in 0.1f64..5.0, e in die_edge()) {
-        let die = DieDimensions::square(Centimeters::new(e).unwrap());
-        let small = maly::dies_per_wafer(&Wafer::with_radius(Centimeters::new(r).unwrap()), die);
-        let large =
-            maly::dies_per_wafer(&Wafer::with_radius(Centimeters::new(r + extra).unwrap()), die);
-        prop_assert!(large >= small);
+/// Growing the wafer never loses dies (eq. 4).
+#[test]
+fn eq4_monotone_in_wafer_radius() {
+    let mut s = Sampler::new(3);
+    for _ in 0..CASES {
+        let r = s.uniform(5.0, 15.0);
+        let extra = s.uniform(0.1, 5.0);
+        let die = DieDimensions::square(cm(s.uniform(0.3, 3.0)));
+        let small = maly::dies_per_wafer(&Wafer::with_radius(cm(r)), die);
+        let large = maly::dies_per_wafer(&Wafer::with_radius(cm(r + extra)), die);
+        assert!(large >= small);
     }
+}
 
-    /// Shrinking a square die never loses dies (eq. 4 on squares).
-    #[test]
-    fn eq4_monotone_in_square_die(e in 0.4f64..3.0, shrink in 0.5f64..0.99) {
+/// Shrinking a square die never loses dies (eq. 4 on squares).
+#[test]
+fn eq4_monotone_in_square_die() {
+    let mut s = Sampler::new(4);
+    for _ in 0..CASES {
+        let e = s.uniform(0.4, 3.0);
+        let shrink = s.uniform(0.5, 0.99);
         let wafer = Wafer::six_inch();
-        let big = DieDimensions::square(Centimeters::new(e).unwrap());
-        let small = DieDimensions::square(Centimeters::new(e * shrink).unwrap());
-        prop_assert!(
-            maly::dies_per_wafer(&wafer, small) >= maly::dies_per_wafer(&wafer, big)
-        );
+        let big = DieDimensions::square(cm(e));
+        let small = DieDimensions::square(cm(e * shrink));
+        assert!(maly::dies_per_wafer(&wafer, small) >= maly::dies_per_wafer(&wafer, big));
     }
+}
 
-    /// The gross area estimate upper-bounds both exact methods.
-    #[test]
-    fn gross_estimate_is_upper_bound(r in wafer_radius(), e in die_edge()) {
-        let wafer = Wafer::with_radius(Centimeters::new(r).unwrap());
-        let die = DieDimensions::square(Centimeters::new(e).unwrap());
+/// The gross area estimate upper-bounds both exact methods.
+#[test]
+fn gross_estimate_is_upper_bound() {
+    let mut s = Sampler::new(5);
+    for _ in 0..CASES / 2 {
+        let wafer = Wafer::with_radius(cm(s.uniform(5.0, 15.0)));
+        let die = DieDimensions::square(cm(s.uniform(0.3, 3.0)));
         let gross = approx::gross_estimate(&wafer, die);
-        prop_assert!(maly::dies_per_wafer(&wafer, die).as_f64() <= gross + 1e-9);
+        assert!(maly::dies_per_wafer(&wafer, die).as_f64() <= gross + 1e-9);
         let raster = RasterPlacement::new(4).place(&wafer, die).count().as_f64();
-        prop_assert!(raster <= gross + 1e-9);
+        assert!(raster <= gross + 1e-9);
     }
+}
 
-    /// For dies small relative to the wafer, eq. (4), the raster optimum and
-    /// the edge-corrected estimate agree within 12%.
-    #[test]
-    fn methods_converge_for_small_dies(area in 0.05f64..0.6) {
+/// For dies small relative to the wafer, eq. (4), the raster optimum and
+/// the edge-corrected estimate agree within 12%.
+#[test]
+fn methods_converge_for_small_dies() {
+    let mut s = Sampler::new(6);
+    for _ in 0..CASES / 2 {
+        let area = s.uniform(0.05, 0.6);
         let wafer = Wafer::six_inch();
         let die = DieDimensions::square_with_area(SquareCentimeters::new(area).unwrap());
         let eq4 = maly::dies_per_wafer(&wafer, die).as_f64();
         let raster = RasterPlacement::new(4).place(&wafer, die).count().as_f64();
         let est = approx::edge_corrected_estimate(&wafer, die);
-        prop_assert!((eq4 - raster).abs() / raster < 0.12, "eq4 {} vs raster {}", eq4, raster);
-        prop_assert!((est - raster).abs() / raster < 0.12, "est {} vs raster {}", est, raster);
+        assert!(
+            (eq4 - raster).abs() / raster < 0.12,
+            "eq4 {eq4} vs raster {raster}"
+        );
+        assert!(
+            (est - raster).abs() / raster < 0.12,
+            "est {est} vs raster {raster}"
+        );
     }
+}
 
-    /// Best-orientation packing is at least as good as either orientation.
-    #[test]
-    fn best_orientation_dominates(a in die_edge(), b in die_edge()) {
+/// Best-orientation packing is at least as good as either orientation.
+#[test]
+fn best_orientation_dominates() {
+    let mut s = Sampler::new(7);
+    for _ in 0..CASES {
+        let (a, b) = (s.uniform(0.3, 3.0), s.uniform(0.3, 3.0));
         let wafer = Wafer::six_inch();
-        let die = DieDimensions::new(Centimeters::new(a).unwrap(), Centimeters::new(b).unwrap());
+        let die = DieDimensions::new(cm(a), cm(b));
         let best = maly::dies_per_wafer_best_orientation(&wafer, die);
-        prop_assert!(best >= maly::dies_per_wafer(&wafer, die));
-        prop_assert!(best >= maly::dies_per_wafer(&wafer, die.rotated()));
+        assert!(best >= maly::dies_per_wafer(&wafer, die));
+        assert!(best >= maly::dies_per_wafer(&wafer, die.rotated()));
     }
 }

@@ -1,0 +1,261 @@
+//! maly-audit — the workspace's self-contained static analysis pass.
+//!
+//! Run as `cargo run -p xtask -- lint`. Four rule families keep the
+//! numeric core honest:
+//!
+//! 1. **panic-freedom** — no `unwrap`/`expect`/`panic!` family calls in
+//!    non-test library code, ratcheted by per-crate budgets so legacy
+//!    sites cannot grow;
+//! 2. **unit-safety** — public signatures in the dimensioned crates
+//!    must not pass bare `f64` where a `maly-units` newtype exists;
+//! 3. **NaN-safety** — no `partial_cmp().unwrap()`, no float ordering
+//!    via `partial_cmp`, no float-literal `==`;
+//! 4. **crate hygiene** — workspace-inherited metadata, `[lints]`
+//!    inheritance, `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]`
+//!    crate roots, no wildcard versions or placeholder URLs.
+//!
+//! Escape hatches are inline comments: `audit:allow(panic)`,
+//! `audit:allow(bare-f64)`, `audit:allow(nan)`,
+//! `audit:allow(float-cmp)` — each expected to carry a justification.
+//! The linter is std-only: it works in fully offline builds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod scan;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{Rule, Violation};
+
+/// Panic ratchet budgets: the number of tolerated panic sites per
+/// crate. These only go DOWN — new code must be panic-free, and paying
+/// down a crate's legacy sites lowers its line here.
+pub const PANIC_BUDGETS: &[(&str, usize)] = &[
+    ("maly-bench", 8),
+    ("maly-cli", 2),
+    ("maly-cost-model", 0),
+    ("maly-cost-optim", 0),
+    ("maly-fabline-sim", 11),
+    ("maly-paper-data", 0),
+    ("maly-repro", 60),
+    ("maly-tech-trend", 3),
+    ("maly-test-economics", 4),
+    ("maly-units", 3),
+    ("maly-viz", 1),
+    ("maly-wafer-geom", 10),
+    ("maly-yield-model", 0),
+    ("silicon-cost", 0),
+    ("xtask", 0),
+];
+
+/// Crates whose public APIs are dimension-checked by the unit-safety
+/// rule (they sit on the Eq. (1)–(9) numeric path).
+pub const UNIT_SAFETY_CRATES: &[&str] = &[
+    "maly-cost-model",
+    "maly-yield-model",
+    "maly-wafer-geom",
+    "maly-test-economics",
+];
+
+/// Per-crate panic accounting for the rendered report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrateStats {
+    /// Crate name from its manifest.
+    pub name: String,
+    /// Non-allowed panic sites found in non-test library code.
+    pub panic_sites: usize,
+    /// The ratchet budget for this crate.
+    pub budget: usize,
+}
+
+/// The full lint result: findings plus the panic-budget table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All rule findings, in deterministic (crate, file) order.
+    pub violations: Vec<Violation>,
+    /// Per-crate panic accounting, sorted by crate name.
+    pub stats: Vec<CrateStats>,
+}
+
+impl Report {
+    /// True when the tree passes: no findings and every crate within
+    /// its panic budget.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "maly-audit: panic sites per crate (sites / budget)");
+        for s in &self.stats {
+            let marker = if s.panic_sites > s.budget {
+                "  OVER"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>3} / {:<3}{marker}",
+                s.name, s.panic_sites, s.budget
+            );
+        }
+        if self.violations.is_empty() {
+            let _ = writeln!(out, "maly-audit: OK — no violations");
+        } else {
+            let _ = writeln!(out, "maly-audit: {} violation(s)", self.violations.len());
+            for v in &self.violations {
+                let _ = writeln!(out, "  {v}");
+            }
+        }
+        out
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for
+/// deterministic reports.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts the `name = "…"` value from a manifest.
+fn package_name(manifest: &str) -> Option<String> {
+    manifest.lines().find_map(|l| {
+        l.trim()
+            .strip_prefix("name = \"")
+            .and_then(|rest| rest.strip_suffix('"'))
+            .map(str::to_string)
+    })
+}
+
+/// Workspace-relative display path.
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+/// Runs the full lint over the workspace rooted at `root`: the root
+/// package plus every crate under `crates/`.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the workspace layout; unreadable
+/// individual files are reported as hygiene violations instead.
+pub fn run_lint(root: &Path) -> io::Result<Report> {
+    let mut crate_dirs = vec![root.to_path_buf()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        members.sort();
+        crate_dirs.extend(members);
+    }
+
+    let mut report = Report::default();
+    for dir in &crate_dirs {
+        let manifest_path = dir.join("Cargo.toml");
+        let manifest_rel = rel(root, &manifest_path);
+        let Ok(manifest) = fs::read_to_string(&manifest_path) else {
+            report.violations.push(Violation {
+                file: manifest_rel,
+                line: 1,
+                rule: Rule::Hygiene,
+                message: "unreadable manifest".to_string(),
+            });
+            continue;
+        };
+        let name = package_name(&manifest).unwrap_or_else(|| manifest_rel.clone());
+        report
+            .violations
+            .extend(rules::check_manifest(&manifest_rel, &manifest));
+
+        // Crate-root source: lib.rs when present, else main.rs.
+        let lib = dir.join("src/lib.rs");
+        let main = dir.join("src/main.rs");
+        let crate_root = if lib.is_file() {
+            Some(lib)
+        } else if main.is_file() {
+            Some(main)
+        } else {
+            None
+        };
+        if let Some(crate_root) = crate_root {
+            if let Ok(text) = fs::read_to_string(&crate_root) {
+                report.violations.extend(rules::check_crate_root_source(
+                    &rel(root, &crate_root),
+                    &text,
+                ));
+            }
+        }
+
+        let mut files = Vec::new();
+        rust_files(&dir.join("src"), &mut files);
+        let mut panic_sites = Vec::new();
+        for file in &files {
+            let file_rel = rel(root, file);
+            let Ok(source) = fs::read_to_string(file) else {
+                continue;
+            };
+            panic_sites.extend(rules::panic_freedom(&file_rel, &source));
+            if UNIT_SAFETY_CRATES.contains(&name.as_str()) {
+                report
+                    .violations
+                    .extend(rules::unit_safety(&file_rel, &source));
+            }
+            report
+                .violations
+                .extend(rules::nan_safety(&file_rel, &source));
+        }
+
+        let budget = PANIC_BUDGETS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, b)| *b);
+        if panic_sites.len() > budget {
+            let sites: Vec<String> = panic_sites
+                .iter()
+                .map(|v| format!("{}:{}", v.file, v.line))
+                .collect();
+            report.violations.push(Violation {
+                file: rel(root, dir),
+                line: 1,
+                rule: Rule::PanicBudget,
+                message: format!(
+                    "crate `{name}` has {} panic site(s), budget {budget}: {}",
+                    sites.len(),
+                    sites.join(", ")
+                ),
+            });
+        }
+        report.stats.push(CrateStats {
+            name,
+            panic_sites: panic_sites.len(),
+            budget,
+        });
+    }
+    report.stats.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(report)
+}

@@ -1,0 +1,40 @@
+//! Entry point: `cargo run -p xtask -- lint` runs the maly-audit
+//! static analysis pass over the whole workspace and exits non-zero on
+//! any violation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Resolves the workspace root from this crate's manifest directory
+/// (`crates/xtask` → two levels up).
+fn workspace_root() -> &'static Path {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.ancestors().nth(2).unwrap_or(Path::new("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => match xtask::run_lint(workspace_root()) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(err) => {
+                eprintln!("maly-audit: I/O error: {err}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! The four lint rule families: panic-freedom, unit-safety,
+//! NaN-safety, and crate hygiene.
+//!
+//! Every rule honors inline escape comments of the form
+//! `// audit:allow(<rule>): <justification>` placed on the offending
+//! line or the comment line directly above it. The detection needles
+//! are assembled with `concat!` so the linter's own sources never
+//! contain them verbatim and the workspace scan stays self-clean.
+
+use crate::scan::classify;
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule family fired.
+    pub rule: Rule,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.as_str(),
+            self.message
+        )
+    }
+}
+
+/// The rule families maly-audit enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Panicking call in non-test library code.
+    Panic,
+    /// A crate exceeded its panic ratchet budget.
+    PanicBudget,
+    /// Bare `f64` crossing a public API where a newtype exists.
+    UnitSafety,
+    /// NaN-hazardous float comparison or ordering.
+    NanSafety,
+    /// Manifest or crate-root hygiene problem.
+    Hygiene,
+}
+
+impl Rule {
+    /// Short identifier used in rendered reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::PanicBudget => "panic-budget",
+            Rule::UnitSafety => "bare-f64",
+            Rule::NanSafety => "nan",
+            Rule::Hygiene => "hygiene",
+        }
+    }
+}
+
+/// True when `comment` carries the escape tag for `what`
+/// (`audit:allow(<what>)`).
+fn contains_allow(comment: &str, what: &str) -> bool {
+    comment.contains(&format!("audit:allow({what})"))
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: panic-freedom
+// ---------------------------------------------------------------------
+
+/// Finds panicking calls (`unwrap`, `expect`, `panic!`, `unreachable!`,
+/// `todo!`, `unimplemented!`) in non-test code, skipping sites tagged
+/// `audit:allow(panic)`.
+#[must_use]
+pub fn panic_freedom(file: &str, source: &str) -> Vec<Violation> {
+    let needles: [(&str, &str); 6] = [
+        (concat!(".un", "wrap()"), "unwrap"),
+        (concat!(".ex", "pect("), "expect"),
+        (concat!("pa", "nic!("), "panic!"),
+        (concat!("unre", "achable!("), "unreachable!"),
+        (concat!("to", "do!("), "todo!"),
+        (concat!("unimpl", "emented!("), "unimplemented!"),
+    ];
+    let mut out = Vec::new();
+    let mut allow_next = false;
+    for line in classify(source) {
+        if line.in_test {
+            continue;
+        }
+        let comment_has = contains_allow(line.comment, "panic");
+        if line.code.trim().is_empty() {
+            // Comment-only and blank lines carry the allow tag forward.
+            if comment_has {
+                allow_next = true;
+            }
+            continue;
+        }
+        let allowed = comment_has || allow_next;
+        allow_next = false;
+        if allowed {
+            continue;
+        }
+        for (needle, label) in needles {
+            if line.code.contains(needle) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: line.number,
+                    rule: Rule::Panic,
+                    message: format!(
+                        "`{label}` in library code; return a Result or tag audit:allow(panic)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: unit-safety
+// ---------------------------------------------------------------------
+
+/// Parameter names that legitimately stay `f64`: exponents, fractions,
+/// coordinates, and other dimensionless model knobs.
+pub const DIMENSIONLESS_NAMES: &[&str] = &[
+    "x",
+    "y",
+    "z",
+    "p",
+    "q",
+    "k",
+    "c",
+    "t",
+    "alpha",
+    "beta",
+    "step",
+    "steps",
+    "fraction",
+    "ratio",
+    "aspect_ratio",
+    "coverage",
+    "months",
+    "year",
+    "years",
+    "mean",
+    "shape",
+    "scale",
+    "level",
+    "levels",
+    "exponent",
+    "kill_fraction",
+    "support_fraction",
+    "vectors_per_second",
+    "samples",
+    "tau_months",
+    "sigma",
+    "spec_low",
+    "spec_high",
+    "area_overhead",
+    "tester_time_factor",
+    "smart_rework_discount",
+];
+
+/// Function-name suffixes that promise a unit; returning bare `f64`
+/// from these is a violation (the newtype should carry the unit).
+const UNIT_RETURN_SUFFIXES: &[&str] = &["_cm", "_cm2", "_mm", "_um", "_dollars", "_micro_dollars"];
+
+/// Flags `pub fn` signatures that take or return bare `f64` where a
+/// maly-units newtype exists, honoring `audit:allow(bare-f64)` and the
+/// [`DIMENSIONLESS_NAMES`] parameter allowlist.
+#[must_use]
+pub fn unit_safety(file: &str, source: &str) -> Vec<Violation> {
+    let lines = classify(source);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = &lines[i];
+        let trimmed = line.code.trim_start();
+        let is_pub_fn = !line.in_test
+            && (trimmed.starts_with("pub fn ") || trimmed.starts_with("pub const fn "));
+        if !is_pub_fn {
+            i += 1;
+            continue;
+        }
+        let mut allowed = contains_allow(line.comment, "bare-f64");
+        // Walk up through the contiguous comment block above the
+        // signature looking for the escape tag.
+        let mut k = i;
+        while let Some(prev) = k.checked_sub(1).and_then(|j| lines.get(j)) {
+            if !prev.code.trim().is_empty() || prev.comment.is_empty() {
+                break;
+            }
+            if contains_allow(prev.comment, "bare-f64") {
+                allowed = true;
+                break;
+            }
+            k -= 1;
+        }
+        // Accumulate the signature until the body `{` or a trailing `;`.
+        let mut sig = String::new();
+        let mut j = i;
+        while let Some(l) = lines.get(j) {
+            if j >= i + 16 {
+                break;
+            }
+            if contains_allow(l.comment, "bare-f64") {
+                allowed = true;
+            }
+            if let Some(pos) = l.code.find('{') {
+                sig.push_str(&l.code[..pos]);
+                break;
+            }
+            sig.push_str(l.code);
+            sig.push(' ');
+            if l.code.trim_end().ends_with(';') {
+                break;
+            }
+            j += 1;
+        }
+        if !allowed {
+            analyze_signature(file, line.number, &sig, &mut out);
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Splits a parameter list on top-level commas (parens, brackets, and
+/// angle brackets protect nested commas).
+fn split_top_level(params: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut start = 0;
+    for (idx, ch) in params.char_indices() {
+        match ch {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            '<' => angle += 1,
+            '>' => angle = (angle - 1).max(0),
+            ',' if depth == 0 && angle == 0 => {
+                out.push(&params[start..idx]);
+                start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&params[start..]);
+    out
+}
+
+/// Checks one accumulated `pub fn` signature for bare-`f64` crossings.
+fn analyze_signature(file: &str, line: usize, sig: &str, out: &mut Vec<Violation>) {
+    let Some(fn_pos) = sig.find("fn ") else {
+        return;
+    };
+    let rest = &sig[fn_pos + 3..];
+    let Some(paren) = rest.find('(') else {
+        return;
+    };
+    let raw_name = rest[..paren].trim();
+    let fn_name = raw_name.split('<').next().unwrap_or(raw_name).trim();
+    let params_src = &rest[paren + 1..];
+    let mut depth = 1i32;
+    let mut close = None;
+    for (idx, ch) in params_src.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(idx);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(close) = close else {
+        return;
+    };
+    for param in split_top_level(&params_src[..close]) {
+        let p = param.trim();
+        if p.is_empty() || p.ends_with("self") || p.starts_with('(') {
+            continue;
+        }
+        let Some((pat, ty)) = p.split_once(':') else {
+            continue;
+        };
+        let name = pat.trim().trim_start_matches("mut ").trim();
+        if ty.trim() == "f64" && !DIMENSIONLESS_NAMES.contains(&name) {
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: Rule::UnitSafety,
+                message: format!(
+                    "`{fn_name}` takes bare `f64` parameter `{name}`; use a maly-units \
+                     newtype, add it to DIMENSIONLESS_NAMES, or tag audit:allow(bare-f64)"
+                ),
+            });
+        }
+    }
+    let after = params_src[close + 1..].trim_start();
+    if let Some(ret) = after.strip_prefix("->") {
+        let ret = ret.trim();
+        if ret == "f64"
+            && UNIT_RETURN_SUFFIXES
+                .iter()
+                .any(|suffix| fn_name.ends_with(suffix))
+        {
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: Rule::UnitSafety,
+                message: format!(
+                    "`{fn_name}` promises a unit in its name but returns bare `f64`; \
+                     return the maly-units newtype or tag audit:allow(bare-f64)"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: NaN-safety
+// ---------------------------------------------------------------------
+
+/// Flags NaN-hazardous float handling: `partial_cmp(..).unwrap()`,
+/// `sort_by`/`min_by`/`max_by` closures built on `partial_cmp`, and
+/// `==` against float literals. `total_cmp` is the sanctioned fix; the
+/// escape tags are `audit:allow(nan)` and `audit:allow(float-cmp)`.
+#[must_use]
+pub fn nan_safety(file: &str, source: &str) -> Vec<Violation> {
+    let partial = concat!(".partial_", "cmp(");
+    let unwrap = concat!(".un", "wrap()");
+    let order_by = [
+        concat!("sort_", "by("),
+        concat!("min_", "by("),
+        concat!("max_", "by("),
+    ];
+    let lines = classify(source);
+    let mut out = Vec::new();
+    let mut allow_nan_next = false;
+    let mut allow_float_next = false;
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if line.code.trim().is_empty() {
+            // Comment-only and blank lines carry the tags forward.
+            allow_nan_next |= contains_allow(line.comment, "nan");
+            allow_float_next |= contains_allow(line.comment, "float-cmp");
+            continue;
+        }
+        let nan_allowed = allow_nan_next || contains_allow(line.comment, "nan");
+        let float_allowed = allow_float_next || contains_allow(line.comment, "float-cmp");
+        allow_nan_next = false;
+        allow_float_next = false;
+        if !nan_allowed {
+            if line.code.contains(partial) && line.code.contains(unwrap) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: line.number,
+                    rule: Rule::NanSafety,
+                    message: "unwrapped partial_cmp panics on NaN; use f64::total_cmp".to_string(),
+                });
+            }
+            if order_by.iter().any(|needle| line.code.contains(needle)) {
+                let window: String = lines[i..lines.len().min(i + 4)]
+                    .iter()
+                    .map(|l| l.code)
+                    .collect();
+                if window.contains(partial) {
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line: line.number,
+                        rule: Rule::NanSafety,
+                        message: "ordering floats via partial_cmp is NaN-unstable; \
+                                  use f64::total_cmp"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        if !float_allowed {
+            for pair in float_eq_sites(line.code) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: line.number,
+                    rule: Rule::NanSafety,
+                    message: format!(
+                        "float literal equality `{pair}` is exact-comparison fragile; \
+                         compare with a tolerance or tag audit:allow(float-cmp)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True for tokens that look like float literals (`0.0`, `1.5e3`).
+fn is_float_literal(token: &str) -> bool {
+    let t = token.trim_end_matches("f64").trim_end_matches("f32");
+    !t.is_empty()
+        && t.starts_with(|c: char| c.is_ascii_digit())
+        && t.contains('.')
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '_' | 'e' | 'E' | '+' | '-'))
+}
+
+/// Extracts `lhs == rhs` token pairs where either side is a float
+/// literal.
+fn float_eq_sites(code: &str) -> Vec<String> {
+    let token_char = |c: char| c.is_ascii_alphanumeric() || matches!(c, '.' | '_');
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("==") {
+        let abs = from + pos;
+        let left: String = code[..abs]
+            .trim_end()
+            .chars()
+            .rev()
+            .take_while(|&c| token_char(c))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        let right: String = code[abs + 2..]
+            .trim_start()
+            .chars()
+            .take_while(|&c| token_char(c))
+            .collect();
+        if is_float_literal(&left) || is_float_literal(&right) {
+            found.push(format!("{left} == {right}"));
+        }
+        from = abs + 2;
+    }
+    found
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: crate hygiene
+// ---------------------------------------------------------------------
+
+/// Substrings that mark a placeholder `repository` URL.
+const REPOSITORY_PLACEHOLDERS: &[&str] = &["example.com", "TODO", "CHANGEME", "your-org"];
+
+/// Checks one `Cargo.toml` for workspace-inheritance hygiene: inherited
+/// version/edition/license, a non-empty description, `[lints]`
+/// inheritance, no wildcard dependency versions, and no placeholder
+/// repository URL.
+#[must_use]
+pub fn check_manifest(file: &str, text: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut push = |line: usize, message: String| {
+        out.push(Violation {
+            file: file.to_string(),
+            line,
+            rule: Rule::Hygiene,
+            message,
+        });
+    };
+
+    for key in ["version", "edition", "license"] {
+        let inherited = text.contains(&format!("{key}.workspace = true"))
+            || text.contains(&format!("{key} = {{ workspace = true }}"));
+        if !inherited {
+            push(1, format!("manifest does not inherit workspace `{key}`"));
+        }
+    }
+
+    let has_description = text.lines().any(|l| {
+        let t = l.trim();
+        t.strip_prefix("description = \"")
+            .is_some_and(|rest| rest.trim_end_matches('"').len() > 1)
+    });
+    if !has_description {
+        push(1, "manifest has no `description`".to_string());
+    }
+
+    let mut lints_ok = false;
+    let mut in_lints = false;
+    for l in text.lines() {
+        let t = l.trim();
+        if t.starts_with('[') {
+            in_lints = t == "[lints]";
+        } else if in_lints && t == "workspace = true" {
+            lints_ok = true;
+        }
+    }
+    if !lints_ok {
+        push(
+            1,
+            "manifest does not inherit `[lints] workspace = true`".to_string(),
+        );
+    }
+
+    for (idx, l) in text.lines().enumerate() {
+        let t = l.trim();
+        if t.contains("= \"*\"") || t.contains("version = \"*\"") {
+            push(idx + 1, "wildcard dependency version".to_string());
+        }
+        if t.starts_with("repository = \"") && REPOSITORY_PLACEHOLDERS.iter().any(|p| t.contains(p))
+        {
+            push(idx + 1, "placeholder `repository` URL".to_string());
+        }
+    }
+    out
+}
+
+/// Checks a crate-root source file for the mandatory lint headers.
+#[must_use]
+pub fn check_crate_root_source(file: &str, text: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for attr in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+        if !text.contains(attr) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: 1,
+                rule: Rule::Hygiene,
+                message: format!("crate root is missing `{attr}`"),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,177 @@
+//! Source preprocessing: splits Rust sources into classified lines so
+//! the rule passes can reason about code, comments, and `#[cfg(test)]`
+//! regions without a full parser.
+//!
+//! The classifier is deliberately line-oriented and heuristic — it
+//! tracks string literals well enough to find trailing `//` comments
+//! and counts braces well enough to skip test modules. That covers the
+//! idioms this workspace actually uses; it is not a general Rust lexer.
+
+/// One physical source line, classified for the rule passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line<'a> {
+    /// 1-based line number in the file.
+    pub number: usize,
+    /// The code portion: everything before a trailing `//` comment.
+    /// Empty for pure comment lines (`//`, `///`, `//!`).
+    pub code: &'a str,
+    /// The trailing comment including its `//` marker, or `""`.
+    pub comment: &'a str,
+    /// True when the line sits inside a `#[cfg(test)]`-gated block.
+    pub in_test: bool,
+}
+
+/// Splits a line into its code and trailing-comment portions, honoring
+/// string literals (a `//` inside a `"…"` does not start a comment).
+fn split_comment(line: &str) -> (&str, &str) {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+        } else if b == b'"' {
+            in_string = true;
+        } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            return (&line[..i], &line[i..]);
+        }
+        i += 1;
+    }
+    (line, "")
+}
+
+/// Net brace balance of a code fragment (`{` minus `}`), ignoring
+/// braces inside string literals.
+fn brace_delta(code: &str) -> i64 {
+    let mut delta = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for b in code.bytes() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'{' => delta += 1,
+                b'}' => delta -= 1,
+                _ => {}
+            }
+        }
+    }
+    delta
+}
+
+/// Tracks whether the scanner currently sits inside a test-gated item.
+enum TestState {
+    /// Regular library code.
+    Out,
+    /// Saw `#[cfg(test)]`; waiting for the gated item's opening brace.
+    Pending,
+    /// Inside the gated block, with the current brace depth.
+    In(i64),
+}
+
+/// Classifies every line of `source`. Lines belonging to a
+/// `#[cfg(test)]` item (attribute line included) carry `in_test: true`.
+#[must_use]
+pub fn classify(source: &str) -> Vec<Line<'_>> {
+    let mut out = Vec::new();
+    let mut state = TestState::Out;
+    for (idx, raw) in source.lines().enumerate() {
+        let (code, comment) = split_comment(raw);
+        let trimmed = code.trim();
+        let mut in_test = !matches!(state, TestState::Out);
+
+        match state {
+            TestState::Out => {
+                if trimmed.starts_with("#[cfg(test)]") {
+                    in_test = true;
+                    state = TestState::Pending;
+                }
+            }
+            TestState::Pending => {
+                let delta = brace_delta(code);
+                if delta > 0 {
+                    state = TestState::In(delta);
+                } else if trimmed.ends_with(';') {
+                    // The attribute gated a single braceless item
+                    // (e.g. `#[cfg(test)] use …;`): this line ends it.
+                    state = TestState::Out;
+                }
+            }
+            TestState::In(depth) => {
+                let depth = depth + brace_delta(code);
+                state = if depth <= 0 {
+                    TestState::Out
+                } else {
+                    TestState::In(depth)
+                };
+            }
+        }
+
+        out.push(Line {
+            number: idx + 1,
+            code,
+            comment,
+            in_test,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_split_off() {
+        let lines = classify("let a = 1; // trailing\n/// doc\ncode();\n");
+        assert_eq!(lines[0].code, "let a = 1; ");
+        assert_eq!(lines[0].comment, "// trailing");
+        assert_eq!(lines[1].code, "");
+        assert!(lines[1].comment.starts_with("///"));
+        assert_eq!(lines[2].code, "code();");
+    }
+
+    #[test]
+    fn slashes_inside_strings_are_not_comments() {
+        let lines = classify(r#"let url = "http://x"; // real"#);
+        assert_eq!(lines[0].code, r#"let url = "http://x"; "#);
+        assert_eq!(lines[0].comment, "// real");
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let lines = classify(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}\n";
+        let lines = classify(src);
+        assert!(lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(!lines[2].in_test);
+    }
+}

@@ -45,7 +45,7 @@ use crate::defects::DefectSizeDistribution;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParallelLines {
     width: Microns,
     spacing: Microns,
@@ -173,7 +173,7 @@ impl ParallelLines {
         let mut acc = 0.0;
         for i in 0..n {
             let r = (i as f64 + 0.5) * dr;
-            let radius = Microns::new(r).expect("positive by construction");
+            let radius = Microns::clamped(r);
             acc += area_of(radius) * dist.pdf(radius) * dr;
         }
         acc
@@ -232,8 +232,7 @@ pub fn effective_kill_density(
     // Half the population is extra material (shorts), half missing
     // (opens) — the conventional even split.
     let kill_fraction = 0.5 * short_fraction + 0.5 * open_fraction;
-    maly_units::DefectDensity::new((physical.value() * kill_fraction).max(1e-300))
-        .expect("positive by construction")
+    maly_units::DefectDensity::clamped((physical.value() * kill_fraction).max(1e-300))
 }
 
 /// Empirical acceleration exponent: fits `D_kill(λ) ∝ λ^{−q}` over
@@ -259,8 +258,7 @@ pub fn kill_density_acceleration(
     let points: Vec<(f64, f64)> = nodes_um
         .iter()
         .map(|&l| {
-            let layout =
-                ParallelLines::at_minimum_rules(Microns::new(l).expect("positive node"), region);
+            let layout = ParallelLines::at_minimum_rules(Microns::clamped(l), region);
             let d = effective_kill_density(&layout, dist, physical);
             (l.ln(), d.value().ln())
         })
@@ -274,7 +272,7 @@ pub fn kill_density_acceleration(
 }
 
 /// Electrical polarity of a spot defect.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DefectPolarity {
     /// Extra conducting material: causes shorts between wires.
     ExtraMaterial,
@@ -289,7 +287,7 @@ pub enum DefectPolarity {
 /// Serves as an independent check of the closed forms (the geometry test
 /// knows nothing about "bands").
 #[must_use]
-pub fn monte_carlo_fault_probability<R: rand::Rng + ?Sized>(
+pub fn monte_carlo_fault_probability<R: crate::prng::UniformSource + ?Sized>(
     layout: &ParallelLines,
     r: Microns,
     polarity: DefectPolarity,
@@ -311,7 +309,7 @@ pub fn monte_carlo_fault_probability<R: rand::Rng + ?Sized>(
     let reach = (radius / pitch).ceil() as i64 + 1;
     let mut faults = 0u32;
     for _ in 0..samples {
-        let y: f64 = rng.gen::<f64>() * height;
+        let y: f64 = rng.next_f64() * height;
         let idx = (y / pitch).floor() as i64;
         let mut is_fault = false;
         for k in (idx - reach)..=(idx + reach) {
@@ -354,7 +352,7 @@ impl ParallelLines {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use crate::prng::Xoshiro256PlusPlus;
 
     fn um(v: f64) -> Microns {
         Microns::new(v).unwrap()
@@ -433,7 +431,7 @@ mod tests {
         let l = layout(0.8);
         let r = um(1.0);
         let analytic = l.fault_probability(r, DefectPolarity::ExtraMaterial);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
         let mc =
             monte_carlo_fault_probability(&l, r, DefectPolarity::ExtraMaterial, 200_000, &mut rng);
         assert!(
@@ -472,7 +470,7 @@ mod tests {
         let l = layout(0.8);
         let r = um(0.9);
         let analytic = l.fault_probability(r, DefectPolarity::MissingMaterial);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
         let mc = monte_carlo_fault_probability(
             &l,
             r,

@@ -39,7 +39,7 @@ use maly_units::{Microns, UnitError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DefectSizeDistribution {
     /// Peak radius `R₀` (µm).
     r0: f64,
@@ -94,7 +94,7 @@ impl DefectSizeDistribution {
     /// Peak radius `R₀`.
     #[must_use]
     pub fn peak_radius(&self) -> Microns {
-        Microns::new(self.r0).expect("validated at construction")
+        Microns::clamped(self.r0)
     }
 
     /// Falling exponent `p`.
@@ -165,8 +165,8 @@ impl DefectSizeDistribution {
 
     /// Draws a random radius by inverse-transform sampling.
     #[must_use]
-    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Microns {
-        let u: f64 = rng.gen();
+    pub fn sample<R: crate::prng::UniformSource + ?Sized>(&self, rng: &mut R) -> Microns {
+        let u: f64 = rng.next_f64();
         let p_below = self.peak * self.r0 / (self.q + 1.0);
         let r = if u < p_below {
             // Invert the body: u = peak·r^{q+1}/((q+1)·R0^q)
@@ -177,7 +177,7 @@ impl DefectSizeDistribution {
             (surv * (self.p - 1.0) / (self.peak * self.r0.powf(self.p))).powf(1.0 / (1.0 - self.p))
         };
         // Guard the r = 0 corner (u = 0) — the unit type requires positive.
-        Microns::new(r.max(1e-12)).expect("positive radius")
+        Microns::clamped(r.max(1e-12))
     }
 
     /// Ratio of fatal-defect populations when the fatal threshold scales
@@ -196,7 +196,7 @@ impl DefectSizeDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use crate::prng::Xoshiro256PlusPlus;
 
     fn um(v: f64) -> Microns {
         Microns::new(v).unwrap()
@@ -270,7 +270,7 @@ mod tests {
     #[test]
     fn sampling_matches_cdf() {
         let d = classic();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
         let n = 50_000;
         let mut below_r0 = 0usize;
         let mut below_1um = 0usize;

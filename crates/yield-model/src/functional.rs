@@ -7,7 +7,7 @@ use crate::YieldModel;
 /// Converts an "expected faults per die" exponent into a probability,
 /// guarding against rounding excursions outside `[0, 1]`.
 fn prob(value: f64) -> Probability {
-    Probability::new(value.clamp(0.0, 1.0)).expect("clamped value is a probability")
+    Probability::clamped(value)
 }
 
 /// The standard Poisson yield model, eq. (6): `Y = exp(−A_ch · D₀)`.
@@ -29,7 +29,7 @@ fn prob(value: f64) -> Probability {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoissonYield {
     d0: DefectDensity,
 }
@@ -75,7 +75,7 @@ impl YieldModel for PoissonYield {
 ///
 /// Derived by averaging the Poisson model over a triangular distribution
 /// of defect densities; less pessimistic than Poisson for large dies.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MurphyYield {
     d0: DefectDensity,
 }
@@ -109,7 +109,7 @@ impl YieldModel for MurphyYield {
 ///
 /// The exponential-density-mixture limit; the most optimistic classical
 /// model (equivalent to negative binomial with `α = 1`).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeedsYield {
     d0: DefectDensity,
 }
@@ -156,7 +156,7 @@ impl YieldModel for SeedsYield {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NegativeBinomialYield {
     d0: DefectDensity,
     alpha: f64,
@@ -210,7 +210,7 @@ impl YieldModel for NegativeBinomialYield {
 /// With `A_ch = N_tr·d_d·λ²` this is exactly the printed
 /// `Y = exp(−N_tr·d_d·D/λ^{p−2})` (the µm²→cm² conversion is absorbed
 /// into `D`, as the paper's calibrated constants do).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScaledPoissonYield {
     d_ref: f64,
     p: f64,
@@ -228,6 +228,8 @@ impl ScaledPoissonYield {
     /// Returns an error unless `d_ref > 0` and `p > 2` are finite
     /// (`p ≤ 2` would make shrinking *reduce* the fault count, which
     /// contradicts the defect physics of Fig. 5).
+    // audit:allow(bare-f64): eq. (7)'s D carries units that depend on the
+    // exponent p (defects/cm^2/um^p); no fixed newtype fits it.
     pub fn new(d_ref: f64, p: f64, lambda: Microns) -> Result<Self, maly_units::UnitError> {
         if !d_ref.is_finite() || d_ref <= 0.0 {
             return Err(maly_units::UnitError::NotPositive {
@@ -259,8 +261,7 @@ impl ScaledPoissonYield {
     /// Effective defect density `D/λ^p` at this model's feature size.
     #[must_use]
     pub fn effective_density(&self) -> DefectDensity {
-        DefectDensity::new(self.d_ref / self.lambda.value().powf(self.p))
-            .expect("positive density and positive lambda")
+        DefectDensity::clamped(self.d_ref / self.lambda.value().powf(self.p))
     }
 
     /// The feature size λ.
@@ -287,7 +288,7 @@ impl YieldModel for ScaledPoissonYield {
 /// `Y₀` is the yield of a reference die of area `A₀` (1 cm² in the
 /// paper). Algebraically identical to Poisson with
 /// `D₀ = −ln(Y₀)/A₀`, but stated the way fab engineers quote yields.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaScaledYield {
     y0: Probability,
     a0: SquareCentimeters,
@@ -303,7 +304,8 @@ impl AreaScaledYield {
     /// Reference area of 1 cm², the paper's `A₀`.
     #[must_use]
     pub fn per_square_centimeter(y0: Probability) -> Self {
-        Self::new(y0, SquareCentimeters::new(1.0).expect("1 cm² is positive"))
+        const A0: SquareCentimeters = SquareCentimeters::const_new(1.0);
+        Self::new(y0, A0)
     }
 
     /// The reference yield `Y₀`.
@@ -333,7 +335,7 @@ impl YieldModel for AreaScaledYield {
 }
 
 /// The 100%-yield idealization of Scenario #1 (Assumption S1.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PerfectYield;
 
 impl PerfectYield {
@@ -355,7 +357,7 @@ impl YieldModel for PerfectYield {
 ///
 /// The parametric factor is area-independent here (global disturbances
 /// affect the whole die equally), supplied as a fixed probability.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompositeYield<F> {
     functional: F,
     parametric: Probability,

@@ -39,7 +39,7 @@ use crate::{PoissonYield, YieldModel};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LearningCurve {
     start: DefectDensity,
     mature: DefectDensity,
@@ -92,8 +92,7 @@ impl LearningCurve {
             "maturity must be non-negative, got {months}"
         );
         let excess = self.start.value() - self.mature.value();
-        DefectDensity::new(self.mature.value() + excess * (-months / self.tau_months).exp())
-            .expect("bounded between mature and start, both positive")
+        DefectDensity::clamped(self.mature.value() + excess * (-months / self.tau_months).exp())
     }
 
     /// Die yield after `months` of learning (Poisson on the learned
@@ -152,7 +151,7 @@ impl LearningCurve {
                 self.yield_at(t, die_area).value()
             })
             .sum();
-        Probability::new((total / samples as f64).clamp(0.0, 1.0)).expect("mean of probabilities")
+        Probability::clamped(total / samples as f64)
     }
 
     /// Extra silicon cost of the ramp, relative to producing the same
@@ -166,14 +165,15 @@ impl LearningCurve {
         months: f64,
         die_area: SquareCentimeters,
         raw_die_cost: Dollars,
+        // audit:allow(bare-f64): fractional production volume; DieCount is
+        // an integral per-wafer count, not a ramp volume.
         dies_ramped: f64,
     ) -> Dollars {
         let ramp_yield = self.average_ramp_yield(months, die_area).value();
         let mature_yield = PoissonYield::new(self.mature).die_yield(die_area).value();
         let per_good_ramp = raw_die_cost.value() / ramp_yield;
         let per_good_mature = raw_die_cost.value() / mature_yield;
-        Dollars::new(((per_good_ramp - per_good_mature) * dies_ramped).max(0.0))
-            .expect("non-negative premium")
+        Dollars::clamped((per_good_ramp - per_good_mature) * dies_ramped)
     }
 }
 

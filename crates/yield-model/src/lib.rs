@@ -48,6 +48,7 @@ mod functional;
 pub mod learning;
 pub mod monte_carlo;
 pub mod parametric;
+pub mod prng;
 pub mod redundancy;
 pub mod sampling;
 

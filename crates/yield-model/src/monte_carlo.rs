@@ -12,14 +12,14 @@
 //! Running both against their closed forms is the crate's strongest
 //! validation: the analytic models and the simulator share no code.
 
+use crate::prng::UniformSource;
 use maly_units::{DefectDensity, Probability, SquareCentimeters};
 use maly_wafer_geom::WaferMap;
-use rand::Rng;
 
 use crate::{sampling, YieldModel as _};
 
 /// Spatial arrival model for killing defects.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DefectArrival {
     /// Homogeneous Poisson field with the given mean density.
     Uniform {
@@ -62,7 +62,7 @@ impl DefectArrival {
 }
 
 /// Result of a wafer-yield simulation.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationResult {
     /// Number of simulated wafers.
     pub wafers: u32,
@@ -88,8 +88,7 @@ impl SimulationResult {
         if total == 0 {
             return Probability::ONE;
         }
-        Probability::new((self.good_dies as f64 / total as f64).clamp(0.0, 1.0))
-            .expect("clamped ratio")
+        Probability::clamped(self.good_dies as f64 / total as f64)
     }
 
     /// Mean yield of the sites whose center lies within `fraction` of
@@ -151,7 +150,7 @@ impl SimulationResult {
 ///     &Wafer::six_inch(),
 ///     DieDimensions::square(Centimeters::new(1.0)?),
 /// );
-/// let mut rng = rand::thread_rng();
+/// let mut rng = maly_yield_model::prng::Xoshiro256PlusPlus::seed_from_u64(42);
 /// let result = simulate(
 ///     &map,
 ///     DefectArrival::Uniform { density: DefectDensity::new(0.5)? },
@@ -164,7 +163,7 @@ impl SimulationResult {
 /// # }
 /// ```
 #[must_use]
-pub fn simulate<R: Rng + ?Sized>(
+pub fn simulate<R: UniformSource + ?Sized>(
     map: &WaferMap,
     arrival: DefectArrival,
     wafers: u32,
@@ -196,8 +195,8 @@ pub fn simulate<R: Rng + ?Sized>(
             // Rejection-sample a point in the wafer disk, biased by the
             // arrival model's radial intensity profile where applicable.
             let (x, y) = loop {
-                let x = (rng.gen::<f64>() * 2.0 - 1.0) * r_w;
-                let y = (rng.gen::<f64>() * 2.0 - 1.0) * r_w;
+                let x = (rng.next_f64() * 2.0 - 1.0) * r_w;
+                let y = (rng.next_f64() * 2.0 - 1.0) * r_w;
                 let rr = x * x + y * y;
                 if rr > r_w * r_w {
                     continue;
@@ -212,7 +211,7 @@ pub fn simulate<R: Rng + ?Sized>(
                     // already carries via the mean density.
                     let m = edge_multiplier.max(1.0);
                     let accept = (1.0 + (m - 1.0) * rr / (r_w * r_w)) / m;
-                    if rng.gen::<f64>() > accept {
+                    if rng.next_f64() > accept {
                         continue;
                     }
                 }
@@ -270,10 +269,10 @@ pub fn analytic_clustered_yield(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prng::Xoshiro256PlusPlus;
     use crate::YieldModel;
     use maly_units::Centimeters;
     use maly_wafer_geom::{raster::RasterPlacement, DieDimensions, Wafer};
-    use rand::SeedableRng;
 
     fn map_with_die(edge_cm: f64) -> WaferMap {
         RasterPlacement::default().place(
@@ -282,8 +281,8 @@ mod tests {
         )
     }
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(seed)
     }
 
     #[test]

@@ -25,7 +25,7 @@ use maly_units::{Probability, UnitError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessParameter {
     name: String,
     mean: f64,
@@ -88,7 +88,7 @@ impl ProcessParameter {
     pub fn in_spec_probability(&self) -> Probability {
         let hi = normal_cdf((self.spec_high - self.mean) / self.sigma);
         let lo = normal_cdf((self.spec_low - self.mean) / self.sigma);
-        Probability::new((hi - lo).clamp(0.0, 1.0)).expect("clamped")
+        Probability::clamped(hi - lo)
     }
 
     /// Process capability index `C_pk = min(hi−μ, μ−lo) / (3σ)` — the
@@ -118,7 +118,7 @@ impl ProcessParameter {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ParametricYield {
     parameters: Vec<ProcessParameter>,
 }

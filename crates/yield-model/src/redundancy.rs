@@ -34,7 +34,7 @@ use crate::YieldModel;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RedundantArrayYield<M> {
     base: M,
     required: u32,
@@ -124,16 +124,14 @@ impl<M: YieldModel> RedundantArrayYield<M> {
         let total_blocks = f64::from(self.required + self.spares);
         let block_area = array_area / total_blocks;
         let block_yield = if block_area > 0.0 {
-            self.base
-                .die_yield(SquareCentimeters::new(block_area).expect("positive block area"))
+            self.base.die_yield(SquareCentimeters::clamped(block_area))
         } else {
             Probability::ONE
         };
         let support_yield = if self.support_fraction > 0.0 {
-            self.base.die_yield(
-                SquareCentimeters::new(die_area.value() * self.support_fraction)
-                    .expect("positive support area"),
-            )
+            self.base.die_yield(SquareCentimeters::clamped(
+                die_area.value() * self.support_fraction,
+            ))
         } else {
             Probability::ONE
         };
@@ -151,7 +149,7 @@ impl<M: YieldModel> YieldModel for RedundantArrayYield<M> {
         for k in 0..=self.spares {
             p_repairable += binomial_pmf(total, k, p_bad);
         }
-        Probability::new(p_repairable.clamp(0.0, 1.0)).expect("clamped") * support_yield
+        Probability::clamped(p_repairable) * support_yield
     }
 }
 

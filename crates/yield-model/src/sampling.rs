@@ -4,7 +4,7 @@
 //! Poisson, normal and gamma variates needed here are implemented from
 //! first principles and validated against their analytic moments in tests.
 
-use rand::Rng;
+use crate::prng::UniformSource;
 
 /// Draws a Poisson-distributed count with the given mean.
 ///
@@ -16,11 +16,12 @@ use rand::Rng;
 ///
 /// Panics if `mean` is negative or not finite.
 #[must_use]
-pub fn poisson<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
+pub fn poisson<R: UniformSource + ?Sized>(mean: f64, rng: &mut R) -> u64 {
     assert!(
         mean.is_finite() && mean >= 0.0,
         "poisson mean must be non-negative and finite, got {mean}"
     );
+    // audit:allow(float-cmp): exact zero mean short-circuits the sampler.
     if mean == 0.0 {
         return 0;
     }
@@ -30,7 +31,7 @@ pub fn poisson<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
         let mut product: f64 = 1.0;
         let mut count: u64 = 0;
         loop {
-            product *= rng.gen::<f64>();
+            product *= rng.next_f64();
             if product <= limit {
                 return count;
             }
@@ -45,10 +46,10 @@ pub fn poisson<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
 
 /// Draws a standard normal variate via the Box–Muller transform.
 #[must_use]
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn standard_normal<R: UniformSource + ?Sized>(rng: &mut R) -> f64 {
     // Avoid ln(0) by nudging the first uniform away from zero.
-    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.gen();
+    let u1: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
@@ -62,7 +63,7 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics if `shape` or `scale` is not positive and finite.
 #[must_use]
-pub fn gamma<R: Rng + ?Sized>(shape: f64, scale: f64, rng: &mut R) -> f64 {
+pub fn gamma<R: UniformSource + ?Sized>(shape: f64, scale: f64, rng: &mut R) -> f64 {
     assert!(
         shape.is_finite() && shape > 0.0,
         "gamma shape must be positive, got {shape}"
@@ -73,7 +74,7 @@ pub fn gamma<R: Rng + ?Sized>(shape: f64, scale: f64, rng: &mut R) -> f64 {
     );
     if shape < 1.0 {
         // Gamma(a) = Gamma(a+1) · U^{1/a}
-        let boost = rng.gen::<f64>().max(f64::MIN_POSITIVE).powf(1.0 / shape);
+        let boost = rng.next_f64().max(f64::MIN_POSITIVE).powf(1.0 / shape);
         return gamma(shape + 1.0, scale, rng) * boost;
     }
     let d = shape - 1.0 / 3.0;
@@ -84,7 +85,7 @@ pub fn gamma<R: Rng + ?Sized>(shape: f64, scale: f64, rng: &mut R) -> f64 {
         if v <= 0.0 {
             continue;
         }
-        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
         if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
             return d * v * scale;
         }
@@ -94,10 +95,10 @@ pub fn gamma<R: Rng + ?Sized>(shape: f64, scale: f64, rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use crate::prng::Xoshiro256PlusPlus;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(12345)
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(12345)
     }
 
     fn sample_stats(mut f: impl FnMut() -> f64, n: usize) -> (f64, f64) {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-10fa9989cdef1c2b.d: crates/repro/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-10fa9989cdef1c2b: crates/repro/src/bin/ablation.rs
+
+crates/repro/src/bin/ablation.rs:

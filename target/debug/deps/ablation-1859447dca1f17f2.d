@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-1859447dca1f17f2.d: crates/repro/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-1859447dca1f17f2: crates/repro/src/bin/ablation.rs
+
+crates/repro/src/bin/ablation.rs:

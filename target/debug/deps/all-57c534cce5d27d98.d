@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-57c534cce5d27d98.d: crates/repro/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-57c534cce5d27d98: crates/repro/src/bin/all.rs
+
+crates/repro/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-fd015b36c0f559d1.d: crates/repro/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-fd015b36c0f559d1: crates/repro/src/bin/all.rs
+
+crates/repro/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-8c870c3209c7362c.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-8c870c3209c7362c: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-a5a21db6c7c42bbb.d: crates/units/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-a5a21db6c7c42bbb: crates/units/tests/edge_cases.rs
+
+crates/units/tests/edge_cases.rs:

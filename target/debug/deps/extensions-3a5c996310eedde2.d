@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-3a5c996310eedde2.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-3a5c996310eedde2: tests/extensions.rs
+
+tests/extensions.rs:

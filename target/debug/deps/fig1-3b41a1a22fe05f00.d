@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-3b41a1a22fe05f00.d: crates/repro/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-3b41a1a22fe05f00: crates/repro/src/bin/fig1.rs
+
+crates/repro/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-ad675f131f6df6bd.d: crates/repro/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-ad675f131f6df6bd: crates/repro/src/bin/fig1.rs
+
+crates/repro/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-1a92d03a5e4e2286.d: crates/repro/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-1a92d03a5e4e2286: crates/repro/src/bin/fig2.rs
+
+crates/repro/src/bin/fig2.rs:

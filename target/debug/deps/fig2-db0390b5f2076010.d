@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-db0390b5f2076010.d: crates/repro/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-db0390b5f2076010: crates/repro/src/bin/fig2.rs
+
+crates/repro/src/bin/fig2.rs:

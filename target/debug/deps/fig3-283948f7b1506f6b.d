@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-283948f7b1506f6b.d: crates/repro/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-283948f7b1506f6b: crates/repro/src/bin/fig3.rs
+
+crates/repro/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-d9d0a2c93947d83c.d: crates/repro/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-d9d0a2c93947d83c: crates/repro/src/bin/fig3.rs
+
+crates/repro/src/bin/fig3.rs:

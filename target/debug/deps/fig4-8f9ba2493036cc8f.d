@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-8f9ba2493036cc8f.d: crates/repro/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-8f9ba2493036cc8f: crates/repro/src/bin/fig4.rs
+
+crates/repro/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-e1b1fdcc60ef529d.d: crates/repro/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-e1b1fdcc60ef529d: crates/repro/src/bin/fig4.rs
+
+crates/repro/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-0a27614b4cd2f295.d: crates/repro/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-0a27614b4cd2f295: crates/repro/src/bin/fig5.rs
+
+crates/repro/src/bin/fig5.rs:

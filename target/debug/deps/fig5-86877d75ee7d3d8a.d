@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-86877d75ee7d3d8a.d: crates/repro/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-86877d75ee7d3d8a: crates/repro/src/bin/fig5.rs
+
+crates/repro/src/bin/fig5.rs:

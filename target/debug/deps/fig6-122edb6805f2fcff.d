@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-122edb6805f2fcff.d: crates/repro/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-122edb6805f2fcff: crates/repro/src/bin/fig6.rs
+
+crates/repro/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-5bca0478936ee04a.d: crates/repro/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-5bca0478936ee04a: crates/repro/src/bin/fig6.rs
+
+crates/repro/src/bin/fig6.rs:

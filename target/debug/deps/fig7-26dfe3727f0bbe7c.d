@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-26dfe3727f0bbe7c.d: crates/repro/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-26dfe3727f0bbe7c: crates/repro/src/bin/fig7.rs
+
+crates/repro/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-f4eb5b1cbb5ff83e.d: crates/repro/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-f4eb5b1cbb5ff83e: crates/repro/src/bin/fig7.rs
+
+crates/repro/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-0a8bf04e18da2d7d.d: crates/repro/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-0a8bf04e18da2d7d: crates/repro/src/bin/fig8.rs
+
+crates/repro/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-45d64a3f97bdbc8e.d: crates/repro/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-45d64a3f97bdbc8e: crates/repro/src/bin/fig8.rs
+
+crates/repro/src/bin/fig8.rs:

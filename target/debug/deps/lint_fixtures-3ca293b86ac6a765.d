@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint_fixtures-3ca293b86ac6a765.d: crates/xtask/tests/lint_fixtures.rs
+
+/root/repo/target/debug/deps/lint_fixtures-3ca293b86ac6a765: crates/xtask/tests/lint_fixtures.rs
+
+crates/xtask/tests/lint_fixtures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maly_bench-85f55e3367e23896.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmaly_bench-85f55e3367e23896.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmaly_bench-85f55e3367e23896.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maly_bench-8fd495d730abc820.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/maly_bench-8fd495d730abc820: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maly_cli-144970bfda7a87ef.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/maly_cli-144970bfda7a87ef: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

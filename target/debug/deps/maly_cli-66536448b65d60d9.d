@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maly_cli-66536448b65d60d9.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/maly_cli-66536448b65d60d9: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

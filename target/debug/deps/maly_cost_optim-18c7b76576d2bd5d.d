@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maly_cost_optim-18c7b76576d2bd5d.d: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+/root/repo/target/debug/deps/maly_cost_optim-18c7b76576d2bd5d: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+crates/cost-optim/src/lib.rs:
+crates/cost-optim/src/contour.rs:
+crates/cost-optim/src/pareto.rs:
+crates/cost-optim/src/partition.rs:
+crates/cost-optim/src/search.rs:

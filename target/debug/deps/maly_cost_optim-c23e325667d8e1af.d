@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/maly_cost_optim-c23e325667d8e1af.d: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+/root/repo/target/debug/deps/libmaly_cost_optim-c23e325667d8e1af.rlib: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+/root/repo/target/debug/deps/libmaly_cost_optim-c23e325667d8e1af.rmeta: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+crates/cost-optim/src/lib.rs:
+crates/cost-optim/src/contour.rs:
+crates/cost-optim/src/pareto.rs:
+crates/cost-optim/src/partition.rs:
+crates/cost-optim/src/search.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/maly_fabline_sim-3241bc4498bc124c.d: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+/root/repo/target/debug/deps/libmaly_fabline_sim-3241bc4498bc124c.rlib: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+/root/repo/target/debug/deps/libmaly_fabline_sim-3241bc4498bc124c.rmeta: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+crates/fabline-sim/src/lib.rs:
+crates/fabline-sim/src/capacity.rs:
+crates/fabline-sim/src/cost.rs:
+crates/fabline-sim/src/des.rs:
+crates/fabline-sim/src/equipment.rs:
+crates/fabline-sim/src/process.rs:
+crates/fabline-sim/src/rental.rs:

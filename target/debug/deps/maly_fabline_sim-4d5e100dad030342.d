@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/maly_fabline_sim-4d5e100dad030342.d: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+/root/repo/target/debug/deps/maly_fabline_sim-4d5e100dad030342: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+crates/fabline-sim/src/lib.rs:
+crates/fabline-sim/src/capacity.rs:
+crates/fabline-sim/src/cost.rs:
+crates/fabline-sim/src/des.rs:
+crates/fabline-sim/src/equipment.rs:
+crates/fabline-sim/src/process.rs:
+crates/fabline-sim/src/rental.rs:

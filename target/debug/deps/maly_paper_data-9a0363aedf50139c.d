@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maly_paper_data-9a0363aedf50139c.d: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+/root/repo/target/debug/deps/maly_paper_data-9a0363aedf50139c: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+crates/paper-data/src/lib.rs:
+crates/paper-data/src/figures.rs:
+crates/paper-data/src/table1.rs:
+crates/paper-data/src/table2.rs:
+crates/paper-data/src/table3.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/maly_paper_data-b0974fff0249405c.d: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+/root/repo/target/debug/deps/libmaly_paper_data-b0974fff0249405c.rlib: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+/root/repo/target/debug/deps/libmaly_paper_data-b0974fff0249405c.rmeta: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+crates/paper-data/src/lib.rs:
+crates/paper-data/src/figures.rs:
+crates/paper-data/src/table1.rs:
+crates/paper-data/src/table2.rs:
+crates/paper-data/src/table3.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/maly_repro-df7abbf11f4270b7.d: crates/repro/src/lib.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ablation.rs crates/repro/src/experiments/fig1.rs crates/repro/src/experiments/fig2.rs crates/repro/src/experiments/fig3.rs crates/repro/src/experiments/fig4.rs crates/repro/src/experiments/fig5.rs crates/repro/src/experiments/fig6.rs crates/repro/src/experiments/fig7.rs crates/repro/src/experiments/fig8.rs crates/repro/src/experiments/mcm_kgd.rs crates/repro/src/experiments/product_mix.rs crates/repro/src/experiments/roadmap.rs crates/repro/src/experiments/system_opt.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/table2.rs crates/repro/src/experiments/table3.rs
+
+/root/repo/target/debug/deps/maly_repro-df7abbf11f4270b7: crates/repro/src/lib.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ablation.rs crates/repro/src/experiments/fig1.rs crates/repro/src/experiments/fig2.rs crates/repro/src/experiments/fig3.rs crates/repro/src/experiments/fig4.rs crates/repro/src/experiments/fig5.rs crates/repro/src/experiments/fig6.rs crates/repro/src/experiments/fig7.rs crates/repro/src/experiments/fig8.rs crates/repro/src/experiments/mcm_kgd.rs crates/repro/src/experiments/product_mix.rs crates/repro/src/experiments/roadmap.rs crates/repro/src/experiments/system_opt.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/table2.rs crates/repro/src/experiments/table3.rs
+
+crates/repro/src/lib.rs:
+crates/repro/src/experiments/mod.rs:
+crates/repro/src/experiments/ablation.rs:
+crates/repro/src/experiments/fig1.rs:
+crates/repro/src/experiments/fig2.rs:
+crates/repro/src/experiments/fig3.rs:
+crates/repro/src/experiments/fig4.rs:
+crates/repro/src/experiments/fig5.rs:
+crates/repro/src/experiments/fig6.rs:
+crates/repro/src/experiments/fig7.rs:
+crates/repro/src/experiments/fig8.rs:
+crates/repro/src/experiments/mcm_kgd.rs:
+crates/repro/src/experiments/product_mix.rs:
+crates/repro/src/experiments/roadmap.rs:
+crates/repro/src/experiments/system_opt.rs:
+crates/repro/src/experiments/table1.rs:
+crates/repro/src/experiments/table2.rs:
+crates/repro/src/experiments/table3.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/maly_tech_trend-518fb47593fa4e08.d: crates/tech-trend/src/lib.rs crates/tech-trend/src/datasets.rs crates/tech-trend/src/diesize.rs crates/tech-trend/src/fit.rs crates/tech-trend/src/generations.rs crates/tech-trend/src/sia.rs
+
+/root/repo/target/debug/deps/maly_tech_trend-518fb47593fa4e08: crates/tech-trend/src/lib.rs crates/tech-trend/src/datasets.rs crates/tech-trend/src/diesize.rs crates/tech-trend/src/fit.rs crates/tech-trend/src/generations.rs crates/tech-trend/src/sia.rs
+
+crates/tech-trend/src/lib.rs:
+crates/tech-trend/src/datasets.rs:
+crates/tech-trend/src/diesize.rs:
+crates/tech-trend/src/fit.rs:
+crates/tech-trend/src/generations.rs:
+crates/tech-trend/src/sia.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/maly_tech_trend-cb5c407883d24935.d: crates/tech-trend/src/lib.rs crates/tech-trend/src/datasets.rs crates/tech-trend/src/diesize.rs crates/tech-trend/src/fit.rs crates/tech-trend/src/generations.rs crates/tech-trend/src/sia.rs
+
+/root/repo/target/debug/deps/libmaly_tech_trend-cb5c407883d24935.rlib: crates/tech-trend/src/lib.rs crates/tech-trend/src/datasets.rs crates/tech-trend/src/diesize.rs crates/tech-trend/src/fit.rs crates/tech-trend/src/generations.rs crates/tech-trend/src/sia.rs
+
+/root/repo/target/debug/deps/libmaly_tech_trend-cb5c407883d24935.rmeta: crates/tech-trend/src/lib.rs crates/tech-trend/src/datasets.rs crates/tech-trend/src/diesize.rs crates/tech-trend/src/fit.rs crates/tech-trend/src/generations.rs crates/tech-trend/src/sia.rs
+
+crates/tech-trend/src/lib.rs:
+crates/tech-trend/src/datasets.rs:
+crates/tech-trend/src/diesize.rs:
+crates/tech-trend/src/fit.rs:
+crates/tech-trend/src/generations.rs:
+crates/tech-trend/src/sia.rs:

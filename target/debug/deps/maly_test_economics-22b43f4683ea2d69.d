@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/maly_test_economics-22b43f4683ea2d69.d: crates/test-economics/src/lib.rs crates/test-economics/src/coverage_opt.rs crates/test-economics/src/dft.rs crates/test-economics/src/escapes.rs crates/test-economics/src/mcm.rs crates/test-economics/src/test_time.rs
+
+/root/repo/target/debug/deps/maly_test_economics-22b43f4683ea2d69: crates/test-economics/src/lib.rs crates/test-economics/src/coverage_opt.rs crates/test-economics/src/dft.rs crates/test-economics/src/escapes.rs crates/test-economics/src/mcm.rs crates/test-economics/src/test_time.rs
+
+crates/test-economics/src/lib.rs:
+crates/test-economics/src/coverage_opt.rs:
+crates/test-economics/src/dft.rs:
+crates/test-economics/src/escapes.rs:
+crates/test-economics/src/mcm.rs:
+crates/test-economics/src/test_time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/maly_test_economics-98a2bd5b05504d11.d: crates/test-economics/src/lib.rs crates/test-economics/src/coverage_opt.rs crates/test-economics/src/dft.rs crates/test-economics/src/escapes.rs crates/test-economics/src/mcm.rs crates/test-economics/src/test_time.rs
+
+/root/repo/target/debug/deps/libmaly_test_economics-98a2bd5b05504d11.rlib: crates/test-economics/src/lib.rs crates/test-economics/src/coverage_opt.rs crates/test-economics/src/dft.rs crates/test-economics/src/escapes.rs crates/test-economics/src/mcm.rs crates/test-economics/src/test_time.rs
+
+/root/repo/target/debug/deps/libmaly_test_economics-98a2bd5b05504d11.rmeta: crates/test-economics/src/lib.rs crates/test-economics/src/coverage_opt.rs crates/test-economics/src/dft.rs crates/test-economics/src/escapes.rs crates/test-economics/src/mcm.rs crates/test-economics/src/test_time.rs
+
+crates/test-economics/src/lib.rs:
+crates/test-economics/src/coverage_opt.rs:
+crates/test-economics/src/dft.rs:
+crates/test-economics/src/escapes.rs:
+crates/test-economics/src/mcm.rs:
+crates/test-economics/src/test_time.rs:

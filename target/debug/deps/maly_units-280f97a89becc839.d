@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/maly_units-280f97a89becc839.d: crates/units/src/lib.rs crates/units/src/area.rs crates/units/src/contract.rs crates/units/src/count.rs crates/units/src/density.rs crates/units/src/error.rs crates/units/src/length.rs crates/units/src/macros.rs crates/units/src/money.rs crates/units/src/probability.rs
+
+/root/repo/target/debug/deps/libmaly_units-280f97a89becc839.rlib: crates/units/src/lib.rs crates/units/src/area.rs crates/units/src/contract.rs crates/units/src/count.rs crates/units/src/density.rs crates/units/src/error.rs crates/units/src/length.rs crates/units/src/macros.rs crates/units/src/money.rs crates/units/src/probability.rs
+
+/root/repo/target/debug/deps/libmaly_units-280f97a89becc839.rmeta: crates/units/src/lib.rs crates/units/src/area.rs crates/units/src/contract.rs crates/units/src/count.rs crates/units/src/density.rs crates/units/src/error.rs crates/units/src/length.rs crates/units/src/macros.rs crates/units/src/money.rs crates/units/src/probability.rs
+
+crates/units/src/lib.rs:
+crates/units/src/area.rs:
+crates/units/src/contract.rs:
+crates/units/src/count.rs:
+crates/units/src/density.rs:
+crates/units/src/error.rs:
+crates/units/src/length.rs:
+crates/units/src/macros.rs:
+crates/units/src/money.rs:
+crates/units/src/probability.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/maly_units-59e82c0836c1d62e.d: crates/units/src/lib.rs crates/units/src/area.rs crates/units/src/contract.rs crates/units/src/count.rs crates/units/src/density.rs crates/units/src/error.rs crates/units/src/length.rs crates/units/src/macros.rs crates/units/src/money.rs crates/units/src/probability.rs
+
+/root/repo/target/debug/deps/maly_units-59e82c0836c1d62e: crates/units/src/lib.rs crates/units/src/area.rs crates/units/src/contract.rs crates/units/src/count.rs crates/units/src/density.rs crates/units/src/error.rs crates/units/src/length.rs crates/units/src/macros.rs crates/units/src/money.rs crates/units/src/probability.rs
+
+crates/units/src/lib.rs:
+crates/units/src/area.rs:
+crates/units/src/contract.rs:
+crates/units/src/count.rs:
+crates/units/src/density.rs:
+crates/units/src/error.rs:
+crates/units/src/length.rs:
+crates/units/src/macros.rs:
+crates/units/src/money.rs:
+crates/units/src/probability.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/maly_viz-991b0756d96ca334.d: crates/viz/src/lib.rs crates/viz/src/barchart.rs crates/viz/src/canvas.rs crates/viz/src/contourplot.rs crates/viz/src/csv.rs crates/viz/src/lineplot.rs crates/viz/src/scale.rs crates/viz/src/table.rs crates/viz/src/wafermap.rs
+
+/root/repo/target/debug/deps/libmaly_viz-991b0756d96ca334.rlib: crates/viz/src/lib.rs crates/viz/src/barchart.rs crates/viz/src/canvas.rs crates/viz/src/contourplot.rs crates/viz/src/csv.rs crates/viz/src/lineplot.rs crates/viz/src/scale.rs crates/viz/src/table.rs crates/viz/src/wafermap.rs
+
+/root/repo/target/debug/deps/libmaly_viz-991b0756d96ca334.rmeta: crates/viz/src/lib.rs crates/viz/src/barchart.rs crates/viz/src/canvas.rs crates/viz/src/contourplot.rs crates/viz/src/csv.rs crates/viz/src/lineplot.rs crates/viz/src/scale.rs crates/viz/src/table.rs crates/viz/src/wafermap.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/barchart.rs:
+crates/viz/src/canvas.rs:
+crates/viz/src/contourplot.rs:
+crates/viz/src/csv.rs:
+crates/viz/src/lineplot.rs:
+crates/viz/src/scale.rs:
+crates/viz/src/table.rs:
+crates/viz/src/wafermap.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/maly_yield_model-cdd10f2b563dc749.d: crates/yield-model/src/lib.rs crates/yield-model/src/critical_area.rs crates/yield-model/src/defects.rs crates/yield-model/src/functional.rs crates/yield-model/src/learning.rs crates/yield-model/src/monte_carlo.rs crates/yield-model/src/parametric.rs crates/yield-model/src/prng.rs crates/yield-model/src/redundancy.rs crates/yield-model/src/sampling.rs
+
+/root/repo/target/debug/deps/maly_yield_model-cdd10f2b563dc749: crates/yield-model/src/lib.rs crates/yield-model/src/critical_area.rs crates/yield-model/src/defects.rs crates/yield-model/src/functional.rs crates/yield-model/src/learning.rs crates/yield-model/src/monte_carlo.rs crates/yield-model/src/parametric.rs crates/yield-model/src/prng.rs crates/yield-model/src/redundancy.rs crates/yield-model/src/sampling.rs
+
+crates/yield-model/src/lib.rs:
+crates/yield-model/src/critical_area.rs:
+crates/yield-model/src/defects.rs:
+crates/yield-model/src/functional.rs:
+crates/yield-model/src/learning.rs:
+crates/yield-model/src/monte_carlo.rs:
+crates/yield-model/src/parametric.rs:
+crates/yield-model/src/prng.rs:
+crates/yield-model/src/redundancy.rs:
+crates/yield-model/src/sampling.rs:

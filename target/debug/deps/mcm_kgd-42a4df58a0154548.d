@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm_kgd-42a4df58a0154548.d: crates/repro/src/bin/mcm_kgd.rs
+
+/root/repo/target/debug/deps/mcm_kgd-42a4df58a0154548: crates/repro/src/bin/mcm_kgd.rs
+
+crates/repro/src/bin/mcm_kgd.rs:

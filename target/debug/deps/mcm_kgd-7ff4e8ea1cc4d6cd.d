@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm_kgd-7ff4e8ea1cc4d6cd.d: crates/repro/src/bin/mcm_kgd.rs
+
+/root/repo/target/debug/deps/mcm_kgd-7ff4e8ea1cc4d6cd: crates/repro/src/bin/mcm_kgd.rs
+
+crates/repro/src/bin/mcm_kgd.rs:

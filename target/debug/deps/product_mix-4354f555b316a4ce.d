@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/product_mix-4354f555b316a4ce.d: crates/repro/src/bin/product_mix.rs
+
+/root/repo/target/debug/deps/product_mix-4354f555b316a4ce: crates/repro/src/bin/product_mix.rs
+
+crates/repro/src/bin/product_mix.rs:

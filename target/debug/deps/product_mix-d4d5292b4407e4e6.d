@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/product_mix-d4d5292b4407e4e6.d: crates/repro/src/bin/product_mix.rs
+
+/root/repo/target/debug/deps/product_mix-d4d5292b4407e4e6: crates/repro/src/bin/product_mix.rs
+
+crates/repro/src/bin/product_mix.rs:

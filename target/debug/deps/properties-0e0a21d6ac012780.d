@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0e0a21d6ac012780.d: crates/fabline-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0e0a21d6ac012780: crates/fabline-sim/tests/properties.rs
+
+crates/fabline-sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-15ca1edcd8222951.d: crates/cost-optim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-15ca1edcd8222951: crates/cost-optim/tests/properties.rs
+
+crates/cost-optim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7f81df512e1f2876.d: crates/test-economics/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7f81df512e1f2876: crates/test-economics/tests/properties.rs
+
+crates/test-economics/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-acd78ddf53f434c7.d: crates/yield-model/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-acd78ddf53f434c7: crates/yield-model/tests/properties.rs
+
+crates/yield-model/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b4ebdc12a26f52e4.d: crates/units/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b4ebdc12a26f52e4: crates/units/tests/properties.rs
+
+crates/units/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d143a0a8491faa1c.d: crates/wafer-geom/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d143a0a8491faa1c: crates/wafer-geom/tests/properties.rs
+
+crates/wafer-geom/tests/properties.rs:

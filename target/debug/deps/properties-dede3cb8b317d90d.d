@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dede3cb8b317d90d.d: crates/cost-model/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-dede3cb8b317d90d: crates/cost-model/tests/properties.rs
+
+crates/cost-model/tests/properties.rs:

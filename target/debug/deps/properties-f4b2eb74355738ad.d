@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f4b2eb74355738ad.d: crates/viz/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f4b2eb74355738ad: crates/viz/tests/properties.rs
+
+crates/viz/tests/properties.rs:

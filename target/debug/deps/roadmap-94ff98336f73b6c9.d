@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roadmap-94ff98336f73b6c9.d: crates/repro/src/bin/roadmap.rs
+
+/root/repo/target/debug/deps/roadmap-94ff98336f73b6c9: crates/repro/src/bin/roadmap.rs
+
+crates/repro/src/bin/roadmap.rs:

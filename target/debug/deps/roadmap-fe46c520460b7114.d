@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roadmap-fe46c520460b7114.d: crates/repro/src/bin/roadmap.rs
+
+/root/repo/target/debug/deps/roadmap-fe46c520460b7114: crates/repro/src/bin/roadmap.rs
+
+crates/repro/src/bin/roadmap.rs:

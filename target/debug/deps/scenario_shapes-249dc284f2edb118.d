@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario_shapes-249dc284f2edb118.d: tests/scenario_shapes.rs
+
+/root/repo/target/debug/deps/scenario_shapes-249dc284f2edb118: tests/scenario_shapes.rs
+
+tests/scenario_shapes.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/silicon_cost-384a1478a875147a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsilicon_cost-384a1478a875147a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsilicon_cost-384a1478a875147a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/silicon_cost-fcbeb9a108baac89.d: src/lib.rs
+
+/root/repo/target/debug/deps/silicon_cost-fcbeb9a108baac89: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshots-061fc577270be2d7.d: crates/repro/tests/snapshots.rs
+
+/root/repo/target/debug/deps/snapshots-061fc577270be2d7: crates/repro/tests/snapshots.rs
+
+crates/repro/tests/snapshots.rs:

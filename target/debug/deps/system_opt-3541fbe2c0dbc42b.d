@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_opt-3541fbe2c0dbc42b.d: crates/repro/src/bin/system_opt.rs
+
+/root/repo/target/debug/deps/system_opt-3541fbe2c0dbc42b: crates/repro/src/bin/system_opt.rs
+
+crates/repro/src/bin/system_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_opt-ddbe3a136485c98a.d: crates/repro/src/bin/system_opt.rs
+
+/root/repo/target/debug/deps/system_opt-ddbe3a136485c98a: crates/repro/src/bin/system_opt.rs
+
+crates/repro/src/bin/system_opt.rs:

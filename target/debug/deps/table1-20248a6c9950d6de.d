@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-20248a6c9950d6de.d: crates/repro/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-20248a6c9950d6de: crates/repro/src/bin/table1.rs
+
+crates/repro/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5243a99eea0f4304.d: crates/repro/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5243a99eea0f4304: crates/repro/src/bin/table1.rs
+
+crates/repro/src/bin/table1.rs:

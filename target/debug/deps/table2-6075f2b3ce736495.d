@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-6075f2b3ce736495.d: crates/repro/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-6075f2b3ce736495: crates/repro/src/bin/table2.rs
+
+crates/repro/src/bin/table2.rs:

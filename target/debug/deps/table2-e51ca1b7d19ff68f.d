@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-e51ca1b7d19ff68f.d: crates/repro/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-e51ca1b7d19ff68f: crates/repro/src/bin/table2.rs
+
+crates/repro/src/bin/table2.rs:

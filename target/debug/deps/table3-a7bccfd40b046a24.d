@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-a7bccfd40b046a24.d: crates/repro/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-a7bccfd40b046a24: crates/repro/src/bin/table3.rs
+
+crates/repro/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-f1af154997a9d7b2.d: crates/repro/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-f1af154997a9d7b2: crates/repro/src/bin/table3.rs
+
+crates/repro/src/bin/table3.rs:

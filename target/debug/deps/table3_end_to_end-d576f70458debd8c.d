@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_end_to_end-d576f70458debd8c.d: tests/table3_end_to_end.rs
+
+/root/repo/target/debug/deps/table3_end_to_end-d576f70458debd8c: tests/table3_end_to_end.rs
+
+tests/table3_end_to_end.rs:

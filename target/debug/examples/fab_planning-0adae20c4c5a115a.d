@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fab_planning-0adae20c4c5a115a.d: examples/fab_planning.rs
+
+/root/repo/target/debug/examples/fab_planning-0adae20c4c5a115a: examples/fab_planning.rs
+
+examples/fab_planning.rs:

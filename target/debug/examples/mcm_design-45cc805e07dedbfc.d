@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mcm_design-45cc805e07dedbfc.d: examples/mcm_design.rs
+
+/root/repo/target/debug/examples/mcm_design-45cc805e07dedbfc: examples/mcm_design.rs
+
+examples/mcm_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-19f13736473bf30a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-19f13736473bf30a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shrink_study-8375cd341a2d83ec.d: examples/shrink_study.rs
+
+/root/repo/target/debug/examples/shrink_study-8375cd341a2d83ec: examples/shrink_study.rs
+
+examples/shrink_study.rs:

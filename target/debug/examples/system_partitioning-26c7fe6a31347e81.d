@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/system_partitioning-26c7fe6a31347e81.d: examples/system_partitioning.rs
+
+/root/repo/target/debug/examples/system_partitioning-26c7fe6a31347e81: examples/system_partitioning.rs
+
+examples/system_partitioning.rs:

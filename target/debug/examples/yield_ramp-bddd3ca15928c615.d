@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/yield_ramp-bddd3ca15928c615.d: examples/yield_ramp.rs
+
+/root/repo/target/debug/examples/yield_ramp-bddd3ca15928c615: examples/yield_ramp.rs
+
+examples/yield_ramp.rs:

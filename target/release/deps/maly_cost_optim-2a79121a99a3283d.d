@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/maly_cost_optim-2a79121a99a3283d.d: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+/root/repo/target/release/deps/libmaly_cost_optim-2a79121a99a3283d.rlib: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+/root/repo/target/release/deps/libmaly_cost_optim-2a79121a99a3283d.rmeta: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+crates/cost-optim/src/lib.rs:
+crates/cost-optim/src/contour.rs:
+crates/cost-optim/src/pareto.rs:
+crates/cost-optim/src/partition.rs:
+crates/cost-optim/src/search.rs:

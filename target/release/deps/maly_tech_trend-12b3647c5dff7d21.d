@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/maly_tech_trend-12b3647c5dff7d21.d: crates/tech-trend/src/lib.rs crates/tech-trend/src/datasets.rs crates/tech-trend/src/diesize.rs crates/tech-trend/src/fit.rs crates/tech-trend/src/generations.rs crates/tech-trend/src/sia.rs
+
+/root/repo/target/release/deps/libmaly_tech_trend-12b3647c5dff7d21.rlib: crates/tech-trend/src/lib.rs crates/tech-trend/src/datasets.rs crates/tech-trend/src/diesize.rs crates/tech-trend/src/fit.rs crates/tech-trend/src/generations.rs crates/tech-trend/src/sia.rs
+
+/root/repo/target/release/deps/libmaly_tech_trend-12b3647c5dff7d21.rmeta: crates/tech-trend/src/lib.rs crates/tech-trend/src/datasets.rs crates/tech-trend/src/diesize.rs crates/tech-trend/src/fit.rs crates/tech-trend/src/generations.rs crates/tech-trend/src/sia.rs
+
+crates/tech-trend/src/lib.rs:
+crates/tech-trend/src/datasets.rs:
+crates/tech-trend/src/diesize.rs:
+crates/tech-trend/src/fit.rs:
+crates/tech-trend/src/generations.rs:
+crates/tech-trend/src/sia.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/maly_test_economics-2ba94742e7297505.d: crates/test-economics/src/lib.rs crates/test-economics/src/coverage_opt.rs crates/test-economics/src/dft.rs crates/test-economics/src/escapes.rs crates/test-economics/src/mcm.rs crates/test-economics/src/test_time.rs
+
+/root/repo/target/release/deps/libmaly_test_economics-2ba94742e7297505.rlib: crates/test-economics/src/lib.rs crates/test-economics/src/coverage_opt.rs crates/test-economics/src/dft.rs crates/test-economics/src/escapes.rs crates/test-economics/src/mcm.rs crates/test-economics/src/test_time.rs
+
+/root/repo/target/release/deps/libmaly_test_economics-2ba94742e7297505.rmeta: crates/test-economics/src/lib.rs crates/test-economics/src/coverage_opt.rs crates/test-economics/src/dft.rs crates/test-economics/src/escapes.rs crates/test-economics/src/mcm.rs crates/test-economics/src/test_time.rs
+
+crates/test-economics/src/lib.rs:
+crates/test-economics/src/coverage_opt.rs:
+crates/test-economics/src/dft.rs:
+crates/test-economics/src/escapes.rs:
+crates/test-economics/src/mcm.rs:
+crates/test-economics/src/test_time.rs:

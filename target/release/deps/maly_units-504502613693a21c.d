@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/maly_units-504502613693a21c.d: crates/units/src/lib.rs crates/units/src/area.rs crates/units/src/contract.rs crates/units/src/count.rs crates/units/src/density.rs crates/units/src/error.rs crates/units/src/length.rs crates/units/src/macros.rs crates/units/src/money.rs crates/units/src/probability.rs
+
+/root/repo/target/release/deps/libmaly_units-504502613693a21c.rlib: crates/units/src/lib.rs crates/units/src/area.rs crates/units/src/contract.rs crates/units/src/count.rs crates/units/src/density.rs crates/units/src/error.rs crates/units/src/length.rs crates/units/src/macros.rs crates/units/src/money.rs crates/units/src/probability.rs
+
+/root/repo/target/release/deps/libmaly_units-504502613693a21c.rmeta: crates/units/src/lib.rs crates/units/src/area.rs crates/units/src/contract.rs crates/units/src/count.rs crates/units/src/density.rs crates/units/src/error.rs crates/units/src/length.rs crates/units/src/macros.rs crates/units/src/money.rs crates/units/src/probability.rs
+
+crates/units/src/lib.rs:
+crates/units/src/area.rs:
+crates/units/src/contract.rs:
+crates/units/src/count.rs:
+crates/units/src/density.rs:
+crates/units/src/error.rs:
+crates/units/src/length.rs:
+crates/units/src/macros.rs:
+crates/units/src/money.rs:
+crates/units/src/probability.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/maly_viz-1215d6a8da63ebfc.d: crates/viz/src/lib.rs crates/viz/src/barchart.rs crates/viz/src/canvas.rs crates/viz/src/contourplot.rs crates/viz/src/csv.rs crates/viz/src/lineplot.rs crates/viz/src/scale.rs crates/viz/src/table.rs crates/viz/src/wafermap.rs
+
+/root/repo/target/release/deps/libmaly_viz-1215d6a8da63ebfc.rlib: crates/viz/src/lib.rs crates/viz/src/barchart.rs crates/viz/src/canvas.rs crates/viz/src/contourplot.rs crates/viz/src/csv.rs crates/viz/src/lineplot.rs crates/viz/src/scale.rs crates/viz/src/table.rs crates/viz/src/wafermap.rs
+
+/root/repo/target/release/deps/libmaly_viz-1215d6a8da63ebfc.rmeta: crates/viz/src/lib.rs crates/viz/src/barchart.rs crates/viz/src/canvas.rs crates/viz/src/contourplot.rs crates/viz/src/csv.rs crates/viz/src/lineplot.rs crates/viz/src/scale.rs crates/viz/src/table.rs crates/viz/src/wafermap.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/barchart.rs:
+crates/viz/src/canvas.rs:
+crates/viz/src/contourplot.rs:
+crates/viz/src/csv.rs:
+crates/viz/src/lineplot.rs:
+crates/viz/src/scale.rs:
+crates/viz/src/table.rs:
+crates/viz/src/wafermap.rs:

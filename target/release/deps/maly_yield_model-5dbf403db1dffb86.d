@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/maly_yield_model-5dbf403db1dffb86.d: crates/yield-model/src/lib.rs crates/yield-model/src/critical_area.rs crates/yield-model/src/defects.rs crates/yield-model/src/functional.rs crates/yield-model/src/learning.rs crates/yield-model/src/monte_carlo.rs crates/yield-model/src/parametric.rs crates/yield-model/src/prng.rs crates/yield-model/src/redundancy.rs crates/yield-model/src/sampling.rs
+
+/root/repo/target/release/deps/libmaly_yield_model-5dbf403db1dffb86.rlib: crates/yield-model/src/lib.rs crates/yield-model/src/critical_area.rs crates/yield-model/src/defects.rs crates/yield-model/src/functional.rs crates/yield-model/src/learning.rs crates/yield-model/src/monte_carlo.rs crates/yield-model/src/parametric.rs crates/yield-model/src/prng.rs crates/yield-model/src/redundancy.rs crates/yield-model/src/sampling.rs
+
+/root/repo/target/release/deps/libmaly_yield_model-5dbf403db1dffb86.rmeta: crates/yield-model/src/lib.rs crates/yield-model/src/critical_area.rs crates/yield-model/src/defects.rs crates/yield-model/src/functional.rs crates/yield-model/src/learning.rs crates/yield-model/src/monte_carlo.rs crates/yield-model/src/parametric.rs crates/yield-model/src/prng.rs crates/yield-model/src/redundancy.rs crates/yield-model/src/sampling.rs
+
+crates/yield-model/src/lib.rs:
+crates/yield-model/src/critical_area.rs:
+crates/yield-model/src/defects.rs:
+crates/yield-model/src/functional.rs:
+crates/yield-model/src/learning.rs:
+crates/yield-model/src/monte_carlo.rs:
+crates/yield-model/src/parametric.rs:
+crates/yield-model/src/prng.rs:
+crates/yield-model/src/redundancy.rs:
+crates/yield-model/src/sampling.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/silicon_cost-d10a060d1cccbfed.d: src/lib.rs
+
+/root/repo/target/release/deps/libsilicon_cost-d10a060d1cccbfed.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsilicon_cost-d10a060d1cccbfed.rmeta: src/lib.rs
+
+src/lib.rs:

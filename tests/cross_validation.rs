@@ -2,7 +2,6 @@
 //! models vs the wafer Monte Carlo, eq. (4) vs exact raster placement,
 //! and the capacity model vs the discrete-event simulator.
 
-use rand::SeedableRng;
 use silicon_cost::fabline::cost::FabEconomics;
 use silicon_cost::fabline::des::{simulate as des_simulate, DesConfig};
 use silicon_cost::fabline::process::ProcessFlow;
@@ -12,8 +11,8 @@ use silicon_cost::yield_model::monte_carlo::{
     analytic_clustered_yield, analytic_uniform_yield, simulate, DefectArrival,
 };
 
-fn rng(seed: u64) -> rand::rngs::StdRng {
-    rand::rngs::StdRng::seed_from_u64(seed)
+fn rng(seed: u64) -> silicon_cost::yield_model::prng::Xoshiro256PlusPlus {
+    silicon_cost::yield_model::prng::Xoshiro256PlusPlus::seed_from_u64(seed)
 }
 
 /// The yield Monte Carlo (spatial defects on a real wafer map) must
