@@ -10,7 +10,10 @@ cargo fmt --all --check
 echo "== maly-audit lint"
 cargo run -q -p xtask -- lint
 
-echo "== cargo test"
+echo "== cargo test (MALY_PAR_THREADS=1, serial)"
+MALY_PAR_THREADS=1 cargo test --workspace -q
+
+echo "== cargo test (default parallelism)"
 cargo test --workspace -q
 
 echo "ci.sh: all gates passed"

@@ -98,4 +98,5 @@ fn main() {
     bench_fig7_scenario2();
     bench_fig8_surface_and_contours();
     bench_table3();
+    maly_bench::harness::write_json_if_requested();
 }

@@ -185,4 +185,5 @@ fn main() {
     bench_fab_economics();
     bench_partition_optimizer();
     bench_extensions();
+    maly_bench::harness::write_json_if_requested();
 }

@@ -1,0 +1,189 @@
+//! Serial vs parallel timing for every sweep hot path, plus the
+//! eq. (4) memo cache — the `BENCH_sweeps.json` baseline.
+//!
+//! Before timing anything, each comparison asserts the parallel result
+//! is **bit-identical** to the serial one: a fast wrong sweep would be
+//! worthless. The JSON records `available_parallelism` so a baseline
+//! from a single-core container (speedup ≈ 1) is not mistaken for a
+//! regression; the memo-cache cold/warm comparison is core-count
+//! independent.
+
+use std::hint::black_box;
+
+use maly_bench::harness::{bench, group, record_speedup, write_json_if_requested};
+use maly_cost_model::surface::{CostSurface, SurfaceParameters};
+use maly_cost_optim::contour::extract_contours_with;
+use maly_cost_optim::partition::optimize_with;
+use maly_cost_optim::search::grid_min_with;
+use maly_par::Executor;
+use maly_units::{Centimeters, DesignDensity, Dollars, Microns, Probability, TransistorCount};
+use maly_wafer_geom::{cache, DieDimensions, Wafer};
+
+/// Threads for the "parallel" side: at least 4 so the baseline captures
+/// the issue's 4-thread target even when the ambient default is 1.
+fn parallel_executor() -> Executor {
+    Executor::with_threads(maly_par::default_parallelism().max(4))
+}
+
+fn fig8_surface(exec: &Executor) -> CostSurface {
+    CostSurface::compute_with(
+        exec,
+        &SurfaceParameters::fig8(),
+        (0.4, 1.5, 56),
+        (2.0e4, 4.0e6, 48),
+    )
+}
+
+fn bench_fig8_surface() {
+    group("sweeps/fig8_surface");
+    let serial_exec = Executor::serial();
+    let par_exec = parallel_executor();
+    assert_eq!(
+        fig8_surface(&serial_exec),
+        fig8_surface(&par_exec),
+        "parallel surface must be bit-identical to serial"
+    );
+    let serial = bench("surface_56x48/serial", || {
+        black_box(fig8_surface(&serial_exec));
+    });
+    let parallel = bench("surface_56x48/parallel", || {
+        black_box(fig8_surface(&par_exec));
+    });
+    record_speedup("surface_56x48", serial, parallel);
+}
+
+fn bench_contours() {
+    group("sweeps/contours");
+    let surface = fig8_surface(&Executor::serial());
+    let levels = [3.0e-6, 1.0e-5, 3.0e-5, 1.0e-4, 3.0e-4];
+    let serial_exec = Executor::serial();
+    let par_exec = parallel_executor();
+    assert_eq!(
+        extract_contours_with(&serial_exec, &surface, &levels),
+        extract_contours_with(&par_exec, &surface, &levels),
+        "parallel contours must be bit-identical to serial"
+    );
+    let serial = bench("contours_5_levels/serial", || {
+        black_box(extract_contours_with(&serial_exec, &surface, &levels));
+    });
+    let parallel = bench("contours_5_levels/parallel", || {
+        black_box(extract_contours_with(&par_exec, &surface, &levels));
+    });
+    record_speedup("contours_5_levels", serial, parallel);
+}
+
+fn bench_partition_search() {
+    use maly_cost_model::system::{ManufacturingContext, Partition, SystemDesign};
+    use maly_cost_model::WaferCostModel;
+
+    group("sweeps/partition");
+    let part = |name: &str, n_tr: f64, d_d: f64| {
+        Partition::new(
+            name,
+            TransistorCount::new(n_tr).expect("positive"),
+            DesignDensity::new(d_d).expect("positive"),
+        )
+    };
+    let system = SystemDesign::new(vec![
+        part("dram", 4.0e6, 35.0),
+        part("logic", 0.8e6, 300.0),
+        part("io", 0.1e6, 600.0),
+        part("analog", 0.2e6, 450.0),
+        part("cache", 1.5e6, 60.0),
+    ])
+    .expect("non-empty");
+    let context = ManufacturingContext {
+        wafer: Wafer::six_inch(),
+        reference_yield: Probability::new(0.7).expect("valid"),
+        wafer_cost: WaferCostModel::new(Dollars::new(700.0).expect("valid"), 1.8).expect("valid"),
+        per_die_overhead: Dollars::new(5.0).expect("valid"),
+    };
+    let ladder: Vec<Microns> = [1.0, 0.8, 0.65, 0.5]
+        .iter()
+        .map(|&l| Microns::new(l).expect("positive"))
+        .collect();
+
+    let serial_exec = Executor::serial();
+    let par_exec = parallel_executor();
+    assert_eq!(
+        optimize_with(&serial_exec, &system, &context, &ladder).expect("feasible"),
+        optimize_with(&par_exec, &system, &context, &ladder).expect("feasible"),
+        "parallel partition search must be bit-identical to serial"
+    );
+    let serial = bench("partition_bell5_x4/serial", || {
+        black_box(optimize_with(&serial_exec, &system, &context, &ladder).expect("feasible"));
+    });
+    let parallel = bench("partition_bell5_x4/parallel", || {
+        black_box(optimize_with(&par_exec, &system, &context, &ladder).expect("feasible"));
+    });
+    record_speedup("partition_bell5_x4", serial, parallel);
+}
+
+fn bench_grid_min() {
+    group("sweeps/grid_min");
+    let scenario = maly_bench::standard_product();
+    let f = |l: f64| {
+        Microns::new(l)
+            .ok()
+            .and_then(|lambda| scenario.evaluate_at(lambda).ok())
+            .map_or(f64::INFINITY, |b| b.cost_per_transistor.value())
+    };
+    let serial_exec = Executor::serial();
+    let par_exec = parallel_executor();
+    let s = grid_min_with(&serial_exec, f, 0.4, 1.5, 481);
+    let p = grid_min_with(&par_exec, f, 0.4, 1.5, 481);
+    assert_eq!(s.0.to_bits(), p.0.to_bits(), "tie-break must match serial");
+    assert_eq!(s.1.to_bits(), p.1.to_bits(), "tie-break must match serial");
+    let serial = bench("lambda_grid_481/serial", || {
+        black_box(grid_min_with(&serial_exec, f, 0.4, 1.5, 481));
+    });
+    let parallel = bench("lambda_grid_481/parallel", || {
+        black_box(grid_min_with(&par_exec, f, 0.4, 1.5, 481));
+    });
+    record_speedup("lambda_grid_481", serial, parallel);
+}
+
+fn bench_eq4_cache() {
+    group("eq4_cache");
+    let wafer = Wafer::six_inch();
+    let dies: Vec<DieDimensions> = (0..64)
+        .map(|i| {
+            let side = Centimeters::new(0.3 + 0.02 * f64::from(i)).expect("positive side");
+            DieDimensions::square(side)
+        })
+        .collect();
+    // Cold: every lookup recomputes the eq. (4) sum.
+    let cold = bench("dies_per_wafer_64_dies/cold", || {
+        cache::clear();
+        for die in &dies {
+            black_box(cache::dies_per_wafer(&wafer, *die));
+        }
+    });
+    // Warm: the same sweep, served from the memo.
+    cache::clear();
+    for die in &dies {
+        let _ = cache::dies_per_wafer(&wafer, *die);
+    }
+    let warm = bench("dies_per_wafer_64_dies/warm", || {
+        for die in &dies {
+            black_box(cache::dies_per_wafer(&wafer, *die));
+        }
+    });
+    record_speedup("dies_per_wafer_64_dies_cold_vs_warm", cold, warm);
+    let stats = cache::stats();
+    println!(
+        "cache stats: {} hits / {} misses ({:.1}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+}
+
+fn main() {
+    bench_fig8_surface();
+    bench_contours();
+    bench_partition_search();
+    bench_grid_min();
+    bench_eq4_cache();
+    write_json_if_requested();
+}

@@ -1,8 +1,11 @@
 //! Benchmark crate: shared fixtures and a std-only timing harness.
 //!
 //! The benches live in `benches/experiments.rs` (one group per paper
-//! table/figure) and `benches/substrates.rs` (the underlying engines).
-//! Run with `cargo bench -p maly-bench`.
+//! table/figure), `benches/substrates.rs` (the underlying engines) and
+//! `benches/sweeps.rs` (serial vs parallel sweep hot paths and the
+//! eq. (4) memo cache). Run with `cargo bench -p maly-bench`; add
+//! `-- --json <path>` to write a machine-readable baseline like
+//! `BENCH_sweeps.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,20 +17,60 @@ pub mod harness {
     //! external crates, so Criterion is not available).
     //!
     //! Auto-calibrates an iteration count per benchmark, takes several
-    //! samples, and reports the median per-iteration latency.
+    //! samples, and reports the median per-iteration latency. Every
+    //! result is also recorded in memory; when a bench binary is run
+    //! with `--json <path>` (after the `--` separator under `cargo
+    //! bench`), [`write_json_if_requested`] dumps the records as a
+    //! machine-readable baseline.
 
+    use std::sync::{Mutex, PoisonError};
     use std::time::{Duration, Instant};
 
     const MIN_SAMPLE_TIME: Duration = Duration::from_millis(10);
     const SAMPLES: usize = 7;
 
+    /// One recorded measurement.
+    #[derive(Debug, Clone)]
+    struct Record {
+        group: String,
+        name: String,
+        median_ns: f64,
+        iters: u64,
+    }
+
+    /// One recorded serial-vs-parallel comparison.
+    #[derive(Debug, Clone)]
+    struct Speedup {
+        group: String,
+        name: String,
+        serial_ns: f64,
+        parallel_ns: f64,
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        current_group: String,
+        records: Vec<Record>,
+        speedups: Vec<Speedup>,
+    }
+
+    static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
+
+    fn with_recorder<R>(f: impl FnOnce(&mut Recorder) -> R) -> R {
+        let mut guard = RECORDER.lock().unwrap_or_else(PoisonError::into_inner);
+        f(guard.get_or_insert_with(Recorder::default))
+    }
+
     /// Prints a group header, mirroring Criterion's benchmark groups.
     pub fn group(name: &str) {
+        with_recorder(|r| r.current_group = name.to_string());
         println!("\n== {name} ==");
     }
 
-    /// Times `f`, printing the median per-iteration latency.
-    pub fn bench(name: &str, mut f: impl FnMut()) {
+    /// Times `f`, printing the median per-iteration latency and
+    /// recording it for [`write_json_if_requested`]. Returns the
+    /// median in nanoseconds so callers can derive speedups.
+    pub fn bench(name: &str, mut f: impl FnMut()) -> f64 {
         // Calibrate: double the iteration count until one sample takes
         // at least MIN_SAMPLE_TIME.
         let mut iters: u64 = 1;
@@ -51,8 +94,131 @@ pub mod harness {
             })
             .collect();
         per_iter.sort_by(f64::total_cmp);
-        let median = format_seconds(per_iter[SAMPLES / 2]);
+        let median_seconds = per_iter[SAMPLES / 2];
+        let median = format_seconds(median_seconds);
         println!("{name:<36} {median:>12}/iter   ({iters} iters/sample)");
+        let median_ns = median_seconds * 1e9;
+        with_recorder(|r| {
+            let group = r.current_group.clone();
+            r.records.push(Record {
+                group,
+                name: name.to_string(),
+                median_ns,
+                iters,
+            });
+        });
+        median_ns
+    }
+
+    /// Records a serial-vs-parallel comparison (both in ns/iter) and
+    /// prints the ratio.
+    pub fn record_speedup(name: &str, serial_ns: f64, parallel_ns: f64) {
+        let ratio = if parallel_ns > 0.0 {
+            serial_ns / parallel_ns
+        } else {
+            f64::INFINITY
+        };
+        println!("{name:<36} {ratio:>11.2}x  (serial / parallel)");
+        with_recorder(|r| {
+            let group = r.current_group.clone();
+            r.speedups.push(Speedup {
+                group,
+                name: name.to_string(),
+                serial_ns,
+                parallel_ns,
+            });
+        });
+    }
+
+    /// Writes the recorded results as JSON when the process arguments
+    /// contain `--json <path>`; call it at the end of every bench
+    /// `main`. Other arguments (Cargo's bench filters) are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--json` has no following path or the file cannot
+    /// be written — a baseline silently not written is worse than a
+    /// failed run.
+    pub fn write_json_if_requested() {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(arg) = args.next() {
+            if arg == "--json" {
+                // Cargo appends its own `--bench` flag after user args,
+                // so a flag-shaped operand means the path was omitted.
+                let operand = args.next().filter(|a| !a.starts_with("--"));
+                // audit:allow(panic): CLI contract — a missing operand
+                // must abort the run, not skip the baseline.
+                path = Some(operand.expect("--json needs a file path"));
+            }
+        }
+        let Some(path) = path else {
+            return;
+        };
+        let json = render_json();
+        // audit:allow(panic): a baseline silently not written is worse
+        // than a failed bench run.
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    fn render_json() -> String {
+        let threads_env = std::env::var(maly_par::THREADS_ENV_VAR).ok();
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            maly_par::default_parallelism()
+        ));
+        out.push_str(&format!(
+            "  \"maly_par_threads\": {},\n",
+            threads_env.map_or_else(|| "null".to_string(), |t| format!("\"{}\"", escape(&t)))
+        ));
+        with_recorder(|r| {
+            out.push_str("  \"benches\": [\n");
+            for (i, rec) in r.records.iter().enumerate() {
+                let comma = if i + 1 < r.records.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "    {{\"group\": \"{}\", \"name\": \"{}\", \"median_ns\": {:.1}, \
+                     \"iters\": {}}}{comma}\n",
+                    escape(&rec.group),
+                    escape(&rec.name),
+                    rec.median_ns,
+                    rec.iters,
+                ));
+            }
+            out.push_str("  ],\n  \"speedups\": [\n");
+            for (i, s) in r.speedups.iter().enumerate() {
+                let comma = if i + 1 < r.speedups.len() { "," } else { "" };
+                let ratio = if s.parallel_ns > 0.0 {
+                    s.serial_ns / s.parallel_ns
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "    {{\"group\": \"{}\", \"name\": \"{}\", \"serial_ns\": {:.1}, \
+                     \"parallel_ns\": {:.1}, \"speedup\": {ratio:.3}}}{comma}\n",
+                    escape(&s.group),
+                    escape(&s.name),
+                    s.serial_ns,
+                    s.parallel_ns,
+                ));
+            }
+            out.push_str("  ]\n}\n");
+        });
+        out
+    }
+
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if c.is_control() => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
     }
 
     fn format_seconds(seconds: f64) -> String {

@@ -235,7 +235,7 @@ fn sweep_lambda(
     lambda_min: Microns,
     lambda_max: Microns,
     steps: usize,
-    f: impl Fn(Microns) -> Dollars,
+    f: impl Fn(Microns) -> Dollars + Sync,
 ) -> Result<Vec<(f64, Dollars)>, CostError> {
     let lo = lambda_min.value();
     let hi = lambda_max.value();
@@ -246,14 +246,14 @@ fn sweep_lambda(
             steps,
         });
     }
-    Ok((0..steps)
-        .map(|i| {
-            let l = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
-            ensure_finite!(l, "λ sweep interpolant");
-            // Interpolants of validated positive bounds stay positive.
-            (l, f(Microns::clamped(l)))
-        })
-        .collect())
+    // Sweep points are independent; the executor returns them in index
+    // order, so the series is identical to the serial loop.
+    Ok(maly_par::Executor::from_env().map_indexed(steps, |i| {
+        let l = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+        ensure_finite!(l, "λ sweep interpolant");
+        // Interpolants of validated positive bounds stay positive.
+        (l, f(Microns::clamped(l)))
+    }))
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! λ^opt which minimizes the cost per transistor" — and it is often *not*
 //! the smallest available feature size.
 
+use maly_par::Executor;
 use maly_units::{DesignDensity, Dollars, Microns, TransistorCount};
 use maly_wafer_geom::Wafer;
 use maly_yield_model::ScaledPoissonYield;
@@ -93,6 +94,24 @@ impl CostSurface {
     #[must_use]
     pub fn compute(
         params: &SurfaceParameters,
+        lambda_range: (f64, f64, usize),
+        n_tr_range: (f64, f64, usize),
+    ) -> Self {
+        Self::compute_with(&Executor::from_env(), params, lambda_range, n_tr_range)
+    }
+
+    /// [`CostSurface::compute`] on an explicit executor. Grid cells are
+    /// independent, so they are tiled across the executor's threads;
+    /// the result is bit-identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is not ascending-positive or a step count
+    /// is below 2.
+    #[must_use]
+    pub fn compute_with(
+        exec: &Executor,
+        params: &SurfaceParameters,
         (lambda_min, lambda_max, lambda_steps): (f64, f64, usize),
         (n_tr_min, n_tr_max, n_tr_steps): (f64, f64, usize),
     ) -> Self {
@@ -114,20 +133,12 @@ impl CostSurface {
             .map(|j| (log_lo + (log_hi - log_lo) * j as f64 / (n_tr_steps - 1) as f64).exp())
             .collect();
 
-        let values = lambda_axis
-            .iter()
-            .map(|&l| {
-                // Grid points interpolate validated positive bounds.
-                let lambda = Microns::clamped(l);
-                n_tr_axis
-                    .iter()
-                    .map(|&n| {
-                        let n_tr = TransistorCount::clamped(n);
-                        params.cost_at(lambda, n_tr).ok().map(|d| d.value())
-                    })
-                    .collect()
-            })
-            .collect();
+        let values = exec.grid(lambda_steps, n_tr_steps, |i, j| {
+            // Grid points interpolate validated positive bounds.
+            let lambda = Microns::clamped(lambda_axis[i]);
+            let n_tr = TransistorCount::clamped(n_tr_axis[j]);
+            params.cost_at(lambda, n_tr).ok().map(|d| d.value())
+        });
 
         Self {
             lambda_axis,
@@ -159,19 +170,25 @@ impl CostSurface {
     /// could build the product at all.
     #[must_use]
     pub fn optimal_lambda_per_n_tr(&self) -> Vec<Option<(f64, f64)>> {
-        (0..self.n_tr_axis.len())
-            .map(|j| {
-                let mut best: Option<(f64, f64)> = None;
-                for (i, &l) in self.lambda_axis.iter().enumerate() {
-                    if let Some(c) = self.values[i][j] {
-                        if best.is_none_or(|(_, bc)| c < bc) {
-                            best = Some((l, c));
-                        }
+        self.optimal_lambda_per_n_tr_with(&Executor::from_env())
+    }
+
+    /// [`CostSurface::optimal_lambda_per_n_tr`] on an explicit executor:
+    /// columns scan independently, each with the serial strict-`<`
+    /// tie-break, so the locus is bit-identical at every thread count.
+    #[must_use]
+    pub fn optimal_lambda_per_n_tr_with(&self, exec: &Executor) -> Vec<Option<(f64, f64)>> {
+        exec.map_indexed(self.n_tr_axis.len(), |j| {
+            let mut best: Option<(f64, f64)> = None;
+            for (i, &l) in self.lambda_axis.iter().enumerate() {
+                if let Some(c) = self.values[i][j] {
+                    if best.is_none_or(|(_, bc)| c < bc) {
+                        best = Some((l, c));
                     }
                 }
-                best
-            })
-            .collect()
+            }
+            best
+        })
     }
 
     /// Global minimum `(λ, N_tr, cost)` over the grid, if any cell

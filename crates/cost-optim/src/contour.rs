@@ -1,6 +1,7 @@
 //! Marching-squares contour extraction (Fig 8's constant-cost curves).
 
 use maly_cost_model::surface::CostSurface;
+use maly_par::Executor;
 
 /// A contour line: the level and the polyline points `(λ, N_tr)` tracing
 /// it (segments concatenated; may contain several disconnected runs).
@@ -49,34 +50,57 @@ impl ContourLine {
 /// ```
 #[must_use]
 pub fn extract_contours(surface: &CostSurface, levels: &[f64]) -> Vec<ContourLine> {
+    extract_contours_with(&Executor::from_env(), surface, levels)
+}
+
+/// [`extract_contours`] on an explicit executor. Cell marching is
+/// independent per `(level, row)` strip; strips come back in `(level,
+/// row, column)` order, so the segment lists are bit-identical to the
+/// serial pass at every thread count.
+#[must_use]
+pub fn extract_contours_with(
+    exec: &Executor,
+    surface: &CostSurface,
+    levels: &[f64],
+) -> Vec<ContourLine> {
     let xs = surface.lambda_axis();
     let ys = surface.n_tr_axis();
     let values = surface.values();
+    let rows = xs.len().saturating_sub(1);
+
+    // One work item per (level, row-of-cells) strip.
+    let strips = exec.grid(levels.len(), rows.max(1), |li, i| {
+        let level = levels[li];
+        let mut segments = Vec::new();
+        if i >= rows {
+            return segments;
+        }
+        for j in 0..ys.len().saturating_sub(1) {
+            // Cell corners: (i,j), (i+1,j), (i+1,j+1), (i,j+1).
+            let corners = [
+                (xs[i], ys[j], values[i][j]),
+                (xs[i + 1], ys[j], values[i + 1][j]),
+                (xs[i + 1], ys[j + 1], values[i + 1][j + 1]),
+                (xs[i], ys[j + 1], values[i][j + 1]),
+            ];
+            let Some(vals) = corners
+                .iter()
+                .map(|(_, _, v)| *v)
+                .collect::<Option<Vec<f64>>>()
+            else {
+                continue;
+            };
+            segments.extend(march_cell(&corners, &vals, level));
+        }
+        segments
+    });
 
     levels
         .iter()
-        .map(|&level| {
-            let mut segments = Vec::new();
-            for i in 0..xs.len().saturating_sub(1) {
-                for j in 0..ys.len().saturating_sub(1) {
-                    // Cell corners: (i,j), (i+1,j), (i+1,j+1), (i,j+1).
-                    let corners = [
-                        (xs[i], ys[j], values[i][j]),
-                        (xs[i + 1], ys[j], values[i + 1][j]),
-                        (xs[i + 1], ys[j + 1], values[i + 1][j + 1]),
-                        (xs[i], ys[j + 1], values[i][j + 1]),
-                    ];
-                    let Some(vals) = corners
-                        .iter()
-                        .map(|(_, _, v)| *v)
-                        .collect::<Option<Vec<f64>>>()
-                    else {
-                        continue;
-                    };
-                    segments.extend(march_cell(&corners, &vals, level));
-                }
-            }
-            ContourLine { level, segments }
+        .zip(strips)
+        .map(|(&level, rows)| ContourLine {
+            level,
+            segments: rows.into_iter().flatten().collect(),
         })
         .collect()
 }

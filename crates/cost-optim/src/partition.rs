@@ -9,6 +9,7 @@
 
 use maly_cost_model::system::{ManufacturingContext, SystemCost, SystemDesign};
 use maly_cost_model::CostError;
+use maly_par::Executor;
 use maly_units::Microns;
 
 /// The optimizer's result: the winning assignment and its cost.
@@ -42,6 +43,24 @@ pub fn optimize(
     context: &ManufacturingContext,
     candidate_lambdas: &[Microns],
 ) -> Result<PartitionSolution, CostError> {
+    optimize_with(&Executor::from_env(), system, context, candidate_lambdas)
+}
+
+/// [`optimize`] on an explicit executor: groupings are priced in
+/// parallel (each one's per-die λ choice is self-contained), then the
+/// winner is picked by an ordered strict-`<` fold over the canonical
+/// grouping order — the same tie-break as the serial loop, so the
+/// solution is bit-identical at every thread count.
+///
+/// # Errors
+///
+/// As for [`optimize`].
+pub fn optimize_with(
+    exec: &Executor,
+    system: &SystemDesign,
+    context: &ManufacturingContext,
+    candidate_lambdas: &[Microns],
+) -> Result<PartitionSolution, CostError> {
     let n = system.partitions().len();
     if n == 0 || candidate_lambdas.is_empty() || n > MAX_PARTITIONS {
         return Err(CostError::MissingField {
@@ -49,60 +68,76 @@ pub fn optimize(
         });
     }
 
+    let groupings = set_partitions(n);
+    let candidates = exec.map(&groupings, |grouping| {
+        price_grouping(system, context, candidate_lambdas, grouping)
+    });
+
     let mut best: Option<PartitionSolution> = None;
-    for grouping in set_partitions(n) {
-        let n_dies = grouping.iter().max().map_or(0, |&m| m + 1);
-        // Choose each die's λ independently: evaluate die-by-die.
-        let mut lambdas: Vec<Microns> = Vec::with_capacity(n_dies);
-        let mut feasible = true;
-        for die_idx in 0..n_dies {
-            // Per-die costs are separable, so price this die alone as a
-            // one-die system and keep its best candidate node.
-            let members: Vec<_> = grouping
-                .iter()
-                .zip(system.partitions())
-                .filter(|(&g, _)| g == die_idx)
-                .map(|(_, p)| p.clone())
-                .collect();
-            let sub = SystemDesign::new(members)?;
-            let sub_grouping = vec![0; sub.partitions().len()];
-            let mut best_lambda: Option<(Microns, f64)> = None;
-            for &lambda in candidate_lambdas {
-                if let Ok(cost) = sub.evaluate(context, &sub_grouping, &[lambda]) {
-                    let total = cost.total.value();
-                    if best_lambda.is_none_or(|(_, c)| total < c) {
-                        best_lambda = Some((lambda, total));
-                    }
+    for candidate in candidates {
+        match candidate {
+            Err(e) => return Err(e),
+            Ok(Some(solution)) => {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| solution.cost.total.value() < b.cost.total.value())
+                {
+                    best = Some(solution);
                 }
             }
-            match best_lambda {
-                Some((lambda, _)) => lambdas.push(lambda),
-                None => {
-                    feasible = false;
-                    break;
-                }
-            }
-        }
-        if !feasible {
-            continue;
-        }
-        if let Ok(cost) = system.evaluate(context, &grouping, &lambdas) {
-            if best
-                .as_ref()
-                .is_none_or(|b| cost.total.value() < b.cost.total.value())
-            {
-                best = Some(PartitionSolution {
-                    grouping,
-                    lambdas,
-                    cost,
-                });
-            }
+            Ok(None) => {}
         }
     }
 
     best.ok_or(CostError::MissingField {
         field: "feasible assignment",
     })
+}
+
+/// Prices one grouping: chooses each die's λ independently and
+/// evaluates the full assignment. `Ok(None)` means infeasible.
+fn price_grouping(
+    system: &SystemDesign,
+    context: &ManufacturingContext,
+    candidate_lambdas: &[Microns],
+    grouping: &[usize],
+) -> Result<Option<PartitionSolution>, CostError> {
+    let n_dies = grouping.iter().max().map_or(0, |&m| m + 1);
+    // Choose each die's λ independently: evaluate die-by-die.
+    let mut lambdas: Vec<Microns> = Vec::with_capacity(n_dies);
+    for die_idx in 0..n_dies {
+        // Per-die costs are separable, so price this die alone as a
+        // one-die system and keep its best candidate node.
+        let members: Vec<_> = grouping
+            .iter()
+            .zip(system.partitions())
+            .filter(|(&g, _)| g == die_idx)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let sub = SystemDesign::new(members)?;
+        let sub_grouping = vec![0; sub.partitions().len()];
+        let mut best_lambda: Option<(Microns, f64)> = None;
+        for &lambda in candidate_lambdas {
+            if let Ok(cost) = sub.evaluate(context, &sub_grouping, &[lambda]) {
+                let total = cost.total.value();
+                if best_lambda.is_none_or(|(_, c)| total < c) {
+                    best_lambda = Some((lambda, total));
+                }
+            }
+        }
+        match best_lambda {
+            Some((lambda, _)) => lambdas.push(lambda),
+            None => return Ok(None),
+        }
+    }
+    match system.evaluate(context, grouping, &lambdas) {
+        Ok(cost) => Ok(Some(PartitionSolution {
+            grouping: grouping.to_vec(),
+            lambdas,
+            cost,
+        })),
+        Err(_) => Ok(None),
+    }
 }
 
 /// Enumerates all set partitions of `n` items as canonical grouping

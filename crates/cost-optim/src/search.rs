@@ -2,6 +2,7 @@
 
 use maly_cost_model::product::ProductScenario;
 use maly_cost_model::CostError;
+use maly_par::Executor;
 use maly_units::Microns;
 
 /// Golden-section minimization of a unimodal function on `[a, b]`.
@@ -66,13 +67,36 @@ pub fn golden_section(
 /// # Panics
 ///
 /// Panics if the interval is invalid or `steps < 2`.
-pub fn grid_min(f: impl Fn(f64) -> f64, a: f64, b: f64, steps: usize) -> (f64, f64) {
+pub fn grid_min(f: impl Fn(f64) -> f64 + Sync, a: f64, b: f64, steps: usize) -> (f64, f64) {
+    grid_min_with(&Executor::from_env(), f, a, b, steps)
+}
+
+/// [`grid_min`] on an explicit executor: samples evaluate in parallel;
+/// the minimum is an ordered strict-`<` fold, so the earliest grid
+/// point wins ties exactly as in the serial scan.
+///
+/// # Panics
+///
+/// Panics if the interval is invalid or `steps < 2`.
+pub fn grid_min_with(
+    exec: &Executor,
+    f: impl Fn(f64) -> f64 + Sync,
+    a: f64,
+    b: f64,
+    steps: usize,
+) -> (f64, f64) {
     assert!(a < b, "invalid interval [{a}, {b}]");
     assert!(steps >= 2, "need at least 2 samples");
-    let mut best = (a, f(a));
-    for i in 1..steps {
+    let samples = exec.map_indexed(steps, |i| {
         let x = a + (b - a) * i as f64 / (steps - 1) as f64;
-        let fx = f(x);
+        (x, f(x))
+    });
+    let mut it = samples.into_iter();
+    // steps >= 2 was asserted, so the first sample exists.
+    let Some(mut best) = it.next() else {
+        return (a, f(a));
+    };
+    for (x, fx) in it {
         if fx < best.1 {
             best = (x, fx);
         }
@@ -96,6 +120,29 @@ pub fn optimal_feature_size(
     lambda_max: f64,
     steps: usize,
 ) -> Result<Option<(Microns, f64)>, CostError> {
+    optimal_feature_size_with(
+        &Executor::from_env(),
+        scenario,
+        lambda_min,
+        lambda_max,
+        steps,
+    )
+}
+
+/// [`optimal_feature_size`] on an explicit executor: node candidates
+/// evaluate in parallel; the cheapest is an ordered strict-`<` fold
+/// matching the serial scan's tie-break bit for bit.
+///
+/// # Errors
+///
+/// As for [`optimal_feature_size`].
+pub fn optimal_feature_size_with(
+    exec: &Executor,
+    scenario: &ProductScenario,
+    lambda_min: f64,
+    lambda_max: f64,
+    steps: usize,
+) -> Result<Option<(Microns, f64)>, CostError> {
     if !(lambda_min > 0.0 && lambda_min < lambda_max) || steps < 2 {
         return Err(CostError::InvalidInput(maly_units::UnitError::OutOfRange {
             quantity: "lambda window",
@@ -104,12 +151,21 @@ pub fn optimal_feature_size(
             max: lambda_max,
         }));
     }
-    let mut best: Option<(Microns, f64)> = None;
-    for i in 0..steps {
+    let evaluated = exec.map_indexed(steps, |i| -> Result<Option<(Microns, f64)>, CostError> {
         let l = lambda_min + (lambda_max - lambda_min) * i as f64 / (steps - 1) as f64;
         let lambda = Microns::new(l)?;
-        if let Ok(breakdown) = scenario.evaluate_at(lambda) {
-            let cost = breakdown.cost_per_transistor.value();
+        Ok(scenario
+            .evaluate_at(lambda)
+            .ok()
+            .map(|breakdown| (lambda, breakdown.cost_per_transistor.value())))
+    });
+    let mut best: Option<(Microns, f64)> = None;
+    for point in evaluated {
+        let point = match point {
+            Ok(p) => p,
+            Err(e) => return Err(e),
+        };
+        if let Some((lambda, cost)) = point {
             if best.is_none_or(|(_, c)| cost < c) {
                 best = Some((lambda, cost));
             }

@@ -20,7 +20,10 @@
 //!   mono- vs multi-product comparison reproducing the ×7 mechanism;
 //! * [`des`] — a discrete-event lot-flow simulation that validates the
 //!   capacity model's utilizations and exposes cycle-time effects the
-//!   static model cannot see.
+//!   static model cannot see;
+//! * [`mc`] — Monte Carlo replications over demand uncertainty, run in
+//!   parallel on [`maly_par::Executor`] with per-replication seeds, so
+//!   reports are bit-identical at every thread count.
 //!
 //! # Examples
 //!
@@ -42,6 +45,7 @@ pub mod capacity;
 pub mod cost;
 pub mod des;
 pub mod equipment;
+pub mod mc;
 pub mod process;
 pub mod rental;
 

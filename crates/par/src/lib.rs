@@ -1,0 +1,379 @@
+//! Deterministic data-parallel execution for the workspace's sweeps.
+//!
+//! Every design-space exploration in the paper — the Fig 8 cost surface
+//! over `(λ × N_tr)`, the Scenario #1/#2 trend sweeps, the set-partition
+//! search, and the fab-line Monte Carlo — is embarrassingly parallel:
+//! grid cells and candidates are independent. This crate provides the
+//! one sanctioned way to exploit that (a workspace lint forbids raw
+//! `std::thread::spawn` elsewhere):
+//!
+//! * [`Executor`] — a scoped-thread pool-of-the-moment with chunked
+//!   work distribution ([`Executor::map`], [`Executor::map_indexed`],
+//!   [`Executor::grid`], [`Executor::map_reduce`]);
+//! * [`par_map`], [`par_grid`], [`par_fold`] — free-function shorthands
+//!   using the environment-configured executor.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical** to the serial path at every thread
+//! count: work items are pure functions of their index, outputs are
+//! collected in index order, and reductions fold sequentially over that
+//! order. The only thing threads change is wall-clock time. The
+//! workspace's golden tests (`cost-optim/tests/determinism.rs`) enforce
+//! this for the Fig 8 surface, contour extraction, and the partition
+//! search.
+//!
+//! # Configuration
+//!
+//! `MALY_PAR_THREADS` sets the thread count (default: the machine's
+//! available parallelism; `1` forces the serial fallback, which runs the
+//! closures inline on the caller's stack with no thread machinery at
+//! all). Code that needs a specific count regardless of the environment
+//! — tests, benchmarks — uses [`Executor::with_threads`].
+//!
+//! # Examples
+//!
+//! ```
+//! use maly_par::Executor;
+//!
+//! let exec = Executor::with_threads(4);
+//! let squares = exec.map_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! // Ordered reduce: fold runs sequentially over index order, so the
+//! // result matches the serial loop exactly (first minimum wins).
+//! let min = exec.map_reduce(8, |i| (7 - i) % 4, None, |best: Option<usize>, v| {
+//!     match best {
+//!         Some(b) if b <= v => Some(b),
+//!         _ => Some(v),
+//!     }
+//! });
+//! assert_eq!(min, Some(0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Environment variable selecting the executor's thread count.
+pub const THREADS_ENV_VAR: &str = "MALY_PAR_THREADS";
+
+/// Resolves the thread count from [`THREADS_ENV_VAR`], falling back to
+/// the machine's available parallelism. Unparsable or zero values fall
+/// back too, so a broken environment can never disable the sweeps.
+#[must_use]
+pub fn threads_from_env() -> usize {
+    match std::env::var(THREADS_ENV_VAR) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_parallelism(),
+        },
+        Err(_) => default_parallelism(),
+    }
+}
+
+/// The machine's available parallelism (1 when it cannot be queried).
+#[must_use]
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A deterministic data-parallel executor over scoped threads.
+///
+/// Work is split into contiguous index chunks, one per thread; each
+/// chunk writes into its own disjoint slice of the output, so results
+/// come back in index order without any synchronization beyond the
+/// scope join. With one thread (or one item) everything runs inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Executor {
+    /// An executor sized by `MALY_PAR_THREADS` (default: available
+    /// parallelism).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::with_threads(threads_from_env())
+    }
+
+    /// An executor with an explicit thread count (`0` is treated as 1).
+    /// Thread counts above the machine's core count are legal — the
+    /// determinism tests use them to exercise chunk boundaries.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The serial executor: every closure runs inline on the caller's
+    /// stack.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// The configured thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every index in `0..n`, returning results in index
+    /// order. The parallel and serial paths produce identical vectors.
+    pub fn map_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunk = n.div_ceil(self.threads);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let f = &f;
+            for (c, out_chunk) in slots.chunks_mut(chunk).enumerate() {
+                let base = c * chunk;
+                scope.spawn(move || {
+                    for (k, slot) in out_chunk.iter_mut().enumerate() {
+                        *slot = Some(f(base + k));
+                    }
+                });
+            }
+        });
+        let out: Vec<R> = slots.into_iter().flatten().collect();
+        assert_eq!(out.len(), n, "executor lost results");
+        out
+    }
+
+    /// Applies `f` to every element of `items`, preserving order.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_indexed(items.len(), |i| f(&items[i]))
+    }
+
+    /// Evaluates `f(row, col)` over a `rows × cols` grid, returning
+    /// `out[row][col]`. The grid is flattened into row-major tiles and
+    /// chunked across threads, so long and skinny grids still balance.
+    pub fn grid<R, F>(&self, rows: usize, cols: usize, f: F) -> Vec<Vec<R>>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Sync,
+    {
+        if rows == 0 || cols == 0 {
+            return (0..rows).map(|_| Vec::new()).collect();
+        }
+        let flat = self.map_indexed(rows * cols, |id| f(id / cols, id % cols));
+        let mut out: Vec<Vec<R>> = Vec::with_capacity(rows);
+        let mut it = flat.into_iter();
+        for _ in 0..rows {
+            out.push(it.by_ref().take(cols).collect());
+        }
+        out
+    }
+
+    /// Ordered reduce: maps `0..n` in parallel, then folds the results
+    /// *sequentially in index order*. Because the fold order matches the
+    /// serial loop, `fold` with a strict `<` keeps the earliest minimum —
+    /// exactly the serial tie-break.
+    pub fn map_reduce<T, A, F, G>(&self, n: usize, map: F, init: A, mut fold: G) -> A
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        G: FnMut(A, T) -> A,
+    {
+        self.map_indexed(n, map)
+            .into_iter()
+            .fold(init, |acc, v| fold(acc, v))
+    }
+}
+
+/// [`Executor::map`] on the environment-configured executor.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    Executor::from_env().map(items, f)
+}
+
+/// [`Executor::grid`] on the environment-configured executor.
+pub fn par_grid<R, F>(rows: usize, cols: usize, f: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    Executor::from_env().grid(rows, cols, f)
+}
+
+/// [`Executor::map_reduce`] on the environment-configured executor.
+pub fn par_fold<T, A, F, G>(n: usize, map: F, init: A, fold: G) -> A
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    G: FnMut(A, T) -> A,
+{
+    Executor::from_env().map_reduce(n, map, init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_indexed_matches_serial_at_every_thread_count() {
+        let reference: Vec<u64> = (0..97)
+            .map(|i| (i as u64).wrapping_mul(2654435761))
+            .collect();
+        for threads in [1, 2, 3, 4, 8, 16, 97, 200] {
+            let exec = Executor::with_threads(threads);
+            let got = exec.map_indexed(97, |i| (i as u64).wrapping_mul(2654435761));
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_element_order() {
+        let items: Vec<i32> = (0..50).map(|i| i * 3).collect();
+        let exec = Executor::with_threads(7);
+        assert_eq!(
+            exec.map(&items, |&v| v + 1),
+            (0..50).map(|i| i * 3 + 1).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn grid_is_row_major_and_exact() {
+        for threads in [1, 3, 8] {
+            let exec = Executor::with_threads(threads);
+            let g = exec.grid(5, 7, |r, c| (r, c));
+            assert_eq!(g.len(), 5);
+            for (r, row) in g.iter().enumerate() {
+                assert_eq!(row.len(), 7);
+                for (c, cell) in row.iter().enumerate() {
+                    assert_eq!(*cell, (r, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_handles_empty_dimensions() {
+        let exec = Executor::with_threads(4);
+        assert_eq!(exec.grid(0, 5, |_, _| 0), Vec::<Vec<i32>>::new());
+        let empty_rows = exec.grid(3, 0, |_, _| 0);
+        assert_eq!(empty_rows.len(), 3);
+        assert!(empty_rows.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn map_reduce_keeps_the_earliest_minimum() {
+        // Values with duplicates: index 2 and 5 both hold the minimum 1;
+        // a serial strict-< scan keeps index 2. The ordered reduce must
+        // agree at every thread count.
+        let values = [4usize, 3, 1, 3, 2, 1, 4];
+        for threads in [1, 2, 8] {
+            let exec = Executor::with_threads(threads);
+            let best = exec.map_reduce(
+                values.len(),
+                |i| (i, values[i]),
+                None,
+                |best: Option<(usize, usize)>, (i, v)| match best {
+                    Some((_, bv)) if bv <= v => best,
+                    _ => Some((i, v)),
+                },
+            );
+            assert_eq!(best, Some((2, 1)), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_items_and_single_item_work() {
+        let exec = Executor::with_threads(8);
+        assert_eq!(exec.map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(exec.map_indexed(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn threads_are_actually_used_when_requested() {
+        // Count distinct threads observed by the closures. With 4 threads
+        // and 64 items, at least 2 distinct threads must participate.
+        let exec = Executor::with_threads(4);
+        let ids = exec.map_indexed(64, |_| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            format!("{:?}", std::thread::current().id())
+        });
+        let mut distinct: Vec<&String> = ids.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        assert!(
+            distinct.len() >= 2,
+            "saw {} distinct threads",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn serial_executor_runs_inline() {
+        // The serial path must not spawn: the closure sees the caller's
+        // thread id.
+        let caller = format!("{:?}", std::thread::current().id());
+        let exec = Executor::serial();
+        let seen = exec.map_indexed(4, |_| format!("{:?}", std::thread::current().id()));
+        assert!(seen.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn closure_runs_exactly_once_per_index() {
+        let calls = AtomicUsize::new(0);
+        let exec = Executor::with_threads(6);
+        let out = exec.map_indexed(100, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn env_var_controls_from_env() {
+        // Single test owning the env var (other tests use with_threads
+        // to avoid process-global races).
+        std::env::set_var(THREADS_ENV_VAR, "3");
+        assert_eq!(Executor::from_env().threads(), 3);
+        std::env::set_var(THREADS_ENV_VAR, "0");
+        assert_eq!(Executor::from_env().threads(), default_parallelism());
+        std::env::set_var(THREADS_ENV_VAR, "not-a-number");
+        assert_eq!(Executor::from_env().threads(), default_parallelism());
+        std::env::remove_var(THREADS_ENV_VAR);
+        assert_eq!(Executor::from_env().threads(), default_parallelism());
+    }
+
+    #[test]
+    fn free_functions_match_methods() {
+        let items = [1.0f64, 2.0, 3.0];
+        assert_eq!(par_map(&items, |v| v * 2.0), vec![2.0, 4.0, 6.0]);
+        let g = par_grid(2, 2, |r, c| r * 10 + c);
+        assert_eq!(g, vec![vec![0, 1], vec![10, 11]]);
+        let sum = par_fold(5, |i| i, 0usize, |a, v| a + v);
+        assert_eq!(sum, 10);
+    }
+}

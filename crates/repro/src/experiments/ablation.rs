@@ -25,10 +25,10 @@ use crate::ExperimentReport;
 
 /// Mean relative error of Table 3 under a scenario transformation.
 fn mean_error(build: impl Fn(&table3::Table3Row) -> Option<f64>) -> f64 {
-    let rows = table3::rows();
+    let rows = &crate::context::shared().table3_rows;
     let mut total = 0.0;
     let mut count = 0usize;
-    for row in &rows {
+    for row in rows {
         if let Some(measured) = build(row) {
             total += (measured - row.paper_cost_micro_dollars).abs() / row.paper_cost_micro_dollars;
             count += 1;

@@ -1,16 +1,17 @@
 //! Fig 1 — minimum feature size vs year.
 
-use maly_tech_trend::{datasets, fit};
+use maly_tech_trend::datasets;
 use maly_viz::lineplot::LinePlot;
 use maly_viz::table::{Alignment, TextTable};
 
+use crate::context;
 use crate::ExperimentReport;
 
 /// Regenerates Fig 1: the exponential feature-size shrink.
 #[must_use]
 pub fn report() -> ExperimentReport {
     let data = datasets::FEATURE_SIZE_BY_YEAR;
-    let trend = fit::fit_exponential(data).expect("dataset is positive");
+    let trend = context::shared().feature_trend;
     let halving_years = -(2.0f64.ln()) / trend.rate();
 
     let plot = LinePlot::new("Fig 1: minimum feature size vs year")
@@ -57,7 +58,7 @@ mod tests {
         assert!(r.body.contains("halves every"));
         assert!(r.body.contains("Fig 1"));
         // The fitted halving time should be quoted between 4 and 8 years.
-        let trend = fit::fit_exponential(datasets::FEATURE_SIZE_BY_YEAR).unwrap();
+        let trend = context::shared().feature_trend;
         let halving = -(2.0f64.ln()) / trend.rate();
         assert!(halving > 4.0 && halving < 8.0);
     }

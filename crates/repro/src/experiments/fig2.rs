@@ -1,9 +1,10 @@
 //! Fig 2 — fab-line and wafer cost growth; extraction of X.
 
-use maly_tech_trend::{datasets, fit};
+use maly_tech_trend::datasets;
 use maly_viz::lineplot::LinePlot;
 use maly_viz::table::{Alignment, TextTable};
 
+use crate::context;
 use crate::ExperimentReport;
 
 /// Regenerates Fig 2: exponential fab cost growth and the wafer-cost
@@ -12,7 +13,7 @@ use crate::ExperimentReport;
 #[must_use]
 pub fn report() -> ExperimentReport {
     let fab = datasets::FAB_COST_BY_YEAR;
-    let fab_trend = fit::fit_exponential(fab).expect("positive data");
+    let fab_trend = context::shared().fab_cost_trend;
     let doubling = 2.0f64.ln() / fab_trend.rate();
 
     let fab_plot = LinePlot::new("Fig 2a: cost of a new fab line vs year")
@@ -22,7 +23,7 @@ pub fn report() -> ExperimentReport {
         .render(72, 18);
 
     let wafer = datasets::WAFER_COST_BY_GENERATION;
-    let escalation = fit::extract_cost_escalation(wafer).expect("positive data");
+    let escalation = context::shared().wafer_cost_escalation;
 
     let wafer_plot = LinePlot::new("Fig 2b: wafer cost vs technology node")
         .with_series("wafer cost [$]", wafer)
@@ -75,7 +76,7 @@ mod tests {
     fn extracted_x_lands_in_paper_band() {
         let r = report();
         assert!(r.body.contains("inside the paper's 1.2–1.4 band"));
-        let escalation = fit::extract_cost_escalation(datasets::WAFER_COST_BY_GENERATION).unwrap();
+        let escalation = context::shared().wafer_cost_escalation;
         assert!(escalation.x_factor > 1.2 && escalation.x_factor < 1.4);
         assert!((500.0..=800.0).contains(&escalation.c0));
     }

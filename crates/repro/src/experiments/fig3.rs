@@ -1,10 +1,11 @@
 //! Fig 3 — die size growth and the `A_ch(λ)` fit.
 
-use maly_tech_trend::{datasets, diesize::DieSizeTrend};
+use maly_tech_trend::datasets;
 use maly_units::Microns;
 use maly_viz::lineplot::LinePlot;
 use maly_viz::table::{Alignment, TextTable};
 
+use crate::context;
 use crate::experiments::rel_err_percent;
 use crate::ExperimentReport;
 
@@ -13,9 +14,8 @@ use crate::ExperimentReport;
 #[must_use]
 pub fn report() -> ExperimentReport {
     let by_year = datasets::DIE_SIZE_BY_YEAR;
-    let by_node = datasets::DIE_SIZE_BY_GENERATION;
-    let fitted = DieSizeTrend::fit(by_node).expect("positive data");
-    let paper = DieSizeTrend::paper_fit();
+    let fitted = context::shared().die_size_fit;
+    let paper = context::shared().die_size_paper;
 
     let plot = LinePlot::new("Fig 3: die size vs year")
         .with_series("die area [cm²]", by_year)
@@ -67,7 +67,7 @@ mod tests {
 
     #[test]
     fn refit_recovers_paper_coefficients() {
-        let fitted = DieSizeTrend::fit(datasets::DIE_SIZE_BY_GENERATION).unwrap();
+        let fitted = context::shared().die_size_fit;
         assert!((fitted.amplitude_cm2() - 16.5).abs() < 1.0);
         assert!((fitted.rate_per_um() + 5.3).abs() < 0.15);
         assert!(report().body.contains("16.5"));

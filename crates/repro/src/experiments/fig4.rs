@@ -1,18 +1,20 @@
 //! Fig 4 — process step counts and required defect densities.
 
 use maly_fabline_sim::process::ProcessFlow;
-use maly_tech_trend::{datasets, diesize::DieSizeTrend};
+use maly_tech_trend::datasets;
 use maly_units::Microns;
 use maly_viz::lineplot::LinePlot;
 use maly_viz::table::{Alignment, TextTable};
 
+use crate::context;
 use crate::ExperimentReport;
 
 /// First-principles required defect density: the `D₀` that keeps a
 /// Fig-3-trend die at 70% yield under Poisson statistics,
 /// `D_req(λ) = −ln(0.7) / A_ch(λ)`.
 fn derived_required_density(lambda: f64) -> f64 {
-    let area = DieSizeTrend::paper_fit()
+    let area = context::shared()
+        .die_size_paper
         .area_at(Microns::new(lambda).expect("positive node"))
         .value();
     -(0.7f64.ln()) / area

@@ -5,16 +5,16 @@
 //! on the calendar axis — "there are some indications that the cost per
 //! transistor may no longer decrease."
 
-use maly_cost_model::roadmap::CostRoadmap;
 use maly_viz::lineplot::LinePlot;
 use maly_viz::table::{Alignment, TextTable};
 
+use crate::context;
 use crate::ExperimentReport;
 
 /// Projects both scenarios over 1986–2002.
 #[must_use]
 pub fn report() -> ExperimentReport {
-    let roadmap = CostRoadmap::paper_default().expect("built-in datasets are valid");
+    let roadmap = &context::shared().roadmap;
     let points = roadmap
         .project(1986, 2002)
         .expect("projection window valid");
@@ -96,7 +96,7 @@ mod tests {
 
     #[test]
     fn projection_has_a_turning_year() {
-        let roadmap = CostRoadmap::paper_default().unwrap();
+        let roadmap = &context::shared().roadmap;
         let turning = roadmap.realistic_turning_year(1986, 2002).unwrap();
         // At X = 2.0 the decline is over before the window even starts.
         assert_eq!(turning, Some(1986));

@@ -1,9 +1,10 @@
 //! Table 3 — the cost diversity study (the reproduction's anchor).
 
-use maly_paper_data::table3::{self, CountProvenance};
+use maly_paper_data::table3::CountProvenance;
 use maly_viz::barchart::BarChart;
 use maly_viz::table::{Alignment, TextTable};
 
+use crate::context;
 use crate::experiments::rel_err_percent;
 use crate::ExperimentReport;
 
@@ -32,7 +33,7 @@ pub fn report() -> ExperimentReport {
     }
 
     let mut worst_printed: f64 = 0.0;
-    for row in table3::rows() {
+    for row in &context::shared().table3_rows {
         let breakdown = row
             .scenario()
             .expect("printed inputs are valid")
@@ -71,7 +72,7 @@ pub fn report() -> ExperimentReport {
     }
 
     let mut chart = BarChart::new("cost diversity (µ$/transistor, log scale)").log_scale();
-    for row in table3::rows() {
+    for row in &context::shared().table3_rows {
         let measured = row
             .scenario()
             .expect("printed inputs valid")

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod experiments;
 
 /// A rendered experiment: identifier, title, and markdown body.
@@ -41,26 +42,34 @@ impl std::fmt::Display for ExperimentReport {
 }
 
 /// Every experiment in paper order.
+///
+/// The reports are generated concurrently on the ambient
+/// [`maly_par::Executor`] (`MALY_PAR_THREADS`); results come back in
+/// paper order regardless of which thread finished first, and the
+/// shared setup in [`context`] is derived exactly once however the
+/// experiments interleave.
 #[must_use]
 pub fn all_experiments() -> Vec<ExperimentReport> {
-    vec![
-        experiments::fig1::report(),
-        experiments::fig2::report(),
-        experiments::fig3::report(),
-        experiments::fig4::report(),
-        experiments::fig5::report(),
-        experiments::table1::report(),
-        experiments::table2::report(),
-        experiments::fig6::report(),
-        experiments::fig7::report(),
-        experiments::fig8::report(),
-        experiments::table3::report(),
-        experiments::product_mix::report(),
-        experiments::mcm_kgd::report(),
-        experiments::roadmap::report(),
-        experiments::system_opt::report(),
-        experiments::ablation::report(),
-    ]
+    type Experiment = fn() -> ExperimentReport;
+    const EXPERIMENTS: [Experiment; 16] = [
+        experiments::fig1::report,
+        experiments::fig2::report,
+        experiments::fig3::report,
+        experiments::fig4::report,
+        experiments::fig5::report,
+        experiments::table1::report,
+        experiments::table2::report,
+        experiments::fig6::report,
+        experiments::fig7::report,
+        experiments::fig8::report,
+        experiments::table3::report,
+        experiments::product_mix::report,
+        experiments::mcm_kgd::report,
+        experiments::roadmap::report,
+        experiments::system_opt::report,
+        experiments::ablation::report,
+    ];
+    maly_par::Executor::from_env().map(&EXPERIMENTS, |report| report())
 }
 
 #[cfg(test)]

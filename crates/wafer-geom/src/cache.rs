@@ -1,0 +1,277 @@
+//! Memoized eq. (4) dies-per-wafer evaluation.
+//!
+//! The row-packing sum dominates the per-cell cost of every sweep: a
+//! Fig 8 surface, a partition search, or a Table 3 regeneration asks
+//! for `N_ch` thousands of times, and many of those calls repeat the
+//! same `(usable radius, die width, die height)` triple — most visibly
+//! in the partition search, where the same die subsets recur across
+//! hundreds of groupings, and across repeated surface/report passes.
+//!
+//! [`dies_per_wafer`] is a drop-in memoized front for
+//! [`crate::maly::dies_per_wafer`]. The cache key is the *only* input
+//! the formula reads — the usable radius and the two die edges — each
+//! quantized to an integer number of **nanocentimeters** (1e-9 cm,
+//! i.e. 10 femtometers). The quantum sits ten orders of magnitude below
+//! any physical die dimension in the model, so distinct designs never
+//! collide, while dimensionally identical requests reuse the stored
+//! count. Because every caller routes through the same cache, parallel
+//! and serial sweeps observe identical values (see DESIGN.md,
+//! "Parallel execution & determinism").
+//!
+//! The cache is process-global (`OnceLock`), sharded to keep lock
+//! contention negligible under the parallel executor, and safe across
+//! panics: a poisoned shard is recovered, not unwrapped.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+use maly_units::DieCount;
+
+use crate::{maly, DieDimensions, Wafer};
+
+/// Quantization step of the cache key, in centimeters.
+pub const KEY_QUANTUM_CM: f64 = 1.0e-9;
+
+/// Number of shards; a power of two so the selector is a mask.
+const SHARDS: usize = 16;
+
+/// One memo key: `(usable radius, die width, die height)` in integer
+/// multiples of [`KEY_QUANTUM_CM`].
+type Key = (u64, u64, u64);
+
+struct Shard {
+    map: RwLock<HashMap<Key, u32>>,
+}
+
+struct Cache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+static CACHE: OnceLock<Cache> = OnceLock::new();
+
+fn cache() -> &'static Cache {
+    CACHE.get_or_init(|| Cache {
+        shards: (0..SHARDS)
+            .map(|_| Shard {
+                map: RwLock::new(HashMap::new()),
+            })
+            .collect(),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// Quantizes a positive dimension to integer nanocentimeters.
+/// Float-to-int casts saturate, so pathological inputs stay safe.
+fn quantize(value_cm: f64) -> u64 {
+    (value_cm / KEY_QUANTUM_CM).round() as u64
+}
+
+fn shard_of(key: &Key) -> usize {
+    // Cheap mix of the three coordinates; only distribution matters.
+    let h = key
+        .0
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(key.1.rotate_left(21))
+        .wrapping_add(key.2.rotate_left(42));
+    (h >> 58) as usize & (SHARDS - 1)
+}
+
+/// Reads a shard, recovering from poison (a panicked writer cannot have
+/// left a torn entry: `HashMap::insert` of a `u32` is not observable
+/// mid-write through the lock).
+fn lookup(key: &Key) -> Option<u32> {
+    let shard = &cache().shards[shard_of(key)];
+    let guard = match shard.map.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    guard.get(key).copied()
+}
+
+fn store(key: Key, value: u32) {
+    let shard = &cache().shards[shard_of(&key)];
+    let mut guard = match shard.map.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    guard.insert(key, value);
+}
+
+/// Memoized [`crate::maly::dies_per_wafer`]; bit-identical to the
+/// direct call.
+#[must_use]
+pub fn dies_per_wafer(wafer: &Wafer, die: DieDimensions) -> DieCount {
+    let key = (
+        quantize(wafer.usable_radius().value()),
+        quantize(die.width().value()),
+        quantize(die.height().value()),
+    );
+    if let Some(count) = lookup(&key) {
+        cache().hits.fetch_add(1, Ordering::Relaxed);
+        return DieCount::new(count);
+    }
+    let count = maly::dies_per_wafer(wafer, die);
+    cache().misses.fetch_add(1, Ordering::Relaxed);
+    store(key, count.value());
+    count
+}
+
+/// Memoized [`crate::maly::dies_per_wafer_best_orientation`]: both
+/// orientations go through the shared cache, so a rotated request of
+/// the same rectangle is already warm.
+#[must_use]
+pub fn dies_per_wafer_best_orientation(wafer: &Wafer, die: DieDimensions) -> DieCount {
+    let as_drawn = dies_per_wafer(wafer, die);
+    let rotated = dies_per_wafer(wafer, die.rotated());
+    as_drawn.max(rotated)
+}
+
+/// Cache effectiveness counters (process lifetime totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Calls answered from the cache.
+    pub hits: u64,
+    /// Calls that computed eq. (4) and stored the result.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (zero before any call).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Current hit/miss counters.
+#[must_use]
+pub fn stats() -> CacheStats {
+    let c = cache();
+    CacheStats {
+        hits: c.hits.load(Ordering::Relaxed),
+        misses: c.misses.load(Ordering::Relaxed),
+    }
+}
+
+/// Empties every shard and resets the counters (for cold-start
+/// benchmarks; correctness never requires clearing).
+pub fn clear() {
+    let c = cache();
+    for shard in &c.shards {
+        let mut guard = match shard.map.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.clear();
+    }
+    c.hits.store(0, Ordering::Relaxed);
+    c.misses.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maly_units::{Centimeters, SquareCentimeters};
+
+    #[test]
+    fn cached_count_matches_direct_eq4() {
+        let wafer = Wafer::six_inch();
+        for area in [0.25, 1.0, 2.976, 4.785216] {
+            let die = DieDimensions::square_with_area(SquareCentimeters::new(area).unwrap());
+            assert_eq!(
+                dies_per_wafer(&wafer, die),
+                maly::dies_per_wafer(&wafer, die),
+                "area {area}"
+            );
+            // Second call exercises the hit path; value must not change.
+            assert_eq!(
+                dies_per_wafer(&wafer, die),
+                maly::dies_per_wafer(&wafer, die)
+            );
+        }
+    }
+
+    #[test]
+    fn best_orientation_matches_direct() {
+        let wafer = Wafer::six_inch();
+        let die = DieDimensions::new(
+            Centimeters::new(2.9).unwrap(),
+            Centimeters::new(0.9).unwrap(),
+        );
+        assert_eq!(
+            dies_per_wafer_best_orientation(&wafer, die),
+            maly::dies_per_wafer_best_orientation(&wafer, die)
+        );
+    }
+
+    #[test]
+    fn edge_exclusion_changes_the_key() {
+        // Same die, different usable radius: must not alias.
+        let die = DieDimensions::square(Centimeters::new(1.0).unwrap());
+        let full = dies_per_wafer(&Wafer::six_inch(), die);
+        let excluded = dies_per_wafer(
+            &Wafer::six_inch().edge_exclusion(Centimeters::new(0.5).unwrap()),
+            die,
+        );
+        assert!(excluded < full);
+    }
+
+    #[test]
+    fn nearby_but_distinct_dimensions_do_not_alias() {
+        // 1 µm apart (1e-4 cm) is 100 000 quanta apart: distinct keys.
+        let wafer = Wafer::six_inch();
+        let a = DieDimensions::square(Centimeters::new(1.0).unwrap());
+        let b = DieDimensions::square(Centimeters::new(1.0001).unwrap());
+        assert_eq!(dies_per_wafer(&wafer, a), maly::dies_per_wafer(&wafer, a));
+        assert_eq!(dies_per_wafer(&wafer, b), maly::dies_per_wafer(&wafer, b));
+    }
+
+    #[test]
+    fn stats_and_clear_work() {
+        clear();
+        let wafer = Wafer::six_inch();
+        let die = DieDimensions::square(Centimeters::new(1.25).unwrap());
+        let _ = dies_per_wafer(&wafer, die);
+        let _ = dies_per_wafer(&wafer, die);
+        let s = stats();
+        // Other tests run concurrently in this process, so only lower
+        // bounds are stable.
+        assert!(s.misses >= 1);
+        assert!(s.hits >= 1);
+        assert!(s.hit_rate() > 0.0 && s.hit_rate() < 1.0);
+        clear();
+        let s = stats();
+        assert_eq!(s.hits + s.misses, 0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let wafer = Wafer::six_inch();
+        let reference: Vec<u32> = (1..40)
+            .map(|i| {
+                let die = DieDimensions::square(Centimeters::new(i as f64 * 0.1).unwrap());
+                maly::dies_per_wafer(&wafer, die).value()
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for (i, want) in (1..40).zip(&reference) {
+                        let die = DieDimensions::square(Centimeters::new(i as f64 * 0.1).unwrap());
+                        assert_eq!(dies_per_wafer(&wafer, die).value(), *want);
+                    }
+                });
+            }
+        });
+    }
+}

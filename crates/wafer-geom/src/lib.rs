@@ -11,7 +11,9 @@
 //!   optimization, which also produces [`WaferMap`]s consumed by the yield
 //!   Monte Carlo and the wafer-map renderer,
 //! * [`approx`] — classical closed-form estimates (gross area ratio and the
-//!   edge-corrected variant) useful for sanity bounds and quick sizing.
+//!   edge-corrected variant) useful for sanity bounds and quick sizing,
+//! * [`cache`] — a process-global memo in front of eq. (4), keyed on
+//!   quantized wafer/die dimensions; the sweep engines route through it.
 //!
 //! # Examples
 //!
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod cache;
 mod die;
 pub mod maly;
 pub mod raster;

@@ -1,6 +1,6 @@
 //! maly-audit — the workspace's self-contained static analysis pass.
 //!
-//! Run as `cargo run -p xtask -- lint`. Four rule families keep the
+//! Run as `cargo run -p xtask -- lint`. Five rule families keep the
 //! numeric core honest:
 //!
 //! 1. **panic-freedom** — no `unwrap`/`expect`/`panic!` family calls in
@@ -12,11 +12,15 @@
 //!    via `partial_cmp`, no float-literal `==`;
 //! 4. **crate hygiene** — workspace-inherited metadata, `[lints]`
 //!    inheritance, `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]`
-//!    crate roots, no wildcard versions or placeholder URLs.
+//!    crate roots, no wildcard versions or placeholder URLs;
+//! 5. **raw-thread containment** — no raw `std::thread::spawn` outside
+//!    `crates/par`, so every parallel path stays deterministic and
+//!    honors `MALY_PAR_THREADS`.
 //!
 //! Escape hatches are inline comments: `audit:allow(panic)`,
 //! `audit:allow(bare-f64)`, `audit:allow(nan)`,
-//! `audit:allow(float-cmp)` — each expected to carry a justification.
+//! `audit:allow(float-cmp)`, `audit:allow(raw-thread)` — each expected
+//! to carry a justification.
 //! The linter is std-only: it works in fully offline builds.
 
 #![forbid(unsafe_code)]
@@ -42,6 +46,7 @@ pub const PANIC_BUDGETS: &[(&str, usize)] = &[
     ("maly-cost-optim", 0),
     ("maly-fabline-sim", 11),
     ("maly-paper-data", 0),
+    ("maly-par", 0),
     ("maly-repro", 60),
     ("maly-tech-trend", 3),
     ("maly-test-economics", 4),
@@ -228,6 +233,13 @@ pub fn run_lint(root: &Path) -> io::Result<Report> {
             report
                 .violations
                 .extend(rules::nan_safety(&file_rel, &source));
+            // `maly-par` is the one crate sanctioned to touch raw
+            // threads; everything else must go through its Executor.
+            if name != "maly-par" {
+                report
+                    .violations
+                    .extend(rules::raw_thread(&file_rel, &source));
+            }
         }
 
         let budget = PANIC_BUDGETS

@@ -1,5 +1,5 @@
-//! The four lint rule families: panic-freedom, unit-safety,
-//! NaN-safety, and crate hygiene.
+//! The five lint rule families: panic-freedom, unit-safety,
+//! NaN-safety, crate hygiene, and raw-thread containment.
 //!
 //! Every rule honors inline escape comments of the form
 //! `// audit:allow(<rule>): <justification>` placed on the offending
@@ -48,6 +48,8 @@ pub enum Rule {
     NanSafety,
     /// Manifest or crate-root hygiene problem.
     Hygiene,
+    /// Raw `std::thread::spawn` outside the sanctioned executor crate.
+    RawThread,
 }
 
 impl Rule {
@@ -60,6 +62,7 @@ impl Rule {
             Rule::UnitSafety => "bare-f64",
             Rule::NanSafety => "nan",
             Rule::Hygiene => "hygiene",
+            Rule::RawThread => "raw-thread",
         }
     }
 }
@@ -526,6 +529,51 @@ pub fn check_crate_root_source(file: &str, text: &str) -> Vec<Violation> {
                 line: 1,
                 rule: Rule::Hygiene,
                 message: format!("crate root is missing `{attr}`"),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: raw-thread containment
+// ---------------------------------------------------------------------
+
+/// Flags raw `thread::spawn` calls in non-test code. All workspace
+/// parallelism flows through `maly_par::Executor` so determinism (and
+/// the `MALY_PAR_THREADS` knob) stay centralized; `maly-par` itself is
+/// exempted by the caller, and one-off cases can tag
+/// `audit:allow(raw-thread)`.
+#[must_use]
+pub fn raw_thread(file: &str, source: &str) -> Vec<Violation> {
+    let needle = concat!("thread::", "spawn(");
+    let mut out = Vec::new();
+    let mut allow_next = false;
+    for line in classify(source) {
+        if line.in_test {
+            continue;
+        }
+        let comment_has = contains_allow(line.comment, "raw-thread");
+        if line.code.trim().is_empty() {
+            // Comment-only and blank lines carry the allow tag forward.
+            if comment_has {
+                allow_next = true;
+            }
+            continue;
+        }
+        let allowed = comment_has || allow_next;
+        allow_next = false;
+        if allowed {
+            continue;
+        }
+        if line.code.contains(needle) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: line.number,
+                rule: Rule::RawThread,
+                message: "raw thread spawn; route work through maly_par::Executor \
+                          or tag audit:allow(raw-thread)"
+                    .to_string(),
             });
         }
     }

@@ -202,6 +202,48 @@ fn hygiene_requires_crate_root_headers() {
 }
 
 // ---------------------------------------------------------------------
+// Rule 5: raw-thread containment
+// ---------------------------------------------------------------------
+
+#[test]
+fn raw_thread_rule_flags_spawn_in_library_code() {
+    let src = "fn f() {\n    let h = std::thread::spawn(|| 1);\n    h.join();\n}\n";
+    let found = rules::raw_thread("fixture.rs", src);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rule, Rule::RawThread);
+    assert_eq!(found[0].line, 2);
+    assert!(found[0].message.contains("maly_par::Executor"));
+    // The `use`-imported form is the same needle.
+    let short = "fn f() { thread::spawn(|| 1); }\n";
+    assert_eq!(rules::raw_thread("fixture.rs", short).len(), 1);
+}
+
+#[test]
+fn raw_thread_rule_accepts_scoped_executor_idiom() {
+    // `std::thread::scope` + `scope.spawn` is what maly-par uses; the
+    // rule only targets the free-threaded spawn entry point.
+    let src = "fn f() {\n    std::thread::scope(|s| {\n        s.spawn(|| 1);\n    });\n}\n";
+    assert!(rules::raw_thread("fixture.rs", src).is_empty());
+}
+
+#[test]
+fn raw_thread_rule_honors_allow_tag_and_test_code() {
+    let above = "// audit:allow(raw-thread): fixture justification\n\
+                 fn f() { std::thread::spawn(|| 1); }\n";
+    assert!(rules::raw_thread("fixture.rs", above).is_empty());
+    let inline = "fn f() { std::thread::spawn(|| 1); } // audit:allow(raw-thread): fixture\n";
+    assert!(rules::raw_thread("fixture.rs", inline).is_empty());
+    let test_only = concat!(
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    #[test]\n",
+        "    fn t() { std::thread::spawn(|| 1).join().unwrap(); }\n",
+        "}\n",
+    );
+    assert!(rules::raw_thread("fixture.rs", test_only).is_empty());
+}
+
+// ---------------------------------------------------------------------
 // The tree itself must lint clean — this is the enforcement test.
 // ---------------------------------------------------------------------
 

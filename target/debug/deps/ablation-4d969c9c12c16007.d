@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4d969c9c12c16007.d: crates/repro/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-4d969c9c12c16007: crates/repro/src/bin/ablation.rs
+
+crates/repro/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-8f1d1ea57a5020ea.d: crates/repro/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-8f1d1ea57a5020ea: crates/repro/src/bin/ablation.rs
+
+crates/repro/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-08ac24468e4595a6.d: crates/repro/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-08ac24468e4595a6: crates/repro/src/bin/all.rs
+
+crates/repro/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-904e8f187a68c662.d: crates/repro/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-904e8f187a68c662: crates/repro/src/bin/all.rs
+
+crates/repro/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-83a006c0c8de9a76.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-83a006c0c8de9a76: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-d21c35cca5b09425.d: crates/cost-optim/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d21c35cca5b09425: crates/cost-optim/tests/determinism.rs
+
+crates/cost-optim/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-b83c7b6688bec112.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/debug/deps/experiments-b83c7b6688bec112: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

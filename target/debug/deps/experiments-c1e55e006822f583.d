@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-c1e55e006822f583.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/debug/deps/experiments-c1e55e006822f583: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

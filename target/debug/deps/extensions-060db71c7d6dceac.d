@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-060db71c7d6dceac.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-060db71c7d6dceac: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-68cbe117b7472a56.d: crates/repro/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-68cbe117b7472a56: crates/repro/src/bin/fig1.rs
+
+crates/repro/src/bin/fig1.rs:

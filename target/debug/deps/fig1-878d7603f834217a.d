@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-878d7603f834217a.d: crates/repro/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-878d7603f834217a: crates/repro/src/bin/fig1.rs
+
+crates/repro/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-14a8bfb5e228f3ef.d: crates/repro/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-14a8bfb5e228f3ef: crates/repro/src/bin/fig2.rs
+
+crates/repro/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-511268cdc840367d.d: crates/repro/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-511268cdc840367d: crates/repro/src/bin/fig2.rs
+
+crates/repro/src/bin/fig2.rs:

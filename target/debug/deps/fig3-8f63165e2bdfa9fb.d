@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-8f63165e2bdfa9fb.d: crates/repro/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-8f63165e2bdfa9fb: crates/repro/src/bin/fig3.rs
+
+crates/repro/src/bin/fig3.rs:

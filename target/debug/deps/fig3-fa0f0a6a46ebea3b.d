@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-fa0f0a6a46ebea3b.d: crates/repro/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-fa0f0a6a46ebea3b: crates/repro/src/bin/fig3.rs
+
+crates/repro/src/bin/fig3.rs:

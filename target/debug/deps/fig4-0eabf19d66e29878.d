@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-0eabf19d66e29878.d: crates/repro/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-0eabf19d66e29878: crates/repro/src/bin/fig4.rs
+
+crates/repro/src/bin/fig4.rs:

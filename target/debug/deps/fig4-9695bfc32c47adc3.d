@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-9695bfc32c47adc3.d: crates/repro/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-9695bfc32c47adc3: crates/repro/src/bin/fig4.rs
+
+crates/repro/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-42d51ed8c6bb0a35.d: crates/repro/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-42d51ed8c6bb0a35: crates/repro/src/bin/fig5.rs
+
+crates/repro/src/bin/fig5.rs:

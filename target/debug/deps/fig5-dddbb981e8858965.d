@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-dddbb981e8858965.d: crates/repro/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-dddbb981e8858965: crates/repro/src/bin/fig5.rs
+
+crates/repro/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-93ceebb39a6dc146.d: crates/repro/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-93ceebb39a6dc146: crates/repro/src/bin/fig6.rs
+
+crates/repro/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a207afc74001797b.d: crates/repro/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a207afc74001797b: crates/repro/src/bin/fig6.rs
+
+crates/repro/src/bin/fig6.rs:

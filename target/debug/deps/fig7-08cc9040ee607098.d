@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-08cc9040ee607098.d: crates/repro/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-08cc9040ee607098: crates/repro/src/bin/fig7.rs
+
+crates/repro/src/bin/fig7.rs:

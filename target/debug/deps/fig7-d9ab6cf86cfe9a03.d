@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-d9ab6cf86cfe9a03.d: crates/repro/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-d9ab6cf86cfe9a03: crates/repro/src/bin/fig7.rs
+
+crates/repro/src/bin/fig7.rs:

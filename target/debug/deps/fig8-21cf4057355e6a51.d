@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-21cf4057355e6a51.d: crates/repro/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-21cf4057355e6a51: crates/repro/src/bin/fig8.rs
+
+crates/repro/src/bin/fig8.rs:

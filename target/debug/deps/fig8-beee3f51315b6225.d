@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-beee3f51315b6225.d: crates/repro/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-beee3f51315b6225: crates/repro/src/bin/fig8.rs
+
+crates/repro/src/bin/fig8.rs:

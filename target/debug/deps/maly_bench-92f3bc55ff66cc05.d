@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maly_bench-92f3bc55ff66cc05.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmaly_bench-92f3bc55ff66cc05.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmaly_bench-92f3bc55ff66cc05.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

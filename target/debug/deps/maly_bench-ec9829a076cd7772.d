@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maly_bench-ec9829a076cd7772.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/maly_bench-ec9829a076cd7772: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maly_cli-1eaca2d80c55f70b.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/maly_cli-1eaca2d80c55f70b: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/maly_cost_model-bb32335126baf1a3.d: crates/cost-model/src/lib.rs crates/cost-model/src/density.rs crates/cost-model/src/error.rs crates/cost-model/src/mpw.rs crates/cost-model/src/product.rs crates/cost-model/src/roadmap.rs crates/cost-model/src/scenario.rs crates/cost-model/src/sensitivity.rs crates/cost-model/src/surface.rs crates/cost-model/src/system.rs crates/cost-model/src/transistor.rs crates/cost-model/src/wafer.rs
+
+/root/repo/target/debug/deps/libmaly_cost_model-bb32335126baf1a3.rlib: crates/cost-model/src/lib.rs crates/cost-model/src/density.rs crates/cost-model/src/error.rs crates/cost-model/src/mpw.rs crates/cost-model/src/product.rs crates/cost-model/src/roadmap.rs crates/cost-model/src/scenario.rs crates/cost-model/src/sensitivity.rs crates/cost-model/src/surface.rs crates/cost-model/src/system.rs crates/cost-model/src/transistor.rs crates/cost-model/src/wafer.rs
+
+/root/repo/target/debug/deps/libmaly_cost_model-bb32335126baf1a3.rmeta: crates/cost-model/src/lib.rs crates/cost-model/src/density.rs crates/cost-model/src/error.rs crates/cost-model/src/mpw.rs crates/cost-model/src/product.rs crates/cost-model/src/roadmap.rs crates/cost-model/src/scenario.rs crates/cost-model/src/sensitivity.rs crates/cost-model/src/surface.rs crates/cost-model/src/system.rs crates/cost-model/src/transistor.rs crates/cost-model/src/wafer.rs
+
+crates/cost-model/src/lib.rs:
+crates/cost-model/src/density.rs:
+crates/cost-model/src/error.rs:
+crates/cost-model/src/mpw.rs:
+crates/cost-model/src/product.rs:
+crates/cost-model/src/roadmap.rs:
+crates/cost-model/src/scenario.rs:
+crates/cost-model/src/sensitivity.rs:
+crates/cost-model/src/surface.rs:
+crates/cost-model/src/system.rs:
+crates/cost-model/src/transistor.rs:
+crates/cost-model/src/wafer.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/maly_cost_model-ef184e4f1561339f.d: crates/cost-model/src/lib.rs crates/cost-model/src/density.rs crates/cost-model/src/error.rs crates/cost-model/src/mpw.rs crates/cost-model/src/product.rs crates/cost-model/src/roadmap.rs crates/cost-model/src/scenario.rs crates/cost-model/src/sensitivity.rs crates/cost-model/src/surface.rs crates/cost-model/src/system.rs crates/cost-model/src/transistor.rs crates/cost-model/src/wafer.rs
+
+/root/repo/target/debug/deps/maly_cost_model-ef184e4f1561339f: crates/cost-model/src/lib.rs crates/cost-model/src/density.rs crates/cost-model/src/error.rs crates/cost-model/src/mpw.rs crates/cost-model/src/product.rs crates/cost-model/src/roadmap.rs crates/cost-model/src/scenario.rs crates/cost-model/src/sensitivity.rs crates/cost-model/src/surface.rs crates/cost-model/src/system.rs crates/cost-model/src/transistor.rs crates/cost-model/src/wafer.rs
+
+crates/cost-model/src/lib.rs:
+crates/cost-model/src/density.rs:
+crates/cost-model/src/error.rs:
+crates/cost-model/src/mpw.rs:
+crates/cost-model/src/product.rs:
+crates/cost-model/src/roadmap.rs:
+crates/cost-model/src/scenario.rs:
+crates/cost-model/src/sensitivity.rs:
+crates/cost-model/src/surface.rs:
+crates/cost-model/src/system.rs:
+crates/cost-model/src/transistor.rs:
+crates/cost-model/src/wafer.rs:

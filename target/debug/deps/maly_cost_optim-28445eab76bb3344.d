@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maly_cost_optim-28445eab76bb3344.d: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+/root/repo/target/debug/deps/maly_cost_optim-28445eab76bb3344: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+crates/cost-optim/src/lib.rs:
+crates/cost-optim/src/contour.rs:
+crates/cost-optim/src/pareto.rs:
+crates/cost-optim/src/partition.rs:
+crates/cost-optim/src/search.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/maly_cost_optim-fa3c6844d13e3c67.d: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+/root/repo/target/debug/deps/libmaly_cost_optim-fa3c6844d13e3c67.rlib: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+/root/repo/target/debug/deps/libmaly_cost_optim-fa3c6844d13e3c67.rmeta: crates/cost-optim/src/lib.rs crates/cost-optim/src/contour.rs crates/cost-optim/src/pareto.rs crates/cost-optim/src/partition.rs crates/cost-optim/src/search.rs
+
+crates/cost-optim/src/lib.rs:
+crates/cost-optim/src/contour.rs:
+crates/cost-optim/src/pareto.rs:
+crates/cost-optim/src/partition.rs:
+crates/cost-optim/src/search.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/maly_fabline_sim-6c08ff7ab5e01443.d: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/mc.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+/root/repo/target/debug/deps/maly_fabline_sim-6c08ff7ab5e01443: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/mc.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+crates/fabline-sim/src/lib.rs:
+crates/fabline-sim/src/capacity.rs:
+crates/fabline-sim/src/cost.rs:
+crates/fabline-sim/src/des.rs:
+crates/fabline-sim/src/equipment.rs:
+crates/fabline-sim/src/mc.rs:
+crates/fabline-sim/src/process.rs:
+crates/fabline-sim/src/rental.rs:

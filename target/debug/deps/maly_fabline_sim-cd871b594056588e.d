@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/maly_fabline_sim-cd871b594056588e.d: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/mc.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+/root/repo/target/debug/deps/libmaly_fabline_sim-cd871b594056588e.rlib: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/mc.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+/root/repo/target/debug/deps/libmaly_fabline_sim-cd871b594056588e.rmeta: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/mc.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+crates/fabline-sim/src/lib.rs:
+crates/fabline-sim/src/capacity.rs:
+crates/fabline-sim/src/cost.rs:
+crates/fabline-sim/src/des.rs:
+crates/fabline-sim/src/equipment.rs:
+crates/fabline-sim/src/mc.rs:
+crates/fabline-sim/src/process.rs:
+crates/fabline-sim/src/rental.rs:

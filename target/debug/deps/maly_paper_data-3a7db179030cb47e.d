@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/maly_paper_data-3a7db179030cb47e.d: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+/root/repo/target/debug/deps/libmaly_paper_data-3a7db179030cb47e.rlib: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+/root/repo/target/debug/deps/libmaly_paper_data-3a7db179030cb47e.rmeta: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+crates/paper-data/src/lib.rs:
+crates/paper-data/src/figures.rs:
+crates/paper-data/src/table1.rs:
+crates/paper-data/src/table2.rs:
+crates/paper-data/src/table3.rs:

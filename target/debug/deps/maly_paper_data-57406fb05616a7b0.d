@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maly_paper_data-57406fb05616a7b0.d: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+/root/repo/target/debug/deps/maly_paper_data-57406fb05616a7b0: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+crates/paper-data/src/lib.rs:
+crates/paper-data/src/figures.rs:
+crates/paper-data/src/table1.rs:
+crates/paper-data/src/table2.rs:
+crates/paper-data/src/table3.rs:

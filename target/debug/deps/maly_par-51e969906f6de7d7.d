@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maly_par-51e969906f6de7d7.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libmaly_par-51e969906f6de7d7.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libmaly_par-51e969906f6de7d7.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maly_par-fd85e6224e085389.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/maly_par-fd85e6224e085389: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

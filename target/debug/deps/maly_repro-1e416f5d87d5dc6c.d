@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/maly_repro-1e416f5d87d5dc6c.d: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ablation.rs crates/repro/src/experiments/fig1.rs crates/repro/src/experiments/fig2.rs crates/repro/src/experiments/fig3.rs crates/repro/src/experiments/fig4.rs crates/repro/src/experiments/fig5.rs crates/repro/src/experiments/fig6.rs crates/repro/src/experiments/fig7.rs crates/repro/src/experiments/fig8.rs crates/repro/src/experiments/mcm_kgd.rs crates/repro/src/experiments/product_mix.rs crates/repro/src/experiments/roadmap.rs crates/repro/src/experiments/system_opt.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/table2.rs crates/repro/src/experiments/table3.rs
+
+/root/repo/target/debug/deps/libmaly_repro-1e416f5d87d5dc6c.rlib: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ablation.rs crates/repro/src/experiments/fig1.rs crates/repro/src/experiments/fig2.rs crates/repro/src/experiments/fig3.rs crates/repro/src/experiments/fig4.rs crates/repro/src/experiments/fig5.rs crates/repro/src/experiments/fig6.rs crates/repro/src/experiments/fig7.rs crates/repro/src/experiments/fig8.rs crates/repro/src/experiments/mcm_kgd.rs crates/repro/src/experiments/product_mix.rs crates/repro/src/experiments/roadmap.rs crates/repro/src/experiments/system_opt.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/table2.rs crates/repro/src/experiments/table3.rs
+
+/root/repo/target/debug/deps/libmaly_repro-1e416f5d87d5dc6c.rmeta: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ablation.rs crates/repro/src/experiments/fig1.rs crates/repro/src/experiments/fig2.rs crates/repro/src/experiments/fig3.rs crates/repro/src/experiments/fig4.rs crates/repro/src/experiments/fig5.rs crates/repro/src/experiments/fig6.rs crates/repro/src/experiments/fig7.rs crates/repro/src/experiments/fig8.rs crates/repro/src/experiments/mcm_kgd.rs crates/repro/src/experiments/product_mix.rs crates/repro/src/experiments/roadmap.rs crates/repro/src/experiments/system_opt.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/table2.rs crates/repro/src/experiments/table3.rs
+
+crates/repro/src/lib.rs:
+crates/repro/src/context.rs:
+crates/repro/src/experiments/mod.rs:
+crates/repro/src/experiments/ablation.rs:
+crates/repro/src/experiments/fig1.rs:
+crates/repro/src/experiments/fig2.rs:
+crates/repro/src/experiments/fig3.rs:
+crates/repro/src/experiments/fig4.rs:
+crates/repro/src/experiments/fig5.rs:
+crates/repro/src/experiments/fig6.rs:
+crates/repro/src/experiments/fig7.rs:
+crates/repro/src/experiments/fig8.rs:
+crates/repro/src/experiments/mcm_kgd.rs:
+crates/repro/src/experiments/product_mix.rs:
+crates/repro/src/experiments/roadmap.rs:
+crates/repro/src/experiments/system_opt.rs:
+crates/repro/src/experiments/table1.rs:
+crates/repro/src/experiments/table2.rs:
+crates/repro/src/experiments/table3.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/maly_wafer_geom-824c15ce9cab522a.d: crates/wafer-geom/src/lib.rs crates/wafer-geom/src/approx.rs crates/wafer-geom/src/die.rs crates/wafer-geom/src/maly.rs crates/wafer-geom/src/raster.rs crates/wafer-geom/src/reticle.rs crates/wafer-geom/src/wafer.rs crates/wafer-geom/src/wafer_map.rs
+/root/repo/target/debug/deps/maly_wafer_geom-824c15ce9cab522a.d: crates/wafer-geom/src/lib.rs crates/wafer-geom/src/approx.rs crates/wafer-geom/src/cache.rs crates/wafer-geom/src/die.rs crates/wafer-geom/src/maly.rs crates/wafer-geom/src/raster.rs crates/wafer-geom/src/reticle.rs crates/wafer-geom/src/wafer.rs crates/wafer-geom/src/wafer_map.rs
 
-/root/repo/target/debug/deps/maly_wafer_geom-824c15ce9cab522a: crates/wafer-geom/src/lib.rs crates/wafer-geom/src/approx.rs crates/wafer-geom/src/die.rs crates/wafer-geom/src/maly.rs crates/wafer-geom/src/raster.rs crates/wafer-geom/src/reticle.rs crates/wafer-geom/src/wafer.rs crates/wafer-geom/src/wafer_map.rs
+/root/repo/target/debug/deps/maly_wafer_geom-824c15ce9cab522a: crates/wafer-geom/src/lib.rs crates/wafer-geom/src/approx.rs crates/wafer-geom/src/cache.rs crates/wafer-geom/src/die.rs crates/wafer-geom/src/maly.rs crates/wafer-geom/src/raster.rs crates/wafer-geom/src/reticle.rs crates/wafer-geom/src/wafer.rs crates/wafer-geom/src/wafer_map.rs
 
 crates/wafer-geom/src/lib.rs:
 crates/wafer-geom/src/approx.rs:
+crates/wafer-geom/src/cache.rs:
 crates/wafer-geom/src/die.rs:
 crates/wafer-geom/src/maly.rs:
 crates/wafer-geom/src/raster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm_kgd-2709f55ac7c8ff21.d: crates/repro/src/bin/mcm_kgd.rs
+
+/root/repo/target/debug/deps/mcm_kgd-2709f55ac7c8ff21: crates/repro/src/bin/mcm_kgd.rs
+
+crates/repro/src/bin/mcm_kgd.rs:

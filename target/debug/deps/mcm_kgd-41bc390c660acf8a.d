@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcm_kgd-41bc390c660acf8a.d: crates/repro/src/bin/mcm_kgd.rs
+
+/root/repo/target/debug/deps/mcm_kgd-41bc390c660acf8a: crates/repro/src/bin/mcm_kgd.rs
+
+crates/repro/src/bin/mcm_kgd.rs:

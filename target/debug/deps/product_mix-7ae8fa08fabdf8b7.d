@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/product_mix-7ae8fa08fabdf8b7.d: crates/repro/src/bin/product_mix.rs
+
+/root/repo/target/debug/deps/product_mix-7ae8fa08fabdf8b7: crates/repro/src/bin/product_mix.rs
+
+crates/repro/src/bin/product_mix.rs:

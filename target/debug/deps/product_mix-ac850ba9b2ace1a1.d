@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/product_mix-ac850ba9b2ace1a1.d: crates/repro/src/bin/product_mix.rs
+
+/root/repo/target/debug/deps/product_mix-ac850ba9b2ace1a1: crates/repro/src/bin/product_mix.rs
+
+crates/repro/src/bin/product_mix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-21059f7c99d90336.d: crates/cost-model/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-21059f7c99d90336: crates/cost-model/tests/properties.rs
+
+crates/cost-model/tests/properties.rs:

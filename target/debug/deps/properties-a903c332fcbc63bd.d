@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a903c332fcbc63bd.d: crates/cost-optim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a903c332fcbc63bd: crates/cost-optim/tests/properties.rs
+
+crates/cost-optim/tests/properties.rs:

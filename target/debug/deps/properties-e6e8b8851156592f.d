@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e6e8b8851156592f.d: crates/fabline-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e6e8b8851156592f: crates/fabline-sim/tests/properties.rs
+
+crates/fabline-sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roadmap-a6c16054eee573c8.d: crates/repro/src/bin/roadmap.rs
+
+/root/repo/target/debug/deps/roadmap-a6c16054eee573c8: crates/repro/src/bin/roadmap.rs
+
+crates/repro/src/bin/roadmap.rs:

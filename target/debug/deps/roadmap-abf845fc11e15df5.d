@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roadmap-abf845fc11e15df5.d: crates/repro/src/bin/roadmap.rs
+
+/root/repo/target/debug/deps/roadmap-abf845fc11e15df5: crates/repro/src/bin/roadmap.rs
+
+crates/repro/src/bin/roadmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario_shapes-8fc8b64a134aa889.d: tests/scenario_shapes.rs
+
+/root/repo/target/debug/deps/scenario_shapes-8fc8b64a134aa889: tests/scenario_shapes.rs
+
+tests/scenario_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/silicon_cost-dea93e96a4306bea.d: src/lib.rs
+
+/root/repo/target/debug/deps/silicon_cost-dea93e96a4306bea: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/silicon_cost-defe81360578cf19.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsilicon_cost-defe81360578cf19.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsilicon_cost-defe81360578cf19.rmeta: src/lib.rs
+
+src/lib.rs:

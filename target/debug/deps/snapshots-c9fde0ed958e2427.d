@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshots-c9fde0ed958e2427.d: crates/repro/tests/snapshots.rs
+
+/root/repo/target/debug/deps/snapshots-c9fde0ed958e2427: crates/repro/tests/snapshots.rs
+
+crates/repro/tests/snapshots.rs:

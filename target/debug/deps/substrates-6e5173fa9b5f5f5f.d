@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-6e5173fa9b5f5f5f.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/substrates-6e5173fa9b5f5f5f: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

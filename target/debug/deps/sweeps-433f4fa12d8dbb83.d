@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweeps-433f4fa12d8dbb83.d: crates/bench/benches/sweeps.rs
+
+/root/repo/target/debug/deps/sweeps-433f4fa12d8dbb83: crates/bench/benches/sweeps.rs
+
+crates/bench/benches/sweeps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_opt-279400689101ae34.d: crates/repro/src/bin/system_opt.rs
+
+/root/repo/target/debug/deps/system_opt-279400689101ae34: crates/repro/src/bin/system_opt.rs
+
+crates/repro/src/bin/system_opt.rs:

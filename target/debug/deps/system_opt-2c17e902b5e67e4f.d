@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_opt-2c17e902b5e67e4f.d: crates/repro/src/bin/system_opt.rs
+
+/root/repo/target/debug/deps/system_opt-2c17e902b5e67e4f: crates/repro/src/bin/system_opt.rs
+
+crates/repro/src/bin/system_opt.rs:

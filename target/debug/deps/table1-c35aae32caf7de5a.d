@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c35aae32caf7de5a.d: crates/repro/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c35aae32caf7de5a: crates/repro/src/bin/table1.rs
+
+crates/repro/src/bin/table1.rs:

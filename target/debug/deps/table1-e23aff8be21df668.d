@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e23aff8be21df668.d: crates/repro/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e23aff8be21df668: crates/repro/src/bin/table1.rs
+
+crates/repro/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-d8f3653709eed08a.d: crates/repro/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-d8f3653709eed08a: crates/repro/src/bin/table2.rs
+
+crates/repro/src/bin/table2.rs:

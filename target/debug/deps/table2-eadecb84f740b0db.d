@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-eadecb84f740b0db.d: crates/repro/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-eadecb84f740b0db: crates/repro/src/bin/table2.rs
+
+crates/repro/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b1bc7042766f2882.d: crates/repro/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-b1bc7042766f2882: crates/repro/src/bin/table3.rs
+
+crates/repro/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-e292a4445a2d9e95.d: crates/repro/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-e292a4445a2d9e95: crates/repro/src/bin/table3.rs
+
+crates/repro/src/bin/table3.rs:

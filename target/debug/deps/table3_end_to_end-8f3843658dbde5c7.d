@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_end_to_end-8f3843658dbde5c7.d: tests/table3_end_to_end.rs
+
+/root/repo/target/debug/deps/table3_end_to_end-8f3843658dbde5c7: tests/table3_end_to_end.rs
+
+tests/table3_end_to_end.rs:

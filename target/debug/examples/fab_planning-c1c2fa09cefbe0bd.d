@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fab_planning-c1c2fa09cefbe0bd.d: examples/fab_planning.rs
+
+/root/repo/target/debug/examples/fab_planning-c1c2fa09cefbe0bd: examples/fab_planning.rs
+
+examples/fab_planning.rs:

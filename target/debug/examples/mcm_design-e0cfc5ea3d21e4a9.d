@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mcm_design-e0cfc5ea3d21e4a9.d: examples/mcm_design.rs
+
+/root/repo/target/debug/examples/mcm_design-e0cfc5ea3d21e4a9: examples/mcm_design.rs
+
+examples/mcm_design.rs:

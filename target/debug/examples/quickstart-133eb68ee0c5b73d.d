@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-133eb68ee0c5b73d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-133eb68ee0c5b73d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shrink_study-0281683a2560c7e2.d: examples/shrink_study.rs
+
+/root/repo/target/debug/examples/shrink_study-0281683a2560c7e2: examples/shrink_study.rs
+
+examples/shrink_study.rs:

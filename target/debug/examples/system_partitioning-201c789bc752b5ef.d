@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/system_partitioning-201c789bc752b5ef.d: examples/system_partitioning.rs
+
+/root/repo/target/debug/examples/system_partitioning-201c789bc752b5ef: examples/system_partitioning.rs
+
+examples/system_partitioning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/yield_ramp-39938dedbe5c5858.d: examples/yield_ramp.rs
+
+/root/repo/target/debug/examples/yield_ramp-39938dedbe5c5858: examples/yield_ramp.rs
+
+examples/yield_ramp.rs:

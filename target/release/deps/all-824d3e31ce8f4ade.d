@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-824d3e31ce8f4ade.d: crates/repro/src/bin/all.rs
+
+/root/repo/target/release/deps/all-824d3e31ce8f4ade: crates/repro/src/bin/all.rs
+
+crates/repro/src/bin/all.rs:

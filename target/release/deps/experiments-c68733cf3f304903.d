@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-c68733cf3f304903.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/release/deps/experiments-c68733cf3f304903: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/maly_bench-826fd8636f9d7d82.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmaly_bench-826fd8636f9d7d82.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmaly_bench-826fd8636f9d7d82.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

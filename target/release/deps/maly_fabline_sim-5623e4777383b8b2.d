@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/maly_fabline_sim-5623e4777383b8b2.d: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/mc.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+/root/repo/target/release/deps/libmaly_fabline_sim-5623e4777383b8b2.rlib: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/mc.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+/root/repo/target/release/deps/libmaly_fabline_sim-5623e4777383b8b2.rmeta: crates/fabline-sim/src/lib.rs crates/fabline-sim/src/capacity.rs crates/fabline-sim/src/cost.rs crates/fabline-sim/src/des.rs crates/fabline-sim/src/equipment.rs crates/fabline-sim/src/mc.rs crates/fabline-sim/src/process.rs crates/fabline-sim/src/rental.rs
+
+crates/fabline-sim/src/lib.rs:
+crates/fabline-sim/src/capacity.rs:
+crates/fabline-sim/src/cost.rs:
+crates/fabline-sim/src/des.rs:
+crates/fabline-sim/src/equipment.rs:
+crates/fabline-sim/src/mc.rs:
+crates/fabline-sim/src/process.rs:
+crates/fabline-sim/src/rental.rs:

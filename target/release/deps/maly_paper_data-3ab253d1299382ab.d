@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/maly_paper_data-3ab253d1299382ab.d: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+/root/repo/target/release/deps/libmaly_paper_data-3ab253d1299382ab.rlib: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+/root/repo/target/release/deps/libmaly_paper_data-3ab253d1299382ab.rmeta: crates/paper-data/src/lib.rs crates/paper-data/src/figures.rs crates/paper-data/src/table1.rs crates/paper-data/src/table2.rs crates/paper-data/src/table3.rs
+
+crates/paper-data/src/lib.rs:
+crates/paper-data/src/figures.rs:
+crates/paper-data/src/table1.rs:
+crates/paper-data/src/table2.rs:
+crates/paper-data/src/table3.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/maly_par-2bcb556be80c6a90.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libmaly_par-2bcb556be80c6a90.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libmaly_par-2bcb556be80c6a90.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

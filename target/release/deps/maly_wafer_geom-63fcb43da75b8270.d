@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/maly_wafer_geom-63fcb43da75b8270.d: crates/wafer-geom/src/lib.rs crates/wafer-geom/src/approx.rs crates/wafer-geom/src/die.rs crates/wafer-geom/src/maly.rs crates/wafer-geom/src/raster.rs crates/wafer-geom/src/reticle.rs crates/wafer-geom/src/wafer.rs crates/wafer-geom/src/wafer_map.rs
+/root/repo/target/release/deps/maly_wafer_geom-63fcb43da75b8270.d: crates/wafer-geom/src/lib.rs crates/wafer-geom/src/approx.rs crates/wafer-geom/src/cache.rs crates/wafer-geom/src/die.rs crates/wafer-geom/src/maly.rs crates/wafer-geom/src/raster.rs crates/wafer-geom/src/reticle.rs crates/wafer-geom/src/wafer.rs crates/wafer-geom/src/wafer_map.rs
 
-/root/repo/target/release/deps/libmaly_wafer_geom-63fcb43da75b8270.rlib: crates/wafer-geom/src/lib.rs crates/wafer-geom/src/approx.rs crates/wafer-geom/src/die.rs crates/wafer-geom/src/maly.rs crates/wafer-geom/src/raster.rs crates/wafer-geom/src/reticle.rs crates/wafer-geom/src/wafer.rs crates/wafer-geom/src/wafer_map.rs
+/root/repo/target/release/deps/libmaly_wafer_geom-63fcb43da75b8270.rlib: crates/wafer-geom/src/lib.rs crates/wafer-geom/src/approx.rs crates/wafer-geom/src/cache.rs crates/wafer-geom/src/die.rs crates/wafer-geom/src/maly.rs crates/wafer-geom/src/raster.rs crates/wafer-geom/src/reticle.rs crates/wafer-geom/src/wafer.rs crates/wafer-geom/src/wafer_map.rs
 
-/root/repo/target/release/deps/libmaly_wafer_geom-63fcb43da75b8270.rmeta: crates/wafer-geom/src/lib.rs crates/wafer-geom/src/approx.rs crates/wafer-geom/src/die.rs crates/wafer-geom/src/maly.rs crates/wafer-geom/src/raster.rs crates/wafer-geom/src/reticle.rs crates/wafer-geom/src/wafer.rs crates/wafer-geom/src/wafer_map.rs
+/root/repo/target/release/deps/libmaly_wafer_geom-63fcb43da75b8270.rmeta: crates/wafer-geom/src/lib.rs crates/wafer-geom/src/approx.rs crates/wafer-geom/src/cache.rs crates/wafer-geom/src/die.rs crates/wafer-geom/src/maly.rs crates/wafer-geom/src/raster.rs crates/wafer-geom/src/reticle.rs crates/wafer-geom/src/wafer.rs crates/wafer-geom/src/wafer_map.rs
 
 crates/wafer-geom/src/lib.rs:
 crates/wafer-geom/src/approx.rs:
+crates/wafer-geom/src/cache.rs:
 crates/wafer-geom/src/die.rs:
 crates/wafer-geom/src/maly.rs:
 crates/wafer-geom/src/raster.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/silicon_cost-ee3264feabddc047.d: src/lib.rs
+
+/root/repo/target/release/deps/libsilicon_cost-ee3264feabddc047.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsilicon_cost-ee3264feabddc047.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweeps-3b1c27bc42f51d1d.d: crates/bench/benches/sweeps.rs
+
+/root/repo/target/release/deps/sweeps-3b1c27bc42f51d1d: crates/bench/benches/sweeps.rs
+
+crates/bench/benches/sweeps.rs:
