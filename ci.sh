@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
-# Local CI gate: formatting, the maly-audit lint pass, and the full
-# test suite. Everything runs offline — the workspace has no external
-# dependencies.
+# Local CI gate: formatting, the maly-audit lint pass, the full test
+# suite, and the bench-regression check. Everything runs offline — the
+# workspace has no external dependencies.
 set -eu
 
 echo "== cargo fmt --check"
@@ -15,5 +15,9 @@ MALY_PAR_THREADS=1 cargo test --workspace -q
 
 echo "== cargo test (default parallelism)"
 cargo test --workspace -q
+
+echo "== bench regression check (vs BENCH_sweeps.json)"
+cargo bench -p maly-bench --bench sweeps -- --json target/bench_sweeps_ci.json
+cargo run -q -p xtask -- bench-check target/bench_sweeps_ci.json
 
 echo "ci.sh: all gates passed"

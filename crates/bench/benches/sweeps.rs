@@ -10,9 +10,12 @@
 
 use std::hint::black_box;
 
-use maly_bench::harness::{bench, group, record_speedup, write_json_if_requested};
+use maly_bench::harness::{
+    bench_pair, group, record_counter, record_speedup, write_json_if_requested,
+};
+use maly_cost_model::adaptive::{AdaptiveConfig, AdaptiveSurface, DEFAULT_TOL};
 use maly_cost_model::surface::{CostSurface, SurfaceParameters};
-use maly_cost_optim::contour::extract_contours_with;
+use maly_cost_optim::contour::{extract_contours_adaptive_with, extract_contours_with};
 use maly_cost_optim::partition::optimize_with;
 use maly_cost_optim::search::grid_min_with;
 use maly_par::Executor;
@@ -29,8 +32,22 @@ fn fig8_surface(exec: &Executor) -> CostSurface {
     CostSurface::compute_with(
         exec,
         &SurfaceParameters::fig8(),
-        (0.4, 1.5, 56),
-        (2.0e4, 4.0e6, 48),
+        FIG8_WINDOW.0,
+        FIG8_WINDOW.1,
+    )
+}
+
+const FIG8_WINDOW: ((f64, f64, usize), (f64, f64, usize)) = ((0.4, 1.5, 56), (2.0e4, 4.0e6, 48));
+
+const CONTOUR_LEVELS: [f64; 5] = [3.0e-6, 1.0e-5, 3.0e-5, 1.0e-4, 3.0e-4];
+
+fn adaptive_surface(exec: &Executor, config: &AdaptiveConfig) -> AdaptiveSurface {
+    AdaptiveSurface::compute_with(
+        exec,
+        &SurfaceParameters::fig8(),
+        FIG8_WINDOW.0,
+        FIG8_WINDOW.1,
+        config,
     )
 }
 
@@ -43,19 +60,65 @@ fn bench_fig8_surface() {
         fig8_surface(&par_exec),
         "parallel surface must be bit-identical to serial"
     );
-    let serial = bench("surface_56x48/serial", || {
-        black_box(fig8_surface(&serial_exec));
-    });
-    let parallel = bench("surface_56x48/parallel", || {
-        black_box(fig8_surface(&par_exec));
-    });
+    // Correctness before timing: tol = 0 must be bit-identical to the
+    // dense scan; the default tolerance must stay within tol of it with
+    // the same feasibility mask.
+    let dense = fig8_surface(&serial_exec);
+    let config = AdaptiveConfig::new(DEFAULT_TOL);
+    assert_eq!(
+        adaptive_surface(&serial_exec, &AdaptiveConfig::exact()).surface(),
+        &dense,
+        "tol = 0 adaptive surface must be bit-identical to dense"
+    );
+    let approx = adaptive_surface(&serial_exec, &config);
+    for (dr, ar) in dense.values().iter().zip(approx.surface().values()) {
+        for (dv, av) in dr.iter().zip(ar) {
+            match (dv, av) {
+                (Some(d), Some(a)) => assert!(
+                    (d - a).abs() / d.abs().max(f64::MIN_POSITIVE) <= DEFAULT_TOL,
+                    "adaptive surface strayed beyond tol"
+                ),
+                (None, None) => {}
+                _ => panic!("adaptive feasibility mask must match dense"),
+            }
+        }
+    }
+    let (serial, parallel) = bench_pair(
+        "surface_56x48/serial",
+        || {
+            black_box(fig8_surface(&serial_exec));
+        },
+        "surface_56x48/parallel",
+        || {
+            black_box(fig8_surface(&par_exec));
+        },
+    );
     record_speedup("surface_56x48", serial, parallel);
+    let (dense, adaptive) = bench_pair(
+        "surface_56x48/dense",
+        || {
+            black_box(fig8_surface(&serial_exec));
+        },
+        "surface_56x48/adaptive",
+        || {
+            black_box(adaptive_surface(&serial_exec, &config));
+        },
+    );
+    record_speedup("surface_56x48_dense_vs_adaptive", dense, adaptive);
+    let stats = approx.stats();
+    record_counter("surface_56x48/eq1_dense_evals", stats.grid_points as u64);
+    record_counter("surface_56x48/eq1_mesh_evals", stats.evaluated as u64);
+    record_counter(
+        "surface_56x48/eq1_exact_zone_evals",
+        stats.analytic_exact as u64,
+    );
+    record_counter("surface_56x48/interpolated", stats.interpolated as u64);
 }
 
 fn bench_contours() {
     group("sweeps/contours");
     let surface = fig8_surface(&Executor::serial());
-    let levels = [3.0e-6, 1.0e-5, 3.0e-5, 1.0e-4, 3.0e-4];
+    let levels = CONTOUR_LEVELS;
     let serial_exec = Executor::serial();
     let par_exec = parallel_executor();
     assert_eq!(
@@ -63,13 +126,54 @@ fn bench_contours() {
         extract_contours_with(&par_exec, &surface, &levels),
         "parallel contours must be bit-identical to serial"
     );
-    let serial = bench("contours_5_levels/serial", || {
-        black_box(extract_contours_with(&serial_exec, &surface, &levels));
-    });
-    let parallel = bench("contours_5_levels/parallel", || {
-        black_box(extract_contours_with(&par_exec, &surface, &levels));
-    });
+    // Correctness before timing: masked marching at tol = 0 reproduces
+    // the dense contour segments exactly.
+    let exact = adaptive_surface(&serial_exec, &AdaptiveConfig::exact().with_levels(&levels));
+    assert_eq!(
+        extract_contours_adaptive_with(&serial_exec, &exact, &levels),
+        extract_contours_with(&serial_exec, &surface, &levels),
+        "adaptive contours at tol = 0 must match dense contours"
+    );
+    let adaptive = adaptive_surface(
+        &serial_exec,
+        &AdaptiveConfig::new(DEFAULT_TOL).with_levels(&levels),
+    );
+    let (serial, parallel) = bench_pair(
+        "contours_5_levels/serial",
+        || {
+            black_box(extract_contours_with(&serial_exec, &surface, &levels));
+        },
+        "contours_5_levels/parallel",
+        || {
+            black_box(extract_contours_with(&par_exec, &surface, &levels));
+        },
+    );
     record_speedup("contours_5_levels", serial, parallel);
+    // Masked marching over the precomputed adaptive surface: same
+    // measurement shape as the dense rows above (surface excluded).
+    let (dense, masked) = bench_pair(
+        "contours_5_levels/dense",
+        || {
+            black_box(extract_contours_with(&serial_exec, &surface, &levels));
+        },
+        "contours_5_levels/adaptive",
+        || {
+            black_box(extract_contours_adaptive_with(
+                &serial_exec,
+                &adaptive,
+                &levels,
+            ));
+        },
+    );
+    record_speedup("contours_5_levels_dense_vs_adaptive", dense, masked);
+    record_counter(
+        "contours_5_levels/marchable_cells",
+        adaptive.exact_cell_count() as u64,
+    );
+    record_counter(
+        "contours_5_levels/total_cells",
+        ((FIG8_WINDOW.0 .2 - 1) * (FIG8_WINDOW.1 .2 - 1)) as u64,
+    );
 }
 
 fn bench_partition_search() {
@@ -110,12 +214,16 @@ fn bench_partition_search() {
         optimize_with(&par_exec, &system, &context, &ladder).expect("feasible"),
         "parallel partition search must be bit-identical to serial"
     );
-    let serial = bench("partition_bell5_x4/serial", || {
-        black_box(optimize_with(&serial_exec, &system, &context, &ladder).expect("feasible"));
-    });
-    let parallel = bench("partition_bell5_x4/parallel", || {
-        black_box(optimize_with(&par_exec, &system, &context, &ladder).expect("feasible"));
-    });
+    let (serial, parallel) = bench_pair(
+        "partition_bell5_x4/serial",
+        || {
+            black_box(optimize_with(&serial_exec, &system, &context, &ladder).expect("feasible"));
+        },
+        "partition_bell5_x4/parallel",
+        || {
+            black_box(optimize_with(&par_exec, &system, &context, &ladder).expect("feasible"));
+        },
+    );
     record_speedup("partition_bell5_x4", serial, parallel);
 }
 
@@ -134,12 +242,16 @@ fn bench_grid_min() {
     let p = grid_min_with(&par_exec, f, 0.4, 1.5, 481);
     assert_eq!(s.0.to_bits(), p.0.to_bits(), "tie-break must match serial");
     assert_eq!(s.1.to_bits(), p.1.to_bits(), "tie-break must match serial");
-    let serial = bench("lambda_grid_481/serial", || {
-        black_box(grid_min_with(&serial_exec, f, 0.4, 1.5, 481));
-    });
-    let parallel = bench("lambda_grid_481/parallel", || {
-        black_box(grid_min_with(&par_exec, f, 0.4, 1.5, 481));
-    });
+    let (serial, parallel) = bench_pair(
+        "lambda_grid_481/serial",
+        || {
+            black_box(grid_min_with(&serial_exec, f, 0.4, 1.5, 481));
+        },
+        "lambda_grid_481/parallel",
+        || {
+            black_box(grid_min_with(&par_exec, f, 0.4, 1.5, 481));
+        },
+    );
     record_speedup("lambda_grid_481", serial, parallel);
 }
 
@@ -152,23 +264,24 @@ fn bench_eq4_cache() {
             DieDimensions::square(side)
         })
         .collect();
-    // Cold: every lookup recomputes the eq. (4) sum.
-    let cold = bench("dies_per_wafer_64_dies/cold", || {
-        cache::clear();
-        for die in &dies {
-            black_box(cache::dies_per_wafer(&wafer, *die));
-        }
-    });
-    // Warm: the same sweep, served from the memo.
-    cache::clear();
-    for die in &dies {
-        let _ = cache::dies_per_wafer(&wafer, *die);
-    }
-    let warm = bench("dies_per_wafer_64_dies/warm", || {
-        for die in &dies {
-            black_box(cache::dies_per_wafer(&wafer, *die));
-        }
-    });
+    // Cold recomputes the eq. (4) sum on every lookup; warm serves the
+    // same sweep from the memo. Each cold sample leaves the cache
+    // filled, so the interleaved warm samples always hit.
+    let (cold, warm) = bench_pair(
+        "dies_per_wafer_64_dies/cold",
+        || {
+            cache::clear();
+            for die in &dies {
+                black_box(cache::dies_per_wafer(&wafer, *die));
+            }
+        },
+        "dies_per_wafer_64_dies/warm",
+        || {
+            for die in &dies {
+                black_box(cache::dies_per_wafer(&wafer, *die));
+            }
+        },
+    );
     record_speedup("dies_per_wafer_64_dies_cold_vs_warm", cold, warm);
     let stats = cache::stats();
     println!(

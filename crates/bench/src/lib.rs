@@ -17,7 +17,10 @@ pub mod harness {
     //! external crates, so Criterion is not available).
     //!
     //! Auto-calibrates an iteration count per benchmark, takes several
-    //! samples, and reports the median per-iteration latency. Every
+    //! samples, and reports the median per-iteration latency. Paired
+    //! comparisons (serial vs parallel, dense vs adaptive) should use
+    //! [`bench_pair`], which interleaves the two sides' samples so CPU
+    //! throttle drift cannot fabricate a speedup or regression. Every
     //! result is also recorded in memory; when a bench binary is run
     //! with `--json <path>` (after the `--` separator under `cargo
     //! bench`), [`write_json_if_requested`] dumps the records as a
@@ -47,11 +50,20 @@ pub mod harness {
         parallel_ns: f64,
     }
 
+    /// One recorded work counter (e.g. eq. (1) evaluation counts).
+    #[derive(Debug, Clone)]
+    struct Counter {
+        group: String,
+        name: String,
+        value: u64,
+    }
+
     #[derive(Default)]
     struct Recorder {
         current_group: String,
         records: Vec<Record>,
         speedups: Vec<Speedup>,
+        counters: Vec<Counter>,
     }
 
     static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
@@ -67,12 +79,9 @@ pub mod harness {
         println!("\n== {name} ==");
     }
 
-    /// Times `f`, printing the median per-iteration latency and
-    /// recording it for [`write_json_if_requested`]. Returns the
-    /// median in nanoseconds so callers can derive speedups.
-    pub fn bench(name: &str, mut f: impl FnMut()) -> f64 {
-        // Calibrate: double the iteration count until one sample takes
-        // at least MIN_SAMPLE_TIME.
+    /// Doubles the iteration count until one sample of `f` takes at
+    /// least [`MIN_SAMPLE_TIME`].
+    fn calibrate(f: &mut impl FnMut()) -> u64 {
         let mut iters: u64 = 1;
         loop {
             let start = Instant::now();
@@ -80,21 +89,26 @@ pub mod harness {
                 f();
             }
             if start.elapsed() >= MIN_SAMPLE_TIME || iters >= 1 << 24 {
-                break;
+                return iters;
             }
             iters = iters.saturating_mul(2);
         }
-        let mut per_iter: Vec<f64> = (0..SAMPLES)
-            .map(|_| {
-                let start = Instant::now();
-                for _ in 0..iters {
-                    f();
-                }
-                start.elapsed().as_secs_f64() / iters as f64
-            })
-            .collect();
+    }
+
+    /// One timed sample: seconds per iteration over `iters` runs.
+    fn sample(f: &mut impl FnMut(), iters: u64) -> f64 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_secs_f64() / iters as f64
+    }
+
+    /// Reduces per-iteration samples to their median, prints the
+    /// result line and records it for [`write_json_if_requested`].
+    fn report(name: &str, mut per_iter: Vec<f64>, iters: u64) -> f64 {
         per_iter.sort_by(f64::total_cmp);
-        let median_seconds = per_iter[SAMPLES / 2];
+        let median_seconds = per_iter[per_iter.len() / 2];
         let median = format_seconds(median_seconds);
         println!("{name:<36} {median:>12}/iter   ({iters} iters/sample)");
         let median_ns = median_seconds * 1e9;
@@ -108,6 +122,77 @@ pub mod harness {
             });
         });
         median_ns
+    }
+
+    /// Times `f`, printing the median per-iteration latency and
+    /// recording it for [`write_json_if_requested`]. Returns the
+    /// median in nanoseconds so callers can derive speedups.
+    pub fn bench(name: &str, mut f: impl FnMut()) -> f64 {
+        let iters = calibrate(&mut f);
+        let per_iter: Vec<f64> = (0..SAMPLES).map(|_| sample(&mut f, iters)).collect();
+        report(name, per_iter, iters)
+    }
+
+    /// Sub-blocks per side per sample in [`bench_pair`]. Finer
+    /// interleaving couples the two sides to the same machine-speed
+    /// phases; 8 keeps each block long enough (milliseconds) that the
+    /// two `Instant` reads around it are free.
+    const INTERLEAVE_BLOCKS: u64 = 8;
+
+    /// Runs `n` iterations of `f`, returning the elapsed seconds.
+    fn timed_block(f: &mut impl FnMut(), n: u64) -> f64 {
+        let start = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        start.elapsed().as_secs_f64()
+    }
+
+    /// Times two related workloads with their iterations **interleaved**
+    /// in sub-sample blocks: every sample alternates a block of `a` with
+    /// a block of `b`, so machine-speed swings (thermal throttling,
+    /// noisy neighbours) hit both sides alike and the ratio of the
+    /// returned medians stays honest. Timing the sides in separate
+    /// [`bench`] calls instead leaves them seconds apart, where a
+    /// throttle step lands entirely on one side and fabricates a
+    /// spurious speedup or regression.
+    ///
+    /// Prints and records each side exactly like [`bench`]; returns
+    /// `(median_a_ns, median_b_ns)`.
+    pub fn bench_pair(
+        name_a: &str,
+        mut a: impl FnMut(),
+        name_b: &str,
+        mut b: impl FnMut(),
+    ) -> (f64, f64) {
+        let iters_a = calibrate(&mut a);
+        let iters_b = calibrate(&mut b);
+        let block_a = iters_a.div_ceil(INTERLEAVE_BLOCKS);
+        let block_b = iters_b.div_ceil(INTERLEAVE_BLOCKS);
+        let mut per_a = Vec::with_capacity(SAMPLES);
+        let mut per_b = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let (mut left_a, mut left_b) = (iters_a, iters_b);
+            let (mut secs_a, mut secs_b) = (0.0f64, 0.0f64);
+            while left_a > 0 || left_b > 0 {
+                let run_a = block_a.min(left_a);
+                if run_a > 0 {
+                    secs_a += timed_block(&mut a, run_a);
+                    left_a -= run_a;
+                }
+                let run_b = block_b.min(left_b);
+                if run_b > 0 {
+                    secs_b += timed_block(&mut b, run_b);
+                    left_b -= run_b;
+                }
+            }
+            per_a.push(secs_a / iters_a as f64);
+            per_b.push(secs_b / iters_b as f64);
+        }
+        (
+            report(name_a, per_a, iters_a),
+            report(name_b, per_b, iters_b),
+        )
     }
 
     /// Records a serial-vs-parallel comparison (both in ns/iter) and
@@ -126,6 +211,22 @@ pub mod harness {
                 name: name.to_string(),
                 serial_ns,
                 parallel_ns,
+            });
+        });
+    }
+
+    /// Records a named work counter (e.g. "eq1_evaluations") under the
+    /// current group and prints it; counters land in the JSON baseline
+    /// alongside the timings so work reductions are auditable, not just
+    /// wall-clock ones.
+    pub fn record_counter(name: &str, value: u64) {
+        println!("{name:<36} {value:>12}  (count)");
+        with_recorder(|r| {
+            let group = r.current_group.clone();
+            r.counters.push(Counter {
+                group,
+                name: name.to_string(),
+                value,
             });
         });
     }
@@ -201,6 +302,16 @@ pub mod harness {
                     escape(&s.name),
                     s.serial_ns,
                     s.parallel_ns,
+                ));
+            }
+            out.push_str("  ],\n  \"counters\": [\n");
+            for (i, c) in r.counters.iter().enumerate() {
+                let comma = if i + 1 < r.counters.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "    {{\"group\": \"{}\", \"name\": \"{}\", \"value\": {}}}{comma}\n",
+                    escape(&c.group),
+                    escape(&c.name),
+                    c.value,
                 ));
             }
             out.push_str("  ]\n}\n");

@@ -9,11 +9,19 @@
 //! the smallest available feature size.
 
 use maly_par::Executor;
-use maly_units::{DesignDensity, Dollars, Microns, TransistorCount};
-use maly_wafer_geom::Wafer;
+use maly_units::{DesignDensity, Dollars, Microns, SquareCentimeters, TransistorCount};
+use maly_wafer_geom::{DieDimensions, Wafer};
 use maly_yield_model::ScaledPoissonYield;
 
 use crate::{CostError, DiesPerWaferMethod, TransistorCostModel, WaferCostModel};
+
+/// Estimated serial cost of one eq. (1) grid-cell evaluation with a
+/// warm eq. (4) memo — the executor cost hint for surface sweeps.
+pub(crate) const CELL_EVAL_HINT_NS: f64 = 500.0;
+
+/// Estimated per-cell cost of a pure in-memory column scan (no eq. (1)
+/// evaluation, just comparisons over already-computed values).
+const SCAN_HINT_NS: f64 = 3.0;
 
 /// Parameters of a cost-surface study.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +75,70 @@ impl SurfaceParameters {
         let area = crate::density::die_area(transistors, self.density, lambda);
         let die = maly_wafer_geom::DieDimensions::square_with_area(area);
         Ok(model.evaluate(die, transistors)?.cost_per_transistor)
+    }
+
+    /// Batched eq. (1) over a slice of `(λ, N_tr)` points: the cost per
+    /// transistor, or `None` where the point is infeasible (die too
+    /// large, yield collapsed) — exactly [`SurfaceParameters::cost_at`]
+    /// per element, `Err → None`.
+    ///
+    /// For the default eq. (4) dies-per-wafer method this runs the
+    /// batched kernels underneath — one memo-cache pass for the die
+    /// counts ([`maly_wafer_geom::cache::dies_per_wafer_batch`]) and one
+    /// eq. (7) yield pass
+    /// ([`ScaledPoissonYield::yields_for_slice`]) — instead of
+    /// re-deriving the full model object per point. The per-point math
+    /// runs in the same operation order as the scalar path, so results
+    /// are **bit-identical** to calling `cost_at` in a loop; the
+    /// adaptive engine and the golden tests rely on that.
+    #[must_use]
+    pub fn costs_for_points(&self, points: &[(Microns, TransistorCount)]) -> Vec<Option<f64>> {
+        if !matches!(self.dies_method, DiesPerWaferMethod::MalyEq4) {
+            // Non-default packing methods have no batched kernel; fall
+            // back to the scalar path per point.
+            return points
+                .iter()
+                .map(|&(lambda, n)| self.cost_at(lambda, n).ok().map(|d| d.value()))
+                .collect();
+        }
+        let dies: Vec<DieDimensions> = points
+            .iter()
+            .map(|&(lambda, n)| {
+                DieDimensions::square_with_area(crate::density::die_area(n, self.density, lambda))
+            })
+            .collect();
+        let counts = maly_wafer_geom::cache::dies_per_wafer_batch(&self.wafer, &dies);
+        // Yields use the *realized* die area (side², after the √ of
+        // square_with_area), exactly as `evaluate` does.
+        let slice: Vec<(Microns, SquareCentimeters)> = points
+            .iter()
+            .zip(&dies)
+            .map(|(&(lambda, _), die)| (lambda, die.area()))
+            .collect();
+        let Ok(yields) = ScaledPoissonYield::yields_for_slice(self.defect_d, self.defect_p, &slice)
+        else {
+            // Invalid (D, p) calibration: the scalar path errors on
+            // every point, so every point is infeasible here too.
+            return vec![None; points.len()];
+        };
+        points
+            .iter()
+            .enumerate()
+            .map(|(k, &(lambda, n))| {
+                let n_ch = counts[k];
+                if n_ch.is_zero() {
+                    return None;
+                }
+                let y = yields[k];
+                if y.value() <= 0.0 {
+                    return None;
+                }
+                // Same operation order as TransistorCostModel::evaluate.
+                let good_dies = n_ch.as_f64() * y.value();
+                let cost_per_good_die = self.wafer_cost.wafer_cost(lambda) / good_dies;
+                Some((cost_per_good_die / n.value()).value())
+            })
+            .collect()
     }
 }
 
@@ -124,15 +196,12 @@ impl CostSurface {
             0.0 < n_tr_min && n_tr_min < n_tr_max,
             "bad N_tr range {n_tr_min}..{n_tr_max}"
         );
-        let lambda_axis: Vec<f64> = (0..lambda_steps)
-            .map(|i| lambda_min + (lambda_max - lambda_min) * i as f64 / (lambda_steps - 1) as f64)
-            .collect();
-        let log_lo = n_tr_min.ln();
-        let log_hi = n_tr_max.ln();
-        let n_tr_axis: Vec<f64> = (0..n_tr_steps)
-            .map(|j| (log_lo + (log_hi - log_lo) * j as f64 / (n_tr_steps - 1) as f64).exp())
-            .collect();
+        let lambda_axis = linear_axis(lambda_min, lambda_max, lambda_steps);
+        let n_tr_axis = log_axis(n_tr_min, n_tr_max, n_tr_steps);
 
+        // Overhead-aware scheduling: small grids run serial, large ones
+        // use at most as many threads as the workload justifies.
+        let exec = exec.tuned_for(lambda_steps * n_tr_steps, CELL_EVAL_HINT_NS);
         let values = exec.grid(lambda_steps, n_tr_steps, |i, j| {
             // Grid points interpolate validated positive bounds.
             let lambda = Microns::clamped(lambda_axis[i]);
@@ -140,6 +209,23 @@ impl CostSurface {
             params.cost_at(lambda, n_tr).ok().map(|d| d.value())
         });
 
+        Self {
+            lambda_axis,
+            n_tr_axis,
+            values,
+        }
+    }
+
+    /// Assembles a surface from already-computed parts (the adaptive
+    /// engine's exit path). The axes and the value grid must agree in
+    /// shape.
+    pub(crate) fn from_parts(
+        lambda_axis: Vec<f64>,
+        n_tr_axis: Vec<f64>,
+        values: Vec<Vec<Option<f64>>>,
+    ) -> Self {
+        debug_assert_eq!(values.len(), lambda_axis.len());
+        debug_assert!(values.iter().all(|row| row.len() == n_tr_axis.len()));
         Self {
             lambda_axis,
             n_tr_axis,
@@ -178,6 +264,13 @@ impl CostSurface {
     /// tie-break, so the locus is bit-identical at every thread count.
     #[must_use]
     pub fn optimal_lambda_per_n_tr_with(&self, exec: &Executor) -> Vec<Option<(f64, f64)>> {
+        // A column scan is pure comparisons over computed values; the
+        // hint keeps typical surfaces on the serial path (threads never
+        // pay off below hundreds of thousands of cells).
+        let exec = exec.tuned_for(
+            self.n_tr_axis.len(),
+            self.lambda_axis.len() as f64 * SCAN_HINT_NS,
+        );
         exec.map_indexed(self.n_tr_axis.len(), |j| {
             let mut best: Option<(f64, f64)> = None;
             for (i, &l) in self.lambda_axis.iter().enumerate() {
@@ -207,6 +300,22 @@ impl CostSurface {
         }
         best
     }
+}
+
+/// The linearly spaced λ axis shared by the dense and adaptive engines.
+pub(crate) fn linear_axis(min: f64, max: f64, steps: usize) -> Vec<f64> {
+    (0..steps)
+        .map(|i| min + (max - min) * i as f64 / (steps - 1) as f64)
+        .collect()
+}
+
+/// The log-spaced `N_tr` axis shared by the dense and adaptive engines.
+pub(crate) fn log_axis(min: f64, max: f64, steps: usize) -> Vec<f64> {
+    let log_lo = min.ln();
+    let log_hi = max.ln();
+    (0..steps)
+        .map(|j| (log_lo + (log_hi - log_lo) * j as f64 / (steps - 1) as f64).exp())
+        .collect()
 }
 
 #[cfg(test)]

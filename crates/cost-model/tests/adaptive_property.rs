@@ -1,0 +1,102 @@
+//! Property test: the adaptive engine agrees with the dense scan on
+//! randomized windows — every value within the configured tolerance,
+//! the feasibility mask exact, and the work accounting consistent.
+//!
+//! Windows are drawn from a seeded xorshift generator (no external
+//! crates), spanning skinny grids, deep-infeasible corners, and windows
+//! entirely inside the smooth zone.
+
+use maly_cost_model::adaptive::{AdaptiveConfig, AdaptiveSurface, DEFAULT_TOL};
+use maly_cost_model::surface::{CostSurface, SurfaceParameters};
+use maly_par::Executor;
+
+/// Deterministic xorshift64* generator; statistical perfection is
+/// irrelevant, reproducibility is the point.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * unit
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    fn int(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+#[test]
+fn adaptive_matches_dense_within_tol_on_random_windows() {
+    let params = SurfaceParameters::fig8();
+    let exec = Executor::with_threads(2);
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    let mut worst_overall = 0.0f64;
+    for case in 0..24 {
+        // λ windows inside the physically sensible band; N_tr windows
+        // spanning up to three decades, reaching into both the huge-die
+        // infeasible corner and the deep smooth zone.
+        let l0 = rng.uniform(0.3, 1.2);
+        let l1 = l0 + rng.uniform(0.2, 1.5);
+        let n0 = 10f64.powf(rng.uniform(4.0, 6.0));
+        let n1 = n0 * 10f64.powf(rng.uniform(0.5, 3.0));
+        let steps_l = rng.int(3, 72);
+        let steps_n = rng.int(3, 64);
+        let window = ((l0, l1, steps_l), (n0, n1, steps_n));
+
+        let dense = CostSurface::compute_with(&exec, &params, window.0, window.1);
+        let adaptive = AdaptiveSurface::compute_with(
+            &exec,
+            &params,
+            window.0,
+            window.1,
+            &AdaptiveConfig::default(),
+        );
+
+        let stats = adaptive.stats();
+        assert_eq!(
+            stats.evaluated + stats.analytic_exact + stats.interpolated + stats.infeasible_deduced,
+            stats.grid_points,
+            "case {case}: accounting must cover the grid exactly once ({window:?})"
+        );
+
+        let mut worst = 0.0f64;
+        for (i, (da, aa)) in dense
+            .values()
+            .iter()
+            .zip(adaptive.surface().values())
+            .enumerate()
+        {
+            for (j, (dv, av)) in da.iter().zip(aa).enumerate() {
+                match (dv, av) {
+                    (Some(d), Some(a)) => {
+                        worst = worst.max((d - a).abs() / d.abs().max(f64::MIN_POSITIVE));
+                    }
+                    (None, None) => {}
+                    (d, a) => panic!(
+                        "case {case}: feasibility mismatch at ({i},{j}): \
+                         dense {d:?} vs adaptive {a:?} ({window:?})"
+                    ),
+                }
+            }
+        }
+        assert!(
+            worst <= DEFAULT_TOL,
+            "case {case}: worst relative error {worst:.4} exceeds tol {DEFAULT_TOL} ({window:?})"
+        );
+        worst_overall = worst_overall.max(worst);
+    }
+    // The engine should genuinely interpolate somewhere in the sample,
+    // not coincidentally evaluate everything exactly.
+    assert!(worst_overall > 0.0, "no window exercised interpolation");
+}

@@ -1,7 +1,15 @@
 //! Marching-squares contour extraction (Fig 8's constant-cost curves).
 
+use maly_cost_model::adaptive::AdaptiveSurface;
 use maly_cost_model::surface::CostSurface;
 use maly_par::Executor;
+
+/// Estimated serial cost of marching one grid cell (classify + at most
+/// two edge interpolations), used to tune the executor: the PR-2
+/// baseline showed parallel contour extraction *losing* to serial on
+/// small surfaces because thread spawn overhead exceeded the whole
+/// march.
+const MARCH_CELL_HINT_NS: f64 = 40.0;
 
 /// A contour line: the level and the polyline points `(λ, N_tr)` tracing
 /// it (segments concatenated; may contain several disconnected runs).
@@ -67,8 +75,11 @@ pub fn extract_contours_with(
     let ys = surface.n_tr_axis();
     let values = surface.values();
     let rows = xs.len().saturating_sub(1);
+    let cell_cols = ys.len().saturating_sub(1);
 
-    // One work item per (level, row-of-cells) strip.
+    // One work item per (level, row-of-cells) strip; tuned so small
+    // surfaces march serially instead of paying thread spawns.
+    let exec = exec.tuned_for(levels.len() * rows, cell_cols as f64 * MARCH_CELL_HINT_NS);
     let strips = exec.grid(levels.len(), rows.max(1), |li, i| {
         let level = levels[li];
         let mut segments = Vec::new();
@@ -77,6 +88,93 @@ pub fn extract_contours_with(
         }
         for j in 0..ys.len().saturating_sub(1) {
             // Cell corners: (i,j), (i+1,j), (i+1,j+1), (i,j+1).
+            let corners = [
+                (xs[i], ys[j], values[i][j]),
+                (xs[i + 1], ys[j], values[i + 1][j]),
+                (xs[i + 1], ys[j + 1], values[i + 1][j + 1]),
+                (xs[i], ys[j + 1], values[i][j + 1]),
+            ];
+            let Some(vals) = corners
+                .iter()
+                .map(|(_, _, v)| *v)
+                .collect::<Option<Vec<f64>>>()
+            else {
+                continue;
+            };
+            segments.extend(march_cell(&corners, &vals, level));
+        }
+        segments
+    });
+
+    levels
+        .iter()
+        .zip(strips)
+        .map(|(&level, rows)| ContourLine {
+            level,
+            segments: rows.into_iter().flatten().collect(),
+        })
+        .collect()
+}
+
+/// Contour extraction over an adaptively computed surface: only cells in
+/// the surface's march mask ([`AdaptiveSurface::cell_is_exact`]) are
+/// visited. The mask covers every cell that can carry a segment of a
+/// protected level — cells with exact corners plus accepted cells whose
+/// values straddle a level — so for levels the surface was refined
+/// against, the result equals marching every cell of the same surface,
+/// at a fraction of the visits (see `exact_cell_count`).
+///
+/// # Panics
+///
+/// Panics if any requested level is not among the surface's
+/// [`AdaptiveSurface::protected_levels`] — marching an unprotected level
+/// against the mask could silently drop segments.
+#[must_use]
+pub fn extract_contours_adaptive(surface: &AdaptiveSurface, levels: &[f64]) -> Vec<ContourLine> {
+    extract_contours_adaptive_with(&Executor::from_env(), surface, levels)
+}
+
+/// [`extract_contours_adaptive`] on an explicit executor. Strips come
+/// back in `(level, row, column)` order — the same order as
+/// [`extract_contours_with`] — so segment lists are bit-identical to the
+/// serial pass at every thread count.
+///
+/// # Panics
+///
+/// As for [`extract_contours_adaptive`].
+#[must_use]
+pub fn extract_contours_adaptive_with(
+    exec: &Executor,
+    surface: &AdaptiveSurface,
+    levels: &[f64],
+) -> Vec<ContourLine> {
+    for level in levels {
+        assert!(
+            surface
+                .protected_levels()
+                .iter()
+                .any(|protected| protected == level),
+            "level {level} was not protected when the surface was computed"
+        );
+    }
+    let grid = surface.surface();
+    let xs = grid.lambda_axis();
+    let ys = grid.n_tr_axis();
+    let values = grid.values();
+    let rows = xs.len().saturating_sub(1);
+    let cell_cols = ys.len().saturating_sub(1);
+
+    let exec = exec.tuned_for(levels.len() * rows, cell_cols as f64 * MARCH_CELL_HINT_NS);
+    let strips = exec.grid(levels.len(), rows.max(1), |li, i| {
+        let level = levels[li];
+        let mut segments = Vec::new();
+        if i >= rows {
+            return segments;
+        }
+        for j in 0..cell_cols {
+            if !surface.cell_is_exact(i, j) {
+                continue;
+            }
             let corners = [
                 (xs[i], ys[j], values[i][j]),
                 (xs[i + 1], ys[j], values[i + 1][j]),

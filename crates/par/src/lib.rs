@@ -31,6 +31,20 @@
 //! all). Code that needs a specific count regardless of the environment
 //! — tests, benchmarks — uses [`Executor::with_threads`].
 //!
+//! # Overhead awareness
+//!
+//! Spawning a scoped thread costs real time (tens of microseconds), so
+//! a parallel sweep over a small grid can be *slower* than the serial
+//! loop — the PR-2 baseline recorded 0.42–0.77× "speedups" on a 1-core
+//! container. Sweep call sites therefore pass a per-item cost hint
+//! through [`Executor::tuned_for`], which applies a calibrated
+//! sequential cutoff ([`SEQUENTIAL_CUTOFF_NS`]) and a minimum per-thread
+//! grain ([`MIN_PARALLEL_GRAIN_NS`]), and never oversubscribes the
+//! machine's cores. Workloads below the cutoff run serial by
+//! construction, so the tuned path is never slower than the serial loop
+//! beyond measurement noise. Tuning only changes scheduling: results
+//! stay bit-identical at every thread count.
+//!
 //! # Examples
 //!
 //! ```
@@ -59,6 +73,16 @@ use std::num::NonZeroUsize;
 /// Environment variable selecting the executor's thread count.
 pub const THREADS_ENV_VAR: &str = "MALY_PAR_THREADS";
 
+/// Workloads estimated below this total serial cost always run serial:
+/// a scoped-thread spawn+join round trip costs tens of microseconds, so
+/// a sub-200 µs sweep cannot recoup even one extra thread.
+pub const SEQUENTIAL_CUTOFF_NS: f64 = 200_000.0;
+
+/// Minimum estimated work per extra thread. Adding a thread that owns
+/// less than ~100 µs of work loses more to spawn/join overhead and
+/// cache cooling than it gains in concurrency.
+pub const MIN_PARALLEL_GRAIN_NS: f64 = 100_000.0;
+
 /// Resolves the thread count from [`THREADS_ENV_VAR`], falling back to
 /// the machine's available parallelism. Unparsable or zero values fall
 /// back too, so a broken environment can never disable the sweeps.
@@ -74,11 +98,20 @@ pub fn threads_from_env() -> usize {
 }
 
 /// The machine's available parallelism (1 when it cannot be queried).
+///
+/// Queried once per process and cached: on Linux,
+/// `std::thread::available_parallelism` re-reads cgroup quota files on
+/// every call — about 10 µs here, enough to make the [`Executor::tuned_for`]
+/// cap visibly slow down sub-millisecond sweeps that resolve to the
+/// serial path anyway.
 #[must_use]
 pub fn default_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// A deterministic data-parallel executor over scoped threads.
@@ -127,6 +160,39 @@ impl Executor {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Derives an executor tuned for a workload of `n` items whose
+    /// estimated serial cost is `ns_per_item` nanoseconds each.
+    ///
+    /// Three caps apply, in order:
+    ///
+    /// 1. workloads under [`SEQUENTIAL_CUTOFF_NS`] total run serial;
+    /// 2. each extra thread must own at least [`MIN_PARALLEL_GRAIN_NS`]
+    ///    of estimated work;
+    /// 3. the thread count never exceeds the machine's available
+    ///    parallelism — oversubscribing cores never helps a pure-CPU
+    ///    sweep and is exactly how a 1-core machine ends up running a
+    ///    "parallel" path slower than the serial loop.
+    ///
+    /// The tuned executor can only have *fewer* threads than `self`;
+    /// results are bit-identical either way (see the determinism
+    /// contract), so tuning is always safe to apply.
+    #[must_use]
+    pub fn tuned_for(&self, n: usize, ns_per_item: f64) -> Executor {
+        if self.threads <= 1 {
+            return Executor::serial();
+        }
+        let total_ns = ns_per_item.max(0.0) * n as f64;
+        if !total_ns.is_finite() || total_ns < SEQUENTIAL_CUTOFF_NS {
+            return Executor::serial();
+        }
+        // At most one thread per MIN_PARALLEL_GRAIN_NS of work; the
+        // cutoff above guarantees by_grain >= 2 is possible only when
+        // the workload is worth at least two grains.
+        let by_grain = (total_ns / MIN_PARALLEL_GRAIN_NS) as usize;
+        let capped = self.threads.min(default_parallelism()).min(by_grain.max(1));
+        Executor::with_threads(capped)
     }
 
     /// Applies `f` to every index in `0..n`, returning results in index
@@ -365,6 +431,59 @@ mod tests {
         assert_eq!(Executor::from_env().threads(), default_parallelism());
         std::env::remove_var(THREADS_ENV_VAR);
         assert_eq!(Executor::from_env().threads(), default_parallelism());
+    }
+
+    #[test]
+    fn tuned_for_small_workloads_is_serial() {
+        let exec = Executor::with_threads(8);
+        // 100 items at 100 ns = 10 µs: far below the cutoff.
+        assert_eq!(exec.tuned_for(100, 100.0).threads(), 1);
+        // Zero-cost hints and empty workloads are serial too.
+        assert_eq!(exec.tuned_for(0, 1_000_000.0).threads(), 1);
+        assert_eq!(exec.tuned_for(1_000_000, 0.0).threads(), 1);
+        // Pathological hints must not panic or go parallel.
+        assert_eq!(exec.tuned_for(10, f64::NAN).threads(), 1);
+        assert_eq!(exec.tuned_for(10, -5.0).threads(), 1);
+    }
+
+    #[test]
+    fn tuned_for_never_adds_threads() {
+        let serial = Executor::serial();
+        assert_eq!(serial.tuned_for(1_000_000, 10_000.0).threads(), 1);
+        let four = Executor::with_threads(4);
+        assert!(four.tuned_for(1_000_000, 10_000.0).threads() <= 4);
+    }
+
+    #[test]
+    fn tuned_for_never_oversubscribes_cores() {
+        let exec = Executor::with_threads(512);
+        let tuned = exec.tuned_for(1_000_000, 100_000.0);
+        assert!(
+            tuned.threads() <= default_parallelism(),
+            "{} threads on {} cores",
+            tuned.threads(),
+            default_parallelism()
+        );
+    }
+
+    #[test]
+    fn tuned_for_respects_the_grain() {
+        // 3 grains of work: at most 3 threads even on a wide machine.
+        let exec = Executor::with_threads(64);
+        let n = 3_000;
+        let tuned = exec.tuned_for(n, MIN_PARALLEL_GRAIN_NS / 1_000.0);
+        assert!(tuned.threads() <= 3, "{} threads", tuned.threads());
+    }
+
+    #[test]
+    fn tuned_for_results_match_untuned() {
+        let exec = Executor::with_threads(8);
+        let tuned = exec.tuned_for(977, 50.0);
+        let want: Vec<u64> = (0..977u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+        assert_eq!(
+            tuned.map_indexed(977, |i| (i as u64).wrapping_mul(0x9e3779b9)),
+            want
+        );
     }
 
     #[test]

@@ -23,8 +23,9 @@
 //! panics: a poisoned shard is recovered, not unwrapped.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::{OnceLock, RwLock, RwLockReadGuard};
 
 use maly_units::DieCount;
 
@@ -40,8 +41,39 @@ const SHARDS: usize = 16;
 /// multiples of [`KEY_QUANTUM_CM`].
 type Key = (u64, u64, u64);
 
+/// Multiply-rotate hasher for the fixed-shape integer key. The default
+/// `HashMap` hasher (SipHash) is DoS-resistant but costs more than the
+/// whole warm-hit budget of this memo; the key here is three trusted
+/// in-process integers, so a two-instruction mix per word is enough.
+/// Each `u64` word folds in as `state = (rotl(state, 5) ^ word) × φ64`
+/// (the 64-bit golden-ratio constant), whose high and low halves are
+/// both well distributed for hashbrown's control-byte scheme.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 fields; the memo key never takes it.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type KeyMap = HashMap<Key, u32, BuildHasherDefault<KeyHasher>>;
+
 struct Shard {
-    map: RwLock<HashMap<Key, u32>>,
+    map: RwLock<KeyMap>,
 }
 
 struct Cache {
@@ -56,7 +88,7 @@ fn cache() -> &'static Cache {
     CACHE.get_or_init(|| Cache {
         shards: (0..SHARDS)
             .map(|_| Shard {
-                map: RwLock::new(HashMap::new()),
+                map: RwLock::new(KeyMap::default()),
             })
             .collect(),
         hits: AtomicU64::new(0),
@@ -118,6 +150,72 @@ pub fn dies_per_wafer(wafer: &Wafer, die: DieDimensions) -> DieCount {
     cache().misses.fetch_add(1, Ordering::Relaxed);
     store(key, count.value());
     count
+}
+
+/// Batched memoized eq. (4): one pass of cache lookups over a λ-batch
+/// of dies, with the misses computed through the batched row-sum kernel
+/// ([`crate::maly::dies_per_wafer_batch`]) and stored back.
+///
+/// Composes the two layers: a warm sweep is pure lookups; a cold sweep
+/// pays one batched kernel run instead of `n` scalar entries. Results
+/// are bit-identical to calling [`dies_per_wafer`] per element.
+#[must_use]
+pub fn dies_per_wafer_batch(wafer: &Wafer, dies: &[DieDimensions]) -> Vec<DieCount> {
+    let r_key = quantize(wafer.usable_radius().value());
+    let mut out: Vec<Option<DieCount>> = Vec::with_capacity(dies.len());
+    let mut miss_idx: Vec<usize> = Vec::new();
+    let mut miss_dies: Vec<DieDimensions> = Vec::new();
+    let mut hits = 0u64;
+    {
+        // One read acquisition per shard for the whole batch, instead of
+        // one per element: the lock round-trip otherwise costs as much
+        // as the warm lookup it guards. Read guards never block each
+        // other; writers wait only for this short hit pass.
+        let guards: Vec<RwLockReadGuard<'_, KeyMap>> = cache()
+            .shards
+            .iter()
+            .map(|shard| match shard.map.read() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            })
+            .collect();
+        for (i, die) in dies.iter().enumerate() {
+            let key = (
+                r_key,
+                quantize(die.width().value()),
+                quantize(die.height().value()),
+            );
+            match guards[shard_of(&key)].get(&key) {
+                Some(&count) => {
+                    hits += 1;
+                    out.push(Some(DieCount::new(count)));
+                }
+                None => {
+                    miss_idx.push(i);
+                    miss_dies.push(*die);
+                    out.push(None);
+                }
+            }
+        }
+    }
+    cache().hits.fetch_add(hits, Ordering::Relaxed);
+    if !miss_dies.is_empty() {
+        let computed = maly::dies_per_wafer_batch(wafer, &miss_dies);
+        cache()
+            .misses
+            .fetch_add(miss_dies.len() as u64, Ordering::Relaxed);
+        for ((&i, die), count) in miss_idx.iter().zip(&miss_dies).zip(&computed) {
+            let key = (
+                r_key,
+                quantize(die.width().value()),
+                quantize(die.height().value()),
+            );
+            store(key, count.value());
+            out[i] = Some(*count);
+        }
+    }
+    // Every slot was filled by the hit or the miss pass.
+    out.into_iter().flatten().collect()
 }
 
 /// Memoized [`crate::maly::dies_per_wafer_best_orientation`]: both
@@ -252,6 +350,33 @@ mod tests {
         let s = stats();
         assert_eq!(s.hits + s.misses, 0);
         assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn batch_matches_scalar_and_warms_the_cache() {
+        let wafer = Wafer::six_inch();
+        let dies: Vec<DieDimensions> = (1..30)
+            .map(|i| DieDimensions::square(Centimeters::new(0.17 * f64::from(i)).unwrap()))
+            .collect();
+        let cold = dies_per_wafer_batch(&wafer, &dies);
+        for (die, got) in dies.iter().zip(&cold) {
+            assert_eq!(*got, maly::dies_per_wafer(&wafer, *die), "die {die:?}");
+        }
+        // Second pass must be pure hits and identical.
+        let before = stats();
+        let warm = dies_per_wafer_batch(&wafer, &dies);
+        let after = stats();
+        assert_eq!(cold, warm);
+        assert!(after.hits >= before.hits + dies.len() as u64);
+    }
+
+    #[test]
+    fn batch_and_scalar_share_the_memo() {
+        let wafer = Wafer::six_inch();
+        let die = DieDimensions::square(Centimeters::new(0.77).unwrap());
+        let scalar = dies_per_wafer(&wafer, die);
+        let batch = dies_per_wafer_batch(&wafer, &[die, die]);
+        assert_eq!(batch, vec![scalar, scalar]);
     }
 
     #[test]

@@ -48,10 +48,19 @@ use maly_units::DieCount;
 /// ```
 #[must_use]
 pub fn dies_per_wafer(wafer: &Wafer, die: DieDimensions) -> DieCount {
-    let r_w = wafer.usable_radius().value();
-    let a = die.width().value();
-    let b = die.height().value();
+    row_sum_kernel(
+        wafer.usable_radius().value(),
+        die.width().value(),
+        die.height().value(),
+    )
+}
 
+/// The eq. (4) row sum with the chord recurrence hoisted: row `j`'s
+/// upper chord `R_{j+1}` is row `j+1`'s lower chord, so one square root
+/// per row suffices instead of two. The carried value is the *same*
+/// `sqrt` of the *same* argument the two-per-row loop would compute, so
+/// the result is bit-identical to the textbook form.
+fn row_sum_kernel(r_w: f64, a: f64, b: f64) -> DieCount {
     let rows = (2.0 * r_w / b).floor() as i64;
     if rows <= 0 {
         return DieCount::new(0);
@@ -68,17 +77,34 @@ pub fn dies_per_wafer(wafer: &Wafer, die: DieDimensions) -> DieCount {
     };
 
     let mut total: u64 = 0;
+    let mut r_lo = half_width_at(0.0);
     for j in 0..rows {
-        let r_lo = half_width_at(j as f64 * b);
         let r_hi = half_width_at((j + 1) as f64 * b);
         let chord = r_lo.min(r_hi);
         let per_row = (2.0 * chord / a).floor();
         if per_row > 0.0 {
             total += per_row as u64;
         }
+        r_lo = r_hi;
     }
 
     DieCount::new(u32::try_from(total).unwrap_or(u32::MAX))
+}
+
+/// Batched eq. (4): die counts for a slice of dies on one wafer, as a
+/// λ-sweep produces (one die geometry per feature-size sample).
+///
+/// The wafer's usable radius is fetched once and the row-sum kernel
+/// runs back to back over the batch, keeping the radius and the
+/// kernel's code hot instead of re-entering through the `Wafer`
+/// accessors per call. Each count is bit-identical to the scalar
+/// [`dies_per_wafer`].
+#[must_use]
+pub fn dies_per_wafer_batch(wafer: &Wafer, dies: &[DieDimensions]) -> Vec<DieCount> {
+    let r_w = wafer.usable_radius().value();
+    dies.iter()
+        .map(|die| row_sum_kernel(r_w, die.width().value(), die.height().value()))
+        .collect()
 }
 
 /// Dies per wafer for the better of the two die orientations
@@ -185,6 +211,25 @@ mod tests {
         let a = dies_per_wafer(&wafer, die).value();
         let b = dies_per_wafer(&wafer, die.rotated()).value();
         assert_eq!(best, a.max(b));
+    }
+
+    #[test]
+    fn batch_matches_scalar_calls() {
+        let wafer = Wafer::six_inch();
+        // A λ-sweep-shaped batch: square dies whose side scales like λ.
+        let dies: Vec<DieDimensions> = (1..60)
+            .map(|i| DieDimensions::square(Centimeters::new(0.05 * f64::from(i)).unwrap()))
+            .collect();
+        let batch = dies_per_wafer_batch(&wafer, &dies);
+        assert_eq!(batch.len(), dies.len());
+        for (die, got) in dies.iter().zip(&batch) {
+            assert_eq!(*got, dies_per_wafer(&wafer, *die));
+        }
+    }
+
+    #[test]
+    fn batch_of_nothing_is_empty() {
+        assert!(dies_per_wafer_batch(&Wafer::six_inch(), &[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! `xtask bench-check` — diffs a freshly measured bench baseline
+//! against the committed `BENCH_sweeps.json` and fails on per-group
+//! median regressions.
+//!
+//! The comparison is throttle-aware: shared CI boxes (and laptops) can
+//! run uniformly slower than the machine that recorded the baseline,
+//! which says nothing about the code. Each benchmark's
+//! `candidate / baseline` ratio is therefore normalized by the
+//! workspace-wide **median** ratio (the machine-speed factor) before
+//! the per-group verdict; a genuine regression moves a group away from
+//! the rest of the workspace, a throttled run moves everything
+//! together. Absolute work counters and the serial-vs-parallel
+//! speedups recorded next to the medians stay un-normalized guards.
+//!
+//! The parser is deliberately narrow: it reads the line-per-record JSON
+//! that `maly-bench`'s harness writes (see `render_json` there), not
+//! arbitrary JSON — the workspace builds offline with no external
+//! crates.
+
+use std::fmt::Write as _;
+
+/// A benchmark group's median may drift up to this fraction above the
+/// baseline (after machine-speed normalization) before `bench-check`
+/// fails.
+pub const MAX_MEDIAN_REGRESSION: f64 = 0.15;
+
+/// One `benches` record from a harness baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark group (e.g. `sweeps/fig8_surface`).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median per-iteration latency in nanoseconds.
+    pub median_ns: f64,
+}
+
+/// Per-group comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupVerdict {
+    /// Benchmark group.
+    pub group: String,
+    /// Median normalized `candidate / baseline` ratio over the group's
+    /// benchmarks (1.0 = exactly the baseline, adjusted for machine
+    /// speed).
+    pub normalized_ratio: f64,
+    /// Number of benchmarks compared in this group.
+    pub benches: usize,
+}
+
+/// The full bench-check result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Workspace-wide median `candidate / baseline` ratio attributed to
+    /// machine speed.
+    pub machine_factor: f64,
+    /// Per-group verdicts, sorted by group name.
+    pub groups: Vec<GroupVerdict>,
+}
+
+impl BenchReport {
+    /// True when every group stays within [`MAX_MEDIAN_REGRESSION`].
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.groups
+            .iter()
+            .all(|g| g.normalized_ratio <= 1.0 + MAX_MEDIAN_REGRESSION)
+    }
+
+    /// Renders the human-readable verdict table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench-check: machine-speed factor {:.3}× (workspace median)",
+            self.machine_factor
+        );
+        for g in &self.groups {
+            let marker = if g.normalized_ratio > 1.0 + MAX_MEDIAN_REGRESSION {
+                "  REGRESSED"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>7.3}x over {} bench(es){marker}",
+                g.group, g.normalized_ratio, g.benches
+            );
+        }
+        if self.is_ok() {
+            let _ = writeln!(
+                out,
+                "bench-check: OK — no group regressed beyond {:.0}%",
+                MAX_MEDIAN_REGRESSION * 100.0
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "bench-check: FAIL — group median beyond {:.0}% of baseline",
+                MAX_MEDIAN_REGRESSION * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Extracts a string field (`"key": "value"`) from one record line.
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Extracts a numeric field (`"key": 123.4`) from one record line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    digits.parse().ok()
+}
+
+/// Parses the `benches` records out of a harness baseline file.
+///
+/// # Errors
+///
+/// Returns a message when the text holds no parsable bench records —
+/// an empty baseline would make every comparison vacuously pass.
+pub fn parse_baseline(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let (Some(group), Some(name), Some(median_ns)) = (
+            str_field(line, "group"),
+            str_field(line, "name"),
+            num_field(line, "median_ns"),
+        ) else {
+            continue;
+        };
+        out.push(BenchRecord {
+            group: group.to_string(),
+            name: name.to_string(),
+            median_ns,
+        });
+    }
+    if out.is_empty() {
+        return Err("no bench records found (is this a harness --json baseline?)".to_string());
+    }
+    Ok(out)
+}
+
+/// Median of a non-empty slice (sorted copy, NaN-total order).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
+/// Compares a candidate run against the committed baseline.
+///
+/// # Errors
+///
+/// Returns a message when a baseline benchmark is missing from the
+/// candidate (coverage must never silently shrink) or a baseline
+/// median is non-positive.
+pub fn compare(baseline: &[BenchRecord], candidate: &[BenchRecord]) -> Result<BenchReport, String> {
+    let mut ratios: Vec<(String, f64)> = Vec::with_capacity(baseline.len());
+    for b in baseline {
+        let Some(c) = candidate
+            .iter()
+            .find(|c| c.group == b.group && c.name == b.name)
+        else {
+            return Err(format!(
+                "candidate run is missing `{}` / `{}` — bench coverage must not shrink",
+                b.group, b.name
+            ));
+        };
+        if b.median_ns <= 0.0 {
+            return Err(format!(
+                "baseline median for `{}` / `{}` is not positive",
+                b.group, b.name
+            ));
+        }
+        ratios.push((b.group.clone(), c.median_ns / b.median_ns));
+    }
+    let mut all: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+    let machine_factor = median(&mut all).max(f64::MIN_POSITIVE);
+
+    let mut groups: Vec<String> = ratios.iter().map(|(g, _)| g.clone()).collect();
+    groups.sort();
+    groups.dedup();
+    let verdicts = groups
+        .into_iter()
+        .map(|group| {
+            let mut rs: Vec<f64> = ratios
+                .iter()
+                .filter(|(g, _)| *g == group)
+                .map(|(_, r)| r / machine_factor)
+                .collect();
+            let benches = rs.len();
+            GroupVerdict {
+                group,
+                normalized_ratio: median(&mut rs),
+                benches,
+            }
+        })
+        .collect();
+    Ok(BenchReport {
+        machine_factor,
+        groups: verdicts,
+    })
+}
+
+/// File-level entry point: reads both baselines and compares them.
+///
+/// # Errors
+///
+/// Returns a message on unreadable files, unparsable baselines, or
+/// shrunk coverage; the caller turns the message into a non-zero exit.
+pub fn run_bench_check(baseline_path: &str, candidate_path: &str) -> Result<BenchReport, String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    let candidate = std::fs::read_to_string(candidate_path)
+        .map_err(|e| format!("reading {candidate_path}: {e}"))?;
+    compare(&parse_baseline(&baseline)?, &parse_baseline(&candidate)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(group: &str, name: &str, median_ns: f64) -> BenchRecord {
+        BenchRecord {
+            group: group.to_string(),
+            name: name.to_string(),
+            median_ns,
+        }
+    }
+
+    #[test]
+    fn parses_harness_json_lines() {
+        let text = concat!(
+            "{\n  \"benches\": [\n",
+            "    {\"group\": \"sweeps/a\", \"name\": \"x/serial\", \"median_ns\": 1200.5, \"iters\": 64},\n",
+            "    {\"group\": \"sweeps/a\", \"name\": \"x/parallel\", \"median_ns\": 800.0, \"iters\": 64}\n",
+            "  ],\n  \"speedups\": []\n}\n",
+        );
+        let records = parse_baseline(text).expect("parses");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], record("sweeps/a", "x/serial", 1200.5));
+    }
+
+    #[test]
+    fn uniform_slowdown_is_attributed_to_the_machine() {
+        let base = vec![record("g1", "a", 100.0), record("g2", "b", 200.0)];
+        let cand = vec![record("g1", "a", 180.0), record("g2", "b", 360.0)];
+        let report = compare(&base, &cand).expect("compares");
+        assert!(report.is_ok(), "{}", report.render());
+        assert!((report.machine_factor - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_group_regression_fails() {
+        let base = vec![
+            record("g1", "a", 100.0),
+            record("g2", "b", 100.0),
+            record("g3", "c", 100.0),
+        ];
+        // g3 runs 2× slower while the rest of the workspace holds, so
+        // the machine factor stays ~1 and g3 is a real regression.
+        let cand = vec![
+            record("g1", "a", 101.0),
+            record("g2", "b", 99.0),
+            record("g3", "c", 200.0),
+        ];
+        let report = compare(&base, &cand).expect("compares");
+        assert!(!report.is_ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn missing_candidate_bench_is_an_error() {
+        let base = vec![record("g1", "a", 100.0)];
+        assert!(compare(&base, &[]).is_err());
+    }
+
+    #[test]
+    fn empty_baseline_is_an_error() {
+        assert!(parse_baseline("{}\n").is_err());
+    }
+}

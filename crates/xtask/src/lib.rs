@@ -15,7 +15,14 @@
 //!    crate roots, no wildcard versions or placeholder URLs;
 //! 5. **raw-thread containment** — no raw `std::thread::spawn` outside
 //!    `crates/par`, so every parallel path stays deterministic and
-//!    honors `MALY_PAR_THREADS`.
+//!    honors `MALY_PAR_THREADS`;
+//! 6. **tracked-artifact hygiene** — no build artifacts in version
+//!    control (`target/` trees, cargo fingerprints, stray `--flag`
+//!    files); checked against `git ls-files` when git is available.
+//!
+//! `cargo run -p xtask -- bench-check <candidate.json>` separately
+//! diffs a fresh bench baseline against the committed
+//! `BENCH_sweeps.json` (see [`bench`]).
 //!
 //! Escape hatches are inline comments: `audit:allow(panic)`,
 //! `audit:allow(bare-f64)`, `audit:allow(nan)`,
@@ -26,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod rules;
 pub mod scan;
 
@@ -159,6 +167,23 @@ fn rel(root: &Path, path: &Path) -> String {
         .to_string()
 }
 
+/// The tracked-file list from `git ls-files`, or `None` when git (or a
+/// repository) is unavailable — the artifact rule then has nothing to
+/// check, which keeps the lint usable on exported source trees.
+fn tracked_files(root: &Path) -> Option<Vec<String>> {
+    let output = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .arg("ls-files")
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(output.stdout).ok()?;
+    Some(text.lines().map(str::to_string).collect())
+}
+
 /// Runs the full lint over the workspace rooted at `root`: the root
 /// package plus every crate under `crates/`.
 ///
@@ -267,6 +292,9 @@ pub fn run_lint(root: &Path) -> io::Result<Report> {
             panic_sites: panic_sites.len(),
             budget,
         });
+    }
+    if let Some(tracked) = tracked_files(root) {
+        report.violations.extend(rules::tracked_artifacts(&tracked));
     }
     report.stats.sort_by(|a, b| a.name.cmp(&b.name));
     Ok(report)

@@ -1,6 +1,9 @@
 //! Entry point: `cargo run -p xtask -- lint` runs the maly-audit
 //! static analysis pass over the whole workspace and exits non-zero on
-//! any violation.
+//! any violation; `cargo run -p xtask -- bench-check <candidate.json>`
+//! diffs a fresh bench baseline against the committed
+//! `BENCH_sweeps.json` and exits non-zero on a per-group median
+//! regression beyond 15%.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,8 +35,33 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("bench-check") => {
+            let Some(candidate) = args.get(1) else {
+                eprintln!("usage: cargo run -p xtask -- bench-check <candidate.json> [baseline]");
+                return ExitCode::FAILURE;
+            };
+            let default_baseline = workspace_root().join("BENCH_sweeps.json");
+            let baseline = args
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| default_baseline.display().to_string());
+            match xtask::bench::run_bench_check(&baseline, candidate) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    if report.is_ok() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(err) => {
+                    eprintln!("bench-check: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- lint | bench-check <candidate.json>");
             ExitCode::FAILURE
         }
     }

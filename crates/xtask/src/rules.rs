@@ -50,6 +50,8 @@ pub enum Rule {
     Hygiene,
     /// Raw `std::thread::spawn` outside the sanctioned executor crate.
     RawThread,
+    /// A build artifact tracked by version control.
+    Artifact,
 }
 
 impl Rule {
@@ -63,6 +65,7 @@ impl Rule {
             Rule::NanSafety => "nan",
             Rule::Hygiene => "hygiene",
             Rule::RawThread => "raw-thread",
+            Rule::Artifact => "artifact",
         }
     }
 }
@@ -144,6 +147,7 @@ pub const DIMENSIONLESS_NAMES: &[&str] = &[
     "beta",
     "step",
     "steps",
+    "tol",
     "fraction",
     "ratio",
     "aspect_ratio",
@@ -529,6 +533,42 @@ pub fn check_crate_root_source(file: &str, text: &str) -> Vec<Violation> {
                 line: 1,
                 rule: Rule::Hygiene,
                 message: format!("crate root is missing `{attr}`"),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 6: tracked-artifact hygiene
+// ---------------------------------------------------------------------
+
+/// Flags version-controlled paths that are build artifacts and should
+/// never be committed: anything under a `target/` directory, cargo
+/// `.fingerprint` data, and option-shaped file names (a stray `--bench`
+/// file is what a mistyped `cargo bench -- --bench` leaves behind).
+/// `paths` is the tracked-file list (one workspace-relative path per
+/// entry, as `git ls-files` prints it).
+#[must_use]
+pub fn tracked_artifacts(paths: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for path in paths {
+        let components: Vec<&str> = path.split('/').collect();
+        let reason = if components.first().copied() == Some("target")
+            || components.iter().any(|c| *c == ".fingerprint")
+        {
+            Some("cargo build output")
+        } else if components.last().is_some_and(|name| name.starts_with("--")) {
+            Some("option-shaped file name (stray CLI flag)")
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            out.push(Violation {
+                file: path.clone(),
+                line: 1,
+                rule: Rule::Artifact,
+                message: format!("tracked build artifact ({reason}); git rm --cached it"),
             });
         }
     }

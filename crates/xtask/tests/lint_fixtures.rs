@@ -244,6 +244,40 @@ fn raw_thread_rule_honors_allow_tag_and_test_code() {
 }
 
 // ---------------------------------------------------------------------
+// Rule 6: tracked-artifact hygiene
+// ---------------------------------------------------------------------
+
+#[test]
+fn artifact_rule_flags_target_trees_fingerprints_and_flag_files() {
+    let tracked: Vec<String> = [
+        "target/debug/deps/libmaly.rlib",
+        "target/.rustc_info.json",
+        "crates/bench/--bench",
+        "some/nested/.fingerprint/dep-lib",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    let found = rules::tracked_artifacts(&tracked);
+    assert_eq!(found.len(), 4);
+    assert!(found.iter().all(|v| v.rule == Rule::Artifact));
+}
+
+#[test]
+fn artifact_rule_accepts_sources_and_target_like_names() {
+    let tracked: Vec<String> = [
+        "crates/par/src/lib.rs",
+        "BENCH_sweeps.json",
+        "docs/target_market.md",
+        "crates/viz/src/target.rs",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    assert!(rules::tracked_artifacts(&tracked).is_empty());
+}
+
+// ---------------------------------------------------------------------
 // The tree itself must lint clean — this is the enforcement test.
 // ---------------------------------------------------------------------
 

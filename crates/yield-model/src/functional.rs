@@ -275,6 +275,40 @@ impl ScaledPoissonYield {
     pub fn exponent(&self) -> f64 {
         self.p
     }
+
+    /// Batched eq. (7): yields for a λ-slice of `(λ, die area)` points
+    /// sharing one `(D, p)` calibration, evaluated in a single pass.
+    ///
+    /// A surface sweep constructs one [`ScaledPoissonYield`] *per grid
+    /// cell* just to ask it a single yield; this entry point validates
+    /// the calibration once and then runs the per-point math — the
+    /// exact expression `exp(−A·D/λ^p)` in the exact operation order of
+    /// the scalar path, so every element is bit-identical to
+    /// `Self::new(d_ref, p, λ)?.die_yield(area)`.
+    ///
+    /// # Errors
+    ///
+    /// Same calibration validation as [`ScaledPoissonYield::new`].
+    // audit:allow(bare-f64): eq. (7)'s D carries units that depend on the
+    // exponent p (defects/cm^2/um^p); no fixed newtype fits it.
+    pub fn yields_for_slice(
+        d_ref: f64,
+        p: f64,
+        points: &[(Microns, SquareCentimeters)],
+    ) -> Result<Vec<Probability>, maly_units::UnitError> {
+        // Validate once through the scalar constructor (any λ works —
+        // the checks only look at d_ref and p); points.is_empty() still
+        // validates so a bad calibration never silently passes.
+        const PROBE_LAMBDA: Microns = Microns::const_new(1.0);
+        let _ = Self::new(d_ref, p, PROBE_LAMBDA)?;
+        Ok(points
+            .iter()
+            .map(|&(lambda, area)| {
+                PoissonYield::new(DefectDensity::clamped(d_ref / lambda.value().powf(p)))
+                    .die_yield(area)
+            })
+            .collect())
+    }
 }
 
 impl YieldModel for ScaledPoissonYield {
@@ -495,6 +529,32 @@ mod tests {
         assert!(ScaledPoissonYield::new(0.0, 4.0, lam).is_err());
         assert!(ScaledPoissonYield::new(1.0, 2.0, lam).is_err());
         assert!(ScaledPoissonYield::new(1.0, 1.5, lam).is_err());
+    }
+
+    #[test]
+    fn batched_slice_is_bit_identical_to_scalar() {
+        let points: Vec<(Microns, SquareCentimeters)> = (1..40)
+            .map(|i| {
+                let l = 0.3 + 0.03 * f64::from(i);
+                (Microns::new(l).unwrap(), area(0.1 * f64::from(i)))
+            })
+            .collect();
+        let batch = ScaledPoissonYield::yields_for_slice(1.72, 4.07, &points).unwrap();
+        for (&(lam, a), got) in points.iter().zip(&batch) {
+            let scalar = ScaledPoissonYield::new(1.72, 4.07, lam)
+                .unwrap()
+                .die_yield(a);
+            assert_eq!(got.value().to_bits(), scalar.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_slice_validates_calibration_even_when_empty() {
+        assert!(ScaledPoissonYield::yields_for_slice(0.0, 4.0, &[]).is_err());
+        assert!(ScaledPoissonYield::yields_for_slice(1.0, 1.5, &[]).is_err());
+        assert!(ScaledPoissonYield::yields_for_slice(1.72, 4.07, &[])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
