@@ -16,6 +16,16 @@ MALY_PAR_THREADS=1 cargo test --workspace -q
 echo "== cargo test (default parallelism)"
 cargo test --workspace -q
 
+echo "== cargo test (MALY_OBS=1, traced)"
+MALY_OBS=1 cargo test --workspace -q
+
+echo "== trace-check (sample CLI --trace-out ndjson)"
+mkdir -p target
+cargo run -q -p maly-cli -- sweep --transistors 3.1e6 --lambda 0.8 \
+    --density 150 --yield 0.7 --c0 700 --x 1.8 \
+    --trace-out target/trace_ci.ndjson > /dev/null
+cargo run -q -p xtask -- trace-check target/trace_ci.ndjson
+
 echo "== bench regression check (vs BENCH_sweeps.json)"
 cargo bench -p maly-bench --bench sweeps -- --json target/bench_sweeps_ci.json
 cargo run -q -p xtask -- bench-check target/bench_sweeps_ci.json

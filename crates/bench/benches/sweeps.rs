@@ -292,11 +292,47 @@ fn bench_eq4_cache() {
     );
 }
 
+fn bench_obs_work() {
+    use maly_fabline_sim::cost::FabEconomics;
+    use maly_fabline_sim::mc::{run_with, McConfig};
+    use maly_fabline_sim::process::ProcessFlow;
+
+    group("obs/work");
+    // Controlled serial workload on a clean slate: the snapshot must
+    // reflect exactly one adaptive surface and one MC study, not
+    // whatever iteration counts the timed benches above calibrated to.
+    // Only Work-kind counters land in the baseline — they are
+    // thread-count-invariant and deterministic; Diag counters (par
+    // scheduling, cache hit/miss) legitimately vary by machine.
+    maly_obs::reset_metrics();
+    let serial_exec = Executor::serial();
+    black_box(adaptive_surface(
+        &serial_exec,
+        &AdaptiveConfig::new(DEFAULT_TOL),
+    ));
+    let economics = FabEconomics::default();
+    let demand = vec![
+        (ProcessFlow::for_generation("cmos-0.8", 0.8), 20_000.0),
+        (ProcessFlow::for_generation("cmos-1.2", 1.2), 5_000.0),
+    ];
+    let config = McConfig {
+        replications: 64,
+        ..McConfig::default()
+    };
+    black_box(run_with(&serial_exec, &economics, &demand, &config).expect("valid MC config"));
+    for c in maly_obs::counters_snapshot() {
+        if c.kind == maly_obs::CounterKind::Work {
+            record_counter(&format!("obs/{}", c.name), c.value);
+        }
+    }
+}
+
 fn main() {
     bench_fig8_surface();
     bench_contours();
     bench_partition_search();
     bench_grid_min();
     bench_eq4_cache();
+    bench_obs_work();
     write_json_if_requested();
 }

@@ -256,11 +256,32 @@ pub mod harness {
         let Some(path) = path else {
             return;
         };
+        // Cargo runs bench binaries with CWD = the package root, but
+        // callers (ci.sh, the README) write paths relative to the
+        // workspace root — resolve against it so both agree.
+        let path = {
+            let p = std::path::PathBuf::from(&path);
+            if p.is_absolute() {
+                p
+            } else {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .ancestors()
+                    .nth(2)
+                    .unwrap_or(std::path::Path::new("."))
+                    .join(p)
+            }
+        };
         let json = render_json();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                // audit:allow(panic): a baseline silently not written
+                // is worse than a failed bench run.
+                .unwrap_or_else(|e| panic!("creating {}: {e}", parent.display()));
+        }
         // audit:allow(panic): a baseline silently not written is worse
         // than a failed bench run.
-        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        eprintln!("wrote {path}");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
     }
 
     fn render_json() -> String {

@@ -1,0 +1,99 @@
+//! Enforces the maly-obs disabled-cost contract: with observability
+//! off, a probe is one relaxed atomic load (span) or one relaxed
+//! shard add (counter) — instrumented code must run within ~1% of the
+//! same computation with no probes at all.
+//!
+//! The two sides run through the **same** serial-executor path so the
+//! only delta between them is the per-item probe pair; comparing an
+//! executor map against a bare iterator would charge the executor's
+//! own (constant) overhead to the probes. The per-item workload is
+//! sized so that even the unoptimized test-profile probe cost (a
+//! non-inlined call plus a TLS shard lookup, tens of nanoseconds)
+//! stays below the 1% budget — in release builds the probes compile
+//! down to the advertised single relaxed load.
+//!
+//! The measurement mirrors `speedup_smoke`: the instrumented and raw
+//! sides are sampled **interleaved** so CPU-throttle drift hits both
+//! alike, and the comparison retries, asserting only on repeated
+//! failure.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use maly_par::Executor;
+
+const MIN_RATIO: f64 = 0.99;
+const ATTEMPTS: usize = 6;
+const REPS: usize = 8;
+const ITEMS: usize = 1024;
+const WORK_ITERS: u32 = 512;
+
+/// Per-item diag counter exercised by the instrumented side.
+static OVERHEAD_ITEMS: maly_obs::Counter = maly_obs::Counter::diag("test.obs_overhead.items");
+
+/// Several microseconds of real float work per item.
+fn work(i: usize) -> f64 {
+    let x = (i % 97) as f64 * 0.013 + 0.4;
+    let mut acc = 0.0f64;
+    for k in 1..=WORK_ITERS {
+        acc += (x * f64::from(k)).sqrt().ln_1p();
+    }
+    acc
+}
+
+/// The instrumented side: the serial-executor path with a disabled
+/// span and a counter probe per item.
+fn instrumented(exec: &Executor) -> Vec<f64> {
+    exec.map_indexed(ITEMS, |i| {
+        let _span = maly_obs::span("test.obs_overhead.item");
+        OVERHEAD_ITEMS.incr();
+        work(i)
+    })
+}
+
+/// The raw side: the identical executor path with no probes.
+fn raw(exec: &Executor) -> Vec<f64> {
+    exec.map_indexed(ITEMS, work)
+}
+
+/// Interleaved timing; returns `raw_total / instrumented_total`
+/// (1.0 = probes perfectly free, smaller = probes cost time).
+fn interleaved_ratio(exec: &Executor) -> f64 {
+    black_box(instrumented(exec));
+    black_box(raw(exec));
+    let mut instr_total = 0.0f64;
+    let mut raw_total = 0.0f64;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        black_box(instrumented(exec));
+        instr_total += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        black_box(raw(exec));
+        raw_total += t.elapsed().as_secs_f64();
+    }
+    raw_total / instr_total.max(f64::MIN_POSITIVE)
+}
+
+#[test]
+fn disabled_probes_cost_at_most_one_percent() {
+    // CI runs the suite with MALY_OBS=1; this test is specifically
+    // about the *disabled* contract, so force probes off.
+    maly_obs::set_enabled(false);
+    let exec = Executor::serial();
+    assert_eq!(
+        instrumented(&exec),
+        raw(&exec),
+        "probes must not change values"
+    );
+    let mut last = 0.0;
+    for _ in 0..ATTEMPTS {
+        last = interleaved_ratio(&exec);
+        if last >= MIN_RATIO {
+            return;
+        }
+    }
+    panic!(
+        "disabled obs probes slow the workload beyond 1% \
+         (ratio {last:.4} < {MIN_RATIO}) in every attempt"
+    );
+}

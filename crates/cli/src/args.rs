@@ -65,6 +65,11 @@ impl Flags {
         }
     }
 
+    /// Optional string flag.
+    pub fn str_opt(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
     /// True when a boolean switch was given.
     pub fn has_switch(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
@@ -86,6 +91,13 @@ mod tests {
         assert_eq!(f.require_f64("c0").unwrap(), 700.0);
         assert!(f.has_switch("map"));
         assert!(!f.has_switch("absent"));
+    }
+
+    #[test]
+    fn string_flags_are_readable() {
+        let f = Flags::parse(&argv("--trace-out /tmp/t.ndjson")).unwrap();
+        assert_eq!(f.str_opt("trace-out"), Some("/tmp/t.ndjson"));
+        assert_eq!(f.str_opt("absent"), None);
     }
 
     #[test]

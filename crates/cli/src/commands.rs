@@ -27,6 +27,8 @@ USAGE:
   silicon-cost table3
   silicon-cost help
 
+Every command also accepts --trace-out FILE: enable maly-obs and write
+an ndjson trace (spans, counters, histograms) of the run to FILE.
 All dollars are 1994 dollars; λ is the minimum feature size in µm."
         .to_string()
 }
@@ -37,16 +39,47 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         return Err("no command given".to_string());
     };
     let flags = Flags::parse(rest)?;
-    match command.as_str() {
-        "cost" => cost(&flags),
-        "sweep" => sweep(&flags),
-        "optimize" => optimize(&flags),
-        "wafer" => wafer(&flags),
-        "mix" => mix(&flags),
-        "roadmap" => roadmap(&flags),
-        "table3" => Ok(table3()),
-        "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(format!("unknown command `{other}`")),
+    let trace_out = flags.str_opt("trace-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        maly_obs::set_enabled(true);
+    }
+    let output = {
+        let _span = maly_obs::span(command_span_name(command));
+        match command.as_str() {
+            "cost" => cost(&flags),
+            "sweep" => sweep(&flags),
+            "optimize" => optimize(&flags),
+            "wafer" => wafer(&flags),
+            "mix" => mix(&flags),
+            "roadmap" => roadmap(&flags),
+            "table3" => Ok(table3()),
+            "help" | "--help" | "-h" => Ok(usage()),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    };
+    match trace_out {
+        Some(path) => maly_obs::write_trace(&path)
+            .map_err(|e| format!("writing trace {}: {e}", path.display()))?,
+        None => {
+            // No flag: still honor MALY_OBS_OUT for env-driven tracing.
+            maly_obs::write_trace_if_requested().map_err(|e| format!("writing trace: {e}"))?;
+        }
+    }
+    output
+}
+
+/// Static span name for the top-level command (span names are
+/// `&'static str` by design — no per-run allocation).
+fn command_span_name(command: &str) -> &'static str {
+    match command {
+        "cost" => "cli.cost",
+        "sweep" => "cli.sweep",
+        "optimize" => "cli.optimize",
+        "wafer" => "cli.wafer",
+        "mix" => "cli.mix",
+        "roadmap" => "cli.roadmap",
+        "table3" => "cli.table3",
+        _ => "cli.run",
     }
 }
 
@@ -367,6 +400,17 @@ mod tests {
         assert!(out.contains("1998"));
         assert!(out.contains("Scenario #2"));
         assert!(run(&argv("roadmap --from 2000 --to 1990")).is_err());
+    }
+
+    #[test]
+    fn trace_out_flag_writes_an_ndjson_trace() {
+        let path = std::env::temp_dir().join("maly_cli_trace_test.ndjson");
+        let arg = format!("wafer --die-area 2.976 --trace-out {}", path.display());
+        run(&argv(&arg)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("\"name\":\"cli.wafer\""), "{text}");
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
     }
 
     #[test]

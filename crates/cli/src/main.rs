@@ -25,9 +25,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!();
-            eprintln!("{}", commands::usage());
+            // audit:allow(raw-timing): user-facing error reporting on
+            // stderr, not ad-hoc timing output.
+            eprintln!("error: {message}\n\n{}", commands::usage());
             ExitCode::FAILURE
         }
     }

@@ -55,6 +55,23 @@ use maly_yield_model::{PoissonYield, ScaledPoissonYield, YieldModel};
 use crate::surface::{linear_axis, log_axis, CostSurface, SurfaceParameters, CELL_EVAL_HINT_NS};
 use crate::DiesPerWaferMethod;
 
+/// Process totals of the per-computation [`AdaptiveStats`] fields,
+/// mirrored onto `maly-obs` work counters at the end of every
+/// computation. Work kind: the stats are thread-count-invariant (the
+/// golden tests assert it), so these totals golden-compare across
+/// thread counts and land in bench snapshots and exported traces.
+static ADAPTIVE_MESH_EVALS: maly_obs::Counter = maly_obs::Counter::work("adaptive.mesh_evals");
+/// Totals of [`AdaptiveStats::analytic_exact`].
+static ADAPTIVE_EXACT_ZONE_EVALS: maly_obs::Counter =
+    maly_obs::Counter::work("adaptive.exact_zone_evals");
+/// Totals of [`AdaptiveStats::interpolated`].
+static ADAPTIVE_INTERPOLATED: maly_obs::Counter = maly_obs::Counter::work("adaptive.interpolated");
+/// Totals of [`AdaptiveStats::infeasible_deduced`].
+static ADAPTIVE_INFEASIBLE: maly_obs::Counter =
+    maly_obs::Counter::work("adaptive.infeasible_deduced");
+/// Totals of [`AdaptiveStats::grid_points`].
+static ADAPTIVE_GRID_POINTS: maly_obs::Counter = maly_obs::Counter::work("adaptive.grid_points");
+
 /// Default relative tolerance for interpolated values.
 ///
 /// 10 % is far finer than the reading precision of Fig 8 (a log-scale
@@ -255,6 +272,7 @@ impl AdaptiveSurface {
             0.0 < n_tr_min && n_tr_min < n_tr_max,
             "bad N_tr range {n_tr_min}..{n_tr_max}"
         );
+        let _span = maly_obs::span("adaptive.surface");
         let lambda_axis = linear_axis(lambda_min, lambda_max, lambda_steps);
         let n_tr_axis = log_axis(n_tr_min, n_tr_max, n_tr_steps);
         let engine = Engine::new(params, exec, config, &lambda_axis, &n_tr_axis);
@@ -263,6 +281,11 @@ impl AdaptiveSurface {
         } else {
             engine.refine()
         };
+        ADAPTIVE_MESH_EVALS.add(stats.evaluated as u64);
+        ADAPTIVE_EXACT_ZONE_EVALS.add(stats.analytic_exact as u64);
+        ADAPTIVE_INTERPOLATED.add(stats.interpolated as u64);
+        ADAPTIVE_INFEASIBLE.add(stats.infeasible_deduced as u64);
+        ADAPTIVE_GRID_POINTS.add(stats.grid_points as u64);
         Self {
             surface: CostSurface::from_parts(lambda_axis, n_tr_axis, values),
             stats,

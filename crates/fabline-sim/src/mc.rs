@@ -20,6 +20,14 @@ use maly_yield_model::prng::{SplitMix64, UniformSource, Xoshiro256PlusPlus};
 use crate::cost::FabEconomics;
 use crate::process::ProcessFlow;
 
+/// Replications completed, across all studies in the process. Work
+/// kind: the replication count is part of the configuration, so the
+/// total is thread-count-invariant.
+static MC_REPLICATIONS: maly_obs::Counter = maly_obs::Counter::work("mc.replications");
+/// Per-replication wall-clock durations (recorded only when obs is
+/// enabled).
+static MC_REPLICATION_NS: maly_obs::Histogram = maly_obs::Histogram::new("mc.replication_ns");
+
 /// Monte Carlo configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McConfig {
@@ -134,7 +142,15 @@ pub fn run_with(
         });
     }
 
+    let run_span = maly_obs::span("mc.run");
+    let run_id = run_span.id();
     let evaluated = exec.map_indexed(config.replications, |r| -> Result<McSample, UnitError> {
+        // Replication spans open on worker threads, so they parent onto
+        // the submitting run span explicitly (the executor's chunk span
+        // sits in between when the map actually goes parallel).
+        let _rep_span = maly_obs::span_child("mc.replication", maly_obs::current_span().or(run_id))
+            .with_histogram(&MC_REPLICATION_NS);
+        MC_REPLICATIONS.incr();
         let mut rng = replication_rng(config.base_seed, r as u64);
         let perturbed: Vec<(ProcessFlow, f64)> = demand
             .iter()

@@ -1,0 +1,409 @@
+//! Sharded atomic counters and fixed-bucket log-scale histograms.
+//!
+//! Instrumentation sites declare metrics as `static` items and bump
+//! them directly; the first touch registers the metric into a
+//! process-wide registry so [`counters_snapshot`] and
+//! [`histograms_snapshot`] can enumerate everything that ever counted.
+//! Registration is a one-time compare-exchange — the steady-state cost
+//! of an increment is one relaxed load (the registered check) plus one
+//! relaxed `fetch_add` on a cache-line-padded per-thread shard.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Shards per counter. Power of two; eight covers the thread counts the
+/// executor actually uses without inflating the static footprint.
+const COUNTER_SHARDS: usize = 8;
+
+/// Buckets per histogram: bucket `i` counts durations `d` with
+/// `2^(i-1) ≤ d < 2^i` nanoseconds (bucket 0 holds `d < 2` ns), so 40
+/// buckets span sub-nanosecond to ~9 minutes.
+pub const HIST_BUCKETS: usize = 40;
+
+/// A cache-line-padded atomic cell, so shards owned by different
+/// threads never false-share.
+#[repr(align(64))]
+struct Shard(AtomicU64);
+
+impl Shard {
+    const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+}
+
+/// What a counter's total means across thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterKind {
+    /// Model work performed (cells evaluated, replications run). Totals
+    /// are thread-count-invariant by the executor's determinism
+    /// contract and safe to golden-compare.
+    Work,
+    /// Scheduling/caching diagnostics (chunks spawned, cache hits).
+    /// Totals legitimately vary with thread count and timing.
+    Diag,
+}
+
+impl CounterKind {
+    /// The kind's ndjson tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CounterKind::Work => "work",
+            CounterKind::Diag => "diag",
+        }
+    }
+}
+
+/// A sharded monotonic event counter. Declare as a `static`:
+///
+/// ```
+/// static EVALS: maly_obs::Counter = maly_obs::Counter::work("demo.evals");
+/// EVALS.add(3);
+/// assert!(EVALS.value() >= 3);
+/// ```
+pub struct Counter {
+    name: &'static str,
+    kind: CounterKind,
+    registered: AtomicBool,
+    shards: [Shard; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// A thread-count-invariant work counter (see [`CounterKind::Work`]).
+    #[must_use]
+    pub const fn work(name: &'static str) -> Self {
+        Self::new(name, CounterKind::Work)
+    }
+
+    /// A scheduling/caching diagnostic counter (see [`CounterKind::Diag`]).
+    #[must_use]
+    pub const fn diag(name: &'static str) -> Self {
+        Self::new(name, CounterKind::Diag)
+    }
+
+    const fn new(name: &'static str, kind: CounterKind) -> Self {
+        Self {
+            name,
+            kind,
+            registered: AtomicBool::new(false),
+            shards: [const { Shard::new() }; COUNTER_SHARDS],
+        }
+    }
+
+    /// The counter's registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The counter's kind.
+    #[must_use]
+    pub fn kind(&self) -> CounterKind {
+        self.kind
+    }
+
+    /// Adds `n` to the calling thread's shard.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !self.registered.load(Ordering::Relaxed) {
+            register_counter(self);
+        }
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the calling thread's shard.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// The counter's total across all shards. Sharding never splits a
+    /// logical increment, so the sum is exact (not a sampled estimate).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Zeroes every shard.
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A fixed-bucket log₂-scale duration histogram. Declare as a `static`;
+/// recording is gated by the span layer on [`crate::enabled`], so a
+/// disabled run never touches the buckets.
+pub struct Histogram {
+    name: &'static str,
+    registered: AtomicBool,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    /// A histogram with the given registry name.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            registered: AtomicBool::new(false),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+
+    /// The histogram's registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_ns(&'static self, ns: u64) {
+        if !self.registered.load(Ordering::Relaxed) {
+            register_histogram(self);
+        }
+        let idx = (usize::try_from(64 - ns.leading_zeros()).unwrap_or(0)).min(HIST_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded durations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded durations in nanoseconds.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every bucket and the count/total.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&'static self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            name: self.name,
+            count: self.count(),
+            total_ns: self.total_ns(),
+            buckets,
+        }
+    }
+}
+
+/// One counter's name, kind, and total at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registry name (dotted, e.g. `adaptive.mesh_evals`).
+    pub name: &'static str,
+    /// Work or diagnostic (see [`CounterKind`]).
+    pub kind: CounterKind,
+    /// Total across all shards.
+    pub value: u64,
+}
+
+/// One histogram's buckets at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registry name (dotted, e.g. `par.chunk_ns`).
+    pub name: &'static str,
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of recorded durations in nanoseconds.
+    pub total_ns: u64,
+    /// Per-bucket counts; bucket `i` holds durations `< 2^i` ns and
+    /// `≥ 2^(i-1)` ns.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+struct Registry {
+    counters: Vec<&'static Counter>,
+    histograms: Vec<&'static Histogram>,
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    counters: Vec::new(),
+    histograms: Vec::new(),
+});
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    f(&mut REGISTRY.lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+fn register_counter(c: &'static Counter) {
+    if c.registered
+        .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+    {
+        with_registry(|r| r.counters.push(c));
+    }
+}
+
+fn register_histogram(h: &'static Histogram) {
+    if h.registered
+        .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+    {
+        with_registry(|r| r.histograms.push(h));
+    }
+}
+
+/// A stable per-thread shard index. Assigned round-robin on first use;
+/// one thread always lands on the same shard, so increments from a
+/// steady worker never bounce cache lines.
+fn shard_index() -> usize {
+    ordinal() as usize % COUNTER_SHARDS
+}
+
+/// A small dense per-thread ordinal (0, 1, 2, …) in first-touch order.
+/// Also used by the span layer to tag records with the recording
+/// thread without formatting `ThreadId`s.
+pub(crate) fn ordinal() -> u64 {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed) as u64;
+    }
+    ORDINAL.with(|o| *o)
+}
+
+/// All registered counters, sorted by name. The sort (not registration
+/// order, which is racy) makes the exported snapshot reproducible, the
+/// metric analogue of the executor's index-ordered collection.
+#[must_use]
+pub fn counters_snapshot() -> Vec<CounterSnapshot> {
+    let mut out: Vec<CounterSnapshot> = with_registry(|r| {
+        r.counters
+            .iter()
+            .map(|c| CounterSnapshot {
+                name: c.name,
+                kind: c.kind,
+                value: c.value(),
+            })
+            .collect()
+    });
+    out.sort_by_key(|s| s.name);
+    out
+}
+
+/// All registered histograms, sorted by name.
+#[must_use]
+pub fn histograms_snapshot() -> Vec<HistogramSnapshot> {
+    let mut out: Vec<HistogramSnapshot> =
+        with_registry(|r| r.histograms.iter().map(|h| h.snapshot()).collect());
+    out.sort_by_key(|s| s.name);
+    out
+}
+
+/// Zeroes every registered counter and histogram. Metrics stay
+/// registered, so a later snapshot still lists them (at zero).
+pub fn reset_metrics() {
+    with_registry(|r| {
+        for c in &r.counters {
+            c.reset();
+        }
+        for h in &r.histograms {
+            h.reset();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_COUNTER: Counter = Counter::work("test.metrics.counter");
+    static TEST_DIAG: Counter = Counter::diag("test.metrics.diag");
+    static TEST_HIST: Histogram = Histogram::new("test.metrics.hist");
+
+    #[test]
+    fn counter_totals_and_registration() {
+        let _guard = crate::test_lock::hold();
+        TEST_COUNTER.reset();
+        TEST_COUNTER.add(5);
+        TEST_COUNTER.incr();
+        assert_eq!(TEST_COUNTER.value(), 6);
+        let snap = counters_snapshot();
+        let mine = snap
+            .iter()
+            .find(|s| s.name == "test.metrics.counter")
+            .expect("registered on first add");
+        assert_eq!(mine.value, 6);
+        assert_eq!(mine.kind, CounterKind::Work);
+        // Sorted by name.
+        let names: Vec<_> = snap.iter().map(|s| s.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let _guard = crate::test_lock::hold();
+        TEST_DIAG.reset();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                // audit:allow(raw-thread): exercising the sharded counter
+                // from distinct OS threads requires real threads.
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        TEST_DIAG.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(TEST_DIAG.value(), 4000);
+        assert_eq!(TEST_DIAG.kind(), CounterKind::Diag);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let _guard = crate::test_lock::hold();
+        TEST_HIST.reset();
+        TEST_HIST.record_ns(0); // bucket 0
+        TEST_HIST.record_ns(1); // bucket 1 (bit length 1)
+        TEST_HIST.record_ns(1024); // bucket 11
+        TEST_HIST.record_ns(u64::MAX); // clamped to the last bucket
+        assert_eq!(TEST_HIST.count(), 4);
+        let snap = histograms_snapshot();
+        let mine = snap
+            .iter()
+            .find(|s| s.name == "test.metrics.hist")
+            .expect("registered on first record");
+        assert_eq!(mine.buckets[0], 1);
+        assert_eq!(mine.buckets[1], 1);
+        assert_eq!(mine.buckets[11], 1);
+        assert_eq!(mine.buckets[HIST_BUCKETS - 1], 1);
+        assert_eq!(mine.count, 4);
+    }
+
+    #[test]
+    fn reset_metrics_zeroes_but_keeps_registration() {
+        let _guard = crate::test_lock::hold();
+        TEST_COUNTER.add(1);
+        reset_metrics();
+        assert_eq!(TEST_COUNTER.value(), 0);
+        assert!(counters_snapshot()
+            .iter()
+            .any(|s| s.name == "test.metrics.counter"));
+    }
+}

@@ -50,26 +50,34 @@ impl std::fmt::Display for ExperimentReport {
 /// experiments interleave.
 #[must_use]
 pub fn all_experiments() -> Vec<ExperimentReport> {
-    type Experiment = fn() -> ExperimentReport;
+    type Experiment = (&'static str, fn() -> ExperimentReport);
     const EXPERIMENTS: [Experiment; 16] = [
-        experiments::fig1::report,
-        experiments::fig2::report,
-        experiments::fig3::report,
-        experiments::fig4::report,
-        experiments::fig5::report,
-        experiments::table1::report,
-        experiments::table2::report,
-        experiments::fig6::report,
-        experiments::fig7::report,
-        experiments::fig8::report,
-        experiments::table3::report,
-        experiments::product_mix::report,
-        experiments::mcm_kgd::report,
-        experiments::roadmap::report,
-        experiments::system_opt::report,
-        experiments::ablation::report,
+        ("repro.fig1", experiments::fig1::report),
+        ("repro.fig2", experiments::fig2::report),
+        ("repro.fig3", experiments::fig3::report),
+        ("repro.fig4", experiments::fig4::report),
+        ("repro.fig5", experiments::fig5::report),
+        ("repro.table1", experiments::table1::report),
+        ("repro.table2", experiments::table2::report),
+        ("repro.fig6", experiments::fig6::report),
+        ("repro.fig7", experiments::fig7::report),
+        ("repro.fig8", experiments::fig8::report),
+        ("repro.table3", experiments::table3::report),
+        ("repro.product_mix", experiments::product_mix::report),
+        ("repro.mcm_kgd", experiments::mcm_kgd::report),
+        ("repro.roadmap", experiments::roadmap::report),
+        ("repro.system_opt", experiments::system_opt::report),
+        ("repro.ablation", experiments::ablation::report),
     ];
-    maly_par::Executor::from_env().map(&EXPERIMENTS, |report| report())
+    // One span per experiment, all under a single `repro.all` root.
+    // When the map goes parallel, each worker's chunk span carries the
+    // parent link, so experiment spans nest correctly across threads.
+    let all_span = maly_obs::span("repro.all");
+    let all_id = all_span.id();
+    maly_par::Executor::from_env().map(&EXPERIMENTS, |(name, report)| {
+        let _span = maly_obs::span_child(name, maly_obs::current_span().or(all_id));
+        report()
+    })
 }
 
 #[cfg(test)]

@@ -24,7 +24,6 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{OnceLock, RwLock, RwLockReadGuard};
 
 use maly_units::DieCount;
@@ -33,6 +32,13 @@ use crate::{maly, DieDimensions, Wafer};
 
 /// Quantization step of the cache key, in centimeters.
 pub const KEY_QUANTUM_CM: f64 = 1.0e-9;
+
+/// Calls answered from the memo. Diagnostic kind: concurrent sweeps can
+/// race two misses on the same key that a serial run would split
+/// hit/miss, so the totals are not thread-count-invariant.
+static CACHE_HITS: maly_obs::Counter = maly_obs::Counter::diag("wafer_geom.cache.hits");
+/// Calls that computed eq. (4) and stored the result.
+static CACHE_MISSES: maly_obs::Counter = maly_obs::Counter::diag("wafer_geom.cache.misses");
 
 /// Number of shards; a power of two so the selector is a mask.
 const SHARDS: usize = 16;
@@ -78,8 +84,6 @@ struct Shard {
 
 struct Cache {
     shards: Vec<Shard>,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
 static CACHE: OnceLock<Cache> = OnceLock::new();
@@ -91,8 +95,6 @@ fn cache() -> &'static Cache {
                 map: RwLock::new(KeyMap::default()),
             })
             .collect(),
-        hits: AtomicU64::new(0),
-        misses: AtomicU64::new(0),
     })
 }
 
@@ -143,11 +145,11 @@ pub fn dies_per_wafer(wafer: &Wafer, die: DieDimensions) -> DieCount {
         quantize(die.height().value()),
     );
     if let Some(count) = lookup(&key) {
-        cache().hits.fetch_add(1, Ordering::Relaxed);
+        CACHE_HITS.incr();
         return DieCount::new(count);
     }
     let count = maly::dies_per_wafer(wafer, die);
-    cache().misses.fetch_add(1, Ordering::Relaxed);
+    CACHE_MISSES.incr();
     store(key, count.value());
     count
 }
@@ -198,12 +200,10 @@ pub fn dies_per_wafer_batch(wafer: &Wafer, dies: &[DieDimensions]) -> Vec<DieCou
             }
         }
     }
-    cache().hits.fetch_add(hits, Ordering::Relaxed);
+    CACHE_HITS.add(hits);
     if !miss_dies.is_empty() {
         let computed = maly::dies_per_wafer_batch(wafer, &miss_dies);
-        cache()
-            .misses
-            .fetch_add(miss_dies.len() as u64, Ordering::Relaxed);
+        CACHE_MISSES.add(miss_dies.len() as u64);
         for ((&i, die), count) in miss_idx.iter().zip(&miss_dies).zip(&computed) {
             let key = (
                 r_key,
@@ -228,7 +228,8 @@ pub fn dies_per_wafer_best_orientation(wafer: &Wafer, die: DieDimensions) -> Die
     as_drawn.max(rotated)
 }
 
-/// Cache effectiveness counters (process lifetime totals).
+/// Cache effectiveness counters (process lifetime totals), read from
+/// the `maly-obs` registry — the cache keeps no bookkeeping of its own.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Calls answered from the cache.
@@ -250,29 +251,29 @@ impl CacheStats {
     }
 }
 
-/// Current hit/miss counters.
+/// Current hit/miss counters: a thin shim over the
+/// `wafer_geom.cache.hits` / `wafer_geom.cache.misses` obs counters, so
+/// the same totals appear here and in an exported trace.
 #[must_use]
 pub fn stats() -> CacheStats {
-    let c = cache();
     CacheStats {
-        hits: c.hits.load(Ordering::Relaxed),
-        misses: c.misses.load(Ordering::Relaxed),
+        hits: CACHE_HITS.value(),
+        misses: CACHE_MISSES.value(),
     }
 }
 
 /// Empties every shard and resets the counters (for cold-start
 /// benchmarks; correctness never requires clearing).
 pub fn clear() {
-    let c = cache();
-    for shard in &c.shards {
+    for shard in &cache().shards {
         let mut guard = match shard.map.write() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
         guard.clear();
     }
-    c.hits.store(0, Ordering::Relaxed);
-    c.misses.store(0, Ordering::Relaxed);
+    CACHE_HITS.reset();
+    CACHE_MISSES.reset();
 }
 
 #[cfg(test)]

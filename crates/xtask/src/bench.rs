@@ -12,6 +12,11 @@
 //! together. Absolute work counters and the serial-vs-parallel
 //! speedups recorded next to the medians stay un-normalized guards.
 //!
+//! Work counters (`"counters"` records) are compared **exactly**: they
+//! count model evaluations, not nanoseconds, so they are deterministic
+//! for a given configuration and any drift is an algorithmic change
+//! that must be acknowledged by refreshing the baseline.
+//!
 //! The parser is deliberately narrow: it reads the line-per-record JSON
 //! that `maly-bench`'s harness writes (see `render_json` there), not
 //! arbitrary JSON — the workspace builds offline with no external
@@ -35,6 +40,31 @@ pub struct BenchRecord {
     pub median_ns: f64,
 }
 
+/// One `counters` record from a harness baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterRecord {
+    /// Benchmark group the counter was recorded under.
+    pub group: String,
+    /// Counter name (e.g. `surface_56x48/eq1_mesh_evals`).
+    pub name: String,
+    /// Absolute count.
+    pub value: u64,
+}
+
+/// A work counter whose candidate value differs from the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDiff {
+    /// Benchmark group.
+    pub group: String,
+    /// Counter name.
+    pub name: String,
+    /// Committed baseline value.
+    pub baseline: u64,
+    /// Candidate value, or `None` when the candidate run dropped the
+    /// counter entirely.
+    pub candidate: Option<u64>,
+}
+
 /// Per-group comparison outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupVerdict {
@@ -56,15 +86,22 @@ pub struct BenchReport {
     pub machine_factor: f64,
     /// Per-group verdicts, sorted by group name.
     pub groups: Vec<GroupVerdict>,
+    /// Work counters compared exactly against the baseline.
+    pub counters: usize,
+    /// Counters whose values drifted (or vanished) in the candidate.
+    pub counter_diffs: Vec<CounterDiff>,
 }
 
 impl BenchReport {
-    /// True when every group stays within [`MAX_MEDIAN_REGRESSION`].
+    /// True when every group stays within [`MAX_MEDIAN_REGRESSION`] and
+    /// every baseline work counter matches exactly.
     #[must_use]
     pub fn is_ok(&self) -> bool {
-        self.groups
-            .iter()
-            .all(|g| g.normalized_ratio <= 1.0 + MAX_MEDIAN_REGRESSION)
+        self.counter_diffs.is_empty()
+            && self
+                .groups
+                .iter()
+                .all(|g| g.normalized_ratio <= 1.0 + MAX_MEDIAN_REGRESSION)
     }
 
     /// Renders the human-readable verdict table.
@@ -88,6 +125,24 @@ impl BenchReport {
                 g.group, g.normalized_ratio, g.benches
             );
         }
+        if self.counter_diffs.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {} work counter(s) match the baseline",
+                self.counters
+            );
+        } else {
+            for d in &self.counter_diffs {
+                let cand = d
+                    .candidate
+                    .map_or_else(|| "missing".to_string(), |v| v.to_string());
+                let _ = writeln!(
+                    out,
+                    "  counter {} / {}: baseline {} != candidate {cand}  DRIFTED",
+                    d.group, d.name, d.baseline
+                );
+            }
+        }
         if self.is_ok() {
             let _ = writeln!(
                 out,
@@ -97,7 +152,8 @@ impl BenchReport {
         } else {
             let _ = writeln!(
                 out,
-                "bench-check: FAIL — group median beyond {:.0}% of baseline",
+                "bench-check: FAIL — group median beyond {:.0}% of baseline \
+                 or work counters drifted",
                 MAX_MEDIAN_REGRESSION * 100.0
             );
         }
@@ -150,6 +206,55 @@ pub fn parse_baseline(text: &str) -> Result<Vec<BenchRecord>, String> {
         return Err("no bench records found (is this a harness --json baseline?)".to_string());
     }
     Ok(out)
+}
+
+/// Parses the `counters` records out of a harness baseline file. An
+/// empty list is fine — counters are an optional layer over the
+/// timings.
+#[must_use]
+pub fn parse_counters(text: &str) -> Vec<CounterRecord> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let (Some(group), Some(name), Some(value)) = (
+            str_field(line, "group"),
+            str_field(line, "name"),
+            num_field(line, "value"),
+        ) else {
+            continue;
+        };
+        out.push(CounterRecord {
+            group: group.to_string(),
+            name: name.to_string(),
+            value: value as u64,
+        });
+    }
+    out
+}
+
+/// Exact comparison of baseline work counters against the candidate.
+/// Counters the candidate adds are ignored (they enter the contract at
+/// the next baseline refresh); counters it drops or changes are diffs.
+#[must_use]
+pub fn diff_counters(baseline: &[CounterRecord], candidate: &[CounterRecord]) -> Vec<CounterDiff> {
+    baseline
+        .iter()
+        .filter_map(|b| {
+            let cand = candidate
+                .iter()
+                .find(|c| c.group == b.group && c.name == b.name)
+                .map(|c| c.value);
+            if cand == Some(b.value) {
+                None
+            } else {
+                Some(CounterDiff {
+                    group: b.group.clone(),
+                    name: b.name.clone(),
+                    baseline: b.value,
+                    candidate: cand,
+                })
+            }
+        })
+        .collect()
 }
 
 /// Median of a non-empty slice (sorted copy, NaN-total order).
@@ -210,6 +315,8 @@ pub fn compare(baseline: &[BenchRecord], candidate: &[BenchRecord]) -> Result<Be
     Ok(BenchReport {
         machine_factor,
         groups: verdicts,
+        counters: 0,
+        counter_diffs: Vec::new(),
     })
 }
 
@@ -224,7 +331,11 @@ pub fn run_bench_check(baseline_path: &str, candidate_path: &str) -> Result<Benc
         .map_err(|e| format!("reading {baseline_path}: {e}"))?;
     let candidate = std::fs::read_to_string(candidate_path)
         .map_err(|e| format!("reading {candidate_path}: {e}"))?;
-    compare(&parse_baseline(&baseline)?, &parse_baseline(&candidate)?)
+    let mut report = compare(&parse_baseline(&baseline)?, &parse_baseline(&candidate)?)?;
+    let base_counters = parse_counters(&baseline);
+    report.counters = base_counters.len();
+    report.counter_diffs = diff_counters(&base_counters, &parse_counters(&candidate));
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -288,5 +399,62 @@ mod tests {
     #[test]
     fn empty_baseline_is_an_error() {
         assert!(parse_baseline("{}\n").is_err());
+    }
+
+    fn counter(group: &str, name: &str, value: u64) -> CounterRecord {
+        CounterRecord {
+            group: group.to_string(),
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn parses_counter_records() {
+        let text = concat!(
+            "  \"counters\": [\n",
+            "    {\"group\": \"obs/work\", \"name\": \"obs/adaptive.mesh_evals\", \"value\": 518}\n",
+            "  ]\n",
+        );
+        assert_eq!(
+            parse_counters(text),
+            vec![counter("obs/work", "obs/adaptive.mesh_evals", 518)]
+        );
+        // Bench lines (median_ns, no value) are not counters.
+        assert!(parse_counters(
+            "{\"group\": \"g\", \"name\": \"n\", \"median_ns\": 10.0, \"iters\": 4}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn counter_drift_and_disappearance_are_diffs() {
+        let base = vec![counter("g", "a", 10), counter("g", "b", 20)];
+        let same = diff_counters(&base, &base);
+        assert!(same.is_empty());
+        let drifted = diff_counters(&base, &[counter("g", "a", 11)]);
+        assert_eq!(drifted.len(), 2);
+        assert_eq!(drifted[0].candidate, Some(11));
+        assert_eq!(drifted[1].candidate, None);
+        // Extra candidate counters are not diffs.
+        let extra = diff_counters(
+            &base,
+            &[
+                counter("g", "a", 10),
+                counter("g", "b", 20),
+                counter("g", "c", 1),
+            ],
+        );
+        assert!(extra.is_empty());
+    }
+
+    #[test]
+    fn counter_diffs_fail_the_report() {
+        let base = vec![record("g1", "a", 100.0)];
+        let mut report = compare(&base, &base).expect("compares");
+        assert!(report.is_ok());
+        report.counter_diffs = diff_counters(&[counter("g", "n", 5)], &[counter("g", "n", 6)]);
+        assert!(!report.is_ok(), "{}", report.render());
+        assert!(report.render().contains("DRIFTED"));
     }
 }

@@ -18,16 +18,22 @@
 //!    honors `MALY_PAR_THREADS`;
 //! 6. **tracked-artifact hygiene** — no build artifacts in version
 //!    control (`target/` trees, cargo fingerprints, stray `--flag`
-//!    files); checked against `git ls-files` when git is available.
+//!    files); checked against `git ls-files` when git is available;
+//! 7. **raw-timing containment** — no ad-hoc `Instant::now()` /
+//!    `eprintln!` timing outside `crates/obs`, `crates/bench`, and
+//!    `crates/xtask`; instrumentation flows through `maly-obs` so it
+//!    shows up in exported traces instead of scattered stderr noise.
 //!
 //! `cargo run -p xtask -- bench-check <candidate.json>` separately
 //! diffs a fresh bench baseline against the committed
-//! `BENCH_sweeps.json` (see [`bench`]).
+//! `BENCH_sweeps.json` (see [`bench`]), and
+//! `cargo run -p xtask -- trace-check <trace.ndjson>` validates an
+//! exported `maly-obs` trace (see [`trace`]).
 //!
 //! Escape hatches are inline comments: `audit:allow(panic)`,
 //! `audit:allow(bare-f64)`, `audit:allow(nan)`,
-//! `audit:allow(float-cmp)`, `audit:allow(raw-thread)` — each expected
-//! to carry a justification.
+//! `audit:allow(float-cmp)`, `audit:allow(raw-thread)`,
+//! `audit:allow(raw-timing)` — each expected to carry a justification.
 //! The linter is std-only: it works in fully offline builds.
 
 #![forbid(unsafe_code)]
@@ -36,6 +42,7 @@
 pub mod bench;
 pub mod rules;
 pub mod scan;
+pub mod trace;
 
 use std::fmt::Write as _;
 use std::fs;
@@ -53,6 +60,7 @@ pub const PANIC_BUDGETS: &[(&str, usize)] = &[
     ("maly-cost-model", 0),
     ("maly-cost-optim", 0),
     ("maly-fabline-sim", 11),
+    ("maly-obs", 0),
     ("maly-paper-data", 0),
     ("maly-par", 0),
     ("maly-repro", 60),
@@ -74,6 +82,11 @@ pub const UNIT_SAFETY_CRATES: &[&str] = &[
     "maly-wafer-geom",
     "maly-test-economics",
 ];
+
+/// Crates sanctioned to read the clock and write to stderr directly:
+/// the observability layer itself, the timing harness, and this linter.
+/// Everywhere else the raw-timing rule applies.
+pub const RAW_TIMING_CRATES: &[&str] = &["maly-obs", "maly-bench", "xtask"];
 
 /// Per-crate panic accounting for the rendered report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -264,6 +277,13 @@ pub fn run_lint(root: &Path) -> io::Result<Report> {
                 report
                     .violations
                     .extend(rules::raw_thread(&file_rel, &source));
+            }
+            // Timing lives in the obs layer and the measurement
+            // harnesses; everywhere else must instrument, not clock.
+            if !RAW_TIMING_CRATES.contains(&name.as_str()) {
+                report
+                    .violations
+                    .extend(rules::raw_timing(&file_rel, &source));
             }
         }
 

@@ -3,7 +3,9 @@
 //! any violation; `cargo run -p xtask -- bench-check <candidate.json>`
 //! diffs a fresh bench baseline against the committed
 //! `BENCH_sweeps.json` and exits non-zero on a per-group median
-//! regression beyond 15%.
+//! regression beyond 15%; `cargo run -p xtask -- trace-check
+//! <trace.ndjson>` validates an exported `maly-obs` trace (every line
+//! parses, span ids nest).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,8 +62,27 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("trace-check") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: cargo run -p xtask -- trace-check <trace.ndjson>");
+                return ExitCode::FAILURE;
+            };
+            match xtask::trace::run_trace_check(path) {
+                Ok(summary) => {
+                    print!("{}", summary.render());
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("trace-check: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint | bench-check <candidate.json>");
+            eprintln!(
+                "usage: cargo run -p xtask -- \
+                 lint | bench-check <candidate.json> | trace-check <trace.ndjson>"
+            );
             ExitCode::FAILURE
         }
     }

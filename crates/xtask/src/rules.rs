@@ -1,5 +1,6 @@
-//! The five lint rule families: panic-freedom, unit-safety,
-//! NaN-safety, crate hygiene, and raw-thread containment.
+//! The lint rule families: panic-freedom, unit-safety, NaN-safety,
+//! crate hygiene, raw-thread containment, tracked-artifact hygiene,
+//! and raw-timing containment.
 //!
 //! Every rule honors inline escape comments of the form
 //! `// audit:allow(<rule>): <justification>` placed on the offending
@@ -52,6 +53,9 @@ pub enum Rule {
     RawThread,
     /// A build artifact tracked by version control.
     Artifact,
+    /// Ad-hoc `Instant::now()` / `eprintln!` timing outside the
+    /// sanctioned observability and harness crates.
+    RawTiming,
 }
 
 impl Rule {
@@ -66,6 +70,7 @@ impl Rule {
             Rule::Hygiene => "hygiene",
             Rule::RawThread => "raw-thread",
             Rule::Artifact => "artifact",
+            Rule::RawTiming => "raw-timing",
         }
     }
 }
@@ -615,6 +620,58 @@ pub fn raw_thread(file: &str, source: &str) -> Vec<Violation> {
                           or tag audit:allow(raw-thread)"
                     .to_string(),
             });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 7: raw-timing containment
+// ---------------------------------------------------------------------
+
+/// Flags ad-hoc timing and stderr diagnostics — `Instant::now()` and
+/// `eprintln!` — in non-test code. Timing belongs to `maly-obs` spans
+/// and histograms (so it lands in exported traces and respects the
+/// disabled-cost contract) and to the measurement harnesses; the
+/// caller exempts `maly-obs`, `maly-bench`, and `xtask`, and genuine
+/// user-facing stderr output can tag `audit:allow(raw-timing)`.
+#[must_use]
+pub fn raw_timing(file: &str, source: &str) -> Vec<Violation> {
+    let needles: [(&str, &str); 2] = [
+        (concat!("Instant::", "now("), "Instant::now()"),
+        (concat!("eprint", "ln!("), "eprintln!"),
+    ];
+    let mut out = Vec::new();
+    let mut allow_next = false;
+    for line in classify(source) {
+        if line.in_test {
+            continue;
+        }
+        let comment_has = contains_allow(line.comment, "raw-timing");
+        if line.code.trim().is_empty() {
+            // Comment-only and blank lines carry the allow tag forward.
+            if comment_has {
+                allow_next = true;
+            }
+            continue;
+        }
+        let allowed = comment_has || allow_next;
+        allow_next = false;
+        if allowed {
+            continue;
+        }
+        for (needle, label) in needles {
+            if line.code.contains(needle) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: line.number,
+                    rule: Rule::RawTiming,
+                    message: format!(
+                        "`{label}` outside the obs/bench/xtask crates; time through \
+                         maly-obs spans/histograms or tag audit:allow(raw-timing)"
+                    ),
+                });
+            }
         }
     }
     out

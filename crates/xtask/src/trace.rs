@@ -1,0 +1,292 @@
+//! `xtask trace-check` — validates an ndjson trace exported by
+//! `maly-obs` (`MALY_OBS_OUT` / the CLI's `--trace-out`).
+//!
+//! The checks mirror what a trace consumer relies on:
+//!
+//! * every non-empty line is a braced JSON object with a known
+//!   `"type"` (`span`, `counter`, `hist`) and the fields that type
+//!   promises;
+//! * span ids are unique and positive, every `parent` reference names a
+//!   span present in the file, and a child's `[start_ns, end_ns]`
+//!   interval nests inside its parent's (the exporter writes spans at
+//!   guard drop, so a well-formed program cannot violate this);
+//! * at least one span is present — a spanless "trace" means the
+//!   producer never enabled collection, which is the usual wiring bug
+//!   this command exists to catch.
+//!
+//! Like `bench-check`, the parser is deliberately narrow: it reads the
+//! line-per-record JSON `maly-obs` writes, not arbitrary JSON.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// What one trace file contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Number of span records.
+    pub spans: usize,
+    /// Number of counter records.
+    pub counters: usize,
+    /// Number of histogram records.
+    pub hists: usize,
+    /// Number of root spans (no parent).
+    pub roots: usize,
+}
+
+impl TraceSummary {
+    /// Renders the one-line human summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace-check: OK — {} span(s) ({} root(s)), {} counter(s), {} histogram(s)",
+            self.spans, self.roots, self.counters, self.hists
+        );
+        out
+    }
+}
+
+/// Extracts a string field; tolerates optional whitespace after the
+/// colon (the obs exporter writes compact `"key":"value"` records).
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = line[start..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Extracts a numeric field (`"key":123`), or `None` when missing or
+/// explicitly `null`.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = line[start..].trim_start();
+    if rest.starts_with("null") {
+        return None;
+    }
+    let digits: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    digits.parse().ok()
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SpanLine {
+    line: usize,
+    parent: Option<u64>,
+    start_ns: u64,
+    end_ns: u64,
+}
+
+/// Validates a trace's text.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line (or structural
+/// problem) when the trace is malformed.
+pub fn check_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut spans: HashMap<u64, SpanLine> = HashMap::new();
+    let mut summary = TraceSummary {
+        spans: 0,
+        counters: 0,
+        hists: 0,
+        roots: 0,
+    };
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return Err(format!("line {n}: not a braced JSON object"));
+        }
+        match str_field(line, "type") {
+            Some("span") => {
+                let id = num_field(line, "id")
+                    .ok_or_else(|| format!("line {n}: span without numeric `id`"))?;
+                if id < 1.0 || id.fract() != 0.0 {
+                    return Err(format!("line {n}: span id {id} is not a positive integer"));
+                }
+                let id = id as u64;
+                if str_field(line, "name").is_none_or(str::is_empty) {
+                    return Err(format!("line {n}: span without a `name`"));
+                }
+                let start_ns = num_field(line, "start_ns")
+                    .ok_or_else(|| format!("line {n}: span without `start_ns`"))?
+                    as u64;
+                let end_ns = num_field(line, "end_ns")
+                    .ok_or_else(|| format!("line {n}: span without `end_ns`"))?
+                    as u64;
+                if end_ns < start_ns {
+                    return Err(format!("line {n}: span {id} ends before it starts"));
+                }
+                if !line.contains("\"parent\":") {
+                    return Err(format!("line {n}: span without a `parent` field"));
+                }
+                let parent = num_field(line, "parent").map(|p| p as u64);
+                if parent.is_none() {
+                    summary.roots += 1;
+                }
+                let record = SpanLine {
+                    line: n,
+                    parent,
+                    start_ns,
+                    end_ns,
+                };
+                if spans.insert(id, record).is_some() {
+                    return Err(format!("line {n}: duplicate span id {id}"));
+                }
+                summary.spans += 1;
+            }
+            Some("counter") => {
+                if str_field(line, "name").is_none_or(str::is_empty)
+                    || num_field(line, "value").is_none()
+                    || !matches!(str_field(line, "kind"), Some("work" | "diag"))
+                {
+                    return Err(format!(
+                        "line {n}: counter record needs `name`, numeric `value`, \
+                         and `kind` of work|diag"
+                    ));
+                }
+                summary.counters += 1;
+            }
+            Some("hist") => {
+                if str_field(line, "name").is_none_or(str::is_empty)
+                    || num_field(line, "count").is_none()
+                    || !line.contains("\"buckets\":[")
+                {
+                    return Err(format!(
+                        "line {n}: hist record needs `name`, numeric `count`, and `buckets`"
+                    ));
+                }
+                summary.hists += 1;
+            }
+            Some(other) => return Err(format!("line {n}: unknown record type `{other}`")),
+            None => return Err(format!("line {n}: record without a `type` field")),
+        }
+    }
+    if summary.spans == 0 {
+        return Err("trace holds no span records — was obs enabled in the producer?".to_string());
+    }
+    for (id, span) in &spans {
+        let Some(parent_id) = span.parent else {
+            continue;
+        };
+        let Some(parent) = spans.get(&parent_id) else {
+            return Err(format!(
+                "line {}: span {id} names parent {parent_id}, which is not in the trace",
+                span.line
+            ));
+        };
+        if span.start_ns < parent.start_ns || span.end_ns > parent.end_ns {
+            return Err(format!(
+                "line {}: span {id} [{}, {}] does not nest inside parent {parent_id} [{}, {}]",
+                span.line, span.start_ns, span.end_ns, parent.start_ns, parent.end_ns
+            ));
+        }
+    }
+    Ok(summary)
+}
+
+/// File-level entry point.
+///
+/// # Errors
+///
+/// Returns a message on unreadable files or malformed traces; the
+/// caller turns the message into a non-zero exit.
+pub fn run_trace_check(path: &str) -> Result<TraceSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    check_trace(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = concat!(
+        "{\"type\":\"span\",\"id\":2,\"parent\":1,\"name\":\"par.chunk\",",
+        "\"thread\":1,\"start_ns\":120,\"end_ns\":300}\n",
+        "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"cli.sweep\",",
+        "\"thread\":0,\"start_ns\":100,\"end_ns\":400}\n",
+        "{\"type\":\"counter\",\"kind\":\"work\",\"name\":\"adaptive.mesh_evals\",\"value\":518}\n",
+        "{\"type\":\"hist\",\"name\":\"par.chunk_ns\",\"count\":1,\"total_ns\":180,",
+        "\"buckets\":[0,0,1]}\n",
+    );
+
+    #[test]
+    fn good_trace_passes() {
+        let summary = check_trace(GOOD).expect("valid trace");
+        assert_eq!(
+            summary,
+            TraceSummary {
+                spans: 2,
+                counters: 1,
+                hists: 1,
+                roots: 1
+            }
+        );
+    }
+
+    #[test]
+    fn unparsable_line_fails() {
+        let bad = format!("{GOOD}not json\n");
+        assert!(check_trace(&bad).expect_err("fails").contains("line 5"));
+    }
+
+    #[test]
+    fn dangling_parent_fails() {
+        let bad = concat!(
+            "{\"type\":\"span\",\"id\":7,\"parent\":99,\"name\":\"x\",",
+            "\"thread\":0,\"start_ns\":0,\"end_ns\":1}\n",
+        );
+        assert!(check_trace(bad)
+            .expect_err("fails")
+            .contains("parent 99, which is not in the trace"));
+    }
+
+    #[test]
+    fn non_nesting_child_fails() {
+        let bad = concat!(
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"outer\",",
+            "\"thread\":0,\"start_ns\":100,\"end_ns\":200}\n",
+            "{\"type\":\"span\",\"id\":2,\"parent\":1,\"name\":\"inner\",",
+            "\"thread\":0,\"start_ns\":150,\"end_ns\":250}\n",
+        );
+        assert!(check_trace(bad)
+            .expect_err("fails")
+            .contains("does not nest"));
+    }
+
+    #[test]
+    fn duplicate_span_id_fails() {
+        let bad = concat!(
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"a\",",
+            "\"thread\":0,\"start_ns\":0,\"end_ns\":1}\n",
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"b\",",
+            "\"thread\":0,\"start_ns\":0,\"end_ns\":1}\n",
+        );
+        assert!(check_trace(bad)
+            .expect_err("fails")
+            .contains("duplicate span id"));
+    }
+
+    #[test]
+    fn spanless_trace_fails() {
+        let bad = "{\"type\":\"counter\",\"kind\":\"work\",\"name\":\"n\",\"value\":1}\n";
+        assert!(check_trace(bad)
+            .expect_err("fails")
+            .contains("no span records"));
+    }
+
+    #[test]
+    fn unknown_type_fails() {
+        let bad = format!("{GOOD}{{\"type\":\"mystery\"}}\n");
+        assert!(check_trace(&bad)
+            .expect_err("fails")
+            .contains("unknown record type"));
+    }
+}

@@ -244,6 +244,53 @@ fn raw_thread_rule_honors_allow_tag_and_test_code() {
 }
 
 // ---------------------------------------------------------------------
+// Rule 7: raw-timing containment
+// ---------------------------------------------------------------------
+
+#[test]
+fn raw_timing_rule_flags_instant_and_eprintln() {
+    let src = concat!(
+        "fn f() {\n",
+        "    let t0 = std::time::Instant::now();\n",
+        "    work();\n",
+        "    eprintln!(\"took {:?}\", t0.elapsed());\n",
+        "}\n",
+    );
+    let found = rules::raw_timing("fixture.rs", src);
+    assert_eq!(found.len(), 2);
+    assert!(found.iter().all(|v| v.rule == Rule::RawTiming));
+    assert_eq!(found[0].line, 2);
+    assert_eq!(found[1].line, 4);
+    assert!(found[0].message.contains("maly-obs"));
+}
+
+#[test]
+fn raw_timing_rule_honors_allow_tag_and_test_code() {
+    let above = "// audit:allow(raw-timing): fixture justification\n\
+                 fn f() { let t = Instant::now(); }\n";
+    assert!(rules::raw_timing("fixture.rs", above).is_empty());
+    let inline = "fn f() { eprintln!(\"x\"); } // audit:allow(raw-timing): fixture\n";
+    assert!(rules::raw_timing("fixture.rs", inline).is_empty());
+    let test_only = concat!(
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    #[test]\n",
+        "    fn t() { let t = std::time::Instant::now(); }\n",
+        "}\n",
+    );
+    assert!(rules::raw_timing("fixture.rs", test_only).is_empty());
+}
+
+#[test]
+fn raw_timing_rule_accepts_obs_instrumentation() {
+    // Spans and histograms are the sanctioned way to time things.
+    let src = "fn f() {\n    let _span = maly_obs::span(\"sweep\");\n    work();\n}\n";
+    assert!(rules::raw_timing("fixture.rs", src).is_empty());
+    // Plain println! output is not the rule's business.
+    assert!(rules::raw_timing("fixture.rs", "fn f() { println!(\"ok\"); }\n").is_empty());
+}
+
+// ---------------------------------------------------------------------
 // Rule 6: tracked-artifact hygiene
 // ---------------------------------------------------------------------
 
