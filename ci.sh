@@ -19,6 +19,21 @@ cargo test --workspace -q
 echo "== cargo test (MALY_OBS=1, traced)"
 MALY_OBS=1 cargo test --workspace -q
 
+echo "== serve loopback suite (MALY_OBS=1, real sockets)"
+MALY_OBS=1 cargo test -q -p maly-serve --test loopback
+
+echo "== trace-check (serve protocol trace via query --file)"
+mkdir -p target
+cat > target/ci_requests.jsonl <<'REQ'
+{"id": 1, "query": {"type": "table3_row", "id": 1}}
+[{"id": 2, "query": {"type": "scenario2_sweep", "x": 2.4, "steps": 11}}, {"id": 3, "query": {"type": "product_mix", "products": 8}}]
+REQ
+cargo run -q -p maly-cli -- query --file target/ci_requests.jsonl \
+    --trace-out target/trace_serve_ci.ndjson > /dev/null
+grep -q '"name":"serve.request"' target/trace_serve_ci.ndjson
+grep -q '"name":"model.queries"' target/trace_serve_ci.ndjson
+cargo run -q -p xtask -- trace-check target/trace_serve_ci.ndjson
+
 echo "== trace-check (sample CLI --trace-out ndjson)"
 mkdir -p target
 cargo run -q -p maly-cli -- sweep --transistors 3.1e6 --lambda 0.8 \

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 use maly_cost_model::product::ProductScenario;
+use maly_units::{Centimeters, DesignDensity, Dollars, Microns, Probability, TransistorCount};
 
 pub mod harness {
     //! Minimal timing harness (the workspace builds offline with no
@@ -375,18 +376,12 @@ pub mod harness {
 #[must_use]
 pub fn standard_product() -> ProductScenario {
     ProductScenario::builder("bench µP")
-        .transistors(3.1e6)
-        .expect("valid")
-        .feature_size_um(0.8)
-        .expect("valid")
-        .design_density(150.0)
-        .expect("valid")
-        .wafer_radius_cm(7.5)
-        .expect("valid")
-        .reference_yield(0.7)
-        .expect("valid")
-        .reference_wafer_cost(700.0)
-        .expect("valid")
+        .transistors(TransistorCount::new(3.1e6).expect("valid"))
+        .feature_size(Microns::new(0.8).expect("valid"))
+        .design_density(DesignDensity::new(150.0).expect("valid"))
+        .wafer_radius(Centimeters::new(7.5).expect("valid"))
+        .reference_yield(Probability::new(0.7).expect("valid"))
+        .reference_wafer_cost(Dollars::new(700.0).expect("valid"))
         .cost_escalation(1.8)
         .expect("valid")
         .build()

@@ -1,8 +1,16 @@
 //! Subcommand implementations (pure: return strings, no printing).
+//!
+//! Every model evaluation goes through [`maly_model::Query`] — the
+//! workspace's one sanctioned entry point — rather than wiring the CLI
+//! to individual model crates. The `wafer` command is the exception:
+//! it is pure geometry (die placement), not a cost-model evaluation,
+//! and stays on `maly-wafer-geom` directly.
 
-use maly_cost_model::product::ProductScenario;
-use maly_cost_optim::search::optimal_feature_size;
-use maly_units::{Centimeters, Microns, SquareCentimeters};
+use maly_model::query::{ProductSpec, Query, QueryResponse};
+use maly_model::EvalContext;
+use maly_par::Executor;
+use maly_serve::{client, protocol, ServeConfig, Server};
+use maly_units::{Centimeters, SquareCentimeters};
 use maly_viz::lineplot::LinePlot;
 use maly_viz::table::{Alignment, TextTable};
 use maly_viz::wafermap::{render_wafer, DieRect};
@@ -25,8 +33,13 @@ USAGE:
   silicon-cost mix      [--products N] [--volume WAFERS] [--mono-volume WAFERS]
   silicon-cost roadmap  [--from YEAR] [--to YEAR]
   silicon-cost table3
+  silicon-cost serve    [--addr HOST:PORT] [--threads N]
+  silicon-cost query    --file REQ.JSONL [--addr HOST:PORT]
   silicon-cost help
 
+serve answers line-delimited JSON queries over TCP (see DESIGN.md §10);
+query sends the request lines in a file to a server — or, without
+--addr, evaluates them in-process — and prints one response line each.
 Every command also accepts --trace-out FILE: enable maly-obs and write
 an ndjson trace (spans, counters, histograms) of the run to FILE.
 All dollars are 1994 dollars; λ is the minimum feature size in µm."
@@ -52,7 +65,9 @@ pub fn run(argv: &[String]) -> Result<String, String> {
             "wafer" => wafer(&flags),
             "mix" => mix(&flags),
             "roadmap" => roadmap(&flags),
-            "table3" => Ok(table3()),
+            "table3" => table3(),
+            "serve" => serve(&flags),
+            "query" => query(&flags),
             "help" | "--help" | "-h" => Ok(usage()),
             other => Err(format!("unknown command `{other}`")),
         }
@@ -79,85 +94,97 @@ fn command_span_name(command: &str) -> &'static str {
         "mix" => "cli.mix",
         "roadmap" => "cli.roadmap",
         "table3" => "cli.table3",
+        "serve" => "cli.serve",
+        "query" => "cli.query",
         _ => "cli.run",
     }
 }
 
-fn scenario_from(flags: &Flags) -> Result<ProductScenario, String> {
-    ProductScenario::builder("cli")
-        .transistors(flags.require_f64("transistors")?)
-        .map_err(|e| e.to_string())?
-        .feature_size_um(flags.require_f64("lambda")?)
-        .map_err(|e| e.to_string())?
-        .design_density(flags.require_f64("density")?)
-        .map_err(|e| e.to_string())?
-        .wafer_radius_cm(flags.f64_or("radius", 7.5)?)
-        .map_err(|e| e.to_string())?
-        .reference_yield(flags.require_f64("yield")?)
-        .map_err(|e| e.to_string())?
-        .reference_wafer_cost(flags.require_f64("c0")?)
-        .map_err(|e| e.to_string())?
-        .cost_escalation(flags.require_f64("x")?)
-        .map_err(|e| e.to_string())?
-        .build()
-        .map_err(|e| e.to_string())
+fn spec_from(flags: &Flags) -> Result<ProductSpec, String> {
+    Ok(ProductSpec {
+        name: "cli".to_string(),
+        transistors: flags.require_f64("transistors")?,
+        lambda_um: flags.require_f64("lambda")?,
+        density: flags.require_f64("density")?,
+        radius_cm: flags.f64_or("radius", 7.5)?,
+        yield0: flags.require_f64("yield")?,
+        c0: flags.require_f64("c0")?,
+        x: flags.require_f64("x")?,
+    })
+}
+
+fn evaluate(query: &Query) -> Result<QueryResponse, String> {
+    query.evaluate().map_err(|e| e.to_string())
 }
 
 fn cost(flags: &Flags) -> Result<String, String> {
-    let scenario = scenario_from(flags)?;
-    let breakdown = scenario.evaluate().map_err(|e| e.to_string())?;
+    let QueryResponse::Product(r) = evaluate(&Query::Product(spec_from(flags)?))? else {
+        return Err("unexpected response kind".to_string());
+    };
     let mut t = TextTable::new(vec!["quantity", "value"]);
     t.align(1, Alignment::Right);
     t.row(vec![
         "die area".into(),
-        format!("{:.3} cm²", scenario.die_area().value()),
+        format!("{:.3} cm²", r.die_area_cm2),
     ]);
     t.row(vec![
         "wafer cost C_w".into(),
-        format!("{:.0} $", breakdown.wafer_cost.value()),
+        format!("{:.0} $", r.wafer_cost),
     ]);
     t.row(vec![
         "dies per wafer N_ch".into(),
-        format!("{}", breakdown.dies_per_wafer.value()),
+        format!("{}", r.dies_per_wafer),
     ]);
     t.row(vec![
         "die yield Y".into(),
-        format!("{:.1}%", breakdown.die_yield.as_percent()),
+        format!("{:.1}%", r.die_yield * 100.0),
     ]);
     t.row(vec![
         "good dies per wafer".into(),
-        format!("{:.1}", breakdown.good_dies_per_wafer),
+        format!("{:.1}", r.good_dies_per_wafer),
     ]);
     t.row(vec![
         "cost per good die".into(),
-        format!("{:.2} $", breakdown.cost_per_good_die.value()),
+        format!("{:.2} $", r.cost_per_good_die),
     ]);
     t.row(vec![
         "cost per transistor".into(),
-        format!(
-            "{:.2} µ$",
-            breakdown.cost_per_transistor.to_micro_dollars().value()
-        ),
+        format!("{:.2} µ$", r.cost_per_transistor_micro),
     ]);
     Ok(t.render())
 }
 
 fn sweep(flags: &Flags) -> Result<String, String> {
-    let scenario = scenario_from(flags)?;
+    let spec = spec_from(flags)?;
     let from = flags.f64_or("from", 0.3)?;
     let to = flags.f64_or("to", 1.2)?;
     let steps = flags.usize_or("steps", 40)?;
     if !(from > 0.0 && from < to) || steps < 2 {
         return Err(format!("bad sweep window {from}..{to} ({steps} steps)"));
     }
-    let mut series = Vec::new();
-    for i in 0..steps {
-        let l = from + (to - from) * i as f64 / (steps - 1) as f64;
-        let lambda = Microns::new(l).map_err(|e| e.to_string())?;
-        if let Ok(b) = scenario.evaluate_at(lambda) {
-            series.push((l, b.cost_per_transistor.to_micro_dollars().value()));
-        }
-    }
+    // One Product query per node, batched across the executor exactly
+    // like a wire-protocol batch line. Infeasible nodes (die too large,
+    // yield collapsed) drop out of the plot rather than failing it.
+    let queries: Vec<Query> = (0..steps)
+        .map(|i| {
+            let l = from + (to - from) * i as f64 / (steps - 1) as f64;
+            Query::Product(ProductSpec {
+                lambda_um: l,
+                ..spec.clone()
+            })
+        })
+        .collect();
+    let results = Query::evaluate_batch(&Executor::from_env(), EvalContext::process(), &queries);
+    let series: Vec<(f64, f64)> = queries
+        .iter()
+        .zip(results)
+        .filter_map(|(q, r)| match (q, r) {
+            (Query::Product(spec), Ok(QueryResponse::Product(p))) => {
+                Some((spec.lambda_um, p.cost_per_transistor_micro))
+            }
+            _ => None,
+        })
+        .collect();
     if series.is_empty() {
         return Err("no feasible point in the sweep window".to_string());
     }
@@ -169,16 +196,23 @@ fn sweep(flags: &Flags) -> Result<String, String> {
 }
 
 fn optimize(flags: &Flags) -> Result<String, String> {
-    let scenario = scenario_from(flags)?;
+    let spec = spec_from(flags)?;
     let from = flags.f64_or("from", 0.3)?;
     let to = flags.f64_or("to", 1.2)?;
-    let best = optimal_feature_size(&scenario, from, to, 481)
-        .map_err(|e| e.to_string())?
-        .ok_or("no feasible feature size in the window")?;
+    let QueryResponse::OptimalLambda(best) = evaluate(&Query::OptimalLambda {
+        spec,
+        lambda_min: from,
+        lambda_max: to,
+        steps: 481,
+    })?
+    else {
+        return Err("unexpected response kind".to_string());
+    };
+    let best = best.ok_or("no feasible feature size in the window")?;
     Ok(format!(
         "optimal feature size: {:.3} µm  (C_tr = {:.2} µ$)",
-        best.0.value(),
-        best.1 * 1.0e6
+        best.lambda_um,
+        best.cost_per_transistor * 1.0e6
     ))
 }
 
@@ -230,22 +264,23 @@ fn wafer(flags: &Flags) -> Result<String, String> {
 }
 
 fn mix(flags: &Flags) -> Result<String, String> {
-    let products = flags.usize_or("products", 8)?;
-    let volume = flags.f64_or("volume", 1_000.0)?;
-    let mono_volume = flags.f64_or("mono-volume", 100_000.0)?;
-    if products == 0 || volume <= 0.0 || mono_volume <= 0.0 {
-        return Err("mix needs positive --products, --volume and --mono-volume".to_string());
-    }
-    let study = maly_fabline_sim::cost::product_mix_study(products, volume, mono_volume);
+    let QueryResponse::ProductMix(study) = evaluate(&Query::ProductMix {
+        products: flags.usize_or("products", 8)?,
+        volume_each: flags.f64_or("volume", 1_000.0)?,
+        mono_volume: flags.f64_or("mono-volume", 100_000.0)?,
+    })?
+    else {
+        return Err("unexpected response kind".to_string());
+    };
     let mut t = TextTable::new(vec!["quantity", "value"]);
     t.align(1, Alignment::Right);
     t.row(vec![
         "mono-product wafer cost".into(),
-        format!("{:.0} $", study.mono_cost.value()),
+        format!("{:.0} $", study.mono_cost),
     ]);
     t.row(vec![
         "multi-product wafer cost".into(),
-        format!("{:.0} $", study.multi_cost.value()),
+        format!("{:.0} $", study.multi_cost),
     ]);
     t.row(vec![
         "penalty ratio".into(),
@@ -265,12 +300,9 @@ fn mix(flags: &Flags) -> Result<String, String> {
 fn roadmap(flags: &Flags) -> Result<String, String> {
     let from = flags.usize_or("from", 1986)? as u32;
     let to = flags.usize_or("to", 2002)? as u32;
-    if from >= to {
-        return Err(format!("bad year range {from}..{to}"));
-    }
-    let roadmap =
-        maly_cost_model::roadmap::CostRoadmap::paper_default().map_err(|e| e.to_string())?;
-    let points = roadmap.project(from, to).map_err(|e| e.to_string())?;
+    let QueryResponse::Roadmap(rows) = evaluate(&Query::Roadmap { from, to })? else {
+        return Err("unexpected response kind".to_string());
+    };
     let mut t = TextTable::new(vec![
         "year",
         "λ [µm]",
@@ -280,16 +312,17 @@ fn roadmap(flags: &Flags) -> Result<String, String> {
     for col in 1..4 {
         t.align(col, Alignment::Right);
     }
-    for p in &points {
+    for r in &rows {
         t.row(vec![
-            format!("{:.0}", p.year),
-            format!("{:.2}", p.lambda.value()),
-            format!("{:.3}", p.optimistic.to_micro_dollars().value()),
-            format!("{:.2}", p.realistic.to_micro_dollars().value()),
+            format!("{:.0}", r.year),
+            format!("{:.2}", r.lambda_um),
+            format!("{:.3}", r.optimistic_micro),
+            format!("{:.2}", r.realistic_micro),
         ]);
     }
     let mut out = t.render();
-    if let Some(year) = roadmap
+    if let Some(year) = maly_model::shared()
+        .roadmap
         .realistic_turning_year(from, to)
         .map_err(|e| e.to_string())?
     {
@@ -300,33 +333,65 @@ fn roadmap(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
-fn table3() -> String {
-    maly_repro_table3()
-}
-
-/// Renders the Table 3 comparison without depending on the repro crate
-/// (the CLI stays lean): inputs and model outputs only.
-fn maly_repro_table3() -> String {
+fn table3() -> Result<String, String> {
+    let QueryResponse::Table3(rows) = evaluate(&Query::Table3)? else {
+        return Err("unexpected response kind".to_string());
+    };
     let mut t = TextTable::new(vec!["#", "IC type", "paper [µ$]", "model [µ$]"]);
     t.align(2, Alignment::Right);
     t.align(3, Alignment::Right);
-    for row in maly_paper_data::table3::rows() {
-        let measured = row
-            .scenario()
-            .expect("printed inputs are valid")
-            .evaluate()
-            .expect("printed products are manufacturable")
-            .cost_per_transistor
-            .to_micro_dollars()
-            .value();
+    for r in &rows {
         t.row(vec![
-            format!("{}", row.id),
-            row.name.to_string(),
-            format!("{:.2}", row.paper_cost_micro_dollars),
-            format!("{measured:.2}"),
+            format!("{}", r.id),
+            r.name.clone(),
+            format!("{:.2}", r.paper_micro_dollars),
+            format!("{:.2}", r.model_micro_dollars),
         ]);
     }
-    t.render()
+    Ok(t.render())
+}
+
+fn serve(flags: &Flags) -> Result<String, String> {
+    let addr = flags.str_opt("addr").unwrap_or("127.0.0.1:7878");
+    let threads = flags.usize_or("threads", 2)?;
+    let server =
+        Server::bind(ServeConfig::bind(addr).workers(threads)).map_err(|e| e.to_string())?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    // Announce the bound address before blocking — with `:0` the picked
+    // port is unknowable otherwise.
+    println!("serving on {bound} with {threads} worker threads (ctrl-c to stop)");
+    server.serve(&Executor::from_env());
+    Ok(format!("server on {bound} stopped"))
+}
+
+fn query(flags: &Flags) -> Result<String, String> {
+    let path = flags
+        .str_opt("file")
+        .ok_or("missing required flag --file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let lines: Vec<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect();
+    if lines.is_empty() {
+        return Err(format!("no request lines in {path}"));
+    }
+    let responses = match flags.str_opt("addr") {
+        Some(addr) => client::query_lines(addr, &lines).map_err(|e| e.to_string())?,
+        None => {
+            // No server: evaluate in-process through the same protocol
+            // path, so offline output is byte-identical to served output.
+            let exec = Executor::from_env();
+            let ctx = EvalContext::process();
+            lines
+                .iter()
+                .map(|l| protocol::handle_line(&exec, ctx, l))
+                .collect()
+        }
+    };
+    Ok(responses.join("\n"))
 }
 
 #[cfg(test)]
@@ -400,6 +465,64 @@ mod tests {
         assert!(out.contains("1998"));
         assert!(out.contains("Scenario #2"));
         assert!(run(&argv("roadmap --from 2000 --to 1990")).is_err());
+    }
+
+    #[test]
+    fn query_command_evaluates_a_request_file_offline() {
+        let path = std::env::temp_dir().join("maly_cli_query_test.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"id\": 1, \"query\": {\"type\": \"table3_row\", \"id\": 1}}\n",
+                "\n",
+                "[{\"id\": 2, \"query\": {\"type\": \"table3_row\", \"id\": 2}},",
+                " {\"id\": 3, \"query\": {\"type\": \"nonsense\"}}]\n",
+            ),
+        )
+        .unwrap();
+        let arg = format!("query --file {}", path.display());
+        let out = run(&argv(&arg)).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].contains("\"ok\""));
+        assert!(lines[1].contains("\"ok\"") && lines[1].contains("unknown-query-type"));
+    }
+
+    #[test]
+    fn query_command_requires_a_readable_file() {
+        assert!(run(&argv("query")).unwrap_err().contains("--file"));
+        assert!(run(&argv("query --file /nonexistent/req.jsonl")).is_err());
+    }
+
+    #[test]
+    fn serve_command_rejects_unbindable_addresses() {
+        let err = run(&argv("serve --addr 256.256.256.256:1")).unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn query_command_talks_to_a_live_server() {
+        // A real loopback round trip through the CLI's own serve path:
+        // bind on a private port, detach the blocking serve call, then
+        // drive it with `query --addr`.
+        let config = ServeConfig::bind("127.0.0.1:0").workers(2);
+        let server = Server::bind(config).unwrap();
+        let handle = server.handle().unwrap();
+        let addr = handle.addr().to_string();
+        let join = std::thread::spawn(move || server.serve(&Executor::with_threads(2)));
+        let path = std::env::temp_dir().join("maly_cli_live_query_test.jsonl");
+        std::fs::write(
+            &path,
+            "{\"id\": 1, \"query\": {\"type\": \"table3_row\", \"id\": 1}}\n",
+        )
+        .unwrap();
+        let arg = format!("query --file {} --addr {addr}", path.display());
+        let out = run(&argv(&arg)).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(out.contains("\"ok\""), "{out}");
+        handle.shutdown();
+        join.join().unwrap();
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! silicon-cost sweep    <same flags> --from 0.3 --to 1.2 [--steps 40]
 //! silicon-cost optimize <same flags> --from 0.3 --to 1.2
 //! silicon-cost wafer    --die-area 2.976 [--radius 7.5] [--map]
+//! silicon-cost serve    [--addr 127.0.0.1:7878] [--threads 2]
+//! silicon-cost query    --file requests.jsonl [--addr HOST:PORT]
 //! silicon-cost help
 //! ```
 

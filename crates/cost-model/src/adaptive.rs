@@ -472,7 +472,7 @@ impl<'a> Engine<'a> {
                         // The eq. (7) effective density D/λ^p of
                         // ScaledPoissonYield::yields_for_slice.
                         row_yield: PoissonYield::new(DefectDensity::clamped(
-                            params.defect_d / lambda.value().powf(params.defect_p),
+                            params.defect_d.value() / lambda.value().powf(params.defect_p),
                         )),
                     }
                 })

@@ -41,15 +41,18 @@
 //!
 //! ```
 //! use maly_cost_model::product::ProductScenario;
+//! use maly_units::{
+//!     Centimeters, DesignDensity, Dollars, Microns, Probability, TransistorCount,
+//! };
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let row1 = ProductScenario::builder("BiCMOS µP")
-//!     .transistors(3.1e6)?
-//!     .feature_size_um(0.8)?
-//!     .design_density(150.0)?
-//!     .wafer_radius_cm(7.5)?
-//!     .reference_yield(0.9)?
-//!     .reference_wafer_cost(700.0)?
+//!     .transistors(TransistorCount::new(3.1e6)?)
+//!     .feature_size(Microns::new(0.8)?)
+//!     .design_density(DesignDensity::new(150.0)?)
+//!     .wafer_radius(Centimeters::new(7.5)?)
+//!     .reference_yield(Probability::new(0.9)?)
+//!     .reference_wafer_cost(Dollars::new(700.0)?)
 //!     .cost_escalation(1.4)?
 //!     .build()?;
 //! let cost = row1.evaluate()?;

@@ -25,16 +25,19 @@ use crate::{
 ///
 /// ```
 /// use maly_cost_model::product::ProductScenario;
+/// use maly_units::{
+///     Centimeters, DesignDensity, Dollars, Microns, Probability, TransistorCount,
+/// };
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// // Table 3 row 13: 256 Mb DRAM.
 /// let dram = ProductScenario::builder("DRAM, 256Mb")
-///     .transistors(264.0e6)?
-///     .feature_size_um(0.25)?
-///     .design_density(29.0)?
-///     .wafer_radius_cm(7.5)?
-///     .reference_yield(0.9)?
-///     .reference_wafer_cost(600.0)?
+///     .transistors(TransistorCount::new(264.0e6)?)
+///     .feature_size(Microns::new(0.25)?)
+///     .design_density(DesignDensity::new(29.0)?)
+///     .wafer_radius(Centimeters::new(7.5)?)
+///     .reference_yield(Probability::new(0.9)?)
+///     .reference_wafer_cost(Dollars::new(600.0)?)
 ///     .cost_escalation(1.8)?
 ///     .build()?;
 /// let micro = dram.evaluate()?.cost_per_transistor.to_micro_dollars().value();
@@ -192,51 +195,31 @@ impl ProductScenarioBuilder {
     }
 
     /// Sets `N_tr`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error for non-positive counts.
-    // audit:allow(bare-f64): raw-input builder boundary; the value is
-    // parsed into its newtype on the next line.
-    pub fn transistors(mut self, count: f64) -> Result<Self, CostError> {
-        self.transistors = Some(TransistorCount::new(count)?);
-        Ok(self)
+    #[must_use]
+    pub fn transistors(mut self, count: TransistorCount) -> Self {
+        self.transistors = Some(count);
+        self
     }
 
-    /// Sets λ in microns.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error for non-positive values.
-    // audit:allow(bare-f64): raw-input builder boundary; the value is
-    // parsed into its newtype on the next line.
-    pub fn feature_size_um(mut self, lambda: f64) -> Result<Self, CostError> {
-        self.lambda = Some(Microns::new(lambda)?);
-        Ok(self)
+    /// Sets λ.
+    #[must_use]
+    pub fn feature_size(mut self, lambda: Microns) -> Self {
+        self.lambda = Some(lambda);
+        self
     }
 
-    /// Sets `d_d` in λ²/transistor.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error for non-positive values.
-    // audit:allow(bare-f64): raw-input builder boundary; the value is
-    // parsed into its newtype on the next line.
-    pub fn design_density(mut self, d_d: f64) -> Result<Self, CostError> {
-        self.density = Some(DesignDensity::new(d_d)?);
-        Ok(self)
+    /// Sets `d_d`.
+    #[must_use]
+    pub fn design_density(mut self, d_d: DesignDensity) -> Self {
+        self.density = Some(d_d);
+        self
     }
 
-    /// Sets the wafer radius in centimeters (Table 3 prints `R_w`).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error for non-positive values.
-    // audit:allow(bare-f64): raw-input builder boundary; the value is
-    // parsed into its newtype on the next line.
-    pub fn wafer_radius_cm(mut self, r_w: f64) -> Result<Self, CostError> {
-        self.wafer = Some(Wafer::with_radius(Centimeters::new(r_w)?));
-        Ok(self)
+    /// Sets the wafer radius (Table 3 prints `R_w` in centimeters).
+    #[must_use]
+    pub fn wafer_radius(mut self, r_w: Centimeters) -> Self {
+        self.wafer = Some(Wafer::with_radius(r_w));
+        self
     }
 
     /// Sets the full wafer description (edge exclusion, saw street).
@@ -247,27 +230,17 @@ impl ProductScenarioBuilder {
     }
 
     /// Sets the 1 cm² reference yield `Y₀`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error outside `[0, 1]`.
-    // audit:allow(bare-f64): raw-input builder boundary; the value is
-    // parsed into its newtype on the next line.
-    pub fn reference_yield(mut self, y0: f64) -> Result<Self, CostError> {
-        self.reference_yield = Some(Probability::new(y0)?);
-        Ok(self)
+    #[must_use]
+    pub fn reference_yield(mut self, y0: Probability) -> Self {
+        self.reference_yield = Some(y0);
+        self
     }
 
-    /// Sets the reference wafer cost `C₀` in dollars.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error for negative values.
-    // audit:allow(bare-f64): raw-input builder boundary; the value is
-    // parsed into its newtype on the next line.
-    pub fn reference_wafer_cost(mut self, c0: f64) -> Result<Self, CostError> {
-        self.reference_cost = Some(Dollars::new(c0)?);
-        Ok(self)
+    /// Sets the reference wafer cost `C₀`.
+    #[must_use]
+    pub fn reference_wafer_cost(mut self, c0: Dollars) -> Self {
+        self.reference_cost = Some(c0);
+        self
     }
 
     /// Sets the cost escalation factor `X`.
@@ -312,9 +285,9 @@ impl ProductScenarioBuilder {
     pub fn build(self) -> Result<ProductScenario, CostError> {
         let missing = |field| CostError::MissingField { field };
         let transistors = self.transistors.ok_or(missing("transistors"))?;
-        let lambda = self.lambda.ok_or(missing("feature_size_um"))?;
+        let lambda = self.lambda.ok_or(missing("feature_size"))?;
         let density = self.density.ok_or(missing("design_density"))?;
-        let wafer = self.wafer.ok_or(missing("wafer_radius_cm"))?;
+        let wafer = self.wafer.ok_or(missing("wafer_radius"))?;
         let reference_yield = self.reference_yield.ok_or(missing("reference_yield"))?;
         let reference_cost = self.reference_cost.ok_or(missing("reference_wafer_cost"))?;
         let escalation = self.escalation.ok_or(missing("cost_escalation"))?;
@@ -349,18 +322,12 @@ mod tests {
         x: f64,
     ) -> ProductScenario {
         ProductScenario::builder(name)
-            .transistors(n_tr)
-            .unwrap()
-            .feature_size_um(lambda)
-            .unwrap()
-            .design_density(d_d)
-            .unwrap()
-            .wafer_radius_cm(r_w)
-            .unwrap()
-            .reference_yield(y0)
-            .unwrap()
-            .reference_wafer_cost(c0)
-            .unwrap()
+            .transistors(TransistorCount::new(n_tr).unwrap())
+            .feature_size(Microns::new(lambda).unwrap())
+            .design_density(DesignDensity::new(d_d).unwrap())
+            .wafer_radius(Centimeters::new(r_w).unwrap())
+            .reference_yield(Probability::new(y0).unwrap())
+            .reference_wafer_cost(Dollars::new(c0).unwrap())
             .cost_escalation(x)
             .unwrap()
             .build()
@@ -432,14 +399,13 @@ mod tests {
     #[test]
     fn missing_field_is_reported_by_name() {
         let err = ProductScenario::builder("incomplete")
-            .transistors(1.0e6)
-            .unwrap()
+            .transistors(TransistorCount::new(1.0e6).unwrap())
             .build()
             .unwrap_err();
         assert_eq!(
             err,
             CostError::MissingField {
-                field: "feature_size_um"
+                field: "feature_size"
             }
         );
     }
@@ -471,15 +437,13 @@ mod tests {
 
     #[test]
     fn builder_validates_inputs() {
-        assert!(ProductScenario::builder("bad").transistors(-1.0).is_err());
-        assert!(ProductScenario::builder("bad")
-            .feature_size_um(0.0)
-            .is_err());
+        // Bad magnitudes never reach the builder: the newtypes reject
+        // them at construction. The builder's own check is X ≥ 1.
+        assert!(TransistorCount::new(-1.0).is_err());
+        assert!(Microns::new(0.0).is_err());
+        assert!(Probability::new(1.5).is_err());
         assert!(ProductScenario::builder("bad")
             .cost_escalation(0.5)
-            .is_err());
-        assert!(ProductScenario::builder("bad")
-            .reference_yield(1.5)
             .is_err());
     }
 }

@@ -7,7 +7,7 @@
 //! percentage cost change per percent input change — by central finite
 //! differences on the full (discrete, floor-riddled) model.
 
-use maly_units::Microns;
+use maly_units::{DesignDensity, Dollars, Microns, MicronsDelta, Probability, TransistorCount};
 
 use crate::product::ProductScenario;
 use crate::CostError;
@@ -85,12 +85,12 @@ fn perturbed(
         CostDriver::Escalation => x = (x * factor).max(1.0),
     }
     ProductScenario::builder(base.name())
-        .transistors(transistors)?
-        .feature_size_um(lambda)?
-        .design_density(density)?
+        .transistors(TransistorCount::new(transistors)?)
+        .feature_size(Microns::new(lambda)?)
+        .design_density(DesignDensity::new(density)?)
         .wafer(*base.wafer())
-        .reference_yield(y0)?
-        .reference_wafer_cost(c0)?
+        .reference_yield(Probability::new(y0)?)
+        .reference_wafer_cost(Dollars::new(c0)?)
         .cost_escalation(x)?
         .generation_rate(base.wafer_cost_model().generation_rate())
         .build()
@@ -147,17 +147,14 @@ pub fn elasticities(scenario: &ProductScenario, step: f64) -> Result<Vec<Elastic
 /// Propagates evaluation failures.
 pub fn marginal_cost_of_lambda(
     scenario: &ProductScenario,
-    // audit:allow(bare-f64): signed finite-difference step; Microns only
-    // admits positive magnitudes.
-    delta_um: f64,
+    delta: MicronsDelta,
 ) -> Result<f64, CostError> {
     let base = scenario.evaluate()?.cost_per_transistor.value();
-    let lambda = scenario.feature_size().value();
     let shifted = scenario
-        .evaluate_at(Microns::new(lambda + delta_um)?)?
+        .evaluate_at(delta.applied_to(scenario.feature_size())?)?
         .cost_per_transistor
         .value();
-    Ok((shifted - base) / delta_um)
+    Ok((shifted - base) / delta.value())
 }
 
 #[cfg(test)]
@@ -166,18 +163,12 @@ mod tests {
 
     fn row2() -> ProductScenario {
         ProductScenario::builder("row2")
-            .transistors(3.1e6)
-            .unwrap()
-            .feature_size_um(0.8)
-            .unwrap()
-            .design_density(150.0)
-            .unwrap()
-            .wafer_radius_cm(7.5)
-            .unwrap()
-            .reference_yield(0.7)
-            .unwrap()
-            .reference_wafer_cost(700.0)
-            .unwrap()
+            .transistors(TransistorCount::new(3.1e6).unwrap())
+            .feature_size(Microns::new(0.8).unwrap())
+            .design_density(DesignDensity::new(150.0).unwrap())
+            .wafer_radius(maly_units::Centimeters::new(7.5).unwrap())
+            .reference_yield(Probability::new(0.7).unwrap())
+            .reference_wafer_cost(Dollars::new(700.0).unwrap())
             .cost_escalation(1.8)
             .unwrap()
             .build()
@@ -231,7 +222,7 @@ mod tests {
     fn marginal_cost_of_lambda_is_negative_at_row2() {
         // Around 0.8 µm under row-2 assumptions, growing λ (backing off
         // the shrink) raises cost — i.e. the shrink direction is cheaper.
-        let m = marginal_cost_of_lambda(&row2(), 0.05).unwrap();
+        let m = marginal_cost_of_lambda(&row2(), MicronsDelta::new(0.05).unwrap()).unwrap();
         assert!(m > 0.0, "d(cost)/dλ = {m}");
     }
 

@@ -9,7 +9,9 @@
 //! the smallest available feature size.
 
 use maly_par::Executor;
-use maly_units::{DesignDensity, Dollars, Microns, SquareCentimeters, TransistorCount};
+use maly_units::{
+    DesignDensity, Dollars, Microns, ReferenceDefectDensity, SquareCentimeters, TransistorCount,
+};
 use maly_wafer_geom::{DieDimensions, Wafer};
 use maly_yield_model::ScaledPoissonYield;
 
@@ -33,7 +35,7 @@ pub struct SurfaceParameters {
     /// Design density `d_d`.
     pub density: DesignDensity,
     /// Eq. (7) reference defect density `D`.
-    pub defect_d: f64,
+    pub defect_d: ReferenceDefectDensity,
     /// Eq. (7) defect size exponent `p`.
     pub defect_p: f64,
     /// Dies-per-wafer method.
@@ -52,8 +54,8 @@ impl SurfaceParameters {
             wafer_cost: FIG8_WAFER_COST,
             wafer: Wafer::six_inch(),
             density: FIG8_DENSITY,
-            defect_d: 1.72,
-            defect_p: 4.07,
+            defect_d: ScaledPoissonYield::FIG8_D,
+            defect_p: ScaledPoissonYield::FIG8_P,
             dies_method: DiesPerWaferMethod::MalyEq4,
         }
     }

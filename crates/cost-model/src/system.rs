@@ -167,12 +167,12 @@ impl SystemDesign {
                     .collect::<Vec<_>>()
                     .join("+"),
             )
-            .transistors(n_total)?
-            .feature_size_um(lambda.value())?
-            .design_density(blend.value())?
+            .transistors(TransistorCount::new(n_total)?)
+            .feature_size(lambda)
+            .design_density(blend)
             .wafer(context.wafer)
-            .reference_yield(context.reference_yield.value())?
-            .reference_wafer_cost(context.wafer_cost.reference_cost().value())?
+            .reference_yield(context.reference_yield)
+            .reference_wafer_cost(context.wafer_cost.reference_cost())
             .cost_escalation(context.wafer_cost.escalation_factor())?
             .generation_rate(context.wafer_cost.generation_rate())
             .build()?;

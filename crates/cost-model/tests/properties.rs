@@ -6,7 +6,7 @@
 
 use maly_cost_model::product::ProductScenario;
 use maly_cost_model::scenario::{Scenario1, Scenario2};
-use maly_units::Microns;
+use maly_units::{Centimeters, DesignDensity, Dollars, Microns, Probability, TransistorCount};
 
 /// Deterministic uniform sampler (SplitMix64).
 struct Sampler(u64);
@@ -42,18 +42,12 @@ fn scenario(
     x: f64,
 ) -> ProductScenario {
     ProductScenario::builder("prop")
-        .transistors(n_tr)
-        .unwrap()
-        .feature_size_um(lambda)
-        .unwrap()
-        .design_density(d_d)
-        .unwrap()
-        .wafer_radius_cm(r_w)
-        .unwrap()
-        .reference_yield(y0)
-        .unwrap()
-        .reference_wafer_cost(c0)
-        .unwrap()
+        .transistors(TransistorCount::new(n_tr).unwrap())
+        .feature_size(Microns::new(lambda).unwrap())
+        .design_density(DesignDensity::new(d_d).unwrap())
+        .wafer_radius(Centimeters::new(r_w).unwrap())
+        .reference_yield(Probability::new(y0).unwrap())
+        .reference_wafer_cost(Dollars::new(c0).unwrap())
         .cost_escalation(x)
         .unwrap()
         .build()

@@ -186,22 +186,18 @@ pub fn optimal_feature_size_with(
 
 #[cfg(test)]
 mod tests {
+    use maly_units::{Centimeters, DesignDensity, Dollars, Probability, TransistorCount};
+
     use super::*;
 
     fn fig8_like_scenario(n_tr: f64) -> ProductScenario {
         ProductScenario::builder("fig8-point")
-            .transistors(n_tr)
-            .unwrap()
-            .feature_size_um(0.8)
-            .unwrap()
-            .design_density(152.0)
-            .unwrap()
-            .wafer_radius_cm(7.5)
-            .unwrap()
-            .reference_yield(0.7)
-            .unwrap()
-            .reference_wafer_cost(500.0)
-            .unwrap()
+            .transistors(TransistorCount::new(n_tr).unwrap())
+            .feature_size(Microns::new(0.8).unwrap())
+            .design_density(DesignDensity::new(152.0).unwrap())
+            .wafer_radius(Centimeters::new(7.5).unwrap())
+            .reference_yield(Probability::new(0.7).unwrap())
+            .reference_wafer_cost(Dollars::new(500.0).unwrap())
             .cost_escalation(1.4)
             .unwrap()
             .build()

@@ -13,7 +13,7 @@ use maly_cost_optim::contour::{extract_contours_adaptive_with, extract_contours_
 use maly_cost_optim::partition::optimize_with;
 use maly_cost_optim::search::{grid_min_with, optimal_feature_size_with};
 use maly_par::Executor;
-use maly_units::{DesignDensity, Dollars, Microns, Probability, TransistorCount};
+use maly_units::{Centimeters, DesignDensity, Dollars, Microns, Probability, TransistorCount};
 use maly_wafer_geom::Wafer;
 
 /// The thread counts the issue pins: serial fallback, a small pool, and
@@ -174,18 +174,12 @@ fn grid_min_keeps_the_serial_tie_break() {
 #[test]
 fn optimal_feature_size_is_bit_identical() {
     let scenario = maly_cost_model::product::ProductScenario::builder("determinism")
-        .transistors(3.1e6)
-        .unwrap()
-        .feature_size_um(0.8)
-        .unwrap()
-        .design_density(150.0)
-        .unwrap()
-        .wafer_radius_cm(7.5)
-        .unwrap()
-        .reference_yield(0.7)
-        .unwrap()
-        .reference_wafer_cost(700.0)
-        .unwrap()
+        .transistors(TransistorCount::new(3.1e6).unwrap())
+        .feature_size(Microns::new(0.8).unwrap())
+        .design_density(DesignDensity::new(150.0).unwrap())
+        .wafer_radius(Centimeters::new(7.5).unwrap())
+        .reference_yield(Probability::new(0.7).unwrap())
+        .reference_wafer_cost(Dollars::new(700.0).unwrap())
         .cost_escalation(1.8)
         .unwrap()
         .build()

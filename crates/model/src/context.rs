@@ -1,0 +1,264 @@
+//! The long-lived evaluation context shared by every query.
+//!
+//! Several consumers — the repro harness, the CLI, and now the serve
+//! layer — need the same derived artifacts: the tech-trend fits
+//! (Figs 1–4), the Table 3 row set, the calendar roadmap, and the Fig 8
+//! cost surface, by far the most expensive single object the workspace
+//! builds. [`shared`] derives them exactly once per process behind a
+//! `OnceLock` (this context started life in `maly-repro`, which now
+//! re-exports it).
+//!
+//! On top of the static artifacts, [`EvalContext`] owns a bounded cache
+//! of *computed surface tiles* keyed by quantized query parameters:
+//! a repeated `surface_tile` query for the same window answers from
+//! memory without re-evaluating a single grid cell. The obs counters
+//! below make that claim checkable — the warm-cache integration test
+//! asserts `model.tile_cells` does not move on a repeat query.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use maly_cost_model::roadmap::CostRoadmap;
+use maly_cost_model::surface::{CostSurface, SurfaceParameters};
+use maly_paper_data::table3::{self, Table3Row};
+use maly_par::Executor;
+use maly_tech_trend::diesize::DieSizeTrend;
+use maly_tech_trend::fit::{CostEscalationFit, ExponentialFit};
+use maly_tech_trend::{datasets, fit};
+
+/// The Fig 8 grid the reports render: `(λ min, λ max, steps)`.
+pub const FIG8_LAMBDA_RANGE: (f64, f64, usize) = (0.4, 1.5, 56);
+/// The Fig 8 grid the reports render: `(N_tr min, N_tr max, steps)`.
+pub const FIG8_N_TR_RANGE: (f64, f64, usize) = (2.0e4, 4.0e6, 48);
+
+/// Grid cells evaluated for surface tiles (cache misses only). A
+/// thread-count-invariant work counter: the warm-cache test asserts a
+/// repeat query adds exactly zero here.
+pub static TILE_CELLS: maly_obs::Counter = maly_obs::Counter::work("model.tile_cells");
+/// Queries answered through [`crate::query::Query::evaluate_with`].
+pub static QUERIES: maly_obs::Counter = maly_obs::Counter::work("model.queries");
+/// Surface-tile cache hits (diagnostic: depends on request history).
+pub static TILE_HITS: maly_obs::Counter = maly_obs::Counter::diag("model.tile_hits");
+/// Surface-tile cache misses (diagnostic).
+pub static TILE_MISSES: maly_obs::Counter = maly_obs::Counter::diag("model.tile_misses");
+
+/// Every artifact derived once and shared by the experiments.
+#[derive(Debug)]
+pub struct SharedContext {
+    /// Fig 1: exponential fit of feature size vs year.
+    pub feature_trend: ExponentialFit,
+    /// Fig 2a: exponential fit of fab cost vs year.
+    pub fab_cost_trend: ExponentialFit,
+    /// Fig 2b: the wafer-cost escalation factor `X` and `C₀`.
+    pub wafer_cost_escalation: CostEscalationFit,
+    /// Fig 3: `A_ch(λ)` re-fit from the die-size-by-node dataset.
+    pub die_size_fit: DieSizeTrend,
+    /// Fig 3/4: the paper's printed `16.5·e^{−5.3λ}` coefficients.
+    pub die_size_paper: DieSizeTrend,
+    /// Roadmap experiment: the two-scenario calendar projection.
+    pub roadmap: CostRoadmap,
+    /// Table 3 + ablation: all printed rows.
+    pub table3_rows: Vec<Table3Row>,
+    /// Fig 8: the paper's fab calibration.
+    pub fig8_params: SurfaceParameters,
+    /// Fig 8: the full cost surface on the report grid.
+    pub fig8_surface: CostSurface,
+}
+
+/// The process-wide context, built on first use.
+///
+/// # Panics
+///
+/// Panics if a built-in dataset fails to fit — impossible for the
+/// checked-in data, and a reproduction without its calibration cannot
+/// report anything anyway.
+#[must_use]
+pub fn shared() -> &'static SharedContext {
+    static CONTEXT: OnceLock<SharedContext> = OnceLock::new();
+    CONTEXT.get_or_init(|| {
+        let fig8_params = SurfaceParameters::fig8();
+        SharedContext {
+            // Checked-in datasets are positive by construction; a
+            // context without its calibration cannot answer anything
+            // anyway, so these expects fire only on a broken build.
+            feature_trend: fit::fit_exponential(datasets::FEATURE_SIZE_BY_YEAR)
+                // audit:allow(panic): built-in dataset is positive.
+                .expect("dataset is positive"),
+            fab_cost_trend: fit::fit_exponential(datasets::FAB_COST_BY_YEAR)
+                // audit:allow(panic): built-in dataset is positive.
+                .expect("dataset is positive"),
+            wafer_cost_escalation: fit::extract_cost_escalation(datasets::WAFER_COST_BY_GENERATION)
+                // audit:allow(panic): built-in dataset is positive.
+                .expect("dataset is positive"),
+            die_size_fit: DieSizeTrend::fit(datasets::DIE_SIZE_BY_GENERATION)
+                // audit:allow(panic): built-in dataset is positive.
+                .expect("dataset is positive"),
+            die_size_paper: DieSizeTrend::paper_fit(),
+            // audit:allow(panic): built-in datasets are valid.
+            roadmap: CostRoadmap::paper_default().expect("built-in datasets are valid"),
+            table3_rows: table3::rows(),
+            fig8_surface: CostSurface::compute(&fig8_params, FIG8_LAMBDA_RANGE, FIG8_N_TR_RANGE),
+            fig8_params,
+        }
+    })
+}
+
+/// Cache key for a computed surface tile. Axis endpoints are quantized
+/// (λ at 1 nλ, `N_tr` at a relative 2⁻³² grain) so two requests that
+/// differ only in float noise share an entry, while the step counts
+/// stay exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TileKey {
+    lambda_min_nm: u64,
+    lambda_max_nm: u64,
+    n_tr_min_q: u64,
+    n_tr_max_q: u64,
+    lambda_steps: usize,
+    n_tr_steps: usize,
+}
+
+impl TileKey {
+    fn new(lambda_range: (f64, f64, usize), n_tr_range: (f64, f64, usize)) -> Self {
+        // λ arrives in µm; 1e-3 µm = 1 nm grain. N_tr spans orders of
+        // magnitude, so quantize its log instead of its value.
+        let q_nm = |v: f64| (v * 1.0e3).round() as u64;
+        let q_log = |v: f64| (v.ln() * 1.0e6).round() as u64;
+        Self {
+            lambda_min_nm: q_nm(lambda_range.0),
+            lambda_max_nm: q_nm(lambda_range.1),
+            n_tr_min_q: q_log(n_tr_range.0),
+            n_tr_max_q: q_log(n_tr_range.1),
+            lambda_steps: lambda_range.2,
+            n_tr_steps: n_tr_range.2,
+        }
+    }
+}
+
+/// Most tiles a server keeps warm. The Fig 8 report tile is ~2700
+/// cells ≈ 100 KiB realized; 64 entries bound the cache near 6 MiB.
+const TILE_CACHE_CAPACITY: usize = 64;
+
+/// The query API's long-lived state: the shared artifacts plus a
+/// bounded surface-tile cache.
+#[derive(Debug)]
+pub struct EvalContext {
+    tiles: RwLock<HashMap<TileKey, Arc<CostSurface>>>,
+}
+
+impl Default for EvalContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalContext {
+    /// Creates an empty context (the shared artifacts are process-wide
+    /// and need no per-context setup).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            tiles: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The process-wide context, built on first use.
+    #[must_use]
+    pub fn process() -> &'static EvalContext {
+        static CONTEXT: OnceLock<EvalContext> = OnceLock::new();
+        CONTEXT.get_or_init(EvalContext::new)
+    }
+
+    /// A surface tile for the given ranges: cached when warm, computed
+    /// on the executor (and counted in [`struct@TILE_CELLS`]) when cold.
+    ///
+    /// The caller must have validated the ranges
+    /// (ascending-positive, ≥ 2 steps) — `CostSurface::compute` panics
+    /// on degenerate grids by contract.
+    pub(crate) fn surface_tile(
+        &self,
+        exec: &Executor,
+        params: &SurfaceParameters,
+        lambda_range: (f64, f64, usize),
+        n_tr_range: (f64, f64, usize),
+    ) -> Arc<CostSurface> {
+        let key = TileKey::new(lambda_range, n_tr_range);
+        if let Ok(cache) = self.tiles.read() {
+            if let Some(tile) = cache.get(&key) {
+                TILE_HITS.incr();
+                return Arc::clone(tile);
+            }
+        }
+        TILE_MISSES.incr();
+        TILE_CELLS.add((lambda_range.2 * n_tr_range.2) as u64);
+        let tile = Arc::new(CostSurface::compute_with(
+            exec,
+            params,
+            lambda_range,
+            n_tr_range,
+        ));
+        if let Ok(mut cache) = self.tiles.write() {
+            if cache.len() >= TILE_CACHE_CAPACITY {
+                // Bounded, not LRU: full flush is simple, deterministic
+                // in effect (the next query recomputes), and the
+                // capacity is far above any real request mix.
+                cache.clear();
+            }
+            cache.insert(key, Arc::clone(&tile));
+        }
+        tile
+    }
+
+    /// Number of cached tiles (for tests and diagnostics).
+    #[must_use]
+    pub fn cached_tiles(&self) -> usize {
+        self.tiles.read().map(|c| c.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_context_is_one_instance() {
+        let a: *const SharedContext = shared();
+        let b: *const SharedContext = shared();
+        assert_eq!(a, b, "two calls must return the same allocation");
+    }
+
+    #[test]
+    fn shared_artifacts_match_fresh_derivations() {
+        let ctx = shared();
+        assert_eq!(
+            ctx.feature_trend,
+            fit::fit_exponential(datasets::FEATURE_SIZE_BY_YEAR).unwrap()
+        );
+        assert_eq!(ctx.table3_rows, table3::rows());
+        assert_eq!(ctx.table3_rows.len(), 17, "Table 3 prints 17 rows");
+        assert_eq!(
+            ctx.fig8_surface,
+            CostSurface::compute(&ctx.fig8_params, FIG8_LAMBDA_RANGE, FIG8_N_TR_RANGE)
+        );
+    }
+
+    #[test]
+    fn tile_cache_hits_on_repeat() {
+        let ctx = EvalContext::new();
+        let exec = Executor::serial();
+        let params = SurfaceParameters::fig8();
+        let ranges = ((0.4, 1.2, 6), (1.0e5, 1.0e6, 5));
+        let first = ctx.surface_tile(&exec, &params, ranges.0, ranges.1);
+        let again = ctx.surface_tile(&exec, &params, ranges.0, ranges.1);
+        assert!(Arc::ptr_eq(&first, &again), "repeat must hit the cache");
+        assert_eq!(ctx.cached_tiles(), 1);
+    }
+
+    #[test]
+    fn tile_key_quantization_absorbs_float_noise() {
+        let a = TileKey::new((0.4, 1.5, 10), (2.0e4, 4.0e6, 8));
+        let b = TileKey::new((0.4 + 1e-9, 1.5 - 1e-9, 10), (2.0e4, 4.0e6, 8));
+        assert_eq!(a, b);
+        let c = TileKey::new((0.4, 1.5, 11), (2.0e4, 4.0e6, 8));
+        assert_ne!(a, c, "step counts stay exact");
+    }
+}

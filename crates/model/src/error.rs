@@ -1,0 +1,174 @@
+//! The unified error type of the query API.
+//!
+//! Before this crate each layer had its own failure vocabulary —
+//! [`maly_units::UnitError`] for validation, `CostError` for model
+//! evaluation, ad-hoc `String`s in the CLI — and every caller stitched
+//! them together differently. The query API consolidates them behind
+//! one [`Error`] with `From` impls, so a query evaluates to a single
+//! `Result<QueryResponse, Error>` no matter which subsystem failed, and
+//! the wire protocol maps each variant to a stable `kind` tag.
+
+use maly_cost_model::CostError;
+use maly_units::UnitError;
+
+/// Any failure the query API can produce, from parsing a request to
+/// evaluating the model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Input validation failed in the units layer.
+    Unit(UnitError),
+    /// Model evaluation failed (die too large, yield collapsed, …).
+    Cost(CostError),
+    /// The request was not valid JSON.
+    Parse {
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// The request's `type` tag names no known query.
+    UnknownQueryType {
+        /// The offending tag.
+        found: String,
+    },
+    /// A required request field is absent.
+    MissingField {
+        /// The field name.
+        field: &'static str,
+    },
+    /// A request field is present but unusable.
+    InvalidField {
+        /// The field name.
+        field: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A Table 3 row id outside 1..=17.
+    UnknownTableRow {
+        /// The requested id.
+        id: u8,
+    },
+    /// A request line exceeded the server's size bound.
+    PayloadTooLarge {
+        /// The configured bound in bytes.
+        limit: usize,
+    },
+    /// The server's accept queue was full; retry later.
+    Overloaded,
+    /// A transport-level failure (socket read/write).
+    Io(String),
+}
+
+impl Error {
+    /// The stable machine-readable tag the wire protocol carries for
+    /// this variant.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Unit(_) => "unit",
+            Error::Cost(_) => "cost",
+            Error::Parse { .. } => "parse",
+            Error::UnknownQueryType { .. } => "unknown-query-type",
+            Error::MissingField { .. } => "missing-field",
+            Error::InvalidField { .. } => "invalid-field",
+            Error::UnknownTableRow { .. } => "unknown-table-row",
+            Error::PayloadTooLarge { .. } => "payload-too-large",
+            Error::Overloaded => "overloaded",
+            Error::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Unit(e) => write!(f, "{e}"),
+            Error::Cost(e) => write!(f, "{e}"),
+            Error::Parse { message } => write!(f, "invalid JSON: {message}"),
+            Error::UnknownQueryType { found } => {
+                write!(f, "unknown query type `{found}`")
+            }
+            Error::MissingField { field } => write!(f, "missing field `{field}`"),
+            Error::InvalidField { field, message } => {
+                write!(f, "invalid field `{field}`: {message}")
+            }
+            Error::UnknownTableRow { id } => {
+                write!(f, "Table 3 has rows 1..=17; no row {id}")
+            }
+            Error::PayloadTooLarge { limit } => {
+                write!(f, "request line exceeds {limit} bytes")
+            }
+            Error::Overloaded => write!(f, "server overloaded; retry later"),
+            Error::Io(message) => write!(f, "transport error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<UnitError> for Error {
+    fn from(e: UnitError) -> Self {
+        Error::Unit(e)
+    }
+}
+
+impl From<CostError> for Error {
+    fn from(e: CostError) -> Self {
+        // A model error that is really an input-validation error keeps
+        // its unit identity, so the wire `kind` distinguishes "you sent
+        // a bad number" from "the physics said no".
+        match e {
+            CostError::InvalidInput(unit) => Error::Unit(unit),
+            other => Error::Cost(other),
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let variants: Vec<Error> = vec![
+            Error::Parse {
+                message: "x".into(),
+            },
+            Error::UnknownQueryType { found: "x".into() },
+            Error::MissingField { field: "f" },
+            Error::InvalidField {
+                field: "f",
+                message: "m".into(),
+            },
+            Error::UnknownTableRow { id: 99 },
+            Error::PayloadTooLarge { limit: 1 },
+            Error::Overloaded,
+            Error::Io("broken pipe".into()),
+        ];
+        let kinds: Vec<&str> = variants.iter().map(Error::kind).collect();
+        let mut unique = kinds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), kinds.len());
+    }
+
+    #[test]
+    fn cost_invalid_input_folds_to_unit() {
+        let unit = UnitError::NotFinite { quantity: "x" };
+        let e: Error = CostError::InvalidInput(unit.clone()).into();
+        assert_eq!(e, Error::Unit(unit));
+        assert_eq!(e.kind(), "unit");
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = Error::UnknownTableRow { id: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = Error::MissingField { field: "lambda" };
+        assert!(e.to_string().contains("lambda"));
+    }
+}

@@ -1,0 +1,1275 @@
+//! The unified query API: every question the workspace can answer,
+//! as one typed request/response pair.
+//!
+//! Historically each consumer wired itself to the model crates
+//! directly: the CLI built `ProductScenario`s by hand, the repro
+//! harness owned the Fig 8 surface, benchmarks re-derived Table 3.
+//! [`Query`] is the single sanctioned entry point: a typed request
+//! that evaluates against the shared [`crate::context`] artifacts,
+//! batches onto the deterministic `maly-par` executor, and serializes
+//! to/from the line-delimited JSON wire format the serve crate speaks.
+//!
+//! Determinism contract: [`Query::evaluate_with`] produces
+//! bit-identical results at every executor width, because every
+//! parallel path underneath (surface grids, optimal-λ scans, MC
+//! replications) is index-ordered. The serve loopback tests compare
+//! served bytes against direct in-process evaluation.
+
+use std::sync::Arc;
+
+use maly_cost_model::product::ProductScenario;
+use maly_cost_model::scenario::{Scenario1, Scenario2};
+use maly_cost_model::surface::CostSurface;
+use maly_cost_optim::search::optimal_feature_size_with;
+use maly_fabline_sim::cost::{product_mix_study, FabEconomics};
+use maly_fabline_sim::mc::{self, McConfig};
+use maly_fabline_sim::process::ProcessFlow;
+use maly_par::Executor;
+use maly_units::{Centimeters, DesignDensity, Dollars, Microns, Probability, TransistorCount};
+
+use crate::context::{self, EvalContext};
+use crate::error::Error;
+use crate::json::Json;
+
+/// Most grid steps a single sweep/scan may request — a service bound,
+/// far above anything the paper's figures need (Fig 6/7 use ≤ 481).
+pub const MAX_SWEEP_STEPS: usize = 100_000;
+/// Most steps per surface-tile axis (the Fig 8 report tile is 56×48).
+pub const MAX_TILE_STEPS: usize = 512;
+/// Most Monte Carlo replications per query.
+pub const MAX_REPLICATIONS: usize = 100_000;
+
+/// The full input vector of an eq. (1) product evaluation — Table 3's
+/// columns as a value type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductSpec {
+    /// Product label (echoed back; defaults to `"query"`).
+    pub name: String,
+    /// Transistor count `N_tr`.
+    pub transistors: f64,
+    /// Feature size λ in µm.
+    pub lambda_um: f64,
+    /// Design density `d_d` in λ²/transistor.
+    pub density: f64,
+    /// Wafer radius in cm.
+    pub radius_cm: f64,
+    /// Reference yield `Y₀` for a 1 cm² die.
+    pub yield0: f64,
+    /// Reference wafer cost `C₀` in dollars.
+    pub c0: f64,
+    /// Cost escalation factor `X`.
+    pub x: f64,
+}
+
+impl ProductSpec {
+    /// Builds the executable scenario, validating every field through
+    /// the maly-units newtypes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure.
+    pub fn scenario(&self) -> Result<ProductScenario, Error> {
+        Ok(ProductScenario::builder(self.name.clone())
+            .transistors(TransistorCount::new(self.transistors)?)
+            .feature_size(Microns::new(self.lambda_um)?)
+            .design_density(DesignDensity::new(self.density)?)
+            .wafer_radius(Centimeters::new(self.radius_cm)?)
+            .reference_yield(Probability::new(self.yield0)?)
+            .reference_wafer_cost(Dollars::new(self.c0)?)
+            .cost_escalation(self.x)?
+            .build()?)
+    }
+
+    fn to_pairs(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("name", Json::Str(self.name.clone())),
+            ("transistors", Json::Num(self.transistors)),
+            ("lambda_um", Json::Num(self.lambda_um)),
+            ("density", Json::Num(self.density)),
+            ("radius_cm", Json::Num(self.radius_cm)),
+            ("yield0", Json::Num(self.yield0)),
+            ("c0", Json::Num(self.c0)),
+            ("x", Json::Num(self.x)),
+        ]
+    }
+
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        Ok(Self {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("query")
+                .to_string(),
+            transistors: f64_field(v, "transistors")?,
+            lambda_um: f64_field(v, "lambda_um")?,
+            density: f64_field(v, "density")?,
+            radius_cm: f64_field_or(v, "radius_cm", 7.5)?,
+            yield0: f64_field(v, "yield0")?,
+            c0: f64_field(v, "c0")?,
+            x: f64_field(v, "x")?,
+        })
+    }
+}
+
+/// A typed query — the union of everything the service answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// One eq. (1) product evaluation (a Table 3-style row).
+    Product(ProductSpec),
+    /// One printed Table 3 row by id (1-based, as printed).
+    Table3Row {
+        /// Row id in 1..=17.
+        id: u8,
+    },
+    /// All 17 printed Table 3 rows, paper cost vs model cost.
+    Table3,
+    /// Scenario #1 (eq. 8) λ sweep at escalation `X` — Fig 6.
+    Scenario1Sweep {
+        /// Escalation factor `X`.
+        x: f64,
+        /// Sweep window start (µm).
+        lambda_min: f64,
+        /// Sweep window end (µm).
+        lambda_max: f64,
+        /// Points, ≥ 2.
+        steps: usize,
+    },
+    /// Scenario #2 (eq. 9) λ sweep at escalation `X` — Fig 7.
+    Scenario2Sweep {
+        /// Escalation factor `X`.
+        x: f64,
+        /// Sweep window start (µm).
+        lambda_min: f64,
+        /// Sweep window end (µm).
+        lambda_max: f64,
+        /// Points, ≥ 2.
+        steps: usize,
+    },
+    /// A Fig 8 cost-surface tile on the paper's fab calibration,
+    /// answered from the warm tile cache when possible.
+    SurfaceTile {
+        /// λ window start (µm).
+        lambda_min: f64,
+        /// λ window end (µm).
+        lambda_max: f64,
+        /// λ axis steps, 2..=[`MAX_TILE_STEPS`].
+        lambda_steps: usize,
+        /// `N_tr` window start.
+        n_tr_min: f64,
+        /// `N_tr` window end.
+        n_tr_max: f64,
+        /// `N_tr` axis steps, 2..=[`MAX_TILE_STEPS`].
+        n_tr_steps: usize,
+    },
+    /// The cost-minimizing feature size for a product over a λ window.
+    OptimalLambda {
+        /// The product under study.
+        spec: ProductSpec,
+        /// Window start (µm).
+        lambda_min: f64,
+        /// Window end (µm).
+        lambda_max: f64,
+        /// Candidate nodes, ≥ 2.
+        steps: usize,
+    },
+    /// A Monte Carlo wafer-cost study over a jittered product mix.
+    McYield {
+        /// Number of concurrent products in the fab.
+        products: usize,
+        /// Wafer starts per product per year.
+        volume_each: f64,
+        /// Replications, 1..=[`MAX_REPLICATIONS`].
+        replications: usize,
+        /// Relative volume jitter in `[0, 1)`.
+        jitter: f64,
+        /// Base PRNG seed (deterministic per replication index).
+        seed: u64,
+    },
+    /// The two-scenario calendar roadmap (Figs 6+7 over time).
+    Roadmap {
+        /// First calendar year.
+        from: u32,
+        /// Last calendar year.
+        to: u32,
+    },
+    /// Mono- vs multi-product fab economics (Sec. III).
+    ProductMix {
+        /// Number of concurrent products.
+        products: usize,
+        /// Wafer starts per product per year in the multi-product fab.
+        volume_each: f64,
+        /// Wafer starts per year in the mono-product reference fab.
+        mono_volume: f64,
+    },
+}
+
+/// A typed response, mirroring [`Query`]'s variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// Eq. (1) breakdown of one product.
+    Product(ProductReport),
+    /// Paper-vs-model rows.
+    Table3(Vec<Table3Report>),
+    /// `(λ, C_tr)` series from a scenario sweep.
+    Sweep(Vec<SweepPoint>),
+    /// A cost-surface tile.
+    Surface(SurfaceReport),
+    /// The optimum, or `None` when no node in the window is feasible.
+    OptimalLambda(Option<OptimalReport>),
+    /// Monte Carlo summary.
+    Mc(McSummary),
+    /// Calendar projection rows.
+    Roadmap(Vec<RoadmapRow>),
+    /// Product-mix penalty report.
+    ProductMix(MixReport),
+}
+
+/// Eq. (1) outputs for one product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductReport {
+    /// Echoed product label.
+    pub name: String,
+    /// Realized die area (cm²).
+    pub die_area_cm2: f64,
+    /// Wafer cost `C_w` ($).
+    pub wafer_cost: f64,
+    /// Dies per wafer `N_ch`.
+    pub dies_per_wafer: u32,
+    /// Die yield `Y` in `[0, 1]`.
+    pub die_yield: f64,
+    /// Expected good dies per wafer.
+    pub good_dies_per_wafer: f64,
+    /// Cost per good die ($).
+    pub cost_per_good_die: f64,
+    /// Cost per transistor (µ$) — the paper's Table 3 unit.
+    pub cost_per_transistor_micro: f64,
+}
+
+/// One Table 3 comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Report {
+    /// Row id as printed.
+    pub id: u8,
+    /// IC type.
+    pub name: String,
+    /// The printed cost (µ$).
+    pub paper_micro_dollars: f64,
+    /// The model's cost (µ$).
+    pub model_micro_dollars: f64,
+}
+
+/// One sweep sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Feature size (µm).
+    pub lambda_um: f64,
+    /// Cost per transistor ($).
+    pub cost_per_transistor: f64,
+}
+
+/// A surface tile plus its derived optima.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurfaceReport {
+    /// The λ axis (µm).
+    pub lambda_axis: Vec<f64>,
+    /// The `N_tr` axis.
+    pub n_tr_axis: Vec<f64>,
+    /// `values[i][j]` = `C_tr` at `(lambda_axis[i], n_tr_axis[j])`,
+    /// `None` where infeasible.
+    pub values: Vec<Vec<Option<f64>>>,
+    /// `λ^opt(N_tr)` per column: `(λ, cost)` or `None`.
+    pub optimal_lambda_per_n_tr: Vec<Option<(f64, f64)>>,
+    /// Global `(λ, N_tr, cost)` minimum, if any cell evaluated.
+    pub global_minimum: Option<(f64, f64, f64)>,
+}
+
+/// An optimal-λ search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalReport {
+    /// The cost-minimizing feature size (µm).
+    pub lambda_um: f64,
+    /// The cost per transistor there ($).
+    pub cost_per_transistor: f64,
+}
+
+/// Monte Carlo wafer-cost summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McSummary {
+    /// Replications run.
+    pub replications: usize,
+    /// Mean wafer cost ($).
+    pub mean_wafer_cost: f64,
+    /// Cheapest replication ($).
+    pub min_wafer_cost: f64,
+    /// Most expensive replication ($).
+    pub max_wafer_cost: f64,
+    /// Mean tool utilization in `[0, 1]`.
+    pub mean_utilization: f64,
+    /// `max / min` wafer cost.
+    pub cost_spread: f64,
+}
+
+/// One roadmap calendar row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadmapRow {
+    /// Calendar year.
+    pub year: f64,
+    /// Projected feature size (µm).
+    pub lambda_um: f64,
+    /// Scenario #1 cost (µ$/transistor).
+    pub optimistic_micro: f64,
+    /// Scenario #2 cost (µ$/transistor).
+    pub realistic_micro: f64,
+}
+
+/// Mono- vs multi-product fab comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixReport {
+    /// Mono-product wafer cost ($).
+    pub mono_cost: f64,
+    /// Multi-product wafer cost ($).
+    pub multi_cost: f64,
+    /// `multi / mono` — the paper quotes "as high as 7".
+    pub cost_ratio: f64,
+    /// Mono-fab productive utilization.
+    pub mono_utilization: f64,
+    /// Multi-fab productive utilization.
+    pub multi_utilization: f64,
+}
+
+// ---------------------------------------------------------------------
+// Field extraction helpers
+// ---------------------------------------------------------------------
+
+fn f64_field(v: &Json, field: &'static str) -> Result<f64, Error> {
+    v.get(field)
+        .ok_or(Error::MissingField { field })?
+        .as_f64()
+        .ok_or(Error::InvalidField {
+            field,
+            message: "expected a number".to_string(),
+        })
+}
+
+fn f64_field_or(v: &Json, field: &'static str, default: f64) -> Result<f64, Error> {
+    match v.get(field) {
+        None => Ok(default),
+        Some(j) => j.as_f64().ok_or(Error::InvalidField {
+            field,
+            message: "expected a number".to_string(),
+        }),
+    }
+}
+
+fn usize_field(v: &Json, field: &'static str) -> Result<usize, Error> {
+    let raw = f64_field(v, field)?;
+    if raw.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&raw) {
+        return Err(Error::InvalidField {
+            field,
+            message: format!("expected a non-negative integer, got {raw}"),
+        });
+    }
+    Ok(raw as usize)
+}
+
+fn usize_field_or(v: &Json, field: &'static str, default: usize) -> Result<usize, Error> {
+    match v.get(field) {
+        None => Ok(default),
+        Some(_) => usize_field(v, field),
+    }
+}
+
+fn check_window(
+    lambda_min: f64,
+    lambda_max: f64,
+    steps: usize,
+    max_steps: usize,
+) -> Result<(), Error> {
+    if !(lambda_min.is_finite() && lambda_max.is_finite() && 0.0 < lambda_min)
+        || lambda_min >= lambda_max
+    {
+        return Err(Error::InvalidField {
+            field: "lambda_min",
+            message: format!("window {lambda_min}..{lambda_max} must be ascending-positive"),
+        });
+    }
+    if !(2..=max_steps).contains(&steps) {
+        return Err(Error::InvalidField {
+            field: "steps",
+            message: format!("steps {steps} outside 2..={max_steps}"),
+        });
+    }
+    Ok(())
+}
+
+impl Query {
+    /// Parses a query from its JSON object form (the wire format's
+    /// `query` field).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownQueryType`], [`Error::MissingField`] or
+    /// [`Error::InvalidField`] describing the first problem found.
+    pub fn from_json(v: &Json) -> Result<Self, Error> {
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or(Error::MissingField { field: "type" })?;
+        match kind {
+            "product" => Ok(Query::Product(ProductSpec::from_json(v)?)),
+            "table3_row" => {
+                let id = usize_field(v, "id")?;
+                let id = u8::try_from(id).map_err(|_| Error::UnknownTableRow { id: u8::MAX })?;
+                Ok(Query::Table3Row { id })
+            }
+            "table3" => Ok(Query::Table3),
+            "scenario1_sweep" | "scenario2_sweep" => {
+                let x = f64_field(v, "x")?;
+                let lambda_min = f64_field_or(v, "lambda_min", 0.2)?;
+                let lambda_max = f64_field_or(v, "lambda_max", 1.2)?;
+                let steps = usize_field_or(v, "steps", 41)?;
+                if kind == "scenario1_sweep" {
+                    Ok(Query::Scenario1Sweep {
+                        x,
+                        lambda_min,
+                        lambda_max,
+                        steps,
+                    })
+                } else {
+                    Ok(Query::Scenario2Sweep {
+                        x,
+                        lambda_min,
+                        lambda_max,
+                        steps,
+                    })
+                }
+            }
+            "surface_tile" => Ok(Query::SurfaceTile {
+                lambda_min: f64_field(v, "lambda_min")?,
+                lambda_max: f64_field(v, "lambda_max")?,
+                lambda_steps: usize_field(v, "lambda_steps")?,
+                n_tr_min: f64_field(v, "n_tr_min")?,
+                n_tr_max: f64_field(v, "n_tr_max")?,
+                n_tr_steps: usize_field(v, "n_tr_steps")?,
+            }),
+            "optimal_lambda" => Ok(Query::OptimalLambda {
+                spec: ProductSpec::from_json(v)?,
+                lambda_min: f64_field_or(v, "lambda_min", 0.3)?,
+                lambda_max: f64_field_or(v, "lambda_max", 1.2)?,
+                steps: usize_field_or(v, "steps", 481)?,
+            }),
+            "mc_yield" => Ok(Query::McYield {
+                products: usize_field_or(v, "products", 4)?,
+                volume_each: f64_field_or(v, "volume_each", 5_000.0)?,
+                replications: usize_field_or(v, "replications", 200)?,
+                jitter: f64_field_or(v, "jitter", 0.3)?,
+                seed: {
+                    let raw = f64_field_or(v, "seed", 0.0)?;
+                    if raw.fract() != 0.0 || raw < 0.0 {
+                        return Err(Error::InvalidField {
+                            field: "seed",
+                            message: format!("expected a non-negative integer, got {raw}"),
+                        });
+                    }
+                    raw as u64
+                },
+            }),
+            "roadmap" => Ok(Query::Roadmap {
+                from: usize_field_or(v, "from", 1986)? as u32,
+                to: usize_field_or(v, "to", 2002)? as u32,
+            }),
+            "product_mix" => Ok(Query::ProductMix {
+                products: usize_field_or(v, "products", 8)?,
+                volume_each: f64_field_or(v, "volume_each", 1_000.0)?,
+                mono_volume: f64_field_or(v, "mono_volume", 100_000.0)?,
+            }),
+            other => Err(Error::UnknownQueryType {
+                found: other.to_string(),
+            }),
+        }
+    }
+
+    /// The JSON object form of this query (inverse of
+    /// [`Query::from_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let tag = |t: &str| ("type", Json::Str(t.to_string()));
+        match self {
+            Query::Product(spec) => {
+                let mut pairs = vec![tag("product")];
+                pairs.extend(spec.to_pairs());
+                Json::obj(pairs)
+            }
+            Query::Table3Row { id } => {
+                Json::obj(vec![tag("table3_row"), ("id", Json::Num(f64::from(*id)))])
+            }
+            Query::Table3 => Json::obj(vec![tag("table3")]),
+            Query::Scenario1Sweep {
+                x,
+                lambda_min,
+                lambda_max,
+                steps,
+            } => Json::obj(vec![
+                tag("scenario1_sweep"),
+                ("x", Json::Num(*x)),
+                ("lambda_min", Json::Num(*lambda_min)),
+                ("lambda_max", Json::Num(*lambda_max)),
+                ("steps", Json::Num(*steps as f64)),
+            ]),
+            Query::Scenario2Sweep {
+                x,
+                lambda_min,
+                lambda_max,
+                steps,
+            } => Json::obj(vec![
+                tag("scenario2_sweep"),
+                ("x", Json::Num(*x)),
+                ("lambda_min", Json::Num(*lambda_min)),
+                ("lambda_max", Json::Num(*lambda_max)),
+                ("steps", Json::Num(*steps as f64)),
+            ]),
+            Query::SurfaceTile {
+                lambda_min,
+                lambda_max,
+                lambda_steps,
+                n_tr_min,
+                n_tr_max,
+                n_tr_steps,
+            } => Json::obj(vec![
+                tag("surface_tile"),
+                ("lambda_min", Json::Num(*lambda_min)),
+                ("lambda_max", Json::Num(*lambda_max)),
+                ("lambda_steps", Json::Num(*lambda_steps as f64)),
+                ("n_tr_min", Json::Num(*n_tr_min)),
+                ("n_tr_max", Json::Num(*n_tr_max)),
+                ("n_tr_steps", Json::Num(*n_tr_steps as f64)),
+            ]),
+            Query::OptimalLambda {
+                spec,
+                lambda_min,
+                lambda_max,
+                steps,
+            } => {
+                let mut pairs = vec![tag("optimal_lambda")];
+                pairs.extend(spec.to_pairs());
+                pairs.push(("lambda_min", Json::Num(*lambda_min)));
+                pairs.push(("lambda_max", Json::Num(*lambda_max)));
+                pairs.push(("steps", Json::Num(*steps as f64)));
+                Json::obj(pairs)
+            }
+            Query::McYield {
+                products,
+                volume_each,
+                replications,
+                jitter,
+                seed,
+            } => Json::obj(vec![
+                tag("mc_yield"),
+                ("products", Json::Num(*products as f64)),
+                ("volume_each", Json::Num(*volume_each)),
+                ("replications", Json::Num(*replications as f64)),
+                ("jitter", Json::Num(*jitter)),
+                ("seed", Json::Num(*seed as f64)),
+            ]),
+            Query::Roadmap { from, to } => Json::obj(vec![
+                tag("roadmap"),
+                ("from", Json::Num(f64::from(*from))),
+                ("to", Json::Num(f64::from(*to))),
+            ]),
+            Query::ProductMix {
+                products,
+                volume_each,
+                mono_volume,
+            } => Json::obj(vec![
+                tag("product_mix"),
+                ("products", Json::Num(*products as f64)),
+                ("volume_each", Json::Num(*volume_each)),
+                ("mono_volume", Json::Num(*mono_volume)),
+            ]),
+        }
+    }
+
+    /// Evaluates against the process-wide context on the ambient
+    /// executor (`MALY_PAR_THREADS`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unified [`Error`] for validation and model failures.
+    pub fn evaluate(&self) -> Result<QueryResponse, Error> {
+        self.evaluate_with(&Executor::from_env(), EvalContext::process())
+    }
+
+    /// Evaluates on an explicit executor and context. Results are
+    /// bit-identical at every executor width.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unified [`Error`] for validation and model failures.
+    pub fn evaluate_with(
+        &self,
+        exec: &Executor,
+        ctx: &EvalContext,
+    ) -> Result<QueryResponse, Error> {
+        let _span = maly_obs::span("model.query");
+        context::QUERIES.incr();
+        match self {
+            Query::Product(spec) => {
+                let scenario = spec.scenario()?;
+                let b = scenario.evaluate()?;
+                Ok(QueryResponse::Product(ProductReport {
+                    name: spec.name.clone(),
+                    die_area_cm2: scenario.die_area().value(),
+                    wafer_cost: b.wafer_cost.value(),
+                    dies_per_wafer: b.dies_per_wafer.value(),
+                    die_yield: b.die_yield.value(),
+                    good_dies_per_wafer: b.good_dies_per_wafer,
+                    cost_per_good_die: b.cost_per_good_die.value(),
+                    cost_per_transistor_micro: b.cost_per_transistor.to_micro_dollars().value(),
+                }))
+            }
+            Query::Table3Row { id } => {
+                let rows = &context::shared().table3_rows;
+                let row = rows
+                    .iter()
+                    .find(|r| r.id == *id)
+                    .ok_or(Error::UnknownTableRow { id: *id })?;
+                Ok(QueryResponse::Table3(vec![table3_report(row)?]))
+            }
+            Query::Table3 => {
+                let rows = &context::shared().table3_rows;
+                // Rows are independent eq. (1) evaluations; batch them
+                // across the executor in printed order.
+                let reports = exec.map_indexed(rows.len(), |i| table3_report(&rows[i]));
+                Ok(QueryResponse::Table3(
+                    reports.into_iter().collect::<Result<Vec<_>, _>>()?,
+                ))
+            }
+            Query::Scenario1Sweep {
+                x,
+                lambda_min,
+                lambda_max,
+                steps,
+            } => {
+                check_window(*lambda_min, *lambda_max, *steps, MAX_SWEEP_STEPS)?;
+                let s1 = Scenario1::fig6(*x)?;
+                let series = s1.sweep(
+                    Microns::new(*lambda_min)?,
+                    Microns::new(*lambda_max)?,
+                    *steps,
+                )?;
+                Ok(QueryResponse::Sweep(sweep_points(series)))
+            }
+            Query::Scenario2Sweep {
+                x,
+                lambda_min,
+                lambda_max,
+                steps,
+            } => {
+                check_window(*lambda_min, *lambda_max, *steps, MAX_SWEEP_STEPS)?;
+                let s2 = Scenario2::fig7(*x)?;
+                let series = s2.sweep(
+                    Microns::new(*lambda_min)?,
+                    Microns::new(*lambda_max)?,
+                    *steps,
+                )?;
+                Ok(QueryResponse::Sweep(sweep_points(series)))
+            }
+            Query::SurfaceTile {
+                lambda_min,
+                lambda_max,
+                lambda_steps,
+                n_tr_min,
+                n_tr_max,
+                n_tr_steps,
+            } => {
+                check_window(*lambda_min, *lambda_max, *lambda_steps, MAX_TILE_STEPS)?;
+                if !(n_tr_min.is_finite() && n_tr_max.is_finite() && 0.0 < *n_tr_min)
+                    || n_tr_min >= n_tr_max
+                {
+                    return Err(Error::InvalidField {
+                        field: "n_tr_min",
+                        message: format!(
+                            "window {n_tr_min}..{n_tr_max} must be ascending-positive"
+                        ),
+                    });
+                }
+                if !(2..=MAX_TILE_STEPS).contains(n_tr_steps) {
+                    return Err(Error::InvalidField {
+                        field: "n_tr_steps",
+                        message: format!("steps {n_tr_steps} outside 2..={MAX_TILE_STEPS}"),
+                    });
+                }
+                let tile = ctx.surface_tile(
+                    exec,
+                    &context::shared().fig8_params,
+                    (*lambda_min, *lambda_max, *lambda_steps),
+                    (*n_tr_min, *n_tr_max, *n_tr_steps),
+                );
+                Ok(QueryResponse::Surface(surface_report(&tile, exec)))
+            }
+            Query::OptimalLambda {
+                spec,
+                lambda_min,
+                lambda_max,
+                steps,
+            } => {
+                check_window(*lambda_min, *lambda_max, *steps, MAX_SWEEP_STEPS)?;
+                let scenario = spec.scenario()?;
+                let best =
+                    optimal_feature_size_with(exec, &scenario, *lambda_min, *lambda_max, *steps)?;
+                Ok(QueryResponse::OptimalLambda(best.map(|(lambda, cost)| {
+                    OptimalReport {
+                        lambda_um: lambda.value(),
+                        cost_per_transistor: cost,
+                    }
+                })))
+            }
+            Query::McYield {
+                products,
+                volume_each,
+                replications,
+                jitter,
+                seed,
+            } => {
+                if *products == 0 {
+                    return Err(Error::InvalidField {
+                        field: "products",
+                        message: "need at least one product".to_string(),
+                    });
+                }
+                if !(*volume_each > 0.0 && volume_each.is_finite()) {
+                    return Err(Error::InvalidField {
+                        field: "volume_each",
+                        message: format!("volume {volume_each} must be positive"),
+                    });
+                }
+                if !(1..=MAX_REPLICATIONS).contains(replications) {
+                    return Err(Error::InvalidField {
+                        field: "replications",
+                        message: format!(
+                            "replications {replications} outside 1..={MAX_REPLICATIONS}"
+                        ),
+                    });
+                }
+                let demand: Vec<(ProcessFlow, f64)> = (0..*products)
+                    .map(|i| {
+                        // Spread products over nearby nodes, as the
+                        // product_mix study does.
+                        let lambda = 0.8 + 0.05 * (i % 4) as f64;
+                        (
+                            ProcessFlow::for_generation(format!("mc-{i}"), lambda),
+                            *volume_each,
+                        )
+                    })
+                    .collect();
+                let config = McConfig {
+                    replications: *replications,
+                    volume_jitter: *jitter,
+                    base_seed: *seed,
+                };
+                let report = mc::run_with(exec, &FabEconomics::default(), &demand, &config)
+                    .map_err(Error::Unit)?;
+                Ok(QueryResponse::Mc(McSummary {
+                    replications: report.samples.len(),
+                    mean_wafer_cost: report.mean_wafer_cost.value(),
+                    min_wafer_cost: report.min_wafer_cost.value(),
+                    max_wafer_cost: report.max_wafer_cost.value(),
+                    mean_utilization: report.mean_utilization,
+                    cost_spread: report.cost_spread(),
+                }))
+            }
+            Query::Roadmap { from, to } => {
+                if from >= to {
+                    return Err(Error::InvalidField {
+                        field: "from",
+                        message: format!("year range {from}..{to} must be ascending"),
+                    });
+                }
+                let roadmap = &context::shared().roadmap;
+                let points = roadmap.project(*from, *to)?;
+                Ok(QueryResponse::Roadmap(
+                    points
+                        .iter()
+                        .map(|p| RoadmapRow {
+                            year: p.year,
+                            lambda_um: p.lambda.value(),
+                            optimistic_micro: p.optimistic.to_micro_dollars().value(),
+                            realistic_micro: p.realistic.to_micro_dollars().value(),
+                        })
+                        .collect(),
+                ))
+            }
+            Query::ProductMix {
+                products,
+                volume_each,
+                mono_volume,
+            } => {
+                if *products == 0 || !(*volume_each > 0.0) || !(*mono_volume > 0.0) {
+                    return Err(Error::InvalidField {
+                        field: "products",
+                        message: "need positive products and volumes".to_string(),
+                    });
+                }
+                let study = product_mix_study(*products, *volume_each, *mono_volume);
+                Ok(QueryResponse::ProductMix(MixReport {
+                    mono_cost: study.mono_cost.value(),
+                    multi_cost: study.multi_cost.value(),
+                    cost_ratio: study.cost_ratio,
+                    mono_utilization: study.mono_utilization,
+                    multi_utilization: study.multi_utilization,
+                }))
+            }
+        }
+    }
+
+    /// Evaluates a batch of queries across the executor, preserving
+    /// input order. Each element fails independently.
+    #[must_use]
+    pub fn evaluate_batch(
+        exec: &Executor,
+        ctx: &EvalContext,
+        queries: &[Query],
+    ) -> Vec<Result<QueryResponse, Error>> {
+        // Each query may itself fan out (surface tiles, MC); batching
+        // happens at the query level, inner evaluation reuses the same
+        // executor. Index order keeps the batch deterministic.
+        exec.map_indexed(queries.len(), |i| queries[i].evaluate_with(exec, ctx))
+    }
+}
+
+fn table3_report(row: &maly_paper_data::table3::Table3Row) -> Result<Table3Report, Error> {
+    let measured = row
+        .scenario()?
+        .evaluate()?
+        .cost_per_transistor
+        .to_micro_dollars()
+        .value();
+    Ok(Table3Report {
+        id: row.id,
+        name: row.name.to_string(),
+        paper_micro_dollars: row.paper_cost_micro_dollars,
+        model_micro_dollars: measured,
+    })
+}
+
+fn sweep_points(series: Vec<(f64, Dollars)>) -> Vec<SweepPoint> {
+    series
+        .into_iter()
+        .map(|(lambda_um, cost)| SweepPoint {
+            lambda_um,
+            cost_per_transistor: cost.value(),
+        })
+        .collect()
+}
+
+fn surface_report(tile: &Arc<CostSurface>, exec: &Executor) -> SurfaceReport {
+    SurfaceReport {
+        lambda_axis: tile.lambda_axis().to_vec(),
+        n_tr_axis: tile.n_tr_axis().to_vec(),
+        values: tile.values().to_vec(),
+        optimal_lambda_per_n_tr: tile.optimal_lambda_per_n_tr_with(exec),
+        global_minimum: tile.global_minimum(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response serialization
+// ---------------------------------------------------------------------
+
+impl QueryResponse {
+    /// The JSON object form of this response — the wire format's `ok`
+    /// payload. Serialization is deterministic: same response, same
+    /// bytes.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            QueryResponse::Product(r) => Json::obj(vec![
+                ("kind", Json::Str("product".to_string())),
+                ("name", Json::Str(r.name.clone())),
+                ("die_area_cm2", Json::Num(r.die_area_cm2)),
+                ("wafer_cost", Json::Num(r.wafer_cost)),
+                ("dies_per_wafer", Json::Num(f64::from(r.dies_per_wafer))),
+                ("die_yield", Json::Num(r.die_yield)),
+                ("good_dies_per_wafer", Json::Num(r.good_dies_per_wafer)),
+                ("cost_per_good_die", Json::Num(r.cost_per_good_die)),
+                (
+                    "cost_per_transistor_micro",
+                    Json::Num(r.cost_per_transistor_micro),
+                ),
+            ]),
+            QueryResponse::Table3(rows) => Json::obj(vec![
+                ("kind", Json::Str("table3".to_string())),
+                (
+                    "rows",
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("id", Json::Num(f64::from(r.id))),
+                                    ("name", Json::Str(r.name.clone())),
+                                    ("paper_micro_dollars", Json::Num(r.paper_micro_dollars)),
+                                    ("model_micro_dollars", Json::Num(r.model_micro_dollars)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            QueryResponse::Sweep(points) => Json::obj(vec![
+                ("kind", Json::Str("sweep".to_string())),
+                (
+                    "points",
+                    Json::Arr(
+                        points
+                            .iter()
+                            .map(|p| {
+                                Json::Arr(vec![
+                                    Json::Num(p.lambda_um),
+                                    Json::Num(p.cost_per_transistor),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            QueryResponse::Surface(s) => Json::obj(vec![
+                ("kind", Json::Str("surface".to_string())),
+                (
+                    "lambda_axis",
+                    Json::Arr(s.lambda_axis.iter().map(|&v| Json::Num(v)).collect()),
+                ),
+                (
+                    "n_tr_axis",
+                    Json::Arr(s.n_tr_axis.iter().map(|&v| Json::Num(v)).collect()),
+                ),
+                (
+                    "values",
+                    Json::Arr(
+                        s.values
+                            .iter()
+                            .map(|row| {
+                                Json::Arr(
+                                    row.iter()
+                                        .map(|cell| match cell {
+                                            Some(v) => Json::Num(*v),
+                                            None => Json::Null,
+                                        })
+                                        .collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "optimal_lambda_per_n_tr",
+                    Json::Arr(
+                        s.optimal_lambda_per_n_tr
+                            .iter()
+                            .map(|col| match col {
+                                Some((l, c)) => Json::Arr(vec![Json::Num(*l), Json::Num(*c)]),
+                                None => Json::Null,
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "global_minimum",
+                    match s.global_minimum {
+                        Some((l, n, c)) => {
+                            Json::Arr(vec![Json::Num(l), Json::Num(n), Json::Num(c)])
+                        }
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+            QueryResponse::OptimalLambda(best) => Json::obj(vec![
+                ("kind", Json::Str("optimal_lambda".to_string())),
+                (
+                    "best",
+                    match best {
+                        Some(r) => Json::obj(vec![
+                            ("lambda_um", Json::Num(r.lambda_um)),
+                            ("cost_per_transistor", Json::Num(r.cost_per_transistor)),
+                        ]),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+            QueryResponse::Mc(m) => Json::obj(vec![
+                ("kind", Json::Str("mc".to_string())),
+                ("replications", Json::Num(m.replications as f64)),
+                ("mean_wafer_cost", Json::Num(m.mean_wafer_cost)),
+                ("min_wafer_cost", Json::Num(m.min_wafer_cost)),
+                ("max_wafer_cost", Json::Num(m.max_wafer_cost)),
+                ("mean_utilization", Json::Num(m.mean_utilization)),
+                ("cost_spread", Json::Num(m.cost_spread)),
+            ]),
+            QueryResponse::Roadmap(rows) => Json::obj(vec![
+                ("kind", Json::Str("roadmap".to_string())),
+                (
+                    "rows",
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("year", Json::Num(r.year)),
+                                    ("lambda_um", Json::Num(r.lambda_um)),
+                                    ("optimistic_micro", Json::Num(r.optimistic_micro)),
+                                    ("realistic_micro", Json::Num(r.realistic_micro)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            QueryResponse::ProductMix(m) => Json::obj(vec![
+                ("kind", Json::Str("product_mix".to_string())),
+                ("mono_cost", Json::Num(m.mono_cost)),
+                ("multi_cost", Json::Num(m.multi_cost)),
+                ("cost_ratio", Json::Num(m.cost_ratio)),
+                ("mono_utilization", Json::Num(m.mono_utilization)),
+                ("multi_utilization", Json::Num(m.multi_utilization)),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn row1_spec() -> ProductSpec {
+        ProductSpec {
+            name: "BiCMOS µP".to_string(),
+            transistors: 3.1e6,
+            lambda_um: 0.8,
+            density: 150.0,
+            radius_cm: 7.5,
+            yield0: 0.9,
+            c0: 700.0,
+            x: 1.4,
+        }
+    }
+
+    #[test]
+    fn product_query_reproduces_table3_row1() {
+        let resp = Query::Product(row1_spec()).evaluate().unwrap();
+        let QueryResponse::Product(report) = resp else {
+            panic!("wrong response kind");
+        };
+        assert_eq!(report.dies_per_wafer, 46);
+        assert!((report.cost_per_transistor_micro - 9.40).abs() < 0.05);
+    }
+
+    #[test]
+    fn queries_round_trip_through_json() {
+        let queries = vec![
+            Query::Product(row1_spec()),
+            Query::Table3Row { id: 13 },
+            Query::Table3,
+            Query::Scenario1Sweep {
+                x: 1.4,
+                lambda_min: 0.3,
+                lambda_max: 1.2,
+                steps: 11,
+            },
+            Query::Scenario2Sweep {
+                x: 2.4,
+                lambda_min: 0.3,
+                lambda_max: 1.2,
+                steps: 11,
+            },
+            Query::SurfaceTile {
+                lambda_min: 0.4,
+                lambda_max: 1.5,
+                lambda_steps: 8,
+                n_tr_min: 2.0e4,
+                n_tr_max: 4.0e6,
+                n_tr_steps: 6,
+            },
+            Query::OptimalLambda {
+                spec: row1_spec(),
+                lambda_min: 0.3,
+                lambda_max: 1.2,
+                steps: 21,
+            },
+            Query::McYield {
+                products: 2,
+                volume_each: 1_000.0,
+                replications: 10,
+                jitter: 0.3,
+                seed: 7,
+            },
+            Query::Roadmap {
+                from: 1990,
+                to: 1994,
+            },
+            Query::ProductMix {
+                products: 4,
+                volume_each: 1_000.0,
+                mono_volume: 50_000.0,
+            },
+        ];
+        for q in queries {
+            let text = q.to_json().write();
+            let back = Query::from_json(&json::parse(&text).unwrap()).unwrap();
+            assert_eq!(q, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn unknown_type_and_missing_fields_are_typed_errors() {
+        let bad = json::parse("{\"type\":\"nonsense\"}").unwrap();
+        assert!(matches!(
+            Query::from_json(&bad),
+            Err(Error::UnknownQueryType { .. })
+        ));
+        let missing = json::parse("{\"type\":\"product\"}").unwrap();
+        assert!(matches!(
+            Query::from_json(&missing),
+            Err(Error::MissingField { .. })
+        ));
+        let no_type = json::parse("{}").unwrap();
+        assert!(matches!(
+            Query::from_json(&no_type),
+            Err(Error::MissingField { field: "type" })
+        ));
+    }
+
+    #[test]
+    fn surface_tile_validates_before_compute() {
+        // CostSurface::compute panics on degenerate grids; the query
+        // layer must reject them as typed errors instead.
+        let q = Query::SurfaceTile {
+            lambda_min: 0.4,
+            lambda_max: 1.5,
+            lambda_steps: 1,
+            n_tr_min: 2.0e4,
+            n_tr_max: 4.0e6,
+            n_tr_steps: 6,
+        };
+        assert!(matches!(q.evaluate(), Err(Error::InvalidField { .. })));
+        let q = Query::SurfaceTile {
+            lambda_min: 1.5,
+            lambda_max: 0.4,
+            lambda_steps: 8,
+            n_tr_min: 2.0e4,
+            n_tr_max: 4.0e6,
+            n_tr_steps: 6,
+        };
+        assert!(matches!(q.evaluate(), Err(Error::InvalidField { .. })));
+        let q = Query::SurfaceTile {
+            lambda_min: 0.4,
+            lambda_max: 1.5,
+            lambda_steps: 8,
+            n_tr_min: 2.0e4,
+            n_tr_max: 4.0e6,
+            n_tr_steps: MAX_TILE_STEPS + 1,
+        };
+        assert!(matches!(q.evaluate(), Err(Error::InvalidField { .. })));
+    }
+
+    #[test]
+    fn unknown_table_row_is_a_typed_error() {
+        assert!(matches!(
+            Query::Table3Row { id: 99 }.evaluate(),
+            Err(Error::UnknownTableRow { id: 99 })
+        ));
+    }
+
+    #[test]
+    fn evaluation_is_thread_count_invariant() {
+        let ctx = EvalContext::new();
+        let queries = vec![
+            Query::Table3,
+            Query::Scenario2Sweep {
+                x: 2.4,
+                lambda_min: 0.3,
+                lambda_max: 1.2,
+                steps: 31,
+            },
+            Query::SurfaceTile {
+                lambda_min: 0.4,
+                lambda_max: 1.5,
+                lambda_steps: 12,
+                n_tr_min: 2.0e4,
+                n_tr_max: 4.0e6,
+                n_tr_steps: 10,
+            },
+            Query::McYield {
+                products: 3,
+                volume_each: 2_000.0,
+                replications: 16,
+                jitter: 0.3,
+                seed: 42,
+            },
+        ];
+        for q in &queries {
+            // Fresh context per width so the tile cache cannot mask a
+            // divergent computation.
+            let serial = q
+                .evaluate_with(&Executor::with_threads(1), &EvalContext::new())
+                .unwrap();
+            let parallel = q
+                .evaluate_with(&Executor::with_threads(8), &EvalContext::new())
+                .unwrap();
+            assert_eq!(
+                serial.to_json().write(),
+                parallel.to_json().write(),
+                "{q:?} must be thread-count-invariant"
+            );
+        }
+        // And a batch call preserves order and content.
+        let batch = Query::evaluate_batch(&Executor::with_threads(4), &ctx, &queries);
+        assert_eq!(batch.len(), queries.len());
+        assert!(batch.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn repeated_surface_tile_reuses_the_cache() {
+        let ctx = EvalContext::new();
+        let exec = Executor::serial();
+        let q = Query::SurfaceTile {
+            lambda_min: 0.5,
+            lambda_max: 1.4,
+            lambda_steps: 9,
+            n_tr_min: 1.0e5,
+            n_tr_max: 1.0e6,
+            n_tr_steps: 7,
+        };
+        let cells_before = context::TILE_CELLS.value();
+        let first = q.evaluate_with(&exec, &ctx).unwrap();
+        let after_first = context::TILE_CELLS.value();
+        assert_eq!(after_first - cells_before, 9 * 7, "cold tile evaluates");
+        let second = q.evaluate_with(&exec, &ctx).unwrap();
+        assert_eq!(
+            context::TILE_CELLS.value(),
+            after_first,
+            "warm tile adds zero grid-cell work"
+        );
+        assert_eq!(first.to_json().write(), second.to_json().write());
+    }
+
+    #[test]
+    fn sweep_response_matches_direct_scenario_evaluation() {
+        let q = Query::Scenario1Sweep {
+            x: 1.4,
+            lambda_min: 0.4,
+            lambda_max: 1.0,
+            steps: 7,
+        };
+        let QueryResponse::Sweep(points) = q.evaluate().unwrap() else {
+            panic!("wrong kind");
+        };
+        let direct = Scenario1::fig6(1.4)
+            .unwrap()
+            .sweep(Microns::new(0.4).unwrap(), Microns::new(1.0).unwrap(), 7)
+            .unwrap();
+        assert_eq!(points.len(), direct.len());
+        for (p, (l, c)) in points.iter().zip(&direct) {
+            assert_eq!(p.lambda_um.to_bits(), l.to_bits());
+            assert_eq!(p.cost_per_transistor.to_bits(), c.value().to_bits());
+        }
+    }
+}

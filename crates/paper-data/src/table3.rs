@@ -13,6 +13,7 @@
 
 use maly_cost_model::product::ProductScenario;
 use maly_cost_model::CostError;
+use maly_units::{Centimeters, DesignDensity, Dollars, Microns, Probability, TransistorCount};
 
 /// Where a row's transistor count came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,12 +59,12 @@ impl Table3Row {
     /// Propagates input validation (never fails for the printed rows).
     pub fn scenario(&self) -> Result<ProductScenario, CostError> {
         ProductScenario::builder(self.name)
-            .transistors(self.transistors)?
-            .feature_size_um(self.feature_size_um)?
-            .design_density(self.design_density)?
-            .wafer_radius_cm(self.wafer_radius_cm)?
-            .reference_yield(self.reference_yield)?
-            .reference_wafer_cost(self.reference_cost)?
+            .transistors(TransistorCount::new(self.transistors)?)
+            .feature_size(Microns::new(self.feature_size_um)?)
+            .design_density(DesignDensity::new(self.design_density)?)
+            .wafer_radius(Centimeters::new(self.wafer_radius_cm)?)
+            .reference_yield(Probability::new(self.reference_yield)?)
+            .reference_wafer_cost(Dollars::new(self.reference_cost)?)
             .cost_escalation(self.escalation)?
             .build()
     }

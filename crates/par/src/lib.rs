@@ -300,6 +300,35 @@ impl Executor {
         out
     }
 
+    /// Runs `f(worker_index)` on `threads()` long-lived workers and
+    /// blocks until every worker returns. Worker 0 runs inline on the
+    /// caller's stack; workers `1..threads()` run on scoped threads.
+    ///
+    /// This is the sanctioned way for long-running services (the serve
+    /// layer's connection workers) to hold threads: the workspace lint
+    /// forbids raw `std::thread::spawn` outside this crate, and scoped
+    /// workers cannot leak past their caller. Unlike the map family
+    /// this makes no determinism promise — workers coordinate through
+    /// whatever shared state the caller gives them — but it also does
+    /// no scheduling of its own, so it cannot introduce divergence
+    /// either.
+    pub fn run_workers<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads <= 1 {
+            f(0);
+            return;
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            for worker in 1..self.threads {
+                scope.spawn(move || f(worker));
+            }
+            f(0);
+        });
+    }
+
     /// Ordered reduce: maps `0..n` in parallel, then folds the results
     /// *sequentially in index order*. Because the fold order matches the
     /// serial loop, `fold` with a strict `<` keeps the earliest minimum —
@@ -530,6 +559,22 @@ mod tests {
             tuned.map_indexed(977, |i| (i as u64).wrapping_mul(0x9e3779b9)),
             want
         );
+    }
+
+    #[test]
+    fn run_workers_runs_every_index_and_worker_zero_inline() {
+        let caller = format!("{:?}", std::thread::current().id());
+        let seen: Vec<std::sync::Mutex<Option<String>>> =
+            (0..4).map(|_| std::sync::Mutex::new(None)).collect();
+        Executor::with_threads(4).run_workers(|w| {
+            *seen[w].lock().unwrap() = Some(format!("{:?}", std::thread::current().id()));
+        });
+        let ids: Vec<String> = seen
+            .iter()
+            .map(|m| m.lock().unwrap().clone().expect("every worker ran"))
+            .collect();
+        assert_eq!(ids[0], caller, "worker 0 runs on the caller");
+        assert!(ids[1..].iter().all(|id| *id != caller));
     }
 
     #[test]

@@ -1,105 +1,9 @@
 //! Shared setup for the reproduction harness.
 //!
-//! Several experiments consume the same derived artifacts: the
-//! tech-trend fits (Figs 1–4), the Table 3 row set (table3 + ablation),
-//! the calendar roadmap, and the Fig 8 cost surface — by far the most
-//! expensive single object the harness builds. Before this module each
-//! experiment re-derived its own copy; the `all` binary paid for the
-//! Fig 8 surface twice and re-fit every trend. Hoisting them into one
-//! lazily-built [`SharedContext`] makes the derivation happen exactly
-//! once per process, even when experiments run concurrently on the
-//! [`maly_par::Executor`] (the `OnceLock` arbitrates the race).
+//! The derived-artifact context that used to live here moved to
+//! [`maly_model::context`] so the query API, the serve layer, and the
+//! harness all share one process-wide derivation. This module stays as
+//! a re-export shim so existing experiment code (`context::shared()`)
+//! keeps compiling unchanged.
 
-use std::sync::OnceLock;
-
-use maly_cost_model::roadmap::CostRoadmap;
-use maly_cost_model::surface::{CostSurface, SurfaceParameters};
-use maly_paper_data::table3::{self, Table3Row};
-use maly_tech_trend::diesize::DieSizeTrend;
-use maly_tech_trend::fit::{CostEscalationFit, ExponentialFit};
-use maly_tech_trend::{datasets, fit};
-
-/// The Fig 8 grid the reports render: `(λ min, λ max, steps)`.
-pub const FIG8_LAMBDA_RANGE: (f64, f64, usize) = (0.4, 1.5, 56);
-/// The Fig 8 grid the reports render: `(N_tr min, N_tr max, steps)`.
-pub const FIG8_N_TR_RANGE: (f64, f64, usize) = (2.0e4, 4.0e6, 48);
-
-/// Every artifact derived once and shared by the experiments.
-#[derive(Debug)]
-pub struct SharedContext {
-    /// Fig 1: exponential fit of feature size vs year.
-    pub feature_trend: ExponentialFit,
-    /// Fig 2a: exponential fit of fab cost vs year.
-    pub fab_cost_trend: ExponentialFit,
-    /// Fig 2b: the wafer-cost escalation factor `X` and `C₀`.
-    pub wafer_cost_escalation: CostEscalationFit,
-    /// Fig 3: `A_ch(λ)` re-fit from the die-size-by-node dataset.
-    pub die_size_fit: DieSizeTrend,
-    /// Fig 3/4: the paper's printed `16.5·e^{−5.3λ}` coefficients.
-    pub die_size_paper: DieSizeTrend,
-    /// Roadmap experiment: the two-scenario calendar projection.
-    pub roadmap: CostRoadmap,
-    /// Table 3 + ablation: all printed rows.
-    pub table3_rows: Vec<Table3Row>,
-    /// Fig 8: the paper's fab calibration.
-    pub fig8_params: SurfaceParameters,
-    /// Fig 8: the full cost surface on the report grid.
-    pub fig8_surface: CostSurface,
-}
-
-/// The process-wide context, built on first use.
-///
-/// # Panics
-///
-/// Panics if a built-in dataset fails to fit — impossible for the
-/// checked-in data, and a reproduction without its calibration cannot
-/// report anything anyway.
-#[must_use]
-pub fn shared() -> &'static SharedContext {
-    static CONTEXT: OnceLock<SharedContext> = OnceLock::new();
-    CONTEXT.get_or_init(|| {
-        let fig8_params = SurfaceParameters::fig8();
-        SharedContext {
-            feature_trend: fit::fit_exponential(datasets::FEATURE_SIZE_BY_YEAR)
-                .expect("dataset is positive"),
-            fab_cost_trend: fit::fit_exponential(datasets::FAB_COST_BY_YEAR)
-                .expect("dataset is positive"),
-            wafer_cost_escalation: fit::extract_cost_escalation(datasets::WAFER_COST_BY_GENERATION)
-                .expect("dataset is positive"),
-            die_size_fit: DieSizeTrend::fit(datasets::DIE_SIZE_BY_GENERATION)
-                .expect("dataset is positive"),
-            die_size_paper: DieSizeTrend::paper_fit(),
-            roadmap: CostRoadmap::paper_default().expect("built-in datasets are valid"),
-            table3_rows: table3::rows(),
-            fig8_surface: CostSurface::compute(&fig8_params, FIG8_LAMBDA_RANGE, FIG8_N_TR_RANGE),
-            fig8_params,
-        }
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn shared_context_is_one_instance() {
-        let a: *const SharedContext = shared();
-        let b: *const SharedContext = shared();
-        assert_eq!(a, b, "two calls must return the same allocation");
-    }
-
-    #[test]
-    fn shared_artifacts_match_fresh_derivations() {
-        let ctx = shared();
-        assert_eq!(
-            ctx.feature_trend,
-            fit::fit_exponential(datasets::FEATURE_SIZE_BY_YEAR).unwrap()
-        );
-        assert_eq!(ctx.table3_rows, table3::rows());
-        assert_eq!(ctx.table3_rows.len(), 17, "Table 3 prints 17 rows");
-        assert_eq!(
-            ctx.fig8_surface,
-            CostSurface::compute(&ctx.fig8_params, FIG8_LAMBDA_RANGE, FIG8_N_TR_RANGE)
-        );
-    }
-}
+pub use maly_model::context::{shared, SharedContext, FIG8_LAMBDA_RANGE, FIG8_N_TR_RANGE};

@@ -17,7 +17,7 @@
 use maly_cost_model::product::ProductScenario;
 use maly_cost_model::{DiesPerWaferMethod, TransistorCostModel, WaferCostModel};
 use maly_paper_data::table3;
-use maly_units::Microns;
+use maly_units::{Centimeters, DesignDensity, Dollars, Microns, Probability, TransistorCount};
 use maly_viz::table::{Alignment, TextTable};
 use maly_yield_model::NegativeBinomialYield;
 
@@ -43,18 +43,12 @@ fn baseline_scenario(row: &table3::Table3Row) -> ProductScenario {
 
 fn with_method(row: &table3::Table3Row, method: DiesPerWaferMethod) -> Option<f64> {
     let scenario = ProductScenario::builder(row.name)
-        .transistors(row.transistors)
-        .ok()?
-        .feature_size_um(row.feature_size_um)
-        .ok()?
-        .design_density(row.design_density)
-        .ok()?
-        .wafer_radius_cm(row.wafer_radius_cm)
-        .ok()?
-        .reference_yield(row.reference_yield)
-        .ok()?
-        .reference_wafer_cost(row.reference_cost)
-        .ok()?
+        .transistors(TransistorCount::new(row.transistors).ok()?)
+        .feature_size(Microns::new(row.feature_size_um).ok()?)
+        .design_density(DesignDensity::new(row.design_density).ok()?)
+        .wafer_radius(Centimeters::new(row.wafer_radius_cm).ok()?)
+        .reference_yield(Probability::new(row.reference_yield).ok()?)
+        .reference_wafer_cost(Dollars::new(row.reference_cost).ok()?)
         .cost_escalation(row.escalation)
         .ok()?
         .dies_per_wafer_method(method)
@@ -72,18 +66,12 @@ fn with_method(row: &table3::Table3Row, method: DiesPerWaferMethod) -> Option<f6
 
 fn with_generation_rate(row: &table3::Table3Row, k: f64) -> Option<f64> {
     let scenario = ProductScenario::builder(row.name)
-        .transistors(row.transistors)
-        .ok()?
-        .feature_size_um(row.feature_size_um)
-        .ok()?
-        .design_density(row.design_density)
-        .ok()?
-        .wafer_radius_cm(row.wafer_radius_cm)
-        .ok()?
-        .reference_yield(row.reference_yield)
-        .ok()?
-        .reference_wafer_cost(row.reference_cost)
-        .ok()?
+        .transistors(TransistorCount::new(row.transistors).ok()?)
+        .feature_size(Microns::new(row.feature_size_um).ok()?)
+        .design_density(DesignDensity::new(row.design_density).ok()?)
+        .wafer_radius(Centimeters::new(row.wafer_radius_cm).ok()?)
+        .reference_yield(Probability::new(row.reference_yield).ok()?)
+        .reference_wafer_cost(Dollars::new(row.reference_cost).ok()?)
         .cost_escalation(row.escalation)
         .ok()?
         .generation_rate(k)

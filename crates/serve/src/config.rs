@@ -1,0 +1,85 @@
+//! Server tuning knobs.
+
+/// Default bound on a single request line, in bytes. A full Table 3
+/// batch request is well under 4 KiB; 1 MiB leaves two orders of
+/// magnitude of headroom while keeping a misbehaving client from
+/// ballooning a worker's read buffer.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Default bound on connections parked waiting for a worker.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Configuration for [`crate::server::Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Connection worker threads (the accept loop runs on the caller).
+    pub workers: usize,
+    /// Largest accepted request line in bytes; longer lines are
+    /// answered with `payload-too-large` and the connection is closed.
+    pub max_line_bytes: usize,
+    /// Accepted connections parked waiting for a free worker; beyond
+    /// this the server answers `overloaded` and closes immediately
+    /// rather than queueing unboundedly.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config bound to `addr` with defaults elsewhere.
+    #[must_use]
+    pub fn bind(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the worker-thread count (`0` is treated as 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the request-line size bound.
+    #[must_use]
+    pub fn max_line_bytes(mut self, bytes: usize) -> Self {
+        self.max_line_bytes = bytes.max(2);
+        self
+    }
+
+    /// Sets the parked-connection bound.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_clamps_degenerate_values() {
+        let c = ServeConfig::bind("127.0.0.1:0")
+            .workers(0)
+            .max_line_bytes(0)
+            .queue_capacity(0);
+        assert_eq!(c.workers, 1);
+        assert!(c.max_line_bytes >= 2);
+        assert_eq!(c.queue_capacity, 1);
+    }
+}

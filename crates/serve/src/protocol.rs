@@ -1,0 +1,221 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line. A line holding a JSON *object* is a single
+//! request:
+//!
+//! ```text
+//! {"id": 7, "query": {"type": "table3_row", "id": 1}}
+//! ```
+//!
+//! A line holding a JSON *array* of such objects is a batch: the server
+//! evaluates its queries together on the `maly-par` executor and
+//! answers with one JSON array line, element `i` answering request `i`.
+//!
+//! Every response carries the request's `id` back verbatim (or `null`
+//! when the request was unparseable):
+//!
+//! ```text
+//! {"id": 7, "ok": {"kind": "table3", ...}}
+//! {"id": 7, "error": {"kind": "invalid-field", "message": "..."}}
+//! ```
+//!
+//! Serialization is deterministic — the same request against the same
+//! context produces the same bytes at every worker/executor width —
+//! which is what lets the loopback tests compare served output against
+//! direct in-process evaluation bit for bit.
+
+use maly_model::json::{self, Json};
+use maly_model::{Error, EvalContext, Query, QueryResponse};
+use maly_par::Executor;
+
+/// Request lines answered (single lines and batch lines each count
+/// once). Work counter: invariant under worker and executor width for
+/// a fixed client workload.
+pub static REQUEST_LINES: maly_obs::Counter = maly_obs::Counter::work("serve.request_lines");
+/// Individual queries evaluated out of batch (array) lines.
+pub static BATCHED_QUERIES: maly_obs::Counter = maly_obs::Counter::work("serve.batched_queries");
+
+/// The response object for one evaluated request.
+#[must_use]
+pub fn response_json(id: &Json, result: &Result<QueryResponse, Error>) -> Json {
+    match result {
+        Ok(response) => Json::obj(vec![("id", id.clone()), ("ok", response.to_json())]),
+        Err(e) => error_json(id, e),
+    }
+}
+
+/// The response object for a failed request.
+#[must_use]
+pub fn error_json(id: &Json, error: &Error) -> Json {
+    Json::obj(vec![
+        ("id", id.clone()),
+        (
+            "error",
+            Json::obj(vec![
+                ("kind", Json::Str(error.kind().to_string())),
+                ("message", Json::Str(error.to_string())),
+            ]),
+        ),
+    ])
+}
+
+/// The serialized response line (no trailing newline) for one request.
+#[must_use]
+pub fn response_line(id: &Json, result: &Result<QueryResponse, Error>) -> String {
+    response_json(id, result).write()
+}
+
+/// The serialized response line for a transport-level failure.
+#[must_use]
+pub fn error_line(error: &Error) -> String {
+    error_json(&Json::Null, error).write()
+}
+
+/// Splits a request object into its echoed `id` and parsed query.
+fn parse_request(v: &Json) -> (Json, Result<Query, Error>) {
+    let id = v.get("id").cloned().unwrap_or(Json::Null);
+    let query = match v.get("query") {
+        Some(q) => Query::from_json(q),
+        None => Err(Error::MissingField { field: "query" }),
+    };
+    (id, query)
+}
+
+/// Answers one request line: parse, evaluate (batching array lines
+/// across the executor), serialize. Always returns exactly one line of
+/// output (no trailing newline) — transport errors aside, a client can
+/// match responses to requests by line position alone.
+#[must_use]
+pub fn handle_line(exec: &Executor, ctx: &EvalContext, line: &str) -> String {
+    let _span = maly_obs::span("serve.request");
+    REQUEST_LINES.incr();
+    let parsed = match json::parse(line) {
+        Ok(v) => v,
+        Err(message) => return error_line(&Error::Parse { message }),
+    };
+    match parsed {
+        Json::Arr(items) => {
+            let requests: Vec<(Json, Result<Query, Error>)> =
+                items.iter().map(parse_request).collect();
+            let queries: Vec<Query> = requests
+                .iter()
+                .filter_map(|(_, q)| q.as_ref().ok().cloned())
+                .collect();
+            BATCHED_QUERIES.add(queries.len() as u64);
+            let mut results = Query::evaluate_batch(exec, ctx, &queries).into_iter();
+            let responses: Vec<Json> = requests
+                .into_iter()
+                .map(|(id, q)| match q {
+                    Ok(_) => {
+                        let result = results
+                            .next()
+                            .unwrap_or(Err(Error::Io("batch result missing".to_string())));
+                        response_json(&id, &result)
+                    }
+                    Err(e) => error_json(&id, &e),
+                })
+                .collect();
+            Json::Arr(responses).write()
+        }
+        obj => {
+            let (id, query) = parse_request(&obj);
+            match query {
+                Ok(q) => response_line(&id, &q.evaluate_with(exec, ctx)),
+                Err(e) => error_json(&id, &e).write(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_request_round_trips() {
+        let exec = Executor::serial();
+        let ctx = EvalContext::new();
+        let out = handle_line(
+            &exec,
+            &ctx,
+            "{\"id\": 7, \"query\": {\"type\": \"table3_row\", \"id\": 1}}",
+        );
+        let v = json::parse(&out).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_f64), Some(7.0));
+        assert!(v.get("ok").is_some(), "{out}");
+        assert!(v.get("error").is_none());
+    }
+
+    #[test]
+    fn batch_line_answers_in_order_with_per_element_errors() {
+        let exec = Executor::with_threads(4);
+        let ctx = EvalContext::new();
+        let out = handle_line(
+            &exec,
+            &ctx,
+            concat!(
+                "[{\"id\": 1, \"query\": {\"type\": \"table3_row\", \"id\": 2}},",
+                " {\"id\": 2, \"query\": {\"type\": \"nonsense\"}},",
+                " {\"id\": 3, \"query\": {\"type\": \"product_mix\"}}]",
+            ),
+        );
+        let v = json::parse(&out).unwrap();
+        let items = v.as_arr().expect("batch in, batch out");
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].get("id").and_then(Json::as_f64), Some(1.0));
+        assert!(items[0].get("ok").is_some());
+        assert_eq!(
+            items[1]
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("unknown-query-type")
+        );
+        assert_eq!(items[2].get("id").and_then(Json::as_f64), Some(3.0));
+        assert!(items[2].get("ok").is_some());
+    }
+
+    #[test]
+    fn malformed_line_is_a_parse_error_with_null_id() {
+        let exec = Executor::serial();
+        let ctx = EvalContext::new();
+        for bad in ["not json", "{\"id\": 1", "{} trailing", ""] {
+            let out = handle_line(&exec, &ctx, bad);
+            let v = json::parse(&out).unwrap();
+            assert!(matches!(v.get("id"), Some(Json::Null)), "{bad:?} -> {out}");
+            assert_eq!(
+                v.get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str),
+                Some("parse"),
+                "{bad:?} -> {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_query_field_is_typed() {
+        let exec = Executor::serial();
+        let ctx = EvalContext::new();
+        let out = handle_line(&exec, &ctx, "{\"id\": 4}");
+        let v = json::parse(&out).unwrap();
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("missing-field")
+        );
+        assert_eq!(v.get("id").and_then(Json::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn responses_are_bit_identical_across_executor_widths() {
+        let line = concat!(
+            "[{\"id\": 1, \"query\": {\"type\": \"scenario2_sweep\", \"x\": 2.4}},",
+            " {\"id\": 2, \"query\": {\"type\": \"table3\"}}]",
+        );
+        let serial = handle_line(&Executor::serial(), &EvalContext::new(), line);
+        let wide = handle_line(&Executor::with_threads(8), &EvalContext::new(), line);
+        assert_eq!(serial, wide);
+    }
+}

@@ -1,0 +1,341 @@
+//! Loopback integration tests: a real server on 127.0.0.1, real
+//! sockets, and the determinism contract checked byte for byte.
+//!
+//! Process-wide state (the shared EvalContext and the obs counters) is
+//! serialized behind one test mutex so counter deltas are attributable.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use maly_model::json::{self, Json};
+use maly_model::{EvalContext, Query};
+use maly_par::Executor;
+use maly_serve::{client, protocol, ServeConfig, Server, ServerHandle};
+
+/// Serializes tests that observe process-global counters or the shared
+/// tile cache.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn start(config: ServeConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind 127.0.0.1:0");
+    let handle = server.handle().expect("local addr");
+    let join = std::thread::spawn(move || server.serve(&Executor::with_threads(2)));
+    (handle, join)
+}
+
+fn request_line(id: f64, query: &Query) -> String {
+    Json::obj(vec![("id", Json::Num(id)), ("query", query.to_json())]).write()
+}
+
+/// A mixed workload exercising every query family, including one batch
+/// line (a JSON array evaluated together on the executor).
+fn mixed_workload() -> Vec<String> {
+    let spec_line = concat!(
+        "{\"id\": 10, \"query\": {\"type\": \"product\", \"name\": \"row1\", ",
+        "\"transistors\": 3.1e6, \"lambda_um\": 0.8, \"density\": 150, ",
+        "\"yield0\": 0.9, \"c0\": 700, \"x\": 1.4}}"
+    )
+    .to_string();
+    vec![
+        spec_line,
+        request_line(11.0, &Query::Table3Row { id: 5 }),
+        request_line(12.0, &Query::Table3),
+        request_line(
+            13.0,
+            &Query::Scenario1Sweep {
+                x: 1.4,
+                lambda_min: 0.3,
+                lambda_max: 1.2,
+                steps: 19,
+            },
+        ),
+        request_line(
+            14.0,
+            &Query::Scenario2Sweep {
+                x: 2.4,
+                lambda_min: 0.3,
+                lambda_max: 1.2,
+                steps: 19,
+            },
+        ),
+        request_line(
+            15.0,
+            &Query::SurfaceTile {
+                lambda_min: 0.45,
+                lambda_max: 1.35,
+                lambda_steps: 10,
+                n_tr_min: 5.0e4,
+                n_tr_max: 2.0e6,
+                n_tr_steps: 8,
+            },
+        ),
+        request_line(
+            16.0,
+            &Query::McYield {
+                products: 3,
+                volume_each: 2_000.0,
+                replications: 12,
+                jitter: 0.3,
+                seed: 99,
+            },
+        ),
+        request_line(
+            17.0,
+            &Query::Roadmap {
+                from: 1990,
+                to: 1996,
+            },
+        ),
+        request_line(
+            18.0,
+            &Query::ProductMix {
+                products: 6,
+                volume_each: 1_500.0,
+                mono_volume: 80_000.0,
+            },
+        ),
+        // One batch line: three queries answered as one array line.
+        format!(
+            "[{}, {}, {}]",
+            Json::obj(vec![
+                ("id", Json::Num(20.0)),
+                ("query", Query::Table3Row { id: 1 }.to_json()),
+            ])
+            .write(),
+            Json::obj(vec![
+                ("id", Json::Num(21.0)),
+                ("query", Query::Table3Row { id: 2 }.to_json()),
+            ])
+            .write(),
+            Json::obj(vec![
+                ("id", Json::Num(22.0)),
+                (
+                    "query",
+                    Query::OptimalLambda {
+                        spec: maly_model::query::ProductSpec {
+                            name: "opt".to_string(),
+                            transistors: 1.0e6,
+                            lambda_um: 0.8,
+                            density: 150.0,
+                            radius_cm: 7.5,
+                            yield0: 0.9,
+                            c0: 700.0,
+                            x: 1.4,
+                        },
+                        lambda_min: 0.4,
+                        lambda_max: 1.2,
+                        steps: 33,
+                    }
+                    .to_json()
+                ),
+            ])
+            .write(),
+        ),
+    ]
+}
+
+/// Direct in-process evaluation of the same workload: the reference
+/// bytes every served configuration must reproduce exactly.
+fn direct_reference(lines: &[String]) -> Vec<String> {
+    let exec = Executor::serial();
+    let ctx = EvalContext::new();
+    lines
+        .iter()
+        .map(|line| protocol::handle_line(&exec, &ctx, line))
+        .collect()
+}
+
+#[test]
+fn served_responses_are_bit_identical_at_1_2_8_workers() {
+    let _guard = lock();
+    let lines = mixed_workload();
+    let expected = direct_reference(&lines);
+    for workers in [1usize, 2, 8] {
+        let (handle, join) = start(ServeConfig::default().workers(workers));
+        let addr = handle.addr().to_string();
+        let got = client::query_lines(&addr, &lines).expect("loopback round trip");
+        assert_eq!(
+            got, expected,
+            "served bytes must match direct evaluation at {workers} workers"
+        );
+        handle.shutdown();
+        join.join().expect("server thread exits cleanly");
+    }
+}
+
+#[test]
+fn concurrent_clients_get_correct_interleaved_answers() {
+    let _guard = lock();
+    let lines = mixed_workload();
+    let expected = direct_reference(&lines);
+    let (handle, join) = start(ServeConfig::default().workers(4));
+    let addr = handle.addr().to_string();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _client in 0..4 {
+            let addr = addr.clone();
+            let lines = &lines;
+            let expected = &expected;
+            joins.push(scope.spawn(move || {
+                let got = client::query_lines(&addr, lines).expect("round trip");
+                assert_eq!(&got, expected);
+            }));
+        }
+        for j in joins {
+            j.join().expect("client thread");
+        }
+    });
+    handle.shutdown();
+    join.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn malformed_requests_are_rejected_with_typed_errors() {
+    let _guard = lock();
+    let (handle, join) = start(ServeConfig::default().workers(1));
+    let addr = handle.addr().to_string();
+    let lines = vec![
+        "this is not json".to_string(),
+        "{\"id\": 1}".to_string(),
+        "{\"id\": 2, \"query\": {\"type\": \"nonsense\"}}".to_string(),
+        "{\"id\": 3, \"query\": {\"type\": \"table3_row\", \"id\": 99}}".to_string(),
+        "{\"id\": 4, \"query\": {\"type\": \"product\", \"transistors\": \"many\"}}".to_string(),
+    ];
+    let got = client::query_lines(&addr, &lines).expect("round trip");
+    let kinds: Vec<String> = got
+        .iter()
+        .map(|line| {
+            json::parse(line)
+                .expect("protocol JSON")
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .expect("error kind")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            "parse",
+            "missing-field",
+            "unknown-query-type",
+            "unknown-table-row",
+            "invalid-field",
+        ]
+    );
+    handle.shutdown();
+    join.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn oversized_payloads_are_rejected_and_the_connection_closed() {
+    let _guard = lock();
+    let (handle, join) = start(ServeConfig::default().workers(1).max_line_bytes(256));
+    let addr = handle.addr().to_string();
+    let huge = format!(
+        "{{\"id\": 1, \"query\": {{\"type\": \"table3\", \"pad\": \"{}\"}}}}",
+        "x".repeat(1024)
+    );
+    let got = client::query_lines(&addr, std::slice::from_ref(&huge)).expect("error line arrives");
+    let v = json::parse(&got[0]).expect("protocol JSON");
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("payload-too-large")
+    );
+    // The server closes after an oversized line: a follow-up on the
+    // same connection cannot be answered, but a fresh connection works.
+    let again = client::query_lines(&addr, &[request_line(2.0, &Query::Table3Row { id: 1 })])
+        .expect("fresh connection serves normally");
+    assert!(again[0].contains("\"ok\""));
+    handle.shutdown();
+    join.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn warm_tile_cache_answers_repeat_queries_without_grid_work() {
+    let _guard = lock();
+    let (handle, join) = start(ServeConfig::default().workers(2));
+    let addr = handle.addr().to_string();
+    // A window no other test requests, so the first query is a real
+    // cache miss attributable to this test.
+    let tile = request_line(
+        1.0,
+        &Query::SurfaceTile {
+            lambda_min: 0.55,
+            lambda_max: 1.25,
+            lambda_steps: 13,
+            n_tr_min: 7.0e4,
+            n_tr_max: 9.0e5,
+            n_tr_steps: 11,
+        },
+    );
+    let before = maly_model::context::TILE_CELLS.value();
+    let first = client::query_lines(&addr, std::slice::from_ref(&tile)).expect("cold query");
+    let after_cold = maly_model::context::TILE_CELLS.value();
+    assert_eq!(
+        after_cold - before,
+        13 * 11,
+        "the cold query evaluates the full grid"
+    );
+    let second = client::query_lines(&addr, std::slice::from_ref(&tile)).expect("warm query");
+    assert_eq!(
+        maly_model::context::TILE_CELLS.value(),
+        after_cold,
+        "the warm repeat query adds zero grid-cell work"
+    );
+    assert_eq!(first, second, "warm and cold answers are byte-identical");
+    handle.shutdown();
+    join.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn request_work_counters_track_lines_and_batches() {
+    let _guard = lock();
+    let (handle, join) = start(ServeConfig::default().workers(1));
+    let addr = handle.addr().to_string();
+    let lines = vec![
+        request_line(1.0, &Query::Table3Row { id: 1 }),
+        format!(
+            "[{}, {}]",
+            Json::obj(vec![
+                ("id", Json::Num(2.0)),
+                ("query", Query::Table3Row { id: 2 }.to_json()),
+            ])
+            .write(),
+            Json::obj(vec![
+                ("id", Json::Num(3.0)),
+                ("query", Query::Table3Row { id: 3 }.to_json()),
+            ])
+            .write(),
+        ),
+    ];
+    let req_before = protocol::REQUEST_LINES.value();
+    let batch_before = protocol::BATCHED_QUERIES.value();
+    let queries_before = maly_model::context::QUERIES.value();
+    client::query_lines(&addr, &lines).expect("round trip");
+    assert_eq!(protocol::REQUEST_LINES.value() - req_before, 2);
+    assert_eq!(protocol::BATCHED_QUERIES.value() - batch_before, 2);
+    assert_eq!(maly_model::context::QUERIES.value() - queries_before, 3);
+    handle.shutdown();
+    join.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn shutdown_is_graceful_and_idempotent() {
+    let _guard = lock();
+    let (handle, join) = start(ServeConfig::default().workers(2));
+    let addr = handle.addr().to_string();
+    let got = client::query_lines(&addr, &[request_line(1.0, &Query::Table3Row { id: 4 })])
+        .expect("round trip before shutdown");
+    assert!(got[0].contains("\"ok\""));
+    handle.shutdown();
+    handle.shutdown(); // second call must be harmless
+    join.join().expect("server thread exits cleanly");
+}

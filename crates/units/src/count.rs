@@ -1,5 +1,6 @@
 //! Count quantities: transistors per die, dies per wafer.
 
+use crate::macros::scalar_quantity;
 use crate::UnitError;
 
 /// A number of transistors (`N_tr` of eq. 1).
@@ -159,6 +160,28 @@ impl std::iter::Sum for DieCount {
     fn sum<I: Iterator<Item = DieCount>>(iter: I) -> DieCount {
         iter.fold(DieCount::new(0), |acc, x| acc + x)
     }
+}
+
+scalar_quantity! {
+    /// A production volume in dies — a *fractional* count.
+    ///
+    /// Unlike [`DieCount`] (the integral dies-per-wafer of eq. 4), a
+    /// ramp or annual volume is an expectation over many wafers and is
+    /// legitimately fractional ("10 000 dies over a 12-month ramp").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use maly_units::ProductionVolume;
+    ///
+    /// # fn main() -> Result<(), maly_units::UnitError> {
+    /// let ramp = ProductionVolume::new(10_000.0)?;
+    /// assert_eq!(ramp.value(), 10_000.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ProductionVolume, "production volume", crate::error::ensure_positive,
+    crate::error::valid_positive, f64::MIN_POSITIVE, "dies"
 }
 
 #[cfg(test)]

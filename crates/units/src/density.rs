@@ -88,6 +88,32 @@ impl DefectDensity {
     }
 }
 
+scalar_quantity! {
+    /// Eq. (7)'s reference defect density `D`: killing defects per cm²
+    /// *measured at λ = 1 µm*.
+    ///
+    /// The effective density at another feature size is `D/λ^p` (λ in
+    /// µm), so the raw number's unit depends on the size-distribution
+    /// exponent `p`. Quoting it at the λ = 1 µm reference point pins the
+    /// unit down and keeps it distinct from a plain [`DefectDensity`] —
+    /// passing one where the other is expected is exactly the confusion
+    /// eq. (7) invites. Fig. 8's calibration is `D = 1.72`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use maly_units::ReferenceDefectDensity;
+    ///
+    /// # fn main() -> Result<(), maly_units::UnitError> {
+    /// let d = ReferenceDefectDensity::new(1.72)?;
+    /// assert_eq!(d.value(), 1.72);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ReferenceDefectDensity, "reference defect density", ensure_positive,
+    crate::error::valid_positive, f64::MIN_POSITIVE, "/cm² @ 1 µm"
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -129,6 +129,83 @@ impl Centimeters {
     }
 }
 
+/// A signed, nonzero feature-size offset in microns (µm).
+///
+/// [`Microns`] only admits strictly positive magnitudes, so finite
+/// differences — "shift λ by ±δ and re-evaluate" — need their own type.
+/// The constructor accepts either sign but rejects zero (a zero step
+/// makes every difference quotient 0/0) and non-finite values.
+///
+/// # Examples
+///
+/// ```
+/// use maly_units::MicronsDelta;
+///
+/// # fn main() -> Result<(), maly_units::UnitError> {
+/// let back_off = MicronsDelta::new(0.05)?;
+/// let shrink = MicronsDelta::new(-0.05)?;
+/// assert_eq!(back_off.value(), -shrink.value());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct MicronsDelta(f64);
+
+impl MicronsDelta {
+    /// Creates a signed offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the value is finite and nonzero.
+    pub fn new(value: f64) -> Result<Self, crate::UnitError> {
+        if !value.is_finite() {
+            return Err(crate::UnitError::NotFinite {
+                quantity: "lambda offset",
+            });
+        }
+        if value.abs() < f64::MIN_POSITIVE {
+            return Err(crate::UnitError::NotPositive {
+                quantity: "lambda offset magnitude",
+                value: 0.0,
+            });
+        }
+        Ok(Self(value))
+    }
+
+    /// The raw signed magnitude in microns.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The feature size shifted by this offset, when the result is still
+    /// a valid (positive) length.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shift crosses zero.
+    pub fn applied_to(self, lambda: Microns) -> Result<Microns, crate::UnitError> {
+        Microns::new(lambda.value() + self.0)
+    }
+}
+
+impl std::fmt::Display for MicronsDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(p) = f.precision() {
+            write!(f, "{:+.*} µm", p, self.0)
+        } else {
+            write!(f, "{:+} µm", self.0)
+        }
+    }
+}
+
+impl std::ops::Neg for MicronsDelta {
+    type Output = MicronsDelta;
+    fn neg(self) -> MicronsDelta {
+        MicronsDelta(-self.0)
+    }
+}
+
 impl std::ops::Mul for Microns {
     type Output = SquareMicrons;
     fn mul(self, rhs: Microns) -> SquareMicrons {

@@ -42,10 +42,10 @@ mod money;
 mod probability;
 
 pub use area::{SquareCentimeters, SquareMicrons, SquareMillimeters};
-pub use count::{DieCount, TransistorCount};
-pub use density::{DefectDensity, DesignDensity};
+pub use count::{DieCount, ProductionVolume, TransistorCount};
+pub use density::{DefectDensity, DesignDensity, ReferenceDefectDensity};
 pub use error::UnitError;
-pub use length::{Centimeters, Microns, Millimeters};
+pub use length::{Centimeters, Microns, MicronsDelta, Millimeters};
 pub use money::{Dollars, MicroDollars};
 pub use probability::Probability;
 
@@ -82,8 +82,11 @@ mod tests {
         assert_send_sync::<Probability>();
         assert_send_sync::<DesignDensity>();
         assert_send_sync::<DefectDensity>();
+        assert_send_sync::<ReferenceDefectDensity>();
+        assert_send_sync::<MicronsDelta>();
         assert_send_sync::<TransistorCount>();
         assert_send_sync::<DieCount>();
+        assert_send_sync::<ProductionVolume>();
         assert_send_sync::<UnitError>();
     }
 }

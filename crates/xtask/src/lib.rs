@@ -56,14 +56,16 @@ pub use rules::{Rule, Violation};
 /// down a crate's legacy sites lowers its line here.
 pub const PANIC_BUDGETS: &[(&str, usize)] = &[
     ("maly-bench", 8),
-    ("maly-cli", 2),
+    ("maly-cli", 0),
     ("maly-cost-model", 0),
     ("maly-cost-optim", 0),
     ("maly-fabline-sim", 11),
+    ("maly-model", 0),
     ("maly-obs", 0),
     ("maly-paper-data", 0),
     ("maly-par", 0),
-    ("maly-repro", 60),
+    ("maly-repro", 55),
+    ("maly-serve", 0),
     ("maly-tech-trend", 3),
     ("maly-test-economics", 4),
     ("maly-units", 3),
@@ -81,6 +83,18 @@ pub const UNIT_SAFETY_CRATES: &[&str] = &[
     "maly-yield-model",
     "maly-wafer-geom",
     "maly-test-economics",
+];
+
+/// Unit-safety escape ratchet: tolerated `audit:allow(bare-f64)` tags
+/// per dimension-checked crate. Like [`PANIC_BUDGETS`] these only go
+/// DOWN — new public API takes newtypes instead of new escape tags.
+/// The one surviving site is wafer-geom's saw-street boundary, where
+/// zero is a legitimate sentinel no positive newtype can carry.
+pub const UNIT_ESCAPE_BUDGETS: &[(&str, usize)] = &[
+    ("maly-cost-model", 0),
+    ("maly-test-economics", 0),
+    ("maly-wafer-geom", 1),
+    ("maly-yield-model", 0),
 ];
 
 /// Crates sanctioned to read the clock and write to stderr directly:
@@ -257,6 +271,7 @@ pub fn run_lint(root: &Path) -> io::Result<Report> {
         let mut files = Vec::new();
         rust_files(&dir.join("src"), &mut files);
         let mut panic_sites = Vec::new();
+        let mut unit_escapes = 0usize;
         for file in &files {
             let file_rel = rel(root, file);
             let Ok(source) = fs::read_to_string(file) else {
@@ -267,6 +282,7 @@ pub fn run_lint(root: &Path) -> io::Result<Report> {
                 report
                     .violations
                     .extend(rules::unit_safety(&file_rel, &source));
+                unit_escapes += rules::count_unit_escapes(&source);
             }
             report
                 .violations
@@ -306,6 +322,23 @@ pub fn run_lint(root: &Path) -> io::Result<Report> {
                     sites.join(", ")
                 ),
             });
+        }
+        if UNIT_SAFETY_CRATES.contains(&name.as_str()) {
+            let escape_budget = UNIT_ESCAPE_BUDGETS
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |(_, b)| *b);
+            if unit_escapes > escape_budget {
+                report.violations.push(Violation {
+                    file: rel(root, dir),
+                    line: 1,
+                    rule: Rule::UnitSafety,
+                    message: format!(
+                        "crate `{name}` has {unit_escapes} audit:allow(bare-f64) escape(s), \
+                         budget {escape_budget}; migrate the API to maly-units newtypes"
+                    ),
+                });
+            }
         }
         report.stats.push(CrateStats {
             name,

@@ -243,6 +243,17 @@ pub fn unit_safety(file: &str, source: &str) -> Vec<Violation> {
     out
 }
 
+/// Counts `audit:allow(bare-f64)` escape tags in non-test code — the
+/// input to the per-crate unit-escape ratchet, which forbids *new*
+/// escapes the same way the panic ratchet forbids new panic sites.
+#[must_use]
+pub fn count_unit_escapes(source: &str) -> usize {
+    classify(source)
+        .iter()
+        .filter(|line| !line.in_test && contains_allow(line.comment, "bare-f64"))
+        .count()
+}
+
 /// Splits a parameter list on top-level commas (parens, brackets, and
 /// angle brackets protect nested commas).
 fn split_top_level(params: &str) -> Vec<&str> {

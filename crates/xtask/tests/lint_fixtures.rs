@@ -101,6 +101,22 @@ fn unit_rule_honors_allow_tag() {
 }
 
 #[test]
+fn unit_escape_counter_skips_tests_and_other_tags() {
+    let src = concat!(
+        "// audit:allow(bare-f64): fixture boundary\n",
+        "pub fn parse(raw_cost: f64) -> Dollars {}\n",
+        "// audit:allow(panic): different tag\n",
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    // audit:allow(bare-f64): test-only, not counted\n",
+        "    fn helper(raw: f64) {}\n",
+        "}\n",
+    );
+    assert_eq!(rules::count_unit_escapes(src), 1);
+    assert_eq!(rules::count_unit_escapes("pub fn clean() {}\n"), 0);
+}
+
+#[test]
 fn unit_rule_flags_unit_suffixed_f64_returns() {
     let src = "pub fn width_cm(&self) -> f64 {\n";
     let found = rules::unit_safety("fixture.rs", src);

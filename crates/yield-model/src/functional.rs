@@ -1,6 +1,6 @@
 //! Closed-form functional (spot-defect) yield models.
 
-use maly_units::{DefectDensity, Microns, Probability, SquareCentimeters};
+use maly_units::{DefectDensity, Microns, Probability, ReferenceDefectDensity, SquareCentimeters};
 
 use crate::YieldModel;
 
@@ -212,7 +212,7 @@ impl YieldModel for NegativeBinomialYield {
 /// into `D`, as the paper's calibrated constants do).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScaledPoissonYield {
-    d_ref: f64,
+    d_ref: ReferenceDefectDensity,
     p: f64,
     lambda: Microns,
 }
@@ -220,23 +220,19 @@ pub struct ScaledPoissonYield {
 impl ScaledPoissonYield {
     /// Creates the eq. (7) model.
     ///
-    /// `d_ref` is the defect density (defects/cm²) at λ = 1 µm; `p` the
+    /// `d_ref` is the defect density at λ = 1 µm; `p` the
     /// size-distribution exponent; `lambda` the minimum feature size.
     ///
     /// # Errors
     ///
-    /// Returns an error unless `d_ref > 0` and `p > 2` are finite
-    /// (`p ≤ 2` would make shrinking *reduce* the fault count, which
-    /// contradicts the defect physics of Fig. 5).
-    // audit:allow(bare-f64): eq. (7)'s D carries units that depend on the
-    // exponent p (defects/cm^2/um^p); no fixed newtype fits it.
-    pub fn new(d_ref: f64, p: f64, lambda: Microns) -> Result<Self, maly_units::UnitError> {
-        if !d_ref.is_finite() || d_ref <= 0.0 {
-            return Err(maly_units::UnitError::NotPositive {
-                quantity: "reference defect density",
-                value: d_ref,
-            });
-        }
+    /// Returns an error unless `p > 2` is finite (`p ≤ 2` would make
+    /// shrinking *reduce* the fault count, which contradicts the defect
+    /// physics of Fig. 5).
+    pub fn new(
+        d_ref: ReferenceDefectDensity,
+        p: f64,
+        lambda: Microns,
+    ) -> Result<Self, maly_units::UnitError> {
         if !p.is_finite() || p <= 2.0 {
             return Err(maly_units::UnitError::OutOfRange {
                 quantity: "defect size exponent p",
@@ -248,6 +244,11 @@ impl ScaledPoissonYield {
         Ok(Self { d_ref, p, lambda })
     }
 
+    /// The Fig. 8 `D = 1.72` reference defect density.
+    pub const FIG8_D: ReferenceDefectDensity = ReferenceDefectDensity::const_new(1.72);
+    /// The Fig. 8 `p = 4.07` defect size exponent.
+    pub const FIG8_P: f64 = 4.07;
+
     /// The Fig. 8 calibration: `D = 1.72`, `p = 4.07`.
     ///
     /// # Errors
@@ -255,13 +256,13 @@ impl ScaledPoissonYield {
     /// Propagates constructor validation (never fails for the built-in
     /// constants; fallible because `lambda` combines with them).
     pub fn fig8_calibration(lambda: Microns) -> Result<Self, maly_units::UnitError> {
-        Self::new(1.72, 4.07, lambda)
+        Self::new(Self::FIG8_D, Self::FIG8_P, lambda)
     }
 
     /// Effective defect density `D/λ^p` at this model's feature size.
     #[must_use]
     pub fn effective_density(&self) -> DefectDensity {
-        DefectDensity::clamped(self.d_ref / self.lambda.value().powf(self.p))
+        DefectDensity::clamped(self.d_ref.value() / self.lambda.value().powf(self.p))
     }
 
     /// The feature size λ.
@@ -289,10 +290,8 @@ impl ScaledPoissonYield {
     /// # Errors
     ///
     /// Same calibration validation as [`ScaledPoissonYield::new`].
-    // audit:allow(bare-f64): eq. (7)'s D carries units that depend on the
-    // exponent p (defects/cm^2/um^p); no fixed newtype fits it.
     pub fn yields_for_slice(
-        d_ref: f64,
+        d_ref: ReferenceDefectDensity,
         p: f64,
         points: &[(Microns, SquareCentimeters)],
     ) -> Result<Vec<Probability>, maly_units::UnitError> {
@@ -301,10 +300,11 @@ impl ScaledPoissonYield {
         // validates so a bad calibration never silently passes.
         const PROBE_LAMBDA: Microns = Microns::const_new(1.0);
         let _ = Self::new(d_ref, p, PROBE_LAMBDA)?;
+        let d = d_ref.value();
         Ok(points
             .iter()
             .map(|&(lambda, area)| {
-                PoissonYield::new(DefectDensity::clamped(d_ref / lambda.value().powf(p)))
+                PoissonYield::new(DefectDensity::clamped(d / lambda.value().powf(p)))
                     .die_yield(area)
             })
             .collect())
@@ -526,35 +526,38 @@ mod tests {
     #[test]
     fn scaled_poisson_validates_parameters() {
         let lam = Microns::new(0.8).unwrap();
-        assert!(ScaledPoissonYield::new(0.0, 4.0, lam).is_err());
-        assert!(ScaledPoissonYield::new(1.0, 2.0, lam).is_err());
-        assert!(ScaledPoissonYield::new(1.0, 1.5, lam).is_err());
+        // A non-positive D never reaches the model: the newtype rejects it.
+        assert!(ReferenceDefectDensity::new(0.0).is_err());
+        let d = ReferenceDefectDensity::new(1.0).unwrap();
+        assert!(ScaledPoissonYield::new(d, 2.0, lam).is_err());
+        assert!(ScaledPoissonYield::new(d, 1.5, lam).is_err());
     }
 
     #[test]
     fn batched_slice_is_bit_identical_to_scalar() {
+        let d = ScaledPoissonYield::FIG8_D;
         let points: Vec<(Microns, SquareCentimeters)> = (1..40)
             .map(|i| {
                 let l = 0.3 + 0.03 * f64::from(i);
                 (Microns::new(l).unwrap(), area(0.1 * f64::from(i)))
             })
             .collect();
-        let batch = ScaledPoissonYield::yields_for_slice(1.72, 4.07, &points).unwrap();
+        let batch = ScaledPoissonYield::yields_for_slice(d, 4.07, &points).unwrap();
         for (&(lam, a), got) in points.iter().zip(&batch) {
-            let scalar = ScaledPoissonYield::new(1.72, 4.07, lam)
-                .unwrap()
-                .die_yield(a);
+            let scalar = ScaledPoissonYield::new(d, 4.07, lam).unwrap().die_yield(a);
             assert_eq!(got.value().to_bits(), scalar.value().to_bits());
         }
     }
 
     #[test]
     fn batched_slice_validates_calibration_even_when_empty() {
-        assert!(ScaledPoissonYield::yields_for_slice(0.0, 4.0, &[]).is_err());
-        assert!(ScaledPoissonYield::yields_for_slice(1.0, 1.5, &[]).is_err());
-        assert!(ScaledPoissonYield::yields_for_slice(1.72, 4.07, &[])
-            .unwrap()
-            .is_empty());
+        let d = ReferenceDefectDensity::new(1.0).unwrap();
+        assert!(ScaledPoissonYield::yields_for_slice(d, 1.5, &[]).is_err());
+        assert!(
+            ScaledPoissonYield::yields_for_slice(ScaledPoissonYield::FIG8_D, 4.07, &[])
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]

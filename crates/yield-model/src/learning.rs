@@ -15,7 +15,9 @@
 //! ramp (wafers started before yield matures are mostly scrap — a real
 //! cost of entering a new node that eq. (1) alone does not show).
 
-use maly_units::{DefectDensity, Dollars, Probability, SquareCentimeters, UnitError};
+use maly_units::{
+    DefectDensity, Dollars, Probability, ProductionVolume, SquareCentimeters, UnitError,
+};
 
 use crate::{PoissonYield, YieldModel};
 
@@ -165,15 +167,13 @@ impl LearningCurve {
         months: f64,
         die_area: SquareCentimeters,
         raw_die_cost: Dollars,
-        // audit:allow(bare-f64): fractional production volume; DieCount is
-        // an integral per-wafer count, not a ramp volume.
-        dies_ramped: f64,
+        dies_ramped: ProductionVolume,
     ) -> Dollars {
         let ramp_yield = self.average_ramp_yield(months, die_area).value();
         let mature_yield = PoissonYield::new(self.mature).die_yield(die_area).value();
         let per_good_ramp = raw_die_cost.value() / ramp_yield;
         let per_good_mature = raw_die_cost.value() / mature_yield;
-        Dollars::clamped((per_good_ramp - per_good_mature) * dies_ramped)
+        Dollars::clamped((per_good_ramp - per_good_mature) * dies_ramped.value())
     }
 }
 
@@ -271,8 +271,9 @@ mod tests {
         )
         .unwrap();
         let raw = Dollars::new(20.0).unwrap();
-        let premium_slow = slow.ramp_scrap_premium(12.0, die(), raw, 10_000.0);
-        let premium_fast = fast.ramp_scrap_premium(12.0, die(), raw, 10_000.0);
+        let volume = ProductionVolume::new(10_000.0).unwrap();
+        let premium_slow = slow.ramp_scrap_premium(12.0, die(), raw, volume);
+        let premium_fast = fast.ramp_scrap_premium(12.0, die(), raw, volume);
         assert!(premium_slow.value() > premium_fast.value());
         assert!(premium_fast.value() > 0.0);
     }

@@ -9,12 +9,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 3.1 M-transistor BiCMOS microprocessor at the 0.8 µm node —
     // row 1 of the paper's Table 3.
     let optimistic = ProductScenario::builder("BiCMOS µP (optimistic fab)")
-        .transistors(3.1e6)?
-        .feature_size_um(0.8)?
-        .design_density(150.0)? // λ²/transistor, Table 2 territory
-        .wafer_radius_cm(7.5)? // 6-inch wafer
-        .reference_yield(0.9)? // 90% yield on a 1 cm² die
-        .reference_wafer_cost(700.0)? // $700 for the 1 µm reference wafer
+        .transistors(TransistorCount::new(3.1e6)?)
+        .feature_size(Microns::new(0.8)?)
+        .design_density(DesignDensity::new(150.0)?) // λ²/transistor, Table 2 territory
+        .wafer_radius(Centimeters::new(7.5)?) // 6-inch wafer
+        .reference_yield(Probability::new(0.9)?) // 90% yield on a 1 cm² die
+        .reference_wafer_cost(Dollars::new(700.0)?) // $700 for the 1 µm reference wafer
         .cost_escalation(1.4)? // X: wafer cost growth per generation
         .build()?;
 
@@ -40,12 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The same silicon under realistic assumptions (Table 3 row 2):
     // yield drops to 70%/cm², escalation climbs to X = 1.8.
     let realistic = ProductScenario::builder("BiCMOS µP (realistic fab)")
-        .transistors(3.1e6)?
-        .feature_size_um(0.8)?
-        .design_density(150.0)?
-        .wafer_radius_cm(7.5)?
-        .reference_yield(0.7)?
-        .reference_wafer_cost(700.0)?
+        .transistors(TransistorCount::new(3.1e6)?)
+        .feature_size(Microns::new(0.8)?)
+        .design_density(DesignDensity::new(150.0)?)
+        .wafer_radius(Centimeters::new(7.5)?)
+        .reference_yield(Probability::new(0.7)?)
+        .reference_wafer_cost(Dollars::new(700.0)?)
         .cost_escalation(1.8)?
         .build()?;
     let realistic_cost = realistic.evaluate()?;

@@ -18,12 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Our product: 2.8M transistors at d_d = 102 — 0.71 cm² at 0.5 µm.
     let product_on_new_node = ProductScenario::builder("CMOS µP @ 0.5µm")
-        .transistors(2.8e6)?
-        .feature_size_um(0.5)?
-        .design_density(102.0)?
-        .wafer_radius_cm(7.5)?
-        .reference_yield(0.7)? // placeholder; the curve supplies yield below
-        .reference_wafer_cost(700.0)?
+        .transistors(TransistorCount::new(2.8e6)?)
+        .feature_size(Microns::new(0.5)?)
+        .design_density(DesignDensity::new(102.0)?)
+        .wafer_radius(Centimeters::new(7.5)?)
+        .reference_yield(Probability::new(0.7)?) // placeholder; the curve supplies yield below
+        .reference_wafer_cost(Dollars::new(700.0)?)
         .cost_escalation(1.8)?
         .build()?;
     let die_area = product_on_new_node.die_area();
@@ -32,12 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Today's cost on the mature 0.8 µm node (Table 3 row 7 class).
     let mature_old_node = ProductScenario::builder("CMOS µP @ 0.8µm")
-        .transistors(2.8e6)?
-        .feature_size_um(0.8)?
-        .design_density(102.0)?
-        .wafer_radius_cm(7.5)?
-        .reference_yield(0.7)?
-        .reference_wafer_cost(700.0)?
+        .transistors(TransistorCount::new(2.8e6)?)
+        .feature_size(Microns::new(0.8)?)
+        .design_density(DesignDensity::new(102.0)?)
+        .wafer_radius(Centimeters::new(7.5)?)
+        .reference_yield(Probability::new(0.7)?)
+        .reference_wafer_cost(Dollars::new(700.0)?)
         .cost_escalation(1.8)?
         .build()?;
     let old_cost = mature_old_node.evaluate()?.cost_per_good_die.value();
@@ -80,7 +80,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // What a 12-month early launch would have cost in scrap:
-    let premium = curve.ramp_scrap_premium(12.0, die_area, raw_die_cost, 50_000.0);
+    let premium = curve.ramp_scrap_premium(
+        12.0,
+        die_area,
+        raw_die_cost,
+        ProductionVolume::new(50_000.0)?,
+    );
     println!(
         "→ committing 50k dies during the first 12 months costs an extra \
          {:.0} $ versus mature-yield production.",

@@ -20,12 +20,12 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let product = ProductScenario::builder("BiCMOS µP")
-//!     .transistors(3.1e6)?
-//!     .feature_size_um(0.8)?
-//!     .design_density(150.0)?
-//!     .wafer_radius_cm(7.5)?
-//!     .reference_yield(0.9)?
-//!     .reference_wafer_cost(700.0)?
+//!     .transistors(TransistorCount::new(3.1e6)?)
+//!     .feature_size(Microns::new(0.8)?)
+//!     .design_density(DesignDensity::new(150.0)?)
+//!     .wafer_radius(Centimeters::new(7.5)?)
+//!     .reference_yield(Probability::new(0.9)?)
+//!     .reference_wafer_cost(Dollars::new(700.0)?)
 //!     .cost_escalation(1.4)?
 //!     .build()?;
 //!
@@ -76,8 +76,8 @@ pub mod prelude {
     };
     pub use maly_units::{
         Centimeters, DefectDensity, DesignDensity, DieCount, Dollars, MicroDollars, Microns,
-        Millimeters, Probability, SquareCentimeters, SquareMicrons, SquareMillimeters,
-        TransistorCount, UnitError,
+        MicronsDelta, Millimeters, Probability, ProductionVolume, ReferenceDefectDensity,
+        SquareCentimeters, SquareMicrons, SquareMillimeters, TransistorCount, UnitError,
     };
     pub use maly_wafer_geom::{DieDimensions, Wafer, WaferMap};
     pub use maly_yield_model::{

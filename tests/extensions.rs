@@ -13,18 +13,12 @@ use silicon_cost::yield_model::learning::LearningCurve;
 
 fn row2_scenario() -> ProductScenario {
     ProductScenario::builder("row2")
-        .transistors(3.1e6)
-        .unwrap()
-        .feature_size_um(0.8)
-        .unwrap()
-        .design_density(150.0)
-        .unwrap()
-        .wafer_radius_cm(7.5)
-        .unwrap()
-        .reference_yield(0.7)
-        .unwrap()
-        .reference_wafer_cost(700.0)
-        .unwrap()
+        .transistors(TransistorCount::new(3.1e6).unwrap())
+        .feature_size(Microns::new(0.8).unwrap())
+        .design_density(DesignDensity::new(150.0).unwrap())
+        .wafer_radius(Centimeters::new(7.5).unwrap())
+        .reference_yield(Probability::new(0.7).unwrap())
+        .reference_wafer_cost(Dollars::new(700.0).unwrap())
         .cost_escalation(1.8)
         .unwrap()
         .build()

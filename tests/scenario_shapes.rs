@@ -102,18 +102,12 @@ fn shrink_crossover_x_is_between_the_scenarios() {
 fn bigger_wafers_cut_cost_at_equal_assumptions() {
     let build = |radius: f64| {
         ProductScenario::builder("DRAM 256Mb")
-            .transistors(264.0e6)
-            .unwrap()
-            .feature_size_um(0.25)
-            .unwrap()
-            .design_density(29.0)
-            .unwrap()
-            .wafer_radius_cm(radius)
-            .unwrap()
-            .reference_yield(0.9)
-            .unwrap()
-            .reference_wafer_cost(600.0)
-            .unwrap()
+            .transistors(TransistorCount::new(264.0e6).unwrap())
+            .feature_size(Microns::new(0.25).unwrap())
+            .design_density(DesignDensity::new(29.0).unwrap())
+            .wafer_radius(Centimeters::new(radius).unwrap())
+            .reference_yield(Probability::new(0.9).unwrap())
+            .reference_wafer_cost(Dollars::new(600.0).unwrap())
             .cost_escalation(1.8)
             .unwrap()
             .build()

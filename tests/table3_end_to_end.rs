@@ -77,18 +77,12 @@ fn conclusions_robust_to_die_packing_model() {
                 .cost_per_transistor
                 .value();
             let scenario = ProductScenario::builder(row.name)
-                .transistors(row.transistors)
-                .unwrap()
-                .feature_size_um(row.feature_size_um)
-                .unwrap()
-                .design_density(row.design_density)
-                .unwrap()
-                .wafer_radius_cm(row.wafer_radius_cm)
-                .unwrap()
-                .reference_yield(row.reference_yield)
-                .unwrap()
-                .reference_wafer_cost(row.reference_cost)
-                .unwrap()
+                .transistors(TransistorCount::new(row.transistors).unwrap())
+                .feature_size(Microns::new(row.feature_size_um).unwrap())
+                .design_density(DesignDensity::new(row.design_density).unwrap())
+                .wafer_radius(Centimeters::new(row.wafer_radius_cm).unwrap())
+                .reference_yield(Probability::new(row.reference_yield).unwrap())
+                .reference_wafer_cost(Dollars::new(row.reference_cost).unwrap())
                 .cost_escalation(row.escalation)
                 .unwrap()
                 .dies_per_wafer_method(method)
@@ -111,18 +105,12 @@ fn conclusions_robust_to_die_packing_model() {
 fn as_printed_exponent_fails_to_reproduce() {
     let row1 = &table3::rows()[0];
     let scenario = ProductScenario::builder(row1.name)
-        .transistors(row1.transistors)
-        .unwrap()
-        .feature_size_um(row1.feature_size_um)
-        .unwrap()
-        .design_density(row1.design_density)
-        .unwrap()
-        .wafer_radius_cm(row1.wafer_radius_cm)
-        .unwrap()
-        .reference_yield(row1.reference_yield)
-        .unwrap()
-        .reference_wafer_cost(row1.reference_cost)
-        .unwrap()
+        .transistors(TransistorCount::new(row1.transistors).unwrap())
+        .feature_size(Microns::new(row1.feature_size_um).unwrap())
+        .design_density(DesignDensity::new(row1.design_density).unwrap())
+        .wafer_radius(Centimeters::new(row1.wafer_radius_cm).unwrap())
+        .reference_yield(Probability::new(row1.reference_yield).unwrap())
+        .reference_wafer_cost(Dollars::new(row1.reference_cost).unwrap())
         .cost_escalation(row1.escalation)
         .unwrap()
         .generation_rate(WaferCostModel::AS_PRINTED_GENERATION_RATE)
