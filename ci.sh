@@ -7,8 +7,15 @@ set -eu
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
-echo "== maly-audit lint"
-cargo run -q -p xtask -- lint
+echo "== maly-audit lint (report archived to target/lint_report.json)"
+mkdir -p target
+cargo run -q -p xtask -- lint --json target/lint_report.json
+# The report must self-describe as clean: a violation in any family
+# (the determinism / lock-order / stale-escape families included)
+# already failed the command above, but the archived artifact is what
+# downstream tooling consumes, so sanity-check it too.
+grep -q '"schema": "maly-audit/v2"' target/lint_report.json
+grep -q '"clean": true' target/lint_report.json
 
 echo "== cargo test (MALY_PAR_THREADS=1, serial)"
 MALY_PAR_THREADS=1 cargo test --workspace -q

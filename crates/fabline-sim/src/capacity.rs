@@ -160,11 +160,16 @@ impl Fab {
                 available_steps: class.annual_capacity_steps() * f64::from(*units),
             })
             .collect();
-        // Families demanded but not owned appear as infeasible entries.
-        for (family, demanded) in &steps {
-            if !entries.iter().any(|e| e.family == *family) {
+        // Families demanded but not owned appear as infeasible entries,
+        // visited in ToolFamily::ALL order so the report is independent
+        // of the demand map's hash order.
+        for family in ToolFamily::ALL {
+            let Some(demanded) = steps.get(&family) else {
+                continue;
+            };
+            if !entries.iter().any(|e| e.family == family) {
                 entries.push(UtilizationEntry {
-                    family: *family,
+                    family,
                     units: 0,
                     demanded_steps: *demanded,
                     available_steps: 0.0,

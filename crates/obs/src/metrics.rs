@@ -362,8 +362,8 @@ mod tests {
         TEST_DIAG.reset();
         std::thread::scope(|scope| {
             for _ in 0..4 {
-                // audit:allow(raw-thread): exercising the sharded counter
-                // from distinct OS threads requires real threads.
+                // Exercising the sharded counter from distinct
+                // OS threads requires real threads.
                 scope.spawn(|| {
                     for _ in 0..1000 {
                         TEST_DIAG.incr();

@@ -243,7 +243,7 @@ mod tests {
         let root = span("test.span.submit");
         let parent = root.id();
         std::thread::scope(|scope| {
-            // audit:allow(raw-thread): simulating a pool worker.
+            // Simulating a pool worker.
             scope.spawn(move || {
                 let worker = span_child("test.span.worker", parent);
                 // The worker's own stack now has the child on top, so a

@@ -1,0 +1,418 @@
+//! The determinism rule family: flags values that differ run-to-run —
+//! hash-map iteration order, randomized hasher state, wall-clock
+//! reads, thread identity, relaxed atomic reads — on result paths.
+//!
+//! The workspace's load-bearing contract is that parallel==serial and
+//! served==direct outputs are bit-identical (DESIGN.md §7/§10); the
+//! cost model itself is pure arithmetic, so any nondeterminism is an
+//! engineering artifact this rule can catch before the golden tests
+//! do.
+//!
+//! Exemptions follow the "counters are Diag, results are Work" model:
+//! the observability and harness crates ([`EXEMPT_CRATES`]) may read
+//! clocks and thread ids because their output is diagnostic, and a
+//! relaxed atomic load is exempt when the symbol index shows its
+//! receiver is a `maly_obs` `Counter` static — a per-value exemption,
+//! not a per-line escape. Everything else needs an explicit
+//! `audit:allow(determinism)` tag with a justification.
+
+use crate::escapes::Escapes;
+use crate::index::FileIndex;
+use crate::rules::{Rule, Violation};
+use crate::scan::{classify, Line};
+
+/// Crates whose entire output is diagnostic, not result data: the
+/// observability layer, the timing harness, and this linter.
+pub const EXEMPT_CRATES: &[&str] = &["maly-obs", "maly-bench", "xtask"];
+
+/// Map-typed storage: `HashMap` or `HashSet` (std's randomized-hasher
+/// collections; `BTreeMap`/`BTreeSet` iterate sorted and are fine).
+fn is_map_type(ty: &str) -> bool {
+    ty.contains("HashMap<") || ty.contains("HashSet<")
+}
+
+/// True when `code[..pos]` ends at an identifier boundary (so `NAME`
+/// matched at `pos` is not the tail of a longer identifier).
+fn boundary_before(code: &str, pos: usize) -> bool {
+    code[..pos]
+        .chars()
+        .next_back()
+        .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+}
+
+/// True when the identifier `name` occurs in `code` followed directly
+/// by `suffix`, at an identifier boundary.
+fn ident_followed_by(code: &str, name: &str, suffix: &str) -> bool {
+    let pattern = format!("{name}{suffix}");
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&pattern) {
+        let abs = from + pos;
+        if boundary_before(code, abs) {
+            return true;
+        }
+        from = abs + 1;
+    }
+    false
+}
+
+/// The binding name ascribed a map type at the `:` found at byte `pos`
+/// of `code`, if the ascription is `name: [&[mut] ['a]] [path::]HashMap<…>`
+/// (or `HashSet`). Covers function parameters, which the symbol index
+/// does not record as storage.
+fn map_ascription(code: &str, pos: usize) -> Option<String> {
+    // A `::` path separator is not a type ascription.
+    if code[..pos].ends_with(':') || code[pos + 1..].starts_with(':') {
+        return None;
+    }
+    let mut ty = code[pos + 1..].trim_start();
+    ty = ty.strip_prefix('&').unwrap_or(ty).trim_start();
+    if let Some(rest) = ty.strip_prefix("mut ") {
+        ty = rest.trim_start();
+    }
+    if let Some(rest) = ty.strip_prefix('\'') {
+        // Skip a lifetime: `&'a HashMap<…>`.
+        ty = rest
+            .trim_start_matches(|c: char| c.is_alphanumeric() || c == '_')
+            .trim_start();
+    }
+    let head: String = ty
+        .chars()
+        .take_while(|&c| c.is_alphanumeric() || c == ':' || c == '_')
+        .collect();
+    let generic = ty[head.len()..].starts_with('<');
+    if !generic || !(head.ends_with("HashMap") || head.ends_with("HashSet")) {
+        return None;
+    }
+    let name: String = code[..pos]
+        .trim_end()
+        .chars()
+        .rev()
+        .take_while(|&c| c.is_alphanumeric() || c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(char::is_numeric) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Collects the names of map-typed bindings visible in this file:
+/// struct fields, statics, `let` locals whose declared type,
+/// constructor, or same-file-function initializer is a
+/// `HashMap`/`HashSet`, and map-typed fn parameters.
+fn map_names(lines: &[Line], index: &FileIndex) -> Vec<String> {
+    let mut names: Vec<String> = index
+        .storage_names(is_map_type)
+        .iter()
+        .map(|it| it.name.clone())
+        .collect();
+    let map_fns: Vec<String> = index
+        .items
+        .iter()
+        .filter(|it| it.kind == crate::index::ItemKind::Fn && !it.in_test && is_map_type(&it.ty))
+        .map(|it| it.name.clone())
+        .collect();
+    for line in lines {
+        if line.in_test {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(pos) = line.code[from..].find(':') {
+            let abs = from + pos;
+            from = abs + 1;
+            if let Some(name) = map_ascription(&line.code, abs) {
+                names.push(name);
+            }
+        }
+        let code = line.code.trim_start();
+        let Some(rest) = code.strip_prefix("let ") else {
+            continue;
+        };
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let declared_map = rest[name.len()..]
+            .trim_start()
+            .strip_prefix(':')
+            .is_some_and(|ty| is_map_type(ty.split('=').next().unwrap_or(ty)));
+        let constructed_map = ["HashMap::", "HashSet::"]
+            .iter()
+            .any(|c| line.code.contains(c));
+        let from_map_fn = map_fns
+            .iter()
+            .any(|f| ident_followed_by(&line.code, f, "("));
+        if declared_map || constructed_map || from_map_fn {
+            names.push(name);
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// True when `code` iterates the binding `name` in hash order:
+/// `.iter()`, `.keys()`, `.values()`, `.drain()`, `.into_iter()`, or a
+/// `for … in [&[mut]] name` loop.
+fn iterates(code: &str, name: &str) -> bool {
+    const ITER_SUFFIXES: &[&str] = &[
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+        ".retain(",
+    ];
+    if ITER_SUFFIXES
+        .iter()
+        .any(|s| ident_followed_by(code, name, s))
+    {
+        return true;
+    }
+    if let Some(for_pos) = code.find("for ") {
+        let tail = &code[for_pos..];
+        for prefix in [" in &mut ", " in &", " in "] {
+            if let Some(pos) = tail.find(prefix) {
+                let after = tail[pos + prefix.len()..].trim_start();
+                if after.starts_with(name)
+                    && after[name.len()..]
+                        .chars()
+                        .next()
+                        .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+                {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The identifier directly before `pattern` in `code` (the receiver of
+/// a method call), if any.
+fn receiver_before(code: &str, pattern: &str) -> Option<String> {
+    let pos = code.find(pattern)?;
+    let head = &code[..pos];
+    let name: String = head
+        .chars()
+        .rev()
+        .take_while(|&c| c.is_alphanumeric() || c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Runs the determinism family over one file.
+#[must_use]
+pub fn determinism_in(
+    file: &str,
+    lines: &[Line],
+    index: &FileIndex,
+    escapes: &mut Escapes,
+) -> Vec<Violation> {
+    let maps = map_names(lines, index);
+    let counters = index.counter_statics();
+    let mut out = Vec::new();
+    let push = |line: usize, message: String, out: &mut Vec<Violation>| {
+        out.push(Violation {
+            file: file.to_string(),
+            line,
+            rule: Rule::Determinism,
+            message,
+        });
+    };
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test || line.code.trim().is_empty() {
+            continue;
+        }
+        let code = &line.code;
+
+        if code.contains("RandomState") && !escapes.allowed(lines, i, "determinism") {
+            push(
+                line.number,
+                "RandomState seeds a per-process hasher; use a fixed-seed hasher or a \
+                 BTreeMap so results are reproducible"
+                    .to_string(),
+                &mut out,
+            );
+        }
+        if (code.contains("SystemTime::now(") || code.contains("UNIX_EPOCH"))
+            && !escapes.allowed(lines, i, "determinism")
+        {
+            push(
+                line.number,
+                "wall-clock read on a result path; thread timestamps in as data or move \
+                 them to maly-obs"
+                    .to_string(),
+                &mut out,
+            );
+        }
+        if (ident_followed_by(code, "thread", "::current()") || code.contains("ThreadId"))
+            && !escapes.allowed(lines, i, "determinism")
+        {
+            push(
+                line.number,
+                "thread identity is scheduling-dependent; key work by task index, not \
+                 thread id"
+                    .to_string(),
+                &mut out,
+            );
+        }
+        if code.contains("Ordering::Relaxed")
+            && (code.contains(".load(") || code.contains(".fetch_"))
+        {
+            let receiver = receiver_before(code, ".load(")
+                .or_else(|| receiver_before(code, ".fetch_"))
+                .unwrap_or_default();
+            let is_counter = counters.iter().any(|c| *c == receiver);
+            if !is_counter && !escapes.allowed(lines, i, "determinism") {
+                push(
+                    line.number,
+                    format!(
+                        "relaxed atomic read of `{receiver}` can observe different values \
+                         run-to-run; use SeqCst on result paths (maly-obs Counter statics \
+                         are exempt)"
+                    ),
+                    &mut out,
+                );
+            }
+        }
+        for name in &maps {
+            if iterates(code, name) && !escapes.allowed(lines, i, "determinism") {
+                push(
+                    line.number,
+                    format!(
+                        "iterating `{name}` (HashMap/HashSet) yields hash order, which \
+                         varies per process; iterate a fixed key order or collect-and-sort \
+                         first"
+                    ),
+                    &mut out,
+                );
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Convenience wrapper over raw source (fixtures and tests).
+#[must_use]
+pub fn determinism(file: &str, source: &str) -> Vec<Violation> {
+    let lines = classify(source);
+    let index = crate::index::index_file(source);
+    let mut escapes = Escapes::collect(&lines);
+    determinism_in(file, &lines, &index, &mut escapes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_map_iteration_via_declared_type() {
+        let src = "use std::collections::HashMap;\n\
+                   pub fn run(m: &HashMap<u8, f64>) {\n\
+                   \x20   let totals: HashMap<u8, f64> = HashMap::new();\n\
+                   \x20   for (k, v) in &totals {\n\
+                   \x20       let _ = (k, v);\n\
+                   \x20   }\n\
+                   }\n";
+        let v = determinism("f.rs", src);
+        assert!(v.iter().any(|v| v.message.contains("totals")), "got: {v:?}");
+    }
+
+    #[test]
+    fn flags_iteration_of_map_returned_by_same_file_fn() {
+        let src = "use std::collections::HashMap;\n\
+                   fn demanded() -> HashMap<u8, f64> { HashMap::new() }\n\
+                   pub fn run() {\n\
+                   \x20   let steps = demanded();\n\
+                   \x20   for (k, v) in &steps { let _ = (k, v); }\n\
+                   }\n";
+        let v = determinism("f.rs", src);
+        assert!(v.iter().any(|v| v.message.contains("steps")), "got: {v:?}");
+    }
+
+    #[test]
+    fn flags_iteration_of_map_typed_fn_parameter() {
+        let src = "pub fn run(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n\
+                   \x20   let mut v = Vec::new();\n\
+                   \x20   for (k, _) in m.iter() {\n\
+                   \x20       v.push(*k);\n\
+                   \x20   }\n\
+                   \x20   v\n\
+                   }\n";
+        let v = determinism("f.rs", src);
+        assert!(v.iter().any(|v| v.message.contains("`m`")), "got: {v:?}");
+    }
+
+    #[test]
+    fn path_separators_are_not_ascriptions() {
+        let src = "pub fn run() {\n\
+                   \x20   let v = std::collections::HashMap::<u8, u8>::new();\n\
+                   \x20   let _ = v.get(&1);\n\
+                   \x20   for x in items.iter() { let _ = x; }\n\
+                   }\n";
+        assert!(determinism("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn get_lookups_are_fine() {
+        let src = "use std::collections::HashMap;\n\
+                   pub fn run() {\n\
+                   \x20   let m: HashMap<u8, f64> = HashMap::new();\n\
+                   \x20   let _ = m.get(&1);\n\
+                   }\n";
+        assert!(determinism("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn counter_relaxed_loads_are_exempt_others_flagged() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   static HITS: maly_obs::Counter = maly_obs::Counter::diag(\"h\");\n\
+                   static RAW: AtomicU64 = AtomicU64::new(0);\n\
+                   pub fn read() -> u64 {\n\
+                   \x20   let _ = HITS.load(Ordering::Relaxed);\n\
+                   \x20   RAW.load(Ordering::Relaxed)\n\
+                   }\n";
+        let v = determinism("f.rs", src);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].message.contains("RAW"));
+    }
+
+    #[test]
+    fn escape_tag_suppresses() {
+        let src = "pub fn stamp() -> u64 {\n\
+                   \x20   // audit:allow(determinism): log filename only, not result data.\n\
+                   \x20   let t = std::time::SystemTime::now();\n\
+                   \x20   let _ = t; 0\n\
+                   }\n";
+        assert!(determinism("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn needle_in_string_or_test_code_is_ignored() {
+        let src = "pub fn doc() -> &'static str { \"SystemTime::now() is banned\" }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   #[test]\n\
+                   \x20   fn t() { let _ = std::time::SystemTime::now(); }\n\
+                   }\n";
+        assert!(determinism("f.rs", src).is_empty());
+    }
+}

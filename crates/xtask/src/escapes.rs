@@ -1,0 +1,255 @@
+//! Escape-tag bookkeeping: `audit:allow(<tag>)` collection, matching,
+//! and staleness detection.
+//!
+//! Every rule family routes suppression through [`Escapes::allowed`],
+//! which both answers "is this finding escaped?" and records that the
+//! escape earned its keep. After all families have run over a file,
+//! [`Escapes::stale`] reports every tag that suppressed nothing — so
+//! the escape ratchet can only tighten: an escape whose violation was
+//! fixed (or that never matched, e.g. one sitting in `#[cfg(test)]`
+//! code the rules skip) must be deleted, not left to silently cover a
+//! future regression.
+//!
+//! Doc comments are prose, not directives: the lexer-based classifier
+//! keeps them out of [`Line::comment`], so a rule's documentation can
+//! mention the tag syntax without creating a live escape site.
+
+use crate::rules::{Rule, Violation};
+use crate::scan::Line;
+
+/// Every escape tag a rule family honors. An `audit:allow(...)` with
+/// any other tag is itself a violation.
+pub const KNOWN_TAGS: &[&str] = &[
+    "panic",
+    "bare-f64",
+    "nan",
+    "float-cmp",
+    "raw-thread",
+    "raw-timing",
+    "determinism",
+    "lock-order",
+];
+
+/// One `audit:allow(<tag>)` occurrence in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscapeSite {
+    /// 1-based line the tag sits on.
+    pub line: usize,
+    /// The tag text inside the parentheses.
+    pub tag: String,
+    /// Whether any rule finding was suppressed by this site.
+    pub used: bool,
+    /// Whether the site sits in `#[cfg(test)]`-gated code (rules skip
+    /// test code, so such a site can never be used).
+    pub in_test: bool,
+}
+
+/// The per-file escape registry.
+#[derive(Debug, Default)]
+pub struct Escapes {
+    sites: Vec<EscapeSite>,
+}
+
+/// Extracts every `audit:allow(<tag>)` occurrence from a comment.
+fn tags_in(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    let marker = concat!("audit:", "allow(");
+    while let Some(pos) = rest.find(marker) {
+        let after = &rest[pos + marker.len()..];
+        if let Some(end) = after.find(')') {
+            out.push(after[..end].to_string());
+            rest = &after[end..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+impl Escapes {
+    /// Scans the classified lines for escape sites (test code included —
+    /// rules skip test code, so a test-side escape is stale by
+    /// construction and will be reported as such).
+    #[must_use]
+    pub fn collect(lines: &[Line]) -> Self {
+        let mut sites = Vec::new();
+        for line in lines {
+            for tag in tags_in(&line.comment) {
+                sites.push(EscapeSite {
+                    line: line.number,
+                    tag,
+                    used: false,
+                    in_test: line.in_test,
+                });
+            }
+        }
+        Self { sites }
+    }
+
+    /// All collected sites.
+    #[must_use]
+    pub fn sites(&self) -> &[EscapeSite] {
+        &self.sites
+    }
+
+    /// Number of non-test sites carrying `tag` (the input to the
+    /// per-crate escape ratchets).
+    #[must_use]
+    pub fn count(&self, tag: &str) -> usize {
+        self.sites
+            .iter()
+            .filter(|s| !s.in_test && s.tag == tag)
+            .count()
+    }
+
+    /// Looks up the escape site covering the code line at `lines[idx]`
+    /// for `tag` *without* marking it used: the tag may sit inline on
+    /// the line itself or on the contiguous comment/blank block
+    /// directly above it. Returns the site index.
+    #[must_use]
+    pub fn check(&self, lines: &[Line], idx: usize, tag: &str) -> Option<usize> {
+        let mut covered = vec![lines[idx].number];
+        let mut k = idx;
+        while k > 0 {
+            let prev = &lines[k - 1];
+            if !prev.code.trim().is_empty() {
+                break;
+            }
+            covered.push(prev.number);
+            k -= 1;
+        }
+        self.sites
+            .iter()
+            .position(|s| s.tag == tag && covered.contains(&s.line))
+    }
+
+    /// Marks the site at `site_idx` as having suppressed a finding.
+    pub fn mark_used(&mut self, site_idx: usize) {
+        if let Some(site) = self.sites.get_mut(site_idx) {
+            site.used = true;
+        }
+    }
+
+    /// True when the finding on `lines[idx]` is escaped for `tag`;
+    /// marks the covering site used.
+    pub fn allowed(&mut self, lines: &[Line], idx: usize, tag: &str) -> bool {
+        match self.check(lines, idx, tag) {
+            Some(site) => {
+                self.mark_used(site);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Like [`Escapes::allowed`] but for a multi-line construct (a
+    /// signature): the tag may sit inline on any line of
+    /// `lines[start..=end]` or above the first line.
+    pub fn allowed_span(&mut self, lines: &[Line], start: usize, end: usize, tag: &str) -> bool {
+        if self.allowed(lines, start, tag) {
+            return true;
+        }
+        let last = end.min(lines.len().saturating_sub(1));
+        for idx in start + 1..=last {
+            if let Some(site) = self
+                .sites
+                .iter()
+                .position(|s| s.tag == tag && s.line == lines[idx].number)
+            {
+                self.mark_used(site);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Violations for every site that suppressed nothing, plus every
+    /// unknown tag. Stale escapes are found *after* all rule families
+    /// have run over the file.
+    #[must_use]
+    pub fn stale(&self, file: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for site in &self.sites {
+            if !KNOWN_TAGS.contains(&site.tag.as_str()) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: site.line,
+                    rule: Rule::StaleEscape,
+                    message: format!(
+                        "unknown escape tag `{}`; known tags: {}",
+                        site.tag,
+                        KNOWN_TAGS.join(", ")
+                    ),
+                });
+            } else if !site.used {
+                let hint = if site.in_test {
+                    " (the rules skip #[cfg(test)] code, so a test-side escape never fires)"
+                } else {
+                    ""
+                };
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: site.line,
+                    rule: Rule::StaleEscape,
+                    message: format!(
+                        "stale escape `audit:allow({})`: it suppresses no violation{hint}; \
+                         delete it so the ratchet stays tight",
+                        site.tag
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::classify;
+
+    #[test]
+    fn collects_tags_and_counts_non_test_sites() {
+        let src = concat!(
+            "// audit:allow(panic): reason\n",
+            "fn f() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    // audit:allow(panic): test-side\n",
+            "    fn t() {}\n",
+            "}\n",
+        );
+        let esc = Escapes::collect(&classify(src));
+        assert_eq!(esc.sites().len(), 2);
+        assert_eq!(esc.count("panic"), 1);
+        assert!(esc.sites()[1].in_test);
+    }
+
+    #[test]
+    fn doc_comment_mentions_are_not_sites() {
+        let src = "//! Escape with `audit:allow(panic)` comments.\nfn f() {}\n";
+        let esc = Escapes::collect(&classify(src));
+        assert!(esc.sites().is_empty());
+    }
+
+    #[test]
+    fn allowed_walks_the_comment_block_above() {
+        let src = "// audit:allow(nan): the index\n// is provably fine.\n\nlet x = 1;\n";
+        let lines = classify(src);
+        let mut esc = Escapes::collect(&lines);
+        assert!(esc.allowed(&lines, 3, "nan"));
+        assert!(esc.stale("f.rs").is_empty());
+    }
+
+    #[test]
+    fn unused_and_unknown_tags_are_stale() {
+        let src = "// audit:allow(panic): nothing here\nfn clean() {}\n// audit:allow(bogus): typo\nfn also_clean() {}\n";
+        let lines = classify(src);
+        let esc = Escapes::collect(&lines);
+        let stale = esc.stale("f.rs");
+        assert_eq!(stale.len(), 2);
+        assert!(stale[0].message.contains("stale escape"));
+        assert!(stale[1].message.contains("unknown escape tag"));
+    }
+}

@@ -1,0 +1,753 @@
+//! The per-file symbol index: a token-level scan that records modules,
+//! functions (with return types and body spans), structs and their
+//! fields, impl blocks, and statics.
+//!
+//! The index is what lets the v2 rule families reason about *values*
+//! instead of lines: the determinism rule resolves which bindings are
+//! `HashMap`s (declared type, constructor, or the return type of a
+//! same-file function) and which statics are `maly-obs` counters; the
+//! lock-order rule resolves which fields and statics are `Mutex`es or
+//! `RwLock`s so guard bindings can be traced back to a lock identity.
+//!
+//! This is a linter's index, not a compiler's: resolution is per-file
+//! and name-based. That bias is deliberate — a miss means a quieter
+//! lint, never a spurious one.
+
+use crate::lexer::{self, TokenKind};
+
+/// What kind of item an [`Item`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `mod name { … }` block.
+    Mod,
+    /// A free or associated `fn`.
+    Fn,
+    /// A `struct` definition.
+    Struct,
+    /// An `enum` definition.
+    Enum,
+    /// An `impl` block (`name` holds the rendered target).
+    Impl,
+    /// A `static` item (`ty` holds the declared type).
+    Static,
+    /// A named struct field (`owner` holds the struct, `ty` the type).
+    Field,
+}
+
+/// One indexed item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Item name (for impls: the rendered target type text).
+    pub name: String,
+    /// `::`-joined module path within the file (empty at file root).
+    pub module: String,
+    /// Whether the item is `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// 1-based line the item starts on.
+    pub line: usize,
+    /// 1-based line the item's body ends on (declaration line for
+    /// braceless items).
+    pub end_line: usize,
+    /// Declared type text: the return type for fns (empty when the fn
+    /// returns `()`), the value type for statics and fields.
+    pub ty: String,
+    /// Enclosing type: the struct for fields, the impl target for
+    /// associated fns; empty for free items.
+    pub owner: String,
+    /// Whether the item sits inside `#[cfg(test)]`-gated code.
+    pub in_test: bool,
+}
+
+/// The index for a single source file.
+#[derive(Debug, Default)]
+pub struct FileIndex {
+    /// All recorded items, in source order.
+    pub items: Vec<Item>,
+}
+
+impl FileIndex {
+    /// Return-type text of the first non-test `fn` named `name`, if the
+    /// file defines one.
+    #[must_use]
+    pub fn fn_return(&self, name: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .find(|it| it.kind == ItemKind::Fn && !it.in_test && it.name == name)
+            .map(|it| it.ty.as_str())
+    }
+
+    /// Names of fields and statics whose type satisfies `pred`.
+    #[must_use]
+    pub fn storage_names(&self, pred: impl Fn(&str) -> bool) -> Vec<&Item> {
+        self.items
+            .iter()
+            .filter(|it| {
+                matches!(it.kind, ItemKind::Field | ItemKind::Static) && !it.in_test && pred(&it.ty)
+            })
+            .collect()
+    }
+
+    /// Non-test statics whose type mentions `maly_obs` `Counter` — the
+    /// "counters are Diag, results are Work" exemption set for the
+    /// determinism rule.
+    #[must_use]
+    pub fn counter_statics(&self) -> Vec<&str> {
+        self.items
+            .iter()
+            .filter(|it| it.kind == ItemKind::Static && !it.in_test && it.ty.contains("Counter"))
+            .map(|it| it.name.as_str())
+            .collect()
+    }
+}
+
+/// A significant (non-trivia) token with its index-relevant fields.
+struct Sig<'a> {
+    text: &'a str,
+    line: usize,
+    is_ident: bool,
+}
+
+/// What opened the brace at each nesting level. Struct bodies never
+/// appear here: `scan_struct` consumes them (fields and all) in one
+/// step, so only modules and impl blocks stay open on the stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ctx {
+    /// `mod name {`
+    Mod(String),
+    /// `impl Target {`
+    Impl(String),
+    /// Anything else (`fn` bodies, expression blocks, match arms…).
+    Other,
+}
+
+/// Builds the index for one file.
+#[must_use]
+pub fn index_file(source: &str) -> FileIndex {
+    let tokens = lexer::lex(source);
+    let flags = crate::scan::test_flags(&tokens);
+    let sig: Vec<(Sig<'_>, bool)> = tokens
+        .iter()
+        .zip(&flags)
+        .filter(|(t, _)| !matches!(t.kind, TokenKind::Whitespace) && !t.is_comment())
+        .map(|(t, &f)| {
+            (
+                Sig {
+                    text: t.text,
+                    line: t.line,
+                    is_ident: matches!(t.kind, TokenKind::Ident),
+                },
+                f,
+            )
+        })
+        .collect();
+
+    let mut index = FileIndex::default();
+    let mut stack: Vec<Ctx> = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        let (tok, in_test) = (&sig[i].0, sig[i].1);
+        match tok.text {
+            "{" => {
+                stack.push(Ctx::Other);
+                i += 1;
+            }
+            "}" => {
+                stack.pop();
+                i += 1;
+            }
+            "mod" if tok.is_ident => {
+                i = scan_mod(&sig, i, &mut stack, &mut index, in_test);
+            }
+            "struct" | "enum" if tok.is_ident => {
+                i = scan_struct(&sig, i, &mut stack, &mut index, in_test);
+            }
+            "impl" if tok.is_ident => {
+                i = scan_impl(&sig, i, &mut stack, &mut index, in_test);
+            }
+            "fn" if tok.is_ident => {
+                i = scan_fn(&sig, i, &stack, &mut index, in_test);
+            }
+            "static" if tok.is_ident => {
+                i = scan_static(&sig, i, &stack, &mut index, in_test);
+            }
+            _ => i += 1,
+        }
+    }
+    index
+}
+
+/// The `::`-joined module path of the current context stack.
+fn module_path(stack: &[Ctx]) -> String {
+    let parts: Vec<&str> = stack
+        .iter()
+        .filter_map(|c| match c {
+            Ctx::Mod(name) => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    parts.join("::")
+}
+
+/// The nearest enclosing type (struct or impl target), if any.
+fn owner_of(stack: &[Ctx]) -> String {
+    stack
+        .iter()
+        .rev()
+        .find_map(|c| match c {
+            Ctx::Impl(name) => Some(name.clone()),
+            _ => None,
+        })
+        .unwrap_or_default()
+}
+
+/// Whether the token directly before `i` marks the item `pub` (looks
+/// back past `pub(crate)`-style qualifiers and other modifiers).
+fn is_pub_before(sig: &[(Sig<'_>, bool)], i: usize) -> bool {
+    let mut k = i;
+    let modifiers = ["const", "unsafe", "extern", "async", "fn", "mut"];
+    while k > 0 {
+        let prev = &sig[k - 1].0;
+        if prev.text == ")" || prev.text == "(" || prev.text == "crate" || prev.text == "super" {
+            k -= 1;
+            continue;
+        }
+        if modifiers.contains(&prev.text) {
+            k -= 1;
+            continue;
+        }
+        return prev.text == "pub";
+    }
+    false
+}
+
+/// Finds the matching `}` for a `{` at significant index `open`,
+/// returning the index *after* it, and the line of the `}`.
+fn skip_braced(sig: &[(Sig<'_>, bool)], open: usize) -> (usize, usize) {
+    let mut depth = 0i64;
+    let mut k = open;
+    while k < sig.len() {
+        match sig[k].0.text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (k + 1, sig[k].0.line);
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    (sig.len(), sig.last().map_or(1, |s| s.0.line))
+}
+
+/// Renders tokens `sig[from..to]` as type text with single spaces
+/// between identifier-adjacent tokens.
+fn render_type(sig: &[(Sig<'_>, bool)], from: usize, to: usize) -> String {
+    let mut out = String::new();
+    for k in from..to {
+        let t = sig[k].0.text;
+        if !out.is_empty()
+            && out.ends_with(|c: char| c.is_alphanumeric() || c == '_')
+            && t.starts_with(|c: char| c.is_alphanumeric() || c == '_')
+        {
+            out.push(' ');
+        }
+        out.push_str(t);
+    }
+    out
+}
+
+/// Scans `mod name { … }` / `mod name;` from the `mod` keyword at `i`.
+fn scan_mod(
+    sig: &[(Sig<'_>, bool)],
+    i: usize,
+    stack: &mut Vec<Ctx>,
+    index: &mut FileIndex,
+    in_test: bool,
+) -> usize {
+    let Some((name_tok, _)) = sig.get(i + 1) else {
+        return i + 1;
+    };
+    if !name_tok.is_ident {
+        return i + 1;
+    }
+    let name = name_tok.text.to_string();
+    match sig.get(i + 2).map(|s| s.0.text) {
+        Some("{") => {
+            let (_, end_line) = skip_braced(sig, i + 2);
+            index.items.push(Item {
+                kind: ItemKind::Mod,
+                name: name.clone(),
+                module: module_path(stack),
+                is_pub: is_pub_before(sig, i),
+                line: sig[i].0.line,
+                end_line,
+                ty: String::new(),
+                owner: String::new(),
+                in_test,
+            });
+            stack.push(Ctx::Mod(name));
+            i + 3
+        }
+        _ => i + 2,
+    }
+}
+
+/// Scans a struct or enum from the keyword at `i`; named struct fields
+/// are recorded individually.
+fn scan_struct(
+    sig: &[(Sig<'_>, bool)],
+    i: usize,
+    stack: &mut Vec<Ctx>,
+    index: &mut FileIndex,
+    in_test: bool,
+) -> usize {
+    let is_enum = sig[i].0.text == "enum";
+    let Some((name_tok, _)) = sig.get(i + 1) else {
+        return i + 1;
+    };
+    if !name_tok.is_ident {
+        return i + 1;
+    }
+    let name = name_tok.text.to_string();
+    // Skip generics between the name and the body/semicolon.
+    let mut k = i + 2;
+    let mut angle = 0i64;
+    while k < sig.len() {
+        match sig[k].0.text {
+            "<" => angle += 1,
+            ">" if angle > 0 => angle -= 1,
+            "{" | ";" | "(" if angle == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    let (next, end_line) = match sig.get(k).map(|s| s.0.text) {
+        Some("{") => {
+            let (after, end) = skip_braced(sig, k);
+            if !is_enum {
+                scan_fields(
+                    sig,
+                    k + 1,
+                    after.saturating_sub(1),
+                    &name,
+                    stack,
+                    index,
+                    in_test,
+                );
+            }
+            (after, end)
+        }
+        _ => (k.saturating_add(1), sig[i].0.line),
+    };
+    index.items.push(Item {
+        kind: if is_enum {
+            ItemKind::Enum
+        } else {
+            ItemKind::Struct
+        },
+        name,
+        module: module_path(stack),
+        is_pub: is_pub_before(sig, i),
+        line: sig[i].0.line,
+        end_line,
+        ty: String::new(),
+        owner: String::new(),
+        in_test,
+    });
+    next
+}
+
+/// Records named fields `[pub] name: Type` between `from` (just after
+/// the struct `{`) and `to` (the matching `}`), depth-aware so nested
+/// braces (default expressions don't exist in struct bodies, but
+/// attribute args do) don't desynchronize the walk.
+fn scan_fields(
+    sig: &[(Sig<'_>, bool)],
+    from: usize,
+    to: usize,
+    owner: &str,
+    stack: &[Ctx],
+    index: &mut FileIndex,
+    in_test: bool,
+) {
+    let mut k = from;
+    while k < to {
+        // Skip attributes `#[…]`.
+        if sig[k].0.text == "#" && sig.get(k + 1).map(|s| s.0.text) == Some("[") {
+            let mut depth = 0i64;
+            while k < to {
+                match sig[k].0.text {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            continue;
+        }
+        // A field starts at `name :` (with optional leading `pub`).
+        if sig[k].0.is_ident
+            && sig[k].0.text != "pub"
+            && sig.get(k + 1).map(|s| s.0.text) == Some(":")
+        {
+            let name = sig[k].0.text.to_string();
+            let line = sig[k].0.line;
+            // Type runs to the next comma at angle/paren/bracket depth 0.
+            let ty_start = k + 2;
+            let mut depth = 0i64;
+            let mut end = ty_start;
+            while end < to {
+                match sig[end].0.text {
+                    "<" | "(" | "[" => depth += 1,
+                    ">" | ")" | "]" if depth > 0 => depth -= 1,
+                    "," if depth == 0 => break,
+                    _ => {}
+                }
+                end += 1;
+            }
+            index.items.push(Item {
+                kind: ItemKind::Field,
+                name,
+                module: module_path(stack),
+                is_pub: sig
+                    .get(k.wrapping_sub(1))
+                    .is_some_and(|s| s.0.text == "pub")
+                    || sig.get(k.wrapping_sub(1)).is_some_and(|s| s.0.text == ")"),
+                line,
+                end_line: line,
+                ty: render_type(sig, ty_start, end),
+                owner: owner.to_string(),
+                in_test,
+            });
+            k = end + 1;
+            continue;
+        }
+        k += 1;
+    }
+}
+
+/// Scans `impl [Trait for] Target { … }` from the `impl` keyword.
+fn scan_impl(
+    sig: &[(Sig<'_>, bool)],
+    i: usize,
+    stack: &mut Vec<Ctx>,
+    index: &mut FileIndex,
+    in_test: bool,
+) -> usize {
+    // Target text: tokens up to the `{`, taking the part after `for`
+    // when present, skipping a leading generics list.
+    let mut k = i + 1;
+    if sig.get(k).map(|s| s.0.text) == Some("<") {
+        let mut angle = 1i64;
+        k += 1;
+        while k < sig.len() && angle > 0 {
+            match sig[k].0.text {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    let mut target_start = k;
+    let mut brace = None;
+    while k < sig.len() {
+        match sig[k].0.text {
+            "for" if sig[k].0.is_ident => target_start = k + 1,
+            "{" => {
+                brace = Some(k);
+                break;
+            }
+            ";" => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    let Some(brace) = brace else {
+        return k + 1;
+    };
+    // Strip `where` clauses and generics from the rendered target: keep
+    // tokens up to the first `where`.
+    let mut target_end = brace;
+    for j in target_start..brace {
+        if sig[j].0.text == "where" && sig[j].0.is_ident {
+            target_end = j;
+            break;
+        }
+    }
+    let target = render_type(sig, target_start, target_end);
+    let (_, end_line) = skip_braced(sig, brace);
+    index.items.push(Item {
+        kind: ItemKind::Impl,
+        name: target.clone(),
+        module: module_path(stack),
+        is_pub: false,
+        line: sig[i].0.line,
+        end_line,
+        ty: String::new(),
+        owner: String::new(),
+        in_test,
+    });
+    stack.push(Ctx::Impl(target));
+    brace + 1
+}
+
+/// Scans a `fn` item from the `fn` keyword: name, return type, body
+/// span.
+fn scan_fn(
+    sig: &[(Sig<'_>, bool)],
+    i: usize,
+    stack: &[Ctx],
+    index: &mut FileIndex,
+    in_test: bool,
+) -> usize {
+    let Some((name_tok, _)) = sig.get(i + 1) else {
+        return i + 1;
+    };
+    if !name_tok.is_ident {
+        return i + 1;
+    }
+    let name = name_tok.text.to_string();
+    // Skip generics (`->` inside bounds must not close the list: a `>`
+    // preceded by `-` is part of an arrow, not a bracket).
+    let mut k = i + 2;
+    if sig.get(k).map(|s| s.0.text) == Some("<") {
+        let mut angle = 1i64;
+        k += 1;
+        while k < sig.len() && angle > 0 {
+            match sig[k].0.text {
+                "<" => angle += 1,
+                ">" if sig.get(k.wrapping_sub(1)).map(|s| s.0.text) != Some("-") => angle -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    // Parameter list.
+    if sig.get(k).map(|s| s.0.text) != Some("(") {
+        return i + 2;
+    }
+    let mut depth = 0i64;
+    while k < sig.len() {
+        match sig[k].0.text {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    // Optional `-> ReturnType`, running to `{`, `;`, or `where`.
+    let mut ret = String::new();
+    if sig.get(k).map(|s| s.0.text) == Some("-") && sig.get(k + 1).map(|s| s.0.text) == Some(">") {
+        let ret_start = k + 2;
+        let mut end = ret_start;
+        let mut angle = 0i64;
+        while end < sig.len() {
+            match sig[end].0.text {
+                "<" => angle += 1,
+                ">" if angle > 0 => angle -= 1,
+                "{" | ";" if angle == 0 => break,
+                "where" if angle == 0 && sig[end].0.is_ident => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        ret = render_type(sig, ret_start, end);
+        k = end;
+    }
+    // Body span.
+    while k < sig.len() && sig[k].0.text != "{" && sig[k].0.text != ";" {
+        k += 1;
+    }
+    let (next, end_line) = if sig.get(k).map(|s| s.0.text) == Some("{") {
+        skip_braced(sig, k)
+    } else {
+        (k + 1, sig[i].0.line)
+    };
+    index.items.push(Item {
+        kind: ItemKind::Fn,
+        name,
+        module: module_path(stack),
+        is_pub: is_pub_before(sig, i),
+        line: sig[i].0.line,
+        end_line,
+        ty: ret,
+        owner: owner_of(stack),
+        in_test,
+    });
+    next
+}
+
+/// Scans `static NAME: Type = …;` from the `static` keyword.
+fn scan_static(
+    sig: &[(Sig<'_>, bool)],
+    i: usize,
+    stack: &[Ctx],
+    index: &mut FileIndex,
+    in_test: bool,
+) -> usize {
+    let mut k = i + 1;
+    if sig.get(k).map(|s| s.0.text) == Some("mut") {
+        k += 1;
+    }
+    let Some((name_tok, _)) = sig.get(k) else {
+        return i + 1;
+    };
+    if !name_tok.is_ident {
+        return i + 1;
+    }
+    let name = name_tok.text.to_string();
+    let line = name_tok.line;
+    if sig.get(k + 1).map(|s| s.0.text) != Some(":") {
+        return k + 1;
+    }
+    let ty_start = k + 2;
+    let mut end = ty_start;
+    let mut angle = 0i64;
+    while end < sig.len() {
+        match sig[end].0.text {
+            "<" | "(" | "[" => angle += 1,
+            ">" | ")" | "]" if angle > 0 => angle -= 1,
+            "=" | ";" if angle == 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    index.items.push(Item {
+        kind: ItemKind::Static,
+        name,
+        module: module_path(stack),
+        is_pub: is_pub_before(sig, i),
+        line,
+        end_line: line,
+        ty: render_type(sig, ty_start, end),
+        owner: owner_of(stack),
+        in_test,
+    });
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+pub mod inner {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, RwLock};
+
+    pub struct Cache {
+        pub map: RwLock<HashMap<u64, f64>>,
+        hits: u64,
+    }
+
+    static TOTALS: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+
+    impl Cache {
+        pub fn snapshot(&self) -> HashMap<u64, f64> {
+            HashMap::new()
+        }
+    }
+
+    pub fn build_lookup(n: usize) -> HashMap<u64, f64> {
+        let mut m = HashMap::new();
+        m.insert(n as u64, 0.0);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper() -> std::collections::HashMap<u8, u8> {
+        std::collections::HashMap::new()
+    }
+}
+"#;
+
+    #[test]
+    fn records_modules_structs_fields_and_fns() {
+        let idx = index_file(SRC);
+        let cache = idx
+            .items
+            .iter()
+            .find(|it| it.kind == ItemKind::Struct && it.name == "Cache")
+            .expect("struct indexed");
+        assert_eq!(cache.module, "inner");
+        assert!(cache.is_pub);
+
+        let map = idx
+            .items
+            .iter()
+            .find(|it| it.kind == ItemKind::Field && it.name == "map")
+            .expect("field indexed");
+        assert_eq!(map.owner, "Cache");
+        assert!(map.ty.contains("RwLock<HashMap<u64,f64>>") || map.ty.contains("RwLock<"));
+
+        let hits = idx
+            .items
+            .iter()
+            .find(|it| it.kind == ItemKind::Field && it.name == "hits")
+            .expect("private field indexed");
+        assert_eq!(hits.ty, "u64");
+        assert!(!hits.is_pub);
+    }
+
+    #[test]
+    fn records_fn_return_types_and_owners() {
+        let idx = index_file(SRC);
+        assert!(idx
+            .fn_return("build_lookup")
+            .unwrap_or("")
+            .contains("HashMap<"));
+        let snap = idx
+            .items
+            .iter()
+            .find(|it| it.kind == ItemKind::Fn && it.name == "snapshot")
+            .expect("method indexed");
+        assert_eq!(snap.owner, "Cache");
+        assert!(snap.ty.contains("HashMap<"));
+        assert!(snap.end_line > snap.line);
+    }
+
+    #[test]
+    fn records_statics_with_types() {
+        let idx = index_file(SRC);
+        let locks = idx.storage_names(|ty| ty.contains("Mutex<"));
+        assert!(locks.iter().any(|it| it.name == "TOTALS"));
+    }
+
+    #[test]
+    fn test_gated_fns_are_marked_and_skipped_by_fn_return() {
+        let idx = index_file(SRC);
+        let helper = idx
+            .items
+            .iter()
+            .find(|it| it.kind == ItemKind::Fn && it.name == "helper")
+            .expect("test fn indexed");
+        assert!(helper.in_test);
+        assert!(idx.fn_return("helper").is_none());
+    }
+
+    #[test]
+    fn counter_statics_match_by_type() {
+        let src = "static HITS: maly_obs::Counter = maly_obs::Counter::diag(\"h\");\n";
+        let idx = index_file(src);
+        assert_eq!(idx.counter_statics(), vec!["HITS"]);
+    }
+}

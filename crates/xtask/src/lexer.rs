@@ -1,0 +1,496 @@
+//! A std-only Rust token lexer for the maly-audit analyzer.
+//!
+//! The lexer replaces the original per-line heuristics: it understands
+//! line and (nested) block comments, regular / raw / byte string
+//! literals, char literals vs. lifetimes, identifiers, numbers, and
+//! punctuation. It is *lossless*: concatenating the `text` of every
+//! token reproduces the source byte-for-byte (enforced by the
+//! `lexer_roundtrip` test over every `.rs` file in the workspace), so
+//! downstream passes can reason in tokens while still reporting exact
+//! line numbers.
+//!
+//! It is deliberately **not** a full Rust lexer: it does not validate
+//! numeric literal grammar or reject malformed escapes — on anything
+//! it does not recognize it falls back to a one-character [`TokenKind::Punct`]
+//! token, which keeps the round-trip guarantee on arbitrary input.
+
+/// The token classes the analyzer distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (may span newlines).
+    Whitespace,
+    /// A `//`-to-end-of-line comment (newline not included). Doc
+    /// comments (`///`, `//!`) are the same kind; see [`Token::is_doc`].
+    LineComment,
+    /// A `/* … */` comment, nesting handled; may span lines.
+    BlockComment,
+    /// A `"…"`, `b"…"`, or `c"…"` string literal (escapes handled).
+    Str,
+    /// A raw string literal `r"…"`, `r#"…"#`, `br#"…"#` (any hash depth).
+    RawStr,
+    /// A char or byte literal `'x'`, `b'\n'`.
+    CharLit,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// An identifier or keyword.
+    Ident,
+    /// A numeric literal (integer or float, suffixes included).
+    Number,
+    /// A single character of punctuation (also the malformed-input
+    /// fallback).
+    Punct,
+}
+
+/// One lexed token: a classified slice of the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Which class the token belongs to.
+    pub kind: TokenKind,
+    /// The exact source text, byte-for-byte.
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+impl Token<'_> {
+    /// True for doc comments (`///`, `//!`, `/**`, `/*!`), which
+    /// document items rather than annotate code — escape tags inside
+    /// them are treated as prose, not directives. A `////…` ruler line
+    /// is a regular comment, per rustdoc's own rules.
+    #[must_use]
+    pub fn is_doc(&self) -> bool {
+        match self.kind {
+            TokenKind::LineComment => {
+                (self.text.starts_with("///") && !self.text.starts_with("////"))
+                    || self.text.starts_with("//!")
+            }
+            TokenKind::BlockComment => {
+                (self.text.starts_with("/**") && !self.text.starts_with("/***"))
+                    || self.text.starts_with("/*!")
+            }
+            _ => false,
+        }
+    }
+
+    /// True for comments of either flavor.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// True for characters that may continue an identifier.
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True for characters that may start an identifier.
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// The cursor state shared by the scanning helpers: a byte offset into
+/// the source, always on a char boundary.
+struct Cursor<'a> {
+    src: &'a str,
+    /// Byte offset of the next unconsumed character.
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, pos: 0 }
+    }
+
+    /// The next character without consuming it.
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    /// The character after the next one.
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    /// Consumes one character, returning it.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Consumes characters while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a quoted run terminated by `quote`, honoring `\`
+    /// escapes; stops at end of input (unterminated literals lex to the
+    /// end of the file — still a valid round-trip).
+    fn eat_string_body(&mut self, quote: char) {
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == quote {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a raw-string body after its opening `"` given the hash
+    /// depth: scans to `"` followed by `hashes` `#` characters.
+    fn eat_raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c != '"' {
+                continue;
+            }
+            let rest = &self.src[self.pos..];
+            if rest.chars().take(hashes).filter(|&h| h == '#').count() == hashes {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// Consumes a block comment body after the opening `/*`, handling
+    /// nesting.
+    fn eat_block_comment_body(&mut self) {
+        let mut depth = 1usize;
+        while let Some(c) = self.bump() {
+            if c == '/' && self.peek() == Some('*') {
+                self.bump();
+                depth += 1;
+            } else if c == '*' && self.peek() == Some('/') {
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Consumes a numeric literal after its first digit: digits,
+    /// underscores, alphanumeric suffixes, at most one fractional dot
+    /// (only when followed by a digit), and signed exponents.
+    fn eat_number_body(&mut self) {
+        let mut saw_dot = false;
+        let mut prev_was_exp = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                prev_was_exp = matches!(c, 'e' | 'E');
+                self.bump();
+            } else if c == '.' && !saw_dot && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                saw_dot = true;
+                prev_was_exp = false;
+                self.bump();
+            } else if (c == '+' || c == '-') && prev_was_exp {
+                prev_was_exp = false;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// True when the source at `cursor` starts a raw-string opener
+/// (`"` or `#…#"`); used after an `r`/`br` prefix.
+fn raw_string_hashes(rest: &str) -> Option<usize> {
+    let hashes = rest.chars().take_while(|&c| c == '#').count();
+    let mut it = rest.chars().skip(hashes);
+    (it.next() == Some('"')).then_some(hashes)
+}
+
+/// Lexes `source` into a lossless token stream: the concatenation of
+/// every token's `text` equals `source`.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    let mut cursor = Cursor::new(source);
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    while let Some(first) = cursor.peek() {
+        let start = cursor.pos;
+        let start_line = line;
+        let kind = scan_token(&mut cursor, first);
+        let text = &source[start..cursor.pos];
+        line += text.bytes().filter(|&b| b == b'\n').count();
+        tokens.push(Token {
+            kind,
+            text,
+            line: start_line,
+        });
+    }
+    tokens
+}
+
+/// Scans one token starting at `first`, advancing the cursor past it.
+fn scan_token(cursor: &mut Cursor<'_>, first: char) -> TokenKind {
+    if first.is_whitespace() {
+        cursor.eat_while(char::is_whitespace);
+        return TokenKind::Whitespace;
+    }
+    if first == '/' {
+        match cursor.peek2() {
+            Some('/') => {
+                cursor.eat_while(|c| c != '\n');
+                return TokenKind::LineComment;
+            }
+            Some('*') => {
+                cursor.bump();
+                cursor.bump();
+                cursor.eat_block_comment_body();
+                return TokenKind::BlockComment;
+            }
+            _ => {
+                cursor.bump();
+                return TokenKind::Punct;
+            }
+        }
+    }
+    if first == '"' {
+        cursor.bump();
+        cursor.eat_string_body('"');
+        return TokenKind::Str;
+    }
+    if first == '\'' {
+        return scan_quote(cursor);
+    }
+    if first.is_ascii_digit() {
+        cursor.bump();
+        cursor.eat_number_body();
+        return TokenKind::Number;
+    }
+    if is_ident_start(first) {
+        return scan_ident_or_prefixed(cursor, first);
+    }
+    cursor.bump();
+    TokenKind::Punct
+}
+
+/// Scans an identifier, or a string/char literal behind an `r`, `b`,
+/// `br`, `c`, or `b'` prefix.
+fn scan_ident_or_prefixed(cursor: &mut Cursor<'_>, first: char) -> TokenKind {
+    // Raw / byte / C-string prefixes are identifiers glued to a quote.
+    if matches!(first, 'r' | 'b' | 'c') {
+        let rest = &cursor.src[cursor.pos + first.len_utf8()..];
+        match first {
+            'r' => {
+                if let Some(hashes) = raw_string_hashes(rest) {
+                    cursor.bump(); // r
+                    for _ in 0..hashes {
+                        cursor.bump();
+                    }
+                    cursor.bump(); // opening "
+                    cursor.eat_raw_string_body(hashes);
+                    return TokenKind::RawStr;
+                }
+            }
+            'b' => {
+                if rest.starts_with('"') {
+                    cursor.bump();
+                    cursor.bump();
+                    cursor.eat_string_body('"');
+                    return TokenKind::Str;
+                }
+                if rest.starts_with('\'') {
+                    cursor.bump();
+                    cursor.bump();
+                    cursor.eat_string_body('\'');
+                    return TokenKind::CharLit;
+                }
+                if let Some(stripped) = rest.strip_prefix('r') {
+                    if let Some(hashes) = raw_string_hashes(stripped) {
+                        cursor.bump(); // b
+                        cursor.bump(); // r
+                        for _ in 0..hashes {
+                            cursor.bump();
+                        }
+                        cursor.bump(); // opening "
+                        cursor.eat_raw_string_body(hashes);
+                        return TokenKind::RawStr;
+                    }
+                }
+            }
+            'c' => {
+                if rest.starts_with('"') {
+                    cursor.bump();
+                    cursor.bump();
+                    cursor.eat_string_body('"');
+                    return TokenKind::Str;
+                }
+            }
+            _ => {}
+        }
+    }
+    cursor.bump();
+    cursor.eat_while(is_ident_continue);
+    TokenKind::Ident
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) after a
+/// leading `'`.
+fn scan_quote(cursor: &mut Cursor<'_>) -> TokenKind {
+    cursor.bump(); // the opening '
+    match cursor.peek() {
+        // `'\n'`, `'\u{1F600}'`: escapes are always char literals.
+        Some('\\') => {
+            cursor.eat_string_body('\'');
+            TokenKind::CharLit
+        }
+        Some(c) if is_ident_continue(c) => {
+            // `'a'` is a char; `'a` / `'static` are lifetimes. Scan the
+            // ident run and check for a closing quote right after a
+            // single-character run.
+            let run_start = cursor.pos;
+            cursor.eat_while(is_ident_continue);
+            let run = &cursor.src[run_start..cursor.pos];
+            if cursor.peek() == Some('\'') && run.chars().count() == 1 {
+                cursor.bump();
+                TokenKind::CharLit
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        // `'('`, `' '`: a non-ident char then (hopefully) a quote.
+        Some(_) => {
+            cursor.bump();
+            if cursor.peek() == Some('\'') {
+                cursor.bump();
+            }
+            TokenKind::CharLit
+        }
+        None => TokenKind::Punct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<Token<'_>> {
+        let tokens = lex(src);
+        let rebuilt: String = tokens.iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, src, "tokens must reassemble the source");
+        tokens
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        roundtrip(src)
+            .iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_code() {
+        let toks = roundtrip("let a = 1; // trailing\n/* block */ b();\n");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::LineComment && t.text == "// trailing"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::BlockComment && t.text == "/* block */"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = roundtrip("/* outer /* inner */ still */ x");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[0].text, "/* outer /* inner */ still */");
+    }
+
+    #[test]
+    fn strings_hide_comment_markers() {
+        let toks = roundtrip(r#"let url = "http://x"; // real"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r#""http://x""#);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn multiline_and_raw_strings() {
+        let toks = roundtrip("let a = \"line1\nline2\";\nlet b = r#\"raw \" quote\"#;");
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs[0].text, "\"line1\nline2\"");
+        let raws: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::RawStr)
+            .collect();
+        assert_eq!(raws[0].text, "r#\"raw \" quote\"#");
+    }
+
+    #[test]
+    fn byte_literals() {
+        assert!(kinds("b\"bytes\"").contains(&TokenKind::Str));
+        assert!(kinds("b'\\n'").contains(&TokenKind::CharLit));
+        assert!(kinds("br#\"raw bytes\"#").contains(&TokenKind::RawStr));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(kinds("'a'"), vec![TokenKind::CharLit]);
+        assert_eq!(
+            kinds("&'a str"),
+            vec![TokenKind::Punct, TokenKind::Lifetime, TokenKind::Ident]
+        );
+        assert_eq!(kinds("'static"), vec![TokenKind::Lifetime]);
+        assert_eq!(kinds("'\\u{1F600}'"), vec![TokenKind::CharLit]);
+        assert_eq!(kinds("'{'"), vec![TokenKind::CharLit]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        assert_eq!(
+            kinds("1..3"),
+            vec![
+                TokenKind::Number,
+                TokenKind::Punct,
+                TokenKind::Punct,
+                TokenKind::Number
+            ]
+        );
+        assert_eq!(kinds("1.5e-3"), vec![TokenKind::Number]);
+        assert_eq!(kinds("0x1f_u32"), vec![TokenKind::Number]);
+        assert_eq!(kinds("1.0f64"), vec![TokenKind::Number]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\"s1\ns2\"\nc");
+        let find = |text: &str| toks.iter().find(|t| t.text == text).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(2));
+        assert_eq!(find("\"s1\ns2\""), Some(3));
+        assert_eq!(find("c"), Some(5));
+    }
+
+    #[test]
+    fn doc_comment_detection() {
+        let toks = lex("/// doc\n//! inner\n// plain\n//// ruler\n/** block doc */\n/* plain */");
+        let doc_flags: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.is_comment())
+            .map(Token::is_doc)
+            .collect();
+        assert_eq!(doc_flags, vec![true, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn unterminated_literals_still_roundtrip() {
+        roundtrip("let a = \"never closed");
+        roundtrip("let b = r#\"still open");
+        roundtrip("/* dangling");
+    }
+}

@@ -1,7 +1,11 @@
 //! maly-audit — the workspace's self-contained static analysis pass.
 //!
-//! Run as `cargo run -p xtask -- lint`. Five rule families keep the
-//! numeric core honest:
+//! Run as `cargo run -p xtask -- lint`. Since v2 the analyzer is built
+//! on a lossless Rust token lexer ([`lexer`]) and a per-file symbol
+//! index ([`index`]) instead of per-line heuristics: string contents
+//! are masked, comments are routed out of code, and rules can reason
+//! about declared types. The rule families keep the numeric core
+//! honest:
 //!
 //! 1. **panic-freedom** — no `unwrap`/`expect`/`panic!` family calls in
 //!    non-test library code, ratcheted by per-crate budgets so legacy
@@ -21,25 +25,38 @@
 //!    files); checked against `git ls-files` when git is available;
 //! 7. **raw-timing containment** — no ad-hoc `Instant::now()` /
 //!    `eprintln!` timing outside `crates/obs`, `crates/bench`, and
-//!    `crates/xtask`; instrumentation flows through `maly-obs` so it
-//!    shows up in exported traces instead of scattered stderr noise.
+//!    `crates/xtask`; instrumentation flows through `maly-obs`;
+//! 8. **determinism** ([`determinism`]) — no hash-order iteration,
+//!    randomized hasher state, wall-clock reads, thread identity, or
+//!    relaxed atomic reads on result paths; `maly-obs` counter statics
+//!    are exempt through the symbol index ("counters are Diag, results
+//!    are Work"), not through per-line escapes;
+//! 9. **lock-order** ([`locks`]) — the acquisition graph over every
+//!    indexed `Mutex`/`RwLock` must be cycle-free, and no lock may be
+//!    held across blocking I/O;
+//! 10. **escape hygiene** ([`escapes`]) — every `audit:allow(...)` tag
+//!     must suppress a live violation; stale or unknown tags are
+//!     themselves violations, so the escape ratchet only tightens.
 //!
-//! `cargo run -p xtask -- bench-check <candidate.json>` separately
-//! diffs a fresh bench baseline against the committed
-//! `BENCH_sweeps.json` (see [`bench`]), and
-//! `cargo run -p xtask -- trace-check <trace.ndjson>` validates an
-//! exported `maly-obs` trace (see [`trace`]).
+//! `cargo run -p xtask -- lint --json <path>` additionally writes the
+//! machine-readable report (schema `maly-audit/v2`) for CI archiving
+//! and diffing; `lint --explain <rule>` prints a rule's rationale and
+//! escape syntax. `bench-check` and `trace-check` are separate
+//! subcommands (see [`bench`], [`trace`]).
 //!
-//! Escape hatches are inline comments: `audit:allow(panic)`,
-//! `audit:allow(bare-f64)`, `audit:allow(nan)`,
-//! `audit:allow(float-cmp)`, `audit:allow(raw-thread)`,
-//! `audit:allow(raw-timing)` — each expected to carry a justification.
-//! The linter is std-only: it works in fully offline builds.
+//! Escape hatches are inline comments: `audit:allow(<tag>): <why>` on
+//! the offending line or the comment block above it. The linter is
+//! std-only: it works in fully offline builds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod determinism;
+pub mod escapes;
+pub mod index;
+pub mod lexer;
+pub mod locks;
 pub mod rules;
 pub mod scan;
 pub mod trace;
@@ -99,7 +116,9 @@ pub const UNIT_ESCAPE_BUDGETS: &[(&str, usize)] = &[
 
 /// Crates sanctioned to read the clock and write to stderr directly:
 /// the observability layer itself, the timing harness, and this linter.
-/// Everywhere else the raw-timing rule applies.
+/// Everywhere else the raw-timing rule applies. The determinism family
+/// exempts the same set (see [`determinism::EXEMPT_CRATES`]): their
+/// output is diagnostic, not result data.
 pub const RAW_TIMING_CRATES: &[&str] = &["maly-obs", "maly-bench", "xtask"];
 
 /// Per-crate panic accounting for the rendered report.
@@ -116,7 +135,8 @@ pub struct CrateStats {
 /// The full lint result: findings plus the panic-budget table.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
-    /// All rule findings, in deterministic (crate, file) order.
+    /// All rule findings, in deterministic (crate, file) order; global
+    /// findings (lock cycles, stale escapes, artifacts) follow.
     pub violations: Vec<Violation>,
     /// Per-crate panic accounting, sorted by crate name.
     pub stats: Vec<CrateStats>,
@@ -157,6 +177,152 @@ impl Report {
         }
         out
     }
+
+    /// Renders the machine-readable report (schema `maly-audit/v2`):
+    /// one JSON object with the schema tag, the clean flag, every
+    /// violation, and the per-crate panic stats. CI archives this and
+    /// diffs it like `bench-check` baselines.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"maly-audit/v2\",\n");
+        let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+        out.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            let comma = if i + 1 < self.violations.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{comma}",
+                json_escape(&v.file),
+                v.line,
+                v.rule.as_str(),
+                json_escape(&v.message)
+            );
+        }
+        out.push_str("  ],\n  \"stats\": [\n");
+        for (i, s) in self.stats.iter().enumerate() {
+            let comma = if i + 1 < self.stats.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"crate\": \"{}\", \"panic_sites\": {}, \"budget\": {}}}{comma}",
+                json_escape(&s.name),
+                s.panic_sites,
+                s.budget
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The rationale and escape syntax for a rule family, for
+/// `lint --explain <rule>`. `None` for unknown rule names.
+#[must_use]
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "panic" | "panic-budget" => {
+            "panic / panic-budget\n\
+             Library code must not unwrap/expect/panic!: the cost model is a library\n\
+             first, and a panic in a worker thread poisons locks and kills batch\n\
+             sweeps. Return Result instead. Per-crate budgets (PANIC_BUDGETS) hold\n\
+             legacy sites frozen and only ratchet down.\n\
+             Escape: `// audit:allow(panic): <why this site cannot fail>`."
+        }
+        "bare-f64" => {
+            "bare-f64 (unit-safety)\n\
+             Public APIs in the dimensioned crates must carry maly-units newtypes\n\
+             (Cm, Cm2, Dollars, …) instead of bare f64, so unit errors are type\n\
+             errors. Dimensionless knobs can be allowlisted in DIMENSIONLESS_NAMES.\n\
+             Escape: `// audit:allow(bare-f64): <why no newtype fits>` (ratcheted\n\
+             per crate by UNIT_ESCAPE_BUDGETS)."
+        }
+        "nan" | "float-cmp" => {
+            "nan / float-cmp (NaN-safety)\n\
+             partial_cmp().unwrap() panics on NaN and partial_cmp-based ordering is\n\
+             NaN-unstable; use f64::total_cmp. Float-literal `==` is\n\
+             exact-comparison fragile; compare with a tolerance.\n\
+             Escapes: `// audit:allow(nan): …` / `// audit:allow(float-cmp): …`."
+        }
+        "hygiene" => {
+            "hygiene\n\
+             Manifests inherit workspace version/edition/license and [lints], carry\n\
+             a description, and pin dependency versions; crate roots carry\n\
+             #![forbid(unsafe_code)] and #![warn(missing_docs)]. No escape."
+        }
+        "raw-thread" => {
+            "raw-thread\n\
+             All parallelism flows through maly_par::Executor so determinism and\n\
+             the MALY_PAR_THREADS knob stay centralized; raw thread::spawn is\n\
+             confined to crates/par.\n\
+             Escape: `// audit:allow(raw-thread): <why the executor cannot serve>`."
+        }
+        "artifact" => {
+            "artifact\n\
+             Build artifacts (target/ trees, cargo fingerprints, stray --flag\n\
+             files) must not be tracked by git. Fix with `git rm --cached`. No\n\
+             escape."
+        }
+        "raw-timing" => {
+            "raw-timing\n\
+             Instant::now() and eprintln! outside obs/bench/xtask scatter timing\n\
+             and diagnostics that never reach exported traces; instrument through\n\
+             maly-obs spans and histograms instead.\n\
+             Escape: `// audit:allow(raw-timing): <why this must print/time raw>`."
+        }
+        "determinism" => {
+            "determinism\n\
+             The workspace contract is bit-identical output across thread counts\n\
+             and transports (DESIGN.md §7/§10). HashMap/HashSet iteration order,\n\
+             RandomState, SystemTime/UNIX_EPOCH reads, thread identity, and\n\
+             Ordering::Relaxed loads all vary run-to-run, so none may feed a\n\
+             result path. maly-obs Counter statics are exempt via the symbol\n\
+             index: counters are Diag, results are Work. obs/bench/xtask are\n\
+             exempt wholesale (diagnostic output).\n\
+             Escape: `// audit:allow(determinism): <why this value never reaches\n\
+             a result>`."
+        }
+        "lock-order" => {
+            "lock-order\n\
+             Every Mutex/RwLock field and static joins a global acquisition graph;\n\
+             a cycle means two paths can deadlock by acquiring the same locks in\n\
+             opposite orders, and a guard held across blocking I/O stalls every\n\
+             thread queued on that lock behind a slow peer. Acquire locks in one\n\
+             global order and drop guards before I/O.\n\
+             Escape: `// audit:allow(lock-order): <why this ordering is safe>` on\n\
+             the acquisition or I/O line."
+        }
+        "stale-escape" => {
+            "stale-escape\n\
+             An audit:allow(...) tag that no longer suppresses any violation is\n\
+             dead weight that could silently cover a future regression; delete it.\n\
+             Tags in #[cfg(test)] code are always stale (rules skip test code).\n\
+             There is deliberately no escape for this rule."
+        }
+        _ => return None,
+    })
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for
@@ -212,7 +378,10 @@ fn tracked_files(root: &Path) -> Option<Vec<String>> {
 }
 
 /// Runs the full lint over the workspace rooted at `root`: the root
-/// package plus every crate under `crates/`.
+/// package plus every crate under `crates/`. Per-file rules share one
+/// [`escapes::Escapes`] registry per file so escape-staleness
+/// accounting spans all families; lock-cycle detection runs globally
+/// over the merged acquisition graph after every file is scanned.
 ///
 /// # Errors
 ///
@@ -232,6 +401,8 @@ pub fn run_lint(root: &Path) -> io::Result<Report> {
     }
 
     let mut report = Report::default();
+    let mut all_edges: Vec<locks::LockEdge> = Vec::new();
+    let mut file_escapes: Vec<(String, escapes::Escapes)> = Vec::new();
     for dir in &crate_dirs {
         let manifest_path = dir.join("Cargo.toml");
         let manifest_rel = rel(root, &manifest_path);
@@ -277,30 +448,49 @@ pub fn run_lint(root: &Path) -> io::Result<Report> {
             let Ok(source) = fs::read_to_string(file) else {
                 continue;
             };
-            panic_sites.extend(rules::panic_freedom(&file_rel, &source));
+            let lines = scan::classify(&source);
+            let file_index = index::index_file(&source);
+            let mut esc = escapes::Escapes::collect(&lines);
+
+            panic_sites.extend(rules::panic_freedom_in(&file_rel, &lines, &mut esc));
             if UNIT_SAFETY_CRATES.contains(&name.as_str()) {
                 report
                     .violations
-                    .extend(rules::unit_safety(&file_rel, &source));
-                unit_escapes += rules::count_unit_escapes(&source);
+                    .extend(rules::unit_safety_in(&file_rel, &lines, &mut esc));
+                unit_escapes += esc.count("bare-f64");
             }
             report
                 .violations
-                .extend(rules::nan_safety(&file_rel, &source));
+                .extend(rules::nan_safety_in(&file_rel, &lines, &mut esc));
             // `maly-par` is the one crate sanctioned to touch raw
             // threads; everything else must go through its Executor.
             if name != "maly-par" {
                 report
                     .violations
-                    .extend(rules::raw_thread(&file_rel, &source));
+                    .extend(rules::raw_thread_in(&file_rel, &lines, &mut esc));
             }
             // Timing lives in the obs layer and the measurement
             // harnesses; everywhere else must instrument, not clock.
             if !RAW_TIMING_CRATES.contains(&name.as_str()) {
                 report
                     .violations
-                    .extend(rules::raw_timing(&file_rel, &source));
+                    .extend(rules::raw_timing_in(&file_rel, &lines, &mut esc));
             }
+            // Diagnostic crates are exempt from the determinism family
+            // wholesale; everywhere else nondeterministic values must
+            // stay off result paths.
+            if !determinism::EXEMPT_CRATES.contains(&name.as_str()) {
+                report.violations.extend(determinism::determinism_in(
+                    &file_rel,
+                    &lines,
+                    &file_index,
+                    &mut esc,
+                ));
+            }
+            let lock = locks::analyze_file(&file_rel, &lines, &file_index, &mut esc);
+            report.violations.extend(lock.violations);
+            all_edges.extend(lock.edges);
+            file_escapes.push((file_rel, esc));
         }
 
         let budget = PANIC_BUDGETS
@@ -346,6 +536,21 @@ pub fn run_lint(root: &Path) -> io::Result<Report> {
             budget,
         });
     }
+
+    // Lock-order cycles are a whole-workspace property: merge every
+    // file's acquisition edges, then detect.
+    let (cycles, vetted) = locks::cycle_violations(&all_edges);
+    report.violations.extend(cycles);
+    for (file, site) in vetted {
+        if let Some((_, esc)) = file_escapes.iter_mut().find(|(f, _)| *f == file) {
+            esc.mark_used(site);
+        }
+    }
+    // Escape hygiene runs last: only now is "suppresses nothing" known.
+    for (file, esc) in &file_escapes {
+        report.violations.extend(esc.stale(file));
+    }
+
     if let Some(tracked) = tracked_files(root) {
         report.violations.extend(rules::tracked_artifacts(&tracked));
     }

@@ -1,0 +1,489 @@
+//! The lock-order rule family: builds the lock-acquisition graph over
+//! every `Mutex`/`RwLock` field and static the symbol index knows
+//! about, then fails on cycles (two code paths acquiring the same pair
+//! of locks in opposite orders can deadlock) and on locks held across
+//! blocking I/O (a guard held over a socket write stalls every other
+//! thread queued on that lock behind a slow client).
+//!
+//! Lock identity is `Owner.field` (or the static's name), resolved
+//! per file. Guard liveness is tracked by brace depth: a plain `let`
+//! guard dies when its block closes, `if let`/`while let`/`match`
+//! guards die with the arm they scope, and `drop(guard)` kills one
+//! early. Acquiring the *same* lock identity twice while the first
+//! guard lives is deliberately not an edge: the sharded caches
+//! legitimately hold all shard read-guards of one field at once, and
+//! same-identity ordering is a self-loop the graph cannot orient
+//! anyway.
+//!
+//! Escapes: an acquisition line tagged `audit:allow(lock-order)`
+//! suppresses the cycle its edge participates in (the tag is counted
+//! used only when such a cycle exists, so vetting comments go stale
+//! the moment the ordering risk disappears); the same tag on a
+//! blocking-I/O line suppresses the held-across-I/O finding.
+
+use crate::escapes::Escapes;
+use crate::index::{FileIndex, ItemKind};
+use crate::rules::{Rule, Violation};
+use crate::scan::{classify, Line};
+
+/// One directed edge in the global lock-acquisition graph: `to` was
+/// acquired while `from` was held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Lock already held.
+    pub from: String,
+    /// Lock acquired under it.
+    pub to: String,
+    /// File the acquisition sits in.
+    pub file: String,
+    /// 1-based acquisition line.
+    pub line: usize,
+    /// Escape site index in the file's [`Escapes`] registry, when the
+    /// acquisition line carries `audit:allow(lock-order)`.
+    pub escape: Option<usize>,
+}
+
+/// Per-file lock analysis output.
+#[derive(Debug, Default)]
+pub struct LockAnalysis {
+    /// Locks-held-across-I/O findings (cycles are found globally).
+    pub violations: Vec<Violation>,
+    /// This file's contribution to the acquisition graph.
+    pub edges: Vec<LockEdge>,
+}
+
+/// A live lock guard.
+struct Guard {
+    binding: String,
+    lock: String,
+    /// The guard dies when brace depth drops below this.
+    alive_depth: i64,
+}
+
+/// Blocking-call needles: a lock held across any of these stalls other
+/// acquirers behind external I/O.
+const BLOCKING_NEEDLES: &[&str] = &[
+    ".write_all(",
+    ".flush(",
+    ".send(",
+    ".recv(",
+    ".read_until(",
+    ".read_line(",
+    ".accept(",
+    ".connect(",
+    "write_line(",
+];
+
+/// Extracts the binding name from a `let` line, looking inside
+/// `Ok(…)`/`Some(…)` patterns and skipping `mut`.
+fn let_binding(code: &str) -> Option<String> {
+    let pos = code.find("let ")?;
+    let mut rest = code[pos + 4..].trim_start();
+    for wrapper in ["Ok(", "Some(", "Err("] {
+        if let Some(inner) = rest.strip_prefix(wrapper) {
+            rest = inner;
+            break;
+        }
+    }
+    rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name == "_" {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// One positional event on a code line, processed in byte order so
+/// same-line braces scope guards correctly (a one-line
+/// `fn f() { let g = x.lock(); }` must not leak its guard).
+enum Event {
+    /// `NAME.lock()` / `NAME.read()` / `NAME.write()` of a known lock.
+    Acquire(String),
+    /// A blocking-I/O call.
+    Blocking,
+    /// `drop(name)`.
+    Drop(String),
+}
+
+/// Finds lock acquisitions on a code line: occurrences of
+/// `NAME.lock()`, `NAME.read()`, or `NAME.write()` where `NAME` is a
+/// known lock (field or static). Returns `(byte_pos, identity)` pairs.
+fn acquisitions(code: &str, locks: &[(String, String)]) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (name, identity) in locks {
+        for method in [".lock()", ".read()", ".write()"] {
+            let pattern = format!("{name}{method}");
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(&pattern) {
+                let abs = from + pos;
+                let boundary = code[..abs]
+                    .chars()
+                    .next_back()
+                    .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+                if boundary {
+                    out.push((abs, identity.clone()));
+                }
+                from = abs + pattern.len();
+            }
+        }
+    }
+    out
+}
+
+/// Builds the positional event list for one code line.
+fn line_events(code: &str, locks: &[(String, String)]) -> Vec<(usize, Event)> {
+    let mut events: Vec<(usize, Event)> = acquisitions(code, locks)
+        .into_iter()
+        .map(|(pos, id)| (pos, Event::Acquire(id)))
+        .collect();
+    for needle in BLOCKING_NEEDLES {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(needle) {
+            events.push((from + pos, Event::Blocking));
+            from += pos + needle.len();
+        }
+    }
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("drop(") {
+        let abs = from + pos;
+        let arg: String = code[abs + 5..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        events.push((abs, Event::Drop(arg)));
+        from = abs + 5;
+    }
+    events.sort_by_key(|(pos, _)| *pos);
+    events
+}
+
+/// Runs the per-file half of the family: collects acquisition edges
+/// and flags locks held across blocking I/O.
+#[must_use]
+pub fn analyze_file(
+    file: &str,
+    lines: &[Line],
+    index: &FileIndex,
+    escapes: &mut Escapes,
+) -> LockAnalysis {
+    // Lock identities known in this file: `Owner.field` for fields,
+    // the bare name for statics.
+    let locks: Vec<(String, String)> = index
+        .items
+        .iter()
+        .filter(|it| {
+            matches!(it.kind, ItemKind::Field | ItemKind::Static)
+                && !it.in_test
+                && (it.ty.contains("Mutex<") || it.ty.contains("RwLock<"))
+        })
+        .map(|it| {
+            let identity = if it.kind == ItemKind::Field {
+                format!("{}.{}", it.owner, it.name)
+            } else {
+                it.name.clone()
+            };
+            (it.name.clone(), identity)
+        })
+        .collect();
+
+    let mut analysis = LockAnalysis::default();
+    if locks.is_empty() {
+        return analysis;
+    }
+
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i64;
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let mut events = line_events(code, &locks).into_iter().peekable();
+
+        // Walk the line positionally: braces (strings are masked,
+        // comments removed, so every brace is structural) interleave
+        // with acquisitions, blocking calls, and drops in byte order.
+        for (pos, ch) in code.char_indices() {
+            while events.peek().is_some_and(|(p, _)| *p <= pos) {
+                let Some((_, event)) = events.next() else {
+                    break;
+                };
+                match event {
+                    Event::Acquire(lock) => {
+                        let escape = escapes.check(lines, i, "lock-order");
+                        for g in &guards {
+                            if g.lock != lock {
+                                analysis.edges.push(LockEdge {
+                                    from: g.lock.clone(),
+                                    to: lock.clone(),
+                                    file: file.to_string(),
+                                    line: line.number,
+                                    escape,
+                                });
+                            }
+                        }
+                        if let Some(binding) = let_binding(code) {
+                            let trimmed = code.trim_start();
+                            let scoped = trimmed.starts_with("if let")
+                                || trimmed.starts_with("while let")
+                                || trimmed.starts_with("} else if let");
+                            guards.push(Guard {
+                                binding,
+                                lock,
+                                alive_depth: depth + i64::from(scoped),
+                            });
+                        }
+                    }
+                    Event::Blocking => {
+                        if !guards.is_empty() && !escapes.allowed(lines, i, "lock-order") {
+                            let held: Vec<&str> = guards.iter().map(|g| g.lock.as_str()).collect();
+                            analysis.violations.push(Violation {
+                                file: file.to_string(),
+                                line: line.number,
+                                rule: Rule::LockOrder,
+                                message: format!(
+                                    "blocking I/O while holding lock(s) {}; drop the guard \
+                                     (or scope it in a block) before the call",
+                                    held.join(", ")
+                                ),
+                            });
+                        }
+                    }
+                    Event::Drop(arg) => {
+                        guards.retain(|g| g.binding != arg);
+                    }
+                }
+            }
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|g| depth >= g.alive_depth);
+                }
+                _ => {}
+            }
+        }
+        // Events past the last character (none in practice: every
+        // needle ends before the line does, but stay total).
+        for (_, event) in events {
+            if let Event::Drop(arg) = event {
+                guards.retain(|g| g.binding != arg);
+            }
+        }
+        if depth <= 0 {
+            depth = 0;
+            guards.clear();
+        }
+    }
+    analysis
+}
+
+/// Global cycle detection over the merged acquisition graph. Returns
+/// the cycle findings plus the escape sites (file, site index) that
+/// suppressed one and must be marked used.
+#[must_use]
+pub fn cycle_violations(edges: &[LockEdge]) -> (Vec<Violation>, Vec<(String, usize)>) {
+    let mut out = Vec::new();
+    let mut used = Vec::new();
+    let mut seen_cycles: Vec<Vec<String>> = Vec::new();
+    for edge in edges {
+        // A cycle through `edge` exists iff `edge.to` reaches
+        // `edge.from`.
+        let Some(path) = reach(edges, &edge.to, &edge.from) else {
+            continue;
+        };
+        let mut cycle: Vec<String> = vec![edge.from.clone()];
+        cycle.extend(path);
+        let mut key = cycle.clone();
+        key.sort();
+        key.dedup();
+        if seen_cycles.contains(&key) {
+            continue;
+        }
+        seen_cycles.push(key);
+        // An escape on any participating edge vets the whole cycle.
+        let escaped = std::iter::once(edge)
+            .chain(
+                edges
+                    .iter()
+                    .filter(|e| cycle.windows(2).any(|w| e.from == w[0] && e.to == w[1])),
+            )
+            .find_map(|e| e.escape.map(|site| (e.file.clone(), site)));
+        if let Some(site) = escaped {
+            used.push(site);
+            continue;
+        }
+        out.push(Violation {
+            file: edge.file.clone(),
+            line: edge.line,
+            rule: Rule::LockOrder,
+            message: format!(
+                "lock-order cycle: {} — acquire these locks in one global order",
+                cycle.join(" -> ")
+            ),
+        });
+    }
+    (out, used)
+}
+
+/// BFS from `from` to `to` over the edge list; returns the node path
+/// (excluding `from`, including `to`) when reachable.
+fn reach(edges: &[LockEdge], from: &str, to: &str) -> Option<Vec<String>> {
+    let mut queue: Vec<(String, Vec<String>)> = vec![(from.to_string(), vec![from.to_string()])];
+    let mut visited: Vec<String> = vec![from.to_string()];
+    while let Some((node, path)) = queue.pop() {
+        if node == to {
+            return Some(path);
+        }
+        for e in edges.iter().filter(|e| e.from == node) {
+            if !visited.contains(&e.to) {
+                visited.push(e.to.clone());
+                let mut next = path.clone();
+                next.push(e.to.clone());
+                queue.insert(0, (e.to.clone(), next));
+            }
+        }
+    }
+    None
+}
+
+/// Convenience wrapper over raw source: per-file analysis plus cycle
+/// detection on this file's own edges (fixtures and tests).
+#[must_use]
+pub fn lock_order(file: &str, source: &str) -> Vec<Violation> {
+    let lines = classify(source);
+    let index = crate::index::index_file(source);
+    let mut escapes = Escapes::collect(&lines);
+    let mut analysis = analyze_file(file, &lines, &index, &mut escapes);
+    let (cycles, _) = cycle_violations(&analysis.edges);
+    analysis.violations.extend(cycles);
+    analysis.violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CYCLIC: &str = r#"
+use std::sync::Mutex;
+pub struct S {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+impl S {
+    pub fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        let _ = (ga, gb);
+    }
+    pub fn ba(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        let _ = (ga, gb);
+    }
+}
+"#;
+
+    #[test]
+    fn opposite_order_acquisitions_cycle() {
+        let v = lock_order("f.rs", CYCLIC);
+        assert!(
+            v.iter().any(|v| v.message.contains("lock-order cycle")),
+            "got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = CYCLIC.replace(
+            "let gb = self.b.lock();\n        let ga = self.a.lock();",
+            "let ga = self.a.lock();\n        let gb = self.b.lock();",
+        );
+        assert!(lock_order("f.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn same_lock_shards_do_not_self_edge() {
+        let src = r#"
+use std::sync::RwLock;
+pub struct Shards {
+    map: RwLock<u64>,
+}
+pub fn batch(shards: &[Shards]) {
+    let mut guards = Vec::new();
+    for s in shards {
+        guards.push(s.map.read());
+    }
+    let _ = guards;
+}
+"#;
+        assert!(lock_order("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_io_under_guard_fires_and_scoped_guard_is_clean() {
+        let src = r#"
+use std::sync::Mutex;
+pub struct Q {
+    queue: Mutex<Vec<u8>>,
+}
+impl Q {
+    pub fn bad(&self, out: &mut impl std::io::Write) {
+        let g = self.queue.lock();
+        let _ = out.write_all(b"x");
+        let _ = g;
+    }
+    pub fn good(&self, out: &mut impl std::io::Write) {
+        {
+            let g = self.queue.lock();
+            let _ = g;
+        }
+        let _ = out.write_all(b"x");
+    }
+}
+"#;
+        let v = lock_order("f.rs", src);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].message.contains("blocking I/O"));
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = r#"
+use std::sync::Mutex;
+pub struct Q {
+    queue: Mutex<Vec<u8>>,
+}
+impl Q {
+    pub fn ok(&self, out: &mut impl std::io::Write) {
+        let g = self.queue.lock();
+        drop(g);
+        let _ = out.write_all(b"x");
+    }
+}
+"#;
+        assert!(lock_order("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn escape_vets_a_cycle_and_is_marked_used() {
+        let src = CYCLIC.replace(
+            "let gb = self.b.lock();\n        let ga = self.a.lock();",
+            "let gb = self.b.lock();\n        // audit:allow(lock-order): b-then-a is \
+             startup-only, pre-thread.\n        let ga = self.a.lock();",
+        );
+        let lines = classify(&src);
+        let index = crate::index::index_file(&src);
+        let mut escapes = Escapes::collect(&lines);
+        let analysis = analyze_file("f.rs", &lines, &index, &mut escapes);
+        let (cycles, used) = cycle_violations(&analysis.edges);
+        assert!(cycles.is_empty(), "got: {cycles:?}");
+        assert_eq!(used.len(), 1);
+        escapes.mark_used(used[0].1);
+        assert!(escapes.stale("f.rs").is_empty());
+    }
+}

@@ -1,6 +1,8 @@
 //! Entry point: `cargo run -p xtask -- lint` runs the maly-audit
 //! static analysis pass over the whole workspace and exits non-zero on
-//! any violation; `cargo run -p xtask -- bench-check <candidate.json>`
+//! any violation (`lint --json <path>` additionally writes the
+//! machine-readable report, `lint --explain <rule>` prints a rule's
+//! rationale); `cargo run -p xtask -- bench-check <candidate.json>`
 //! diffs a fresh bench baseline against the committed
 //! `BENCH_sweeps.json` and exits non-zero on a per-group median
 //! regression beyond 15%; `cargo run -p xtask -- trace-check
@@ -23,20 +25,59 @@ fn workspace_root() -> &'static Path {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => match xtask::run_lint(workspace_root()) {
-            Ok(report) => {
-                print!("{}", report.render());
-                if report.is_clean() {
-                    ExitCode::SUCCESS
-                } else {
+        Some("lint") => {
+            let mut json_path: Option<String> = None;
+            let mut explain_rule: Option<String> = None;
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--json" => json_path = rest.next().cloned(),
+                    "--explain" => explain_rule = rest.next().cloned(),
+                    other => {
+                        eprintln!("lint: unknown argument `{other}`");
+                        eprintln!(
+                            "usage: cargo run -p xtask -- lint [--json <path>] [--explain <rule>]"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Some(rule) = explain_rule {
+                return match xtask::explain(&rule) {
+                    Some(text) => {
+                        println!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!("lint: unknown rule `{rule}`; try one of: panic, panic-budget, bare-f64, nan, hygiene, raw-thread, artifact, raw-timing, determinism, lock-order, stale-escape");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            match xtask::run_lint(workspace_root()) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    if let Some(path) = json_path {
+                        if let Some(parent) = Path::new(&path).parent() {
+                            let _ = std::fs::create_dir_all(parent);
+                        }
+                        if let Err(err) = std::fs::write(&path, report.to_json()) {
+                            eprintln!("lint: cannot write {path}: {err}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    if report.is_clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(err) => {
+                    eprintln!("maly-audit: I/O error: {err}");
                     ExitCode::FAILURE
                 }
             }
-            Err(err) => {
-                eprintln!("maly-audit: I/O error: {err}");
-                ExitCode::FAILURE
-            }
-        },
+        }
         Some("bench-check") => {
             let Some(candidate) = args.get(1) else {
                 eprintln!("usage: cargo run -p xtask -- bench-check <candidate.json> [baseline]");
@@ -81,7 +122,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- \
-                 lint | bench-check <candidate.json> | trace-check <trace.ndjson>"
+                 lint [--json <path>] [--explain <rule>] | \
+                 bench-check <candidate.json> | trace-check <trace.ndjson>"
             );
             ExitCode::FAILURE
         }

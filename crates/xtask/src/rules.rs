@@ -1,14 +1,22 @@
 //! The lint rule families: panic-freedom, unit-safety, NaN-safety,
 //! crate hygiene, raw-thread containment, tracked-artifact hygiene,
-//! and raw-timing containment.
+//! raw-timing containment — plus the v2 families that live in their own
+//! modules: determinism ([`crate::determinism`]), lock-order
+//! ([`crate::locks`]), and escape hygiene ([`crate::escapes`]).
 //!
 //! Every rule honors inline escape comments of the form
 //! `// audit:allow(<rule>): <justification>` placed on the offending
-//! line or the comment line directly above it. The detection needles
-//! are assembled with `concat!` so the linter's own sources never
-//! contain them verbatim and the workspace scan stays self-clean.
+//! line or the comment block directly above it; suppression routes
+//! through [`Escapes`], so a tag that stops suppressing anything is
+//! itself reported stale. Since v2 the scanner is lexer-based
+//! ([`crate::scan`]): string literal contents are masked and comments
+//! are split off before any needle matching, so the rules cannot fire
+//! on text inside strings and the linter's own sources stay self-clean
+//! without `concat!` tricks (kept in a few needles anyway, for the
+//! benefit of plain `grep`).
 
-use crate::scan::classify;
+use crate::escapes::Escapes;
+use crate::scan::{classify, Line};
 
 /// A single lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +64,14 @@ pub enum Rule {
     /// Ad-hoc `Instant::now()` / `eprintln!` timing outside the
     /// sanctioned observability and harness crates.
     RawTiming,
+    /// Nondeterministic value (map iteration order, wall clock, thread
+    /// identity, relaxed atomic read) on a result path.
+    Determinism,
+    /// Inconsistent lock-acquisition order or a lock held across
+    /// blocking I/O.
+    LockOrder,
+    /// An `audit:allow(...)` escape that no longer suppresses anything.
+    StaleEscape,
 }
 
 impl Rule {
@@ -71,14 +87,11 @@ impl Rule {
             Rule::RawThread => "raw-thread",
             Rule::Artifact => "artifact",
             Rule::RawTiming => "raw-timing",
+            Rule::Determinism => "determinism",
+            Rule::LockOrder => "lock-order",
+            Rule::StaleEscape => "stale-escape",
         }
     }
-}
-
-/// True when `comment` carries the escape tag for `what`
-/// (`audit:allow(<what>)`).
-fn contains_allow(comment: &str, what: &str) -> bool {
-    comment.contains(&format!("audit:allow({what})"))
 }
 
 // ---------------------------------------------------------------------
@@ -90,6 +103,15 @@ fn contains_allow(comment: &str, what: &str) -> bool {
 /// `audit:allow(panic)`.
 #[must_use]
 pub fn panic_freedom(file: &str, source: &str) -> Vec<Violation> {
+    let lines = classify(source);
+    let mut escapes = Escapes::collect(&lines);
+    panic_freedom_in(file, &lines, &mut escapes)
+}
+
+/// [`panic_freedom`] over pre-classified lines with a shared escape
+/// registry (so staleness accounting spans all rule families).
+#[must_use]
+pub fn panic_freedom_in(file: &str, lines: &[Line], escapes: &mut Escapes) -> Vec<Violation> {
     let needles: [(&str, &str); 6] = [
         (concat!(".un", "wrap()"), "unwrap"),
         (concat!(".ex", "pect("), "expect"),
@@ -99,26 +121,15 @@ pub fn panic_freedom(file: &str, source: &str) -> Vec<Violation> {
         (concat!("unimpl", "emented!("), "unimplemented!"),
     ];
     let mut out = Vec::new();
-    let mut allow_next = false;
-    for line in classify(source) {
-        if line.in_test {
-            continue;
-        }
-        let comment_has = contains_allow(line.comment, "panic");
-        if line.code.trim().is_empty() {
-            // Comment-only and blank lines carry the allow tag forward.
-            if comment_has {
-                allow_next = true;
-            }
-            continue;
-        }
-        let allowed = comment_has || allow_next;
-        allow_next = false;
-        if allowed {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test || line.code.trim().is_empty() {
             continue;
         }
         for (needle, label) in needles {
             if line.code.contains(needle) {
+                if escapes.allowed(lines, i, "panic") {
+                    continue;
+                }
                 out.push(Violation {
                     file: file.to_string(),
                     line: line.number,
@@ -185,10 +196,21 @@ const UNIT_RETURN_SUFFIXES: &[&str] = &["_cm", "_cm2", "_mm", "_um", "_dollars",
 
 /// Flags `pub fn` signatures that take or return bare `f64` where a
 /// maly-units newtype exists, honoring `audit:allow(bare-f64)` and the
-/// [`DIMENSIONLESS_NAMES`] parameter allowlist.
+/// [`DIMENSIONLESS_NAMES`] parameter allowlist. String literals and
+/// comments inside the signature are pre-masked by the lexer, so an
+/// `f64` mentioned in a doc string or commented-out parameter cannot
+/// fire.
 #[must_use]
 pub fn unit_safety(file: &str, source: &str) -> Vec<Violation> {
     let lines = classify(source);
+    let mut escapes = Escapes::collect(&lines);
+    unit_safety_in(file, &lines, &mut escapes)
+}
+
+/// [`unit_safety`] over pre-classified lines with a shared escape
+/// registry.
+#[must_use]
+pub fn unit_safety_in(file: &str, lines: &[Line], escapes: &mut Escapes) -> Vec<Violation> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < lines.len() {
@@ -200,20 +222,6 @@ pub fn unit_safety(file: &str, source: &str) -> Vec<Violation> {
             i += 1;
             continue;
         }
-        let mut allowed = contains_allow(line.comment, "bare-f64");
-        // Walk up through the contiguous comment block above the
-        // signature looking for the escape tag.
-        let mut k = i;
-        while let Some(prev) = k.checked_sub(1).and_then(|j| lines.get(j)) {
-            if !prev.code.trim().is_empty() || prev.comment.is_empty() {
-                break;
-            }
-            if contains_allow(prev.comment, "bare-f64") {
-                allowed = true;
-                break;
-            }
-            k -= 1;
-        }
         // Accumulate the signature until the body `{` or a trailing `;`.
         let mut sig = String::new();
         let mut j = i;
@@ -221,22 +229,21 @@ pub fn unit_safety(file: &str, source: &str) -> Vec<Violation> {
             if j >= i + 16 {
                 break;
             }
-            if contains_allow(l.comment, "bare-f64") {
-                allowed = true;
-            }
             if let Some(pos) = l.code.find('{') {
                 sig.push_str(&l.code[..pos]);
                 break;
             }
-            sig.push_str(l.code);
+            sig.push_str(&l.code);
             sig.push(' ');
             if l.code.trim_end().ends_with(';') {
                 break;
             }
             j += 1;
         }
-        if !allowed {
-            analyze_signature(file, line.number, &sig, &mut out);
+        let mut found = Vec::new();
+        analyze_signature(file, line.number, &sig, &mut found);
+        if !found.is_empty() && !escapes.allowed_span(lines, i, j, "bare-f64") {
+            out.extend(found);
         }
         i = j + 1;
     }
@@ -248,10 +255,7 @@ pub fn unit_safety(file: &str, source: &str) -> Vec<Violation> {
 /// escapes the same way the panic ratchet forbids new panic sites.
 #[must_use]
 pub fn count_unit_escapes(source: &str) -> usize {
-    classify(source)
-        .iter()
-        .filter(|line| !line.in_test && contains_allow(line.comment, "bare-f64"))
-        .count()
+    Escapes::collect(&classify(source)).count("bare-f64")
 }
 
 /// Splits a parameter list on top-level commas (parens, brackets, and
@@ -360,6 +364,15 @@ fn analyze_signature(file: &str, line: usize, sig: &str, out: &mut Vec<Violation
 /// escape tags are `audit:allow(nan)` and `audit:allow(float-cmp)`.
 #[must_use]
 pub fn nan_safety(file: &str, source: &str) -> Vec<Violation> {
+    let lines = classify(source);
+    let mut escapes = Escapes::collect(&lines);
+    nan_safety_in(file, &lines, &mut escapes)
+}
+
+/// [`nan_safety`] over pre-classified lines with a shared escape
+/// registry.
+#[must_use]
+pub fn nan_safety_in(file: &str, lines: &[Line], escapes: &mut Escapes) -> Vec<Violation> {
     let partial = concat!(".partial_", "cmp(");
     let unwrap = concat!(".un", "wrap()");
     let order_by = [
@@ -367,26 +380,13 @@ pub fn nan_safety(file: &str, source: &str) -> Vec<Violation> {
         concat!("min_", "by("),
         concat!("max_", "by("),
     ];
-    let lines = classify(source);
     let mut out = Vec::new();
-    let mut allow_nan_next = false;
-    let mut allow_float_next = false;
     for (i, line) in lines.iter().enumerate() {
-        if line.in_test {
+        if line.in_test || line.code.trim().is_empty() {
             continue;
         }
-        if line.code.trim().is_empty() {
-            // Comment-only and blank lines carry the tags forward.
-            allow_nan_next |= contains_allow(line.comment, "nan");
-            allow_float_next |= contains_allow(line.comment, "float-cmp");
-            continue;
-        }
-        let nan_allowed = allow_nan_next || contains_allow(line.comment, "nan");
-        let float_allowed = allow_float_next || contains_allow(line.comment, "float-cmp");
-        allow_nan_next = false;
-        allow_float_next = false;
-        if !nan_allowed {
-            if line.code.contains(partial) && line.code.contains(unwrap) {
+        if line.code.contains(partial) && line.code.contains(unwrap) {
+            if !escapes.allowed(lines, i, "nan") {
                 out.push(Violation {
                     file: file.to_string(),
                     line: line.number,
@@ -394,35 +394,36 @@ pub fn nan_safety(file: &str, source: &str) -> Vec<Violation> {
                     message: "unwrapped partial_cmp panics on NaN; use f64::total_cmp".to_string(),
                 });
             }
-            if order_by.iter().any(|needle| line.code.contains(needle)) {
-                let window: String = lines[i..lines.len().min(i + 4)]
-                    .iter()
-                    .map(|l| l.code)
-                    .collect();
-                if window.contains(partial) {
-                    out.push(Violation {
-                        file: file.to_string(),
-                        line: line.number,
-                        rule: Rule::NanSafety,
-                        message: "ordering floats via partial_cmp is NaN-unstable; \
-                                  use f64::total_cmp"
-                            .to_string(),
-                    });
-                }
-            }
         }
-        if !float_allowed {
-            for pair in float_eq_sites(line.code) {
+        if order_by.iter().any(|needle| line.code.contains(needle)) {
+            let window: String = lines[i..lines.len().min(i + 4)]
+                .iter()
+                .map(|l| l.code.as_str())
+                .collect();
+            if window.contains(partial) && !escapes.allowed(lines, i, "nan") {
                 out.push(Violation {
                     file: file.to_string(),
                     line: line.number,
                     rule: Rule::NanSafety,
-                    message: format!(
-                        "float literal equality `{pair}` is exact-comparison fragile; \
-                         compare with a tolerance or tag audit:allow(float-cmp)"
-                    ),
+                    message: "ordering floats via partial_cmp is NaN-unstable; \
+                              use f64::total_cmp"
+                        .to_string(),
                 });
             }
+        }
+        for pair in float_eq_sites(&line.code) {
+            if escapes.allowed(lines, i, "float-cmp") {
+                continue;
+            }
+            out.push(Violation {
+                file: file.to_string(),
+                line: line.number,
+                rule: Rule::NanSafety,
+                message: format!(
+                    "float literal equality `{pair}` is exact-comparison fragile; \
+                     compare with a tolerance or tag audit:allow(float-cmp)"
+                ),
+            });
         }
     }
     out
@@ -602,27 +603,22 @@ pub fn tracked_artifacts(paths: &[String]) -> Vec<Violation> {
 /// `audit:allow(raw-thread)`.
 #[must_use]
 pub fn raw_thread(file: &str, source: &str) -> Vec<Violation> {
+    let lines = classify(source);
+    let mut escapes = Escapes::collect(&lines);
+    raw_thread_in(file, &lines, &mut escapes)
+}
+
+/// [`raw_thread`] over pre-classified lines with a shared escape
+/// registry.
+#[must_use]
+pub fn raw_thread_in(file: &str, lines: &[Line], escapes: &mut Escapes) -> Vec<Violation> {
     let needle = concat!("thread::", "spawn(");
     let mut out = Vec::new();
-    let mut allow_next = false;
-    for line in classify(source) {
-        if line.in_test {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test || line.code.trim().is_empty() {
             continue;
         }
-        let comment_has = contains_allow(line.comment, "raw-thread");
-        if line.code.trim().is_empty() {
-            // Comment-only and blank lines carry the allow tag forward.
-            if comment_has {
-                allow_next = true;
-            }
-            continue;
-        }
-        let allowed = comment_has || allow_next;
-        allow_next = false;
-        if allowed {
-            continue;
-        }
-        if line.code.contains(needle) {
+        if line.code.contains(needle) && !escapes.allowed(lines, i, "raw-thread") {
             out.push(Violation {
                 file: file.to_string(),
                 line: line.number,
@@ -648,31 +644,29 @@ pub fn raw_thread(file: &str, source: &str) -> Vec<Violation> {
 /// user-facing stderr output can tag `audit:allow(raw-timing)`.
 #[must_use]
 pub fn raw_timing(file: &str, source: &str) -> Vec<Violation> {
+    let lines = classify(source);
+    let mut escapes = Escapes::collect(&lines);
+    raw_timing_in(file, &lines, &mut escapes)
+}
+
+/// [`raw_timing`] over pre-classified lines with a shared escape
+/// registry.
+#[must_use]
+pub fn raw_timing_in(file: &str, lines: &[Line], escapes: &mut Escapes) -> Vec<Violation> {
     let needles: [(&str, &str); 2] = [
         (concat!("Instant::", "now("), "Instant::now()"),
         (concat!("eprint", "ln!("), "eprintln!"),
     ];
     let mut out = Vec::new();
-    let mut allow_next = false;
-    for line in classify(source) {
-        if line.in_test {
-            continue;
-        }
-        let comment_has = contains_allow(line.comment, "raw-timing");
-        if line.code.trim().is_empty() {
-            // Comment-only and blank lines carry the allow tag forward.
-            if comment_has {
-                allow_next = true;
-            }
-            continue;
-        }
-        let allowed = comment_has || allow_next;
-        allow_next = false;
-        if allowed {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test || line.code.trim().is_empty() {
             continue;
         }
         for (needle, label) in needles {
             if line.code.contains(needle) {
+                if escapes.allowed(lines, i, "raw-timing") {
+                    continue;
+                }
                 out.push(Violation {
                     file: file.to_string(),
                     line: line.number,

@@ -1,120 +1,103 @@
-//! Source preprocessing: splits Rust sources into classified lines so
-//! the rule passes can reason about code, comments, and `#[cfg(test)]`
-//! regions without a full parser.
+//! Source preprocessing: lexes Rust sources (see [`crate::lexer`]) and
+//! folds the token stream back into classified lines for the rule
+//! passes.
 //!
-//! The classifier is deliberately line-oriented and heuristic — it
-//! tracks string literals well enough to find trailing `//` comments
-//! and counts braces well enough to skip test modules. That covers the
-//! idioms this workspace actually uses; it is not a general Rust lexer.
+//! Compared to the original per-line heuristics this pass is exact
+//! where it matters:
+//!
+//! - **string literals are masked** in the `code` field (delimiters
+//!   kept, contents blanked), so a needle like a panic call or an `f64`
+//!   inside a string can never fire a rule, and a `{` inside a string
+//!   can never confuse brace tracking or signature accumulation;
+//! - **block comments** (including multi-line ones) are removed from
+//!   `code` and surfaced through `comment`, so a commented-out
+//!   parameter list cannot leak into a signature;
+//! - **doc comments** (`///`, `//!`, `/** */`) belong to neither field:
+//!   they document items, so an escape tag mentioned in prose never
+//!   acts as a directive;
+//! - `#[cfg(test)]` regions are tracked with real token-level brace
+//!   depth, immune to braces in strings and comments.
+
+use crate::lexer::{self, Token, TokenKind};
 
 /// One physical source line, classified for the rule passes.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Line<'a> {
+pub struct Line {
     /// 1-based line number in the file.
     pub number: usize,
-    /// The code portion: everything before a trailing `//` comment.
-    /// Empty for pure comment lines (`//`, `///`, `//!`).
-    pub code: &'a str,
-    /// The trailing comment including its `//` marker, or `""`.
-    pub comment: &'a str,
+    /// The code portion: comments removed, string/char literal contents
+    /// masked with spaces (delimiters kept).
+    pub code: String,
+    /// Every non-doc comment fragment on the line, `//` / `/* */`
+    /// markers included. Escape tags (`audit:allow(…)`) live here.
+    pub comment: String,
     /// True when the line sits inside a `#[cfg(test)]`-gated block.
     pub in_test: bool,
 }
 
-/// Splits a line into its code and trailing-comment portions, honoring
-/// string literals (a `//` inside a `"…"` does not start a comment).
-fn split_comment(line: &str) -> (&str, &str) {
-    let bytes = line.as_bytes();
-    let mut in_string = false;
-    let mut escaped = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        let b = bytes[i];
-        if in_string {
-            if escaped {
-                escaped = false;
-            } else if b == b'\\' {
-                escaped = true;
-            } else if b == b'"' {
-                in_string = false;
+/// Masks a literal token's text: first and last character kept (the
+/// delimiters), everything else blanked — except newlines, which are
+/// preserved so multi-line literals still split into the right lines.
+fn mask_literal(text: &str) -> String {
+    let last = text.chars().count().saturating_sub(1);
+    text.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if c == '\n' || i == 0 || i == last {
+                c
+            } else {
+                ' '
             }
-        } else if b == b'"' {
-            in_string = true;
-        } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-            return (&line[..i], &line[i..]);
-        }
-        i += 1;
-    }
-    (line, "")
-}
-
-/// Net brace balance of a code fragment (`{` minus `}`), ignoring
-/// braces inside string literals.
-fn brace_delta(code: &str) -> i64 {
-    let mut delta = 0i64;
-    let mut in_string = false;
-    let mut escaped = false;
-    for b in code.bytes() {
-        if in_string {
-            if escaped {
-                escaped = false;
-            } else if b == b'\\' {
-                escaped = true;
-            } else if b == b'"' {
-                in_string = false;
-            }
-        } else {
-            match b {
-                b'"' => in_string = true,
-                b'{' => delta += 1,
-                b'}' => delta -= 1,
-                _ => {}
-            }
-        }
-    }
-    delta
+        })
+        .collect()
 }
 
 /// Tracks whether the scanner currently sits inside a test-gated item.
+#[derive(Clone, Copy)]
 enum TestState {
     /// Regular library code.
     Out,
-    /// Saw `#[cfg(test)]`; waiting for the gated item's opening brace.
+    /// Saw `#[cfg(test)]`; waiting for the gated item's opening brace
+    /// (or a terminating `;` for braceless items).
     Pending,
     /// Inside the gated block, with the current brace depth.
     In(i64),
 }
 
-/// Classifies every line of `source`. Lines belonging to a
-/// `#[cfg(test)]` item (attribute line included) carry `in_test: true`.
-#[must_use]
-pub fn classify(source: &str) -> Vec<Line<'_>> {
-    let mut out = Vec::new();
+/// Marks each token as test-gated or not: `#[cfg(test)]` flips the
+/// state to pending, the gated item's braces (tracked at token level,
+/// so strings and comments cannot confuse the count) bound the region.
+pub(crate) fn test_flags(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
     let mut state = TestState::Out;
-    for (idx, raw) in source.lines().enumerate() {
-        let (code, comment) = split_comment(raw);
-        let trimmed = code.trim();
-        let mut in_test = !matches!(state, TestState::Out);
-
+    let mut i = 0;
+    while i < tokens.len() {
         match state {
             TestState::Out => {
-                if trimmed.starts_with("#[cfg(test)]") {
-                    in_test = true;
+                if let Some(end) = match_cfg_test(tokens, i) {
+                    for flag in &mut flags[i..=end] {
+                        *flag = true;
+                    }
                     state = TestState::Pending;
+                    i = end + 1;
+                    continue;
                 }
             }
             TestState::Pending => {
-                let delta = brace_delta(code);
-                if delta > 0 {
-                    state = TestState::In(delta);
-                } else if trimmed.ends_with(';') {
-                    // The attribute gated a single braceless item
-                    // (e.g. `#[cfg(test)] use …;`): this line ends it.
-                    state = TestState::Out;
+                flags[i] = true;
+                match tokens[i].text {
+                    "{" => state = TestState::In(1),
+                    ";" => state = TestState::Out,
+                    _ => {}
                 }
             }
             TestState::In(depth) => {
-                let depth = depth + brace_delta(code);
+                flags[i] = true;
+                let depth = match tokens[i].text {
+                    "{" => depth + 1,
+                    "}" => depth - 1,
+                    _ => depth,
+                };
                 state = if depth <= 0 {
                     TestState::Out
                 } else {
@@ -122,13 +105,96 @@ pub fn classify(source: &str) -> Vec<Line<'_>> {
                 };
             }
         }
+        i += 1;
+    }
+    flags
+}
 
-        out.push(Line {
-            number: idx + 1,
-            code,
-            comment,
-            in_test,
-        });
+/// Matches `#[cfg(test)]` (and `#[cfg(test, …)]` variants) starting at
+/// token `i`, skipping trivia; returns the index of the closing `]`.
+fn match_cfg_test(tokens: &[Token<'_>], i: usize) -> Option<usize> {
+    // The `#` must be the token at `i` itself.
+    if tokens[i].text != "#" {
+        return None;
+    }
+    let significant: Vec<(usize, &str)> = tokens[i..]
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::Whitespace) && !t.is_comment())
+        .map(|(j, t)| (i + j, t.text))
+        .collect();
+    let head: Vec<&str> = significant.iter().take(5).map(|&(_, t)| t).collect();
+    if head != ["#", "[", "cfg", "(", "test"] {
+        return None;
+    }
+    // Skip to the closing `]` at bracket depth zero (depth 1 after the
+    // `(` already consumed above).
+    let mut depth = 1i64;
+    for &(abs, text) in &significant[5..] {
+        match text {
+            "(" | "[" => depth += 1,
+            ")" => depth -= 1,
+            "]" if depth == 0 => return Some(abs),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Classifies every line of `source`. Lines belonging to a
+/// `#[cfg(test)]` item (attribute line included) carry `in_test: true`.
+#[must_use]
+pub fn classify(source: &str) -> Vec<Line> {
+    let tokens = lexer::lex(source);
+    let flags = test_flags(&tokens);
+    let mut out: Vec<Line> = Vec::new();
+    let mut number = 1usize;
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut in_test = false;
+    let mut flush =
+        |number: &mut usize, code: &mut String, comment: &mut String, in_test: &mut bool| {
+            out.push(Line {
+                number: *number,
+                code: std::mem::take(code),
+                comment: std::mem::take(comment),
+                in_test: *in_test,
+            });
+            *number += 1;
+            *in_test = false;
+        };
+
+    for (token, &test) in tokens.iter().zip(&flags) {
+        let rendered: std::borrow::Cow<'_, str> = match token.kind {
+            TokenKind::Str | TokenKind::RawStr | TokenKind::CharLit => {
+                std::borrow::Cow::Owned(mask_literal(token.text))
+            }
+            _ => std::borrow::Cow::Borrowed(token.text),
+        };
+        let mut fragments = rendered.split('\n').peekable();
+        while let Some(fragment) = fragments.next() {
+            if !fragment.is_empty() {
+                in_test |= test;
+                match token.kind {
+                    TokenKind::LineComment | TokenKind::BlockComment => {
+                        if !token.is_doc() {
+                            comment.push_str(fragment);
+                        }
+                        // Keep code tokens separated where a comment sat.
+                        if matches!(token.kind, TokenKind::BlockComment) {
+                            code.push(' ');
+                        }
+                    }
+                    _ => code.push_str(fragment),
+                }
+            }
+            if fragments.peek().is_some() {
+                flush(&mut number, &mut code, &mut comment, &mut in_test);
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        flush(&mut number, &mut code, &mut comment, &mut in_test);
     }
     out
 }
@@ -142,16 +208,48 @@ mod tests {
         let lines = classify("let a = 1; // trailing\n/// doc\ncode();\n");
         assert_eq!(lines[0].code, "let a = 1; ");
         assert_eq!(lines[0].comment, "// trailing");
+        // Doc comments belong to neither field.
         assert_eq!(lines[1].code, "");
-        assert!(lines[1].comment.starts_with("///"));
+        assert_eq!(lines[1].comment, "");
         assert_eq!(lines[2].code, "code();");
     }
 
     #[test]
     fn slashes_inside_strings_are_not_comments() {
         let lines = classify(r#"let url = "http://x"; // real"#);
-        assert_eq!(lines[0].code, r#"let url = "http://x"; "#);
+        assert_eq!(lines[0].code, r#"let url = "        "; "#);
         assert_eq!(lines[0].comment, "// real");
+    }
+
+    #[test]
+    fn string_contents_are_masked() {
+        let lines = classify("let msg = \"call .unwrap() on { f64 }\";\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(!lines[0].code.contains('{'));
+        assert!(lines[0].code.starts_with("let msg = \""));
+    }
+
+    #[test]
+    fn multiline_strings_stay_masked_on_every_line() {
+        let src = "const DOC: &str = \"\npub fn area(width_cm: f64) -> f64 {\n\";\n";
+        let lines = classify(src);
+        assert_eq!(lines.len(), 3);
+        assert!(
+            !lines[1].code.contains("f64"),
+            "string interior must be masked: {:?}",
+            lines[1].code
+        );
+        assert!(lines[2].code.contains(';'));
+    }
+
+    #[test]
+    fn block_comments_route_to_comment_not_code() {
+        let lines = classify("let a /* name: f64, */ = 1;\n/* spanning\n   lines */\nb();\n");
+        assert!(!lines[0].code.contains("f64"));
+        assert!(lines[0].comment.contains("f64"));
+        assert!(lines[1].comment.contains("spanning"));
+        assert!(lines[2].comment.contains("lines"));
+        assert_eq!(lines[3].code, "b();");
     }
 
     #[test]
@@ -173,5 +271,20 @@ mod tests {
         assert!(lines[0].in_test);
         assert!(lines[1].in_test);
         assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_confuse_test_tracking() {
+        let src = "#[cfg(test)]\nmod tests {\n    const S: &str = \"}\";\n    fn t() {}\n}\nfn lib() {}\n";
+        let lines = classify(src);
+        assert!(lines[3].in_test, "the stray brace is inside a string");
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn line_numbers_are_continuous() {
+        let lines = classify("a\n\nb\n");
+        let numbers: Vec<usize> = lines.iter().map(|l| l.number).collect();
+        assert_eq!(numbers, vec![1, 2, 3]);
     }
 }

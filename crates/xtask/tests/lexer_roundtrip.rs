@@ -1,0 +1,105 @@
+//! Lexer round-trip property test: concatenating the token texts of
+//! any workspace source file must reproduce the file byte-for-byte.
+//! This is the losslessness guarantee every downstream pass (line
+//! classification, the symbol index, all rule families) builds on — a
+//! lexer that drops or rewrites a single byte would silently shift
+//! line attribution or hide code from the rules.
+
+use std::path::{Path, PathBuf};
+
+/// Recursively collects `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            if path
+                .file_name()
+                .is_some_and(|n| n == "target" || n == ".git")
+            {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_source_reassembles_byte_for_byte() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask sits two levels below the workspace root");
+    let mut files = Vec::new();
+    rust_files(root, &mut files);
+    assert!(
+        files.len() > 50,
+        "expected a full workspace scan, found only {} files",
+        files.len()
+    );
+    for file in &files {
+        let Ok(source) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        let tokens = xtask::lexer::lex(&source);
+        let rebuilt: String = tokens.iter().map(|t| t.text).collect();
+        assert_eq!(
+            rebuilt,
+            source,
+            "lexer round-trip failed for {}",
+            file.display()
+        );
+    }
+}
+
+#[test]
+fn token_line_numbers_are_monotonic_and_match_newlines() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let mut files = Vec::new();
+    rust_files(&root.join("crates"), &mut files);
+    for file in files.iter().take(200) {
+        let Ok(source) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        let tokens = xtask::lexer::lex(&source);
+        let mut expected_line = 1usize;
+        for t in &tokens {
+            assert_eq!(
+                t.line,
+                expected_line,
+                "token `{}` line drifted in {}",
+                t.text.escape_debug(),
+                file.display()
+            );
+            expected_line += t.text.matches('\n').count();
+        }
+    }
+}
+
+#[test]
+fn adversarial_snippets_roundtrip() {
+    let cases = [
+        "let s = \"brace { quote \\\" slash // end\";\n",
+        "let r = r#\"raw \"quoted\" {}\"#;\n",
+        "let b = b\"bytes\\x00\"; let c = 'x'; let nl = '\\n';\n",
+        "fn f<'a>(x: &'a str) -> &'a str { x }\n",
+        "/* outer /* nested */ still comment */ fn g() {}\n",
+        "let range = 1..3; let f = 1.5e-3_f64;\n",
+        "let ch = '{'; let close = '}';\n",
+        "// line comment without trailing newline",
+        "let unterminated = \"oops\n",
+        "macro_rules! m { ($x:expr) => { $x } }\n",
+    ];
+    for src in cases {
+        let rebuilt: String = xtask::lexer::lex(src).iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, src, "round-trip failed for {src:?}");
+    }
+}

@@ -341,6 +341,261 @@ fn artifact_rule_accepts_sources_and_target_like_names() {
 }
 
 // ---------------------------------------------------------------------
+// Rule 2 regressions: lexer-masked strings and comments in signatures
+// ---------------------------------------------------------------------
+
+#[test]
+fn unit_rule_ignores_f64_inside_multiline_string_literals() {
+    // The old line-based scanner treated the interior of a multi-line
+    // string as code, so the `pub fn … f64` text inside this constant
+    // used to fire a bare-f64 violation.
+    let src = concat!(
+        "pub const USAGE: &str = \"\n",
+        "pub fn area(width_cm: f64,\n",
+        "            height_cm: f64) -> f64 {\n",
+        "\";\n",
+    );
+    assert!(rules::unit_safety("fixture.rs", src).is_empty());
+}
+
+#[test]
+fn unit_rule_ignores_f64_inside_signature_comments() {
+    // A commented-out parameter inside a multi-line signature used to
+    // parse as a real `name: f64` parameter.
+    let src = concat!(
+        "pub fn scale(\n",
+        "    /* legacy_gain: f64, */\n",
+        "    // retired_knob: f64,\n",
+        "    factor: Dollars,\n",
+        ") -> Dollars {\n",
+    );
+    assert!(rules::unit_safety("fixture.rs", src).is_empty());
+}
+
+#[test]
+fn unit_rule_still_fires_on_real_params_next_to_string_literals() {
+    let src = concat!(
+        "pub fn label(\n",
+        "    width_raw: f64,\n",
+        ") -> String {\n",
+        "    format!(\"w={width_raw}\")\n",
+        "}\n",
+    );
+    let found = rules::unit_safety("fixture.rs", src);
+    assert_eq!(found.len(), 1);
+    assert!(found[0].message.contains("width_raw"));
+}
+
+// ---------------------------------------------------------------------
+// Rule 8: determinism
+// ---------------------------------------------------------------------
+
+#[test]
+fn determinism_rule_flags_hashmap_iteration_on_result_paths() {
+    let src = concat!(
+        "use std::collections::HashMap;\n",
+        "pub fn report() -> Vec<(u8, f64)> {\n",
+        "    let totals: HashMap<u8, f64> = HashMap::new();\n",
+        "    let mut out = Vec::new();\n",
+        "    for (k, v) in &totals {\n",
+        "        out.push((*k, *v));\n",
+        "    }\n",
+        "    out\n",
+        "}\n",
+    );
+    let found = xtask::determinism::determinism("fixture.rs", src);
+    assert_eq!(found.len(), 1, "got: {found:?}");
+    assert_eq!(found[0].rule, Rule::Determinism);
+    assert_eq!(found[0].line, 5);
+}
+
+#[test]
+fn determinism_rule_flags_wall_clock_and_thread_identity() {
+    let src = concat!(
+        "pub fn stamp() -> u64 {\n",
+        "    let t = std::time::SystemTime::now();\n",
+        "    let id = std::thread::current().id();\n",
+        "    0\n",
+        "}\n",
+    );
+    let found = xtask::determinism::determinism("fixture.rs", src);
+    assert_eq!(found.len(), 2, "got: {found:?}");
+}
+
+#[test]
+fn determinism_rule_accepts_btreemap_and_keyed_lookups() {
+    let src = concat!(
+        "use std::collections::{BTreeMap, HashMap};\n",
+        "pub fn run() -> f64 {\n",
+        "    let sorted: BTreeMap<u8, f64> = BTreeMap::new();\n",
+        "    for (_k, v) in &sorted { let _ = v; }\n",
+        "    let m: HashMap<u8, f64> = HashMap::new();\n",
+        "    m.get(&1).copied().unwrap_or(0.0)\n",
+        "}\n",
+    );
+    assert!(xtask::determinism::determinism("fixture.rs", src).is_empty());
+}
+
+#[test]
+fn determinism_rule_honors_escape_tag() {
+    let src = concat!(
+        "use std::collections::HashMap;\n",
+        "pub fn debug_dump(m: &HashMap<u8, f64>) {\n",
+        "    let snapshot: HashMap<u8, f64> = m.clone();\n",
+        "    // audit:allow(determinism): stderr debug dump, not result data.\n",
+        "    for (k, v) in &snapshot { let _ = (k, v); }\n",
+        "}\n",
+    );
+    assert!(xtask::determinism::determinism("fixture.rs", src).is_empty());
+}
+
+#[test]
+fn determinism_rule_exempts_counter_statics_via_index() {
+    let src = concat!(
+        "use std::sync::atomic::Ordering;\n",
+        "static HITS: maly_obs::Counter = maly_obs::Counter::diag(\"hits\");\n",
+        "pub fn snapshot() -> u64 {\n",
+        "    HITS.load(Ordering::Relaxed)\n",
+        "}\n",
+    );
+    assert!(xtask::determinism::determinism("fixture.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Rule 9: lock-order
+// ---------------------------------------------------------------------
+
+#[test]
+fn lock_rule_flags_opposite_order_acquisition() {
+    let src = concat!(
+        "use std::sync::Mutex;\n",
+        "pub struct S { a: Mutex<u8>, b: Mutex<u8> }\n",
+        "impl S {\n",
+        "    pub fn ab(&self) {\n",
+        "        let ga = self.a.lock();\n",
+        "        let gb = self.b.lock();\n",
+        "        let _ = (ga, gb);\n",
+        "    }\n",
+        "    pub fn ba(&self) {\n",
+        "        let gb = self.b.lock();\n",
+        "        let ga = self.a.lock();\n",
+        "        let _ = (ga, gb);\n",
+        "    }\n",
+        "}\n",
+    );
+    let found = xtask::locks::lock_order("fixture.rs", src);
+    assert_eq!(found.len(), 1, "got: {found:?}");
+    assert_eq!(found[0].rule, Rule::LockOrder);
+    assert!(found[0].message.contains("cycle"));
+}
+
+#[test]
+fn lock_rule_flags_blocking_io_under_guard() {
+    let src = concat!(
+        "use std::sync::Mutex;\n",
+        "pub struct Q { queue: Mutex<Vec<u8>> }\n",
+        "impl Q {\n",
+        "    pub fn drain(&self, out: &mut impl std::io::Write) {\n",
+        "        let g = self.queue.lock();\n",
+        "        let _ = out.write_all(b\"x\");\n",
+        "        let _ = g;\n",
+        "    }\n",
+        "}\n",
+    );
+    let found = xtask::locks::lock_order("fixture.rs", src);
+    assert_eq!(found.len(), 1, "got: {found:?}");
+    assert!(found[0].message.contains("blocking I/O"));
+}
+
+#[test]
+fn lock_rule_accepts_consistent_order_and_scoped_guards() {
+    let src = concat!(
+        "use std::sync::Mutex;\n",
+        "pub struct S { a: Mutex<u8>, b: Mutex<u8> }\n",
+        "impl S {\n",
+        "    pub fn one(&self) { let g = self.a.lock(); let h = self.b.lock(); let _ = (g, h); }\n",
+        "    pub fn two(&self, out: &mut impl std::io::Write) {\n",
+        "        {\n",
+        "            let g = self.a.lock();\n",
+        "            let h = self.b.lock();\n",
+        "            let _ = (g, h);\n",
+        "        }\n",
+        "        let _ = out.write_all(b\"x\");\n",
+        "    }\n",
+        "}\n",
+    );
+    assert!(xtask::locks::lock_order("fixture.rs", src).is_empty());
+}
+
+#[test]
+fn lock_rule_honors_escape_tag_on_io_line() {
+    let src = concat!(
+        "use std::sync::Mutex;\n",
+        "pub struct Q { queue: Mutex<Vec<u8>> }\n",
+        "impl Q {\n",
+        "    pub fn drain(&self, out: &mut impl std::io::Write) {\n",
+        "        let g = self.queue.lock();\n",
+        "        // audit:allow(lock-order): out is an in-memory Vec in this build.\n",
+        "        let _ = out.write_all(b\"x\");\n",
+        "        let _ = g;\n",
+        "    }\n",
+        "}\n",
+    );
+    assert!(xtask::locks::lock_order("fixture.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Rule 10: escape hygiene
+// ---------------------------------------------------------------------
+
+#[test]
+fn stale_escape_rule_flags_unused_and_unknown_tags() {
+    let src = concat!(
+        "// audit:allow(panic): nothing panics below anymore.\n",
+        "pub fn safe() -> u8 { 0 }\n",
+        "// audit:allow(pancake): typo of a tag.\n",
+        "pub fn also_safe() -> u8 { 1 }\n",
+    );
+    let lines = xtask::scan::classify(src);
+    let mut escapes = xtask::escapes::Escapes::collect(&lines);
+    let fired = rules::panic_freedom_in("fixture.rs", &lines, &mut escapes);
+    assert!(fired.is_empty());
+    let stale = escapes.stale("fixture.rs");
+    assert_eq!(stale.len(), 2, "got: {stale:?}");
+    assert!(stale.iter().all(|v| v.rule == Rule::StaleEscape));
+    assert!(stale[1].message.contains("unknown escape tag"));
+}
+
+#[test]
+fn used_escape_is_not_stale() {
+    let src = "// audit:allow(panic): fixture.\npub fn f() { x.unwrap() }\n";
+    let lines = xtask::scan::classify(src);
+    let mut escapes = xtask::escapes::Escapes::collect(&lines);
+    let fired = rules::panic_freedom_in("fixture.rs", &lines, &mut escapes);
+    assert!(fired.is_empty());
+    assert!(escapes.stale("fixture.rs").is_empty());
+}
+
+#[test]
+fn test_side_escape_is_always_stale() {
+    let src = concat!(
+        "pub fn lib() {}\n",
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    // audit:allow(panic): tests may panic freely anyway.\n",
+        "    fn t() { Some(1).unwrap(); }\n",
+        "}\n",
+    );
+    let lines = xtask::scan::classify(src);
+    let mut escapes = xtask::escapes::Escapes::collect(&lines);
+    let fired = rules::panic_freedom_in("fixture.rs", &lines, &mut escapes);
+    assert!(fired.is_empty());
+    let stale = escapes.stale("fixture.rs");
+    assert_eq!(stale.len(), 1);
+    assert!(stale[0].message.contains("#[cfg(test)]"));
+}
+
+// ---------------------------------------------------------------------
 // The tree itself must lint clean — this is the enforcement test.
 // ---------------------------------------------------------------------
 
@@ -358,4 +613,20 @@ fn workspace_tree_lints_clean() {
     );
     // Every crate the budgets table names was actually scanned.
     assert_eq!(report.stats.len(), xtask::PANIC_BUDGETS.len());
+    // Budgets are ratcheted to actuals: every crate sits exactly at
+    // its budget, so any new panic site fails and any paydown forces a
+    // budget cut in the same change.
+    for s in &report.stats {
+        assert_eq!(
+            s.panic_sites, s.budget,
+            "crate `{}` is below its panic budget ({} sites, budget {}); \
+             ratchet PANIC_BUDGETS down",
+            s.name, s.panic_sites, s.budget
+        );
+    }
+    // The machine-readable report carries the v2 schema tag and the
+    // clean flag CI keys on.
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"maly-audit/v2\""));
+    assert!(json.contains("\"clean\": true"));
 }
