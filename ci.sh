@@ -48,8 +48,20 @@ cargo run -q -p maly-cli -- sweep --transistors 3.1e6 --lambda 0.8 \
     --trace-out target/trace_ci.ndjson > /dev/null
 cargo run -q -p xtask -- trace-check target/trace_ci.ndjson
 
-echo "== bench regression check (vs BENCH_sweeps.json)"
+echo "== bench regression check (MALY_PAR_THREADS=1, serial)"
+MALY_PAR_THREADS=1 cargo bench -p maly-bench --bench sweeps -- \
+    --json target/bench_sweeps_ci_t1.json
+cargo run -q -p xtask -- bench-check target/bench_sweeps_ci_t1.json
+
+echo "== bench regression check (default parallelism, vs BENCH_sweeps.json)"
 cargo bench -p maly-bench --bench sweeps -- --json target/bench_sweeps_ci.json
 cargo run -q -p xtask -- bench-check target/bench_sweeps_ci.json
+
+# Both recorded baselines must carry the per-eval counter group the
+# bench-check median gate rides on, and declare how parallel the run
+# really was (the multi-core speedup gate keys on that header).
+grep -q '"group": "per_eval"' target/bench_sweeps_ci_t1.json
+grep -q '"group": "per_eval"' target/bench_sweeps_ci.json
+grep -q '"available_parallelism"' target/bench_sweeps_ci.json
 
 echo "ci.sh: all gates passed"

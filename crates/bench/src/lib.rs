@@ -216,6 +216,35 @@ pub mod harness {
         });
     }
 
+    /// Name of the derived per-evaluation group written by
+    /// [`record_per_eval`]; `xtask bench-check` asserts the group is
+    /// present and gates its values like any other timing record.
+    pub const PER_EVAL_GROUP: &str = "per_eval";
+
+    /// Records a derived per-evaluation latency — a group's median
+    /// divided by its matching work counter — as a regular timing
+    /// record in the dedicated [`PER_EVAL_GROUP`] group (regardless of
+    /// the current group). Gating these alongside the raw medians keeps
+    /// per-eval cost honest even when a sweep's evaluation *count* also
+    /// changes: a "faster" sweep that merely evaluates fewer points
+    /// cannot hide a per-point regression.
+    pub fn record_per_eval(name: &str, total_ns: f64, evals: u64) {
+        let per_eval_ns = if evals == 0 {
+            0.0
+        } else {
+            total_ns / evals as f64
+        };
+        println!("{name:<36} {per_eval_ns:>11.1} ns/eval ({evals} evals)");
+        with_recorder(|r| {
+            r.records.push(Record {
+                group: PER_EVAL_GROUP.to_string(),
+                name: name.to_string(),
+                median_ns: per_eval_ns,
+                iters: evals,
+            });
+        });
+    }
+
     /// Records a named work counter (e.g. "eq1_evaluations") under the
     /// current group and prints it; counters land in the JSON baseline
     /// alongside the timings so work reductions are auditable, not just

@@ -39,21 +39,21 @@
 //! `(λ, log N_tr)` — the natural coordinates of the paper's axes.
 //!
 //! At `tol = 0` the engine degenerates to the dense scan: every grid
-//! point is evaluated through [`SurfaceParameters::costs_for_points`] and
-//! the result is **bit-identical** to [`CostSurface::compute`] (pinned by
-//! golden tests). At the default tolerance the quadtree mesh needs
+//! point is evaluated through the shared lane-batched eq. (1) kernel
+//! ([`crate::surface`]'s `Eq1Kernel`) — the same kernel the dense scan
+//! dispatches through — so the result is **bit-identical** to
+//! [`CostSurface::compute`] (pinned by golden tests). At the default tolerance the quadtree mesh needs
 //! ~5–10× fewer full eq. (1) evaluations than the dense scan on the
 //! Fig 8 window (see [`AdaptiveStats::savings`]) while every value stays
 //! within `tol` relative error of the dense surface and the feasibility
 //! mask matches exactly.
 
 use maly_par::Executor;
-use maly_units::{DefectDensity, Dollars, Microns, TransistorCount};
-use maly_wafer_geom::DieDimensions;
-use maly_yield_model::{PoissonYield, ScaledPoissonYield, YieldModel};
+use maly_units::{Microns, TransistorCount};
 
-use crate::surface::{linear_axis, log_axis, CostSurface, SurfaceParameters, CELL_EVAL_HINT_NS};
-use crate::DiesPerWaferMethod;
+use crate::surface::{
+    linear_axis, log_axis, CostSurface, Eq1Kernel, PointEval, SurfaceParameters, CELL_EVAL_HINT_NS,
+};
 
 /// Process totals of the per-computation [`AdaptiveStats`] fields,
 /// mirrored onto `maly-obs` work counters at the end of every
@@ -414,18 +414,7 @@ impl Cell {
     }
 }
 
-/// Per-λ-row hoisted state of the eq. (1) kernel: the wafer cost
-/// `C_w(λ)` and the eq. (7) yield model at the row's effective defect
-/// density — both depend only on λ, so computing them once per row
-/// removes two `powf` calls from every point evaluation.
-#[derive(Clone, Copy)]
-struct RowCtx {
-    lambda: Microns,
-    wafer_cost: Dollars,
-    row_yield: PoissonYield,
-}
-
-/// The refinement engine: borrowed inputs plus hoisted per-axis state
+/// The refinement engine: borrowed inputs plus the hoisted lane kernel
 /// for one computation.
 struct Engine<'a> {
     params: &'a SurfaceParameters,
@@ -433,20 +422,15 @@ struct Engine<'a> {
     config: &'a AdaptiveConfig,
     lambda_axis: &'a [f64],
     n_tr_axis: &'a [f64],
-    /// Hoisted row state; empty unless the batched eq. (4) kernel and a
+    /// The shared lane-batched eq. (1) kernel ([`Eq1Kernel`]) — the
+    /// same one the dense scan dispatches through, so adaptive mesh
+    /// and exact-zone values are bit-identical to the dense surface by
+    /// construction. `None` unless the batched eq. (4) kernel and a
     /// valid eq. (7) calibration are both available.
-    row_ctx: Vec<RowCtx>,
-    /// `TransistorCount` per column, clamped exactly as the dense scan
-    /// constructs it.
-    col_n: Vec<TransistorCount>,
+    kernel: Option<Eq1Kernel>,
 }
 
 type Computed = (Vec<Vec<Option<f64>>>, AdaptiveStats, Vec<bool>);
-
-/// One evaluated grid point: the eq. (1) cost (`None` when infeasible)
-/// and the eq. (4) die count the zone classifier keys on
-/// (`u32::MAX` when the dies-per-wafer method has no batched kernel).
-type PointEval = (Option<f64>, u32);
 
 impl<'a> Engine<'a> {
     fn new(
@@ -456,42 +440,14 @@ impl<'a> Engine<'a> {
         lambda_axis: &'a [f64],
         n_tr_axis: &'a [f64],
     ) -> Self {
-        // Same calibration validation as yields_for_slice: a bad (D, p)
-        // makes every point infeasible, exactly like the scalar path.
-        const PROBE_LAMBDA: Microns = Microns::const_new(1.0);
-        let calibrated = matches!(params.dies_method, DiesPerWaferMethod::MalyEq4)
-            && ScaledPoissonYield::new(params.defect_d, params.defect_p, PROBE_LAMBDA).is_ok();
-        let row_ctx = if calibrated {
-            lambda_axis
-                .iter()
-                .map(|&l| {
-                    let lambda = Microns::clamped(l);
-                    RowCtx {
-                        lambda,
-                        wafer_cost: params.wafer_cost.wafer_cost(lambda),
-                        // The eq. (7) effective density D/λ^p of
-                        // ScaledPoissonYield::yields_for_slice.
-                        row_yield: PoissonYield::new(DefectDensity::clamped(
-                            params.defect_d.value() / lambda.value().powf(params.defect_p),
-                        )),
-                    }
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let col_n = n_tr_axis
-            .iter()
-            .map(|&n| TransistorCount::clamped(n))
-            .collect();
+        let kernel = Eq1Kernel::new(params, lambda_axis, n_tr_axis);
         Self {
             params,
             exec,
             config,
             lambda_axis,
             n_tr_axis,
-            row_ctx,
-            col_n,
+            kernel,
         }
     }
 
@@ -528,60 +484,27 @@ impl<'a> Engine<'a> {
             .collect()
     }
 
-    /// The serial kernel under [`Engine::eval_points`]: eq. (1) with the
-    /// hoisted per-row state of [`RowCtx`]; die counts go through the
-    /// shared eq. (4) memo in one batch. Every per-point operation runs
-    /// in the same order with the same intermediate values as
-    /// [`SurfaceParameters::costs_for_points`], so results are
-    /// bit-identical to the dense scan.
+    /// The serial kernel under [`Engine::eval_points`]: one
+    /// [`Eq1Kernel::eq1_for_slice`] dispatch for the whole node set —
+    /// the same kernel the dense scan runs, so every evaluated point is
+    /// bit-identical to the dense surface by construction.
     fn eval_slice(&self, indices: &[(usize, usize)]) -> Vec<PointEval> {
-        let params = self.params;
-        if self.row_ctx.is_empty() {
-            // No batched eq. (4) kernel (or an invalid calibration, where
-            // every point is infeasible anyway): fall back to the scalar
-            // path and report no die count, which disables the exact
-            // zone.
-            let points: Vec<(Microns, TransistorCount)> =
-                indices.iter().map(|&(i, j)| self.point_at(i, j)).collect();
-            return params
-                .costs_for_points(&points)
-                .into_iter()
-                .map(|c| (c, u32::MAX))
-                .collect();
-        }
-        let dies: Vec<DieDimensions> = indices
-            .iter()
-            .map(|&(i, j)| {
-                DieDimensions::square_with_area(crate::density::die_area(
-                    self.col_n[j],
-                    params.density,
-                    self.row_ctx[i].lambda,
-                ))
-            })
-            .collect();
-        let counts = maly_wafer_geom::cache::dies_per_wafer_batch(&params.wafer, &dies);
-        let mut out = Vec::with_capacity(indices.len());
-        for (k, &(i, j)) in indices.iter().enumerate() {
-            let n_ch = counts[k];
-            if n_ch.is_zero() {
-                out.push((None, 0));
-                continue;
+        match &self.kernel {
+            Some(kernel) => kernel.eq1_for_slice(indices),
+            None => {
+                // No batched eq. (4) kernel (or an invalid calibration,
+                // where every point is infeasible anyway): fall back to
+                // the scalar path and report no die count, which
+                // disables the exact zone.
+                let points: Vec<(Microns, TransistorCount)> =
+                    indices.iter().map(|&(i, j)| self.point_at(i, j)).collect();
+                self.params
+                    .costs_for_points(&points)
+                    .into_iter()
+                    .map(|c| (c, u32::MAX))
+                    .collect()
             }
-            let ctx = self.row_ctx[i];
-            let y = ctx.row_yield.die_yield(dies[k].area());
-            if y.value() <= 0.0 {
-                out.push((None, n_ch.value()));
-                continue;
-            }
-            // Same operation order as TransistorCostModel::evaluate.
-            let good_dies = n_ch.as_f64() * y.value();
-            let cost_per_good_die = ctx.wafer_cost / good_dies;
-            out.push((
-                Some((cost_per_good_die / self.col_n[j].value()).value()),
-                n_ch.value(),
-            ));
         }
-        out
     }
 
     /// The degenerate `tol ≤ 0` path: every grid point evaluated through
@@ -592,21 +515,11 @@ impl<'a> Engine<'a> {
         let indices: Vec<(usize, usize)> = (0..rows)
             .flat_map(|i| (0..cols).map(move |j| (i, j)))
             .collect();
-        let points: Vec<(Microns, TransistorCount)> =
-            indices.iter().map(|&(i, j)| self.point_at(i, j)).collect();
-        let exec = self.exec.tuned_for(points.len(), CELL_EVAL_HINT_NS);
-        let flat: Vec<Option<f64>> = if exec.threads() <= 1 {
-            self.params.costs_for_points(&points)
-        } else {
-            let chunk = points.len().div_ceil(exec.threads());
-            let chunks: Vec<&[(Microns, TransistorCount)]> = points.chunks(chunk).collect();
-            exec.map(&chunks, |c| self.params.costs_for_points(c))
-                .into_iter()
-                .flatten()
-                .collect()
-        };
-        let values: Vec<Vec<Option<f64>>> =
-            flat.chunks(cols).map(<[Option<f64>]>::to_vec).collect();
+        let values: Vec<Vec<Option<f64>>> = self
+            .eval_points(&indices)
+            .chunks(cols)
+            .map(|row| row.iter().map(|&(c, _)| c).collect())
+            .collect();
         let stats = AdaptiveStats {
             evaluated: rows * cols,
             grid_points: rows * cols,

@@ -10,16 +10,19 @@
 
 use maly_par::Executor;
 use maly_units::{
-    DesignDensity, Dollars, Microns, ReferenceDefectDensity, SquareCentimeters, TransistorCount,
+    DefectDensity, DesignDensity, Dollars, Microns, Probability, ReferenceDefectDensity,
+    SquareCentimeters, TransistorCount,
 };
 use maly_wafer_geom::{DieDimensions, Wafer};
 use maly_yield_model::ScaledPoissonYield;
 
 use crate::{CostError, DiesPerWaferMethod, TransistorCostModel, WaferCostModel};
 
-/// Estimated serial cost of one eq. (1) grid-cell evaluation with a
-/// warm eq. (4) memo — the executor cost hint for surface sweeps.
-pub(crate) const CELL_EVAL_HINT_NS: f64 = 500.0;
+/// Estimated serial cost of one eq. (1) grid-cell evaluation through
+/// the lane kernel with a warm eq. (4) memo — the executor cost hint
+/// for surface sweeps (measured on the committed BENCH_sweeps.json
+/// baseline: dense `surface_56x48` median ÷ 2688 grid points).
+pub(crate) const CELL_EVAL_HINT_NS: f64 = 80.0;
 
 /// Estimated per-cell cost of a pure in-memory column scan (no eq. (1)
 /// evaluation, just comparisons over already-computed values).
@@ -89,10 +92,11 @@ impl SurfaceParameters {
     /// counts ([`maly_wafer_geom::cache::dies_per_wafer_batch`]) and one
     /// eq. (7) yield pass
     /// ([`ScaledPoissonYield::yields_for_slice`]) — instead of
-    /// re-deriving the full model object per point. The per-point math
-    /// runs in the same operation order as the scalar path, so results
-    /// are **bit-identical** to calling `cost_at` in a loop; the
-    /// adaptive engine and the golden tests rely on that.
+    /// re-deriving the full model object per point. Die counts and the
+    /// feasibility mask are exact; cost values carry the lane `exp`/`ln`
+    /// accuracy contract of `yields_for_slice` (relative error vs the
+    /// scalar `cost_at` ≈ `(1 + |ln Y|) · 1e-14`, a few ulps over the
+    /// whole Fig 8 window).
     #[must_use]
     pub fn costs_for_points(&self, points: &[(Microns, TransistorCount)]) -> Vec<Option<f64>> {
         if !matches!(self.dies_method, DiesPerWaferMethod::MalyEq4) {
@@ -140,6 +144,168 @@ impl SurfaceParameters {
                 let cost_per_good_die = self.wafer_cost.wafer_cost(lambda) / good_dies;
                 Some((cost_per_good_die / n.value()).value())
             })
+            .collect()
+    }
+}
+
+/// One evaluated grid point of the batched eq. (1) kernel: the cost per
+/// transistor (`None` when infeasible) and the eq. (4) die count the
+/// adaptive zone classifier keys on (`u32::MAX` when the dies-per-wafer
+/// method has no batched kernel).
+pub(crate) type PointEval = (Option<f64>, u32);
+
+/// Per-λ-row hoisted state of [`Eq1Kernel`]: the wafer cost `C_w(λ)`
+/// and the eq. (7) exponent scale `−D/λ^p` — both depend only on λ, so
+/// computing them once per row removes two `powf` calls from every
+/// point evaluation.
+#[derive(Clone, Copy)]
+struct Eq1Row {
+    lambda: Microns,
+    wafer_cost: Dollars,
+    /// `−D/λ^p`: the eq. (7) yield is `exp(neg_d_eff · A)` at this row.
+    neg_d_eff: f64,
+}
+
+/// The shared lane-batched eq. (1) kernel over a fixed `(λ × N_tr)`
+/// grid: the dense scan and the adaptive engine's mesh and exact-zone
+/// paths all dispatch whole node sets through
+/// [`Eq1Kernel::eq1_for_slice`], so every consumer computes
+/// bit-identical values by construction.
+///
+/// Construction hoists everything that depends on one axis alone: the
+/// wafer cost `C_w(λ)` and the effective defect density `D/λ^p` per
+/// λ-row (two `powf` calls each, paid once per row instead of once per
+/// point), and the clamped [`TransistorCount`] per column. The
+/// per-point work is then one eq. (4) memo lookup and one lane-`exp`
+/// element — no scalar transcendentals on the hot path.
+pub(crate) struct Eq1Kernel {
+    wafer: Wafer,
+    density: DesignDensity,
+    rows: Vec<Eq1Row>,
+    cols: Vec<TransistorCount>,
+}
+
+impl Eq1Kernel {
+    /// Builds the kernel for a parameter set over the given axes.
+    /// Returns `None` when the dies-per-wafer method has no batched
+    /// eq. (4) kernel or the eq. (7) calibration is invalid (where the
+    /// scalar path errors on every point); callers then fall back to
+    /// the scalar path.
+    pub(crate) fn new(
+        params: &SurfaceParameters,
+        lambda_axis: &[f64],
+        n_tr_axis: &[f64],
+    ) -> Option<Self> {
+        // Same calibration validation as yields_for_slice: a bad (D, p)
+        // makes every point infeasible, exactly like the scalar path.
+        const PROBE_LAMBDA: Microns = Microns::const_new(1.0);
+        let calibrated = matches!(params.dies_method, DiesPerWaferMethod::MalyEq4)
+            && ScaledPoissonYield::new(params.defect_d, params.defect_p, PROBE_LAMBDA).is_ok();
+        if !calibrated {
+            return None;
+        }
+        let rows = lambda_axis
+            .iter()
+            .map(|&l| {
+                let lambda = Microns::clamped(l);
+                Eq1Row {
+                    lambda,
+                    wafer_cost: params.wafer_cost.wafer_cost(lambda),
+                    // The eq. (7) effective density D/λ^p, negated so
+                    // the per-point exponent is a single multiply.
+                    neg_d_eff: -DefectDensity::clamped(
+                        params.defect_d.value() / lambda.value().powf(params.defect_p),
+                    )
+                    .value(),
+                }
+            })
+            .collect();
+        let cols = n_tr_axis
+            .iter()
+            .map(|&n| TransistorCount::clamped(n))
+            .collect();
+        Some(Self {
+            wafer: params.wafer,
+            density: params.density,
+            rows,
+            cols,
+        })
+    }
+
+    /// Batched eq. (1) over grid indices `(i, j)` into the row/column
+    /// axes: die counts go through the shared eq. (4) memo in one
+    /// batch, eq. (7) yields through one lane-`exp` pass over the
+    /// hoisted `−D/λ^p · A` exponents, and the final combine runs in
+    /// the same operation order as [`TransistorCostModel::evaluate`].
+    ///
+    /// Accuracy: die counts and the feasibility mask are integer-exact;
+    /// yields carry the lane `exp`/`ln` contract of
+    /// [`ScaledPoissonYield::yields_for_slice`] (relative error vs the
+    /// scalar path ≈ `(1 + |ln Y|) · 1e-14`). Every element is computed
+    /// independently, so any chunking of `indices` produces
+    /// bit-identical values — thread counts and mesh orders cannot
+    /// change results.
+    pub(crate) fn eq1_for_slice(&self, indices: &[(usize, usize)]) -> Vec<PointEval> {
+        let dies: Vec<DieDimensions> = indices
+            .iter()
+            .map(|&(i, j)| {
+                DieDimensions::square_with_area(crate::density::die_area(
+                    self.cols[j],
+                    self.density,
+                    self.rows[i].lambda,
+                ))
+            })
+            .collect();
+        let counts = maly_wafer_geom::cache::dies_per_wafer_batch(&self.wafer, &dies);
+        // Eq. (7) exponents ln Y = −D/λ^p · A over the *realized* die
+        // areas (side², after the √ of square_with_area, exactly as
+        // `evaluate` does), then one lane exp pass for the whole set.
+        let mut yields: Vec<f64> = indices
+            .iter()
+            .zip(&dies)
+            .map(|(&(i, _), die)| self.rows[i].neg_d_eff * die.area().value())
+            .collect();
+        maly_lanes::exp_slice(&mut yields);
+        let mut out = Vec::with_capacity(indices.len());
+        for (k, &(i, j)) in indices.iter().enumerate() {
+            let n_ch = counts[k];
+            if n_ch.is_zero() {
+                out.push((None, 0));
+                continue;
+            }
+            let y = Probability::clamped(yields[k]).value();
+            if y <= 0.0 {
+                out.push((None, n_ch.value()));
+                continue;
+            }
+            // Same operation order as TransistorCostModel::evaluate.
+            let good_dies = n_ch.as_f64() * y;
+            let cost_per_good_die = self.rows[i].wafer_cost / good_dies;
+            out.push((
+                Some((cost_per_good_die / self.cols[j].value()).value()),
+                n_ch.value(),
+            ));
+        }
+        out
+    }
+
+    /// [`Eq1Kernel::eq1_for_slice`] tiled across a tuned executor.
+    /// Chunks map back in index order and elements are independent, so
+    /// the output is bit-identical at every thread count.
+    pub(crate) fn eval_indices_with(
+        &self,
+        exec: &Executor,
+        indices: &[(usize, usize)],
+    ) -> Vec<PointEval> {
+        let exec = exec.tuned_for(indices.len(), CELL_EVAL_HINT_NS);
+        if exec.threads() <= 1 {
+            return self.eq1_for_slice(indices);
+        }
+        let chunk = indices.len().div_ceil(exec.threads());
+        let chunks: Vec<&[(usize, usize)]> = indices.chunks(chunk).collect();
+        exec.map(&chunks, |c| self.eq1_for_slice(c))
+            .into_iter()
+            .flatten()
             .collect()
     }
 }
@@ -201,15 +367,29 @@ impl CostSurface {
         let lambda_axis = linear_axis(lambda_min, lambda_max, lambda_steps);
         let n_tr_axis = log_axis(n_tr_min, n_tr_max, n_tr_steps);
 
-        // Overhead-aware scheduling: small grids run serial, large ones
-        // use at most as many threads as the workload justifies.
-        let exec = exec.tuned_for(lambda_steps * n_tr_steps, CELL_EVAL_HINT_NS);
-        let values = exec.grid(lambda_steps, n_tr_steps, |i, j| {
-            // Grid points interpolate validated positive bounds.
-            let lambda = Microns::clamped(lambda_axis[i]);
-            let n_tr = TransistorCount::clamped(n_tr_axis[j]);
-            params.cost_at(lambda, n_tr).ok().map(|d| d.value())
-        });
+        let values = if let Some(kernel) = Eq1Kernel::new(params, &lambda_axis, &n_tr_axis) {
+            // The lane-batched path: every grid node through one kernel
+            // dispatch, shared with the adaptive engine so dense and
+            // adaptive values agree bit-for-bit.
+            let indices: Vec<(usize, usize)> = (0..lambda_steps)
+                .flat_map(|i| (0..n_tr_steps).map(move |j| (i, j)))
+                .collect();
+            let flat = kernel.eval_indices_with(exec, &indices);
+            flat.chunks(n_tr_steps)
+                .map(|row| row.iter().map(|&(c, _)| c).collect())
+                .collect()
+        } else {
+            // Overhead-aware scheduling: small grids run serial, large
+            // ones use at most as many threads as the workload
+            // justifies.
+            let exec = exec.tuned_for(lambda_steps * n_tr_steps, CELL_EVAL_HINT_NS);
+            exec.grid(lambda_steps, n_tr_steps, |i, j| {
+                // Grid points interpolate validated positive bounds.
+                let lambda = Microns::clamped(lambda_axis[i]);
+                let n_tr = TransistorCount::clamped(n_tr_axis[j]);
+                params.cost_at(lambda, n_tr).ok().map(|d| d.value())
+            })
+        };
 
         Self {
             lambda_axis,

@@ -98,10 +98,16 @@ fn cache() -> &'static Cache {
     })
 }
 
+/// Reciprocal of [`KEY_QUANTUM_CM`]: quantization multiplies by this
+/// instead of dividing by the quantum — the division was a measurable
+/// slice of the warm-hit budget, and key identity only needs the same
+/// mapping on every call, not any particular rounding of it.
+const KEY_QUANTUM_INV: f64 = 1.0e9;
+
 /// Quantizes a positive dimension to integer nanocentimeters.
 /// Float-to-int casts saturate, so pathological inputs stay safe.
 fn quantize(value_cm: f64) -> u64 {
-    (value_cm / KEY_QUANTUM_CM).round() as u64
+    (value_cm * KEY_QUANTUM_INV).round() as u64
 }
 
 fn shard_of(key: &Key) -> usize {
@@ -164,7 +170,10 @@ pub fn dies_per_wafer(wafer: &Wafer, die: DieDimensions) -> DieCount {
 #[must_use]
 pub fn dies_per_wafer_batch(wafer: &Wafer, dies: &[DieDimensions]) -> Vec<DieCount> {
     let r_key = quantize(wafer.usable_radius().value());
-    let mut out: Vec<Option<DieCount>> = Vec::with_capacity(dies.len());
+    // Miss slots hold a zero placeholder until the miss pass patches
+    // them; a flat Vec<DieCount> keeps the warm path free of Option
+    // repacking.
+    let mut out: Vec<DieCount> = Vec::with_capacity(dies.len());
     let mut miss_idx: Vec<usize> = Vec::new();
     let mut miss_dies: Vec<DieDimensions> = Vec::new();
     let mut hits = 0u64;
@@ -190,12 +199,12 @@ pub fn dies_per_wafer_batch(wafer: &Wafer, dies: &[DieDimensions]) -> Vec<DieCou
             match guards[shard_of(&key)].get(&key) {
                 Some(&count) => {
                     hits += 1;
-                    out.push(Some(DieCount::new(count)));
+                    out.push(DieCount::new(count));
                 }
                 None => {
                     miss_idx.push(i);
                     miss_dies.push(*die);
-                    out.push(None);
+                    out.push(DieCount::new(0));
                 }
             }
         }
@@ -211,11 +220,10 @@ pub fn dies_per_wafer_batch(wafer: &Wafer, dies: &[DieDimensions]) -> Vec<DieCou
                 quantize(die.height().value()),
             );
             store(key, count.value());
-            out[i] = Some(*count);
+            out[i] = *count;
         }
     }
-    // Every slot was filled by the hit or the miss pass.
-    out.into_iter().flatten().collect()
+    out
 }
 
 /// Memoized [`crate::maly::dies_per_wafer_best_orientation`]: both

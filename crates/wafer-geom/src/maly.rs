@@ -94,17 +94,81 @@ fn row_sum_kernel(r_w: f64, a: f64, b: f64) -> DieCount {
 /// Batched eq. (4): die counts for a slice of dies on one wafer, as a
 /// λ-sweep produces (one die geometry per feature-size sample).
 ///
-/// The wafer's usable radius is fetched once and the row-sum kernel
-/// runs back to back over the batch, keeping the radius and the
-/// kernel's code hot instead of re-entering through the `Wafer`
-/// accessors per call. Each count is bit-identical to the scalar
-/// [`dies_per_wafer`].
+/// The wafer's usable radius (and its square) is hoisted once, and one
+/// scratch `R_j` chord table is shared across the whole batch: for each
+/// die the table of boundary half-widths `R_j = sqrt(R_w² − (j·b −
+/// R_w)²)` is filled in branchless four-wide lane blocks
+/// ([`maly_lanes`]), then the row sum reads neighbouring chords from
+/// the table. Every lane element performs the *same* correctly rounded
+/// IEEE operations as the scalar loop (`sqrt(max(sq, 0))` replaces the
+/// `sq <= 0` branch with identical bits), so each count stays
+/// bit-identical — integer-exact — to the scalar [`dies_per_wafer`],
+/// which remains the reference path.
 #[must_use]
 pub fn dies_per_wafer_batch(wafer: &Wafer, dies: &[DieDimensions]) -> Vec<DieCount> {
     let r_w = wafer.usable_radius().value();
+    let mut chords: Vec<f64> = Vec::new();
     dies.iter()
-        .map(|die| row_sum_kernel(r_w, die.width().value(), die.height().value()))
+        .map(|die| row_sum_from_table(r_w, die.width().value(), die.height().value(), &mut chords))
         .collect()
+}
+
+/// The eq. (4) row sum over a precomputed chord table: row `j` is
+/// bounded by chords `R_j` and `R_{j+1}`, so the sum is a single pass
+/// of `floor(2·min(R_j, R_{j+1})/a)` over adjacent table entries. The
+/// `max(0.0)` keeps the accumulation branchless; a row's count is
+/// never negative, so it only absorbs the zero case the scalar loop
+/// skips with a branch.
+fn row_sum_from_table(r_w: f64, a: f64, b: f64, chords: &mut Vec<f64>) -> DieCount {
+    let rows = (2.0 * r_w / b).floor() as i64;
+    if rows <= 0 {
+        return DieCount::new(0);
+    }
+    let rows = rows as usize;
+    fill_chord_table(r_w, b, rows, chords);
+    let mut total: u64 = 0;
+    for j in 0..rows {
+        let per_row = (2.0 * chords[j].min(chords[j + 1]) / a).floor();
+        total += per_row.max(0.0) as u64;
+    }
+    DieCount::new(u32::try_from(total).unwrap_or(u32::MAX))
+}
+
+/// Fills `chords` with the wafer half-width at heights `k·b` for
+/// `k = 0..=rows`, in four-wide lane blocks with the odd tail computed
+/// by the same elementwise formula. `d·(−d) + R_w²` is bit-identical
+/// to the scalar kernel's `R_w² − d²` (negation and subtraction are
+/// exact sign manipulations), and lane `sqrt` is the correctly rounded
+/// IEEE primitive, so the table matches the scalar recurrence bit for
+/// bit.
+fn fill_chord_table(r_w: f64, b: f64, rows: usize, chords: &mut Vec<f64>) {
+    use maly_lanes as lanes;
+    let n = rows + 1;
+    chords.clear();
+    chords.resize(n, 0.0);
+    let r_sq = r_w * r_w;
+    let neg_r = lanes::splat(-r_w);
+    let mut k = 0usize;
+    while k + lanes::WIDTH <= n {
+        let h: lanes::Lane = [
+            k as f64 * b,
+            (k + 1) as f64 * b,
+            (k + 2) as f64 * b,
+            (k + 3) as f64 * b,
+        ];
+        let d = lanes::add(h, neg_r);
+        let neg_d = lanes::mul(d, lanes::splat(-1.0));
+        let sq = lanes::mul_add(d, neg_d, lanes::splat(r_sq));
+        let chord = lanes::sqrt(lanes::max(sq, lanes::splat(0.0)));
+        chords[k..k + lanes::WIDTH].copy_from_slice(&chord);
+        k += lanes::WIDTH;
+    }
+    while k < n {
+        let d = k as f64 * b - r_w;
+        let sq = d * -d + r_sq;
+        chords[k] = sq.max(0.0).sqrt();
+        k += 1;
+    }
 }
 
 /// Dies per wafer for the better of the two die orientations
@@ -224,6 +288,41 @@ mod tests {
         assert_eq!(batch.len(), dies.len());
         for (die, got) in dies.iter().zip(&batch) {
             assert_eq!(*got, dies_per_wafer(&wafer, *die));
+        }
+    }
+
+    /// Batch vs scalar over randomized rectangular dies on several
+    /// wafers: the lane chord-table path must stay integer-exact,
+    /// including odd row counts that exercise the non-multiple-of-four
+    /// table tail.
+    #[test]
+    fn batch_is_integer_exact_vs_scalar_randomized() {
+        let mut state: u64 = 0x853c_49e6_748f_ea9b;
+        let mut uniform = |lo: f64, hi: f64| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let u = (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
+            lo + u * (hi - lo)
+        };
+        let wafers = [
+            Wafer::six_inch(),
+            Wafer::eight_inch(),
+            Wafer::six_inch().edge_exclusion(Centimeters::new(0.3).unwrap()),
+        ];
+        for wafer in &wafers {
+            let dies: Vec<DieDimensions> = (0..500)
+                .map(|_| {
+                    DieDimensions::new(
+                        Centimeters::new(uniform(0.05, 6.0)).unwrap(),
+                        Centimeters::new(uniform(0.05, 6.0)).unwrap(),
+                    )
+                })
+                .collect();
+            let batch = dies_per_wafer_batch(wafer, &dies);
+            for (die, got) in dies.iter().zip(&batch) {
+                assert_eq!(*got, dies_per_wafer(wafer, *die), "die {die:?}");
+            }
         }
     }
 

@@ -29,6 +29,21 @@ use std::fmt::Write as _;
 /// fails.
 pub const MAX_MEDIAN_REGRESSION: f64 = 0.15;
 
+/// Minimum serial→parallel speedup each parallel-gated group must
+/// demonstrate when the candidate run's machine has more than one
+/// core. On a single-core machine (`available_parallelism == 1`) the
+/// gate is inactive — a speedup of ≈1 there is physics, not a
+/// regression.
+pub const MIN_PARALLEL_SPEEDUP: f64 = 1.1;
+
+/// Groups whose parallel path must actually pay off on multi-core
+/// machines. The gate keys on the **best** eligible speedup record per
+/// group (names containing `_vs_` compare engines, not thread counts,
+/// and are excluded): small workloads may legitimately stay on the
+/// tuned executor's serial path, but each of these groups carries at
+/// least one workload big enough to scale.
+pub const PARALLEL_GATED_GROUPS: &[&str] = &["sweeps/fig8_surface", "sweeps/contours", "sweeps/mc"];
+
 /// One `benches` record from a harness baseline file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
@@ -65,6 +80,27 @@ pub struct CounterDiff {
     pub candidate: Option<u64>,
 }
 
+/// One `speedups` record from a harness baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupRecord {
+    /// Benchmark group the speedup was recorded under.
+    pub group: String,
+    /// Comparison name (e.g. `surface_112x96`).
+    pub name: String,
+    /// `serial_ns / parallel_ns` as recorded by the harness.
+    pub speedup: f64,
+}
+
+/// Parallel-speedup verdict for one gated group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupVerdict {
+    /// The gated group.
+    pub group: String,
+    /// Best eligible `(name, speedup)` in the candidate run, or `None`
+    /// when the group recorded no eligible speedup at all.
+    pub best: Option<(String, f64)>,
+}
+
 /// Per-group comparison outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupVerdict {
@@ -90,18 +126,45 @@ pub struct BenchReport {
     pub counters: usize,
     /// Counters whose values drifted (or vanished) in the candidate.
     pub counter_diffs: Vec<CounterDiff>,
+    /// `available_parallelism` reported by the candidate run (1 when
+    /// the file predates the field).
+    pub cores: u64,
+    /// Parallel-speedup verdicts for [`PARALLEL_GATED_GROUPS`], from
+    /// the candidate run.
+    pub speedup_gate: Vec<SpeedupVerdict>,
 }
 
 impl BenchReport {
-    /// True when every group stays within [`MAX_MEDIAN_REGRESSION`] and
-    /// every baseline work counter matches exactly.
+    /// True when every group stays within [`MAX_MEDIAN_REGRESSION`],
+    /// every baseline work counter matches exactly, and (on a
+    /// multi-core candidate machine) every gated group demonstrates at
+    /// least [`MIN_PARALLEL_SPEEDUP`].
     #[must_use]
     pub fn is_ok(&self) -> bool {
         self.counter_diffs.is_empty()
+            && self.speedup_failures().is_empty()
             && self
                 .groups
                 .iter()
                 .all(|g| g.normalized_ratio <= 1.0 + MAX_MEDIAN_REGRESSION)
+    }
+
+    /// Gated groups whose best eligible speedup falls short of
+    /// [`MIN_PARALLEL_SPEEDUP`] (or that recorded none). Empty on a
+    /// single-core candidate, where the gate is inactive.
+    #[must_use]
+    pub fn speedup_failures(&self) -> Vec<&SpeedupVerdict> {
+        if self.cores <= 1 {
+            return Vec::new();
+        }
+        self.speedup_gate
+            .iter()
+            .filter(|v| {
+                !v.best
+                    .as_ref()
+                    .is_some_and(|&(_, s)| s >= MIN_PARALLEL_SPEEDUP)
+            })
+            .collect()
     }
 
     /// Renders the human-readable verdict table.
@@ -143,6 +206,37 @@ impl BenchReport {
                 );
             }
         }
+        if self.cores <= 1 {
+            let _ = writeln!(
+                out,
+                "  parallel gate inactive (candidate ran on {} core)",
+                self.cores.max(1)
+            );
+        } else {
+            for v in &self.speedup_gate {
+                match &v.best {
+                    Some((name, s)) => {
+                        let marker = if *s >= MIN_PARALLEL_SPEEDUP {
+                            ""
+                        } else {
+                            "  TOO SLOW"
+                        };
+                        let _ = writeln!(
+                            out,
+                            "  parallel {:<21} {s:>7.2}x best ({name}){marker}",
+                            v.group
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "  parallel {:<21} no eligible speedup record  MISSING",
+                            v.group
+                        );
+                    }
+                }
+            }
+        }
         if self.is_ok() {
             let _ = writeln!(
                 out,
@@ -152,8 +246,9 @@ impl BenchReport {
         } else {
             let _ = writeln!(
                 out,
-                "bench-check: FAIL — group median beyond {:.0}% of baseline \
-                 or work counters drifted",
+                "bench-check: FAIL — group median beyond {:.0}% of baseline, \
+                 work counters drifted, or a parallel speedup fell below \
+                 {MIN_PARALLEL_SPEEDUP}x",
                 MAX_MEDIAN_REGRESSION * 100.0
             );
         }
@@ -229,6 +324,61 @@ pub fn parse_counters(text: &str) -> Vec<CounterRecord> {
         });
     }
     out
+}
+
+/// Parses the `speedups` records out of a harness baseline file. An
+/// empty list is fine for pre-gate baselines; the gate then reports the
+/// gated groups as missing on multi-core machines.
+#[must_use]
+pub fn parse_speedups(text: &str) -> Vec<SpeedupRecord> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let (Some(group), Some(name), Some(speedup)) = (
+            str_field(line, "group"),
+            str_field(line, "name"),
+            num_field(line, "speedup"),
+        ) else {
+            continue;
+        };
+        out.push(SpeedupRecord {
+            group: group.to_string(),
+            name: name.to_string(),
+            speedup,
+        });
+    }
+    out
+}
+
+/// Reads the top-level `available_parallelism` field of a harness
+/// baseline file; `None` when the file predates it.
+#[must_use]
+pub fn parse_parallelism(text: &str) -> Option<u64> {
+    text.lines()
+        .find(|l| l.contains("\"available_parallelism\""))
+        .and_then(|l| num_field(l, "available_parallelism"))
+        .map(|v| v as u64)
+}
+
+/// The per-group parallel-gate verdicts over a candidate run's speedup
+/// records: for each of [`PARALLEL_GATED_GROUPS`], the best recorded
+/// serial→parallel ratio, excluding `_vs_` comparisons (which compare
+/// engines, not thread counts).
+#[must_use]
+pub fn speedup_verdicts(candidate: &[SpeedupRecord]) -> Vec<SpeedupVerdict> {
+    PARALLEL_GATED_GROUPS
+        .iter()
+        .map(|&group| {
+            let best = candidate
+                .iter()
+                .filter(|s| s.group == group && !s.name.contains("_vs_"))
+                .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+                .map(|s| (s.name.clone(), s.speedup));
+            SpeedupVerdict {
+                group: group.to_string(),
+                best,
+            }
+        })
+        .collect()
 }
 
 /// Exact comparison of baseline work counters against the candidate.
@@ -317,6 +467,8 @@ pub fn compare(baseline: &[BenchRecord], candidate: &[BenchRecord]) -> Result<Be
         groups: verdicts,
         counters: 0,
         counter_diffs: Vec::new(),
+        cores: 1,
+        speedup_gate: Vec::new(),
     })
 }
 
@@ -335,6 +487,8 @@ pub fn run_bench_check(baseline_path: &str, candidate_path: &str) -> Result<Benc
     let base_counters = parse_counters(&baseline);
     report.counters = base_counters.len();
     report.counter_diffs = diff_counters(&base_counters, &parse_counters(&candidate));
+    report.cores = parse_parallelism(&candidate).unwrap_or(1);
+    report.speedup_gate = speedup_verdicts(&parse_speedups(&candidate));
     Ok(report)
 }
 
@@ -446,6 +600,92 @@ mod tests {
             ],
         );
         assert!(extra.is_empty());
+    }
+
+    fn speedup(group: &str, name: &str, ratio: f64) -> SpeedupRecord {
+        SpeedupRecord {
+            group: group.to_string(),
+            name: name.to_string(),
+            speedup: ratio,
+        }
+    }
+
+    /// All three gated groups with the given ratio on their eligible
+    /// record, plus a `_vs_` decoy that must be ignored.
+    fn gated_speedups(ratio: f64) -> Vec<SpeedupRecord> {
+        vec![
+            speedup("sweeps/fig8_surface", "surface_112x96", ratio),
+            speedup(
+                "sweeps/fig8_surface",
+                "surface_56x48_dense_vs_adaptive",
+                9.0,
+            ),
+            speedup("sweeps/contours", "contours_5_levels", ratio),
+            speedup("sweeps/mc", "mc_yield_64", ratio),
+        ]
+    }
+
+    #[test]
+    fn parses_speedup_records_and_parallelism() {
+        let text = concat!(
+            "{\n  \"available_parallelism\": 8,\n",
+            "  \"speedups\": [\n",
+            "    {\"group\": \"sweeps/mc\", \"name\": \"mc_yield_64\", \"serial_ns\": 200.0, ",
+            "\"parallel_ns\": 100.0, \"speedup\": 2.000}\n",
+            "  ]\n}\n",
+        );
+        assert_eq!(parse_parallelism(text), Some(8));
+        assert_eq!(
+            parse_speedups(text),
+            vec![speedup("sweeps/mc", "mc_yield_64", 2.0)]
+        );
+    }
+
+    #[test]
+    fn multi_core_candidate_below_gate_fails() {
+        let base = vec![record("g1", "a", 100.0)];
+        let mut report = compare(&base, &base).expect("compares");
+        report.cores = 8;
+        report.speedup_gate = speedup_verdicts(&gated_speedups(1.05));
+        assert_eq!(report.speedup_failures().len(), 3);
+        assert!(!report.is_ok(), "{}", report.render());
+        assert!(report.render().contains("TOO SLOW"));
+    }
+
+    #[test]
+    fn multi_core_candidate_above_gate_passes() {
+        let base = vec![record("g1", "a", 100.0)];
+        let mut report = compare(&base, &base).expect("compares");
+        report.cores = 8;
+        report.speedup_gate = speedup_verdicts(&gated_speedups(1.5));
+        assert!(report.speedup_failures().is_empty());
+        assert!(report.is_ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn vs_comparisons_do_not_satisfy_the_gate() {
+        // Only the `_vs_` decoy scores well: the gate must not count it.
+        let mut records = gated_speedups(1.02);
+        records.retain(|s| s.name.contains("_vs_"));
+        let verdicts = speedup_verdicts(&records);
+        assert!(verdicts.iter().all(|v| v.best.is_none()));
+        let base = vec![record("g1", "a", 100.0)];
+        let mut report = compare(&base, &base).expect("compares");
+        report.cores = 4;
+        report.speedup_gate = verdicts;
+        assert!(!report.is_ok());
+        assert!(report.render().contains("MISSING"));
+    }
+
+    #[test]
+    fn single_core_candidate_disables_the_gate() {
+        let base = vec![record("g1", "a", 100.0)];
+        let mut report = compare(&base, &base).expect("compares");
+        report.cores = 1;
+        report.speedup_gate = speedup_verdicts(&gated_speedups(0.9));
+        assert!(report.speedup_failures().is_empty());
+        assert!(report.is_ok(), "{}", report.render());
+        assert!(report.render().contains("parallel gate inactive"));
     }
 
     #[test]

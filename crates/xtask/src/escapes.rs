@@ -28,6 +28,7 @@ pub const KNOWN_TAGS: &[&str] = &[
     "raw-timing",
     "determinism",
     "lock-order",
+    "lane-purity",
 ];
 
 /// One `audit:allow(<tag>)` occurrence in a file.

@@ -36,7 +36,11 @@
 //!    held across blocking I/O;
 //! 10. **escape hygiene** ([`escapes`]) — every `audit:allow(...)` tag
 //!     must suppress a live violation; stale or unknown tags are
-//!     themselves violations, so the escape ratchet only tightens.
+//!     themselves violations, so the escape ratchet only tightens;
+//! 11. **lane purity** — no per-element `exp`/`ln`/`powf`/`sqrt` inside
+//!     batch-kernel bodies (`*_batch`, `*_for_slice`, `*_for_points`);
+//!     transcendental math in those functions routes through
+//!     `maly_lanes` slice ops so batching stays real.
 //!
 //! `cargo run -p xtask -- lint --json <path>` additionally writes the
 //! machine-readable report (schema `maly-audit/v2`) for CI archiving
@@ -77,6 +81,7 @@ pub const PANIC_BUDGETS: &[(&str, usize)] = &[
     ("maly-cost-model", 0),
     ("maly-cost-optim", 0),
     ("maly-fabline-sim", 11),
+    ("maly-lanes", 0),
     ("maly-model", 0),
     ("maly-obs", 0),
     ("maly-paper-data", 0),
@@ -314,6 +319,16 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              Escape: `// audit:allow(lock-order): <why this ordering is safe>` on\n\
              the acquisition or I/O line."
         }
+        "lane-purity" => {
+            "lane-purity\n\
+             Batch kernels (`*_batch`, `*_for_slice`, `*_for_points`) exist so the\n\
+             hot loops pay transcendental math once per lane, not once per\n\
+             element; a per-element .exp()/.ln()/.powf()/.sqrt() inside one\n\
+             silently undoes the batching. Route the math through maly_lanes\n\
+             slice ops (exp_slice, ln_slice, pow_s).\n\
+             Escape: `// audit:allow(lane-purity): <why this site is genuinely\n\
+             scalar — per-row setup, reference path, …>`."
+        }
         "stale-escape" => {
             "stale-escape\n\
              An audit:allow(...) tag that no longer suppresses any violation is\n\
@@ -468,6 +483,14 @@ pub fn run_lint(root: &Path) -> io::Result<Report> {
                 report
                     .violations
                     .extend(rules::raw_thread_in(&file_rel, &lines, &mut esc));
+            }
+            // The lane crate implements the batch primitives, so its
+            // own internals are the one place per-element math inside
+            // batch-named functions is the point, not a regression.
+            if name != "maly-lanes" {
+                report
+                    .violations
+                    .extend(rules::lane_purity_in(&file_rel, &lines, &mut esc));
             }
             // Timing lives in the obs layer and the measurement
             // harnesses; everywhere else must instrument, not clock.

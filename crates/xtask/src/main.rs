@@ -49,7 +49,7 @@ fn main() -> ExitCode {
                         ExitCode::SUCCESS
                     }
                     None => {
-                        eprintln!("lint: unknown rule `{rule}`; try one of: panic, panic-budget, bare-f64, nan, hygiene, raw-thread, artifact, raw-timing, determinism, lock-order, stale-escape");
+                        eprintln!("lint: unknown rule `{rule}`; try one of: panic, panic-budget, bare-f64, nan, hygiene, raw-thread, artifact, raw-timing, determinism, lock-order, stale-escape, lane-purity");
                         ExitCode::FAILURE
                     }
                 };

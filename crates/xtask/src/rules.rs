@@ -72,6 +72,8 @@ pub enum Rule {
     LockOrder,
     /// An `audit:allow(...)` escape that no longer suppresses anything.
     StaleEscape,
+    /// Per-element transcendental math inside a batch/lane kernel body.
+    LanePurity,
 }
 
 impl Rule {
@@ -90,6 +92,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::LockOrder => "lock-order",
             Rule::StaleEscape => "stale-escape",
+            Rule::LanePurity => "lane-purity",
         }
     }
 }
@@ -628,6 +631,113 @@ pub fn raw_thread_in(file: &str, lines: &[Line], escapes: &mut Escapes) -> Vec<V
                     .to_string(),
             });
         }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 8: lane purity
+// ---------------------------------------------------------------------
+
+/// Function-name suffixes that mark a batch/lane kernel: the function
+/// promises to amortize math over the whole slice, so per-element
+/// transcendentals inside it silently undo the batching.
+pub const LANE_KERNEL_SUFFIXES: &[&str] = &["_batch", "_for_slice", "_for_points"];
+
+/// The kernel name when `code` begins a lane-kernel `fn` definition
+/// (any visibility), `None` otherwise.
+fn lane_kernel_name(code: &str) -> Option<&str> {
+    let trimmed = code.trim_start();
+    let rest = trimmed
+        .strip_prefix("pub(crate) fn ")
+        .or_else(|| trimmed.strip_prefix("pub(super) fn "))
+        .or_else(|| trimmed.strip_prefix("pub fn "))
+        .or_else(|| trimmed.strip_prefix("fn "))?;
+    let name = rest.split(['(', '<']).next()?.trim();
+    LANE_KERNEL_SUFFIXES
+        .iter()
+        .any(|suffix| name.ends_with(suffix))
+        .then_some(name)
+}
+
+/// Flags per-element `exp`/`ln`/`powf`/`sqrt` calls inside the body of
+/// a batch kernel (a `fn` whose name ends in one of
+/// [`LANE_KERNEL_SUFFIXES`]). Those functions exist so the hot loops
+/// pay transcendental math per lane, not per element — the math should
+/// route through `maly_lanes` slice ops. Sites that are genuinely
+/// scalar (setup work hoisted out of the per-element loop, reference
+/// paths) tag `audit:allow(lane-purity)`.
+#[must_use]
+pub fn lane_purity(file: &str, source: &str) -> Vec<Violation> {
+    let lines = classify(source);
+    let mut escapes = Escapes::collect(&lines);
+    lane_purity_in(file, &lines, &mut escapes)
+}
+
+/// [`lane_purity`] over pre-classified lines with a shared escape
+/// registry.
+#[must_use]
+pub fn lane_purity_in(file: &str, lines: &[Line], escapes: &mut Escapes) -> Vec<Violation> {
+    let needles: [(&str, &str); 4] = [
+        (".exp()", "exp"),
+        (".ln()", "ln"),
+        (".powf(", "powf"),
+        (".sqrt()", "sqrt"),
+    ];
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let Some(name) = lane_kernel_name(&lines[i].code) else {
+            i += 1;
+            continue;
+        };
+        if lines[i].in_test {
+            i += 1;
+            continue;
+        }
+        let kernel = name.to_string();
+        // Walk the kernel body by brace depth over masked code; stop
+        // early on a `;`-terminated signature (bodyless trait method).
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut j = i;
+        while let Some(line) = lines.get(j) {
+            if !opened && !line.code.contains('{') && line.code.trim_end().ends_with(';') {
+                break;
+            }
+            for (needle, label) in needles {
+                if line.code.contains(needle)
+                    && !line.in_test
+                    && !escapes.allowed(lines, j, "lane-purity")
+                {
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line: line.number,
+                        rule: Rule::LanePurity,
+                        message: format!(
+                            "per-element `{label}` inside lane kernel `{kernel}`; \
+                             batch it through maly_lanes slice ops or tag \
+                             audit:allow(lane-purity)"
+                        ),
+                    });
+                }
+            }
+            for ch in line.code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
     }
     out
 }

@@ -630,3 +630,99 @@ fn workspace_tree_lints_clean() {
     assert!(json.contains("\"schema\": \"maly-audit/v2\""));
     assert!(json.contains("\"clean\": true"));
 }
+
+// ---------------------------------------------------------------------
+// Rule 11: lane purity
+// ---------------------------------------------------------------------
+
+#[test]
+fn lane_purity_flags_per_element_transcendentals_in_kernels() {
+    let src = concat!(
+        "pub fn yields_for_slice(d: f64, p: f64, out: &mut [f64]) {\n",
+        "    for y in out.iter_mut() {\n",
+        "        *y = (-d / y.powf(p)).exp();\n",
+        "    }\n",
+        "}\n",
+    );
+    let found = rules::lane_purity("fixture.rs", src);
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found.iter().all(|v| v.rule == Rule::LanePurity));
+    assert!(found[0].message.contains("yields_for_slice"));
+}
+
+#[test]
+fn lane_purity_covers_every_kernel_suffix_and_needle() {
+    let src = concat!(
+        "pub(crate) fn dies_per_wafer_batch(xs: &mut [f64]) {\n",
+        "    for x in xs.iter_mut() { *x = x.sqrt(); }\n",
+        "}\n",
+        "fn costs_for_points(xs: &mut [f64]) {\n",
+        "    for x in xs.iter_mut() { *x = x.ln(); }\n",
+        "}\n",
+    );
+    let found = rules::lane_purity("fixture.rs", src);
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
+fn lane_purity_ignores_non_kernel_functions_and_lane_routed_kernels() {
+    let src = concat!(
+        "pub fn cost_at(d: f64) -> f64 {\n",
+        "    d.exp()\n",
+        "}\n",
+        "pub fn exp_for_slice(xs: &mut [f64]) {\n",
+        "    maly_lanes::exp_slice(xs);\n",
+        "}\n",
+    );
+    assert!(rules::lane_purity("fixture.rs", src).is_empty());
+}
+
+#[test]
+fn lane_purity_honors_allow_tag_above_and_inline() {
+    let above = concat!(
+        "pub fn setup_for_slice(d: f64, out: &mut [f64]) {\n",
+        "    // audit:allow(lane-purity): per-row setup, paid once per row.\n",
+        "    let hoisted = d.powf(2.0);\n",
+        "    out[0] = hoisted;\n",
+        "}\n",
+    );
+    assert!(rules::lane_purity("fixture.rs", above).is_empty());
+    let inline = concat!(
+        "pub fn setup_for_slice(d: f64, out: &mut [f64]) {\n",
+        "    out[0] = d.sqrt(); // audit:allow(lane-purity): scalar setup\n",
+        "}\n",
+    );
+    assert!(rules::lane_purity("fixture.rs", inline).is_empty());
+}
+
+#[test]
+fn lane_purity_skips_test_code_and_bodyless_declarations() {
+    let src = concat!(
+        "pub trait Kernel {\n",
+        "    fn eval_for_slice(&self, xs: &mut [f64]);\n",
+        "}\n",
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    #[test]\n",
+        "    fn t() {\n",
+        "        fn ref_for_slice(xs: &mut [f64]) {\n",
+        "            for x in xs.iter_mut() { *x = x.exp(); }\n",
+        "        }\n",
+        "        ref_for_slice(&mut [0.0]);\n",
+        "    }\n",
+        "}\n",
+    );
+    assert!(rules::lane_purity("fixture.rs", src).is_empty());
+}
+
+#[test]
+fn lane_purity_stops_at_the_kernel_body_end() {
+    // The transcendental sits *after* the kernel body closes.
+    let src = concat!(
+        "pub fn scale_for_slice(xs: &mut [f64]) {\n",
+        "    for x in xs.iter_mut() { *x *= 2.0; }\n",
+        "}\n",
+        "pub fn scalar(d: f64) -> f64 { d.exp() }\n",
+    );
+    assert!(rules::lane_purity("fixture.rs", src).is_empty());
+}
