@@ -29,16 +29,28 @@ MALY_OBS=1 cargo test --workspace -q
 echo "== serve loopback suite (MALY_OBS=1, real sockets)"
 MALY_OBS=1 cargo test -q -p maly-serve --test loopback
 
+echo "== serve loopback suite (MALY_PLAN=0, planner disabled)"
+# The served bytes must not depend on whether batched queries go
+# through the evaluation planner, so the whole loopback suite runs a
+# second time with cross-request fusion switched off.
+MALY_OBS=1 MALY_PLAN=0 cargo test -q -p maly-serve --test loopback
+
 echo "== trace-check (serve protocol trace via query --file)"
 mkdir -p target
 cat > target/ci_requests.jsonl <<'REQ'
 {"id": 1, "query": {"type": "table3_row", "id": 1}}
 [{"id": 2, "query": {"type": "scenario2_sweep", "x": 2.4, "steps": 11}}, {"id": 3, "query": {"type": "product_mix", "products": 8}}]
+[{"id": 4, "query": {"type": "surface_tile", "lambda_min": 0.52, "lambda_max": 0.92, "lambda_steps": 7, "n_tr_min": 8.0e4, "n_tr_max": 6.0e5, "n_tr_steps": 6}}]
+[{"id": 5, "query": {"type": "surface_tile", "lambda_min": 0.52, "lambda_max": 0.92, "lambda_steps": 7, "n_tr_min": 8.0e4, "n_tr_max": 6.0e5, "n_tr_steps": 6}}]
 REQ
 cargo run -q -p maly-cli -- query --file target/ci_requests.jsonl \
     --trace-out target/trace_serve_ci.ndjson > /dev/null
 grep -q '"name":"serve.request"' target/trace_serve_ci.ndjson
 grep -q '"name":"model.queries"' target/trace_serve_ci.ndjson
+# The cold surface-tile request (id 4) must surface the tile-cache miss
+# counter in the exported trace, and its repeat (id 5) the hit counter.
+grep -q '"name":"model.tile_misses"' target/trace_serve_ci.ndjson
+grep -q '"name":"model.tile_hits"' target/trace_serve_ci.ndjson
 cargo run -q -p xtask -- trace-check target/trace_serve_ci.ndjson
 
 echo "== trace-check (sample CLI --trace-out ndjson)"

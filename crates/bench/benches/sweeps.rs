@@ -339,6 +339,79 @@ fn bench_mc() {
     );
 }
 
+fn bench_fused_batch() {
+    use maly_model::{plan, EvalContext, Query};
+
+    group("sweeps/fused_batch");
+    // The ISSUE 8 acceptance batch: four λ windows sliding by half a
+    // window over a shared N_tr range. Dyadic endpoints land the 9-step
+    // axes on bit-identical λ = k/16 rows, so of the 864 requested
+    // cells only 360 are unique — the fused path evaluates exactly
+    // those.
+    let batch: Vec<Query> = [0.5, 0.625, 0.75, 0.875]
+        .iter()
+        .map(|&lo| Query::SurfaceTile {
+            lambda_min: lo,
+            lambda_max: lo + 0.5,
+            lambda_steps: 9,
+            n_tr_min: 2.0e4,
+            n_tr_max: 4.0e6,
+            n_tr_steps: 24,
+        })
+        .collect();
+    let exec = Executor::serial();
+    // Correctness before timing: the fused batch must be byte-identical
+    // to the unfused one.
+    let fused_out = Query::evaluate_batch(&exec, &EvalContext::new(), &batch);
+    let unfused_out = Query::evaluate_batch_unplanned(&exec, &EvalContext::new(), &batch);
+    assert_eq!(fused_out.len(), unfused_out.len());
+    for (f, u) in fused_out.iter().zip(&unfused_out) {
+        let bytes = |r: &Result<maly_model::QueryResponse, maly_model::Error>| match r {
+            Ok(resp) => resp.to_json().write(),
+            Err(e) => format!("err:{e:?}"),
+        };
+        assert_eq!(bytes(f), bytes(u), "fusion must not change bytes");
+    }
+    // Plan counters from one controlled run (fresh context, so every
+    // tile is cold): deterministic, diffed exactly by bench-check.
+    if plan::enabled() {
+        let requested0 = plan::NODES_REQUESTED.value();
+        let evaluated0 = plan::NODES_EVALUATED.value();
+        let dispatches0 = plan::FUSED_DISPATCHES.value();
+        black_box(Query::evaluate_batch(&exec, &EvalContext::new(), &batch));
+        record_counter(
+            "batch_4tiles/plan_nodes_requested",
+            plan::NODES_REQUESTED.value() - requested0,
+        );
+        record_counter(
+            "batch_4tiles/plan_nodes_evaluated",
+            plan::NODES_EVALUATED.value() - evaluated0,
+        );
+        record_counter(
+            "batch_4tiles/plan_fused_dispatches",
+            plan::FUSED_DISPATCHES.value() - dispatches0,
+        );
+    }
+    // Fresh context per iteration: this measures the cold-batch cost
+    // the plan exists to cut, at one thread, so the ratio is pure work
+    // elimination rather than scheduling.
+    let (unfused, fused) = bench_pair(
+        "batch_4tiles/unfused",
+        || {
+            black_box(Query::evaluate_batch_unplanned(
+                &exec,
+                &EvalContext::new(),
+                &batch,
+            ));
+        },
+        "batch_4tiles/fused",
+        || {
+            black_box(Query::evaluate_batch(&exec, &EvalContext::new(), &batch));
+        },
+    );
+    record_speedup("batch_4tiles_unfused_vs_fused", unfused, fused);
+}
+
 fn bench_eq4_cache() {
     group("eq4_cache");
     let wafer = Wafer::six_inch();
@@ -417,6 +490,7 @@ fn main() {
     bench_partition_search();
     bench_grid_min();
     bench_mc();
+    bench_fused_batch();
     bench_eq4_cache();
     bench_obs_work();
     write_json_if_requested();

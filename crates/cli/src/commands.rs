@@ -42,6 +42,10 @@ query sends the request lines in a file to a server — or, without
 --addr, evaluates them in-process — and prints one response line each.
 Every command also accepts --trace-out FILE: enable maly-obs and write
 an ndjson trace (spans, counters, histograms) of the run to FILE.
+Batched queries (JSON-array lines, sweep, query --file) compile to an
+evaluation plan that dedups and fuses shared grid work across requests;
+set MALY_PLAN=0 to evaluate each query independently (bit-identical
+output either way).
 All dollars are 1994 dollars; λ is the minimum feature size in µm."
         .to_string()
 }

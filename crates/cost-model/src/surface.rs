@@ -28,6 +28,14 @@ pub(crate) const CELL_EVAL_HINT_NS: f64 = 80.0;
 /// evaluation, just comparisons over already-computed values).
 const SCAN_HINT_NS: f64 = 3.0;
 
+/// Eq. (1) grid cells dispatched through the lane-batched kernel. A
+/// thread-count-invariant Work counter: every consumer (dense scans,
+/// the adaptive engine, planned batch fusion) routes whole index sets
+/// through [`Eq1Kernel::eq1_for_slice`], so this is the ground truth
+/// for "how many eq. (1) evaluations actually ran" — the fusion
+/// goldens diff it directly instead of trusting wall clock.
+pub static EQ1_CELLS: maly_obs::Counter = maly_obs::Counter::work("eq1.cells");
+
 /// Parameters of a cost-surface study.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SurfaceParameters {
@@ -246,6 +254,7 @@ impl Eq1Kernel {
     /// bit-identical values — thread counts and mesh orders cannot
     /// change results.
     pub(crate) fn eq1_for_slice(&self, indices: &[(usize, usize)]) -> Vec<PointEval> {
+        EQ1_CELLS.add(indices.len() as u64);
         let dies: Vec<DieDimensions> = indices
             .iter()
             .map(|&(i, j)| {
@@ -308,6 +317,116 @@ impl Eq1Kernel {
             .flatten()
             .collect()
     }
+}
+
+/// The lane-batched eq. (1) kernel over caller-supplied axis value
+/// sets — the entry point for *externally planned* node sets.
+/// `maly-model`'s batch planner unions the λ and `N_tr` axis values of
+/// every cold tile in a query batch, evaluates each unique
+/// `(λ, N_tr)` cell exactly once through this kernel, and scatters the
+/// results back per tile.
+///
+/// Per-cell values depend only on the cell's own `(λ, N_tr)` pair —
+/// never on which axes, tiles, or chunks surround it — so any tile
+/// whose axis values appear bit-equal in these sets receives values
+/// bit-identical to a direct [`CostSurface::compute_with`] over that
+/// tile alone. That independence is what makes cross-request fusion
+/// safe under the workspace's bit-identical-output contract.
+pub struct PlannedEq1 {
+    kernel: Eq1Kernel,
+}
+
+impl PlannedEq1 {
+    /// Builds the kernel over explicit axis values (λ in µm, both axes
+    /// positive). Returns `None` when the dies-per-wafer method has no
+    /// batched eq. (4) kernel or the eq. (7) calibration is invalid;
+    /// callers then fall back to [`CostSurface::compute_with`] per
+    /// tile, exactly like the dense scan's scalar fallback.
+    #[must_use]
+    pub fn new(
+        params: &SurfaceParameters,
+        lambda_values: &[f64],
+        n_tr_values: &[f64],
+    ) -> Option<Self> {
+        Eq1Kernel::new(params, lambda_values, n_tr_values).map(|kernel| Self { kernel })
+    }
+
+    /// Evaluates the given `(λ index, N_tr index)` cells across the
+    /// executor; `None` marks infeasible cells (die too large, yield
+    /// collapsed). Elements are independent, so the output is
+    /// bit-identical at every thread count and under any chunking or
+    /// ordering of `cells`.
+    #[must_use]
+    pub fn eval_cells_with(&self, exec: &Executor, cells: &[(usize, usize)]) -> Vec<Option<f64>> {
+        self.kernel
+            .eval_indices_with(exec, cells)
+            .into_iter()
+            .map(|(cost, _)| cost)
+            .collect()
+    }
+}
+
+/// The exact grid axes [`CostSurface::compute`] derives for these
+/// ranges — λ linear, `N_tr` logarithmic — or `None` when a range is
+/// degenerate (not ascending-positive, or fewer than 2 steps). The
+/// planner keys its cell-level fusion on bit-equality of these values,
+/// so they must come from the same arithmetic as the compute path; the
+/// panicking contract stays with `compute`.
+#[must_use]
+pub fn grid_axes(
+    lambda_range: (f64, f64, usize),
+    n_tr_range: (f64, f64, usize),
+) -> Option<(Vec<f64>, Vec<f64>)> {
+    Some((
+        lambda_axis_values(lambda_range)?,
+        n_tr_axis_values(n_tr_range)?,
+    ))
+}
+
+fn ascending_positive(lo: f64, hi: f64) -> bool {
+    lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi
+}
+
+/// The λ half of [`grid_axes`] alone — linear spacing, same validation.
+/// Split out so a batch planner whose tiles repeat one axis range (the
+/// usual sliding-window shape) can compute each distinct axis once; the
+/// `N_tr` half's log spacing is the expensive one (one `exp` per
+/// point).
+#[must_use]
+pub fn lambda_axis_values((min, max, steps): (f64, f64, usize)) -> Option<Vec<f64>> {
+    if steps < 2 || !ascending_positive(min, max) {
+        return None;
+    }
+    Some(linear_axis(min, max, steps))
+}
+
+/// The `N_tr` half of [`grid_axes`] alone — logarithmic spacing, same
+/// validation.
+#[must_use]
+pub fn n_tr_axis_values((min, max, steps): (f64, f64, usize)) -> Option<Vec<f64>> {
+    if steps < 2 || !ascending_positive(min, max) {
+        return None;
+    }
+    Some(log_axis(min, max, steps))
+}
+
+/// Assembles a [`CostSurface`] from externally computed parts (the
+/// planner's scatter path), or `None` when the value grid's shape does
+/// not match the axes or an axis is shorter than 2 entries.
+#[must_use]
+pub fn surface_from_grid(
+    lambda_axis: Vec<f64>,
+    n_tr_axis: Vec<f64>,
+    values: Vec<Vec<Option<f64>>>,
+) -> Option<CostSurface> {
+    if lambda_axis.len() < 2
+        || n_tr_axis.len() < 2
+        || values.len() != lambda_axis.len()
+        || values.iter().any(|row| row.len() != n_tr_axis.len())
+    {
+        return None;
+    }
+    Some(CostSurface::from_parts(lambda_axis, n_tr_axis, values))
 }
 
 /// A computed cost surface: `values[i][j]` is `C_tr` at

@@ -108,7 +108,7 @@ pub fn shared() -> &'static SharedContext {
 /// differ only in float noise share an entry, while the step counts
 /// stay exact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct TileKey {
+pub(crate) struct TileKey {
     lambda_min_nm: u64,
     lambda_max_nm: u64,
     n_tr_min_q: u64,
@@ -118,7 +118,7 @@ struct TileKey {
 }
 
 impl TileKey {
-    fn new(lambda_range: (f64, f64, usize), n_tr_range: (f64, f64, usize)) -> Self {
+    pub(crate) fn new(lambda_range: (f64, f64, usize), n_tr_range: (f64, f64, usize)) -> Self {
         // λ arrives in µm; 1e-3 µm = 1 nm grain. N_tr spans orders of
         // magnitude, so quantize its log instead of its value.
         let q_nm = |v: f64| (v * 1.0e3).round() as u64;
@@ -196,6 +196,34 @@ impl EvalContext {
             lambda_range,
             n_tr_range,
         ));
+        self.store_tile(key, &tile);
+        tile
+    }
+
+    /// Whether a tile for this key is already warm. Deliberately bumps
+    /// no counters: the batch planner probes with this before deciding
+    /// what to fuse, and the hit/miss ledger must reflect only actual
+    /// tile requests, identically to the unplanned path.
+    pub(crate) fn has_tile(&self, key: &TileKey) -> bool {
+        self.tiles
+            .read()
+            .map(|c| c.contains_key(key))
+            .unwrap_or(false)
+    }
+
+    /// Inserts a tile the batch planner materialized outside
+    /// [`Self::surface_tile`]. Counts the same miss + cell ledger the
+    /// unplanned cold path would — `cells` is the tile's *full* cell
+    /// count even when fusion evaluated fewer, so `model.tile_cells`
+    /// goldens hold with the planner on or off; the fusion saving shows
+    /// up in `eq1.cells` and `plan.nodes_evaluated` instead.
+    pub(crate) fn insert_cold_tile(&self, key: TileKey, cells: u64, tile: &Arc<CostSurface>) {
+        TILE_MISSES.incr();
+        TILE_CELLS.add(cells);
+        self.store_tile(key, tile);
+    }
+
+    fn store_tile(&self, key: TileKey, tile: &Arc<CostSurface>) {
         if let Ok(mut cache) = self.tiles.write() {
             if cache.len() >= TILE_CACHE_CAPACITY {
                 // Bounded, not LRU: full flush is simple, deterministic
@@ -203,9 +231,8 @@ impl EvalContext {
                 // capacity is far above any real request mix.
                 cache.clear();
             }
-            cache.insert(key, Arc::clone(&tile));
+            cache.insert(key, Arc::clone(tile));
         }
-        tile
     }
 
     /// Number of cached tiles (for tests and diagnostics).
@@ -213,6 +240,16 @@ impl EvalContext {
     pub fn cached_tiles(&self) -> usize {
         self.tiles.read().map(|c| c.len()).unwrap_or(0)
     }
+}
+
+/// Serializes lib tests that read the process-global counters; cargo
+/// runs tests in parallel inside one process, so unlocked readers
+/// would see each other's deltas.
+#[cfg(test)]
+pub(crate) fn counter_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -243,14 +280,43 @@ mod tests {
 
     #[test]
     fn tile_cache_hits_on_repeat() {
+        let _guard = counter_test_lock();
         let ctx = EvalContext::new();
         let exec = Executor::serial();
         let params = SurfaceParameters::fig8();
         let ranges = ((0.4, 1.2, 6), (1.0e5, 1.0e6, 5));
+        let (hits0, misses0) = (TILE_HITS.value(), TILE_MISSES.value());
         let first = ctx.surface_tile(&exec, &params, ranges.0, ranges.1);
+        assert_eq!(TILE_MISSES.value() - misses0, 1, "cold query is one miss");
+        assert_eq!(TILE_HITS.value() - hits0, 0);
         let again = ctx.surface_tile(&exec, &params, ranges.0, ranges.1);
         assert!(Arc::ptr_eq(&first, &again), "repeat must hit the cache");
+        assert_eq!(TILE_HITS.value() - hits0, 1, "warm query is one hit");
+        assert_eq!(TILE_MISSES.value() - misses0, 1, "and no further miss");
         assert_eq!(ctx.cached_tiles(), 1);
+    }
+
+    #[test]
+    fn cold_insert_counts_like_an_unplanned_miss() {
+        let _guard = counter_test_lock();
+        let ctx = EvalContext::new();
+        let exec = Executor::serial();
+        let params = SurfaceParameters::fig8();
+        let ranges = ((0.5, 1.0, 4), (1.0e5, 1.0e6, 3));
+        let tile = Arc::new(CostSurface::compute_with(
+            &exec, &params, ranges.0, ranges.1,
+        ));
+        let key = TileKey::new(ranges.0, ranges.1);
+        assert!(!ctx.has_tile(&key));
+        let (hits0, misses0, cells0) = (TILE_HITS.value(), TILE_MISSES.value(), TILE_CELLS.value());
+        ctx.insert_cold_tile(key, 12, &tile);
+        assert!(ctx.has_tile(&key), "inserted tile must be warm");
+        assert_eq!(TILE_MISSES.value() - misses0, 1);
+        assert_eq!(TILE_CELLS.value() - cells0, 12);
+        assert_eq!(TILE_HITS.value() - hits0, 0, "probes bump nothing");
+        let again = ctx.surface_tile(&exec, &params, ranges.0, ranges.1);
+        assert!(Arc::ptr_eq(&tile, &again), "surface_tile must hit it");
+        assert_eq!(TILE_HITS.value() - hits0, 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `maly-model` — the unified typed query API over the Maly cost model.
 //!
 //! This crate is the sanctioned entry point for asking the workspace
-//! questions. It owns four things:
+//! questions. It owns five things:
 //!
 //! * [`query`] — the [`Query`]/[`QueryResponse`] pair: every evaluation
 //!   the paper reproduction supports (Table 3 products, Scenario #1/#2
@@ -12,6 +12,11 @@
 //!   artifacts (moved here from `maly-repro`) plus the [`EvalContext`]
 //!   surface-tile cache that makes warm repeat queries measurably
 //!   cheaper (asserted via obs Work counters, not wall clock).
+//! * [`plan`] — the evaluation-plan IR behind [`Query::evaluate_batch`]:
+//!   a batch compiles to deduplicated queries plus unique grid nodes,
+//!   and cold surface-tile nodes across *all* requests fuse into one
+//!   lane-batched kernel dispatch (`MALY_PLAN=0` restores the direct
+//!   path; both are bit-identical by contract).
 //! * [`error`] — the consolidated [`Error`] type with `From` impls for
 //!   every subsystem failure, mapped to stable wire `kind` tags.
 //! * [`json`] — a std-only, deterministic, line-oriented JSON value
@@ -28,6 +33,8 @@
 pub mod context;
 pub mod error;
 pub mod json;
+pub mod plan;
+pub(crate) mod planner;
 pub mod query;
 
 pub use context::{shared, EvalContext, SharedContext, FIG8_LAMBDA_RANGE, FIG8_N_TR_RANGE};

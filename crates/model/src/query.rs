@@ -402,6 +402,25 @@ fn check_window(
     Ok(())
 }
 
+fn check_tile(lambda_range: (f64, f64, usize), n_tr_range: (f64, f64, usize)) -> Result<(), Error> {
+    let (lambda_min, lambda_max, lambda_steps) = lambda_range;
+    let (n_tr_min, n_tr_max, n_tr_steps) = n_tr_range;
+    check_window(lambda_min, lambda_max, lambda_steps, MAX_TILE_STEPS)?;
+    if !(n_tr_min.is_finite() && n_tr_max.is_finite() && 0.0 < n_tr_min) || n_tr_min >= n_tr_max {
+        return Err(Error::InvalidField {
+            field: "n_tr_min",
+            message: format!("window {n_tr_min}..{n_tr_max} must be ascending-positive"),
+        });
+    }
+    if !(2..=MAX_TILE_STEPS).contains(&n_tr_steps) {
+        return Err(Error::InvalidField {
+            field: "n_tr_steps",
+            message: format!("steps {n_tr_steps} outside 2..={MAX_TILE_STEPS}"),
+        });
+    }
+    Ok(())
+}
+
 impl Query {
     /// Parses a query from its JSON object form (the wire format's
     /// `query` field).
@@ -682,23 +701,10 @@ impl Query {
                 n_tr_max,
                 n_tr_steps,
             } => {
-                check_window(*lambda_min, *lambda_max, *lambda_steps, MAX_TILE_STEPS)?;
-                if !(n_tr_min.is_finite() && n_tr_max.is_finite() && 0.0 < *n_tr_min)
-                    || n_tr_min >= n_tr_max
-                {
-                    return Err(Error::InvalidField {
-                        field: "n_tr_min",
-                        message: format!(
-                            "window {n_tr_min}..{n_tr_max} must be ascending-positive"
-                        ),
-                    });
-                }
-                if !(2..=MAX_TILE_STEPS).contains(n_tr_steps) {
-                    return Err(Error::InvalidField {
-                        field: "n_tr_steps",
-                        message: format!("steps {n_tr_steps} outside 2..={MAX_TILE_STEPS}"),
-                    });
-                }
+                check_tile(
+                    (*lambda_min, *lambda_max, *lambda_steps),
+                    (*n_tr_min, *n_tr_max, *n_tr_steps),
+                )?;
                 let tile = ctx.surface_tile(
                     exec,
                     &context::shared().fig8_params,
@@ -822,10 +828,58 @@ impl Query {
         }
     }
 
-    /// Evaluates a batch of queries across the executor, preserving
-    /// input order. Each element fails independently.
+    /// The validated grid ranges when this query is a well-formed
+    /// [`Query::SurfaceTile`] — the batch planner's node extraction.
+    /// Malformed tiles return `None` and keep their per-query typed
+    /// error from [`Query::evaluate_with`].
+    pub(crate) fn tile_request(&self) -> Option<((f64, f64, usize), (f64, f64, usize))> {
+        if let Query::SurfaceTile {
+            lambda_min,
+            lambda_max,
+            lambda_steps,
+            n_tr_min,
+            n_tr_max,
+            n_tr_steps,
+        } = self
+        {
+            let lambda_range = (*lambda_min, *lambda_max, *lambda_steps);
+            let n_tr_range = (*n_tr_min, *n_tr_max, *n_tr_steps);
+            if check_tile(lambda_range, n_tr_range).is_ok() {
+                return Some((lambda_range, n_tr_range));
+            }
+        }
+        None
+    }
+
+    /// Evaluates a batch of queries, preserving input order. Each
+    /// element fails independently.
+    ///
+    /// By default the batch compiles to an evaluation plan first
+    /// ([`crate::plan`]): byte-identical queries are answered once and
+    /// fanned back out, and the cold surface-tile nodes of the whole
+    /// batch fuse into a single deduplicated kernel dispatch. Results
+    /// are bit-identical to [`Query::evaluate_batch_unplanned`] (and to
+    /// per-query [`Query::evaluate_with`]) at every executor width;
+    /// setting `MALY_PLAN=0` falls back to the unplanned path.
     #[must_use]
     pub fn evaluate_batch(
+        exec: &Executor,
+        ctx: &EvalContext,
+        queries: &[Query],
+    ) -> Vec<Result<QueryResponse, Error>> {
+        if crate::plan::enabled() {
+            crate::planner::evaluate(exec, ctx, queries)
+        } else {
+            Self::evaluate_batch_unplanned(exec, ctx, queries)
+        }
+    }
+
+    /// The direct batch path: every query scheduled independently
+    /// across the executor, no cross-request dedup or fusion. The
+    /// planner's bit-identity reference, and the `MALY_PLAN=0` service
+    /// path.
+    #[must_use]
+    pub fn evaluate_batch_unplanned(
         exec: &Executor,
         ctx: &EvalContext,
         queries: &[Query],
@@ -1180,6 +1234,9 @@ mod tests {
 
     #[test]
     fn evaluation_is_thread_count_invariant() {
+        // Evaluations bump the global tile counters; hold the lock so
+        // the counter-golden tests see clean deltas.
+        let _guard = context::counter_test_lock();
         let ctx = EvalContext::new();
         let queries = vec![
             Query::Table3,
@@ -1228,6 +1285,7 @@ mod tests {
 
     #[test]
     fn repeated_surface_tile_reuses_the_cache() {
+        let _guard = context::counter_test_lock();
         let ctx = EvalContext::new();
         let exec = Executor::serial();
         let q = Query::SurfaceTile {
@@ -1239,16 +1297,47 @@ mod tests {
             n_tr_steps: 7,
         };
         let cells_before = context::TILE_CELLS.value();
+        let (hits0, misses0) = (context::TILE_HITS.value(), context::TILE_MISSES.value());
         let first = q.evaluate_with(&exec, &ctx).unwrap();
         let after_first = context::TILE_CELLS.value();
         assert_eq!(after_first - cells_before, 9 * 7, "cold tile evaluates");
+        assert_eq!(context::TILE_MISSES.value() - misses0, 1, "one miss");
+        assert_eq!(context::TILE_HITS.value() - hits0, 0);
         let second = q.evaluate_with(&exec, &ctx).unwrap();
         assert_eq!(
             context::TILE_CELLS.value(),
             after_first,
             "warm tile adds zero grid-cell work"
         );
+        assert_eq!(context::TILE_HITS.value() - hits0, 1, "repeat is one hit");
+        assert_eq!(context::TILE_MISSES.value() - misses0, 1, "and no new miss");
         assert_eq!(first.to_json().write(), second.to_json().write());
+    }
+
+    #[test]
+    fn tile_request_extracts_only_valid_surface_tiles() {
+        let good = Query::SurfaceTile {
+            lambda_min: 0.5,
+            lambda_max: 1.0,
+            lambda_steps: 9,
+            n_tr_min: 2.0e4,
+            n_tr_max: 4.0e6,
+            n_tr_steps: 24,
+        };
+        assert_eq!(
+            good.tile_request(),
+            Some(((0.5, 1.0, 9), (2.0e4, 4.0e6, 24)))
+        );
+        let degenerate = Query::SurfaceTile {
+            lambda_min: 1.0,
+            lambda_max: 0.5,
+            lambda_steps: 9,
+            n_tr_min: 2.0e4,
+            n_tr_max: 4.0e6,
+            n_tr_steps: 24,
+        };
+        assert_eq!(degenerate.tile_request(), None);
+        assert_eq!(Query::Table3.tile_request(), None);
     }
 
     #[test]

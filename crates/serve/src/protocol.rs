@@ -85,6 +85,11 @@ fn parse_request(v: &Json) -> (Json, Result<Query, Error>) {
 /// across the executor), serialize. Always returns exactly one line of
 /// output (no trailing newline) — transport errors aside, a client can
 /// match responses to requests by line position alone.
+///
+/// Array lines go through [`Query::evaluate_batch`], so byte-identical
+/// queries in one line are answered once and fanned back out, and
+/// overlapping surface tiles fuse their shared grid work
+/// (`maly_model::plan`); the served bytes are identical either way.
 #[must_use]
 pub fn handle_line(exec: &Executor, ctx: &EvalContext, line: &str) -> String {
     let _span = maly_obs::span("serve.request");

@@ -277,6 +277,8 @@ fn warm_tile_cache_answers_repeat_queries_without_grid_work() {
         },
     );
     let before = maly_model::context::TILE_CELLS.value();
+    let hits0 = maly_model::context::TILE_HITS.value();
+    let misses0 = maly_model::context::TILE_MISSES.value();
     let first = client::query_lines(&addr, std::slice::from_ref(&tile)).expect("cold query");
     let after_cold = maly_model::context::TILE_CELLS.value();
     assert_eq!(
@@ -284,13 +286,102 @@ fn warm_tile_cache_answers_repeat_queries_without_grid_work() {
         13 * 11,
         "the cold query evaluates the full grid"
     );
+    assert_eq!(
+        maly_model::context::TILE_MISSES.value() - misses0,
+        1,
+        "the cold query is exactly one cache miss"
+    );
+    assert_eq!(maly_model::context::TILE_HITS.value() - hits0, 0);
     let second = client::query_lines(&addr, std::slice::from_ref(&tile)).expect("warm query");
     assert_eq!(
         maly_model::context::TILE_CELLS.value(),
         after_cold,
         "the warm repeat query adds zero grid-cell work"
     );
+    assert_eq!(
+        maly_model::context::TILE_HITS.value() - hits0,
+        1,
+        "the warm repeat query is exactly one cache hit"
+    );
+    assert_eq!(
+        maly_model::context::TILE_MISSES.value() - misses0,
+        1,
+        "and no further miss"
+    );
     assert_eq!(first, second, "warm and cold answers are byte-identical");
+    handle.shutdown();
+    join.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn duplicate_batch_queries_answer_per_id_without_reevaluation() {
+    let _guard = lock();
+    let (handle, join) = start(ServeConfig::default().workers(2));
+    let addr = handle.addr().to_string();
+    // A window no other test requests, repeated three times in one
+    // array line alongside a duplicated product query.
+    let tile = Query::SurfaceTile {
+        lambda_min: 0.52,
+        lambda_max: 0.92,
+        lambda_steps: 7,
+        n_tr_min: 8.0e4,
+        n_tr_max: 6.0e5,
+        n_tr_steps: 6,
+    };
+    let product = Query::Product(maly_model::query::ProductSpec {
+        name: "dup".to_string(),
+        transistors: 2.0e6,
+        lambda_um: 0.7,
+        density: 150.0,
+        radius_cm: 7.5,
+        yield0: 0.9,
+        c0: 700.0,
+        x: 1.4,
+    });
+    let element =
+        |id: f64, q: &Query| Json::obj(vec![("id", Json::Num(id)), ("query", q.to_json())]).write();
+    let line = format!(
+        "[{}, {}, {}, {}, {}]",
+        element(1.0, &tile),
+        element(2.0, &product),
+        element(3.0, &tile),
+        element(4.0, &tile),
+        element(5.0, &product),
+    );
+    let cells0 = maly_model::context::TILE_CELLS.value();
+    let queries0 = maly_model::context::QUERIES.value();
+    let deduped0 = maly_model::plan::DEDUPED_QUERIES.value();
+    let got = client::query_lines(&addr, std::slice::from_ref(&line)).expect("batch line");
+    assert_eq!(
+        maly_model::context::TILE_CELLS.value() - cells0,
+        7 * 6,
+        "three identical tile queries evaluate one tile"
+    );
+    assert_eq!(
+        maly_model::context::QUERIES.value() - queries0,
+        5,
+        "every answered query stays on the ledger, deduped or not"
+    );
+    if maly_model::plan::enabled() {
+        assert_eq!(
+            maly_model::plan::DEDUPED_QUERIES.value() - deduped0,
+            3,
+            "two tile repeats and one product repeat fan out"
+        );
+    }
+    // One response line carrying all five ids, duplicates byte-equal.
+    let batch = json::parse(&got[0]).expect("protocol JSON");
+    let Json::Arr(elems) = &batch else {
+        panic!("batch response must be an array");
+    };
+    let payload = |i: usize| -> String {
+        let v = &elems[i];
+        assert_eq!(v.get("id").and_then(Json::as_f64), Some((i + 1) as f64));
+        v.get("ok").expect("ok payload").write()
+    };
+    assert_eq!(payload(0), payload(2), "duplicate tiles answer identically");
+    assert_eq!(payload(0), payload(3));
+    assert_eq!(payload(1), payload(4), "duplicate products too");
     handle.shutdown();
     join.join().expect("server thread exits cleanly");
 }
