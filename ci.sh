@@ -76,4 +76,31 @@ grep -q '"group": "per_eval"' target/bench_sweeps_ci_t1.json
 grep -q '"group": "per_eval"' target/bench_sweeps_ci.json
 grep -q '"available_parallelism"' target/bench_sweeps_ci.json
 
+echo "== serve latency smoke (loadgen vs BENCH_serve.json)"
+# Default flags replay the committed baseline's exact seeded workload —
+# the work-counter section is compared bit-for-bit, so the smoke must
+# send the same request sequence the baseline recorded.
+MALY_OBS=1 cargo run -q --release -p maly-loadgen -- \
+    --json target/bench_serve_ci.json
+cargo run -q -p xtask -- bench-check target/bench_serve_ci.json BENCH_serve.json
+# The smoke artifact must declare its parallelism header, carry the
+# percentile fields the tail gate rides on, and report the
+# deterministic work counters fetched over the stats protocol.
+grep -q '"available_parallelism"' target/bench_serve_ci.json
+grep -q '"p99_ns"' target/bench_serve_ci.json
+grep -q '"name": "serve.request_lines"' target/bench_serve_ci.json
+
+echo "== cli stats record appended to a live-server trace"
+# A live server's metrics snapshot, retagged by `silicon-cost stats`,
+# must append to an existing trace as one more valid ndjson record.
+cargo build -q -p maly-cli
+MALY_OBS=1 ./target/debug/maly-cli serve --addr 127.0.0.1:7917 &
+SERVE_PID=$!
+./target/debug/maly-cli stats --addr 127.0.0.1:7917 \
+    >> target/trace_serve_ci.ndjson
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+grep -q '"type":"stats"' target/trace_serve_ci.ndjson
+cargo run -q -p xtask -- trace-check target/trace_serve_ci.ndjson
+
 echo "ci.sh: all gates passed"

@@ -6,6 +6,7 @@
 //! it is pure geometry (die placement), not a cost-model evaluation,
 //! and stays on `maly-wafer-geom` directly.
 
+use maly_model::json::Json;
 use maly_model::query::{ProductSpec, Query, QueryResponse};
 use maly_model::EvalContext;
 use maly_par::Executor;
@@ -35,11 +36,15 @@ USAGE:
   silicon-cost table3
   silicon-cost serve    [--addr HOST:PORT] [--threads N]
   silicon-cost query    --file REQ.JSONL [--addr HOST:PORT]
+  silicon-cost stats    --addr HOST:PORT
   silicon-cost help
 
 serve answers line-delimited JSON queries over TCP (see DESIGN.md §10);
 query sends the request lines in a file to a server — or, without
 --addr, evaluates them in-process — and prints one response line each.
+stats asks a live server for its metrics snapshot (work/diag counters,
+gauges, latency percentiles) and prints it as one stats ndjson record,
+appendable to a trace file for `xtask trace-check`.
 Every command also accepts --trace-out FILE: enable maly-obs and write
 an ndjson trace (spans, counters, histograms) of the run to FILE.
 Batched queries (JSON-array lines, sweep, query --file) compile to an
@@ -72,6 +77,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
             "table3" => table3(),
             "serve" => serve(&flags),
             "query" => query(&flags),
+            "stats" => stats(&flags),
             "help" | "--help" | "-h" => Ok(usage()),
             other => Err(format!("unknown command `{other}`")),
         }
@@ -100,6 +106,7 @@ fn command_span_name(command: &str) -> &'static str {
         "table3" => "cli.table3",
         "serve" => "cli.serve",
         "query" => "cli.query",
+        "stats" => "cli.stats",
         _ => "cli.run",
     }
 }
@@ -398,6 +405,22 @@ fn query(flags: &Flags) -> Result<String, String> {
     Ok(responses.join("\n"))
 }
 
+fn stats(flags: &Flags) -> Result<String, String> {
+    let addr = flags
+        .str_opt("addr")
+        .ok_or("missing required flag --addr")?;
+    let response = client::query_one(addr, &Query::ServerStats).map_err(|e| e.to_string())?;
+    let Json::Obj(pairs) = response else {
+        return Err("malformed server_stats payload".to_string());
+    };
+    // Retag the payload as a `stats` trace record: the same
+    // sorted-key sections, printable on its own or appendable to an
+    // ndjson trace file for `xtask trace-check`.
+    let mut record = vec![("type".to_string(), Json::Str("stats".to_string()))];
+    record.extend(pairs.into_iter().filter(|(k, _)| k != "kind"));
+    Ok(Json::Obj(record).write())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -527,6 +550,35 @@ mod tests {
         assert!(out.contains("\"ok\""), "{out}");
         handle.shutdown();
         join.join().unwrap();
+    }
+
+    #[test]
+    fn stats_command_reports_a_live_servers_metrics() {
+        let config = ServeConfig::bind("127.0.0.1:0").workers(1);
+        let server = Server::bind(config).unwrap();
+        let handle = server.handle().unwrap();
+        let addr = handle.addr().to_string();
+        let join = std::thread::spawn(move || server.serve(&Executor::with_threads(2)));
+        // Put some traffic on the ledger before asking for the snapshot.
+        let warm = client::query_lines(
+            &addr,
+            &["{\"id\": 1, \"query\": {\"type\": \"table3_row\", \"id\": 1}}".to_string()],
+        )
+        .unwrap();
+        assert!(warm[0].contains("\"ok\""), "{warm:?}");
+        let out = run(&argv(&format!("stats --addr {addr}"))).unwrap();
+        assert!(out.starts_with("{\"type\":\"stats\",\"work\":{"), "{out}");
+        assert!(out.contains("\"serve.request_lines\""), "{out}");
+        assert!(out.contains("\"gauges\":{"), "{out}");
+        assert!(out.contains("\"latency\":{"), "{out}");
+        assert!(!out.contains("\"kind\""), "{out}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn stats_command_requires_an_addr() {
+        assert!(run(&argv("stats")).unwrap_err().contains("--addr"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! silicon-cost wafer    --die-area 2.976 [--radius 7.5] [--map]
 //! silicon-cost serve    [--addr 127.0.0.1:7878] [--threads 2]
 //! silicon-cost query    --file requests.jsonl [--addr HOST:PORT]
+//! silicon-cost stats    --addr HOST:PORT
 //! silicon-cost help
 //! ```
 

@@ -1,0 +1,113 @@
+//! `maly-loadgen` — drive a live `maly-serve` instance with seeded,
+//! open-loop traffic and record latency percentiles + throughput.
+//!
+//! ```text
+//! maly-loadgen [--addr HOST:PORT] [--connections 4] [--requests 64]
+//!              [--seed 42] [--pace-ns 4000000] [--workers 4]
+//!              [--json BENCH_serve.json]
+//! ```
+//!
+//! Without `--addr` the generator self-hosts a loopback server (the
+//! mode baselines are recorded in, so work counters start from a fresh
+//! registry). `--json` writes the `BENCH_serve.json`-shaped report that
+//! `xtask bench-check` gates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::process::ExitCode;
+
+use maly_loadgen::LoadgenConfig;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv).and_then(|(config, json_path)| {
+        let report = maly_loadgen::run(&config).map_err(|e| e.to_string())?;
+        if let Some(path) = json_path {
+            std::fs::write(&path, maly_loadgen::render_json(&report))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        Ok(maly_loadgen::render_summary(&report))
+    }) {
+        Ok(summary) => {
+            print!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: maly-loadgen [--addr HOST:PORT] [--connections N] [--requests N] \
+                     [--seed N] [--pace-ns N] [--workers N] [--json PATH]";
+
+/// Parses the flag list into a config plus an optional JSON out-path.
+fn parse_args(argv: &[String]) -> Result<(LoadgenConfig, Option<String>), String> {
+    let mut config = LoadgenConfig::default();
+    let mut json_path = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects {what}"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = Some(value("HOST:PORT")?),
+            "--json" => json_path = Some(value("a file path")?),
+            "--connections" => config.connections = parse_num(&value("a count")?)?,
+            "--requests" => config.requests = parse_num(&value("a count")?)?,
+            "--workers" => config.workers = parse_num(&value("a count")?)?,
+            "--seed" => config.seed = parse_num(&value("a seed")?)?,
+            "--pace-ns" => config.pace_ns = parse_num(&value("nanoseconds")?)?,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok((config, json_path))
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("not a valid number: {text}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_override_defaults() {
+        let argv: Vec<String> = [
+            "--connections",
+            "8",
+            "--requests",
+            "100",
+            "--seed",
+            "7",
+            "--pace-ns",
+            "500",
+            "--json",
+            "out.json",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let (config, json) = parse_args(&argv).expect("valid flags");
+        assert_eq!(config.connections, 8);
+        assert_eq!(config.requests, 100);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.pace_ns, 500);
+        assert_eq!(config.addr, None);
+        assert_eq!(json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn missing_value_and_unknown_flag_are_rejected() {
+        let argv = vec!["--connections".to_string()];
+        assert!(parse_args(&argv).is_err());
+        let argv = vec!["--frobnicate".to_string()];
+        assert!(parse_args(&argv).is_err());
+    }
+}

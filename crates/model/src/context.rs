@@ -41,6 +41,11 @@ pub static QUERIES: maly_obs::Counter = maly_obs::Counter::work("model.queries")
 pub static TILE_HITS: maly_obs::Counter = maly_obs::Counter::diag("model.tile_hits");
 /// Surface-tile cache misses (diagnostic).
 pub static TILE_MISSES: maly_obs::Counter = maly_obs::Counter::diag("model.tile_misses");
+/// Per-query evaluation latency, attached to the `model.query` span.
+pub static EVAL_NS: maly_obs::Histogram = maly_obs::Histogram::high_resolution("model.eval_ns");
+/// Batch planning latency (compile + fused prefetch + scatter),
+/// attached to the `model.plan` span.
+pub static PLAN_NS: maly_obs::Histogram = maly_obs::Histogram::high_resolution("model.plan_ns");
 
 /// Every artifact derived once and shared by the experiments.
 #[derive(Debug)]

@@ -202,6 +202,7 @@ fn dedup_key(q: &Query) -> (u8, String, Vec<u64>) {
             ]);
             9
         }
+        Query::ServerStats => 10,
     };
     (tag, name, bits)
 }

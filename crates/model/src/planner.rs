@@ -37,7 +37,7 @@ pub(crate) fn evaluate(
     ctx: &EvalContext,
     queries: &[Query],
 ) -> Vec<Result<QueryResponse, Error>> {
-    let _span = maly_obs::span("model.plan");
+    let _span = maly_obs::span("model.plan").with_histogram(&context::PLAN_NS);
     let plan = Plan::compile(queries);
     plan::NODES_REQUESTED.add(plan.nodes_requested);
     let cold: Vec<&TileNode> = plan

@@ -201,6 +201,11 @@ pub enum Query {
         /// Wafer starts per year in the mono-product reference fab.
         mono_volume: f64,
     },
+    /// Admin: a snapshot of the process metrics registry (work/diag
+    /// counters, gauges, latency percentiles). Served over the same
+    /// wire protocol so operators can ask "what is p99 right now?"
+    /// without attaching anything.
+    ServerStats,
 }
 
 /// A typed response, mirroring [`Query`]'s variants.
@@ -222,6 +227,8 @@ pub enum QueryResponse {
     Roadmap(Vec<RoadmapRow>),
     /// Product-mix penalty report.
     ProductMix(MixReport),
+    /// Metrics registry snapshot.
+    ServerStats(StatsReport),
 }
 
 /// Eq. (1) outputs for one product.
@@ -335,6 +342,88 @@ pub struct MixReport {
     pub mono_utilization: f64,
     /// Multi-fab productive utilization.
     pub multi_utilization: f64,
+}
+
+/// A deterministic-shape snapshot of the process metrics registry.
+///
+/// Every section is sorted by metric name, so identical registry state
+/// serializes to identical bytes. The split mirrors the obs crate's
+/// determinism contract: `work` counters are exact and
+/// thread-count-invariant (safe to golden-compare across worker
+/// counts); `diag` counters, `gauges`, and `latency` are diagnostics
+/// that legitimately vary with scheduling and wall-clock time and are
+/// excluded from the bit-identity contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Work counters (name → exact total), sorted by name.
+    pub work: Vec<(String, u64)>,
+    /// Diagnostic counters (name → total), sorted by name.
+    pub diag: Vec<(String, u64)>,
+    /// Gauge levels (name → signed level), sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Per-histogram latency summaries, sorted by name.
+    pub latency: Vec<LatencyReport>,
+}
+
+/// One histogram's latency summary inside a [`StatsReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyReport {
+    /// Histogram registry name (e.g. `serve.request_ns`).
+    pub name: String,
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Mean duration (ns).
+    pub mean_ns: f64,
+    /// Interpolated median (ns).
+    pub p50_ns: f64,
+    /// Interpolated 90th percentile (ns).
+    pub p90_ns: f64,
+    /// Interpolated 99th percentile (ns).
+    pub p99_ns: f64,
+    /// Interpolated 99.9th percentile (ns).
+    pub p999_ns: f64,
+}
+
+impl StatsReport {
+    /// Snapshots the process-wide metrics registry. The obs snapshot
+    /// functions already sort by name, so the report's shape is
+    /// deterministic for a given registry state.
+    #[must_use]
+    pub fn capture() -> Self {
+        let mut work = Vec::new();
+        let mut diag = Vec::new();
+        for c in maly_obs::counters_snapshot() {
+            match c.kind {
+                maly_obs::CounterKind::Work => work.push((c.name.to_string(), c.value)),
+                maly_obs::CounterKind::Diag => diag.push((c.name.to_string(), c.value)),
+            }
+        }
+        let gauges = maly_obs::gauges_snapshot()
+            .into_iter()
+            .map(|g| (g.name.to_string(), g.value))
+            .collect();
+        let latency = maly_obs::histograms_snapshot()
+            .into_iter()
+            .map(|h| {
+                let p = h.latency_percentiles();
+                LatencyReport {
+                    name: h.name.to_string(),
+                    count: h.count,
+                    mean_ns: h.mean_ns(),
+                    p50_ns: p.p50_ns,
+                    p90_ns: p.p90_ns,
+                    p99_ns: p.p99_ns,
+                    p999_ns: p.p999_ns,
+                }
+            })
+            .collect();
+        Self {
+            work,
+            diag,
+            gauges,
+            latency,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -502,6 +591,7 @@ impl Query {
                 volume_each: f64_field_or(v, "volume_each", 1_000.0)?,
                 mono_volume: f64_field_or(v, "mono_volume", 100_000.0)?,
             }),
+            "server_stats" => Ok(Query::ServerStats),
             other => Err(Error::UnknownQueryType {
                 found: other.to_string(),
             }),
@@ -605,6 +695,7 @@ impl Query {
                 ("volume_each", Json::Num(*volume_each)),
                 ("mono_volume", Json::Num(*mono_volume)),
             ]),
+            Query::ServerStats => Json::obj(vec![tag("server_stats")]),
         }
     }
 
@@ -629,7 +720,7 @@ impl Query {
         exec: &Executor,
         ctx: &EvalContext,
     ) -> Result<QueryResponse, Error> {
-        let _span = maly_obs::span("model.query");
+        let _span = maly_obs::span("model.query").with_histogram(&context::EVAL_NS);
         context::QUERIES.incr();
         match self {
             Query::Product(spec) => {
@@ -825,6 +916,7 @@ impl Query {
                     multi_utilization: study.multi_utilization,
                 }))
             }
+            Query::ServerStats => Ok(QueryResponse::ServerStats(StatsReport::capture())),
         }
     }
 
@@ -1084,6 +1176,48 @@ impl QueryResponse {
                 ("mono_utilization", Json::Num(m.mono_utilization)),
                 ("multi_utilization", Json::Num(m.multi_utilization)),
             ]),
+            QueryResponse::ServerStats(s) => {
+                let counts = |v: &[(String, u64)]| -> Json {
+                    Json::Obj(
+                        v.iter()
+                            .map(|(k, n)| (k.clone(), Json::Num(*n as f64)))
+                            .collect(),
+                    )
+                };
+                let latency = Json::Obj(
+                    s.latency
+                        .iter()
+                        .map(|l| {
+                            (
+                                l.name.clone(),
+                                Json::obj(vec![
+                                    ("count", Json::Num(l.count as f64)),
+                                    ("mean_ns", Json::Num(l.mean_ns)),
+                                    ("p50_ns", Json::Num(l.p50_ns)),
+                                    ("p90_ns", Json::Num(l.p90_ns)),
+                                    ("p99_ns", Json::Num(l.p99_ns)),
+                                    ("p999_ns", Json::Num(l.p999_ns)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                );
+                Json::obj(vec![
+                    ("kind", Json::Str("server_stats".to_string())),
+                    ("work", counts(&s.work)),
+                    ("diag", counts(&s.diag)),
+                    (
+                        "gauges",
+                        Json::Obj(
+                            s.gauges
+                                .iter()
+                                .map(|(k, n)| (k.clone(), Json::Num(*n as f64)))
+                                .collect(),
+                        ),
+                    ),
+                    ("latency", latency),
+                ])
+            }
         }
     }
 }
@@ -1164,6 +1298,7 @@ mod tests {
                 volume_each: 1_000.0,
                 mono_volume: 50_000.0,
             },
+            Query::ServerStats,
         ];
         for q in queries {
             let text = q.to_json().write();
@@ -1338,6 +1473,30 @@ mod tests {
         };
         assert_eq!(degenerate.tile_request(), None);
         assert_eq!(Query::Table3.tile_request(), None);
+    }
+
+    #[test]
+    fn server_stats_snapshot_is_sorted_and_typed() {
+        let QueryResponse::ServerStats(report) = Query::ServerStats.evaluate().unwrap() else {
+            panic!("wrong response kind");
+        };
+        // Every section must be name-sorted — the deterministic-shape
+        // contract the trace checker and goldens rely on.
+        assert!(report.work.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(report.diag.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(report.gauges.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(report.latency.windows(2).all(|w| w[0].name <= w[1].name));
+        // Evaluating the stats query itself bumps model.queries, so the
+        // work section is never empty.
+        assert!(report.work.iter().any(|(k, _)| k == "model.queries"));
+        let text = QueryResponse::ServerStats(report).to_json().write();
+        assert!(
+            text.starts_with("{\"kind\":\"server_stats\",\"work\":{"),
+            "{text}"
+        );
+        assert!(text.contains("\"diag\":{"), "{text}");
+        assert!(text.contains("\"gauges\":{"), "{text}");
+        assert!(text.contains("\"latency\":{"), "{text}");
     }
 
     #[test]

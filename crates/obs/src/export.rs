@@ -1,18 +1,19 @@
 //! ndjson trace export.
 //!
-//! One JSON object per line, in three sections: completed spans in
+//! One JSON object per line, in four sections: completed spans in
 //! completion order (so every child line precedes its parent's line),
-//! then counters sorted by name, then histograms sorted by name. The
+//! then counters, gauges, and histograms, each sorted by name. The
 //! sorted metric sections are reproducible across runs and thread
-//! counts for work counters; span lines carry wall-clock timings and
-//! are inherently run-specific. `xtask trace-check` validates the
-//! format (every line parses, span parents exist and enclose their
-//! children).
+//! counts for work counters; span lines, gauge levels, and histogram
+//! contents carry wall-clock state and are inherently run-specific.
+//! `xtask trace-check` validates the format (every line parses, span
+//! parents exist and enclose their children, metric sections are
+//! name-sorted).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use crate::metrics::{counters_snapshot, histograms_snapshot};
+use crate::metrics::{counters_snapshot, gauges_snapshot, histograms_snapshot};
 use crate::span::finished_spans;
 
 /// Minimal JSON string escaping for span/metric names.
@@ -65,11 +66,20 @@ pub fn export_ndjson() -> String {
             c.value
         );
     }
+    for g in gauges_snapshot() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            escape(g.name),
+            g.value
+        );
+    }
     for h in histograms_snapshot() {
         let _ = write!(
             out,
-            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"buckets\":[",
+            "{{\"type\":\"hist\",\"name\":\"{}\",\"resolution\":\"{}\",\"count\":{},\"total_ns\":{},\"buckets\":[",
             escape(h.name),
+            h.resolution.as_str(),
             h.count,
             h.total_ns
         );
@@ -112,9 +122,11 @@ pub fn write_trace_if_requested() -> std::io::Result<Option<PathBuf>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{span, Counter};
+    use crate::{span, Counter, Gauge, Histogram};
 
     static EXPORT_COUNTER: Counter = Counter::work("test.export.counter");
+    static EXPORT_GAUGE: Gauge = Gauge::new("test.export.gauge");
+    static EXPORT_HIRES: Histogram = Histogram::high_resolution("test.export.hires_ns");
 
     #[test]
     fn export_lines_are_well_formed() {
@@ -125,6 +137,10 @@ mod tests {
             let _inner = span("test.export.inner");
         }
         EXPORT_COUNTER.add(7);
+        EXPORT_GAUGE.reset();
+        EXPORT_GAUGE.add(2);
+        EXPORT_GAUGE.decr();
+        EXPORT_HIRES.record_ns(500);
         let text = export_ndjson();
         crate::set_enabled(false);
         assert!(!text.is_empty());
@@ -144,6 +160,8 @@ mod tests {
         assert!(inner_pos < outer_pos);
         assert!(text.contains("\"name\":\"test.export.counter\""));
         assert!(text.contains("\"kind\":\"work\""));
+        assert!(text.contains("{\"type\":\"gauge\",\"name\":\"test.export.gauge\",\"value\":1}"));
+        assert!(text.contains("\"name\":\"test.export.hires_ns\",\"resolution\":\"hires\""));
     }
 
     #[test]

@@ -13,10 +13,16 @@
 //! * [`Counter`] — sharded relaxed-atomic event counters, declared as
 //!   `static`s at the instrumentation site and lazily registered into a
 //!   process-wide registry for snapshotting.
-//! * [`Histogram`] — fixed-bucket log₂-scale duration histograms.
+//! * [`Gauge`] — sharded signed level gauges (queue depths, in-flight
+//!   requests); always diagnostic, never golden-compared.
+//! * [`Histogram`] — fixed-bucket log-scale duration histograms, at
+//!   log₂ ([`Histogram::new`]) or quarter-octave resolution
+//!   ([`Histogram::high_resolution`], for sub-millisecond request
+//!   timing); [`HistogramSnapshot::percentile_ns`] interpolates
+//!   p50/p90/p99/p999 latencies from the buckets.
 //! * [`export_ndjson`] / [`write_trace`] — an ndjson exporter (one JSON
-//!   object per line: spans in completion order, then counters sorted
-//!   by name, then histograms sorted by name).
+//!   object per line: spans in completion order, then counters, gauges,
+//!   and histograms, each sorted by name).
 //!
 //! # Disabled-cost contract
 //!
@@ -45,6 +51,11 @@
 //!   counts, cache hits). These legitimately vary with thread count and
 //!   timing; they are exported for humans, not for golden comparisons.
 //!
+//! Gauges and histograms are always on the Diag side of this split:
+//! levels and latencies are wall-clock state, so they are exported (and
+//! served via `server_stats`) for humans and load generators, never
+//! golden-compared.
+//!
 //! # Activation
 //!
 //! * `MALY_OBS=1` enables span collection;
@@ -62,8 +73,9 @@ mod span;
 
 pub use export::{export_ndjson, write_trace, write_trace_if_requested};
 pub use metrics::{
-    counters_snapshot, histograms_snapshot, reset_metrics, Counter, CounterKind, CounterSnapshot,
-    Histogram, HistogramSnapshot, HIST_BUCKETS,
+    counters_snapshot, gauges_snapshot, histograms_snapshot, reset_metrics, Counter, CounterKind,
+    CounterSnapshot, Gauge, GaugeSnapshot, HistResolution, Histogram, HistogramSnapshot,
+    LatencyPercentiles, HIRES_HIST_BUCKETS, HIST_BUCKETS,
 };
 pub use span::{
     current_span, finished_spans, reset_spans, span, span_child, SpanGuard, SpanRecord,

@@ -1,12 +1,14 @@
-//! Sharded atomic counters and fixed-bucket log-scale histograms.
+//! Sharded atomic counters, gauges, and fixed-bucket log-scale
+//! histograms.
 //!
 //! Instrumentation sites declare metrics as `static` items and bump
 //! them directly; the first touch registers the metric into a
-//! process-wide registry so [`counters_snapshot`] and
-//! [`histograms_snapshot`] can enumerate everything that ever counted.
-//! Registration is a one-time compare-exchange — the steady-state cost
-//! of an increment is one relaxed load (the registered check) plus one
-//! relaxed `fetch_add` on a cache-line-padded per-thread shard.
+//! process-wide registry so [`counters_snapshot`], [`gauges_snapshot`]
+//! and [`histograms_snapshot`] can enumerate everything that ever
+//! counted. Registration is a one-time compare-exchange — the
+//! steady-state cost of an increment is one relaxed load (the
+//! registered check) plus one relaxed `fetch_add` on a
+//! cache-line-padded per-thread shard.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -15,10 +17,22 @@ use std::sync::{Mutex, PoisonError};
 /// executor actually uses without inflating the static footprint.
 const COUNTER_SHARDS: usize = 8;
 
-/// Buckets per histogram: bucket `i` counts durations `d` with
-/// `2^(i-1) ≤ d < 2^i` nanoseconds (bucket 0 holds `d < 2` ns), so 40
-/// buckets span sub-nanosecond to ~9 minutes.
+/// Buckets per log₂ histogram: bucket `i` (for `i ≥ 1`) counts
+/// durations `d` with `2^(i-1) ≤ d < 2^i` nanoseconds (bucket 0 holds
+/// `d = 0`), so 40 buckets span sub-nanosecond to ~9 minutes.
 pub const HIST_BUCKETS: usize = 40;
+
+/// Buckets per high-resolution histogram: four linear sub-buckets per
+/// power-of-two octave, so the top bucket starts at 2^40 ns (~18 min)
+/// while the worst-case relative bucket width stays ≤ 25 % — fine
+/// enough to interpolate sub-millisecond request percentiles.
+pub const HIRES_HIST_BUCKETS: usize = 160;
+
+/// log₂(sub-buckets per octave) for [`HistResolution::HighRes`].
+const HIRES_SUB_BITS: u32 = 2;
+
+/// Sub-bucket mask for [`HistResolution::HighRes`].
+const HIRES_SUB_MASK: u64 = (1 << HIRES_SUB_BITS) - 1;
 
 /// A cache-line-padded atomic cell, so shards owned by different
 /// threads never false-share.
@@ -135,27 +149,214 @@ impl Counter {
     }
 }
 
-/// A fixed-bucket log₂-scale duration histogram. Declare as a `static`;
-/// recording is gated by the span layer on [`crate::enabled`], so a
-/// disabled run never touches the buckets.
-pub struct Histogram {
+/// A sharded signed level gauge (queue depth, in-flight requests).
+/// Deltas land on the calling thread's shard as two's-complement
+/// wrapping adds, so `incr` on one thread and `decr` on another never
+/// contend; the snapshot value is the wrapping sum across shards, which
+/// is exact because every logical `add` hits exactly one shard. Like
+/// all timing-coupled metrics, gauge values are diagnostics: they vary
+/// with scheduling and are excluded from bit-identity comparisons.
+///
+/// ```
+/// static DEPTH: maly_obs::Gauge = maly_obs::Gauge::new("demo.depth");
+/// DEPTH.incr();
+/// DEPTH.add(2);
+/// DEPTH.decr();
+/// assert_eq!(DEPTH.value(), 2);
+/// ```
+pub struct Gauge {
     name: &'static str,
     registered: AtomicBool,
-    count: AtomicU64,
-    total_ns: AtomicU64,
-    buckets: [AtomicU64; HIST_BUCKETS],
+    shards: [Shard; COUNTER_SHARDS],
 }
 
-impl Histogram {
-    /// A histogram with the given registry name.
+impl Gauge {
+    /// A gauge with the given registry name.
     #[must_use]
     pub const fn new(name: &'static str) -> Self {
         Self {
             name,
             registered: AtomicBool::new(false),
+            shards: [const { Shard::new() }; COUNTER_SHARDS],
+        }
+    }
+
+    /// The gauge's registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds a signed delta to the calling thread's shard.
+    #[inline]
+    pub fn add(&'static self, n: i64) {
+        if !self.registered.load(Ordering::Relaxed) {
+            register_gauge(self);
+        }
+        // i64 → u64 keeps the two's-complement bit pattern, so the
+        // wrapping shard sum in `value` recovers the signed total.
+        self.shards[shard_index()]
+            .0
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge by one.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Lowers the gauge by one.
+    #[inline]
+    pub fn decr(&'static self) {
+        self.add(-1);
+    }
+
+    /// The gauge's current level: the wrapping sum of all shards,
+    /// reinterpreted as signed.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        let total = self
+            .shards
+            .iter()
+            .fold(0u64, |acc, s| acc.wrapping_add(s.0.load(Ordering::Relaxed)));
+        {
+            total as i64
+        }
+    }
+
+    /// Zeroes every shard.
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// How a [`Histogram`] maps a duration to a bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistResolution {
+    /// One bucket per power-of-two octave ([`HIST_BUCKETS`] buckets).
+    /// Cheap and compact; bucket widths double, so an interpolated
+    /// percentile carries up to a 2× relative error. Right for coarse
+    /// kernel/chunk timings.
+    Log2,
+    /// Four linear sub-buckets per octave ([`HIRES_HIST_BUCKETS`]
+    /// buckets). Worst-case relative bucket width is 25 %, tight enough
+    /// for sub-millisecond request-latency percentiles.
+    HighRes,
+}
+
+impl HistResolution {
+    /// Number of buckets a histogram at this resolution uses.
+    #[must_use]
+    pub const fn bucket_count(self) -> usize {
+        match self {
+            HistResolution::Log2 => HIST_BUCKETS,
+            HistResolution::HighRes => HIRES_HIST_BUCKETS,
+        }
+    }
+
+    /// The resolution's ndjson tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HistResolution::Log2 => "log2",
+            HistResolution::HighRes => "hires",
+        }
+    }
+
+    /// Bucket index for a duration; out-of-range durations clamp to the
+    /// top bucket. Public so external tools (e.g. the load generator)
+    /// can bucket self-measured durations into detached
+    /// [`HistogramSnapshot`]s with the exact registry semantics.
+    #[must_use]
+    pub fn index_for(self, ns: u64) -> usize {
+        let idx = match self {
+            HistResolution::Log2 => usize::try_from(64 - ns.leading_zeros()).unwrap_or(0),
+            HistResolution::HighRes => {
+                if ns < (1 << HIRES_SUB_BITS) {
+                    // The first four buckets hold exact values 0..=3.
+                    usize::try_from(ns).unwrap_or(0)
+                } else {
+                    // HDR-style: the top bits select the octave, the
+                    // next HIRES_SUB_BITS bits the linear sub-bucket.
+                    let octave = 63 - ns.leading_zeros();
+                    let sub = (ns >> (octave - HIRES_SUB_BITS)) & HIRES_SUB_MASK;
+                    let base = (octave - 1) << HIRES_SUB_BITS;
+                    usize::try_from(u64::from(base) + sub).unwrap_or(0)
+                }
+            }
+        };
+        idx.min(self.bucket_count() - 1)
+    }
+
+    /// Inclusive lower and exclusive upper bound (in ns) of a bucket.
+    /// The top bucket is clamped at record time, so its nominal upper
+    /// bound understates extreme outliers; percentile interpolation
+    /// stays finite because of it.
+    #[must_use]
+    pub fn bucket_bounds(self, idx: usize) -> (u64, u64) {
+        match self {
+            HistResolution::Log2 => {
+                if idx == 0 {
+                    (0, 1)
+                } else {
+                    (1u64 << (idx - 1), 1u64 << idx)
+                }
+            }
+            HistResolution::HighRes => {
+                let sub_buckets = 1usize << HIRES_SUB_BITS;
+                if idx < sub_buckets {
+                    (idx as u64, idx as u64 + 1)
+                } else {
+                    let octave = (idx >> HIRES_SUB_BITS) as u32 + 1;
+                    let sub = (idx & (sub_buckets - 1)) as u64;
+                    let width = 1u64 << (octave - HIRES_SUB_BITS);
+                    let lo = (1u64 << octave) + sub * width;
+                    (lo, lo + width)
+                }
+            }
+        }
+    }
+}
+
+/// A fixed-bucket log-scale duration histogram. Declare as a `static`;
+/// recording is gated by the span layer on [`crate::enabled`], so a
+/// disabled run never touches the buckets. [`Histogram::new`] buckets
+/// one octave per bucket; [`Histogram::high_resolution`] splits each
+/// octave into four linear sub-buckets for request-latency percentiles.
+pub struct Histogram {
+    name: &'static str,
+    resolution: HistResolution,
+    registered: AtomicBool,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    buckets: [AtomicU64; HIRES_HIST_BUCKETS],
+}
+
+impl Histogram {
+    /// A log₂ histogram with the given registry name.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self::with_resolution(name, HistResolution::Log2)
+    }
+
+    /// A quarter-octave histogram for sub-millisecond request timing
+    /// (see [`HistResolution::HighRes`]).
+    #[must_use]
+    pub const fn high_resolution(name: &'static str) -> Self {
+        Self::with_resolution(name, HistResolution::HighRes)
+    }
+
+    const fn with_resolution(name: &'static str, resolution: HistResolution) -> Self {
+        Self {
+            name,
+            resolution,
+            registered: AtomicBool::new(false),
             count: AtomicU64::new(0),
             total_ns: AtomicU64::new(0),
-            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            buckets: [const { AtomicU64::new(0) }; HIRES_HIST_BUCKETS],
         }
     }
 
@@ -165,12 +366,18 @@ impl Histogram {
         self.name
     }
 
+    /// The histogram's bucket resolution.
+    #[must_use]
+    pub fn resolution(&self) -> HistResolution {
+        self.resolution
+    }
+
     /// Records a duration in nanoseconds.
     pub fn record_ns(&'static self, ns: u64) {
         if !self.registered.load(Ordering::Relaxed) {
             register_histogram(self);
         }
-        let idx = (usize::try_from(64 - ns.leading_zeros()).unwrap_or(0)).min(HIST_BUCKETS - 1);
+        let idx = self.resolution.index_for(ns);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_ns.fetch_add(ns, Ordering::Relaxed);
@@ -198,12 +405,13 @@ impl Histogram {
     }
 
     fn snapshot(&'static self) -> HistogramSnapshot {
-        let mut buckets = [0u64; HIST_BUCKETS];
-        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
-            *out = b.load(Ordering::Relaxed);
-        }
+        let buckets = self.buckets[..self.resolution.bucket_count()]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
         HistogramSnapshot {
             name: self.name,
+            resolution: self.resolution,
             count: self.count(),
             total_ns: self.total_ns(),
             buckets,
@@ -222,27 +430,114 @@ pub struct CounterSnapshot {
     pub value: u64,
 }
 
+/// One gauge's name and level at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Registry name (dotted, e.g. `serve.queue_depth`).
+    pub name: &'static str,
+    /// Signed level summed across all shards.
+    pub value: i64,
+}
+
+/// The standard latency percentile set, extracted from a
+/// [`HistogramSnapshot`] by [`HistogramSnapshot::latency_percentiles`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Median latency in nanoseconds (interpolated).
+    pub p50_ns: f64,
+    /// 90th-percentile latency in nanoseconds (interpolated).
+    pub p90_ns: f64,
+    /// 99th-percentile latency in nanoseconds (interpolated).
+    pub p99_ns: f64,
+    /// 99.9th-percentile latency in nanoseconds (interpolated).
+    pub p999_ns: f64,
+}
+
 /// One histogram's buckets at snapshot time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Registry name (dotted, e.g. `par.chunk_ns`).
     pub name: &'static str,
+    /// Bucket resolution; determines `buckets.len()` and bounds.
+    pub resolution: HistResolution,
     /// Number of recorded durations.
     pub count: u64,
     /// Sum of recorded durations in nanoseconds.
     pub total_ns: u64,
-    /// Per-bucket counts; bucket `i` holds durations `< 2^i` ns and
-    /// `≥ 2^(i-1)` ns.
-    pub buckets: [u64; HIST_BUCKETS],
+    /// Per-bucket counts; bounds per bucket come from
+    /// [`HistResolution::bucket_bounds`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Interpolated percentile in nanoseconds for quantile `q` in
+    /// `[0, 1]`. Walks the cumulative bucket counts to the bucket
+    /// containing the target rank, then interpolates linearly inside
+    /// that bucket's `[lo, hi)` range — the log-bucket analogue of
+    /// nearest-rank-with-interpolation. Returns `0.0` for an empty
+    /// histogram. Values clamped into the top bucket at record time
+    /// interpolate within that bucket's nominal bounds, so the result
+    /// is always finite.
+    #[must_use]
+    pub fn percentile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum: u64 = 0;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if next as f64 >= target {
+                let (lo, hi) = self.resolution.bucket_bounds(idx);
+                let frac = ((target - cum as f64) / n as f64).clamp(0.0, 1.0);
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            cum = next;
+        }
+        // Unreachable when count equals the bucket sum; cover torn
+        // snapshots (count raced ahead of a bucket) with the top
+        // occupied bucket's upper bound.
+        let top = self.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+        {
+            self.resolution.bucket_bounds(top).1 as f64
+        }
+    }
+
+    /// The p50/p90/p99/p999 set (see [`Self::percentile_ns`]).
+    #[must_use]
+    pub fn latency_percentiles(&self) -> LatencyPercentiles {
+        LatencyPercentiles {
+            p50_ns: self.percentile_ns(0.50),
+            p90_ns: self.percentile_ns(0.90),
+            p99_ns: self.percentile_ns(0.99),
+            p999_ns: self.percentile_ns(0.999),
+        }
+    }
+
+    /// Mean recorded duration in nanoseconds (`0.0` when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
 }
 
 struct Registry {
     counters: Vec<&'static Counter>,
+    gauges: Vec<&'static Gauge>,
     histograms: Vec<&'static Histogram>,
 }
 
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
     counters: Vec::new(),
+    gauges: Vec::new(),
     histograms: Vec::new(),
 });
 
@@ -256,6 +551,15 @@ fn register_counter(c: &'static Counter) {
         .is_ok()
     {
         with_registry(|r| r.counters.push(c));
+    }
+}
+
+fn register_gauge(g: &'static Gauge) {
+    if g.registered
+        .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+    {
+        with_registry(|r| r.gauges.push(g));
     }
 }
 
@@ -305,6 +609,22 @@ pub fn counters_snapshot() -> Vec<CounterSnapshot> {
     out
 }
 
+/// All registered gauges, sorted by name.
+#[must_use]
+pub fn gauges_snapshot() -> Vec<GaugeSnapshot> {
+    let mut out: Vec<GaugeSnapshot> = with_registry(|r| {
+        r.gauges
+            .iter()
+            .map(|g| GaugeSnapshot {
+                name: g.name,
+                value: g.value(),
+            })
+            .collect()
+    });
+    out.sort_by_key(|s| s.name);
+    out
+}
+
 /// All registered histograms, sorted by name.
 #[must_use]
 pub fn histograms_snapshot() -> Vec<HistogramSnapshot> {
@@ -314,12 +634,15 @@ pub fn histograms_snapshot() -> Vec<HistogramSnapshot> {
     out
 }
 
-/// Zeroes every registered counter and histogram. Metrics stay
+/// Zeroes every registered counter, gauge, and histogram. Metrics stay
 /// registered, so a later snapshot still lists them (at zero).
 pub fn reset_metrics() {
     with_registry(|r| {
         for c in &r.counters {
             c.reset();
+        }
+        for g in &r.gauges {
+            g.reset();
         }
         for h in &r.histograms {
             h.reset();
@@ -334,6 +657,8 @@ mod tests {
     static TEST_COUNTER: Counter = Counter::work("test.metrics.counter");
     static TEST_DIAG: Counter = Counter::diag("test.metrics.diag");
     static TEST_HIST: Histogram = Histogram::new("test.metrics.hist");
+    static TEST_GAUGE: Gauge = Gauge::new("test.metrics.gauge");
+    static TEST_HIRES: Histogram = Histogram::high_resolution("test.metrics.hires");
 
     #[test]
     fn counter_totals_and_registration() {
@@ -376,6 +701,35 @@ mod tests {
     }
 
     #[test]
+    fn gauge_tracks_signed_level_across_threads() {
+        let _guard = crate::test_lock::hold();
+        TEST_GAUGE.reset();
+        TEST_GAUGE.add(3);
+        std::thread::scope(|scope| {
+            // Decrements from other threads land on other shards; the
+            // wrapping sum must still recover the signed level.
+            scope.spawn(|| {
+                for _ in 0..5 {
+                    TEST_GAUGE.decr();
+                }
+            });
+        });
+        assert_eq!(TEST_GAUGE.value(), -2);
+        TEST_GAUGE.incr();
+        assert_eq!(TEST_GAUGE.value(), -1);
+        let snap = gauges_snapshot();
+        let mine = snap
+            .iter()
+            .find(|s| s.name == "test.metrics.gauge")
+            .expect("registered on first add");
+        assert_eq!(mine.value, -1);
+        let names: Vec<_> = snap.iter().map(|s| s.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
     fn histogram_buckets_are_log2() {
         let _guard = crate::test_lock::hold();
         TEST_HIST.reset();
@@ -389,6 +743,8 @@ mod tests {
             .iter()
             .find(|s| s.name == "test.metrics.hist")
             .expect("registered on first record");
+        assert_eq!(mine.resolution, HistResolution::Log2);
+        assert_eq!(mine.buckets.len(), HIST_BUCKETS);
         assert_eq!(mine.buckets[0], 1);
         assert_eq!(mine.buckets[1], 1);
         assert_eq!(mine.buckets[11], 1);
@@ -397,13 +753,140 @@ mod tests {
     }
 
     #[test]
+    fn hires_buckets_split_octaves_linearly() {
+        let _guard = crate::test_lock::hold();
+        TEST_HIRES.reset();
+        // Exact small values.
+        TEST_HIRES.record_ns(0);
+        TEST_HIRES.record_ns(3);
+        // One octave, four sub-buckets: [8,10) [10,12) [12,14) [14,16).
+        TEST_HIRES.record_ns(8);
+        TEST_HIRES.record_ns(9);
+        TEST_HIRES.record_ns(10);
+        TEST_HIRES.record_ns(15);
+        TEST_HIRES.record_ns(u64::MAX); // clamped to the last bucket
+        let snap = histograms_snapshot();
+        let mine = snap
+            .iter()
+            .find(|s| s.name == "test.metrics.hires")
+            .expect("registered on first record");
+        assert_eq!(mine.resolution, HistResolution::HighRes);
+        assert_eq!(mine.buckets.len(), HIRES_HIST_BUCKETS);
+        assert_eq!(mine.buckets[0], 1);
+        assert_eq!(mine.buckets[3], 1);
+        assert_eq!(mine.buckets[8], 2); // 8 and 9 share [8,10)
+        assert_eq!(mine.buckets[9], 1); // 10 in [10,12)
+        assert_eq!(mine.buckets[11], 1); // 15 in [14,16)
+        assert_eq!(mine.buckets[HIRES_HIST_BUCKETS - 1], 1);
+        assert_eq!(mine.count, 7);
+        // Bounds tile the number line without gaps.
+        for idx in 0..HIRES_HIST_BUCKETS - 1 {
+            let (_, hi) = HistResolution::HighRes.bucket_bounds(idx);
+            let (next_lo, _) = HistResolution::HighRes.bucket_bounds(idx + 1);
+            assert_eq!(hi, next_lo, "gap after bucket {idx}");
+        }
+    }
+
+    #[test]
     fn reset_metrics_zeroes_but_keeps_registration() {
         let _guard = crate::test_lock::hold();
         TEST_COUNTER.add(1);
+        TEST_GAUGE.incr();
         reset_metrics();
         assert_eq!(TEST_COUNTER.value(), 0);
+        assert_eq!(TEST_GAUGE.value(), 0);
         assert!(counters_snapshot()
             .iter()
             .any(|s| s.name == "test.metrics.counter"));
+        assert!(gauges_snapshot()
+            .iter()
+            .any(|s| s.name == "test.metrics.gauge"));
+    }
+
+    /// Builds a detached snapshot for percentile tests without touching
+    /// the global registry.
+    fn snap_with(resolution: HistResolution, samples: &[u64]) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; resolution.bucket_count()];
+        let mut total = 0u64;
+        for &s in samples {
+            buckets[resolution.index_for(s)] += 1;
+            total = total.saturating_add(s);
+        }
+        HistogramSnapshot {
+            name: "test.metrics.percentiles",
+            resolution,
+            count: samples.len() as u64,
+            total_ns: total,
+            buckets,
+        }
+    }
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_zero() {
+        let snap = snap_with(HistResolution::HighRes, &[]);
+        let p = snap.latency_percentiles();
+        assert_eq!(p.p50_ns, 0.0);
+        assert_eq!(p.p999_ns, 0.0);
+        assert_eq!(snap.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_of_single_bucket_mass_interpolate_within_it() {
+        // 100 samples, all exactly 1000 ns → hires bucket [896, 1024)
+        // (octave [512, 1024), quarter-width 128, fourth sub-bucket).
+        let snap = snap_with(HistResolution::HighRes, &[1000; 100]);
+        let (lo, hi) = snap
+            .resolution
+            .bucket_bounds(snap.resolution.index_for(1000));
+        assert_eq!((lo, hi), (896, 1024));
+        let p = snap.latency_percentiles();
+        for v in [p.p50_ns, p.p90_ns, p.p99_ns, p.p999_ns] {
+            assert!(v >= lo as f64 && v < hi as f64, "{v} outside [{lo},{hi})");
+        }
+        // Higher quantiles interpolate further into the bucket.
+        assert!(p.p50_ns < p.p99_ns);
+    }
+
+    #[test]
+    fn percentiles_of_saturated_top_bucket_stay_finite() {
+        let snap = snap_with(HistResolution::Log2, &[u64::MAX; 10]);
+        let (lo, hi) = HistResolution::Log2.bucket_bounds(HIST_BUCKETS - 1);
+        let p = snap.latency_percentiles();
+        for v in [p.p50_ns, p.p99_ns, p.p999_ns] {
+            assert!(v.is_finite());
+            assert!(v >= lo as f64 && v <= hi as f64);
+        }
+    }
+
+    #[test]
+    fn percentiles_of_exact_boundary_samples() {
+        // 1024 sits exactly on a log2 bucket boundary → bucket 11,
+        // range [1024, 2048).
+        let snap = snap_with(HistResolution::Log2, &[1024; 4]);
+        let p50 = snap.percentile_ns(0.5);
+        assert!((1024.0..2048.0).contains(&p50), "{p50}");
+        // q=0 lands on the bucket's lower bound exactly.
+        assert_eq!(snap.percentile_ns(0.0), 1024.0);
+        // q=1 lands on the bucket's upper bound exactly.
+        assert_eq!(snap.percentile_ns(1.0), 2048.0);
+    }
+
+    #[test]
+    fn percentiles_split_across_buckets() {
+        // 90 fast samples at 100 ns, 10 slow at ~1 ms: p50 must sit in
+        // the fast bucket, p99 in the slow one.
+        let mut samples = vec![100u64; 90];
+        samples.extend_from_slice(&[1_000_000; 10]);
+        let snap = snap_with(HistResolution::HighRes, &samples);
+        let p = snap.latency_percentiles();
+        let (fast_lo, fast_hi) = snap
+            .resolution
+            .bucket_bounds(snap.resolution.index_for(100));
+        let (slow_lo, slow_hi) = snap
+            .resolution
+            .bucket_bounds(snap.resolution.index_for(1_000_000));
+        assert!(p.p50_ns >= fast_lo as f64 && p.p50_ns < fast_hi as f64);
+        assert!(p.p99_ns >= slow_lo as f64 && p.p99_ns < slow_hi as f64);
+        assert!(p.p50_ns < p.p90_ns || p.p90_ns < p.p99_ns);
     }
 }

@@ -21,7 +21,12 @@ pub fn connect(addr: &str) -> Result<TcpStream, Error> {
     let mut last = None;
     for _ in 0..100 {
         match TcpStream::connect(addr) {
-            Ok(stream) => return Ok(stream),
+            Ok(stream) => {
+                // Request lines are small; Nagle would stall pipelined
+                // writers for a delayed-ACK interval per line.
+                drop(stream.set_nodelay(true));
+                return Ok(stream);
+            }
             Err(e) => {
                 last = Some(e);
                 std::thread::sleep(Duration::from_millis(20));

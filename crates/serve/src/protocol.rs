@@ -35,6 +35,18 @@ pub static REQUEST_LINES: maly_obs::Counter = maly_obs::Counter::work("serve.req
 /// Individual queries evaluated out of batch (array) lines.
 pub static BATCHED_QUERIES: maly_obs::Counter = maly_obs::Counter::work("serve.batched_queries");
 
+/// End-to-end request latency (parse through serialized response),
+/// attached to the `serve.request` span.
+pub static REQUEST_NS: maly_obs::Histogram =
+    maly_obs::Histogram::high_resolution("serve.request_ns");
+/// Request-line JSON parse latency (`serve.parse` span).
+pub static PARSE_NS: maly_obs::Histogram = maly_obs::Histogram::high_resolution("serve.parse_ns");
+/// Evaluation latency for the line's queries (`serve.evaluate` span).
+pub static EVALUATE_NS: maly_obs::Histogram =
+    maly_obs::Histogram::high_resolution("serve.evaluate_ns");
+/// Response serialization latency (`serve.write` span).
+pub static WRITE_NS: maly_obs::Histogram = maly_obs::Histogram::high_resolution("serve.write_ns");
+
 /// The response object for one evaluated request.
 #[must_use]
 pub fn response_json(id: &Json, result: &Result<QueryResponse, Error>) -> Json {
@@ -71,6 +83,79 @@ pub fn error_line(error: &Error) -> String {
     error_json(&Json::Null, error).write()
 }
 
+/// The serialized response line for a transport-level failure where
+/// some request `id` could still be attributed (e.g. recovered from an
+/// oversized line's prefix via [`recover_id`]).
+#[must_use]
+pub fn error_line_with_id(id: &Json, error: &Error) -> String {
+    error_json(id, error).write()
+}
+
+/// Best-effort recovery of the request `id` from a possibly-truncated
+/// line prefix.
+///
+/// An oversized request line is rejected before it fully arrives, so it
+/// cannot be parsed as JSON — but clients conventionally put the `id`
+/// first, so its bytes are almost always inside the retained prefix.
+/// This scans for the first `"id"` key and reads the JSON scalar after
+/// the colon (number, string, boolean, or `null`). Anything
+/// unrecognized or itself truncated degrades to `null`, exactly what
+/// the rejection would have carried anyway.
+#[must_use]
+pub fn recover_id(prefix: &str) -> Json {
+    let bytes = prefix.as_bytes();
+    let Some(key) = prefix.find("\"id\"") else {
+        return Json::Null;
+    };
+    let mut i = key + 4;
+    while bytes.get(i).is_some_and(u8::is_ascii_whitespace) {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b':') {
+        return Json::Null;
+    }
+    i += 1;
+    while bytes.get(i).is_some_and(u8::is_ascii_whitespace) {
+        i += 1;
+    }
+    let rest = &prefix[i.min(prefix.len())..];
+    match rest.as_bytes().first() {
+        Some(b'"') => {
+            // A string id: take up to the closing unescaped quote; a
+            // truncated string never closes and degrades to null.
+            let inner = &rest[1..];
+            let mut out = String::new();
+            let mut chars = inner.chars();
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' => return Json::Str(out),
+                    '\\' => match chars.next() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some(other) => {
+                            out.push('\\');
+                            out.push(other);
+                        }
+                        None => return Json::Null,
+                    },
+                    c => out.push(c),
+                }
+            }
+            Json::Null
+        }
+        Some(b'n') if rest.starts_with("null") => Json::Null,
+        Some(b't') if rest.starts_with("true") => Json::Bool(true),
+        Some(b'f') if rest.starts_with("false") => Json::Bool(false),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let end = rest
+                .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+                .unwrap_or(rest.len());
+            rest[..end].parse::<f64>().map_or(Json::Null, Json::Num)
+        }
+        _ => Json::Null,
+    }
+}
+
 /// Splits a request object into its echoed `id` and parsed query.
 fn parse_request(v: &Json) -> (Json, Result<Query, Error>) {
     let id = v.get("id").cloned().unwrap_or(Json::Null);
@@ -92,9 +177,13 @@ fn parse_request(v: &Json) -> (Json, Result<Query, Error>) {
 /// (`maly_model::plan`); the served bytes are identical either way.
 #[must_use]
 pub fn handle_line(exec: &Executor, ctx: &EvalContext, line: &str) -> String {
-    let _span = maly_obs::span("serve.request");
+    let _span = maly_obs::span("serve.request").with_histogram(&REQUEST_NS);
     REQUEST_LINES.incr();
-    let parsed = match json::parse(line) {
+    let parsed = {
+        let _parse = maly_obs::span("serve.parse").with_histogram(&PARSE_NS);
+        json::parse(line)
+    };
+    let parsed = match parsed {
         Ok(v) => v,
         Err(message) => return error_line(&Error::Parse { message }),
     };
@@ -107,7 +196,12 @@ pub fn handle_line(exec: &Executor, ctx: &EvalContext, line: &str) -> String {
                 .filter_map(|(_, q)| q.as_ref().ok().cloned())
                 .collect();
             BATCHED_QUERIES.add(queries.len() as u64);
-            let mut results = Query::evaluate_batch(exec, ctx, &queries).into_iter();
+            let mut results = {
+                let _eval = maly_obs::span("serve.evaluate").with_histogram(&EVALUATE_NS);
+                Query::evaluate_batch(exec, ctx, &queries)
+            }
+            .into_iter();
+            let _write = maly_obs::span("serve.write").with_histogram(&WRITE_NS);
             let responses: Vec<Json> = requests
                 .into_iter()
                 .map(|(id, q)| match q {
@@ -125,7 +219,14 @@ pub fn handle_line(exec: &Executor, ctx: &EvalContext, line: &str) -> String {
         obj => {
             let (id, query) = parse_request(&obj);
             match query {
-                Ok(q) => response_line(&id, &q.evaluate_with(exec, ctx)),
+                Ok(q) => {
+                    let result = {
+                        let _eval = maly_obs::span("serve.evaluate").with_histogram(&EVALUATE_NS);
+                        q.evaluate_with(exec, ctx)
+                    };
+                    let _write = maly_obs::span("serve.write").with_histogram(&WRITE_NS);
+                    response_line(&id, &result)
+                }
                 Err(e) => error_json(&id, &e).write(),
             }
         }
@@ -211,6 +312,28 @@ mod tests {
             Some("missing-field")
         );
         assert_eq!(v.get("id").and_then(Json::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn id_recovery_reads_scalars_from_truncated_prefixes() {
+        assert_eq!(recover_id("{\"id\": 7, \"query\": {\"type"), Json::Num(7.0));
+        assert_eq!(recover_id("{\"id\":-2.5e3,\"query"), Json::Num(-2500.0));
+        assert_eq!(
+            recover_id("{\"id\": \"req-9\", \"query"),
+            Json::Str("req-9".to_string())
+        );
+        assert_eq!(
+            recover_id("{\"id\": \"a\\\"b\", \"query"),
+            Json::Str("a\"b".to_string())
+        );
+        assert_eq!(recover_id("{\"id\": true,"), Json::Bool(true));
+        assert_eq!(recover_id("{\"id\": null,"), Json::Null);
+        // Unrecoverable prefixes degrade to null: no id key at all, a
+        // string id cut mid-way, or a non-scalar value.
+        assert_eq!(recover_id("{\"query\": {\"type\": \"table3\""), Json::Null);
+        assert_eq!(recover_id("{\"id\": \"trunca"), Json::Null);
+        assert_eq!(recover_id("{\"id\": [1,"), Json::Null);
+        assert_eq!(recover_id(""), Json::Null);
     }
 
     #[test]

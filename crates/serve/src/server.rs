@@ -31,12 +31,16 @@ use crate::protocol;
 
 /// Connections accepted (diagnostic: depends on client behavior).
 pub static CONNECTIONS: maly_obs::Counter = maly_obs::Counter::diag("serve.connections");
-/// Connections refused because the parked queue was full.
-pub static REJECTED_OVERLOAD: maly_obs::Counter =
-    maly_obs::Counter::diag("serve.rejected_overload");
+/// Connections refused because the parked queue was full (answered
+/// `overloaded` and closed — backpressure the client can observe).
+pub static REFUSED: maly_obs::Counter = maly_obs::Counter::diag("serve.refused");
 /// Request lines refused for exceeding the size bound.
 pub static REJECTED_OVERSIZE: maly_obs::Counter =
     maly_obs::Counter::diag("serve.rejected_oversize");
+/// Accepted connections parked waiting for a worker, right now.
+pub static QUEUE_DEPTH: maly_obs::Gauge = maly_obs::Gauge::new("serve.queue_depth");
+/// Connections currently being served by a worker.
+pub static INFLIGHT: maly_obs::Gauge = maly_obs::Gauge::new("serve.inflight");
 
 /// State shared between the accept loop, the workers, and handles.
 #[derive(Debug)]
@@ -143,6 +147,10 @@ impl Server {
                 break;
             }
             let Ok(stream) = stream else { continue };
+            // Responses are small single lines; leaving Nagle on would
+            // trade up to a delayed-ACK interval (~40 ms) of latency
+            // for batching we never benefit from.
+            drop(stream.set_nodelay(true));
             CONNECTIONS.incr();
             let rejected = {
                 let Ok(mut queue) = self.shared.queue.lock() else {
@@ -152,6 +160,7 @@ impl Server {
                     Some(stream)
                 } else {
                     queue.push_back(stream);
+                    QUEUE_DEPTH.incr();
                     None
                 }
             };
@@ -161,7 +170,7 @@ impl Server {
                     // Backpressure the client can see: answer
                     // `overloaded` and close instead of queueing
                     // without bound.
-                    REJECTED_OVERLOAD.incr();
+                    REFUSED.incr();
                     let line = protocol::error_line(&Error::Overloaded);
                     drop(write_line(&mut stream, &line));
                 }
@@ -179,6 +188,7 @@ impl Server {
                 };
                 loop {
                     if let Some(stream) = queue.pop_front() {
+                        QUEUE_DEPTH.decr();
                         break Some(stream);
                     }
                     if self.shared.shutdown.load(Ordering::SeqCst) {
@@ -191,7 +201,9 @@ impl Server {
                 }
             };
             let Some(stream) = stream else { return };
+            INFLIGHT.incr();
             handle_connection(stream, exec, self.config.max_line_bytes);
+            INFLIGHT.decr();
         }
     }
 }
@@ -222,9 +234,16 @@ fn handle_connection(stream: TcpStream, exec: &Executor, max_line_bytes: usize) 
             buf.pop();
         } else if buf.len() as u64 >= bound {
             REJECTED_OVERSIZE.incr();
-            let line = protocol::error_line(&Error::PayloadTooLarge {
-                limit: max_line_bytes,
-            });
+            // Best-effort id echo: the full line never arrives, but the
+            // `id` key conventionally leads the request object, so its
+            // bytes usually sit inside the retained prefix.
+            let id = protocol::recover_id(&String::from_utf8_lossy(&buf));
+            let line = protocol::error_line_with_id(
+                &id,
+                &Error::PayloadTooLarge {
+                    limit: max_line_bytes,
+                },
+            );
             drop(write_line(&mut writer, &line));
             return; // The rest of the oversized line is unrecoverable.
         }

@@ -249,6 +249,13 @@ fn oversized_payloads_are_rejected_and_the_connection_closed() {
             .and_then(Json::as_str),
         Some("payload-too-large")
     );
+    // Best-effort id echo: `"id": 1` sits inside the retained prefix of
+    // the oversized line, so the rejection is attributable.
+    assert_eq!(
+        v.get("id").and_then(Json::as_f64),
+        Some(1.0),
+        "the id is recovered from the truncated prefix: {got:?}"
+    );
     // The server closes after an oversized line: a follow-up on the
     // same connection cannot be answered, but a fresh connection works.
     let again = client::query_lines(&addr, &[request_line(2.0, &Query::Table3Row { id: 1 })])
@@ -416,6 +423,146 @@ fn request_work_counters_track_lines_and_batches() {
     assert_eq!(maly_model::context::QUERIES.value() - queries_before, 3);
     handle.shutdown();
     join.join().expect("server thread exits cleanly");
+}
+
+/// Polls `cond` for up to ~2 s; panics (naming `what`) on timeout.
+fn wait_until(cond: impl Fn() -> bool, what: &str) {
+    for _ in 0..400 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn queue_full_refusals_answer_overloaded_and_count() {
+    use maly_serve::server::{INFLIGHT, QUEUE_DEPTH, REFUSED};
+    let _guard = lock();
+    let (handle, join) = start(ServeConfig::default().workers(1).queue_capacity(1));
+    let addr = handle.addr().to_string();
+    let refused0 = REFUSED.value();
+    // Occupy the single worker: it blocks reading this idle connection.
+    let a = client::connect(&addr).expect("first connection");
+    wait_until(
+        || INFLIGHT.value() >= 1,
+        "the worker to pick up the first connection",
+    );
+    // Fill the one queue slot with a second idle connection.
+    let b = client::connect(&addr).expect("second connection");
+    wait_until(
+        || QUEUE_DEPTH.value() >= 1,
+        "the second connection to park in the queue",
+    );
+    // The third connection finds the queue full: the server answers
+    // `overloaded`, closes, and counts the refusal.
+    let c = client::connect(&addr).expect("third connection");
+    let mut reader = std::io::BufReader::new(c);
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("refusal line");
+    let v = json::parse(line.trim_end()).expect("protocol JSON");
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("overloaded"),
+        "{line}"
+    );
+    assert_eq!(REFUSED.value() - refused0, 1);
+    drop(reader);
+    drop(a);
+    drop(b);
+    wait_until(
+        || INFLIGHT.value() == 0 && QUEUE_DEPTH.value() == 0,
+        "the held connections to drain",
+    );
+    handle.shutdown();
+    join.join().expect("server thread exits cleanly");
+}
+
+/// A deterministic workload for the stats goldens: every query family
+/// whose Work counters are independent of cache warmth (no surface
+/// tiles — `model.tile_cells` only counts cache *misses*, and the
+/// process-wide tile cache outlives each per-width server).
+fn stats_workload() -> Vec<String> {
+    let element =
+        |id: f64, q: &Query| Json::obj(vec![("id", Json::Num(id)), ("query", q.to_json())]).write();
+    vec![
+        request_line(1.0, &Query::Table3Row { id: 1 }),
+        request_line(2.0, &Query::Table3),
+        request_line(
+            3.0,
+            &Query::Roadmap {
+                from: 1990,
+                to: 1994,
+            },
+        ),
+        request_line(
+            4.0,
+            &Query::McYield {
+                products: 2,
+                volume_each: 1_500.0,
+                replications: 8,
+                jitter: 0.25,
+                seed: 7,
+            },
+        ),
+        // A duplicate-heavy batch line: dedup fan-out is part of the
+        // deterministic work ledger.
+        format!(
+            "[{}, {}, {}, {}]",
+            element(5.0, &Query::Table3Row { id: 2 }),
+            element(
+                6.0,
+                &Query::ProductMix {
+                    products: 4,
+                    volume_each: 1_200.0,
+                    mono_volume: 60_000.0,
+                }
+            ),
+            element(7.0, &Query::Table3Row { id: 2 }),
+            element(8.0, &Query::Table3Row { id: 2 }),
+        ),
+        request_line(9.0, &Query::ServerStats),
+    ]
+}
+
+#[test]
+fn server_stats_work_counters_are_identical_at_1_2_8_workers() {
+    let _guard = lock();
+    // Warm every once-per-process artifact (calibration fits) before
+    // the per-width runs, so the first width doesn't count one-time
+    // work the later widths skip.
+    Query::Table3
+        .evaluate_with(&Executor::serial(), EvalContext::process())
+        .expect("warmup");
+    let lines = stats_workload();
+    let mut sections: Vec<String> = Vec::new();
+    for workers in [1usize, 2, 8] {
+        maly_obs::reset_metrics();
+        let (handle, join) = start(ServeConfig::default().workers(workers));
+        let addr = handle.addr().to_string();
+        let got = client::query_lines(&addr, &lines).expect("round trip");
+        let stats = got.last().expect("stats response");
+        let v = json::parse(stats).expect("protocol JSON");
+        let ok = v.get("ok").expect("stats ok payload");
+        assert_eq!(ok.get("kind").and_then(Json::as_str), Some("server_stats"));
+        let work = ok.get("work").expect("work section").write();
+        assert!(work.contains("\"model.queries\""), "{work}");
+        assert!(work.contains("\"serve.request_lines\""), "{work}");
+        sections.push(work);
+        handle.shutdown();
+        join.join().expect("server thread exits cleanly");
+    }
+    assert_eq!(
+        sections[0], sections[1],
+        "work counters must be bit-identical at 1 vs 2 workers"
+    );
+    assert_eq!(
+        sections[0], sections[2],
+        "work counters must be bit-identical at 1 vs 8 workers"
+    );
 }
 
 #[test]

@@ -22,8 +22,9 @@ use crate::rules::{Rule, Violation};
 use crate::scan::{classify, Line};
 
 /// Crates whose entire output is diagnostic, not result data: the
-/// observability layer, the timing harness, and this linter.
-pub const EXEMPT_CRATES: &[&str] = &["maly-obs", "maly-bench", "xtask"];
+/// observability layer, the timing harness, the load generator, and
+/// this linter.
+pub const EXEMPT_CRATES: &[&str] = &["maly-bench", "maly-loadgen", "maly-obs", "xtask"];
 
 /// Map-typed storage: `HashMap` or `HashSet` (std's randomized-hasher
 /// collections; `BTreeMap`/`BTreeSet` iterate sorted and are fine).

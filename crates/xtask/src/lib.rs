@@ -82,6 +82,7 @@ pub const PANIC_BUDGETS: &[(&str, usize)] = &[
     ("maly-cost-optim", 0),
     ("maly-fabline-sim", 11),
     ("maly-lanes", 0),
+    ("maly-loadgen", 0),
     ("maly-model", 0),
     ("maly-obs", 0),
     ("maly-paper-data", 0),
@@ -120,11 +121,12 @@ pub const UNIT_ESCAPE_BUDGETS: &[(&str, usize)] = &[
 ];
 
 /// Crates sanctioned to read the clock and write to stderr directly:
-/// the observability layer itself, the timing harness, and this linter.
+/// the observability layer itself, the timing harness, the load
+/// generator (whose product *is* client-side timing), and this linter.
 /// Everywhere else the raw-timing rule applies. The determinism family
 /// exempts the same set (see [`determinism::EXEMPT_CRATES`]): their
 /// output is diagnostic, not result data.
-pub const RAW_TIMING_CRATES: &[&str] = &["maly-obs", "maly-bench", "xtask"];
+pub const RAW_TIMING_CRATES: &[&str] = &["maly-bench", "maly-loadgen", "maly-obs", "xtask"];
 
 /// Per-crate panic accounting for the rendered report.
 #[derive(Debug, Clone, PartialEq, Eq)]
