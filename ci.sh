@@ -42,6 +42,7 @@ cat > target/ci_requests.jsonl <<'REQ'
 [{"id": 2, "query": {"type": "scenario2_sweep", "x": 2.4, "steps": 11}}, {"id": 3, "query": {"type": "product_mix", "products": 8}}]
 [{"id": 4, "query": {"type": "surface_tile", "lambda_min": 0.52, "lambda_max": 0.92, "lambda_steps": 7, "n_tr_min": 8.0e4, "n_tr_max": 6.0e5, "n_tr_steps": 6}}]
 [{"id": 5, "query": {"type": "surface_tile", "lambda_min": 0.52, "lambda_max": 0.92, "lambda_steps": 7, "n_tr_min": 8.0e4, "n_tr_max": 6.0e5, "n_tr_steps": 6}}]
+{"v": 1, "id": 6, "query": {"type": "chiplet_partition_sweep", "transistors": 2.0e6, "volume": 50000}}
 REQ
 cargo run -q -p maly-cli -- query --file target/ci_requests.jsonl \
     --trace-out target/trace_serve_ci.ndjson > /dev/null
@@ -51,7 +52,23 @@ grep -q '"name":"model.queries"' target/trace_serve_ci.ndjson
 # counter in the exported trace, and its repeat (id 5) the hit counter.
 grep -q '"name":"model.tile_misses"' target/trace_serve_ci.ndjson
 grep -q '"name":"model.tile_hits"' target/trace_serve_ci.ndjson
+# The served chiplet sweep (id 6, sent under an explicit v:1 envelope)
+# must surface the partition-search counters in the same trace.
+grep -q '"name":"chiplet.partitions"' target/trace_serve_ci.ndjson
+grep -q '"name":"chiplet.die_points"' target/trace_serve_ci.ndjson
 cargo run -q -p xtask -- trace-check target/trace_serve_ci.ndjson
+
+echo "== chiplet partition goldens (1/2/8 threads, MALY_OBS=1)"
+# The reference optimum (4 chiplets + 0 spares at λ = 1.2 µm,
+# 64.95 $/system) must be bit-identical whatever the executor width,
+# with tracing on.
+for T in 1 2 8; do
+    MALY_OBS=1 MALY_PAR_THREADS=$T cargo test -q -p maly-chiplet \
+        sweep_golden_reference_partition
+    MALY_OBS=1 MALY_PAR_THREADS=$T cargo test -q -p maly-model \
+        chiplet_sweep_matches_direct_evaluation_and_pins_the_optimum
+done
+MALY_OBS=1 cargo test -q -p maly-model --test wire_golden
 
 echo "== trace-check (sample CLI --trace-out ndjson)"
 mkdir -p target

@@ -412,6 +412,57 @@ fn bench_fused_batch() {
     record_speedup("batch_4tiles_unfused_vs_fused", unfused, fused);
 }
 
+fn bench_chiplet() {
+    use maly_chiplet::{ChipletParameters, SweepSpec, DIE_POINTS, PARTITIONS};
+
+    group("sweeps/chiplet");
+    let params = ChipletParameters::fig8_mcm();
+    // A denser grid than the ISSUE 10 reference (31 λ × 16 n × 4 s)
+    // so the candidate loop is worth scheduling across cores.
+    let spec = SweepSpec {
+        system_transistors: TransistorCount::new(2.0e6).expect("positive"),
+        volume: 50_000,
+        lambda_min: Microns::new(0.5).expect("positive"),
+        lambda_max: Microns::new(1.2).expect("positive"),
+        lambda_steps: 31,
+        max_chiplets: 16,
+        max_spares: 3,
+    };
+    let serial_exec = Executor::serial();
+    let par_exec = parallel_executor();
+    // Correctness before timing: the parallel partition search must be
+    // bit-identical to the serial one.
+    assert_eq!(
+        params.sweep(&spec, &serial_exec).expect("feasible sweep"),
+        params.sweep(&spec, &par_exec).expect("feasible sweep"),
+        "parallel partition sweep must be bit-identical to serial"
+    );
+    // Work-counter deltas from one controlled run: deterministic grid
+    // size, diffed exactly by bench-check.
+    let partitions0 = PARTITIONS.value();
+    let die_points0 = DIE_POINTS.value();
+    black_box(params.sweep(&spec, &serial_exec).expect("feasible sweep"));
+    record_counter(
+        "partition_sweep_31x16x4/chiplet_partitions",
+        PARTITIONS.value() - partitions0,
+    );
+    record_counter(
+        "partition_sweep_31x16x4/chiplet_die_points",
+        DIE_POINTS.value() - die_points0,
+    );
+    let (serial, parallel) = bench_pair(
+        "partition_sweep_31x16x4/serial",
+        || {
+            black_box(params.sweep(&spec, &serial_exec).expect("feasible sweep"));
+        },
+        "partition_sweep_31x16x4/parallel",
+        || {
+            black_box(params.sweep(&spec, &par_exec).expect("feasible sweep"));
+        },
+    );
+    record_speedup("partition_sweep_31x16x4", serial, parallel);
+}
+
 fn bench_eq4_cache() {
     group("eq4_cache");
     let wafer = Wafer::six_inch();
@@ -491,6 +542,7 @@ fn main() {
     bench_grid_min();
     bench_mc();
     bench_fused_batch();
+    bench_chiplet();
     bench_eq4_cache();
     bench_obs_work();
     write_json_if_requested();

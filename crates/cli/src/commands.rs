@@ -32,6 +32,8 @@ USAGE:
   silicon-cost optimize <cost flags> [--from UM] [--to UM]
   silicon-cost wafer    --die-area CM2 [--radius CM] [--map]
   silicon-cost mix      [--products N] [--volume WAFERS] [--mono-volume WAFERS]
+  silicon-cost chiplet  --transistors N [--volume SYSTEMS] [--from UM] [--to UM] \\
+                        [--steps N] [--max-chiplets N] [--max-spares N]
   silicon-cost roadmap  [--from YEAR] [--to YEAR]
   silicon-cost table3
   silicon-cost serve    [--addr HOST:PORT] [--threads N]
@@ -45,6 +47,9 @@ query sends the request lines in a file to a server — or, without
 stats asks a live server for its metrics snapshot (work/diag counters,
 gauges, latency percentiles) and prints it as one stats ndjson record,
 appendable to a trace file for `xtask trace-check`.
+chiplet searches multi-die partitions of an N-transistor system (die
+size × chiplet count × spares over a λ window) for the cheapest
+$/system on the fig8 MCM calibration (see DESIGN.md §15).
 Every command also accepts --trace-out FILE: enable maly-obs and write
 an ndjson trace (spans, counters, histograms) of the run to FILE.
 Batched queries (JSON-array lines, sweep, query --file) compile to an
@@ -73,6 +78,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
             "optimize" => optimize(&flags),
             "wafer" => wafer(&flags),
             "mix" => mix(&flags),
+            "chiplet" => chiplet(&flags),
             "roadmap" => roadmap(&flags),
             "table3" => table3(),
             "serve" => serve(&flags),
@@ -102,6 +108,7 @@ fn command_span_name(command: &str) -> &'static str {
         "optimize" => "cli.optimize",
         "wafer" => "cli.wafer",
         "mix" => "cli.mix",
+        "chiplet" => "cli.chiplet",
         "roadmap" => "cli.roadmap",
         "table3" => "cli.table3",
         "serve" => "cli.serve",
@@ -308,6 +315,57 @@ fn mix(flags: &Flags) -> Result<String, String> {
     Ok(t.render())
 }
 
+fn chiplet(flags: &Flags) -> Result<String, String> {
+    let QueryResponse::ChipletSweep(sweep) = evaluate(&Query::ChipletPartitionSweep {
+        transistors: flags.require_f64("transistors")?,
+        volume: flags.usize_or("volume", 100_000)? as u64,
+        lambda_min: flags.f64_or("from", 0.5)?,
+        lambda_max: flags.f64_or("to", 1.2)?,
+        lambda_steps: flags.usize_or("steps", 15)?,
+        max_chiplets: flags.usize_or("max-chiplets", 8)?,
+        max_spares: flags.usize_or("max-spares", 1)?,
+    })?
+    else {
+        return Err("unexpected response kind".to_string());
+    };
+    let mut t = TextTable::new(vec![
+        "chiplets",
+        "spares",
+        "λ [µm]",
+        "N_tr/die",
+        "KGD die [$]",
+        "Y_sys",
+        "$/system",
+    ]);
+    for col in 1..7 {
+        t.align(col, Alignment::Right);
+    }
+    for r in &sweep.per_chiplet_count {
+        t.row(vec![
+            format!("{}", r.chiplets),
+            format!("{}", r.spares),
+            format!("{:.3}", r.lambda_um),
+            format!("{:.2e}", r.transistors_per_chiplet),
+            format!("{:.2}", r.known_good_die_cost),
+            format!("{:.3}", r.system_yield),
+            format!("{:.2}", r.cost_per_system),
+        ]);
+    }
+    let best = &sweep.best;
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\n\nbest partition: {} chiplet(s) + {} spare(s) at λ = {:.3} µm \
+         → {:.2} $/system  ({} of {} candidates feasible)",
+        best.chiplets,
+        best.spares,
+        best.lambda_um,
+        best.cost_per_system,
+        sweep.feasible,
+        sweep.evaluated,
+    ));
+    Ok(out)
+}
+
 fn roadmap(flags: &Flags) -> Result<String, String> {
     let from = flags.usize_or("from", 1986)? as u32;
     let to = flags.usize_or("to", 2002)? as u32;
@@ -486,6 +544,24 @@ mod tests {
     }
 
     #[test]
+    fn chiplet_command_reports_the_reference_optimum() {
+        let out = run(&argv("chiplet --transistors 2e6 --volume 50000")).unwrap();
+        assert!(
+            out.contains("best partition: 4 chiplet(s) + 0 spare(s)"),
+            "{out}"
+        );
+        assert!(out.contains("64.95"), "{out}");
+        assert!(out.contains("240 of 240 candidates feasible"), "{out}");
+    }
+
+    #[test]
+    fn chiplet_command_requires_transistors_and_validates() {
+        assert!(run(&argv("chiplet")).unwrap_err().contains("--transistors"));
+        let err = run(&argv("chiplet --transistors 2e6 --max-chiplets 0")).unwrap_err();
+        assert!(err.contains("chiplets"), "{err}");
+    }
+
+    #[test]
     fn roadmap_command_projects_years() {
         let out = run(&argv("roadmap --from 1990 --to 1998")).unwrap();
         assert!(out.contains("1990"));
@@ -513,7 +589,7 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 2, "{out}");
         assert!(lines[0].contains("\"ok\""));
-        assert!(lines[1].contains("\"ok\"") && lines[1].contains("unknown-query-type"));
+        assert!(lines[1].contains("\"ok\"") && lines[1].contains("unsupported-query"));
     }
 
     #[test]

@@ -56,11 +56,12 @@ pub const WORK_WHITELIST: &[&str] = &[
     "serve.request_lines",
 ];
 
-/// The four workload families, in report order. Singles land in the
+/// The five workload families, in report order. Singles land in the
 /// `serve/single` bench group, batch lines in `serve/batch`.
 const KINDS: &[(&str, &str)] = &[
     ("product", "serve/single"),
     ("table3_row", "serve/single"),
+    ("chiplet_partition", "serve/single"),
     ("tile_dup", "serve/batch"),
     ("mixed", "serve/batch"),
 ];
@@ -229,6 +230,15 @@ fn warmup(addr: &str) -> Result<(), Error> {
         products: 4,
         volume_each: 1_000.0,
         mono_volume: 50_000.0,
+    });
+    queries.push(Query::ChipletPartitionSweep {
+        transistors: 2.0e6,
+        volume: 100_000,
+        lambda_min: 0.5,
+        lambda_max: 1.2,
+        lambda_steps: 8,
+        max_chiplets: 6,
+        max_spares: 1,
     });
     let lines: Vec<String> = queries
         .iter()
@@ -400,11 +410,13 @@ fn workload(seed: u64, conn: u64, requests: usize) -> Vec<Request> {
     for i in 0..requests {
         let id = (conn * 1_000_000 + i as u64) as f64;
         let roll = rng.next_u64() % 100;
-        out.push(if roll < 35 {
+        out.push(if roll < 30 {
             single(id, 0, &Query::Product(product_spec(&mut rng)))
-        } else if roll < 60 {
+        } else if roll < 52 {
             single(id, 1, &table3_row(&mut rng))
-        } else if roll < 80 {
+        } else if roll < 64 {
+            single(id, 2, &chiplet_sweep(&mut rng))
+        } else if roll < 82 {
             tile_dup_batch(id, &mut rng)
         } else {
             mixed_batch(id, &mut rng)
@@ -432,7 +444,7 @@ fn tile_dup_batch(id: f64, rng: &mut Xoshiro256PlusPlus) -> Request {
         .map(|j| element(id + j as f64 / 10.0, &tile))
         .collect();
     elements.push(element(id + 0.9, &table3_row(rng)));
-    batch(elements, 2)
+    batch(elements, 3)
 }
 
 /// A mixed batch: a duplicated product, a tile, and a product-mix
@@ -452,7 +464,7 @@ fn mixed_batch(id: f64, rng: &mut Xoshiro256PlusPlus) -> Request {
             },
         ),
     ];
-    batch(elements, 3)
+    batch(elements, 4)
 }
 
 fn batch(elements: Vec<String>, kind: usize) -> Request {
@@ -485,6 +497,23 @@ fn product_spec(rng: &mut Xoshiro256PlusPlus) -> ProductSpec {
 fn table3_row(rng: &mut Xoshiro256PlusPlus) -> Query {
     Query::Table3Row {
         id: 1 + (rng.next_u64() % 17) as u8,
+    }
+}
+
+/// A small partition search (8 λ × 6 chiplet counts × 2 spare levels =
+/// 96 candidates) over a closed set of system sizes and volumes, sized
+/// so a single request costs the same order as a tile batch.
+fn chiplet_sweep(rng: &mut Xoshiro256PlusPlus) -> Query {
+    const TRANSISTORS: &[f64] = &[1.0e6, 2.0e6];
+    const VOLUMES: &[u64] = &[50_000, 100_000];
+    Query::ChipletPartitionSweep {
+        transistors: TRANSISTORS[(rng.next_u64() % 2) as usize],
+        volume: VOLUMES[(rng.next_u64() % 2) as usize],
+        lambda_min: 0.5,
+        lambda_max: 1.2,
+        lambda_steps: 8,
+        max_chiplets: 6,
+        max_spares: 1,
     }
 }
 
@@ -638,11 +667,11 @@ mod tests {
         assert_eq!(a, b, "same seed and connection replay byte-identically");
         assert_ne!(a, c, "connections derive distinct streams");
         assert_eq!(a.len(), 32);
-        let mut seen = [false; 4];
+        let mut seen = [false; 5];
         for request in &a {
             assert!(request.kind < KINDS.len());
             assert!(request.queries >= 1);
-            if request.kind >= 2 {
+            if request.kind >= 3 {
                 assert!(request.line.starts_with('['), "batches are array lines");
                 assert!(request.queries >= 3);
             }
@@ -705,6 +734,7 @@ mod tests {
         assert!(json.contains("\"available_parallelism\": "));
         assert!(json.contains("\"maly_par_threads\": "));
         assert!(json.contains("\"group\": \"serve/single\", \"name\": \"product\""));
+        assert!(json.contains("\"group\": \"serve/single\", \"name\": \"chiplet_partition\""));
         assert!(json.contains("\"group\": \"serve/batch\", \"name\": \"mixed\""));
         assert!(json.contains("\"median_ns\": "));
         assert!(json.contains("\"p99_ns\": "));
@@ -734,11 +764,11 @@ mod tests {
         assert_eq!(sampled, 12, "every line yields exactly one sample");
         assert!(report.elapsed_ns > 0);
         // The self-hosted server shares this process's registry: the
-        // run adds its 12 timed lines, the 6 fixed warmup lines, and
+        // run adds its 12 timed lines, the 7 fixed warmup lines, and
         // the final stats query.
         assert_eq!(
             lines_counter() - before_lines,
-            19.0,
+            20.0,
             "work ledger advances by warmup + timed lines + the stats line"
         );
         let names: Vec<&str> = report.work.iter().map(|(n, _)| n.as_str()).collect();

@@ -7,6 +7,11 @@
 //! one [`Error`] with `From` impls, so a query evaluates to a single
 //! `Result<QueryResponse, Error>` no matter which subsystem failed, and
 //! the wire protocol maps each variant to a stable `kind` tag.
+//!
+//! The `kind` tags form a *registry* — a compatibility contract with
+//! deployed clients (DESIGN.md §15.4). [`KIND_REGISTRY`] is the
+//! committed list; a test pins every variant's tag against it, so
+//! renaming or reusing a tag fails loudly.
 
 use maly_cost_model::CostError;
 use maly_units::UnitError;
@@ -24,10 +29,18 @@ pub enum Error {
         /// Parser diagnostic.
         message: String,
     },
-    /// The request's `type` tag names no known query.
-    UnknownQueryType {
+    /// The request's `type` tag names no query this server supports —
+    /// possibly a newer client's query. The tag is echoed back so the
+    /// client can tell *which* capability is missing.
+    UnsupportedQuery {
         /// The offending tag.
         found: String,
+    },
+    /// The request envelope's `v` names a protocol version this server
+    /// does not speak (it speaks version 1; an absent `v` means 1).
+    UnsupportedVersion {
+        /// The requested version.
+        version: u64,
     },
     /// A required request field is absent.
     MissingField {
@@ -57,16 +70,34 @@ pub enum Error {
     Io(String),
 }
 
+/// The committed wire-tag registry, sorted: every [`Error::kind`] value,
+/// exactly once. Changing this list is a protocol-compatibility event —
+/// tags may be *added*, never renamed or reused (DESIGN.md §15.4).
+pub const KIND_REGISTRY: &[&str] = &[
+    "cost",
+    "invalid-field",
+    "io",
+    "missing-field",
+    "overloaded",
+    "parse",
+    "payload-too-large",
+    "unit",
+    "unknown-table-row",
+    "unsupported-query",
+    "unsupported-version",
+];
+
 impl Error {
     /// The stable machine-readable tag the wire protocol carries for
-    /// this variant.
+    /// this variant. Every tag is listed in [`KIND_REGISTRY`].
     #[must_use]
     pub fn kind(&self) -> &'static str {
         match self {
             Error::Unit(_) => "unit",
             Error::Cost(_) => "cost",
             Error::Parse { .. } => "parse",
-            Error::UnknownQueryType { .. } => "unknown-query-type",
+            Error::UnsupportedQuery { .. } => "unsupported-query",
+            Error::UnsupportedVersion { .. } => "unsupported-version",
             Error::MissingField { .. } => "missing-field",
             Error::InvalidField { .. } => "invalid-field",
             Error::UnknownTableRow { .. } => "unknown-table-row",
@@ -83,8 +114,14 @@ impl std::fmt::Display for Error {
             Error::Unit(e) => write!(f, "{e}"),
             Error::Cost(e) => write!(f, "{e}"),
             Error::Parse { message } => write!(f, "invalid JSON: {message}"),
-            Error::UnknownQueryType { found } => {
-                write!(f, "unknown query type `{found}`")
+            Error::UnsupportedQuery { found } => {
+                write!(f, "unsupported query type `{found}`")
+            }
+            Error::UnsupportedVersion { version } => {
+                write!(
+                    f,
+                    "unsupported protocol version {version}; this server speaks 1"
+                )
             }
             Error::MissingField { field } => write!(f, "missing field `{field}`"),
             Error::InvalidField { field, message } => {
@@ -132,13 +169,19 @@ impl From<std::io::Error> for Error {
 mod tests {
     use super::*;
 
-    #[test]
-    fn kinds_are_stable_and_distinct() {
-        let variants: Vec<Error> = vec![
+    /// One exemplar of every variant — extending [`Error`] without
+    /// extending this list fails the registry test below.
+    fn exemplars() -> Vec<Error> {
+        vec![
+            Error::Unit(UnitError::NotFinite { quantity: "x" }),
+            Error::Cost(CostError::InvalidInput(UnitError::NotFinite {
+                quantity: "x",
+            })),
             Error::Parse {
                 message: "x".into(),
             },
-            Error::UnknownQueryType { found: "x".into() },
+            Error::UnsupportedQuery { found: "x".into() },
+            Error::UnsupportedVersion { version: 2 },
             Error::MissingField { field: "f" },
             Error::InvalidField {
                 field: "f",
@@ -148,12 +191,28 @@ mod tests {
             Error::PayloadTooLarge { limit: 1 },
             Error::Overloaded,
             Error::Io("broken pipe".into()),
-        ];
-        let kinds: Vec<&str> = variants.iter().map(Error::kind).collect();
-        let mut unique = kinds.clone();
-        unique.sort_unstable();
-        unique.dedup();
-        assert_eq!(unique.len(), kinds.len());
+        ]
+    }
+
+    #[test]
+    fn kind_registry_is_exhaustive_unique_and_stable() {
+        // Uniqueness + stability: the set of kinds emitted by the enum
+        // is exactly the committed registry, which is itself sorted and
+        // duplicate-free. A new variant must add its tag to the
+        // registry; renaming a tag breaks deployed clients and fails
+        // here.
+        let mut kinds: Vec<&str> = exemplars().iter().map(Error::kind).collect();
+        kinds.sort_unstable();
+        let deduped: Vec<&str> = {
+            let mut k = kinds.clone();
+            k.dedup();
+            k
+        };
+        assert_eq!(kinds, deduped, "duplicate wire kind");
+        assert_eq!(kinds, KIND_REGISTRY, "wire-kind registry drifted");
+        let mut sorted = KIND_REGISTRY.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, KIND_REGISTRY, "registry must stay sorted");
     }
 
     #[test]
@@ -170,5 +229,11 @@ mod tests {
         assert!(e.to_string().contains("42"));
         let e = Error::MissingField { field: "lambda" };
         assert!(e.to_string().contains("lambda"));
+        let e = Error::UnsupportedQuery {
+            found: "chiplet_cost".into(),
+        };
+        assert!(e.to_string().contains("chiplet_cost"));
+        let e = Error::UnsupportedVersion { version: 7 };
+        assert!(e.to_string().contains('7'));
     }
 }

@@ -203,6 +203,42 @@ fn dedup_key(q: &Query) -> (u8, String, Vec<u64>) {
             9
         }
         Query::ServerStats => 10,
+        Query::ChipletCost {
+            transistors,
+            lambda_um,
+            chiplets,
+            spares,
+            volume,
+        } => {
+            bits.extend([
+                transistors.to_bits(),
+                lambda_um.to_bits(),
+                *chiplets as u64,
+                *spares as u64,
+                *volume,
+            ]);
+            11
+        }
+        Query::ChipletPartitionSweep {
+            transistors,
+            volume,
+            lambda_min,
+            lambda_max,
+            lambda_steps,
+            max_chiplets,
+            max_spares,
+        } => {
+            bits.extend([
+                transistors.to_bits(),
+                *volume,
+                lambda_min.to_bits(),
+                lambda_max.to_bits(),
+                *lambda_steps as u64,
+                *max_chiplets as u64,
+                *max_spares as u64,
+            ]);
+            12
+        }
     };
     (tag, name, bits)
 }

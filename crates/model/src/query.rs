@@ -38,6 +38,11 @@ pub const MAX_SWEEP_STEPS: usize = 100_000;
 pub const MAX_TILE_STEPS: usize = 512;
 /// Most Monte Carlo replications per query.
 pub const MAX_REPLICATIONS: usize = 100_000;
+/// Most chiplets per partition (a service bound; real packages top out
+/// far lower).
+pub const MAX_CHIPLETS: usize = 64;
+/// Most redundant (spare) dies per partition.
+pub const MAX_SPARES: usize = 8;
 
 /// The full input vector of an eq. (1) product evaluation — Table 3's
 /// columns as a value type.
@@ -206,6 +211,41 @@ pub enum Query {
     /// wire protocol so operators can ask "what is p99 right now?"
     /// without attaching anything.
     ServerStats,
+    /// One multi-die partition priced end-to-end on the `fig8_mcm`
+    /// calibration: per-chiplet die cost (eq. 1–7), KGD test cost,
+    /// bonding with `Y_asm^(m−1)` assembly yield, NRE over volume.
+    ChipletCost {
+        /// Total system transistor count, split equally over chiplets.
+        transistors: f64,
+        /// Feature size (µm).
+        lambda_um: f64,
+        /// Dies required for a working system, 1..=[`MAX_CHIPLETS`].
+        chiplets: usize,
+        /// Redundant dies mounted, 0..=[`MAX_SPARES`].
+        spares: usize,
+        /// Production volume the NRE amortizes over.
+        volume: u64,
+    },
+    /// The partition search: given `N_tr` total at volume `V`, how many
+    /// chiplets of what size (over a λ window, with up to `max_spares`
+    /// redundant dies) minimize \$/system?
+    ChipletPartitionSweep {
+        /// Total system transistor count.
+        transistors: f64,
+        /// Production volume the NRE amortizes over.
+        volume: u64,
+        /// λ window start (µm).
+        lambda_min: f64,
+        /// λ window end (µm).
+        lambda_max: f64,
+        /// λ grid points, ≥ 2; the full grid (λ × chiplets × spares)
+        /// is bounded by [`MAX_SWEEP_STEPS`].
+        lambda_steps: usize,
+        /// Largest chiplet count probed, 1..=[`MAX_CHIPLETS`].
+        max_chiplets: usize,
+        /// Largest spare count probed, 0..=[`MAX_SPARES`].
+        max_spares: usize,
+    },
 }
 
 /// A typed response, mirroring [`Query`]'s variants.
@@ -229,6 +269,11 @@ pub enum QueryResponse {
     ProductMix(MixReport),
     /// Metrics registry snapshot.
     ServerStats(StatsReport),
+    /// One priced multi-die partition.
+    Chiplet(ChipletReport),
+    /// Partition-search result: the arg-min plus the per-chiplet-count
+    /// frontier.
+    ChipletSweep(ChipletSweepReport),
 }
 
 /// Eq. (1) outputs for one product.
@@ -342,6 +387,84 @@ pub struct MixReport {
     pub mono_utilization: f64,
     /// Multi-fab productive utilization.
     pub multi_utilization: f64,
+}
+
+/// One priced multi-die partition — the wire form of
+/// [`maly_chiplet::PartitionCost`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipletReport {
+    /// Dies required for a working system.
+    pub chiplets: u32,
+    /// Redundant dies mounted beyond `chiplets`.
+    pub spares: u32,
+    /// Feature size (µm).
+    pub lambda_um: f64,
+    /// Transistors on each die (the equal split).
+    pub transistors_per_chiplet: f64,
+    /// Per-die cost delivered known-good (bare die + KGD test, $).
+    pub known_good_die_cost: f64,
+    /// `Y_asm^(m−1)` over the bonds.
+    pub assembly_yield: f64,
+    /// Assembly yield × P(enough dies escape the residual DL).
+    pub system_yield: f64,
+    /// Package base plus per-joint bonding ($).
+    pub packaging_cost: f64,
+    /// Amortized NRE per system ($).
+    pub nre_per_system: f64,
+    /// Expected cost of one good system ($).
+    pub cost_per_system: f64,
+}
+
+impl ChipletReport {
+    fn from_cost(c: &maly_chiplet::PartitionCost) -> Self {
+        Self {
+            chiplets: c.chiplets,
+            spares: c.spares,
+            lambda_um: c.lambda.value(),
+            transistors_per_chiplet: c.transistors_per_chiplet.value(),
+            known_good_die_cost: c.known_good_die_cost.value(),
+            assembly_yield: c.assembly_yield.value(),
+            system_yield: c.system_yield.value(),
+            packaging_cost: c.packaging_cost.value(),
+            nre_per_system: c.nre_per_system.value(),
+            cost_per_system: c.cost_per_system.value(),
+        }
+    }
+
+    fn pairs(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("chiplets", Json::Num(f64::from(self.chiplets))),
+            ("spares", Json::Num(f64::from(self.spares))),
+            ("lambda_um", Json::Num(self.lambda_um)),
+            (
+                "transistors_per_chiplet",
+                Json::Num(self.transistors_per_chiplet),
+            ),
+            ("known_good_die_cost", Json::Num(self.known_good_die_cost)),
+            ("assembly_yield", Json::Num(self.assembly_yield)),
+            ("system_yield", Json::Num(self.system_yield)),
+            ("packaging_cost", Json::Num(self.packaging_cost)),
+            ("nre_per_system", Json::Num(self.nre_per_system)),
+            ("cost_per_system", Json::Num(self.cost_per_system)),
+        ]
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(self.pairs())
+    }
+}
+
+/// The partition-search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipletSweepReport {
+    /// Grid candidates priced (feasible or not).
+    pub evaluated: usize,
+    /// Candidates with a feasible die and non-zero system yield.
+    pub feasible: usize,
+    /// The deterministic arg-min over the grid.
+    pub best: ChipletReport,
+    /// The best feasible partition at each chiplet count, ascending.
+    pub per_chiplet_count: Vec<ChipletReport>,
 }
 
 /// A deterministic-shape snapshot of the process metrics registry.
@@ -491,6 +614,28 @@ fn check_window(
     Ok(())
 }
 
+fn check_partition_shape(chiplets: usize, spares: usize, volume: u64) -> Result<(), Error> {
+    if !(1..=MAX_CHIPLETS).contains(&chiplets) {
+        return Err(Error::InvalidField {
+            field: "chiplets",
+            message: format!("chiplet count {chiplets} outside 1..={MAX_CHIPLETS}"),
+        });
+    }
+    if spares > MAX_SPARES {
+        return Err(Error::InvalidField {
+            field: "spares",
+            message: format!("spare count {spares} above {MAX_SPARES}"),
+        });
+    }
+    if volume == 0 {
+        return Err(Error::InvalidField {
+            field: "volume",
+            message: "volume must be at least 1".to_string(),
+        });
+    }
+    Ok(())
+}
+
 fn check_tile(lambda_range: (f64, f64, usize), n_tr_range: (f64, f64, usize)) -> Result<(), Error> {
     let (lambda_min, lambda_max, lambda_steps) = lambda_range;
     let (n_tr_min, n_tr_max, n_tr_steps) = n_tr_range;
@@ -516,7 +661,7 @@ impl Query {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownQueryType`], [`Error::MissingField`] or
+    /// Returns [`Error::UnsupportedQuery`], [`Error::MissingField`] or
     /// [`Error::InvalidField`] describing the first problem found.
     pub fn from_json(v: &Json) -> Result<Self, Error> {
         let kind = v
@@ -592,7 +737,23 @@ impl Query {
                 mono_volume: f64_field_or(v, "mono_volume", 100_000.0)?,
             }),
             "server_stats" => Ok(Query::ServerStats),
-            other => Err(Error::UnknownQueryType {
+            "chiplet_cost" => Ok(Query::ChipletCost {
+                transistors: f64_field(v, "transistors")?,
+                lambda_um: f64_field(v, "lambda_um")?,
+                chiplets: usize_field(v, "chiplets")?,
+                spares: usize_field_or(v, "spares", 0)?,
+                volume: usize_field_or(v, "volume", 100_000)? as u64,
+            }),
+            "chiplet_partition_sweep" => Ok(Query::ChipletPartitionSweep {
+                transistors: f64_field(v, "transistors")?,
+                volume: usize_field_or(v, "volume", 100_000)? as u64,
+                lambda_min: f64_field_or(v, "lambda_min", 0.5)?,
+                lambda_max: f64_field_or(v, "lambda_max", 1.2)?,
+                lambda_steps: usize_field_or(v, "lambda_steps", 15)?,
+                max_chiplets: usize_field_or(v, "max_chiplets", 8)?,
+                max_spares: usize_field_or(v, "max_spares", 1)?,
+            }),
+            other => Err(Error::UnsupportedQuery {
                 found: other.to_string(),
             }),
         }
@@ -696,6 +857,38 @@ impl Query {
                 ("mono_volume", Json::Num(*mono_volume)),
             ]),
             Query::ServerStats => Json::obj(vec![tag("server_stats")]),
+            Query::ChipletCost {
+                transistors,
+                lambda_um,
+                chiplets,
+                spares,
+                volume,
+            } => Json::obj(vec![
+                tag("chiplet_cost"),
+                ("transistors", Json::Num(*transistors)),
+                ("lambda_um", Json::Num(*lambda_um)),
+                ("chiplets", Json::Num(*chiplets as f64)),
+                ("spares", Json::Num(*spares as f64)),
+                ("volume", Json::Num(*volume as f64)),
+            ]),
+            Query::ChipletPartitionSweep {
+                transistors,
+                volume,
+                lambda_min,
+                lambda_max,
+                lambda_steps,
+                max_chiplets,
+                max_spares,
+            } => Json::obj(vec![
+                tag("chiplet_partition_sweep"),
+                ("transistors", Json::Num(*transistors)),
+                ("volume", Json::Num(*volume as f64)),
+                ("lambda_min", Json::Num(*lambda_min)),
+                ("lambda_max", Json::Num(*lambda_max)),
+                ("lambda_steps", Json::Num(*lambda_steps as f64)),
+                ("max_chiplets", Json::Num(*max_chiplets as f64)),
+                ("max_spares", Json::Num(*max_spares as f64)),
+            ]),
         }
     }
 
@@ -917,6 +1110,67 @@ impl Query {
                 }))
             }
             Query::ServerStats => Ok(QueryResponse::ServerStats(StatsReport::capture())),
+            Query::ChipletCost {
+                transistors,
+                lambda_um,
+                chiplets,
+                spares,
+                volume,
+            } => {
+                check_partition_shape(*chiplets, *spares, *volume)?;
+                let params = maly_chiplet::ChipletParameters::fig8_mcm();
+                let partition = maly_chiplet::Partition {
+                    chiplets: *chiplets as u32,
+                    spares: *spares as u32,
+                    lambda: Microns::new(*lambda_um)?,
+                    system_transistors: TransistorCount::new(*transistors)?,
+                    volume: *volume,
+                };
+                let cost = params.price_partition(&partition)?;
+                Ok(QueryResponse::Chiplet(ChipletReport::from_cost(&cost)))
+            }
+            Query::ChipletPartitionSweep {
+                transistors,
+                volume,
+                lambda_min,
+                lambda_max,
+                lambda_steps,
+                max_chiplets,
+                max_spares,
+            } => {
+                check_window(*lambda_min, *lambda_max, *lambda_steps, MAX_SWEEP_STEPS)?;
+                check_partition_shape(*max_chiplets, *max_spares, *volume)?;
+                let candidates = *lambda_steps * *max_chiplets * (*max_spares + 1);
+                if candidates > MAX_SWEEP_STEPS {
+                    return Err(Error::InvalidField {
+                        field: "lambda_steps",
+                        message: format!(
+                            "partition grid has {candidates} candidates, above {MAX_SWEEP_STEPS}"
+                        ),
+                    });
+                }
+                let params = maly_chiplet::ChipletParameters::fig8_mcm();
+                let spec = maly_chiplet::SweepSpec {
+                    system_transistors: TransistorCount::new(*transistors)?,
+                    volume: *volume,
+                    lambda_min: Microns::new(*lambda_min)?,
+                    lambda_max: Microns::new(*lambda_max)?,
+                    lambda_steps: *lambda_steps,
+                    max_chiplets: *max_chiplets as u32,
+                    max_spares: *max_spares as u32,
+                };
+                let outcome = params.sweep(&spec, exec)?;
+                Ok(QueryResponse::ChipletSweep(ChipletSweepReport {
+                    evaluated: outcome.evaluated,
+                    feasible: outcome.feasible,
+                    best: ChipletReport::from_cost(&outcome.best),
+                    per_chiplet_count: outcome
+                        .per_chiplet_count
+                        .iter()
+                        .map(ChipletReport::from_cost)
+                        .collect(),
+                }))
+            }
         }
     }
 
@@ -1176,6 +1430,26 @@ impl QueryResponse {
                 ("mono_utilization", Json::Num(m.mono_utilization)),
                 ("multi_utilization", Json::Num(m.multi_utilization)),
             ]),
+            QueryResponse::Chiplet(r) => {
+                let mut pairs = vec![("kind", Json::Str("chiplet".to_string()))];
+                pairs.extend(r.pairs());
+                Json::obj(pairs)
+            }
+            QueryResponse::ChipletSweep(s) => Json::obj(vec![
+                ("kind", Json::Str("chiplet_sweep".to_string())),
+                ("evaluated", Json::Num(s.evaluated as f64)),
+                ("feasible", Json::Num(s.feasible as f64)),
+                ("best", s.best.to_json()),
+                (
+                    "per_chiplet_count",
+                    Json::Arr(
+                        s.per_chiplet_count
+                            .iter()
+                            .map(ChipletReport::to_json)
+                            .collect(),
+                    ),
+                ),
+            ]),
             QueryResponse::ServerStats(s) => {
                 let counts = |v: &[(String, u64)]| -> Json {
                     Json::Obj(
@@ -1299,6 +1573,22 @@ mod tests {
                 mono_volume: 50_000.0,
             },
             Query::ServerStats,
+            Query::ChipletCost {
+                transistors: 2.0e6,
+                lambda_um: 0.9,
+                chiplets: 4,
+                spares: 1,
+                volume: 50_000,
+            },
+            Query::ChipletPartitionSweep {
+                transistors: 2.0e6,
+                volume: 50_000,
+                lambda_min: 0.5,
+                lambda_max: 1.2,
+                lambda_steps: 15,
+                max_chiplets: 8,
+                max_spares: 1,
+            },
         ];
         for q in queries {
             let text = q.to_json().write();
@@ -1310,10 +1600,9 @@ mod tests {
     #[test]
     fn unknown_type_and_missing_fields_are_typed_errors() {
         let bad = json::parse("{\"type\":\"nonsense\"}").unwrap();
-        assert!(matches!(
-            Query::from_json(&bad),
-            Err(Error::UnknownQueryType { .. })
-        ));
+        let err = Query::from_json(&bad).unwrap_err();
+        assert!(matches!(&err, Error::UnsupportedQuery { found } if found == "nonsense"));
+        assert_eq!(err.kind(), "unsupported-query");
         let missing = json::parse("{\"type\":\"product\"}").unwrap();
         assert!(matches!(
             Query::from_json(&missing),
@@ -1395,6 +1684,15 @@ mod tests {
                 replications: 16,
                 jitter: 0.3,
                 seed: 42,
+            },
+            Query::ChipletPartitionSweep {
+                transistors: 2.0e6,
+                volume: 50_000,
+                lambda_min: 0.5,
+                lambda_max: 1.2,
+                lambda_steps: 15,
+                max_chiplets: 8,
+                max_spares: 1,
             },
         ];
         for q in &queries {
@@ -1497,6 +1795,77 @@ mod tests {
         assert!(text.contains("\"diag\":{"), "{text}");
         assert!(text.contains("\"gauges\":{"), "{text}");
         assert!(text.contains("\"latency\":{"), "{text}");
+    }
+
+    #[test]
+    fn chiplet_sweep_matches_direct_evaluation_and_pins_the_optimum() {
+        let q = Query::ChipletPartitionSweep {
+            transistors: 2.0e6,
+            volume: 50_000,
+            lambda_min: 0.5,
+            lambda_max: 1.2,
+            lambda_steps: 15,
+            max_chiplets: 8,
+            max_spares: 1,
+        };
+        let QueryResponse::ChipletSweep(report) = q.evaluate().unwrap() else {
+            panic!("wrong kind");
+        };
+        // Bit-identical to the chiplet crate's direct sweep.
+        let params = maly_chiplet::ChipletParameters::fig8_mcm();
+        let spec = maly_chiplet::SweepSpec {
+            system_transistors: TransistorCount::new(2.0e6).unwrap(),
+            volume: 50_000,
+            lambda_min: Microns::new(0.5).unwrap(),
+            lambda_max: Microns::new(1.2).unwrap(),
+            lambda_steps: 15,
+            max_chiplets: 8,
+            max_spares: 1,
+        };
+        let direct = params.sweep(&spec, &Executor::from_env()).unwrap();
+        assert_eq!(report.evaluated, direct.evaluated);
+        assert_eq!(report.feasible, direct.feasible);
+        assert_eq!(
+            report.best.cost_per_system.to_bits(),
+            direct.best.cost_per_system.value().to_bits()
+        );
+        // The reference-point golden: 2M transistors at 50k volume
+        // partition into 4 chiplets with no spares at λ = 1.2 µm.
+        assert_eq!((report.best.chiplets, report.best.spares), (4, 0));
+        assert!((report.best.lambda_um - 1.2).abs() < 1e-12);
+        assert!((report.best.cost_per_system - 64.950_204_570_179).abs() < 1e-6);
+        assert_eq!(report.per_chiplet_count.len(), 8);
+    }
+
+    #[test]
+    fn chiplet_queries_validate_their_shape() {
+        let base = Query::ChipletCost {
+            transistors: 2.0e6,
+            lambda_um: 0.9,
+            chiplets: 0,
+            spares: 0,
+            volume: 1,
+        };
+        assert!(matches!(base.evaluate(), Err(Error::InvalidField { .. })));
+        let q = Query::ChipletPartitionSweep {
+            transistors: 2.0e6,
+            volume: 50_000,
+            lambda_min: 0.5,
+            lambda_max: 1.2,
+            lambda_steps: MAX_SWEEP_STEPS,
+            max_chiplets: 8,
+            max_spares: 1,
+        };
+        // 100k λ steps × 8 chiplets × 2 spares overflows the grid cap.
+        assert!(matches!(q.evaluate(), Err(Error::InvalidField { .. })));
+        let q = Query::ChipletCost {
+            transistors: 2.0e6,
+            lambda_um: 0.9,
+            chiplets: 4,
+            spares: MAX_SPARES + 1,
+            volume: 1,
+        };
+        assert!(matches!(q.evaluate(), Err(Error::InvalidField { .. })));
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! Prints the chiplet partition-search report.
+
+fn main() {
+    print!("{}", maly_repro::experiments::chiplet::report());
+}

@@ -1,0 +1,117 @@
+//! Multi-die partition search: eq. (1) die economics composed with the
+//! §§V–VI known-good-die test model into whole-system $/unit.
+//!
+//! The paper's MCM sections argue per-component; this experiment runs
+//! the composition end to end — for a 2M-transistor system, is it
+//! cheaper to build one big die or several small known-good dies bonded
+//! into a module, once assembly yield and NRE amortization are paid?
+
+use maly_chiplet::{ChipletParameters, CostError, SweepSpec};
+use maly_par::Executor;
+use maly_units::{Microns, TransistorCount};
+use maly_viz::table::{Alignment, TextTable};
+
+use crate::ExperimentReport;
+
+fn spec(volume: u64) -> Result<SweepSpec, CostError> {
+    Ok(SweepSpec {
+        system_transistors: TransistorCount::new(2.0e6)?,
+        volume,
+        lambda_min: Microns::new(0.5)?,
+        lambda_max: Microns::new(1.2)?,
+        lambda_steps: 15,
+        max_chiplets: 8,
+        max_spares: 1,
+    })
+}
+
+/// Runs the partition search at high volume (50 000 systems) and low
+/// volume (50), showing the optimum flip the NRE terms force.
+#[must_use]
+pub fn report() -> ExperimentReport {
+    // The sweeps are deterministic and covered by goldens, so the error
+    // body below is unreachable in practice — rendering it instead of
+    // panicking keeps this crate inside its panic budget.
+    let body = match body() {
+        Ok(body) => body,
+        Err(e) => format!("partition search failed: {e}\n"),
+    };
+    ExperimentReport {
+        id: "chiplet",
+        title: "multi-die partition search (eq. 1 × §§V–VI composition)",
+        body,
+    }
+}
+
+fn body() -> Result<String, CostError> {
+    let params = ChipletParameters::fig8_mcm();
+    let exec = Executor::from_env();
+    let high = params.sweep(&spec(50_000)?, &exec)?;
+    let low = params.sweep(&spec(50)?, &exec)?;
+
+    let mut table = TextTable::new(vec![
+        "chiplets",
+        "spares",
+        "λ [µm]",
+        "KGD die [$]",
+        "Y_asm",
+        "Y_sys",
+        "NRE/unit [$]",
+        "$/system",
+    ]);
+    for col in 1..8 {
+        table.align(col, Alignment::Right);
+    }
+    for r in &high.per_chiplet_count {
+        table.row(vec![
+            format!("{}", r.chiplets),
+            format!("{}", r.spares),
+            format!("{:.3}", r.lambda.value()),
+            format!("{:.2}", r.known_good_die_cost.value()),
+            format!("{:.3}", r.assembly_yield.value()),
+            format!("{:.3}", r.system_yield.value()),
+            format!("{:.2}", r.nre_per_system.value()),
+            format!("{:.2}", r.cost_per_system.value()),
+        ]);
+    }
+
+    let best = &high.best;
+    Ok(format!(
+        "Partition frontier for a 2.0e6-transistor system at volume 50 000 \
+         (fig8 fab calibration, KGD supply per §§V–VI, bond yield 0.99):\n\n\
+         {}\n\n\
+         Best partition: **{} chiplet(s) + {} spare(s) at λ = {:.3} µm → \
+         {:.2} $/system** ({} of {} candidates feasible). The monolithic die \
+         pays eq. (2)'s exponential yield collapse on the full 2M \
+         transistors; splitting into known-good dies trades that for a \
+         linear KGD test bill plus `Y_asm^(m−1)` bonding losses, and wins.\n\n\
+         At volume 50 the same search flips to {} chiplet(s) at \
+         {:.0} $/system: the interposer NRE no longer amortizes, so the \
+         single-die partition — worse silicon economics and all — is the \
+         cheaper system. Cost optimality of a partition is a property of \
+         the *business plan*, not the die alone, which is the paper's \
+         central claim writ large.\n",
+        table.render(),
+        best.chiplets,
+        best.spares,
+        best.lambda.value(),
+        best.cost_per_system.value(),
+        high.feasible,
+        high.evaluated,
+        low.best.chiplets,
+        low.best.cost_per_system.value(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_pins_the_reference_optimum_and_the_volume_flip() {
+        let r = report();
+        assert!(r.body.contains("4 chiplet(s) + 0 spare(s)"), "{}", r.body);
+        assert!(r.body.contains("64.95"), "{}", r.body);
+        assert!(r.body.contains("flips to 1 chiplet(s)"), "{}", r.body);
+    }
+}

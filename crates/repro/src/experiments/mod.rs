@@ -1,6 +1,7 @@
 //! One module per paper experiment.
 
 pub mod ablation;
+pub mod chiplet;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

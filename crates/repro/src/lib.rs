@@ -51,7 +51,7 @@ impl std::fmt::Display for ExperimentReport {
 #[must_use]
 pub fn all_experiments() -> Vec<ExperimentReport> {
     type Experiment = (&'static str, fn() -> ExperimentReport);
-    const EXPERIMENTS: [Experiment; 16] = [
+    const EXPERIMENTS: [Experiment; 17] = [
         ("repro.fig1", experiments::fig1::report),
         ("repro.fig2", experiments::fig2::report),
         ("repro.fig3", experiments::fig3::report),
@@ -65,6 +65,7 @@ pub fn all_experiments() -> Vec<ExperimentReport> {
         ("repro.table3", experiments::table3::report),
         ("repro.product_mix", experiments::product_mix::report),
         ("repro.mcm_kgd", experiments::mcm_kgd::report),
+        ("repro.chiplet", experiments::chiplet::report),
         ("repro.roadmap", experiments::roadmap::report),
         ("repro.system_opt", experiments::system_opt::report),
         ("repro.ablation", experiments::ablation::report),
@@ -87,7 +88,7 @@ mod tests {
     #[test]
     fn all_experiments_render_nonempty_reports() {
         let reports = all_experiments();
-        assert_eq!(reports.len(), 16);
+        assert_eq!(reports.len(), 17);
         for r in &reports {
             assert!(!r.body.trim().is_empty(), "{} is empty", r.id);
             assert!(r.to_markdown().starts_with("## "));

@@ -4,12 +4,19 @@
 //! request:
 //!
 //! ```text
-//! {"id": 7, "query": {"type": "table3_row", "id": 1}}
+//! {"v": 1, "id": 7, "query": {"type": "table3_row", "id": 1}}
 //! ```
 //!
 //! A line holding a JSON *array* of such objects is a batch: the server
 //! evaluates its queries together on the `maly-par` executor and
 //! answers with one JSON array line, element `i` answering request `i`.
+//!
+//! The envelope is versioned: `v` names the protocol version, and an
+//! absent `v` means version 1, so every pre-envelope client (and every
+//! committed golden) keeps its exact bytes. A version this server does
+//! not speak is rejected with the stable `unsupported-version` error
+//! kind; a `query.type` it does not know with `unsupported-query` (tag
+//! echoed) — so old servers degrade gracefully under new clients.
 //!
 //! Every response carries the request's `id` back verbatim (or `null`
 //! when the request was unparseable):
@@ -156,12 +163,49 @@ pub fn recover_id(prefix: &str) -> Json {
     }
 }
 
-/// Splits a request object into its echoed `id` and parsed query.
+/// The one protocol version this server speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Validates the optional envelope version field: absent means
+/// [`PROTOCOL_VERSION`], any other value is a typed rejection.
+fn check_version(v: &Json) -> Result<(), Error> {
+    match v.get("v") {
+        None => Ok(()),
+        Some(Json::Num(n)) => {
+            // audit:allow(float-cmp): exact integrality test — versions
+            // are small integers, not measurements.
+            if n.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(n) {
+                let version = *n as u64;
+                if version == PROTOCOL_VERSION {
+                    Ok(())
+                } else {
+                    Err(Error::UnsupportedVersion { version })
+                }
+            } else {
+                Err(Error::InvalidField {
+                    field: "v",
+                    message: format!("expected a non-negative integer version, got {n}"),
+                })
+            }
+        }
+        Some(_) => Err(Error::InvalidField {
+            field: "v",
+            message: "expected a number".to_string(),
+        }),
+    }
+}
+
+/// Splits a request object into its echoed `id` and parsed query,
+/// enforcing the envelope version first (each element of a batch line
+/// carries its own envelope).
 fn parse_request(v: &Json) -> (Json, Result<Query, Error>) {
     let id = v.get("id").cloned().unwrap_or(Json::Null);
-    let query = match v.get("query") {
-        Some(q) => Query::from_json(q),
-        None => Err(Error::MissingField { field: "query" }),
+    let query = match check_version(v) {
+        Err(e) => Err(e),
+        Ok(()) => match v.get("query") {
+            Some(q) => Query::from_json(q),
+            None => Err(Error::MissingField { field: "query" }),
+        },
     };
     (id, query)
 }
@@ -275,7 +319,15 @@ mod tests {
                 .get("error")
                 .and_then(|e| e.get("kind"))
                 .and_then(Json::as_str),
-            Some("unknown-query-type")
+            Some("unsupported-query")
+        );
+        assert!(
+            items[1]
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .is_some_and(|m| m.contains("nonsense")),
+            "the offending tag must be echoed"
         );
         assert_eq!(items[2].get("id").and_then(Json::as_f64), Some(3.0));
         assert!(items[2].get("ok").is_some());
@@ -334,6 +386,79 @@ mod tests {
         assert_eq!(recover_id("{\"id\": \"trunca"), Json::Null);
         assert_eq!(recover_id("{\"id\": [1,"), Json::Null);
         assert_eq!(recover_id(""), Json::Null);
+    }
+
+    #[test]
+    fn explicit_version_1_is_byte_identical_to_versionless() {
+        let exec = Executor::serial();
+        let ctx = EvalContext::new();
+        let versionless = handle_line(
+            &exec,
+            &ctx,
+            "{\"id\": 7, \"query\": {\"type\": \"table3_row\", \"id\": 1}}",
+        );
+        let versioned = handle_line(
+            &exec,
+            &ctx,
+            "{\"v\": 1, \"id\": 7, \"query\": {\"type\": \"table3_row\", \"id\": 1}}",
+        );
+        assert_eq!(versionless, versioned);
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_with_a_stable_kind() {
+        let exec = Executor::serial();
+        let ctx = EvalContext::new();
+        let out = handle_line(
+            &exec,
+            &ctx,
+            "{\"v\": 2, \"id\": 9, \"query\": {\"type\": \"table3\"}}",
+        );
+        let v = json::parse(&out).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_f64), Some(9.0));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("unsupported-version")
+        );
+        // Non-integer and non-numeric versions are malformed fields,
+        // not version negotiations.
+        for bad in [
+            "{\"v\": 1.5, \"id\": 1, \"query\": {\"type\": \"table3\"}}",
+            "{\"v\": \"1\", \"id\": 1, \"query\": {\"type\": \"table3\"}}",
+            "{\"v\": -1, \"id\": 1, \"query\": {\"type\": \"table3\"}}",
+        ] {
+            let out = handle_line(&exec, &ctx, bad);
+            let v = json::parse(&out).unwrap();
+            assert_eq!(
+                v.get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str),
+                Some("invalid-field"),
+                "{bad}"
+            );
+        }
+        // Batch elements carry their own envelopes: one bad version
+        // fails only its element.
+        let out = handle_line(
+            &exec,
+            &ctx,
+            concat!(
+                "[{\"v\": 1, \"id\": 1, \"query\": {\"type\": \"table3_row\", \"id\": 1}},",
+                " {\"v\": 3, \"id\": 2, \"query\": {\"type\": \"table3_row\", \"id\": 1}}]",
+            ),
+        );
+        let v = json::parse(&out).unwrap();
+        let items = v.as_arr().expect("batch in, batch out");
+        assert!(items[0].get("ok").is_some());
+        assert_eq!(
+            items[1]
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("unsupported-version")
+        );
     }
 
     #[test]

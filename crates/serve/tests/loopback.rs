@@ -98,6 +98,28 @@ fn mixed_workload() -> Vec<String> {
                 mono_volume: 80_000.0,
             },
         ),
+        request_line(
+            19.0,
+            &Query::ChipletCost {
+                transistors: 2.0e6,
+                lambda_um: 1.0,
+                chiplets: 4,
+                spares: 1,
+                volume: 50_000,
+            },
+        ),
+        request_line(
+            23.0,
+            &Query::ChipletPartitionSweep {
+                transistors: 2.0e6,
+                volume: 50_000,
+                lambda_min: 0.5,
+                lambda_max: 1.2,
+                lambda_steps: 15,
+                max_chiplets: 8,
+                max_spares: 1,
+            },
+        ),
         // One batch line: three queries answered as one array line.
         format!(
             "[{}, {}, {}]",
@@ -223,7 +245,7 @@ fn malformed_requests_are_rejected_with_typed_errors() {
         vec![
             "parse",
             "missing-field",
-            "unknown-query-type",
+            "unsupported-query",
             "unknown-table-row",
             "invalid-field",
         ]

@@ -77,6 +77,7 @@ pub use rules::{Rule, Violation};
 /// down a crate's legacy sites lowers its line here.
 pub const PANIC_BUDGETS: &[(&str, usize)] = &[
     ("maly-bench", 8),
+    ("maly-chiplet", 0),
     ("maly-cli", 0),
     ("maly-cost-model", 0),
     ("maly-cost-optim", 0),
@@ -102,6 +103,7 @@ pub const PANIC_BUDGETS: &[(&str, usize)] = &[
 /// Crates whose public APIs are dimension-checked by the unit-safety
 /// rule (they sit on the Eq. (1)–(9) numeric path).
 pub const UNIT_SAFETY_CRATES: &[&str] = &[
+    "maly-chiplet",
     "maly-cost-model",
     "maly-yield-model",
     "maly-wafer-geom",
@@ -114,6 +116,7 @@ pub const UNIT_SAFETY_CRATES: &[&str] = &[
 /// The one surviving site is wafer-geom's saw-street boundary, where
 /// zero is a legitimate sentinel no positive newtype can carry.
 pub const UNIT_ESCAPE_BUDGETS: &[(&str, usize)] = &[
+    ("maly-chiplet", 0),
     ("maly-cost-model", 0),
     ("maly-test-economics", 0),
     ("maly-wafer-geom", 1),
